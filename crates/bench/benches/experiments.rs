@@ -1,0 +1,105 @@
+//! Criterion benches: one target per paper table/figure, measuring the cost
+//! of regenerating each experiment (quick mode: 1 repetition per config,
+//! single program sample where the full sweep would take minutes).
+
+use characterize::experiment::measure;
+use characterize::figures::power_profile;
+use characterize::GpuConfigKind;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use workloads::registry;
+
+fn bench_one(c: &mut Criterion, id: &str, key: &'static str, kind: GpuConfigKind) {
+    c.bench_function(id, |b| {
+        b.iter(|| {
+            let bench = registry::by_key(key).unwrap();
+            let input = &bench.inputs()[0];
+            black_box(measure(bench.as_ref(), input, kind, 0).map(|m| m.reading.energy_j))
+        })
+    });
+}
+
+/// Table 1 is static metadata; benchmark its generation.
+fn table1_inventory(c: &mut Criterion) {
+    c.bench_function("table1_inventory", |b| {
+        b.iter(|| black_box(characterize::tables::table1().len()))
+    });
+}
+
+/// Table 2's substrate: a median-of-3 measurement of one program.
+fn table2_variability_sample(c: &mut Criterion) {
+    c.bench_function("table2_variability_sample", |b| {
+        b.iter(|| {
+            let bench = registry::by_key("sgemm").unwrap();
+            let input = &bench.inputs()[0];
+            black_box(
+                characterize::experiment::measure_median3(
+                    bench.as_ref(),
+                    input,
+                    GpuConfigKind::Default,
+                    0,
+                )
+                .unwrap()
+                .time_variability_pct,
+            )
+        })
+    });
+}
+
+/// Table 3's substrate: one variant-vs-default ratio cell.
+fn table3_variant_cell(c: &mut Criterion) {
+    bench_one(c, "table3_lbfs_atomic_default_cfg", "lbfs-atomic", GpuConfigKind::Default);
+}
+
+/// Table 4's substrate: one per-item BFS measurement.
+fn table4_bfs_cell(c: &mut Criterion) {
+    bench_one(c, "table4_sbfs_default_cfg", "sbfs", GpuConfigKind::Default);
+}
+
+/// Figure 1: a full power profile capture.
+fn fig1_profile(c: &mut Criterion) {
+    c.bench_function("fig1_power_profile", |b| {
+        b.iter(|| black_box(power_profile("sgemm").samples.len()))
+    });
+}
+
+/// Figures 2/3/4's substrate: one program at each configuration pair.
+fn fig2_614_sample(c: &mut Criterion) {
+    bench_one(c, "fig2_sample_nb_614", "nb", GpuConfigKind::C614);
+}
+fn fig3_324_sample(c: &mut Criterion) {
+    bench_one(c, "fig3_sample_lbm_324", "lbm", GpuConfigKind::C324);
+}
+fn fig4_ecc_sample(c: &mut Criterion) {
+    bench_one(c, "fig4_sample_sten_ecc", "sten", GpuConfigKind::Ecc);
+}
+
+/// Figure 5's substrate: a second-input power measurement.
+fn fig5_input_sample(c: &mut Criterion) {
+    c.bench_function("fig5_sample_nw_large_input", |b| {
+        b.iter(|| {
+            let bench = registry::by_key("nw").unwrap();
+            let input = bench.inputs().last().unwrap().clone();
+            black_box(
+                measure(bench.as_ref(), &input, GpuConfigKind::Default, 0)
+                    .unwrap()
+                    .reading
+                    .avg_power_w,
+            )
+        })
+    });
+}
+
+/// Figure 6's substrate: an absolute-power measurement at 324 MHz.
+fn fig6_power_sample(c: &mut Criterion) {
+    bench_one(c, "fig6_sample_pta_324", "pta", GpuConfigKind::C324);
+}
+
+criterion_group! {
+    name = experiments;
+    config = Criterion::default().sample_size(10);
+    targets = table1_inventory, table2_variability_sample, table3_variant_cell,
+              table4_bfs_cell, fig1_profile, fig2_614_sample, fig3_324_sample,
+              fig4_ecc_sample, fig5_input_sample, fig6_power_sample
+}
+criterion_main!(experiments);

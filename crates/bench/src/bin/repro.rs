@@ -1,0 +1,73 @@
+//! Regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro [--quick] [table1|table2|table3|table4|fig1|fig2|fig3|fig4|fig5|fig6|all]
+//! ```
+//!
+//! `--quick` runs one repetition per configuration instead of the paper's
+//! three (the shapes are identical; only Table 2's variability needs the
+//! full three, which it always uses).
+
+use characterize::figures::{input_power_figure, power_profile, power_range_figure, ratio_figure};
+use characterize::report::*;
+use characterize::tables::{table1, table2, table3, table4, tr_detail};
+use characterize::GpuConfigKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let reps = if quick { 1 } else { 3 };
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+    let t0 = std::time::Instant::now();
+    let want = |k: &str| what == "all" || what == k;
+
+    if want("table1") {
+        println!("{}", render_table1(&table1()));
+    }
+    if want("fig1") {
+        println!("{}", render_fig1(&power_profile("sgemm")));
+    }
+    if want("fig2") {
+        let f = ratio_figure(GpuConfigKind::Default, GpuConfigKind::C614, reps);
+        println!(
+            "{}",
+            render_ratio_figure(&f, "Figure 2: effects of the 614 configuration")
+        );
+    }
+    if want("fig3") {
+        let f = ratio_figure(GpuConfigKind::C614, GpuConfigKind::C324, reps);
+        println!(
+            "{}",
+            render_ratio_figure(&f, "Figure 3: effects of the 324 configuration")
+        );
+    }
+    if want("fig4") {
+        let f = ratio_figure(GpuConfigKind::Default, GpuConfigKind::Ecc, reps);
+        println!("{}", render_ratio_figure(&f, "Figure 4: effects of ECC"));
+    }
+    if want("table2") {
+        println!("{}", render_table2(&table2()));
+    }
+    if want("table3") {
+        println!("{}", render_table3(&table3()));
+    }
+    if want("table4") {
+        println!("{}", render_table4(&table4()));
+    }
+    if want("fig5") {
+        println!("{}", render_fig5(&input_power_figure(reps)));
+    }
+    if want("fig6") {
+        println!("{}", render_fig6(&power_range_figure(reps)));
+    }
+    // The companion technical report's per-program detail is opt-in (it is
+    // the most expensive sweep).
+    if what == "trdata" {
+        println!("{}", render_tr_detail(&tr_detail(reps)));
+    }
+    eprintln!("[repro] done in {:?}", t0.elapsed());
+}

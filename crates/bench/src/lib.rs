@@ -1,0 +1,2 @@
+//! Benchmark harness crate: see the `repro` binary (regenerates every table
+//! and figure of the paper) and the Criterion benches under `benches/`.

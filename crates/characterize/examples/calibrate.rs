@@ -1,0 +1,57 @@
+//! Calibration sweep: per program-input, print the simulator's ground-truth
+//! kernel time, the K20Power reading (if measurable), and a suggested
+//! multiplier correction toward a target runtime.
+use characterize::GpuConfigKind;
+use gpower::{K20Power, PowerSensor};
+use kepler_sim::Device;
+use rayon::prelude::*;
+use workloads::registry;
+
+fn main() {
+    let target: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12.0);
+    let mut jobs = Vec::new();
+    for b in registry::all().into_iter().chain(registry::variants()) {
+        let key = b.spec().key;
+        for input in b.inputs() {
+            jobs.push((key, input));
+        }
+    }
+    let rows: Vec<String> = jobs
+        .par_iter()
+        .map(|(key, input)| {
+            let b = registry::by_key(key).unwrap();
+            let mut cfg = GpuConfigKind::Default.device_config();
+            cfg.jitter_seed = 1;
+            let mut dev = Device::new(cfg);
+            let t0 = std::time::Instant::now();
+            b.run(&mut dev, input);
+            let wall = t0.elapsed();
+            let kt = dev.kernel_time();
+            let c = dev.total_counters();
+            let (trace, _) = dev.finish();
+            let samples = PowerSensor::default().sample(&trace, 7);
+            let reading = K20Power::default().analyze(&samples);
+            let (p, e) = match &reading {
+                Ok(r) => (r.avg_power_w, r.energy_j),
+                Err(_) => (0.0, 0.0),
+            };
+            format!(
+                "{key:12} {:26} kt={:9.2}s P={:6.1}W E={:9.0}J factor={:9.1} int={:7.2} div={:.2} wall={:>9.1?}",
+                input.name,
+                kt,
+                p,
+                e,
+                target / kt.max(1e-9),
+                c.compute_intensity(),
+                c.divergence(),
+                wall
+            )
+        })
+        .collect();
+    for r in rows {
+        println!("{r}");
+    }
+}

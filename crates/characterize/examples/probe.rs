@@ -1,0 +1,25 @@
+//! Developer diagnostic: run one program's inputs at the default
+//! configuration and print ground-truth timing plus trace statistics.
+use characterize::GpuConfigKind;
+use kepler_sim::Device;
+use workloads::registry;
+
+fn main() {
+    let key = std::env::args().nth(1).unwrap_or_else(|| "nb".into());
+    let b = registry::by_key(&key).unwrap();
+    for input in b.inputs() {
+        let mut cfg = GpuConfigKind::Default.device_config();
+        cfg.jitter_seed = 1;
+        let mut dev = Device::new(cfg);
+        let t0 = std::time::Instant::now();
+        b.run(&mut dev, &input);
+        let wall = t0.elapsed();
+        let kt = dev.kernel_time();
+        let c = dev.total_counters();
+        let (trace, _) = dev.finish();
+        println!(
+            "{key:10} {:24} wall={:>8.2?} sim={:>9.3}s trace_end={:>9.3}s segs={} launches_intensity={:.2}",
+            input.name, wall, kt, trace.end_time(), trace.len(), c.compute_intensity()
+        );
+    }
+}

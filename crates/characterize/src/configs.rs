@@ -1,0 +1,78 @@
+//! The paper's four GPU configurations (§IV.B).
+
+use kepler_sim::{ClockConfig, DeviceConfig};
+use serde::{Deserialize, Serialize};
+
+/// The four configurations of the study. All share one physical K20c; only
+/// clocks and ECC change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GpuConfigKind {
+    /// 705 MHz core / 2.6 GHz memory, ECC off.
+    Default,
+    /// 614 MHz core / 2.6 GHz memory, ECC off.
+    C614,
+    /// 324 MHz core / 324 MHz memory, ECC off.
+    C324,
+    /// 705 MHz core / 2.6 GHz memory, ECC on.
+    Ecc,
+}
+
+impl GpuConfigKind {
+    pub const ALL: [GpuConfigKind; 4] = [
+        GpuConfigKind::Default,
+        GpuConfigKind::C614,
+        GpuConfigKind::C324,
+        GpuConfigKind::Ecc,
+    ];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            GpuConfigKind::Default => "default",
+            GpuConfigKind::C614 => "614",
+            GpuConfigKind::C324 => "324",
+            GpuConfigKind::Ecc => "ECC",
+        }
+    }
+
+    /// The device configuration for this setting.
+    pub fn device_config(&self) -> DeviceConfig {
+        match self {
+            GpuConfigKind::Default => DeviceConfig::k20c(ClockConfig::k20_default(), false),
+            GpuConfigKind::C614 => DeviceConfig::k20c(ClockConfig::k20_614(), false),
+            GpuConfigKind::C324 => DeviceConfig::k20c(ClockConfig::k20_324(), false),
+            GpuConfigKind::Ecc => DeviceConfig::k20c(ClockConfig::k20_default(), true),
+        }
+    }
+}
+
+impl std::fmt::Display for GpuConfigKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_configs_match_paper() {
+        assert_eq!(GpuConfigKind::ALL.len(), 4);
+        let d = GpuConfigKind::Default.device_config();
+        assert_eq!(d.clocks.core_mhz, 705.0);
+        assert!(!d.ecc);
+        let c = GpuConfigKind::C614.device_config();
+        assert_eq!(c.clocks.core_mhz, 614.0);
+        assert_eq!(c.clocks.mem_mhz, 2600.0);
+        let l = GpuConfigKind::C324.device_config();
+        assert_eq!(l.clocks.mem_mhz, 324.0);
+        let e = GpuConfigKind::Ecc.device_config();
+        assert!(e.ecc);
+        assert_eq!(e.clocks.core_mhz, 705.0);
+    }
+
+    #[test]
+    fn names_render() {
+        assert_eq!(GpuConfigKind::C324.to_string(), "324");
+    }
+}

@@ -1,0 +1,17 @@
+//! # characterize
+//!
+//! The paper's contribution: the energy/power/performance characterization
+//! study. This crate drives the 34 [`workloads`] programs through the four
+//! GPU configurations on the [`kepler_sim`] device, measures each run with
+//! the emulated sensor + K20Power tool from [`gpower`], applies the paper's
+//! three-repetition median methodology, and generates the data behind
+//! every table and figure of the evaluation section.
+
+pub mod configs;
+pub mod experiment;
+pub mod figures;
+pub mod report;
+pub mod tables;
+
+pub use configs::GpuConfigKind;
+pub use experiment::{measure, measure_median3, Measurement, MedianMeasurement};

@@ -1,0 +1,245 @@
+//! Generators for the paper's tables.
+
+use crate::configs::GpuConfigKind;
+use crate::experiment::{measure_median3, MedianMeasurement};
+use gpower::PowerError;
+use rayon::prelude::*;
+use serde::Serialize;
+use workloads::bench::Suite;
+use workloads::registry;
+
+/// One Table-1 row: the program inventory.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1Row {
+    pub name: String,
+    pub key: String,
+    pub suite: Suite,
+    pub kernels: u32,
+    pub inputs: Vec<String>,
+}
+
+/// Table 1: program names, kernel counts and inputs.
+pub fn table1() -> Vec<Table1Row> {
+    registry::all()
+        .iter()
+        .map(|b| Table1Row {
+            name: b.spec().name.to_string(),
+            key: b.spec().key.to_string(),
+            suite: b.spec().suite,
+            kernels: b.spec().kernels,
+            inputs: b.inputs().iter().map(|i| i.name.to_string()).collect(),
+        })
+        .collect()
+}
+
+/// One Table-2 row: per-suite measurement variability.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table2Row {
+    pub suite: Option<Suite>,
+    pub max_time_pct: f64,
+    pub max_energy_pct: f64,
+    pub avg_time_pct: f64,
+    pub avg_energy_pct: f64,
+}
+
+/// Table 2: maximum and average run-to-run variability over three
+/// repetitions per program (default configuration).
+pub fn table2() -> Vec<Table2Row> {
+    let keys: Vec<&'static str> = registry::all().iter().map(|b| b.spec().key).collect();
+    let vars: Vec<(Suite, f64, f64)> = keys
+        .par_iter()
+        .filter_map(|key| {
+            let b = registry::by_key(key).unwrap();
+            let input = &b.inputs()[0];
+            let m = measure_median3(b.as_ref(), input, GpuConfigKind::Default, 0).ok()?;
+            Some((
+                b.spec().suite,
+                m.time_variability_pct,
+                m.energy_variability_pct,
+            ))
+        })
+        .collect();
+    let mut rows = Vec::new();
+    let mut push = |suite: Option<Suite>, v: Vec<&(Suite, f64, f64)>| {
+        if v.is_empty() {
+            return;
+        }
+        rows.push(Table2Row {
+            suite,
+            max_time_pct: v.iter().map(|x| x.1).fold(0.0, f64::max),
+            max_energy_pct: v.iter().map(|x| x.2).fold(0.0, f64::max),
+            avg_time_pct: v.iter().map(|x| x.1).sum::<f64>() / v.len() as f64,
+            avg_energy_pct: v.iter().map(|x| x.2).sum::<f64>() / v.len() as f64,
+        });
+    };
+    for suite in Suite::ALL {
+        push(Some(suite), vars.iter().filter(|x| x.0 == suite).collect());
+    }
+    push(None, vars.iter().collect());
+    rows
+}
+
+/// One Table-3 cell: a variant's time/energy/power relative to the default
+/// implementation under one configuration. `None` when the variant (or
+/// the baseline) produced too few power samples at that configuration.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table3Row {
+    pub algorithm: &'static str,
+    pub variant: &'static str,
+    pub config: GpuConfigKind,
+    pub time_ratio: Option<f64>,
+    pub energy_ratio: Option<f64>,
+    pub power_ratio: Option<f64>,
+}
+
+/// Table 3: L-BFS (`atomic`, `wla`) and SSSP (`wlc`, `wln`) relative to
+/// their default implementations on the largest road map, across all four
+/// configurations.
+pub fn table3() -> Vec<Table3Row> {
+    let cells: Vec<(&'static str, &'static str, &'static str)> = vec![
+        ("L-BFS", "atomic", "lbfs-atomic"),
+        ("L-BFS", "wla", "lbfs-wla"),
+        ("SSSP", "wlc", "sssp-wlc"),
+        ("SSSP", "wln", "sssp-wln"),
+    ];
+    let base_key = |alg: &str| if alg == "L-BFS" { "lbfs" } else { "sssp" };
+    let mut jobs = Vec::new();
+    for (alg, variant, key) in &cells {
+        for config in GpuConfigKind::ALL {
+            jobs.push((*alg, *variant, *key, config));
+        }
+    }
+    jobs.par_iter()
+        .map(|(alg, variant, key, config)| {
+            let run = |k: &str| -> Result<MedianMeasurement, PowerError> {
+                let b = registry::by_key(k).unwrap();
+                let input = b.inputs().last().unwrap().clone(); // entire USA
+                measure_median3(b.as_ref(), &input, *config, 0)
+            };
+            let base = run(base_key(alg));
+            let alt = run(key);
+            let (t, e, p) = match (base, alt) {
+                (Ok(b), Ok(a)) => (
+                    Some(a.reading.active_runtime_s / b.reading.active_runtime_s),
+                    Some(a.reading.energy_j / b.reading.energy_j),
+                    Some(a.reading.avg_power_w / b.reading.avg_power_w),
+                ),
+                _ => (None, None, None),
+            };
+            Table3Row {
+                algorithm: alg,
+                variant,
+                config: *config,
+                time_ratio: t,
+                energy_ratio: e,
+                power_ratio: p,
+            }
+        })
+        .collect()
+}
+
+/// One Table-4 row: a BFS implementation's cost per 100k processed items.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table4Row {
+    pub key: &'static str,
+    /// (time, energy, power) per 100k vertices.
+    pub per_vertex: (f64, f64, f64),
+    /// (time, energy, power) per 100k edges.
+    pub per_edge: (f64, f64, f64),
+}
+
+/// Table 4: cross-suite BFS comparison, cost per 100k processed vertices
+/// and edges on each implementation's largest input (default config).
+pub fn table4() -> Vec<Table4Row> {
+    ["lbfs", "pbfs", "rbfs", "sbfs"]
+        .par_iter()
+        .map(|key| {
+            let b = registry::by_key(key).unwrap();
+            let input = b.inputs().last().unwrap().clone();
+            let m = measure_median3(b.as_ref(), &input, GpuConfigKind::Default, 0)
+                .expect("BFS implementations must be measurable at default");
+            let items = m.items.expect("BFS programs report item counts");
+            let per = |count: u64| {
+                let units = count as f64 / 100_000.0;
+                (
+                    m.reading.active_runtime_s / units,
+                    m.reading.energy_j / units,
+                    m.reading.avg_power_w / units,
+                )
+            };
+            Table4Row {
+                key,
+                per_vertex: per(items.vertices),
+                per_edge: per(items.edges),
+            }
+        })
+        .collect()
+}
+
+/// One row of the companion technical report's detailed results (the
+/// paper's reference [6]): absolute medians for one program-input under
+/// one configuration.
+#[derive(Debug, Clone, Serialize)]
+pub struct TrDetailRow {
+    pub key: String,
+    pub suite: Suite,
+    pub input: String,
+    pub config: GpuConfigKind,
+    /// `None` when the run produced too few power samples.
+    pub time_s: Option<f64>,
+    pub energy_j: Option<f64>,
+    pub power_w: Option<f64>,
+}
+
+/// The technical report's detailed per-program results: every program,
+/// every input, every configuration, absolute medians.
+pub fn tr_detail(reps: u64) -> Vec<TrDetailRow> {
+    let mut jobs = Vec::new();
+    for b in registry::all() {
+        for input in b.inputs() {
+            for config in GpuConfigKind::ALL {
+                jobs.push((b.spec().key, input.clone(), config));
+            }
+        }
+    }
+    jobs.par_iter()
+        .map(|(key, input, config)| {
+            let b = registry::by_key(key).unwrap();
+            let r = if reps >= 3 {
+                measure_median3(b.as_ref(), input, *config, 0).map(|m| m.reading)
+            } else {
+                crate::experiment::measure(b.as_ref(), input, *config, 0).map(|m| m.reading)
+            };
+            let (t, e, p) = match r {
+                Ok(r) => (
+                    Some(r.active_runtime_s),
+                    Some(r.energy_j),
+                    Some(r.avg_power_w),
+                ),
+                Err(_) => (None, None, None),
+            };
+            TrDetailRow {
+                key: key.to_string(),
+                suite: b.spec().suite,
+                input: input.name.to_string(),
+                config: *config,
+                time_s: t,
+                energy_j: e,
+                power_w: p,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_is_complete() {
+        let t = table1();
+        assert_eq!(t.len(), 34);
+        assert!(t.iter().any(|r| r.name == "L-BFS" && r.kernels == 5));
+        assert!(t.iter().all(|r| !r.inputs.is_empty()));
+    }
+}

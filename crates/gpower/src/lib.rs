@@ -1,0 +1,32 @@
+//! GPU power-measurement substrate.
+//!
+//! The paper measures every program through the K20's built-in power sensor
+//! using the *K20Power* tool (Burtscher, Zecena, Zong — GPGPU-7, 2014).
+//! This crate reproduces that whole measurement pipeline:
+//!
+//! 1. [`trace::PowerTrace`] — the "ground truth" piecewise-constant power
+//!    draw of the (simulated) GPU over time, produced by the `kepler-sim`
+//!    crate.
+//! 2. [`sensor::PowerSensor`] — an emulation of the on-board sensor: a
+//!    first-order low-pass response (the K20 sensor has roughly a one-second
+//!    time constant), 1 Hz sampling while the GPU looks idle and 10 Hz once
+//!    the smoothed power exceeds an activation level, plus measurement noise
+//!    and quantization.
+//! 3. [`k20power::K20Power`] — the measurement tool: picks a dynamic power
+//!    threshold, extracts the *active runtime* (time spent above the
+//!    threshold), integrates energy over the active window, and rejects runs
+//!    that produced too few active samples — the exact mechanism by which
+//!    the paper excludes programs from the 324-MHz configuration.
+//! 4. [`stats`] — median-of-three methodology, run-to-run variability, and
+//!    the box statistics (median / quartiles / whiskers) used by the paper's
+//!    Figures 2, 3, 4 and 6.
+
+pub mod k20power;
+pub mod sensor;
+pub mod stats;
+pub mod trace;
+
+pub use k20power::{K20Power, K20PowerConfig, PowerError, Reading};
+pub use sensor::{PowerSensor, Sample, SensorConfig};
+pub use stats::{box_stats, median, variability_pct, BoxStats};
+pub use trace::PowerTrace;

@@ -1,0 +1,265 @@
+//! Emulation of the K20's on-board power sensor.
+//!
+//! The real sensor does not report instantaneous power: it has a slow,
+//! roughly first-order response (time constant on the order of a second),
+//! and the driver samples it at 1 Hz while the board looks idle, switching
+//! to 10 Hz only once the reading exceeds an activation level. Both
+//! properties matter for the paper: the smoothing produces the ramp and
+//! "tail" visible in its Figure 1, and the 1 Hz idle rate is why the 324-MHz
+//! configuration (whose power rarely exceeds the activation level) yields
+//! too few samples for many programs.
+
+use crate::trace::PowerTrace;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One sensor reading.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Timestamp in seconds since the start of the trace.
+    pub t: f64,
+    /// Reported power in watts.
+    pub watts: f64,
+}
+
+/// Sensor behaviour parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SensorConfig {
+    /// First-order smoothing time constant in seconds.
+    pub tau_s: f64,
+    /// Sampling rate while the smoothed power is below `activation_w`.
+    pub idle_rate_hz: f64,
+    /// Sampling rate once the smoothed power exceeds `activation_w`.
+    pub active_rate_hz: f64,
+    /// Smoothed-power level at which the driver switches to the active
+    /// sampling rate.
+    pub activation_w: f64,
+    /// Standard deviation of additive Gaussian-ish measurement noise.
+    pub noise_w: f64,
+    /// Quantization step of the reported value in watts.
+    pub quant_w: f64,
+}
+
+impl Default for SensorConfig {
+    fn default() -> Self {
+        Self {
+            tau_s: 0.8,
+            idle_rate_hz: 1.0,
+            active_rate_hz: 10.0,
+            activation_w: 44.0,
+            noise_w: 0.35,
+            quant_w: 0.01,
+        }
+    }
+}
+
+/// The emulated sensor. Feed it a ground-truth [`PowerTrace`] and it yields
+/// the time-stamped samples an observer (the K20Power tool) would see.
+#[derive(Debug, Clone, Default)]
+pub struct PowerSensor {
+    pub config: SensorConfig,
+}
+
+/// Internal integration step for the low-pass filter, seconds. Much smaller
+/// than both the smoothing time constant and the active sample period.
+const FILTER_DT: f64 = 0.01;
+
+impl PowerSensor {
+    pub fn new(config: SensorConfig) -> Self {
+        Self { config }
+    }
+
+    /// Sample `trace`, starting from a steady state equal to the trace's
+    /// initial power. `seed` controls the measurement noise, so repeated
+    /// "runs" see different noise, like real hardware.
+    pub fn sample(&self, trace: &PowerTrace, seed: u64) -> Vec<Sample> {
+        let cfg = &self.config;
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        let end = trace.end_time();
+        if end <= 0.0 {
+            return Vec::new();
+        }
+        let mut samples = Vec::with_capacity((end * cfg.active_rate_hz) as usize + 4);
+        // The filter starts settled at the initial power (GPU idling before
+        // the run began).
+        let mut smoothed = trace.watts_at(0.0);
+        let alpha = 1.0 - (-FILTER_DT / cfg.tau_s).exp();
+        let mut t = 0.0;
+        let mut next_sample = 0.0;
+        while t < end {
+            smoothed += (trace.watts_at(t) - smoothed) * alpha;
+            if t + 1e-12 >= next_sample {
+                let noise = gaussian(&mut rng) * cfg.noise_w;
+                let raw = (smoothed + noise).max(0.0);
+                let q = if cfg.quant_w > 0.0 {
+                    (raw / cfg.quant_w).round() * cfg.quant_w
+                } else {
+                    raw
+                };
+                samples.push(Sample { t, watts: q });
+                let rate = if smoothed >= cfg.activation_w {
+                    cfg.active_rate_hz
+                } else {
+                    cfg.idle_rate_hz
+                };
+                next_sample = t + 1.0 / rate;
+            }
+            t += FILTER_DT;
+        }
+        samples
+    }
+}
+
+/// Box–Muller standard normal deviate.
+fn gaussian(rng: &mut SmallRng) -> f64 {
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat_trace(duration: f64, watts: f64) -> PowerTrace {
+        let mut t = PowerTrace::new();
+        t.push(duration, watts);
+        t
+    }
+
+    fn noiseless() -> PowerSensor {
+        PowerSensor::new(SensorConfig {
+            noise_w: 0.0,
+            quant_w: 0.0,
+            ..SensorConfig::default()
+        })
+    }
+
+    #[test]
+    fn idle_trace_sampled_at_1hz() {
+        let s = noiseless();
+        let samples = s.sample(&flat_trace(10.0, 25.0), 1);
+        // 10 seconds at 1 Hz -> ~10 samples.
+        assert!((9..=11).contains(&samples.len()), "{}", samples.len());
+        for w in &samples {
+            assert!((w.watts - 25.0).abs() < 0.5);
+        }
+    }
+
+    #[test]
+    fn busy_trace_sampled_at_10hz() {
+        let s = noiseless();
+        let samples = s.sample(&flat_trace(5.0, 120.0), 1);
+        // After a short warm-up at 1 Hz the rate switches to 10 Hz.
+        assert!(samples.len() > 35, "{}", samples.len());
+    }
+
+    #[test]
+    fn smoothing_lags_step() {
+        let s = noiseless();
+        let mut tr = PowerTrace::new();
+        tr.push(3.0, 25.0);
+        tr.push(3.0, 125.0);
+        tr.push(3.0, 25.0);
+        let samples = s.sample(&tr, 7);
+        // No sample should overshoot the true peak, and the first samples
+        // after the step must still be well below it (lag).
+        let peak = samples.iter().map(|s| s.watts).fold(0.0, f64::max);
+        assert!(peak <= 125.5);
+        let just_after_step = samples
+            .iter()
+            .find(|s| s.t > 3.05)
+            .expect("sample after step");
+        assert!(just_after_step.watts < 100.0);
+        // And the tail after the drop decays gradually: some sample between
+        // 6s and 7s still reads well above idle.
+        let tail = samples
+            .iter()
+            .find(|s| s.t > 6.2 && s.t < 7.0)
+            .expect("tail sample");
+        assert!(tail.watts > 40.0, "tail was {}", tail.watts);
+    }
+
+    #[test]
+    fn low_power_run_yields_few_samples() {
+        // The 324-MHz phenomenon: power never crosses the activation level,
+        // so only the 1 Hz idle rate applies.
+        let s = noiseless();
+        let samples = s.sample(&flat_trace(6.0, 40.0), 3);
+        assert!(samples.len() <= 8, "{}", samples.len());
+    }
+
+    #[test]
+    fn empty_trace_yields_no_samples() {
+        let s = noiseless();
+        assert!(s.sample(&PowerTrace::new(), 0).is_empty());
+    }
+
+    #[test]
+    fn noise_depends_on_seed() {
+        let s = PowerSensor::new(SensorConfig::default());
+        let tr = flat_trace(5.0, 80.0);
+        let a = s.sample(&tr, 1);
+        let b = s.sample(&tr, 2);
+        assert_eq!(a.len(), b.len());
+        assert!(a.iter().zip(&b).any(|(x, y)| x.watts != y.watts));
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            /// Sample count is bounded by the active rate, timestamps are
+            /// monotone, and readings never go negative.
+            #[test]
+            fn prop_sampling_bounds(
+                segs in proptest::collection::vec((0.1f64..5.0, 10.0f64..200.0), 1..8),
+                seed in 0u64..1000,
+            ) {
+                let mut tr = PowerTrace::new();
+                for (d, w) in &segs {
+                    tr.push(*d, *w);
+                }
+                let sensor = PowerSensor::new(SensorConfig::default());
+                let samples = sensor.sample(&tr, seed);
+                let dur: f64 = segs.iter().map(|(d, _)| d).sum();
+                prop_assert!(samples.len() as f64 <= dur * 10.0 + 2.0);
+                for w in samples.windows(2) {
+                    prop_assert!(w[1].t > w[0].t);
+                }
+                for s in &samples {
+                    prop_assert!(s.watts >= 0.0);
+                }
+            }
+
+            /// The smoothed reading never overshoots the trace's peak by
+            /// more than the noise floor.
+            #[test]
+            fn prop_no_overshoot(w1 in 20.0f64..60.0, w2 in 60.0f64..220.0, seed in 0u64..100) {
+                let mut tr = PowerTrace::new();
+                tr.push(2.0, w1);
+                tr.push(4.0, w2);
+                tr.push(2.0, w1);
+                let sensor = PowerSensor::new(SensorConfig { noise_w: 0.0, quant_w: 0.0, ..SensorConfig::default() });
+                let samples = sensor.sample(&tr, seed);
+                for s in &samples {
+                    prop_assert!(s.watts <= w2 + 1e-6);
+                    prop_assert!(s.watts >= w1 - 1e-6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn samples_are_monotone_in_time() {
+        let s = PowerSensor::new(SensorConfig::default());
+        let samples = s.sample(&flat_trace(4.0, 90.0), 9);
+        for w in samples.windows(2) {
+            assert!(w[1].t > w[0].t);
+        }
+    }
+}

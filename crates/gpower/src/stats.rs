@@ -1,0 +1,154 @@
+//! Statistics used by the paper's methodology: median-of-three runs,
+//! run-to-run variability (Table 2) and the box statistics behind
+//! Figures 2, 3, 4 and 6 (median bar, quartile box, min/max whiskers).
+
+use serde::{Deserialize, Serialize};
+
+/// Median of a slice (mean of the middle two for even lengths).
+/// Panics on an empty slice.
+pub fn median(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "median of empty slice");
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        0.5 * (v[n / 2 - 1] + v[n / 2])
+    }
+}
+
+/// Linear-interpolation percentile, `q` in [0, 1]. Panics on empty input.
+pub fn percentile(values: &[f64], q: f64) -> f64 {
+    assert!(!values.is_empty(), "percentile of empty slice");
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pos = q.clamp(0.0, 1.0) * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        v[lo] + (v[hi] - v[lo]) * (pos - lo as f64)
+    }
+}
+
+/// The paper's variability metric for a set of repeated measurements:
+/// the difference between the highest and lowest value, as a percentage of
+/// the median. Returns 0 for fewer than two values.
+pub fn variability_pct(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let max = values.iter().copied().fold(f64::MIN, f64::max);
+    let min = values.iter().copied().fold(f64::MAX, f64::min);
+    let med = median(values);
+    if med == 0.0 {
+        0.0
+    } else {
+        100.0 * (max - min) / med
+    }
+}
+
+/// Median / quartiles / extremes of a set of values — one box-and-whisker
+/// glyph in the paper's figures.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoxStats {
+    pub min: f64,
+    pub q1: f64,
+    pub median: f64,
+    pub q3: f64,
+    pub max: f64,
+    pub n: usize,
+}
+
+/// Compute [`BoxStats`]. Panics on empty input.
+pub fn box_stats(values: &[f64]) -> BoxStats {
+    assert!(!values.is_empty(), "box_stats of empty slice");
+    BoxStats {
+        min: values.iter().copied().fold(f64::MAX, f64::min),
+        q1: percentile(values, 0.25),
+        median: median(values),
+        q3: percentile(values, 0.75),
+        max: values.iter().copied().fold(f64::MIN, f64::max),
+        n: values.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[7.0]), 7.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn median_empty_panics() {
+        median(&[]);
+    }
+
+    #[test]
+    fn percentile_endpoints() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 1.0), 4.0);
+        assert_eq!(percentile(&v, 0.5), 2.5);
+    }
+
+    #[test]
+    fn variability_matches_definition() {
+        // max 1.05, min 0.95, median 1.0 -> 10 %
+        let v = [1.0, 0.95, 1.05];
+        assert!((variability_pct(&v) - 10.0).abs() < 1e-9);
+        assert_eq!(variability_pct(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn box_stats_ordering() {
+        let v = [5.0, 1.0, 3.0, 2.0, 4.0];
+        let b = box_stats(&v);
+        assert_eq!(b.min, 1.0);
+        assert_eq!(b.max, 5.0);
+        assert_eq!(b.median, 3.0);
+        assert!(b.q1 <= b.median && b.median <= b.q3);
+        assert_eq!(b.n, 5);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_box_stats_invariants(v in proptest::collection::vec(0.0f64..1e6, 1..64)) {
+            let b = box_stats(&v);
+            prop_assert!(b.min <= b.q1);
+            prop_assert!(b.q1 <= b.median);
+            prop_assert!(b.median <= b.q3);
+            prop_assert!(b.q3 <= b.max);
+        }
+
+        #[test]
+        fn prop_median_bounded(v in proptest::collection::vec(-1e6f64..1e6, 1..64)) {
+            let m = median(&v);
+            let min = v.iter().copied().fold(f64::MAX, f64::min);
+            let max = v.iter().copied().fold(f64::MIN, f64::max);
+            prop_assert!(m >= min && m <= max);
+        }
+
+        #[test]
+        fn prop_variability_nonnegative(v in proptest::collection::vec(0.1f64..1e6, 2..16)) {
+            prop_assert!(variability_pct(&v) >= 0.0);
+        }
+
+        #[test]
+        fn prop_median_scale_invariance(v in proptest::collection::vec(0.0f64..1e3, 1..32), k in 0.1f64..10.0) {
+            let scaled: Vec<f64> = v.iter().map(|x| x * k).collect();
+            let lhs = median(&scaled);
+            let rhs = median(&v) * k;
+            prop_assert!((lhs - rhs).abs() <= 1e-9 * rhs.abs().max(1.0));
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Ground-truth power-over-time traces.
+//!
+//! A [`PowerTrace`] is a piecewise-constant function of time describing the
+//! instantaneous power draw of the GPU. The simulator emits one segment per
+//! scheduler interval; adjacent segments with (nearly) equal wattage are
+//! merged so long steady phases stay O(1) in memory.
+
+use serde::{Deserialize, Serialize};
+
+/// One piecewise-constant segment: power `watts` over `[t0, t1)` seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    pub t0: f64,
+    pub t1: f64,
+    pub watts: f64,
+}
+
+impl Segment {
+    /// Energy of this segment in joules.
+    #[inline]
+    pub fn energy(&self) -> f64 {
+        (self.t1 - self.t0) * self.watts
+    }
+}
+
+/// A piecewise-constant power draw over time, in chronological order.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PowerTrace {
+    segs: Vec<Segment>,
+}
+
+/// Merge tolerance: segments whose wattage differs by less than this many
+/// watts are coalesced into one.
+const MERGE_EPS_W: f64 = 1e-3;
+
+impl PowerTrace {
+    /// An empty trace starting at t = 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a segment of `watts` lasting `duration` seconds at the end of
+    /// the trace. Zero/negative durations are ignored.
+    pub fn push(&mut self, duration: f64, watts: f64) {
+        if duration <= 0.0 {
+            return;
+        }
+        let t0 = self.end_time();
+        if let Some(last) = self.segs.last_mut() {
+            if (last.watts - watts).abs() < MERGE_EPS_W {
+                last.t1 = t0 + duration;
+                return;
+            }
+        }
+        self.segs.push(Segment {
+            t0,
+            t1: t0 + duration,
+            watts,
+        });
+    }
+
+    /// Time at which the trace ends (0 for an empty trace).
+    pub fn end_time(&self) -> f64 {
+        self.segs.last().map_or(0.0, |s| s.t1)
+    }
+
+    /// Total energy in joules over the full trace.
+    pub fn total_energy(&self) -> f64 {
+        self.segs.iter().map(Segment::energy).sum()
+    }
+
+    /// Instantaneous power at time `t`. Times outside the trace return the
+    /// power of the nearest segment (or 0 for an empty trace); this models a
+    /// sensor that keeps reading the idle level.
+    pub fn watts_at(&self, t: f64) -> f64 {
+        if self.segs.is_empty() {
+            return 0.0;
+        }
+        // Binary search for the segment containing t.
+        let idx = self.segs.partition_point(|s| s.t1 <= t);
+        if idx >= self.segs.len() {
+            return self.segs.last().unwrap().watts;
+        }
+        self.segs[idx].watts
+    }
+
+    /// Maximum instantaneous power in the trace.
+    pub fn peak_watts(&self) -> f64 {
+        self.segs.iter().map(|s| s.watts).fold(0.0, f64::max)
+    }
+
+    /// Minimum instantaneous power in the trace.
+    pub fn min_watts(&self) -> f64 {
+        self.segs
+            .iter()
+            .map(|s| s.watts)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// The segments in chronological order.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segs
+    }
+
+    /// Number of stored (merged) segments.
+    pub fn len(&self) -> usize {
+        self.segs.len()
+    }
+
+    /// True when no segment has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.segs.is_empty()
+    }
+
+    /// Concatenate another trace at the end of this one (its times are
+    /// shifted so it starts where this trace ends).
+    pub fn extend_with(&mut self, other: &PowerTrace) {
+        for s in &other.segs {
+            self.push(s.t1 - s.t0, s.watts);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_trace_basics() {
+        let t = PowerTrace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.end_time(), 0.0);
+        assert_eq!(t.total_energy(), 0.0);
+        assert_eq!(t.watts_at(1.0), 0.0);
+    }
+
+    #[test]
+    fn push_and_energy() {
+        let mut t = PowerTrace::new();
+        t.push(2.0, 25.0); // 50 J
+        t.push(1.0, 100.0); // 100 J
+        assert_eq!(t.len(), 2);
+        assert!((t.total_energy() - 150.0).abs() < 1e-9);
+        assert_eq!(t.end_time(), 3.0);
+    }
+
+    #[test]
+    fn adjacent_equal_segments_merge() {
+        let mut t = PowerTrace::new();
+        t.push(1.0, 40.0);
+        t.push(1.0, 40.0);
+        t.push(1.0, 40.0 + 1e-5);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.end_time(), 3.0);
+    }
+
+    #[test]
+    fn zero_duration_ignored() {
+        let mut t = PowerTrace::new();
+        t.push(0.0, 40.0);
+        t.push(-1.0, 40.0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn watts_at_lookup() {
+        let mut t = PowerTrace::new();
+        t.push(1.0, 25.0);
+        t.push(1.0, 100.0);
+        assert_eq!(t.watts_at(0.5), 25.0);
+        assert_eq!(t.watts_at(1.5), 100.0);
+        // Exactly on a boundary belongs to the later segment.
+        assert_eq!(t.watts_at(1.0), 100.0);
+        // Past the end: hold last value.
+        assert_eq!(t.watts_at(5.0), 100.0);
+    }
+
+    #[test]
+    fn peak_and_min() {
+        let mut t = PowerTrace::new();
+        t.push(1.0, 25.0);
+        t.push(1.0, 120.0);
+        t.push(1.0, 45.0);
+        assert_eq!(t.peak_watts(), 120.0);
+        assert_eq!(t.min_watts(), 25.0);
+    }
+
+    #[test]
+    fn extend_with_shifts_times() {
+        let mut a = PowerTrace::new();
+        a.push(1.0, 25.0);
+        let mut b = PowerTrace::new();
+        b.push(2.0, 50.0);
+        a.extend_with(&b);
+        assert_eq!(a.end_time(), 3.0);
+        assert!((a.total_energy() - 125.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,591 @@
+//! The CUDA-like execution context kernels run in.
+//!
+//! A block executes its threads in *phases*: each
+//! [`BlockCtx::for_each_thread`] call runs the closure once per thread (in
+//! thread-id order) and ends with an implicit `__syncthreads()` barrier, so
+//! shared-memory producer/consumer patterns across phases are well defined.
+//! Within a phase, each thread records an op stream; at the phase boundary
+//! the streams are folded into warp instructions by [`crate::warp`].
+
+use crate::buffer::{DevBuffer, DevCopy, GlobalMem};
+use crate::cost::BlockCost;
+use crate::ops::{CompClass, Op};
+use crate::warp::reduce_warp;
+use std::any::Any;
+use std::marker::PhantomData;
+
+/// A typed handle to a block's shared-memory array.
+pub struct SharedBuf<T> {
+    slot: usize,
+    word_base: u32,
+    len: usize,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> Clone for SharedBuf<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SharedBuf<T> {}
+
+impl<T> SharedBuf<T> {
+    pub fn len(&self) -> usize {
+        self.len
+    }
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Per-block execution context: functional state plus the trace recorder.
+pub struct BlockCtx<'a> {
+    pub(crate) mem: &'a mut GlobalMem,
+    block_idx: u32,
+    grid_dim: u32,
+    block_dim: u32,
+    streams: Vec<Vec<Op>>,
+    shared: Vec<Box<dyn Any + Send>>,
+    shared_words: u32,
+    cost: BlockCost,
+    phases: u32,
+}
+
+impl<'a> BlockCtx<'a> {
+    pub(crate) fn new(mem: &'a mut GlobalMem, block_idx: u32, grid_dim: u32, block_dim: u32) -> Self {
+        assert!(block_dim >= 1 && block_dim <= 1024, "block size 1..=1024");
+        Self {
+            mem,
+            block_idx,
+            grid_dim,
+            block_dim,
+            streams: vec![Vec::new(); block_dim as usize],
+            shared: Vec::new(),
+            shared_words: 0,
+            cost: BlockCost {
+                threads: block_dim,
+                warps: block_dim.div_ceil(32),
+                ..BlockCost::default()
+            },
+            phases: 0,
+        }
+    }
+
+    /// This block's index within the grid.
+    pub fn block_idx(&self) -> u32 {
+        self.block_idx
+    }
+
+    /// Number of blocks in the grid.
+    pub fn grid_dim(&self) -> u32 {
+        self.grid_dim
+    }
+
+    /// Threads per block.
+    pub fn block_dim(&self) -> u32 {
+        self.block_dim
+    }
+
+    /// Allocate a shared-memory array of `len` default-initialized `T`s.
+    pub fn shared_alloc<T: DevCopy>(&mut self, len: usize) -> SharedBuf<T> {
+        let slot = self.shared.len();
+        self.shared.push(Box::new(vec![T::default(); len]));
+        let word_base = self.shared_words;
+        self.shared_words += ((len * std::mem::size_of::<T>()).div_ceil(4)) as u32;
+        SharedBuf {
+            slot,
+            word_base,
+            len,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Run one phase: the closure executes once per thread, in thread order,
+    /// followed by an implicit barrier. Returns after the phase's trace has
+    /// been folded into the block cost.
+    pub fn for_each_thread(&mut self, mut f: impl FnMut(&mut ThreadCtx<'_, 'a>)) {
+        for tid in 0..self.block_dim {
+            let mut tc = ThreadCtx { blk: self, tid };
+            f(&mut tc);
+        }
+        self.end_phase();
+    }
+
+    fn end_phase(&mut self) {
+        let block_dim = self.block_dim as usize;
+        for w in 0..block_dim.div_ceil(32) {
+            let lo = w * 32;
+            let hi = (lo + 32).min(block_dim);
+            reduce_warp(&self.streams[lo..hi], &mut self.cost);
+        }
+        for s in &mut self.streams {
+            s.clear();
+        }
+        if self.phases > 0 {
+            // Barrier cost: each warp re-issues a sync instruction.
+            self.cost.barriers += 1;
+            self.cost.issue_cycles += 2.0 * self.cost.warps as f64;
+        }
+        self.phases += 1;
+    }
+
+    /// Finish the block and return its accumulated cost.
+    pub(crate) fn into_cost(self) -> BlockCost {
+        self.cost
+    }
+
+    fn shared_vec<T: DevCopy>(&self, s: &SharedBuf<T>) -> &Vec<T> {
+        self.shared[s.slot]
+            .downcast_ref::<Vec<T>>()
+            .expect("shared buffer type mismatch")
+    }
+
+    fn shared_vec_mut<T: DevCopy>(&mut self, s: &SharedBuf<T>) -> &mut Vec<T> {
+        self.shared[s.slot]
+            .downcast_mut::<Vec<T>>()
+            .expect("shared buffer type mismatch")
+    }
+}
+
+/// Per-thread view of the block context: the API kernels program against.
+pub struct ThreadCtx<'b, 'a> {
+    blk: &'b mut BlockCtx<'a>,
+    tid: u32,
+}
+
+macro_rules! atomic_rmw {
+    ($(#[$doc:meta])* $name:ident, $t:ty, $op:expr) => {
+        $(#[$doc])*
+        pub fn $name(&mut self, buf: &DevBuffer<$t>, idx: usize, v: $t) -> $t {
+            self.push(Op::GAtom { addr: buf.addr_of(idx) });
+            let old = self.blk.mem.load(buf, idx);
+            let f: fn($t, $t) -> $t = $op;
+            self.blk.mem.store(buf, idx, f(old, v));
+            old
+        }
+    };
+}
+
+impl<'b, 'a> ThreadCtx<'b, 'a> {
+    #[inline]
+    fn push(&mut self, op: Op) {
+        let stream = &mut self.blk.streams[self.tid as usize];
+        // Merge back-to-back compute ops of the same class so stream length
+        // tracks instruction slots.
+        if let (Op::Comp { class, n }, Some(Op::Comp { class: lc, n: ln })) =
+            (op, stream.last_mut())
+        {
+            if *lc == class {
+                *ln += n;
+                return;
+            }
+        }
+        stream.push(op);
+    }
+
+    /// Thread index within the block.
+    pub fn tid(&self) -> u32 {
+        self.tid
+    }
+
+    /// Global thread index (`blockIdx.x * blockDim.x + threadIdx.x`).
+    pub fn gtid(&self) -> u32 {
+        self.blk.block_idx * self.blk.block_dim + self.tid
+    }
+
+    pub fn block_idx(&self) -> u32 {
+        self.blk.block_idx
+    }
+
+    pub fn block_dim(&self) -> u32 {
+        self.blk.block_dim
+    }
+
+    pub fn grid_dim(&self) -> u32 {
+        self.blk.grid_dim
+    }
+
+    /// Total threads in the grid.
+    pub fn grid_threads(&self) -> u32 {
+        self.blk.grid_dim * self.blk.block_dim
+    }
+
+    // ---- global memory ----
+
+    /// Global load.
+    #[inline]
+    pub fn ld<T: DevCopy>(&mut self, buf: &DevBuffer<T>, idx: usize) -> T {
+        self.push(Op::Gld {
+            addr: buf.addr_of(idx),
+            bytes: std::mem::size_of::<T>() as u32,
+        });
+        self.blk.mem.load(buf, idx)
+    }
+
+    /// Global store.
+    #[inline]
+    pub fn st<T: DevCopy>(&mut self, buf: &DevBuffer<T>, idx: usize, v: T) {
+        self.push(Op::Gst {
+            addr: buf.addr_of(idx),
+            bytes: std::mem::size_of::<T>() as u32,
+        });
+        self.blk.mem.store(buf, idx, v);
+    }
+
+    // ---- global atomics ----
+
+    atomic_rmw!(
+        /// `atomicAdd` on a `u32` word; returns the old value.
+        atomic_add_u32, u32, |a, b| a.wrapping_add(b));
+    atomic_rmw!(
+        /// `atomicSub` on a `u32` word; returns the old value.
+        atomic_sub_u32, u32, |a, b| a.wrapping_sub(b));
+    atomic_rmw!(
+        /// `atomicMin` on a `u32` word; returns the old value.
+        atomic_min_u32, u32, |a, b| a.min(b));
+    atomic_rmw!(
+        /// `atomicMax` on a `u32` word; returns the old value.
+        atomic_max_u32, u32, |a, b| a.max(b));
+    atomic_rmw!(
+        /// `atomicOr` on a `u32` word; returns the old value.
+        atomic_or_u32, u32, |a, b| a | b);
+    atomic_rmw!(
+        /// `atomicExch` on a `u32` word; returns the old value.
+        atomic_exch_u32, u32, |_a, b| b);
+    atomic_rmw!(
+        /// `atomicAdd` on an `i32` word; returns the old value.
+        atomic_add_i32, i32, |a, b| a.wrapping_add(b));
+    atomic_rmw!(
+        /// `atomicMin` on an `i32` word; returns the old value.
+        atomic_min_i32, i32, |a, b| a.min(b));
+    atomic_rmw!(
+        /// `atomicAdd` on an `f32` word; returns the old value.
+        atomic_add_f32, f32, |a, b| a + b);
+    atomic_rmw!(
+        /// `atomicMin` on an `f32` word; returns the old value.
+        atomic_min_f32, f32, |a, b| if b < a { b } else { a });
+
+    /// `atomicCAS` on a `u32` word; returns the old value.
+    pub fn atomic_cas_u32(&mut self, buf: &DevBuffer<u32>, idx: usize, cmp: u32, val: u32) -> u32 {
+        self.push(Op::GAtom {
+            addr: buf.addr_of(idx),
+        });
+        let old = self.blk.mem.load(buf, idx);
+        if old == cmp {
+            self.blk.mem.store(buf, idx, val);
+        }
+        old
+    }
+
+    // ---- shared memory ----
+
+    /// Shared-memory load.
+    pub fn sld<T: DevCopy>(&mut self, s: &SharedBuf<T>, idx: usize) -> T {
+        let word = s.word_base + ((idx * std::mem::size_of::<T>()) / 4) as u32;
+        self.push(Op::Shm { word });
+        self.blk.shared_vec(s)[idx]
+    }
+
+    /// Shared-memory store.
+    pub fn sst<T: DevCopy>(&mut self, s: &SharedBuf<T>, idx: usize, v: T) {
+        let word = s.word_base + ((idx * std::mem::size_of::<T>()) / 4) as u32;
+        self.push(Op::Shm { word });
+        self.blk.shared_vec_mut(s)[idx] = v;
+    }
+
+    // ---- compute ----
+
+    /// Record `n` FP32 adds/subs/compares.
+    #[inline]
+    pub fn fp32_add(&mut self, n: u32) {
+        self.comp(CompClass::Fp32Add, n);
+    }
+
+    /// Record `n` FP32 multiplies.
+    #[inline]
+    pub fn fp32_mul(&mut self, n: u32) {
+        self.comp(CompClass::Fp32Mul, n);
+    }
+
+    /// Record `n` FP32 fused multiply-adds (2 FLOPs each).
+    #[inline]
+    pub fn fma32(&mut self, n: u32) {
+        self.comp(CompClass::Fp32Fma, n);
+    }
+
+    /// Record `n` FP64 operations.
+    #[inline]
+    pub fn fp64(&mut self, n: u32) {
+        self.comp(CompClass::Fp64, n);
+    }
+
+    /// Record `n` integer/logic/address ops.
+    #[inline]
+    pub fn int_op(&mut self, n: u32) {
+        self.comp(CompClass::Int, n);
+    }
+
+    /// Record `n` special-function ops (sqrt, sin, exp, 1/x ...).
+    #[inline]
+    pub fn sfu(&mut self, n: u32) {
+        self.comp(CompClass::Sfu, n);
+    }
+
+    /// Record `n` conflict-free shared-memory accesses in aggregate. Use
+    /// this for tight tile loops together with [`ThreadCtx::shared_get`];
+    /// for conflict-sensitive patterns use [`ThreadCtx::sld`]/[`ThreadCtx::sst`]
+    /// which analyze banks per access.
+    #[inline]
+    pub fn smem(&mut self, n: u32) {
+        self.comp(CompClass::Shared, n);
+    }
+
+    /// Functional read of shared memory with no trace recording; pair with
+    /// [`ThreadCtx::smem`] to account for the traffic in aggregate.
+    pub fn shared_get<T: DevCopy>(&self, s: &SharedBuf<T>, idx: usize) -> T {
+        self.blk.shared_vec(s)[idx]
+    }
+
+    /// Functional write of shared memory with no trace recording; pair with
+    /// [`ThreadCtx::smem`].
+    pub fn shared_set<T: DevCopy>(&mut self, s: &SharedBuf<T>, idx: usize, v: T) {
+        self.blk.shared_vec_mut(s)[idx] = v;
+    }
+
+    #[inline]
+    fn comp(&mut self, class: CompClass, n: u32) {
+        if n > 0 {
+            self.push(Op::Comp { class, n });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::CompClass;
+
+    fn with_block<R>(block_dim: u32, f: impl FnOnce(&mut BlockCtx) -> R) -> (R, BlockCost) {
+        let mut mem = GlobalMem::new();
+        let mut blk = BlockCtx::new(&mut mem, 0, 1, block_dim);
+        let r = f(&mut blk);
+        (r, blk.into_cost())
+    }
+
+    #[test]
+    fn thread_ids_and_dims() {
+        let ((), cost) = with_block(64, |blk| {
+            let mut seen = Vec::new();
+            blk.for_each_thread(|t| {
+                seen.push((t.tid(), t.gtid(), t.block_dim(), t.grid_dim()));
+            });
+            assert_eq!(seen.len(), 64);
+            assert_eq!(seen[5], (5, 5, 64, 1));
+        });
+        assert_eq!(cost.threads, 64);
+        assert_eq!(cost.warps, 2);
+    }
+
+    #[test]
+    fn global_roundtrip_through_threads() {
+        let mut mem = GlobalMem::new();
+        let buf = mem.alloc::<u32>(32);
+        let mut blk = BlockCtx::new(&mut mem, 0, 1, 32);
+        blk.for_each_thread(|t| {
+            let i = t.tid() as usize;
+            t.st(&buf, i, t.tid() * 2);
+        });
+        blk.for_each_thread(|t| {
+            let i = t.tid() as usize;
+            let v = t.ld(&buf, i);
+            assert_eq!(v, t.tid() * 2);
+        });
+        let cost = blk.into_cost();
+        // Coalesced store + coalesced load -> 2 transactions total.
+        assert_eq!(cost.transactions, 2);
+        assert_eq!(cost.barriers, 1); // second phase adds a barrier
+        assert_eq!(mem.slice(&buf)[7], 14);
+    }
+
+    #[test]
+    fn shared_memory_across_phases() {
+        let ((), _cost) = with_block(32, |blk| {
+            let sh = blk.shared_alloc::<u32>(32);
+            blk.for_each_thread(|t| {
+                let i = t.tid() as usize;
+                t.sst(&sh, i, t.tid() + 100);
+            });
+            // Reversed consumption only works because of the barrier.
+            blk.for_each_thread(|t| {
+                let i = 31 - t.tid() as usize;
+                assert_eq!(t.sld(&sh, i), 31 - t.tid() + 100);
+            });
+        });
+    }
+
+    #[test]
+    fn atomic_add_accumulates_across_threads() {
+        let mut mem = GlobalMem::new();
+        let buf = mem.alloc::<u32>(1);
+        let mut blk = BlockCtx::new(&mut mem, 0, 1, 128);
+        blk.for_each_thread(|t| {
+            t.atomic_add_u32(&buf, 0, 1);
+        });
+        let cost = blk.into_cost();
+        assert_eq!(mem.slice(&buf)[0], 128);
+        assert_eq!(cost.atomics, 128);
+    }
+
+    #[test]
+    fn atomic_cas_first_writer_wins() {
+        let mut mem = GlobalMem::new();
+        let buf = mem.alloc_init::<u32>(1, u32::MAX);
+        let mut blk = BlockCtx::new(&mut mem, 0, 1, 16);
+        let mut winners = 0;
+        blk.for_each_thread(|t| {
+            if t.atomic_cas_u32(&buf, 0, u32::MAX, t.tid()) == u32::MAX {
+                winners += 1;
+            }
+        });
+        assert_eq!(winners, 1);
+        assert_eq!(mem.slice(&buf)[0], 0); // thread 0 ran first
+    }
+
+    #[test]
+    fn atomic_min_and_max() {
+        let mut mem = GlobalMem::new();
+        let lo = mem.alloc_init::<u32>(1, u32::MAX);
+        let hi = mem.alloc::<u32>(1);
+        let mut blk = BlockCtx::new(&mut mem, 0, 1, 32);
+        blk.for_each_thread(|t| {
+            t.atomic_min_u32(&lo, 0, 100 - t.tid());
+            t.atomic_max_u32(&hi, 0, t.tid());
+        });
+        assert_eq!(mem.slice(&lo)[0], 69);
+        assert_eq!(mem.slice(&hi)[0], 31);
+    }
+
+    #[test]
+    fn atomic_f32_add() {
+        let mut mem = GlobalMem::new();
+        let acc = mem.alloc::<f32>(1);
+        let mut blk = BlockCtx::new(&mut mem, 0, 1, 64);
+        blk.for_each_thread(|t| {
+            t.atomic_add_f32(&acc, 0, 0.5);
+        });
+        assert!((mem.slice(&acc)[0] - 32.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn compute_ops_merge_in_stream() {
+        let ((), cost) = with_block(32, |blk| {
+            blk.for_each_thread(|t| {
+                for _ in 0..10 {
+                    t.fma32(1);
+                }
+                t.int_op(3);
+            });
+        });
+        assert_eq!(cost.lane_ops[CompClass::Fp32Fma.idx()], 320);
+        assert_eq!(cost.lane_ops[CompClass::Int.idx()], 96);
+        // Merged: one fma slot-run of 10 + one int run of 3 -> 13 slots.
+        assert_eq!(cost.slots, 13);
+    }
+
+    #[test]
+    fn divergent_exit_shows_in_cost() {
+        let ((), cost) = with_block(32, |blk| {
+            blk.for_each_thread(|t| {
+                if t.tid() < 8 {
+                    t.fma32(20);
+                }
+            });
+        });
+        assert!(cost.divergence() > 0.7);
+    }
+
+    #[test]
+    fn zero_count_compute_ignored() {
+        let ((), cost) = with_block(32, |blk| {
+            blk.for_each_thread(|t| t.fma32(0));
+        });
+        assert_eq!(cost.slots, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "block size")]
+    fn oversized_block_rejected() {
+        let mut mem = GlobalMem::new();
+        let _ = BlockCtx::new(&mut mem, 0, 1, 2048);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            /// For any access pattern, DRAM traffic covers the useful bytes
+            /// and the divergence fraction stays in [0, 1].
+            #[test]
+            fn prop_cost_invariants(
+                idxs in proptest::collection::vec(0usize..4096, 1..256),
+                block_dim in 1u32..=256,
+            ) {
+                let mut mem = GlobalMem::new();
+                let buf = mem.alloc::<u32>(4096);
+                let mut blk = BlockCtx::new(&mut mem, 0, 1, block_dim);
+                blk.for_each_thread(|t| {
+                    let i = t.tid() as usize;
+                    if i < idxs.len() {
+                        let _ = t.ld(&buf, idxs[i]);
+                        t.int_op((i % 5) as u32 + 1);
+                    }
+                });
+                let cost = blk.into_cost();
+                prop_assert!(cost.dram_bytes >= cost.useful_bytes);
+                prop_assert!(cost.issue_cycles > 0.0);
+                let d = cost.divergence();
+                prop_assert!((0.0..=1.0).contains(&d), "divergence {}", d);
+                prop_assert!(cost.ideal_transactions <= cost.transactions);
+            }
+
+            /// Atomics functionally accumulate regardless of the pattern.
+            #[test]
+            fn prop_atomic_add_sums(adds in proptest::collection::vec(1u32..100, 1..128)) {
+                let mut mem = GlobalMem::new();
+                let acc = mem.alloc::<u32>(1);
+                let dim = adds.len() as u32;
+                let mut blk = BlockCtx::new(&mut mem, 0, 1, dim);
+                blk.for_each_thread(|t| {
+                    t.atomic_add_u32(&acc, 0, adds[t.tid() as usize]);
+                });
+                let expect: u32 = adds.iter().sum();
+                prop_assert_eq!(mem.slice(&acc)[0], expect);
+            }
+
+            /// Shared memory round-trips any permutation across a barrier.
+            #[test]
+            fn prop_shared_roundtrip(perm_seed in 0u64..1000) {
+                use rand::seq::SliceRandom;
+                use rand::SeedableRng;
+                let mut r = rand::rngs::SmallRng::seed_from_u64(perm_seed);
+                let mut perm: Vec<usize> = (0..64).collect();
+                perm.shuffle(&mut r);
+                let mut mem = GlobalMem::new();
+                let mut blk = BlockCtx::new(&mut mem, 0, 1, 64);
+                let sh = blk.shared_alloc::<u32>(64);
+                blk.for_each_thread(|t| {
+                    let i = t.tid() as usize;
+                    t.sst(&sh, perm[i], i as u32 * 3);
+                });
+                blk.for_each_thread(|t| {
+                    let i = t.tid() as usize;
+                    let got = t.sld(&sh, perm[i]);
+                    assert_eq!(got, i as u32 * 3);
+                });
+            }
+        }
+    }
+}

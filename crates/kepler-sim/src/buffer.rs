@@ -1,0 +1,202 @@
+//! Functional device memory: typed global buffers in a flat address space.
+//!
+//! Every buffer gets a 256-byte-aligned base address so element indices map
+//! to the byte addresses that the coalescing analysis operates on.
+
+use std::any::Any;
+use std::marker::PhantomData;
+
+/// Types that may live in device memory.
+pub trait DevCopy: Copy + Default + Send + Sync + 'static {}
+impl<T: Copy + Default + Send + Sync + 'static> DevCopy for T {}
+
+/// A typed handle to a device buffer. Cheap to copy; the storage lives in
+/// [`GlobalMem`].
+pub struct DevBuffer<T> {
+    pub(crate) id: usize,
+    pub(crate) base: u64,
+    pub(crate) len: usize,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> Clone for DevBuffer<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for DevBuffer<T> {}
+
+impl<T> DevBuffer<T> {
+    /// Number of elements in the buffer.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Byte address of element `idx`.
+    #[inline]
+    pub fn addr_of(&self, idx: usize) -> u64 {
+        self.base + (idx * std::mem::size_of::<T>()) as u64
+    }
+}
+
+struct Slot {
+    data: Box<dyn Any + Send + Sync>,
+}
+
+/// The device's global memory: an arena of typed buffers.
+#[derive(Default)]
+pub struct GlobalMem {
+    slots: Vec<Slot>,
+    next_base: u64,
+}
+
+const BASE_ALIGN: u64 = 256;
+
+impl GlobalMem {
+    pub fn new() -> Self {
+        Self {
+            slots: Vec::new(),
+            next_base: BASE_ALIGN,
+        }
+    }
+
+    /// Allocate a zero/default-initialized buffer of `len` elements.
+    pub fn alloc<T: DevCopy>(&mut self, len: usize) -> DevBuffer<T> {
+        self.alloc_init(len, T::default())
+    }
+
+    /// Allocate a buffer of `len` copies of `init`.
+    pub fn alloc_init<T: DevCopy>(&mut self, len: usize, init: T) -> DevBuffer<T> {
+        let bytes = (len * std::mem::size_of::<T>()) as u64;
+        let base = self.next_base;
+        self.next_base += bytes.div_ceil(BASE_ALIGN).max(1) * BASE_ALIGN;
+        let id = self.slots.len();
+        self.slots.push(Slot {
+            data: Box::new(vec![init; len]),
+        });
+        DevBuffer {
+            id,
+            base,
+            len,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Allocate a buffer initialized from a host slice.
+    pub fn alloc_from<T: DevCopy>(&mut self, data: &[T]) -> DevBuffer<T> {
+        let buf = self.alloc::<T>(data.len());
+        self.vec_mut(&buf).copy_from_slice(data);
+        buf
+    }
+
+    /// Immutable view of a buffer's contents.
+    pub fn slice<T: DevCopy>(&self, buf: &DevBuffer<T>) -> &[T] {
+        self.slots[buf.id]
+            .data
+            .downcast_ref::<Vec<T>>()
+            .expect("buffer type mismatch")
+    }
+
+    /// Mutable view of a buffer's contents.
+    pub fn vec_mut<T: DevCopy>(&mut self, buf: &DevBuffer<T>) -> &mut [T] {
+        self.slots[buf.id]
+            .data
+            .downcast_mut::<Vec<T>>()
+            .expect("buffer type mismatch")
+    }
+
+    /// Functional load.
+    #[inline]
+    pub fn load<T: DevCopy>(&self, buf: &DevBuffer<T>, idx: usize) -> T {
+        self.slice(buf)[idx]
+    }
+
+    /// Functional store.
+    #[inline]
+    pub fn store<T: DevCopy>(&mut self, buf: &DevBuffer<T>, idx: usize, v: T) {
+        self.vec_mut(buf)[idx] = v;
+    }
+
+    /// Total bytes currently allocated (for tests/reporting).
+    pub fn allocated_bytes(&self) -> u64 {
+        self.next_base - BASE_ALIGN
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_roundtrip() {
+        let mut m = GlobalMem::new();
+        let b = m.alloc_from(&[1u32, 2, 3]);
+        assert_eq!(b.len(), 3);
+        assert_eq!(m.load(&b, 1), 2);
+        m.store(&b, 1, 42);
+        assert_eq!(m.slice(&b), &[1, 42, 3]);
+    }
+
+    #[test]
+    fn buffers_do_not_overlap() {
+        let mut m = GlobalMem::new();
+        let a = m.alloc::<u64>(100);
+        let b = m.alloc::<u64>(100);
+        let a_end = a.addr_of(99) + 8;
+        assert!(b.addr_of(0) >= a_end);
+    }
+
+    #[test]
+    fn addresses_are_aligned_and_typed() {
+        let mut m = GlobalMem::new();
+        let a = m.alloc::<f32>(10);
+        assert_eq!(a.addr_of(0) % 256, 0);
+        assert_eq!(a.addr_of(3) - a.addr_of(0), 12);
+        let b = m.alloc::<f64>(10);
+        assert_eq!(b.addr_of(2) - b.addr_of(0), 16);
+    }
+
+    #[test]
+    fn default_initialized() {
+        let mut m = GlobalMem::new();
+        let a = m.alloc::<i32>(4);
+        assert_eq!(m.slice(&a), &[0, 0, 0, 0]);
+        let b = m.alloc_init(3, 7u8);
+        assert_eq!(m.slice(&b), &[7, 7, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn type_confusion_panics() {
+        let mut m = GlobalMem::new();
+        let a = m.alloc::<u32>(4);
+        // Forge a differently-typed handle to the same slot.
+        let forged = DevBuffer::<f64> {
+            id: a.id,
+            base: a.base,
+            len: a.len,
+            _marker: PhantomData,
+        };
+        let _ = m.load(&forged, 0);
+    }
+
+    #[test]
+    fn empty_buffer_is_fine() {
+        let mut m = GlobalMem::new();
+        let a = m.alloc::<u32>(0);
+        assert!(a.is_empty());
+        assert_eq!(m.slice(&a).len(), 0);
+    }
+
+    #[test]
+    fn allocated_bytes_tracks_usage() {
+        let mut m = GlobalMem::new();
+        assert_eq!(m.allocated_bytes(), 0);
+        m.alloc::<u8>(1000);
+        assert!(m.allocated_bytes() >= 1000);
+    }
+}

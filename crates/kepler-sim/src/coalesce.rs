@@ -1,0 +1,172 @@
+//! Memory-transaction coalescing.
+//!
+//! If the active threads of a warp access words that lie in the same aligned
+//! 128-byte segment, the hardware merges the accesses into one transaction;
+//! accesses spanning multiple segments issue one serial transaction per
+//! segment. This is the paper's central mechanism for the cost of irregular
+//! (uncoalesced) memory access.
+
+/// Segment size in bytes (L2/DRAM transaction granularity on Kepler).
+pub const SEGMENT_BYTES: u64 = 128;
+
+/// Result of coalescing one warp-wide memory instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Coalesced {
+    /// Number of 128-byte transactions issued.
+    pub transactions: u32,
+    /// Bytes actually requested by the lanes (useful bytes).
+    pub useful_bytes: u32,
+    /// Number of active lanes.
+    pub lanes: u32,
+}
+
+impl Coalesced {
+    /// Bytes moved over DRAM (full segments).
+    #[inline]
+    pub fn dram_bytes(&self) -> u64 {
+        self.transactions as u64 * SEGMENT_BYTES
+    }
+
+    /// The minimum number of transactions that could have served the useful
+    /// bytes, i.e. perfectly-coalesced traffic.
+    #[inline]
+    pub fn ideal_transactions(&self) -> u32 {
+        (self.useful_bytes as u64).div_ceil(SEGMENT_BYTES).max(1) as u32
+    }
+}
+
+/// Coalesce the byte addresses of a warp's active lanes, each accessing
+/// `bytes[i]` bytes at `addrs[i]`. Up to 32 lanes.
+pub fn coalesce(addrs: &[u64], bytes: &[u32]) -> Coalesced {
+    debug_assert_eq!(addrs.len(), bytes.len());
+    debug_assert!(addrs.len() <= 32);
+    if addrs.is_empty() {
+        return Coalesced {
+            transactions: 0,
+            useful_bytes: 0,
+            lanes: 0,
+        };
+    }
+    // Collect distinct segment ids. 32 entries: a tiny sorted scratch array
+    // beats a hash set here.
+    let mut segs = [0u64; 64];
+    let mut n_segs = 0usize;
+    let mut useful = 0u32;
+    for (&a, &b) in addrs.iter().zip(bytes) {
+        useful += b;
+        let first = a / SEGMENT_BYTES;
+        let last = (a + b.max(1) as u64 - 1) / SEGMENT_BYTES;
+        for s in first..=last {
+            if !segs[..n_segs].contains(&s) && n_segs < segs.len() {
+                segs[n_segs] = s;
+                n_segs += 1;
+            }
+        }
+    }
+    Coalesced {
+        transactions: n_segs as u32,
+        useful_bytes: useful,
+        lanes: addrs.len() as u32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn warp_addrs(f: impl Fn(u64) -> u64) -> (Vec<u64>, Vec<u32>) {
+        ((0..32).map(f).collect(), vec![4u32; 32])
+    }
+
+    #[test]
+    fn unit_stride_fp32_is_one_transaction() {
+        let (a, b) = warp_addrs(|i| 4096 + 4 * i);
+        let c = coalesce(&a, &b);
+        assert_eq!(c.transactions, 1);
+        assert_eq!(c.useful_bytes, 128);
+        assert_eq!(c.dram_bytes(), 128);
+    }
+
+    #[test]
+    fn unit_stride_fp64_is_two_transactions() {
+        let a: Vec<u64> = (0..32).map(|i| 4096 + 8 * i).collect();
+        let c = coalesce(&a, &vec![8u32; 32]);
+        assert_eq!(c.transactions, 2);
+        assert_eq!(c.useful_bytes, 256);
+    }
+
+    #[test]
+    fn fully_scattered_is_32_transactions() {
+        let (a, b) = warp_addrs(|i| 4096 + 1024 * i);
+        let c = coalesce(&a, &b);
+        assert_eq!(c.transactions, 32);
+        assert_eq!(c.dram_bytes(), 32 * 128);
+        assert_eq!(c.ideal_transactions(), 1);
+    }
+
+    #[test]
+    fn strided_by_two_words_is_one_segment() {
+        // stride 8 bytes over 32 lanes covers 256 bytes -> 2 segments.
+        let (a, b) = warp_addrs(|i| 4096 + 8 * i);
+        let c = coalesce(&a, &b);
+        assert_eq!(c.transactions, 2);
+    }
+
+    #[test]
+    fn same_address_broadcast_is_one_transaction() {
+        let (a, b) = warp_addrs(|_| 4096);
+        let c = coalesce(&a, &b);
+        assert_eq!(c.transactions, 1);
+        assert_eq!(c.lanes, 32);
+    }
+
+    #[test]
+    fn misaligned_unit_stride_spans_two_segments() {
+        let (a, b) = warp_addrs(|i| 4096 + 64 + 4 * i);
+        let c = coalesce(&a, &b);
+        assert_eq!(c.transactions, 2);
+    }
+
+    #[test]
+    fn partial_warp() {
+        let a: Vec<u64> = (0..7).map(|i| 4096 + 4 * i).collect();
+        let c = coalesce(&a, &vec![4u32; 7]);
+        assert_eq!(c.transactions, 1);
+        assert_eq!(c.lanes, 7);
+        assert_eq!(c.useful_bytes, 28);
+    }
+
+    #[test]
+    fn empty_warp() {
+        let c = coalesce(&[], &[]);
+        assert_eq!(c.transactions, 0);
+        assert_eq!(c.lanes, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_txn_bounds(words in proptest::collection::vec(0u64..250_000, 1..33)) {
+            // 4-byte accesses are word-aligned on real hardware.
+            let addrs: Vec<u64> = words.iter().map(|w| w * 4).collect();
+            let bytes = vec![4u32; addrs.len()];
+            let c = coalesce(&addrs, &bytes);
+            // At least one transaction, at most one per lane (4-byte words
+            // never straddle segments).
+            prop_assert!(c.transactions >= 1);
+            prop_assert!(c.transactions <= addrs.len() as u32);
+            // DRAM traffic always covers the useful bytes.
+            prop_assert!(c.dram_bytes() >= c.useful_bytes as u64);
+        }
+
+        #[test]
+        fn prop_permutation_invariant(mut addrs in proptest::collection::vec(0u64..100_000, 2..33)) {
+            let bytes = vec![4u32; addrs.len()];
+            let a = coalesce(&addrs, &bytes);
+            addrs.reverse();
+            let b = coalesce(&addrs, &bytes);
+            prop_assert_eq!(a.transactions, b.transactions);
+            prop_assert_eq!(a.useful_bytes, b.useful_bytes);
+        }
+    }
+}

@@ -1,0 +1,365 @@
+//! Device configuration: architecture constants of the simulated K20c,
+//! clock/voltage settings for the paper's four configurations, ECC, and the
+//! calibrated power-model parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// A core/memory clock pair with the voltages that DVFS assigns to each
+/// domain. Voltages are *relative* to the default configuration (1.0).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClockConfig {
+    /// Core (SM) clock in MHz.
+    pub core_mhz: f64,
+    /// Memory clock in MHz (the K20's default is 2600 MHz effective).
+    pub mem_mhz: f64,
+    /// Core-domain voltage relative to the default configuration.
+    pub core_vrel: f64,
+    /// Memory-domain voltage relative to the default configuration.
+    pub mem_vrel: f64,
+}
+
+impl ClockConfig {
+    /// The paper's "default" configuration: 705 MHz core, 2.6 GHz memory.
+    pub fn k20_default() -> Self {
+        Self {
+            core_mhz: 705.0,
+            mem_mhz: 2600.0,
+            core_vrel: 1.0,
+            mem_vrel: 1.0,
+        }
+    }
+
+    /// The paper's "614" configuration: 614 MHz core, 2.6 GHz memory. The
+    /// slowest compute clock available at the default memory clock; DVFS
+    /// also lowers the core voltage.
+    pub fn k20_614() -> Self {
+        Self {
+            core_mhz: 614.0,
+            mem_mhz: 2600.0,
+            core_vrel: 0.95,
+            mem_vrel: 1.0,
+        }
+    }
+
+    /// The paper's "324" configuration: 324 MHz core *and* memory — the
+    /// slowest available setting (memory bandwidth drops ~8x).
+    pub fn k20_324() -> Self {
+        Self {
+            core_mhz: 324.0,
+            mem_mhz: 324.0,
+            core_vrel: 0.85,
+            mem_vrel: 0.85,
+        }
+    }
+
+    /// All six clock settings the K20c driver exposes (the paper evaluates
+    /// three of them: default, 614 and 324).
+    pub fn k20_all_settings() -> [ClockConfig; 6] {
+        [
+            Self::k20_758(),
+            Self::k20_default(),
+            Self::k20_666(),
+            Self::k20_640(),
+            Self::k20_614(),
+            Self::k20_324(),
+        ]
+    }
+
+    /// 758 MHz core / 2.6 GHz memory — the boost setting the paper found
+    /// too hot to sustain ("the GPU throttles itself down").
+    pub fn k20_758() -> Self {
+        Self {
+            core_mhz: 758.0,
+            mem_mhz: 2600.0,
+            core_vrel: 1.03,
+            mem_vrel: 1.0,
+        }
+    }
+
+    /// 666 MHz core / 2.6 GHz memory.
+    pub fn k20_666() -> Self {
+        Self {
+            core_mhz: 666.0,
+            mem_mhz: 2600.0,
+            core_vrel: 0.98,
+            mem_vrel: 1.0,
+        }
+    }
+
+    /// 640 MHz core / 2.6 GHz memory.
+    pub fn k20_640() -> Self {
+        Self {
+            core_mhz: 640.0,
+            mem_mhz: 2600.0,
+            core_vrel: 0.96,
+            mem_vrel: 1.0,
+        }
+    }
+
+    /// Core clock in Hz.
+    pub fn core_hz(&self) -> f64 {
+        self.core_mhz * 1e6
+    }
+}
+
+/// Calibrated power-model parameters. Energies are at the default voltage;
+/// dynamic energy scales with the square of the relative domain voltage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerParams {
+    /// Board idle power (clocked down, nothing resident), watts.
+    pub idle_w: f64,
+    /// Additional static power while any kernel is resident, watts at the
+    /// default core voltage (scales with core voltage squared).
+    pub active_overhead_w: f64,
+    /// Power while the driver keeps the GPU "warm" between kernel launches
+    /// and during the post-run tail, watts (above idle).
+    pub gap_overhead_w: f64,
+    /// Duration of the post-run tail before clocking down, seconds.
+    pub tail_s: f64,
+    /// Energy per lane FP32 add, joules.
+    pub e_fp32_add: f64,
+    /// Energy per lane FP32 multiply, joules.
+    pub e_fp32_mul: f64,
+    /// Energy per lane FP32 fused multiply-add, joules.
+    pub e_fp32_fma: f64,
+    /// Energy per lane FP64 op, joules.
+    pub e_fp64: f64,
+    /// Energy per lane integer/logic op, joules.
+    pub e_int: f64,
+    /// Energy per lane special-function op (sqrt, sin, exp...), joules.
+    pub e_sfu: f64,
+    /// Energy per lane shared-memory access, joules.
+    pub e_shared: f64,
+    /// Energy per DRAM byte moved, joules.
+    pub e_dram_byte: f64,
+    /// Energy per DRAM transaction (control/row overhead), joules.
+    pub e_txn: f64,
+    /// Energy per global atomic operation, joules.
+    pub e_atomic: f64,
+    /// Energy per *idle* lane-slot in an issued warp instruction: branch
+    /// divergence still pays fetch/decode/scheduling power, which is why
+    /// the paper finds irregular codes drawing more power than regular
+    /// memory-bound ones.
+    pub e_idle_lane: f64,
+}
+
+impl Default for PowerParams {
+    fn default() -> Self {
+        Self {
+            idle_w: 25.0,
+            active_overhead_w: 15.0,
+            gap_overhead_w: 13.0,
+            tail_s: 2.5,
+            e_fp32_add: 70e-12,
+            e_fp32_mul: 78e-12,
+            e_fp32_fma: 92e-12,
+            e_fp64: 300e-12,
+            e_int: 62e-12,
+            e_sfu: 270e-12,
+            e_shared: 20e-12,
+            e_dram_byte: 0.06e-9,
+            e_txn: 3.2e-9,
+            e_atomic: 3.5e-9,
+            e_idle_lane: 55e-12,
+        }
+    }
+}
+
+/// Full device configuration: K20c architecture constants plus the
+/// experiment-variable settings (clocks, ECC, jitter seed).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeviceConfig {
+    pub clocks: ClockConfig,
+    /// ECC protection of main memory.
+    pub ecc: bool,
+    pub power: PowerParams,
+    /// Number of streaming multiprocessors (13 on the K20c).
+    pub num_sms: usize,
+    /// Issue-throughput lanes per SM per class; see [`crate::ops`].
+    pub max_blocks_per_sm: usize,
+    pub max_threads_per_sm: usize,
+    pub max_warps_per_sm: usize,
+    pub shared_bytes_per_sm: usize,
+    pub registers_per_sm: usize,
+    /// Resident warps per SM needed for full issue-rate utilization
+    /// (latency hiding).
+    pub latency_hiding_warps: f64,
+    /// Peak DRAM bandwidth at the default memory clock, bytes/s, after
+    /// typical access efficiency.
+    pub dram_peak_bps: f64,
+    /// Base DRAM round-trip latency at the default memory clock, seconds.
+    pub dram_latency_s: f64,
+    /// Outstanding 128-byte segments per warp (memory-level parallelism).
+    pub mlp_per_warp: f64,
+    /// ECC effective-bandwidth multiplier (< 1.0).
+    pub ecc_bw_factor: f64,
+    /// Extra DRAM traffic fraction for ECC codes on coalesced accesses.
+    pub ecc_coalesced_overhead: f64,
+    /// Additional ECC traffic fraction applied to the *uncoalesced* share
+    /// of a block's traffic (ECC words straddle partially-used segments).
+    pub ecc_uncoalesced_overhead: f64,
+    /// Per-launch host/driver overhead, seconds.
+    pub launch_overhead_s: f64,
+    /// Run-to-run jitter magnitude (relative, ~0.3%); the harness varies
+    /// `jitter_seed` across repetitions.
+    pub jitter: f64,
+    pub jitter_seed: u64,
+    /// Model ablation: shuffle co-resident block interleaving (the
+    /// timing-dependent-irregularity mechanism). Disable to make dispatch
+    /// strictly index-ordered.
+    pub interleave_shuffle: bool,
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        Self::k20c(ClockConfig::k20_default(), false)
+    }
+}
+
+impl DeviceConfig {
+    /// A Tesla K40 (15 SMs, 288 GB/s GDDR5, 745 MHz base). The paper
+    /// repeated its experiments on K20m/K20x/K40 boards and found the same
+    /// shapes after scaling the absolute numbers; this preset lets the
+    /// harness do the same.
+    pub fn k40(ecc: bool) -> Self {
+        let mut c = Self::k20c(
+            ClockConfig {
+                core_mhz: 745.0,
+                mem_mhz: 3000.0,
+                core_vrel: 1.0,
+                mem_vrel: 1.0,
+            },
+            ecc,
+        );
+        c.num_sms = 15;
+        c.dram_peak_bps = 235e9;
+        c.power.idle_w = 26.0;
+        c.power.active_overhead_w = 17.0;
+        c
+    }
+
+    /// A Tesla K20x (14 SMs, 732 MHz, 250 GB/s).
+    pub fn k20x(ecc: bool) -> Self {
+        let mut c = Self::k20c(
+            ClockConfig {
+                core_mhz: 732.0,
+                mem_mhz: 2600.0,
+                core_vrel: 1.0,
+                mem_vrel: 1.0,
+            },
+            ecc,
+        );
+        c.num_sms = 14;
+        c.dram_peak_bps = 200e9;
+        c
+    }
+
+    /// A Tesla K20c with the given clock configuration and ECC setting.
+    pub fn k20c(clocks: ClockConfig, ecc: bool) -> Self {
+        Self {
+            clocks,
+            ecc,
+            power: PowerParams::default(),
+            num_sms: 13,
+            max_blocks_per_sm: 16,
+            max_threads_per_sm: 2048,
+            max_warps_per_sm: 64,
+            shared_bytes_per_sm: 48 * 1024,
+            registers_per_sm: 65536,
+            latency_hiding_warps: 12.0,
+            dram_peak_bps: 175e9,
+            dram_latency_s: 0.40e-6,
+            mlp_per_warp: 6.0,
+            ecc_bw_factor: 0.90,
+            ecc_coalesced_overhead: 0.08,
+            ecc_uncoalesced_overhead: 0.22,
+            launch_overhead_s: 25e-6,
+            jitter: 0.004,
+            jitter_seed: 0,
+            interleave_shuffle: true,
+        }
+    }
+
+    /// Effective DRAM bandwidth in bytes/s for the current clocks and ECC
+    /// setting.
+    pub fn dram_bytes_per_s(&self) -> f64 {
+        let scale = self.clocks.mem_mhz / 2600.0;
+        let ecc = if self.ecc { self.ecc_bw_factor } else { 1.0 };
+        self.dram_peak_bps * scale * ecc
+    }
+
+    /// DRAM round-trip latency in seconds for the current memory clock.
+    pub fn dram_latency(&self) -> f64 {
+        // Part of the latency is fixed (interconnect), part scales with the
+        // memory clock.
+        let scale = 2600.0 / self.clocks.mem_mhz;
+        self.dram_latency_s * (0.5 + 0.5 * scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_705_2600() {
+        let c = DeviceConfig::default();
+        assert_eq!(c.clocks.core_mhz, 705.0);
+        assert_eq!(c.clocks.mem_mhz, 2600.0);
+        assert!(!c.ecc);
+        assert_eq!(c.num_sms, 13);
+    }
+
+    #[test]
+    fn dram_bandwidth_scales_with_mem_clock() {
+        let hi = DeviceConfig::k20c(ClockConfig::k20_default(), false);
+        let lo = DeviceConfig::k20c(ClockConfig::k20_324(), false);
+        let ratio = hi.dram_bytes_per_s() / lo.dram_bytes_per_s();
+        assert!((ratio - 2600.0 / 324.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ecc_reduces_bandwidth() {
+        let off = DeviceConfig::k20c(ClockConfig::k20_default(), false);
+        let on = DeviceConfig::k20c(ClockConfig::k20_default(), true);
+        assert!(on.dram_bytes_per_s() < off.dram_bytes_per_s());
+    }
+
+    #[test]
+    fn latency_grows_at_low_mem_clock() {
+        let hi = DeviceConfig::k20c(ClockConfig::k20_default(), false);
+        let lo = DeviceConfig::k20c(ClockConfig::k20_324(), false);
+        assert!(lo.dram_latency() > 2.0 * hi.dram_latency());
+    }
+
+    #[test]
+    fn six_clock_settings_are_ordered() {
+        let settings = ClockConfig::k20_all_settings();
+        assert_eq!(settings.len(), 6);
+        for w in settings.windows(2) {
+            assert!(w[0].core_mhz > w[1].core_mhz);
+            assert!(w[0].core_vrel >= w[1].core_vrel);
+        }
+        // Only the lowest setting touches the memory clock.
+        assert!(settings[..5].iter().all(|c| c.mem_mhz == 2600.0));
+        assert_eq!(settings[5].mem_mhz, 324.0);
+    }
+
+    #[test]
+    fn bigger_boards_have_more_of_everything() {
+        let k20c = DeviceConfig::default();
+        let k20x = DeviceConfig::k20x(false);
+        let k40 = DeviceConfig::k40(false);
+        assert!(k20x.num_sms > k20c.num_sms);
+        assert!(k40.num_sms > k20x.num_sms);
+        assert!(k40.dram_bytes_per_s() > k20c.dram_bytes_per_s());
+    }
+
+    #[test]
+    fn voltage_follows_frequency() {
+        assert!(ClockConfig::k20_614().core_vrel < ClockConfig::k20_default().core_vrel);
+        assert!(ClockConfig::k20_324().core_vrel < ClockConfig::k20_614().core_vrel);
+        assert_eq!(ClockConfig::k20_614().mem_vrel, 1.0);
+        assert!(ClockConfig::k20_324().mem_vrel < 1.0);
+    }
+}

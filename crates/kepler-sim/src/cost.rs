@@ -1,0 +1,216 @@
+//! Per-block cost accumulation: the raw, clock-independent quantities a
+//! block's trace reduces to, and their conversion to energy.
+
+use crate::config::{DeviceConfig, PowerParams};
+use crate::ops::CompClass;
+use serde::{Deserialize, Serialize};
+
+/// Everything the timing/power layers need to know about one executed block.
+/// All quantities are clock-independent; the scheduler turns cycles into
+/// seconds at the configured core clock and bytes into seconds at the DRAM
+/// bandwidth.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct BlockCost {
+    /// SM issue cycles consumed by this block's warps (compute + LSU +
+    /// replays + bank conflicts + barriers).
+    pub issue_cycles: f64,
+    /// Bytes moved over DRAM (full 128-byte segments), before ECC overhead.
+    pub dram_bytes: f64,
+    /// Bytes actually requested by lanes (<= dram_bytes).
+    pub useful_bytes: f64,
+    /// DRAM transactions issued.
+    pub transactions: u64,
+    /// Transactions a perfectly coalesced access pattern would have needed.
+    pub ideal_transactions: u64,
+    /// Global atomic lane-operations.
+    pub atomics: u64,
+    /// Lane-level op counts per [`CompClass`] (indexed by `CompClass::idx`).
+    pub lane_ops: [u64; 7],
+    /// Shared-memory lane accesses.
+    pub shared_accesses: u64,
+    /// Extra issue cycles lost to shared-memory bank conflicts.
+    pub bank_conflict_cycles: f64,
+    /// `__syncthreads()`-style barriers executed.
+    pub barriers: u64,
+    /// Warp instruction slots issued.
+    pub slots: u64,
+    /// Active lanes over all slots (for divergence: `active/(slots*32)`).
+    pub active_lanes: u64,
+    /// Warps in the block.
+    pub warps: u32,
+    /// Threads in the block.
+    pub threads: u32,
+}
+
+impl BlockCost {
+    /// Compute-side energy (joules) at nominal voltage: lane ops, shared
+    /// memory, and the core-side share of atomics.
+    pub fn comp_energy(&self, p: &PowerParams) -> f64 {
+        let e = [
+            p.e_fp32_add,
+            p.e_fp32_mul,
+            p.e_fp32_fma,
+            p.e_fp64,
+            p.e_int,
+            p.e_sfu,
+            p.e_shared,
+        ];
+        let mut total = 0.0;
+        for c in CompClass::ALL {
+            total += self.lane_ops[c.idx()] as f64 * e[c.idx()];
+        }
+        let idle_lanes = (self.slots * 32).saturating_sub(self.active_lanes);
+        total
+            + self.shared_accesses as f64 * p.e_shared
+            + idle_lanes as f64 * p.e_idle_lane
+    }
+
+    /// Memory-side energy (joules) at nominal voltage: DRAM bytes,
+    /// transaction overhead, and atomics (which are resolved at the L2/DRAM
+    /// on Kepler).
+    pub fn mem_energy(&self, p: &PowerParams) -> f64 {
+        self.dram_bytes * p.e_dram_byte
+            + self.transactions as f64 * p.e_txn
+            + self.atomics as f64 * p.e_atomic
+    }
+
+    /// Fraction of lane slots idled by branch divergence, in `[0, 1]`.
+    pub fn divergence(&self) -> f64 {
+        if self.slots == 0 {
+            return 0.0;
+        }
+        1.0 - self.active_lanes as f64 / (self.slots as f64 * 32.0)
+    }
+
+    /// Fraction of DRAM traffic that perfect coalescing would have avoided.
+    pub fn uncoalesced_fraction(&self) -> f64 {
+        if self.transactions == 0 {
+            return 0.0;
+        }
+        1.0 - (self.ideal_transactions as f64 / self.transactions as f64).min(1.0)
+    }
+
+    /// DRAM bytes after ECC overhead: ECC adds its check-bit traffic, and
+    /// partially-used (uncoalesced) segments pay extra because the ECC words
+    /// covering them must be fetched regardless.
+    pub fn dram_bytes_with_ecc(&self, cfg: &DeviceConfig) -> f64 {
+        if !cfg.ecc {
+            return self.dram_bytes;
+        }
+        let unc = self.uncoalesced_fraction();
+        self.dram_bytes
+            * (1.0 + cfg.ecc_coalesced_overhead + unc * cfg.ecc_uncoalesced_overhead)
+    }
+
+    /// Merge another block's cost into this one (used for per-launch
+    /// aggregation).
+    pub fn merge(&mut self, o: &BlockCost) {
+        self.issue_cycles += o.issue_cycles;
+        self.dram_bytes += o.dram_bytes;
+        self.useful_bytes += o.useful_bytes;
+        self.transactions += o.transactions;
+        self.ideal_transactions += o.ideal_transactions;
+        self.atomics += o.atomics;
+        for i in 0..7 {
+            self.lane_ops[i] += o.lane_ops[i];
+        }
+        self.shared_accesses += o.shared_accesses;
+        self.bank_conflict_cycles += o.bank_conflict_cycles;
+        self.barriers += o.barriers;
+        self.slots += o.slots;
+        self.active_lanes += o.active_lanes;
+        self.warps += o.warps;
+        self.threads += o.threads;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClockConfig;
+
+    fn cost_with(dram: f64, txns: u64, ideal: u64) -> BlockCost {
+        BlockCost {
+            dram_bytes: dram,
+            transactions: txns,
+            ideal_transactions: ideal,
+            ..BlockCost::default()
+        }
+    }
+
+    #[test]
+    fn divergence_zero_when_full_warps() {
+        let c = BlockCost {
+            slots: 10,
+            active_lanes: 320,
+            ..BlockCost::default()
+        };
+        assert_eq!(c.divergence(), 0.0);
+        assert_eq!(BlockCost::default().divergence(), 0.0);
+    }
+
+    #[test]
+    fn divergence_half_when_half_lanes() {
+        let c = BlockCost {
+            slots: 10,
+            active_lanes: 160,
+            ..BlockCost::default()
+        };
+        assert!((c.divergence() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ecc_adds_more_for_uncoalesced() {
+        let cfg_ecc = DeviceConfig::k20c(ClockConfig::k20_default(), true);
+        let coalesced = cost_with(1280.0, 10, 10);
+        let scattered = cost_with(1280.0, 10, 1);
+        let a = coalesced.dram_bytes_with_ecc(&cfg_ecc);
+        let b = scattered.dram_bytes_with_ecc(&cfg_ecc);
+        assert!(a > 1280.0);
+        assert!(b > a);
+        let cfg_off = DeviceConfig::k20c(ClockConfig::k20_default(), false);
+        assert_eq!(coalesced.dram_bytes_with_ecc(&cfg_off), 1280.0);
+    }
+
+    #[test]
+    fn energy_increases_with_ops() {
+        let p = PowerParams::default();
+        let mut c = BlockCost::default();
+        assert_eq!(c.comp_energy(&p), 0.0);
+        c.lane_ops[CompClass::Fp32Fma.idx()] = 1000;
+        let e1 = c.comp_energy(&p);
+        assert!(e1 > 0.0);
+        c.lane_ops[CompClass::Sfu.idx()] = 1000;
+        assert!(c.comp_energy(&p) > e1);
+    }
+
+    #[test]
+    fn mem_energy_counts_atomics() {
+        let p = PowerParams::default();
+        let mut c = cost_with(128.0, 1, 1);
+        let base = c.mem_energy(&p);
+        c.atomics = 32;
+        assert!(c.mem_energy(&p) > base);
+    }
+
+    #[test]
+    fn merge_is_additive() {
+        let mut a = cost_with(100.0, 2, 1);
+        a.issue_cycles = 5.0;
+        let b = cost_with(50.0, 3, 2);
+        a.merge(&b);
+        assert_eq!(a.dram_bytes, 150.0);
+        assert_eq!(a.transactions, 5);
+        assert_eq!(a.ideal_transactions, 3);
+        assert_eq!(a.issue_cycles, 5.0);
+    }
+
+    #[test]
+    fn uncoalesced_fraction_range() {
+        assert_eq!(cost_with(0.0, 0, 0).uncoalesced_fraction(), 0.0);
+        let perfect = cost_with(128.0, 4, 4);
+        assert_eq!(perfect.uncoalesced_fraction(), 0.0);
+        let bad = cost_with(128.0, 32, 1);
+        assert!(bad.uncoalesced_fraction() > 0.9);
+    }
+}

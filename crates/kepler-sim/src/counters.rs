@@ -1,0 +1,171 @@
+//! Per-launch activity counters and launch statistics.
+
+use crate::cost::BlockCost;
+use crate::ops::CompClass;
+use serde::{Deserialize, Serialize};
+
+/// Aggregated activity of one kernel launch, at paper scale (the launch's
+/// work multiplier is already applied).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct KernelCounters {
+    pub blocks: u64,
+    pub threads: u64,
+    pub warps: u64,
+    pub issue_cycles: f64,
+    pub dram_bytes: f64,
+    pub useful_bytes: f64,
+    pub transactions: f64,
+    pub ideal_transactions: f64,
+    pub atomics: f64,
+    pub lane_ops: [f64; 7],
+    pub shared_accesses: f64,
+    pub bank_conflict_cycles: f64,
+    pub barriers: f64,
+    pub slots: f64,
+    pub active_lanes: f64,
+}
+
+impl KernelCounters {
+    /// Accumulate one block's cost, scaled by `mult`.
+    pub fn add_block(&mut self, c: &BlockCost, mult: f64) {
+        self.blocks += 1;
+        self.threads += c.threads as u64;
+        self.warps += c.warps as u64;
+        self.issue_cycles += c.issue_cycles * mult;
+        self.dram_bytes += c.dram_bytes * mult;
+        self.useful_bytes += c.useful_bytes * mult;
+        self.transactions += c.transactions as f64 * mult;
+        self.ideal_transactions += c.ideal_transactions as f64 * mult;
+        self.atomics += c.atomics as f64 * mult;
+        for i in 0..7 {
+            self.lane_ops[i] += c.lane_ops[i] as f64 * mult;
+        }
+        self.shared_accesses += c.shared_accesses as f64 * mult;
+        self.bank_conflict_cycles += c.bank_conflict_cycles * mult;
+        self.barriers += c.barriers as f64 * mult;
+        self.slots += c.slots as f64 * mult;
+        self.active_lanes += c.active_lanes as f64 * mult;
+    }
+
+    /// Merge another launch's counters (for program-level totals).
+    pub fn merge(&mut self, o: &KernelCounters) {
+        self.blocks += o.blocks;
+        self.threads += o.threads;
+        self.warps += o.warps;
+        self.issue_cycles += o.issue_cycles;
+        self.dram_bytes += o.dram_bytes;
+        self.useful_bytes += o.useful_bytes;
+        self.transactions += o.transactions;
+        self.ideal_transactions += o.ideal_transactions;
+        self.atomics += o.atomics;
+        for i in 0..7 {
+            self.lane_ops[i] += o.lane_ops[i];
+        }
+        self.shared_accesses += o.shared_accesses;
+        self.bank_conflict_cycles += o.bank_conflict_cycles;
+        self.barriers += o.barriers;
+        self.slots += o.slots;
+        self.active_lanes += o.active_lanes;
+    }
+
+    /// Total lane-level compute ops across all classes.
+    pub fn total_lane_ops(&self) -> f64 {
+        self.lane_ops.iter().sum()
+    }
+
+    /// FP lane ops (FMA counted twice, as two FLOPs).
+    pub fn flops(&self) -> f64 {
+        self.lane_ops[CompClass::Fp32Add.idx()]
+            + self.lane_ops[CompClass::Fp32Mul.idx()]
+            + 2.0 * self.lane_ops[CompClass::Fp32Fma.idx()]
+            + self.lane_ops[CompClass::Fp64.idx()]
+            + self.lane_ops[CompClass::Sfu.idx()]
+    }
+
+    /// Branch-divergence fraction over the launch.
+    pub fn divergence(&self) -> f64 {
+        if self.slots == 0.0 {
+            0.0
+        } else {
+            1.0 - self.active_lanes / (self.slots * 32.0)
+        }
+    }
+
+    /// Arithmetic intensity: lane compute ops per useful DRAM byte.
+    pub fn compute_intensity(&self) -> f64 {
+        if self.useful_bytes == 0.0 {
+            f64::INFINITY
+        } else {
+            self.total_lane_ops() / self.useful_bytes
+        }
+    }
+}
+
+/// Statistics for one kernel launch.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LaunchStats {
+    pub kernel: &'static str,
+    /// Simulated time at which blocks started executing, seconds.
+    pub start_s: f64,
+    /// Kernel duration (first dispatch to last completion), seconds.
+    pub duration_s: f64,
+    /// Total board energy over the kernel window, joules (includes static).
+    pub energy_j: f64,
+    pub grid: u32,
+    pub block_threads: u32,
+    pub counters: KernelCounters,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(fma: u64, bytes: f64) -> BlockCost {
+        let mut c = BlockCost {
+            dram_bytes: bytes,
+            useful_bytes: bytes,
+            threads: 64,
+            warps: 2,
+            ..BlockCost::default()
+        };
+        c.lane_ops[CompClass::Fp32Fma.idx()] = fma;
+        c
+    }
+
+    #[test]
+    fn add_block_applies_multiplier() {
+        let mut k = KernelCounters::default();
+        k.add_block(&block(100, 256.0), 10.0);
+        assert_eq!(k.blocks, 1);
+        assert_eq!(k.lane_ops[CompClass::Fp32Fma.idx()], 1000.0);
+        assert_eq!(k.dram_bytes, 2560.0);
+    }
+
+    #[test]
+    fn flops_counts_fma_twice() {
+        let mut k = KernelCounters::default();
+        k.add_block(&block(100, 0.0), 1.0);
+        assert_eq!(k.flops(), 200.0);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = KernelCounters::default();
+        a.add_block(&block(10, 128.0), 1.0);
+        let mut b = KernelCounters::default();
+        b.add_block(&block(20, 128.0), 1.0);
+        a.merge(&b);
+        assert_eq!(a.blocks, 2);
+        assert_eq!(a.lane_ops[CompClass::Fp32Fma.idx()], 30.0);
+    }
+
+    #[test]
+    fn intensity_infinite_without_memory() {
+        let mut k = KernelCounters::default();
+        k.add_block(&block(10, 0.0), 1.0);
+        assert!(k.compute_intensity().is_infinite());
+        let mut m = KernelCounters::default();
+        m.add_block(&block(64, 128.0), 1.0);
+        assert!((m.compute_intensity() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,411 @@
+//! The simulated GPU device: memory management, kernel launches, the
+//! simulated clock, and the ground-truth power trace.
+
+use crate::block::BlockCtx;
+use crate::buffer::{DevBuffer, DevCopy, GlobalMem};
+use crate::config::DeviceConfig;
+use crate::counters::{KernelCounters, LaunchStats};
+use crate::kernel::Kernel;
+use crate::scheduler::run_launch;
+use gpower::PowerTrace;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-launch options.
+#[derive(Debug, Clone, Copy)]
+pub struct LaunchOpts {
+    /// Extrapolation factor: the functionally executed grid represents
+    /// `work_multiplier` times as much (homogeneous) work at paper scale.
+    /// Timing, energy and counters are scaled accordingly.
+    pub work_multiplier: f64,
+}
+
+impl Default for LaunchOpts {
+    fn default() -> Self {
+        Self {
+            work_multiplier: 1.0,
+        }
+    }
+}
+
+/// A simulated Tesla K20c.
+///
+/// A `Device` models one *program run*: construct it, allocate buffers,
+/// launch kernels (possibly in host-driven loops with [`Device::read`]
+/// between launches), then call [`Device::finish`] to obtain the
+/// ground-truth power trace — including the idle lead-in and the driver's
+/// tail-power window — ready for the emulated sensor.
+pub struct Device {
+    cfg: DeviceConfig,
+    mem: GlobalMem,
+    trace: PowerTrace,
+    rng: SmallRng,
+    launches: Vec<LaunchStats>,
+}
+
+/// Idle time recorded before the first kernel, seconds. Gives the
+/// measurement tool an unambiguous idle level, like a real run.
+const LEAD_IN_S: f64 = 3.0;
+/// Idle time recorded after the tail, seconds.
+const LEAD_OUT_S: f64 = 3.0;
+
+impl Device {
+    pub fn new(mut cfg: DeviceConfig) -> Self {
+        // Run-to-run perturbations a real board shows between repetitions:
+        // a small thermal drift of the dynamic power and a tiny effective
+        // clock wobble. Seeded by jitter_seed so repetitions differ the way
+        // the paper's Table 2 reports.
+        {
+            let mut r = SmallRng::seed_from_u64(cfg.jitter_seed ^ 0x7_E4A1_1u64);
+            let thermal = 1.0 + 0.012 * (r.gen::<f64>() - 0.5) * 2.0;
+            let p = &mut cfg.power;
+            for e in [
+                &mut p.e_fp32_add,
+                &mut p.e_fp32_mul,
+                &mut p.e_fp32_fma,
+                &mut p.e_fp64,
+                &mut p.e_int,
+                &mut p.e_sfu,
+                &mut p.e_shared,
+                &mut p.e_dram_byte,
+                &mut p.e_txn,
+                &mut p.e_atomic,
+                &mut p.e_idle_lane,
+                &mut p.active_overhead_w,
+            ] {
+                *e *= thermal;
+            }
+            let wobble = 1.0 + 0.006 * (r.gen::<f64>() - 0.5) * 2.0;
+            cfg.clocks.core_mhz *= wobble;
+            cfg.dram_peak_bps *= 2.0 - wobble;
+        }
+        let mut trace = PowerTrace::new();
+        trace.push(LEAD_IN_S, cfg.power.idle_w);
+        // The seed folds in the clock configuration: co-resident block
+        // interleaving on real hardware shifts with the clocks, which is
+        // how a frequency change perturbs racy (irregular) kernels.
+        let clock_hash = (cfg.clocks.core_mhz as u64) << 20
+            ^ (cfg.clocks.mem_mhz as u64) << 4
+            ^ cfg.ecc as u64;
+        let rng = SmallRng::seed_from_u64(cfg.jitter_seed ^ clock_hash ^ 0xD1CE_5EED);
+        Self {
+            cfg,
+            mem: GlobalMem::new(),
+            trace,
+            rng,
+            launches: Vec::new(),
+        }
+    }
+
+    pub fn config(&self) -> &DeviceConfig {
+        &self.cfg
+    }
+
+    /// Current simulated time, seconds.
+    pub fn now(&self) -> f64 {
+        self.trace.end_time()
+    }
+
+    // ---- memory ----
+
+    /// Allocate a default-initialized device buffer.
+    pub fn alloc<T: DevCopy>(&mut self, len: usize) -> DevBuffer<T> {
+        self.mem.alloc(len)
+    }
+
+    /// Allocate a buffer filled with `init`.
+    pub fn alloc_init<T: DevCopy>(&mut self, len: usize, init: T) -> DevBuffer<T> {
+        self.mem.alloc_init(len, init)
+    }
+
+    /// Allocate and upload from a host slice.
+    pub fn alloc_from<T: DevCopy>(&mut self, data: &[T]) -> DevBuffer<T> {
+        self.mem.alloc_from(data)
+    }
+
+    /// Read a buffer back to the host.
+    pub fn read<T: DevCopy>(&self, buf: &DevBuffer<T>) -> Vec<T> {
+        self.mem.slice(buf).to_vec()
+    }
+
+    /// Borrow a buffer's contents.
+    pub fn slice<T: DevCopy>(&self, buf: &DevBuffer<T>) -> &[T] {
+        self.mem.slice(buf)
+    }
+
+    /// Read a single element.
+    pub fn read_at<T: DevCopy>(&self, buf: &DevBuffer<T>, idx: usize) -> T {
+        self.mem.slice(buf)[idx]
+    }
+
+    /// Overwrite a buffer from a host slice.
+    pub fn write<T: DevCopy>(&mut self, buf: &DevBuffer<T>, data: &[T]) {
+        self.mem.vec_mut(buf).copy_from_slice(data);
+    }
+
+    /// Overwrite a single element.
+    pub fn write_at<T: DevCopy>(&mut self, buf: &DevBuffer<T>, idx: usize, v: T) {
+        self.mem.vec_mut(buf)[idx] = v;
+    }
+
+    /// Fill a buffer with a value (a host-side `cudaMemset`).
+    pub fn fill<T: DevCopy>(&mut self, buf: &DevBuffer<T>, v: T) {
+        self.mem.vec_mut(buf).fill(v);
+    }
+
+    // ---- execution ----
+
+    /// Launch `grid` blocks of `block_threads` threads.
+    pub fn launch(&mut self, kernel: &dyn Kernel, grid: u32, block_threads: u32) -> &LaunchStats {
+        self.launch_with(kernel, grid, block_threads, LaunchOpts::default())
+    }
+
+    /// Launch with explicit options (work-multiplier extrapolation).
+    pub fn launch_with(
+        &mut self,
+        kernel: &dyn Kernel,
+        grid: u32,
+        block_threads: u32,
+        opts: LaunchOpts,
+    ) -> &LaunchStats {
+        assert!(grid >= 1, "empty grid");
+        assert!(
+            (1..=1024).contains(&block_threads),
+            "block size must be 1..=1024"
+        );
+        // Host/driver launch overhead: the GPU sits warm between kernels.
+        let gap_w = self.cfg.power.idle_w
+            + self.cfg.power.gap_overhead_w
+                * self.cfg.clocks.core_vrel
+                * self.cfg.clocks.core_vrel;
+        let overhead = self.cfg.launch_overhead_s * (1.0 + self.rng.gen::<f64>() * 0.2);
+        self.trace.push(overhead, gap_w);
+
+        let start = self.trace.end_time();
+        let resources = kernel.resources();
+        let mut counters = KernelCounters::default();
+        let mem = &mut self.mem;
+        let outcome = run_launch(
+            &self.cfg,
+            &mut self.rng,
+            &mut self.trace,
+            grid,
+            block_threads,
+            &resources,
+            opts.work_multiplier,
+            |block_idx| {
+                let mut blk = BlockCtx::new(mem, block_idx, grid, block_threads);
+                kernel.run_block(&mut blk);
+                let cost = blk.into_cost();
+                counters.add_block(&cost, opts.work_multiplier);
+                cost
+            },
+        );
+        self.launches.push(LaunchStats {
+            kernel: kernel.name(),
+            start_s: start,
+            duration_s: outcome.duration_s,
+            energy_j: outcome.energy_j,
+            grid,
+            block_threads,
+            counters,
+        });
+        self.launches.last().unwrap()
+    }
+
+    /// Record host-side time between kernels (the driver keeps the GPU
+    /// warm, drawing the gap power).
+    pub fn host_gap(&mut self, seconds: f64) {
+        if seconds <= 0.0 {
+            return;
+        }
+        let gap_w = self.cfg.power.idle_w
+            + self.cfg.power.gap_overhead_w
+                * self.cfg.clocks.core_vrel
+                * self.cfg.clocks.core_vrel;
+        self.trace.push(seconds, gap_w);
+    }
+
+    /// All launches so far.
+    pub fn stats(&self) -> &[LaunchStats] {
+        &self.launches
+    }
+
+    /// Sum of kernel durations so far — the simulator's own ground-truth
+    /// "active runtime" (the tool's threshold-based estimate is what the
+    /// harness reports, as in the paper).
+    pub fn kernel_time(&self) -> f64 {
+        self.launches.iter().map(|l| l.duration_s).sum()
+    }
+
+    /// Aggregated counters over all launches.
+    pub fn total_counters(&self) -> KernelCounters {
+        let mut t = KernelCounters::default();
+        for l in &self.launches {
+            t.merge(&l.counters);
+        }
+        t
+    }
+
+    /// End the run: record the driver's tail-power window and a trailing
+    /// idle period, then return the full ground-truth trace.
+    pub fn finish(mut self) -> (PowerTrace, Vec<LaunchStats>) {
+        let p = &self.cfg.power;
+        let gap_w =
+            p.idle_w + p.gap_overhead_w * self.cfg.clocks.core_vrel * self.cfg.clocks.core_vrel;
+        self.trace.push(p.tail_s, gap_w);
+        self.trace.push(0.5, p.idle_w + 0.4 * (gap_w - p.idle_w));
+        self.trace.push(LEAD_OUT_S, p.idle_w);
+        (self.trace, self.launches)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::BlockCtx;
+    use crate::config::ClockConfig;
+    use crate::kernel::Kernel;
+
+    /// y[i] = a*x[i] + y[i] over the whole grid.
+    struct Saxpy {
+        x: DevBuffer<f32>,
+        y: DevBuffer<f32>,
+        a: f32,
+    }
+
+    impl Kernel for Saxpy {
+        fn name(&self) -> &'static str {
+            "saxpy"
+        }
+        fn run_block(&self, blk: &mut BlockCtx) {
+            let (x, y, a) = (self.x, self.y, self.a);
+            let n = x.len();
+            blk.for_each_thread(|t| {
+                let i = t.gtid() as usize;
+                if i < n {
+                    let xv = t.ld(&x, i);
+                    let yv = t.ld(&y, i);
+                    t.fma32(1);
+                    t.st(&y, i, a * xv + yv);
+                }
+            });
+        }
+    }
+
+    fn device() -> Device {
+        Device::new(DeviceConfig::k20c(ClockConfig::k20_default(), false))
+    }
+
+    #[test]
+    fn saxpy_computes_and_times() {
+        let mut dev = device();
+        let n = 1 << 14;
+        let x = dev.alloc_from(&vec![2.0f32; n]);
+        let y = dev.alloc_from(&vec![1.0f32; n]);
+        let stats = dev.launch(&Saxpy { x, y, a: 3.0 }, (n as u32).div_ceil(256), 256);
+        assert!(stats.duration_s > 0.0);
+        assert_eq!(stats.counters.blocks as usize, n / 256);
+        let out = dev.read(&y);
+        assert!(out.iter().all(|&v| (v - 7.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn trace_has_lead_in_kernel_and_tail() {
+        let mut dev = device();
+        let n = 1 << 16;
+        let x = dev.alloc_from(&vec![1.0f32; n]);
+        let y = dev.alloc_from(&vec![1.0f32; n]);
+        dev.launch_with(
+            &Saxpy { x, y, a: 2.0 },
+            (n as u32).div_ceil(256),
+            256,
+            LaunchOpts {
+                work_multiplier: 1e5,
+            },
+        );
+        let (trace, stats) = dev.finish();
+        assert!(trace.end_time() > 6.0);
+        // Idle at start, busy in the middle.
+        assert!((trace.watts_at(0.5) - 25.0).abs() < 1.0);
+        let mid = stats[0].start_s + stats[0].duration_s / 2.0;
+        assert!(trace.watts_at(mid) > 40.0);
+        // Idle again at the very end.
+        assert!((trace.watts_at(trace.end_time() - 0.5) - 25.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn work_multiplier_scales_counters() {
+        let mut dev = device();
+        let n = 1 << 12;
+        let x = dev.alloc_from(&vec![1.0f32; n]);
+        let y = dev.alloc_from(&vec![1.0f32; n]);
+        let k = Saxpy { x, y, a: 2.0 };
+        let s = dev.launch_with(
+            &k,
+            (n as u32).div_ceil(256),
+            256,
+            LaunchOpts {
+                work_multiplier: 50.0,
+            },
+        );
+        // 2 loads + 1 store of 4 bytes per element, x50.
+        let expected = (n * 12) as f64 * 50.0;
+        assert!((s.counters.useful_bytes - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn host_gap_extends_trace_at_warm_power() {
+        let mut dev = device();
+        let t0 = dev.now();
+        dev.host_gap(2.0);
+        assert!((dev.now() - t0 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kernel_time_accumulates() {
+        let mut dev = device();
+        let n = 4096;
+        let x = dev.alloc_from(&vec![1.0f32; n]);
+        let y = dev.alloc_from(&vec![1.0f32; n]);
+        let k = Saxpy { x, y, a: 2.0 };
+        dev.launch(&k, 16, 256);
+        dev.launch(&k, 16, 256);
+        assert_eq!(dev.stats().len(), 2);
+        let sum: f64 = dev.stats().iter().map(|l| l.duration_s).sum();
+        assert!((dev.kernel_time() - sum).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinism_with_same_seed() {
+        let run = |seed: u64| {
+            let mut cfg = DeviceConfig::k20c(ClockConfig::k20_default(), false);
+            cfg.jitter_seed = seed;
+            let mut dev = Device::new(cfg);
+            let n = 1 << 12;
+            let x = dev.alloc_from(&vec![1.0f32; n]);
+            let y = dev.alloc_from(&vec![1.0f32; n]);
+            // Enough work that per-block jitter dominates the latency floor.
+            dev.launch_with(
+                &Saxpy { x, y, a: 2.0 },
+                16,
+                256,
+                LaunchOpts {
+                    work_multiplier: 1e4,
+                },
+            );
+            dev.kernel_time()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    #[should_panic(expected = "block size")]
+    fn bad_block_size_rejected() {
+        let mut dev = device();
+        let x = dev.alloc_from(&[0.0f32]);
+        let y = dev.alloc_from(&[0.0f32]);
+        dev.launch(&Saxpy { x, y, a: 1.0 }, 1, 0);
+    }
+}

@@ -1,0 +1,64 @@
+//! The kernel abstraction: what a GPU "global function" looks like to the
+//! simulator.
+
+use crate::block::BlockCtx;
+
+/// Static resource usage of a kernel, used for the occupancy calculation
+/// (how many blocks fit on one SM simultaneously).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelResources {
+    /// Registers per thread (the K20c has 65,536 per SM).
+    pub regs_per_thread: u32,
+    /// Static shared memory per block, bytes (48 KiB per SM).
+    pub shared_bytes: u32,
+}
+
+impl Default for KernelResources {
+    fn default() -> Self {
+        Self {
+            regs_per_thread: 32,
+            shared_bytes: 0,
+        }
+    }
+}
+
+/// A GPU kernel. `run_block` is called once per block, *at the simulated
+/// time the block is dispatched to an SM*, with a [`BlockCtx`] that provides
+/// the CUDA-like thread API and records the block's trace.
+///
+/// Blocks of the same launch therefore observe global-memory side effects of
+/// blocks dispatched before them — which is how the simulator models the
+/// intra-kernel data races and timing-dependent behaviour of irregular
+/// codes.
+pub trait Kernel {
+    /// Kernel name (for stats and reports).
+    fn name(&self) -> &'static str {
+        "kernel"
+    }
+
+    /// Resource usage for the occupancy calculation.
+    fn resources(&self) -> KernelResources {
+        KernelResources::default()
+    }
+
+    /// Execute one block functionally, recording its trace.
+    fn run_block(&self, blk: &mut BlockCtx);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Nop;
+    impl Kernel for Nop {
+        fn run_block(&self, _blk: &mut BlockCtx) {}
+    }
+
+    #[test]
+    fn default_name_and_resources() {
+        let k = Nop;
+        assert_eq!(k.name(), "kernel");
+        assert_eq!(k.resources().regs_per_thread, 32);
+        assert_eq!(k.resources().shared_bytes, 0);
+    }
+}

@@ -1,0 +1,83 @@
+//! SM occupancy: how many blocks of a kernel are simultaneously resident on
+//! one streaming multiprocessor.
+
+use crate::config::DeviceConfig;
+use crate::kernel::KernelResources;
+
+/// Number of blocks of `block_threads` threads with resources `res` that fit
+/// on one SM. Always at least 1 (the hardware runs any launchable block).
+pub fn resident_blocks(cfg: &DeviceConfig, block_threads: u32, res: &KernelResources) -> usize {
+    let by_blocks = cfg.max_blocks_per_sm;
+    let by_threads = (cfg.max_threads_per_sm as u32 / block_threads.max(1)) as usize;
+    let by_warps = cfg.max_warps_per_sm / (block_threads.div_ceil(32).max(1) as usize);
+    let by_shared = if res.shared_bytes > 0 {
+        cfg.shared_bytes_per_sm / res.shared_bytes as usize
+    } else {
+        usize::MAX
+    };
+    let regs_per_block = (res.regs_per_thread as usize) * block_threads as usize;
+    let by_regs = cfg
+        .registers_per_sm
+        .checked_div(regs_per_block)
+        .unwrap_or(usize::MAX);
+    by_blocks
+        .min(by_threads)
+        .min(by_warps)
+        .min(by_shared)
+        .min(by_regs)
+        .max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClockConfig;
+
+    fn cfg() -> DeviceConfig {
+        DeviceConfig::k20c(ClockConfig::k20_default(), false)
+    }
+
+    #[test]
+    fn small_blocks_limited_by_block_slots() {
+        let r = KernelResources {
+            regs_per_thread: 16,
+            shared_bytes: 0,
+        };
+        assert_eq!(resident_blocks(&cfg(), 32, &r), 16);
+    }
+
+    #[test]
+    fn big_blocks_limited_by_threads() {
+        let r = KernelResources::default();
+        assert_eq!(resident_blocks(&cfg(), 1024, &r), 2);
+        assert_eq!(resident_blocks(&cfg(), 512, &r), 4);
+    }
+
+    #[test]
+    fn shared_memory_limits_occupancy() {
+        let r = KernelResources {
+            regs_per_thread: 16,
+            shared_bytes: 24 * 1024,
+        };
+        assert_eq!(resident_blocks(&cfg(), 128, &r), 2);
+    }
+
+    #[test]
+    fn register_pressure_limits_occupancy() {
+        let r = KernelResources {
+            regs_per_thread: 128,
+            shared_bytes: 0,
+        };
+        // 65536 / (128 * 256) = 2
+        assert_eq!(resident_blocks(&cfg(), 256, &r), 2);
+    }
+
+    #[test]
+    fn always_at_least_one() {
+        let r = KernelResources {
+            regs_per_thread: 255,
+            shared_bytes: 48 * 1024,
+        };
+        assert_eq!(resident_blocks(&cfg(), 2048, &r), 1);
+    }
+}

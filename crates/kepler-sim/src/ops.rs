@@ -1,0 +1,151 @@
+//! Abstract warp/thread operations recorded by the functional layer.
+
+use serde::{Deserialize, Serialize};
+
+/// Compute operation classes, matching the K20's per-SM functional units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CompClass {
+    /// FP32 add/sub/compare (192 units per SM).
+    Fp32Add,
+    /// FP32 multiply (192 units per SM).
+    Fp32Mul,
+    /// FP32 fused multiply-add (192 units per SM, counts as 2 FLOPs).
+    Fp32Fma,
+    /// FP64 op (64 units per SM).
+    Fp64,
+    /// Integer / logic / address arithmetic (160 units per SM).
+    Int,
+    /// Special function unit: sqrt, rsqrt, sin, cos, exp, log (32 per SM).
+    Sfu,
+    /// Aggregate conflict-free shared-memory traffic (tile loops record one
+    /// `Comp` op instead of millions of individual `Shm` ops).
+    Shared,
+}
+
+impl CompClass {
+    /// All classes, for iteration in counters/reports.
+    pub const ALL: [CompClass; 7] = [
+        CompClass::Fp32Add,
+        CompClass::Fp32Mul,
+        CompClass::Fp32Fma,
+        CompClass::Fp64,
+        CompClass::Int,
+        CompClass::Sfu,
+        CompClass::Shared,
+    ];
+
+    /// Issue cost of one warp-wide instruction of this class, in SM cycles
+    /// (32 lanes / units-per-SM).
+    #[inline]
+    pub fn cycles_per_warp_op(self) -> f64 {
+        match self {
+            CompClass::Fp32Add | CompClass::Fp32Mul | CompClass::Fp32Fma => 32.0 / 192.0,
+            CompClass::Fp64 => 32.0 / 64.0,
+            CompClass::Int => 32.0 / 160.0,
+            CompClass::Sfu => 1.0, // 32 lanes / 32 SFU units
+            CompClass::Shared => 0.15,
+        }
+    }
+
+    /// Index into fixed-size per-class arrays.
+    #[inline]
+    pub fn idx(self) -> usize {
+        match self {
+            CompClass::Fp32Add => 0,
+            CompClass::Fp32Mul => 1,
+            CompClass::Fp32Fma => 2,
+            CompClass::Fp64 => 3,
+            CompClass::Int => 4,
+            CompClass::Sfu => 5,
+            CompClass::Shared => 6,
+        }
+    }
+}
+
+/// One recorded per-thread operation. Consecutive compute ops of the same
+/// class are merged into a single `Comp { n }` entry by the recorder, so the
+/// stream length tracks *instruction slots*, not raw op counts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Op {
+    /// `n` back-to-back compute ops of one class.
+    Comp { class: CompClass, n: u32 },
+    /// Global-memory load of `bytes` at byte address `addr`.
+    Gld { addr: u64, bytes: u32 },
+    /// Global-memory store of `bytes` at byte address `addr`.
+    Gst { addr: u64, bytes: u32 },
+    /// Global atomic read-modify-write on the 4-byte word at `addr`.
+    GAtom { addr: u64 },
+    /// Shared-memory access of the 4-byte word with index `word`.
+    Shm { word: u32 },
+}
+
+/// Discriminant used for aligning thread streams into warp slots: ops of the
+/// same kind at the same stream position execute as one warp instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    Comp(CompClass),
+    Gld,
+    Gst,
+    GAtom,
+    Shm,
+}
+
+impl Op {
+    #[inline]
+    pub fn kind(&self) -> OpKind {
+        match self {
+            Op::Comp { class, .. } => OpKind::Comp(*class),
+            Op::Gld { .. } => OpKind::Gld,
+            Op::Gst { .. } => OpKind::Gst,
+            Op::GAtom { .. } => OpKind::GAtom,
+            Op::Shm { .. } => OpKind::Shm,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn issue_costs_reflect_unit_counts() {
+        // FP64 has 1/3 the units of FP32 on GK110 -> 3x the issue cost.
+        let r = CompClass::Fp64.cycles_per_warp_op() / CompClass::Fp32Fma.cycles_per_warp_op();
+        assert!((r - 3.0).abs() < 1e-9);
+        // SFU is the slowest.
+        for c in CompClass::ALL {
+            assert!(CompClass::Sfu.cycles_per_warp_op() >= c.cycles_per_warp_op());
+        }
+    }
+
+    #[test]
+    fn idx_is_a_bijection() {
+        let mut seen = [false; 7];
+        for c in CompClass::ALL {
+            assert!(!seen[c.idx()]);
+            seen[c.idx()] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn kind_distinguishes_comp_classes() {
+        let a = Op::Comp {
+            class: CompClass::Int,
+            n: 1,
+        };
+        let b = Op::Comp {
+            class: CompClass::Sfu,
+            n: 1,
+        };
+        assert_ne!(a.kind(), b.kind());
+        assert_eq!(
+            Op::Gld { addr: 0, bytes: 4 }.kind(),
+            Op::Gld {
+                addr: 128,
+                bytes: 8
+            }
+            .kind()
+        );
+    }
+}

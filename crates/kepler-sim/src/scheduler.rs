@@ -1,0 +1,583 @@
+//! The fluid (progress-based) block scheduler.
+//!
+//! Blocks are dispatched to SM occupancy slots in completion-driven order;
+//! between scheduler events each SM's issue bandwidth is shared by its
+//! resident blocks and the global DRAM bandwidth is shared by all blocks
+//! still demanding memory (with a per-block memory-level-parallelism cap so
+//! low-occupancy kernels see exposed latency). A block's compute and memory
+//! streams drain concurrently — the usual GPU overlap — and the block
+//! completes when both are empty and its latency floor has elapsed.
+//!
+//! Because the functional execution of a block happens at dispatch time,
+//! the *order* produced by this scheduler feeds back into program behaviour
+//! for kernels with intra-launch data sharing (atomics/worklists).
+
+use crate::config::DeviceConfig;
+use crate::cost::BlockCost;
+use crate::occupancy::resident_blocks;
+use crate::kernel::KernelResources;
+use gpower::PowerTrace;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Result of scheduling one kernel launch.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedOutcome {
+    /// Kernel duration in simulated seconds.
+    pub duration_s: f64,
+    /// Board energy over the kernel window, joules (includes static power).
+    pub energy_j: f64,
+}
+
+struct Active {
+    sm: usize,
+    comp_rem: f64,
+    mem_rem: f64,
+    comp_total: f64,
+    mem_total: f64,
+    /// Voltage-scaled joules released in proportion to compute progress.
+    comp_energy: f64,
+    /// Voltage-scaled joules released in proportion to memory progress.
+    mem_energy: f64,
+    /// Earliest completion time (latency floor).
+    min_end: f64,
+    warps: f64,
+    /// Scratch: rates for the current interval.
+    rate_c: f64,
+    rate_m: f64,
+}
+
+const EPS: f64 = 1e-9;
+
+/// Run one kernel launch through the fluid model.
+///
+/// `exec` materializes block `i`'s cost by running it functionally; it is
+/// called exactly once per block, in dispatch order. Power segments are
+/// appended to `trace` starting at its current end time.
+#[allow(clippy::too_many_arguments)]
+pub fn run_launch(
+    cfg: &DeviceConfig,
+    rng: &mut SmallRng,
+    trace: &mut PowerTrace,
+    grid: u32,
+    block_threads: u32,
+    resources: &KernelResources,
+    work_multiplier: f64,
+    mut exec: impl FnMut(u32) -> BlockCost,
+) -> SchedOutcome {
+    assert!(grid >= 1, "grid must have at least one block");
+    let occupancy = resident_blocks(cfg, block_threads, resources);
+    let p = &cfg.power;
+    let vc2 = cfg.clocks.core_vrel * cfg.clocks.core_vrel;
+    let vm2 = cfg.clocks.mem_vrel * cfg.clocks.mem_vrel;
+    let core_hz = cfg.clocks.core_hz();
+    let dram_bps = cfg.dram_bytes_per_s();
+    let dram_lat = cfg.dram_latency();
+    let ecc_energy_factor = if cfg.ecc { 1.25 } else { 1.0 };
+
+    let t_start = trace.end_time();
+    let mut now = t_start;
+    let mut energy = 0.0f64;
+    let mut next_block = 0u32;
+    let mut completed = 0u32;
+    let mut sm_resident = vec![0usize; cfg.num_sms];
+    let mut active: Vec<Active> = Vec::with_capacity(cfg.num_sms * occupancy);
+
+    // Execution order: on real hardware, blocks that are co-resident
+    // interleave nondeterministically and the interleaving shifts with the
+    // clock configuration. We model this by shuffling the block order
+    // within windows of roughly the co-residency width. The device RNG is
+    // seeded from the jitter seed *and* the clock configuration, so
+    // changing the frequency genuinely changes the order racy kernels
+    // observe — the paper's timing-dependent-irregularity mechanism.
+    let window = (cfg.num_sms * occupancy * 2).max(2);
+    let order: Vec<u32> = {
+        let mut v: Vec<u32> = (0..grid).collect();
+        if cfg.interleave_shuffle {
+            for chunk in v.chunks_mut(window) {
+                for i in (1..chunk.len()).rev() {
+                    let j = rng.gen_range(0..=i);
+                    chunk.swap(i, j);
+                }
+            }
+        }
+        v
+    };
+
+    while completed < grid {
+        // Dispatch while there are free occupancy slots.
+        while next_block < grid {
+            let sm = (0..cfg.num_sms).min_by_key(|&s| sm_resident[s]).unwrap();
+            if sm_resident[sm] >= occupancy {
+                break;
+            }
+            let cost = exec(order[next_block as usize]);
+            let jitter = 1.0 + cfg.jitter * (rng.gen::<f64>() - 0.5) * 2.0;
+            let mult = work_multiplier * jitter;
+            let comp = (cost.issue_cycles * mult).max(100.0);
+            let mem = cost.dram_bytes_with_ecc(cfg) * mult;
+            let floor = if cost.transactions > 0 {
+                dram_lat
+            } else {
+                0.0
+            } + 0.5e-6;
+            active.push(Active {
+                sm,
+                comp_rem: comp,
+                mem_rem: mem,
+                comp_total: comp,
+                mem_total: mem.max(EPS),
+                comp_energy: cost.comp_energy(p) * mult * vc2,
+                mem_energy: cost.mem_energy(p) * mult * vm2 * ecc_energy_factor,
+                min_end: now + floor,
+                warps: cost.warps.max(1) as f64,
+                rate_c: 0.0,
+                rate_m: 0.0,
+            });
+            sm_resident[sm] += 1;
+            next_block += 1;
+        }
+
+        // Compute rates for this interval.
+        // Compute: each SM's issue bandwidth, derated when too few warps
+        // are resident to hide latency, shared among its compute-hungry
+        // blocks.
+        let mut sm_warps = vec![0.0f64; cfg.num_sms];
+        let mut sm_demand = vec![0u32; cfg.num_sms];
+        for b in &active {
+            sm_warps[b.sm] += b.warps;
+            if b.comp_rem > EPS {
+                sm_demand[b.sm] += 1;
+            }
+        }
+        for b in &mut active {
+            b.rate_c = if b.comp_rem > EPS {
+                let eff = (sm_warps[b.sm] / cfg.latency_hiding_warps).min(1.0);
+                core_hz * eff / sm_demand[b.sm] as f64
+            } else {
+                0.0
+            };
+        }
+        // Memory: global DRAM bandwidth water-filled over demanding blocks,
+        // each capped by its memory-level parallelism.
+        let mut remaining_bw = dram_bps;
+        for b in &mut active {
+            b.rate_m = 0.0;
+        }
+        let mut uncapped: Vec<usize> = (0..active.len())
+            .filter(|&i| active[i].mem_rem > EPS)
+            .collect();
+        for _ in 0..3 {
+            if uncapped.is_empty() || remaining_bw <= EPS {
+                break;
+            }
+            let fair = remaining_bw / uncapped.len() as f64;
+            let mut next_uncapped = Vec::with_capacity(uncapped.len());
+            for &i in &uncapped {
+                let cap = active[i].warps * cfg.mlp_per_warp * 128.0 / dram_lat;
+                let take = fair.min(cap - active[i].rate_m);
+                if take > EPS {
+                    active[i].rate_m += take;
+                    remaining_bw -= take;
+                    if active[i].rate_m < cap - EPS {
+                        next_uncapped.push(i);
+                    }
+                }
+            }
+            uncapped = next_uncapped;
+        }
+
+        // Time to the next event.
+        let mut dt = f64::INFINITY;
+        for b in &active {
+            if b.rate_c > EPS && b.comp_rem > EPS {
+                dt = dt.min(b.comp_rem / b.rate_c);
+            }
+            if b.rate_m > EPS && b.mem_rem > EPS {
+                dt = dt.min(b.mem_rem / b.rate_m);
+            }
+            if b.comp_rem <= EPS && b.mem_rem <= EPS && b.min_end > now {
+                dt = dt.min(b.min_end - now);
+            }
+        }
+        if !dt.is_finite() {
+            // Only latency floors remain and they are all in the past.
+            dt = 1e-7;
+        }
+        let dt = dt.max(1e-9);
+
+        // Power over this interval.
+        let mut watts = p.idle_w + p.active_overhead_w * vc2;
+        for b in &active {
+            watts += b.comp_energy * (b.rate_c / b.comp_total.max(EPS));
+            watts += b.mem_energy * (b.rate_m / b.mem_total);
+        }
+        trace.push(dt, watts);
+        energy += watts * dt;
+        now += dt;
+
+        // Advance progress and retire completed blocks.
+        let mut i = 0;
+        while i < active.len() {
+            {
+                let b = &mut active[i];
+                b.comp_rem -= b.rate_c * dt;
+                b.mem_rem -= b.rate_m * dt;
+                // Clamp float residue: a stream within a relative epsilon
+                // of empty is empty (otherwise the loop would crawl through
+                // rounding leftovers in 1 ns steps).
+                if b.comp_rem <= 1e-9 * b.comp_total + EPS {
+                    b.comp_rem = 0.0;
+                }
+                if b.mem_rem <= 1e-9 * b.mem_total + EPS {
+                    b.mem_rem = 0.0;
+                }
+            }
+            let done = {
+                let b = &active[i];
+                b.comp_rem <= EPS && b.mem_rem <= EPS && now + 1e-12 >= b.min_end
+            };
+            if done {
+                sm_resident[active[i].sm] -= 1;
+                active.swap_remove(i);
+                completed += 1;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    SchedOutcome {
+        duration_s: now - t_start,
+        energy_j: energy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClockConfig;
+    use crate::ops::CompClass;
+    use rand::SeedableRng;
+
+    fn compute_block(fma_lane_ops: u64) -> BlockCost {
+        let mut c = BlockCost {
+            threads: 256,
+            warps: 8,
+            slots: fma_lane_ops / 32,
+            active_lanes: fma_lane_ops,
+            ..BlockCost::default()
+        };
+        c.lane_ops[CompClass::Fp32Fma.idx()] = fma_lane_ops;
+        c.issue_cycles = (fma_lane_ops / 32) as f64 * CompClass::Fp32Fma.cycles_per_warp_op();
+        c
+    }
+
+    fn memory_block(bytes: f64) -> BlockCost {
+        BlockCost {
+            threads: 256,
+            warps: 8,
+            dram_bytes: bytes,
+            useful_bytes: bytes,
+            transactions: (bytes / 128.0) as u64,
+            ideal_transactions: (bytes / 128.0) as u64,
+            issue_cycles: bytes / 128.0 * 0.5,
+            ..BlockCost::default()
+        }
+    }
+
+    fn sched(cfg: &DeviceConfig, grid: u32, cost: BlockCost) -> SchedOutcome {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut trace = PowerTrace::new();
+        let mut c = cfg.clone();
+        c.jitter = 0.0;
+        run_launch(
+            &c,
+            &mut rng,
+            &mut trace,
+            grid,
+            256,
+            &KernelResources::default(),
+            1.0,
+            |_| cost,
+        )
+    }
+
+    #[test]
+    fn compute_bound_scales_with_core_clock() {
+        let hi = DeviceConfig::k20c(ClockConfig::k20_default(), false);
+        let lo = DeviceConfig::k20c(ClockConfig::k20_614(), false);
+        let block = compute_block(4_000_000);
+        let t_hi = sched(&hi, 260, block).duration_s;
+        let t_lo = sched(&lo, 260, block).duration_s;
+        let ratio = t_lo / t_hi;
+        assert!((ratio - 705.0 / 614.0).abs() < 0.03, "ratio {ratio}");
+    }
+
+    #[test]
+    fn memory_bound_ignores_core_clock() {
+        let hi = DeviceConfig::k20c(ClockConfig::k20_default(), false);
+        let lo = DeviceConfig::k20c(ClockConfig::k20_614(), false);
+        let block = memory_block(40_000_000.0);
+        let t_hi = sched(&hi, 260, block).duration_s;
+        let t_lo = sched(&lo, 260, block).duration_s;
+        let ratio = t_lo / t_hi;
+        assert!(ratio < 1.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn memory_bound_scales_with_mem_clock() {
+        let hi = DeviceConfig::k20c(ClockConfig::k20_614(), false);
+        let lo = DeviceConfig::k20c(ClockConfig::k20_324(), false);
+        let block = memory_block(40_000_000.0);
+        let t_hi = sched(&hi, 260, block).duration_s;
+        let t_lo = sched(&lo, 260, block).duration_s;
+        let ratio = t_lo / t_hi;
+        assert!(ratio > 6.0 && ratio < 8.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn ecc_slows_memory_bound_only() {
+        let off = DeviceConfig::k20c(ClockConfig::k20_default(), false);
+        let on = DeviceConfig::k20c(ClockConfig::k20_default(), true);
+        let mem = memory_block(40_000_000.0);
+        let ratio_mem = sched(&on, 260, mem).duration_s / sched(&off, 260, mem).duration_s;
+        assert!(ratio_mem > 1.1, "mem ratio {ratio_mem}");
+        let comp = compute_block(4_000_000);
+        let ratio_comp = sched(&on, 260, comp).duration_s / sched(&off, 260, comp).duration_s;
+        assert!(ratio_comp < 1.02, "comp ratio {ratio_comp}");
+    }
+
+    #[test]
+    fn lower_clocks_lower_power() {
+        let configs = [
+            ClockConfig::k20_default(),
+            ClockConfig::k20_614(),
+            ClockConfig::k20_324(),
+        ];
+        let block = compute_block(4_000_000);
+        let mut powers = Vec::new();
+        for c in configs {
+            let cfg = DeviceConfig::k20c(c, false);
+            let o = sched(&cfg, 260, block);
+            powers.push(o.energy_j / o.duration_s);
+        }
+        assert!(powers[0] > powers[1], "{powers:?}");
+        assert!(powers[1] > powers[2], "{powers:?}");
+    }
+
+    #[test]
+    fn compute_bound_power_drop_exceeds_frequency_drop() {
+        // Paper observation 3: with voltage scaling, power reductions on
+        // compute-bound codes can exceed the core-frequency reduction.
+        let hi = DeviceConfig::k20c(ClockConfig::k20_default(), false);
+        let lo = DeviceConfig::k20c(ClockConfig::k20_614(), false);
+        let block = compute_block(8_000_000);
+        let a = sched(&hi, 260, block);
+        let b = sched(&lo, 260, block);
+        let power_ratio = (b.energy_j / b.duration_s) / (a.energy_j / a.duration_s);
+        assert!(power_ratio < 614.0 / 705.0 + 0.02, "power ratio {power_ratio}");
+    }
+
+    #[test]
+    fn low_occupancy_cannot_saturate_dram() {
+        // A single resident block is limited by its memory-level
+        // parallelism: its achieved bandwidth must stay far below the
+        // device peak, while a full grid gets close to it.
+        let cfg = DeviceConfig::k20c(ClockConfig::k20_default(), false);
+        let block = memory_block(1_000_000.0);
+        let one = sched(&cfg, 1, block);
+        let bw_one = 1_000_000.0 / one.duration_s;
+        assert!(bw_one < 0.2 * cfg.dram_bytes_per_s(), "bw {bw_one:.3e}");
+        let many = sched(&cfg, 2080, block);
+        let bw_many = 2080.0 * 1_000_000.0 / many.duration_s;
+        assert!(bw_many > 0.8 * cfg.dram_bytes_per_s(), "bw {bw_many:.3e}");
+    }
+
+    #[test]
+    fn duration_positive_and_energy_consistent() {
+        let cfg = DeviceConfig::k20c(ClockConfig::k20_default(), false);
+        let o = sched(&cfg, 13, compute_block(100_000));
+        assert!(o.duration_s > 0.0);
+        assert!(o.energy_j > 0.0);
+        // Average power must exceed idle and stay below board TDP.
+        let avg = o.energy_j / o.duration_s;
+        assert!(avg > cfg.power.idle_w && avg < 250.0, "avg {avg}");
+    }
+
+    #[test]
+    fn trace_end_advances_by_duration() {
+        let cfg = DeviceConfig::k20c(ClockConfig::k20_default(), false);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut trace = PowerTrace::new();
+        trace.push(1.0, 25.0);
+        let o = run_launch(
+            &cfg,
+            &mut rng,
+            &mut trace,
+            26,
+            256,
+            &KernelResources::default(),
+            1.0,
+            |_| compute_block(1_000_000),
+        );
+        assert!((trace.end_time() - (1.0 + o.duration_s)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dispatch_order_is_a_window_shuffled_permutation() {
+        let cfg = DeviceConfig::k20c(ClockConfig::k20_default(), false);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut trace = PowerTrace::new();
+        let mut order = Vec::new();
+        run_launch(
+            &cfg,
+            &mut rng,
+            &mut trace,
+            64,
+            256,
+            &KernelResources::default(),
+            1.0,
+            |i| {
+                order.push(i);
+                compute_block(10_000)
+            },
+        );
+        // Every block executes exactly once.
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..64).collect::<Vec<_>>());
+        // And co-resident interleaving means it is (almost surely) not the
+        // identity permutation.
+        assert_ne!(order, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dispatch_order_depends_on_rng_seed() {
+        let cfg = DeviceConfig::k20c(ClockConfig::k20_default(), false);
+        let collect = |seed: u64| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut trace = PowerTrace::new();
+            let mut order = Vec::new();
+            run_launch(
+                &cfg,
+                &mut rng,
+                &mut trace,
+                64,
+                256,
+                &KernelResources::default(),
+                1.0,
+                |i| {
+                    order.push(i);
+                    compute_block(10_000)
+                },
+            );
+            order
+        };
+        assert_eq!(collect(7), collect(7));
+        assert_ne!(collect(7), collect(8));
+    }
+
+    #[test]
+    fn work_multiplier_scales_duration_linearly() {
+        let cfg = DeviceConfig::k20c(ClockConfig::k20_default(), false);
+        let block = memory_block(1_000_000.0);
+        let t1 = sched_mult(&cfg, block, 1.0);
+        let t10 = sched_mult(&cfg, block, 10.0);
+        let ratio = t10 / t1;
+        assert!((ratio - 10.0).abs() < 1.0, "ratio {ratio}");
+    }
+
+    fn sched_mult(cfg: &DeviceConfig, cost: BlockCost, mult: f64) -> f64 {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut trace = PowerTrace::new();
+        let mut c = cfg.clone();
+        c.jitter = 0.0;
+        run_launch(
+            &c,
+            &mut rng,
+            &mut trace,
+            260,
+            256,
+            &KernelResources::default(),
+            mult,
+            |_| cost,
+        )
+        .duration_s
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_cost() -> impl Strategy<Value = BlockCost> {
+            (1u64..5_000_000, 0u64..200_000, 1u32..=8).prop_map(|(cycles, txns, warps)| {
+                let mut c = BlockCost {
+                    issue_cycles: cycles as f64 * 0.2,
+                    dram_bytes: txns as f64 * 128.0,
+                    useful_bytes: txns as f64 * 96.0,
+                    transactions: txns,
+                    ideal_transactions: txns,
+                    warps,
+                    threads: warps * 32,
+                    slots: cycles,
+                    active_lanes: cycles * 32,
+                    ..BlockCost::default()
+                };
+                c.lane_ops[CompClass::Fp32Fma.idx()] = cycles * 32;
+                c
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            /// Every launch terminates with positive duration and an
+            /// average power between idle and a board ceiling.
+            #[test]
+            fn prop_launch_power_bounded(cost in arb_cost(), grid in 1u32..200) {
+                let cfg = DeviceConfig::k20c(ClockConfig::k20_default(), false);
+                let mut rng = SmallRng::seed_from_u64(3);
+                let mut trace = PowerTrace::new();
+                let o = run_launch(
+                    &cfg, &mut rng, &mut trace, grid, 256,
+                    &KernelResources::default(), 1.0, |_| cost,
+                );
+                prop_assert!(o.duration_s > 0.0);
+                let avg = o.energy_j / o.duration_s;
+                prop_assert!(avg >= cfg.power.idle_w * 0.99, "avg {avg}");
+                prop_assert!(avg < 450.0, "avg {avg}");
+            }
+
+            /// Lower clocks never make any workload faster.
+            #[test]
+            fn prop_slower_clocks_never_speed_up(cost in arb_cost()) {
+                let hi = DeviceConfig::k20c(ClockConfig::k20_default(), false);
+                let lo = DeviceConfig::k20c(ClockConfig::k20_324(), false);
+                let t_hi = sched(&hi, 52, cost).duration_s;
+                let t_lo = sched(&lo, 52, cost).duration_s;
+                prop_assert!(t_lo >= t_hi * 0.999, "hi {t_hi} lo {t_lo}");
+            }
+
+            /// ECC never makes any workload faster.
+            #[test]
+            fn prop_ecc_never_speeds_up(cost in arb_cost()) {
+                let off = DeviceConfig::k20c(ClockConfig::k20_default(), false);
+                let on = DeviceConfig::k20c(ClockConfig::k20_default(), true);
+                let t_off = sched(&off, 52, cost).duration_s;
+                let t_on = sched(&on, 52, cost).duration_s;
+                prop_assert!(t_on >= t_off * 0.999);
+            }
+
+            /// Doubling the work multiplier at least doubles nothing less
+            /// than ~the duration (monotone, near-linear extrapolation).
+            #[test]
+            fn prop_multiplier_monotone(cost in arb_cost()) {
+                let cfg = DeviceConfig::k20c(ClockConfig::k20_default(), false);
+                let t1 = sched_mult(&cfg, cost, 10.0);
+                let t2 = sched_mult(&cfg, cost, 20.0);
+                prop_assert!(t2 > t1 * 1.5, "t1 {t1} t2 {t2}");
+            }
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! Warp formation: align the per-thread op streams of one warp into warp
+//! instructions and accumulate their cost.
+//!
+//! Threads of a warp execute in lockstep. We align the recorded streams
+//! positionally: slot `j` of every thread that still has a `j`-th op forms
+//! one warp instruction. Threads whose streams ended early (data-dependent
+//! exits) or whose op kind differs at a slot (divergent paths) leave lanes
+//! inactive — the hardware would execute those paths serially, which is
+//! exactly what charging full slot cost for partial masks models.
+
+use crate::coalesce::coalesce;
+use crate::cost::BlockCost;
+use crate::ops::{Op, OpKind};
+
+/// Issue cost of a warp-wide global memory instruction, SM cycles.
+const LSU_BASE_CYCLES: f64 = 0.25;
+/// Extra issue (replay) cycles per additional memory transaction.
+const REPLAY_CYCLES: f64 = 0.25;
+/// Issue cycles per serialized same-address atomic.
+const ATOMIC_SERIAL_CYCLES: f64 = 1.0;
+/// Issue cycles per conflict-free shared-memory warp access.
+const SHM_BASE_CYCLES: f64 = 0.25;
+/// Extra cycles per additional conflicting bank access.
+const SHM_CONFLICT_CYCLES: f64 = 0.5;
+
+/// Reduce the op streams of one warp (up to 32 threads) into `cost`.
+/// Streams are consumed logically but not mutated; the caller clears them.
+pub fn reduce_warp(streams: &[Vec<Op>], cost: &mut BlockCost) {
+    debug_assert!(streams.len() <= 32);
+    let max_len = streams.iter().map(Vec::len).max().unwrap_or(0);
+    if max_len == 0 {
+        return;
+    }
+    // Scratch reused across slots.
+    let mut addrs: Vec<u64> = Vec::with_capacity(32);
+    let mut bytes: Vec<u32> = Vec::with_capacity(32);
+    let mut kinds: Vec<OpKind> = Vec::with_capacity(4);
+
+    for j in 0..max_len {
+        kinds.clear();
+        for s in streams {
+            if let Some(op) = s.get(j) {
+                let k = op.kind();
+                if !kinds.contains(&k) {
+                    kinds.push(k);
+                }
+            }
+        }
+        // Each distinct kind at this slot executes as its own (divergent)
+        // warp instruction.
+        for &kind in &kinds {
+            match kind {
+                OpKind::Comp(class) => {
+                    let mut n_max = 0u32;
+                    let mut lane_ops = 0u64;
+                    for s in streams {
+                        if let Some(Op::Comp { class: c, n }) = s.get(j) {
+                            if *c == class {
+                                n_max = n_max.max(*n);
+                                lane_ops += *n as u64;
+                            }
+                        }
+                    }
+                    cost.issue_cycles += class.cycles_per_warp_op() * n_max as f64;
+                    cost.lane_ops[class.idx()] += lane_ops;
+                    cost.slots += n_max as u64;
+                    // Lanes are active for their own op count, idle for the
+                    // rest of the merged run.
+                    cost.active_lanes += lane_ops;
+                }
+                OpKind::Gld | OpKind::Gst => {
+                    addrs.clear();
+                    bytes.clear();
+                    for s in streams {
+                        match s.get(j) {
+                            Some(Op::Gld { addr, bytes: b }) if kind == OpKind::Gld => {
+                                addrs.push(*addr);
+                                bytes.push(*b);
+                            }
+                            Some(Op::Gst { addr, bytes: b }) if kind == OpKind::Gst => {
+                                addrs.push(*addr);
+                                bytes.push(*b);
+                            }
+                            _ => {}
+                        }
+                    }
+                    let c = coalesce(&addrs, &bytes);
+                    cost.issue_cycles +=
+                        LSU_BASE_CYCLES + REPLAY_CYCLES * (c.transactions.saturating_sub(1)) as f64;
+                    cost.transactions += c.transactions as u64;
+                    cost.ideal_transactions += c.ideal_transactions() as u64;
+                    cost.dram_bytes += c.dram_bytes() as f64;
+                    cost.useful_bytes += c.useful_bytes as f64;
+                    cost.slots += 1;
+                    cost.active_lanes += c.lanes as u64;
+                }
+                OpKind::GAtom => {
+                    addrs.clear();
+                    bytes.clear();
+                    for s in streams {
+                        if let Some(Op::GAtom { addr }) = s.get(j) {
+                            addrs.push(*addr);
+                            bytes.push(4);
+                        }
+                    }
+                    let c = coalesce(&addrs, &bytes);
+                    // Same-address atomics serialize: the max multiplicity
+                    // of any single address is the serialization depth.
+                    let mut sorted = addrs.clone();
+                    sorted.sort_unstable();
+                    let mut depth = 1u32;
+                    let mut run = 1u32;
+                    for w in sorted.windows(2) {
+                        if w[0] == w[1] {
+                            run += 1;
+                            depth = depth.max(run);
+                        } else {
+                            run = 1;
+                        }
+                    }
+                    cost.issue_cycles += LSU_BASE_CYCLES
+                        + REPLAY_CYCLES * c.transactions as f64
+                        + ATOMIC_SERIAL_CYCLES * depth as f64;
+                    cost.transactions += c.transactions as u64;
+                    cost.ideal_transactions += c.ideal_transactions() as u64;
+                    cost.dram_bytes += c.dram_bytes() as f64;
+                    cost.useful_bytes += c.useful_bytes as f64;
+                    cost.atomics += addrs.len() as u64;
+                    cost.slots += 1;
+                    cost.active_lanes += addrs.len() as u64;
+                }
+                OpKind::Shm => {
+                    // Bank-conflict analysis: 32 banks, 4-byte words.
+                    // Distinct words mapping to the same bank serialize;
+                    // identical words broadcast for free.
+                    let mut words: Vec<u32> = Vec::with_capacity(32);
+                    for s in streams {
+                        if let Some(Op::Shm { word }) = s.get(j) {
+                            words.push(*word);
+                        }
+                    }
+                    let lanes = words.len() as u64;
+                    words.sort_unstable();
+                    words.dedup();
+                    let mut per_bank = [0u8; 32];
+                    let mut degree = 1u8;
+                    for w in &words {
+                        let b = (w % 32) as usize;
+                        per_bank[b] += 1;
+                        degree = degree.max(per_bank[b]);
+                    }
+                    cost.issue_cycles +=
+                        SHM_BASE_CYCLES + SHM_CONFLICT_CYCLES * (degree - 1) as f64;
+                    cost.bank_conflict_cycles += SHM_CONFLICT_CYCLES * (degree - 1) as f64;
+                    cost.shared_accesses += lanes;
+                    cost.slots += 1;
+                    cost.active_lanes += lanes;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::CompClass;
+
+    fn comp(n: u32) -> Op {
+        Op::Comp {
+            class: CompClass::Fp32Fma,
+            n,
+        }
+    }
+
+    #[test]
+    fn empty_streams_cost_nothing() {
+        let streams: Vec<Vec<Op>> = vec![Vec::new(); 32];
+        let mut cost = BlockCost::default();
+        reduce_warp(&streams, &mut cost);
+        assert_eq!(cost, BlockCost::default());
+    }
+
+    #[test]
+    fn uniform_compute_full_warp() {
+        let streams: Vec<Vec<Op>> = vec![vec![comp(10)]; 32];
+        let mut cost = BlockCost::default();
+        reduce_warp(&streams, &mut cost);
+        assert_eq!(cost.lane_ops[CompClass::Fp32Fma.idx()], 320);
+        assert_eq!(cost.slots, 10);
+        assert_eq!(cost.active_lanes, 320);
+        assert_eq!(cost.divergence(), 0.0);
+        let expected = 10.0 * CompClass::Fp32Fma.cycles_per_warp_op();
+        assert!((cost.issue_cycles - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uneven_compute_counts_as_divergence() {
+        // Half the lanes do 10 ops, half do 2: warp pays for 10 slots.
+        let mut streams: Vec<Vec<Op>> = vec![vec![comp(10)]; 16];
+        streams.extend(vec![vec![comp(2)]; 16]);
+        let mut cost = BlockCost::default();
+        reduce_warp(&streams, &mut cost);
+        assert_eq!(cost.slots, 10);
+        assert_eq!(cost.active_lanes, 16 * 10 + 16 * 2);
+        assert!(cost.divergence() > 0.3);
+    }
+
+    #[test]
+    fn coalesced_load_one_transaction() {
+        let streams: Vec<Vec<Op>> = (0..32)
+            .map(|i| {
+                vec![Op::Gld {
+                    addr: 4096 + 4 * i,
+                    bytes: 4,
+                }]
+            })
+            .collect();
+        let mut cost = BlockCost::default();
+        reduce_warp(&streams, &mut cost);
+        assert_eq!(cost.transactions, 1);
+        assert_eq!(cost.dram_bytes, 128.0);
+        assert_eq!(cost.useful_bytes, 128.0);
+    }
+
+    #[test]
+    fn scattered_load_replays() {
+        let streams: Vec<Vec<Op>> = (0..32)
+            .map(|i| {
+                vec![Op::Gld {
+                    addr: 4096 + 512 * i,
+                    bytes: 4,
+                }]
+            })
+            .collect();
+        let mut coal = BlockCost::default();
+        reduce_warp(
+            &(0..32)
+                .map(|i| {
+                    vec![Op::Gld {
+                        addr: 4096 + 4 * i,
+                        bytes: 4,
+                    }]
+                })
+                .collect::<Vec<_>>(),
+            &mut coal,
+        );
+        let mut scat = BlockCost::default();
+        reduce_warp(&streams, &mut scat);
+        assert_eq!(scat.transactions, 32);
+        assert!(scat.issue_cycles > coal.issue_cycles);
+        assert!(scat.dram_bytes > scat.useful_bytes);
+        assert!(scat.uncoalesced_fraction() > 0.9);
+    }
+
+    #[test]
+    fn same_address_atomics_serialize() {
+        let all_same: Vec<Vec<Op>> = vec![vec![Op::GAtom { addr: 4096 }]; 32];
+        let spread: Vec<Vec<Op>> = (0..32)
+            .map(|i| vec![Op::GAtom { addr: 4096 + 4 * i }])
+            .collect();
+        let mut a = BlockCost::default();
+        reduce_warp(&all_same, &mut a);
+        let mut b = BlockCost::default();
+        reduce_warp(&spread, &mut b);
+        assert!(a.issue_cycles > b.issue_cycles);
+        assert_eq!(a.atomics, 32);
+        assert_eq!(b.atomics, 32);
+    }
+
+    #[test]
+    fn bank_conflicts_detected() {
+        // All 32 lanes hit distinct words in bank 0 -> 32-way conflict.
+        let conflict: Vec<Vec<Op>> = (0..32).map(|i| vec![Op::Shm { word: 32 * i }]).collect();
+        // Unit stride -> no conflict.
+        let clean: Vec<Vec<Op>> = (0..32).map(|i| vec![Op::Shm { word: i }]).collect();
+        // Broadcast -> no conflict.
+        let bcast: Vec<Vec<Op>> = vec![vec![Op::Shm { word: 5 }]; 32];
+        let (mut a, mut b, mut c) = Default::default();
+        reduce_warp(&conflict, &mut a);
+        reduce_warp(&clean, &mut b);
+        reduce_warp(&bcast, &mut c);
+        assert!(a.bank_conflict_cycles > 0.0);
+        assert_eq!(b.bank_conflict_cycles, 0.0);
+        assert_eq!(c.bank_conflict_cycles, 0.0);
+        assert!(a.issue_cycles > b.issue_cycles);
+    }
+
+    #[test]
+    fn mixed_kinds_at_same_slot_split() {
+        // 16 lanes load, 16 lanes compute at slot 0: two warp instructions.
+        let mut streams: Vec<Vec<Op>> = (0..16)
+            .map(|i| {
+                vec![Op::Gld {
+                    addr: 4096 + 4 * i,
+                    bytes: 4,
+                }]
+            })
+            .collect();
+        streams.extend(vec![vec![comp(1)]; 16]);
+        let mut cost = BlockCost::default();
+        reduce_warp(&streams, &mut cost);
+        assert_eq!(cost.slots, 2); // one mem slot + one comp slot
+        assert_eq!(cost.transactions, 1);
+        assert_eq!(cost.lane_ops[CompClass::Fp32Fma.idx()], 16);
+    }
+
+    #[test]
+    fn stores_count_like_loads() {
+        let streams: Vec<Vec<Op>> = (0..32)
+            .map(|i| {
+                vec![Op::Gst {
+                    addr: 8192 + 4 * i,
+                    bytes: 4,
+                }]
+            })
+            .collect();
+        let mut cost = BlockCost::default();
+        reduce_warp(&streams, &mut cost);
+        assert_eq!(cost.transactions, 1);
+        assert_eq!(cost.dram_bytes, 128.0);
+    }
+}

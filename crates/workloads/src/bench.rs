@@ -1,0 +1,138 @@
+//! The benchmark-program interface driven by the characterization harness.
+
+use kepler_sim::Device;
+use serde::{Deserialize, Serialize};
+
+/// The five benchmark suites of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Suite {
+    CudaSdk,
+    LonestarGpu,
+    Parboil,
+    Rodinia,
+    Shoc,
+}
+
+impl Suite {
+    pub const ALL: [Suite; 5] = [
+        Suite::CudaSdk,
+        Suite::LonestarGpu,
+        Suite::Parboil,
+        Suite::Rodinia,
+        Suite::Shoc,
+    ];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Suite::CudaSdk => "CUDA SDK",
+            Suite::LonestarGpu => "LonestarGPU",
+            Suite::Parboil => "Parboil",
+            Suite::Rodinia => "Rodinia",
+            Suite::Shoc => "SHOC",
+        }
+    }
+}
+
+impl std::fmt::Display for Suite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Static description of a benchmark program (one Table-1 row).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchSpec {
+    /// Short lookup key, e.g. `"lbfs"`, `"nb"`, `"sssp-wlc"`.
+    pub key: &'static str,
+    /// Paper abbreviation, e.g. `"L-BFS"`.
+    pub name: &'static str,
+    pub suite: Suite,
+    /// Number of global kernels the paper's Table 1 reports.
+    pub kernels: u32,
+    /// Regular (data-independent control/memory) vs irregular.
+    pub regular: bool,
+    pub description: &'static str,
+}
+
+/// One program input. Benchmarks interpret `n`/`m`/`aux` in their own terms
+/// (documented per program); `mult` extrapolates the functionally executed
+/// work to the paper-scale input so simulated runtimes produce enough power
+/// samples.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InputSpec {
+    /// The paper's name for the input, e.g. `"entire USA"`, `"1m bodies"`.
+    pub name: &'static str,
+    /// Primary size parameter at simulation scale.
+    pub n: usize,
+    /// Secondary parameter (edges per node, timesteps, columns, ...).
+    pub m: usize,
+    /// Tertiary parameter.
+    pub aux: usize,
+    /// Work multiplier to paper scale.
+    pub mult: f64,
+    /// RNG seed for the input generator.
+    pub seed: u64,
+}
+
+impl InputSpec {
+    pub fn new(name: &'static str, n: usize, m: usize, aux: usize, mult: f64) -> Self {
+        Self {
+            name,
+            n,
+            m,
+            aux,
+            mult,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Items processed, for the paper's per-item metrics (Table 4).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ItemCounts {
+    pub vertices: u64,
+    pub edges: u64,
+}
+
+/// What a program run produced.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RunOutput {
+    /// Algorithm-specific checksum of the computed result (compared across
+    /// configurations in integration tests: the answer must not depend on
+    /// the clocks for regular codes).
+    pub checksum: f64,
+    /// Paper-scale items processed, when the per-item metric applies.
+    pub items: Option<ItemCounts>,
+}
+
+/// A benchmark program: knows its Table-1 metadata, its paper inputs, and
+/// how to run itself on a device.
+pub trait Benchmark: Send + Sync {
+    fn spec(&self) -> BenchSpec;
+
+    /// The paper's inputs for this program, scaled for simulation.
+    fn inputs(&self) -> Vec<InputSpec>;
+
+    /// Run the whole program (allocate, launch kernels, read back) on `dev`.
+    /// Panics if the computed result fails the program's own validation.
+    fn run(&self, dev: &mut Device, input: &InputSpec) -> RunOutput;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_names() {
+        assert_eq!(Suite::LonestarGpu.name(), "LonestarGPU");
+        assert_eq!(Suite::ALL.len(), 5);
+        assert_eq!(format!("{}", Suite::Shoc), "SHOC");
+    }
+
+    #[test]
+    fn input_spec_builder() {
+        let i = InputSpec::new("x", 10, 20, 30, 5.0);
+        assert_eq!(i.n, 10);
+        assert_eq!(i.mult, 5.0);
+    }
+}

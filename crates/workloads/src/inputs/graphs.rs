@@ -1,0 +1,374 @@
+//! Graph inputs in CSR form, plus host reference algorithms.
+//!
+//! The paper's road maps (Great Lakes, Western USA, entire USA) are
+//! replaced by synthetic *road networks*: near-planar grids with
+//! perturbed connectivity. These keep the properties that drive the
+//! paper's irregular-BFS findings — tiny average degree (~2.4 directed
+//! edges/node for the USA map), enormous diameter, and good locality.
+//! SHOC/Rodinia-style inputs use uniform random k-way graphs (low
+//! diameter, no locality).
+
+use super::util::rng;
+use rand::Rng;
+
+/// Compressed-sparse-row directed graph with edge weights.
+#[derive(Debug, Clone)]
+pub struct Csr {
+    pub row_ptr: Vec<u32>,
+    pub col: Vec<u32>,
+    pub weight: Vec<u32>,
+    pub n: usize,
+}
+
+impl Csr {
+    pub fn num_edges(&self) -> usize {
+        self.col.len()
+    }
+
+    pub fn neighbors(&self, v: usize) -> impl Iterator<Item = (u32, u32)> + '_ {
+        let lo = self.row_ptr[v] as usize;
+        let hi = self.row_ptr[v + 1] as usize;
+        self.col[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.weight[lo..hi].iter().copied())
+    }
+
+    /// Build a CSR from an edge list (u, v, w) over `n` nodes.
+    pub fn from_edges(n: usize, edges: &[(u32, u32, u32)]) -> Self {
+        let mut deg = vec![0u32; n];
+        for &(u, _, _) in edges {
+            deg[u as usize] += 1;
+        }
+        let mut row_ptr = vec![0u32; n + 1];
+        for i in 0..n {
+            row_ptr[i + 1] = row_ptr[i] + deg[i];
+        }
+        let mut col = vec![0u32; edges.len()];
+        let mut weight = vec![0u32; edges.len()];
+        let mut cursor: Vec<u32> = row_ptr[..n].to_vec();
+        for &(u, v, w) in edges {
+            let c = cursor[u as usize] as usize;
+            col[c] = v;
+            weight[c] = w;
+            cursor[u as usize] += 1;
+        }
+        Self {
+            row_ptr,
+            col,
+            weight,
+            n,
+        }
+    }
+}
+
+/// Synthetic road network: a `w x h` grid where each node connects to its
+/// right and down neighbors (bidirectionally), a few edges are deleted, and
+/// a few random "highway" shortcuts are added. Average directed degree
+/// ~3.8, diameter O(w + h), strong locality — structurally like the DIMACS
+/// road maps the paper uses.
+pub fn road_network(w: usize, h: usize, seed: u64) -> Csr {
+    let n = w * h;
+    let mut r = rng(seed);
+    let mut edges: Vec<(u32, u32, u32)> = Vec::with_capacity(4 * n);
+    let idx = |x: usize, y: usize| (y * w + x) as u32;
+    for y in 0..h {
+        for x in 0..w {
+            let u = idx(x, y);
+            if x + 1 < w && r.gen::<f32>() > 0.06 {
+                let v = idx(x + 1, y);
+                let wgt = r.gen_range(1..100u32);
+                edges.push((u, v, wgt));
+                edges.push((v, u, wgt));
+            }
+            if y + 1 < h && r.gen::<f32>() > 0.06 {
+                let v = idx(x, y + 1);
+                let wgt = r.gen_range(1..100u32);
+                edges.push((u, v, wgt));
+                edges.push((v, u, wgt));
+            }
+        }
+    }
+    // Sparse long-range shortcuts (highways), ~0.5% of nodes.
+    for _ in 0..n / 200 {
+        let u = r.gen_range(0..n) as u32;
+        let v = r.gen_range(0..n) as u32;
+        if u != v {
+            let wgt = r.gen_range(50..200u32);
+            edges.push((u, v, wgt));
+            edges.push((v, u, wgt));
+        }
+    }
+    Csr::from_edges(n, &edges)
+}
+
+/// Uniform random k-way graph: every node gets `k` out-edges to uniformly
+/// random targets (SHOC's BFS input). Tiny diameter, no locality.
+pub fn random_kway(n: usize, k: usize, seed: u64) -> Csr {
+    let mut r = rng(seed);
+    let mut edges: Vec<(u32, u32, u32)> = Vec::with_capacity(n * k);
+    for u in 0..n as u32 {
+        for _ in 0..k {
+            let v = r.gen_range(0..n) as u32;
+            edges.push((u, v, r.gen_range(1..10u32)));
+        }
+    }
+    Csr::from_edges(n, &edges)
+}
+
+/// Host reference BFS levels from `src` (u32::MAX = unreachable).
+pub fn host_bfs(g: &Csr, src: usize) -> Vec<u32> {
+    let mut level = vec![u32::MAX; g.n];
+    level[src] = 0;
+    let mut frontier = vec![src as u32];
+    let mut next = Vec::new();
+    let mut cur = 0u32;
+    while !frontier.is_empty() {
+        for &u in &frontier {
+            for (v, _) in g.neighbors(u as usize) {
+                if level[v as usize] == u32::MAX {
+                    level[v as usize] = cur + 1;
+                    next.push(v);
+                }
+            }
+        }
+        frontier.clear();
+        std::mem::swap(&mut frontier, &mut next);
+        cur += 1;
+    }
+    level
+}
+
+/// Host reference single-source shortest paths (Dijkstra).
+pub fn host_sssp(g: &Csr, src: usize) -> Vec<u32> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut dist = vec![u32::MAX; g.n];
+    dist[src] = 0;
+    let mut heap = BinaryHeap::new();
+    heap.push(Reverse((0u32, src as u32)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u as usize] {
+            continue;
+        }
+        for (v, w) in g.neighbors(u as usize) {
+            let nd = d.saturating_add(w);
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    dist
+}
+
+/// Host reference minimum-spanning-forest weight (Kruskal). The graph is
+/// interpreted as undirected: each (u,v) and (v,u) pair counts once.
+pub fn host_msf_weight(g: &Csr) -> u64 {
+    let mut edges: Vec<(u32, u32, u32)> = Vec::new();
+    for u in 0..g.n {
+        for (v, w) in g.neighbors(u) {
+            if (u as u32) < v {
+                edges.push((w, u as u32, v));
+            }
+        }
+    }
+    edges.sort_unstable();
+    let mut parent: Vec<u32> = (0..g.n as u32).collect();
+    fn find(parent: &mut [u32], x: u32) -> u32 {
+        let mut root = x;
+        while parent[root as usize] != root {
+            root = parent[root as usize];
+        }
+        let mut cur = x;
+        while parent[cur as usize] != root {
+            let next = parent[cur as usize];
+            parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+    let mut total = 0u64;
+    for (w, u, v) in edges {
+        let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+        if ru != rv {
+            parent[ru as usize] = rv;
+            total += w as u64;
+        }
+    }
+    total
+}
+
+/// BFS diameter estimate: the maximum finite level from `src`.
+pub fn eccentricity(g: &Csr, src: usize) -> u32 {
+    host_bfs(g, src)
+        .iter()
+        .filter(|&&l| l != u32::MAX)
+        .copied()
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_from_edges_roundtrip() {
+        let g = Csr::from_edges(3, &[(0, 1, 5), (0, 2, 7), (1, 2, 1)]);
+        assert_eq!(g.num_edges(), 3);
+        let n0: Vec<_> = g.neighbors(0).collect();
+        assert_eq!(n0, vec![(1, 5), (2, 7)]);
+        assert_eq!(g.neighbors(2).count(), 0);
+    }
+
+    #[test]
+    fn road_network_structure() {
+        let g = road_network(32, 32, 1);
+        assert_eq!(g.n, 1024);
+        let avg_deg = g.num_edges() as f64 / g.n as f64;
+        assert!(avg_deg > 2.5 && avg_deg < 4.5, "deg {avg_deg}");
+        // High diameter: at least half the Manhattan width.
+        let ecc = eccentricity(&g, 0);
+        assert!(ecc >= 30, "eccentricity {ecc}");
+    }
+
+    #[test]
+    fn random_kway_low_diameter() {
+        let g = random_kway(2048, 8, 2);
+        assert_eq!(g.num_edges(), 2048 * 8);
+        let ecc = eccentricity(&g, 0);
+        assert!(ecc <= 8, "eccentricity {ecc}");
+    }
+
+    #[test]
+    fn host_bfs_simple_chain() {
+        let g = Csr::from_edges(4, &[(0, 1, 1), (1, 2, 1), (2, 3, 1)]);
+        assert_eq!(host_bfs(&g, 0), vec![0, 1, 2, 3]);
+        assert_eq!(host_bfs(&g, 3), vec![u32::MAX, u32::MAX, u32::MAX, 0]);
+    }
+
+    #[test]
+    fn host_sssp_prefers_cheap_path() {
+        // 0->2 direct costs 10; through 1 costs 2+3=5.
+        let g = Csr::from_edges(3, &[(0, 2, 10), (0, 1, 2), (1, 2, 3)]);
+        assert_eq!(host_sssp(&g, 0), vec![0, 2, 5]);
+    }
+
+    #[test]
+    fn host_msf_on_triangle() {
+        let g = Csr::from_edges(
+            3,
+            &[
+                (0, 1, 1),
+                (1, 0, 1),
+                (1, 2, 2),
+                (2, 1, 2),
+                (0, 2, 10),
+                (2, 0, 10),
+            ],
+        );
+        assert_eq!(host_msf_weight(&g), 3);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = road_network(16, 16, 9);
+        let b = road_network(16, 16, 9);
+        assert_eq!(a.col, b.col);
+        let c = road_network(16, 16, 10);
+        assert_ne!(a.col, c.col);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+
+            /// CSR invariants hold for arbitrary road-network dimensions.
+            #[test]
+            fn prop_road_network_csr_well_formed(w in 2usize..24, h in 2usize..24, seed in 0u64..1000) {
+                let g = road_network(w, h, seed);
+                prop_assert_eq!(g.n, w * h);
+                prop_assert_eq!(g.row_ptr.len(), g.n + 1);
+                prop_assert_eq!(g.row_ptr[0], 0);
+                prop_assert_eq!(g.row_ptr[g.n] as usize, g.num_edges());
+                for win in g.row_ptr.windows(2) {
+                    prop_assert!(win[0] <= win[1]);
+                }
+                for &c in &g.col {
+                    prop_assert!((c as usize) < g.n);
+                }
+                // Undirected: every edge has its reverse.
+                for u in 0..g.n {
+                    for (v, _) in g.neighbors(u) {
+                        prop_assert!(
+                            g.neighbors(v as usize).any(|(w2, _)| w2 as usize == u),
+                            "missing reverse of {}->{}", u, v
+                        );
+                    }
+                }
+            }
+
+            /// Host BFS levels are a valid BFS labelling: neighbors differ
+            /// by at most one level, and the source is 0.
+            #[test]
+            fn prop_host_bfs_is_valid_labelling(w in 2usize..16, h in 2usize..16, seed in 0u64..500) {
+                let g = road_network(w, h, seed);
+                let src = (w * h) / 2;
+                let levels = host_bfs(&g, src);
+                prop_assert_eq!(levels[src], 0);
+                for u in 0..g.n {
+                    if levels[u] == u32::MAX { continue; }
+                    for (v, _) in g.neighbors(u) {
+                        let lv = levels[v as usize];
+                        prop_assert!(lv != u32::MAX);
+                        prop_assert!(lv + 1 >= levels[u] || lv >= 1 && lv - 1 <= levels[u]);
+                        prop_assert!(lv <= levels[u] + 1);
+                    }
+                }
+            }
+
+            /// Dijkstra distances satisfy the triangle inequality on edges.
+            #[test]
+            fn prop_host_sssp_relaxed(w in 2usize..14, h in 2usize..14, seed in 0u64..500) {
+                let g = road_network(w, h, seed);
+                let dist = host_sssp(&g, 0);
+                for u in 0..g.n {
+                    if dist[u] == u32::MAX { continue; }
+                    for (v, wt) in g.neighbors(u) {
+                        prop_assert!(dist[v as usize] <= dist[u].saturating_add(wt));
+                    }
+                }
+            }
+
+            /// The minimum spanning forest never weighs more than any
+            /// spanning structure; in particular its weight is at most the
+            /// total undirected edge weight and is monotone under edge
+            /// removal... we check the cheap invariant: msf <= sum of all
+            /// undirected weights.
+            #[test]
+            fn prop_msf_weight_bounded(w in 2usize..12, h in 2usize..12, seed in 0u64..200) {
+                let g = road_network(w, h, seed);
+                let total: u64 = (0..g.n)
+                    .flat_map(|u| g.neighbors(u).map(move |(v, wt)| (u, v, wt)))
+                    .filter(|(u, v, _)| (*u as u32) < *v)
+                    .map(|(_, _, wt)| wt as u64)
+                    .sum();
+                prop_assert!(host_msf_weight(&g) <= total);
+            }
+        }
+    }
+
+    #[test]
+    fn road_network_mostly_connected() {
+        let g = road_network(48, 48, 3);
+        let reached = host_bfs(&g, g.n / 2)
+            .iter()
+            .filter(|&&l| l != u32::MAX)
+            .count();
+        assert!(reached as f64 > 0.95 * g.n as f64);
+    }
+}

@@ -1,0 +1,96 @@
+//! 2-D triangle meshes for the mesh-refinement benchmark (DMR).
+
+use super::util::rng;
+use rand::Rng;
+
+/// A 2-D triangle mesh: vertex coordinates plus triangles as vertex-index
+/// triples.
+#[derive(Debug, Clone)]
+pub struct TriMesh {
+    pub px: Vec<f32>,
+    pub py: Vec<f32>,
+    pub tris: Vec<[u32; 3]>,
+}
+
+impl TriMesh {
+    pub fn num_tris(&self) -> usize {
+        self.tris.len()
+    }
+
+    /// Signed double-area of triangle `t`.
+    pub fn area2(&self, t: usize) -> f32 {
+        let [a, b, c] = self.tris[t];
+        let (ax, ay) = (self.px[a as usize], self.py[a as usize]);
+        let (bx, by) = (self.px[b as usize], self.py[b as usize]);
+        let (cx, cy) = (self.px[c as usize], self.py[c as usize]);
+        (bx - ax) * (cy - ay) - (cx - ax) * (by - ay)
+    }
+
+    /// Total mesh area.
+    pub fn total_area(&self) -> f64 {
+        (0..self.num_tris())
+            .map(|t| self.area2(t).abs() as f64 / 2.0)
+            .sum()
+    }
+}
+
+/// A jittered structured triangulation of the unit square with `w x h`
+/// cells (2 triangles each). Jitter makes triangle qualities and areas
+/// non-uniform, like a real unstructured mesh.
+pub fn jittered_square(w: usize, h: usize, seed: u64) -> TriMesh {
+    let mut r = rng(seed);
+    let (nx, ny) = (w + 1, h + 1);
+    let mut px = Vec::with_capacity(nx * ny);
+    let mut py = Vec::with_capacity(nx * ny);
+    for y in 0..ny {
+        for x in 0..nx {
+            let boundary = x == 0 || y == 0 || x == w || y == h;
+            let jitter = if boundary {
+                (0.0, 0.0)
+            } else {
+                (r.gen_range(-0.35..0.35), r.gen_range(-0.35..0.35))
+            };
+            px.push((x as f32 + jitter.0) / w as f32);
+            py.push((y as f32 + jitter.1) / h as f32);
+        }
+    }
+    let mut tris = Vec::with_capacity(2 * w * h);
+    let idx = |x: usize, y: usize| (y * nx + x) as u32;
+    for y in 0..h {
+        for x in 0..w {
+            let (a, b, c, d) = (idx(x, y), idx(x + 1, y), idx(x, y + 1), idx(x + 1, y + 1));
+            tris.push([a, b, d]);
+            tris.push([a, d, c]);
+        }
+    }
+    TriMesh { px, py, tris }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_covers_unit_square() {
+        let m = jittered_square(8, 8, 1);
+        assert_eq!(m.num_tris(), 128);
+        assert!((m.total_area() - 1.0).abs() < 1e-4, "{}", m.total_area());
+    }
+
+    #[test]
+    fn triangles_consistently_oriented() {
+        let m = jittered_square(6, 6, 2);
+        for t in 0..m.num_tris() {
+            assert!(m.area2(t) > 0.0, "triangle {t} degenerate or flipped");
+        }
+    }
+
+    #[test]
+    fn jitter_varies_areas() {
+        let m = jittered_square(8, 8, 3);
+        let areas: Vec<f32> = (0..m.num_tris()).map(|t| m.area2(t).abs()).collect();
+        let min = areas.iter().cloned().fold(f32::MAX, f32::min);
+        let max = areas.iter().cloned().fold(f32::MIN, f32::max);
+        assert!(max / min > 1.5, "min {min} max {max}");
+    }
+}

@@ -1,0 +1,11 @@
+//! Synthetic input generators replacing the paper's data sets (road maps,
+//! biomolecular boxes, MPEG clips, points-to constraint files, ...). Each
+//! generator preserves the structural properties the paper's analysis
+//! depends on — degree distribution, diameter, locality, skew.
+
+pub mod graphs;
+pub mod mesh;
+pub mod points;
+pub mod sat;
+pub mod sequences;
+pub mod util;

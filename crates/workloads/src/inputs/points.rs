@@ -1,0 +1,136 @@
+//! Point-set inputs: n-body initial conditions, molecular boxes,
+//! astronomical distributions.
+
+use super::util::rng;
+use rand::Rng;
+
+/// Plummer-like spherical distribution for n-body codes (BH, NB): dense
+//  core, sparse halo — the mass distribution Barnes-Hut inputs use.
+pub fn plummer(n: usize, seed: u64) -> (Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>) {
+    let mut r = rng(seed);
+    let (mut xs, mut ys, mut zs, mut ms) = (
+        Vec::with_capacity(n),
+        Vec::with_capacity(n),
+        Vec::with_capacity(n),
+        Vec::with_capacity(n),
+    );
+    for _ in 0..n {
+        // Radius from the Plummer cumulative mass profile.
+        let m: f32 = r.gen_range(0.01..0.99);
+        let rad = 1.0 / (m.powf(-2.0 / 3.0) - 1.0).sqrt();
+        let theta = r.gen_range(0.0..std::f32::consts::PI);
+        let phi = r.gen_range(0.0..2.0 * std::f32::consts::PI);
+        xs.push(rad * theta.sin() * phi.cos());
+        ys.push(rad * theta.sin() * phi.sin());
+        zs.push(rad * theta.cos());
+        ms.push(1.0 / n as f32);
+    }
+    (xs, ys, zs, ms)
+}
+
+/// Atoms on a jittered FCC-ish lattice in a periodic box (MD, CUTCP):
+/// roughly uniform density like a water box.
+pub fn lattice_atoms(n: usize, box_len: f32, seed: u64) -> Vec<[f32; 3]> {
+    let mut r = rng(seed);
+    let side = (n as f32).cbrt().ceil() as usize;
+    let cell = box_len / side as f32;
+    let mut out = Vec::with_capacity(n);
+    'outer: for ix in 0..side {
+        for iy in 0..side {
+            for iz in 0..side {
+                if out.len() >= n {
+                    break 'outer;
+                }
+                let mut jitter = || -> f32 { r.gen_range(-0.25..0.25) };
+                out.push([
+                    (ix as f32 + 0.5 + jitter()) * cell,
+                    (iy as f32 + 0.5 + jitter()) * cell,
+                    (iz as f32 + 0.5 + jitter()) * cell,
+                ]);
+            }
+        }
+    }
+    out
+}
+
+/// Angular sky positions for TPACF: unit vectors with mild clustering
+/// (a fraction of points is drawn near "galaxy cluster" centers).
+pub fn sky_points(n: usize, seed: u64) -> Vec<[f32; 3]> {
+    let mut r = rng(seed);
+    let n_clusters = 16.max(n / 256);
+    let centers: Vec<[f32; 3]> = (0..n_clusters).map(|_| random_unit(&mut r)).collect();
+    (0..n)
+        .map(|_| {
+            if r.gen::<f32>() < 0.4 {
+                let c = centers[r.gen_range(0..n_clusters)];
+                let jitter = random_unit(&mut r);
+                normalize([
+                    c[0] + 0.1 * jitter[0],
+                    c[1] + 0.1 * jitter[1],
+                    c[2] + 0.1 * jitter[2],
+                ])
+            } else {
+                random_unit(&mut r)
+            }
+        })
+        .collect()
+}
+
+fn random_unit(r: &mut impl Rng) -> [f32; 3] {
+    loop {
+        let v = [
+            r.gen_range(-1.0f32..1.0),
+            r.gen_range(-1.0f32..1.0),
+            r.gen_range(-1.0f32..1.0),
+        ];
+        let len2 = v[0] * v[0] + v[1] * v[1] + v[2] * v[2];
+        if len2 > 1e-4 && len2 <= 1.0 {
+            return normalize(v);
+        }
+    }
+}
+
+fn normalize(v: [f32; 3]) -> [f32; 3] {
+    let len = (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]).sqrt();
+    [v[0] / len, v[1] / len, v[2] / len]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plummer_centrally_concentrated() {
+        let (xs, ys, zs, ms) = plummer(2000, 1);
+        assert_eq!(xs.len(), 2000);
+        let radii: Vec<f32> = xs
+            .iter()
+            .zip(&ys)
+            .zip(&zs)
+            .map(|((x, y), z)| (x * x + y * y + z * z).sqrt())
+            .collect();
+        let inner = radii.iter().filter(|&&r| r < 1.0).count();
+        assert!(inner > 500, "inner {inner}");
+        let total_mass: f32 = ms.iter().sum();
+        assert!((total_mass - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn lattice_atoms_fill_box() {
+        let atoms = lattice_atoms(1000, 10.0, 2);
+        assert_eq!(atoms.len(), 1000);
+        for a in &atoms {
+            for &c in a {
+                assert!(c > -1.0 && c < 11.0);
+            }
+        }
+    }
+
+    #[test]
+    fn sky_points_are_unit_vectors() {
+        for p in sky_points(500, 3) {
+            let len = (p[0] * p[0] + p[1] * p[1] + p[2] * p[2]).sqrt();
+            assert!((len - 1.0).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Random k-SAT formulas for survey propagation (NSP), matching the
+//! paper's clauses–literals–literals-per-clause parameterization.
+
+use super::util::rng;
+use rand::Rng;
+
+/// A CNF formula: `clauses[c]` lists signed literals; variable `v` appears
+/// as `v+1` (positive) or `-(v+1)` (negated).
+#[derive(Debug, Clone)]
+pub struct Formula {
+    pub num_vars: usize,
+    pub clauses: Vec<Vec<i32>>,
+}
+
+impl Formula {
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    pub fn num_edges(&self) -> usize {
+        self.clauses.iter().map(Vec::len).sum()
+    }
+}
+
+/// Random k-SAT: `m` clauses over `n` variables, `k` distinct literals per
+/// clause with random polarity.
+pub fn random_ksat(m: usize, n: usize, k: usize, seed: u64) -> Formula {
+    assert!(k <= n, "clause width exceeds variable count");
+    let mut r = rng(seed);
+    let mut clauses = Vec::with_capacity(m);
+    for _ in 0..m {
+        let mut vars = Vec::with_capacity(k);
+        while vars.len() < k {
+            let v = r.gen_range(0..n) as i32;
+            if !vars.iter().any(|&(x, _)| x == v) {
+                vars.push((v, r.gen::<bool>()));
+            }
+        }
+        clauses.push(
+            vars.into_iter()
+                .map(|(v, pos)| if pos { v + 1 } else { -(v + 1) })
+                .collect(),
+        );
+    }
+    Formula {
+        num_vars: n,
+        clauses,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formula_shape() {
+        let f = random_ksat(100, 40, 3, 1);
+        assert_eq!(f.num_clauses(), 100);
+        assert_eq!(f.num_vars, 40);
+        assert_eq!(f.num_edges(), 300);
+        for c in &f.clauses {
+            assert_eq!(c.len(), 3);
+            for &lit in c {
+                assert!(lit != 0 && lit.unsigned_abs() <= 40);
+            }
+            // Distinct variables within a clause.
+            let mut vars: Vec<u32> = c.iter().map(|l| l.unsigned_abs()).collect();
+            vars.sort_unstable();
+            vars.dedup();
+            assert_eq!(vars.len(), 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "clause width")]
+    fn k_greater_than_n_rejected() {
+        random_ksat(1, 2, 3, 0);
+    }
+}

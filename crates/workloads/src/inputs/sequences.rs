@@ -1,0 +1,66 @@
+//! DNA sequence inputs for MUMmerGPU and Needleman-Wunsch.
+
+use super::util::rng;
+use rand::Rng;
+
+const BASES: [u8; 4] = [b'A', b'C', b'G', b'T'];
+
+/// A random DNA reference sequence of length `n`.
+pub fn reference(n: usize, seed: u64) -> Vec<u8> {
+    let mut r = rng(seed);
+    (0..n).map(|_| BASES[r.gen_range(0..4)]).collect()
+}
+
+/// Query reads of length `len`, most of which are real substrings of
+/// `reference` with a few point mutations (so alignments exist), the rest
+/// random.
+pub fn queries(reference: &[u8], count: usize, len: usize, seed: u64) -> Vec<u8> {
+    let mut r = rng(seed ^ 0xBEEF);
+    let mut out = Vec::with_capacity(count * len);
+    for _ in 0..count {
+        if r.gen::<f32>() < 0.8 && reference.len() > len {
+            let start = r.gen_range(0..reference.len() - len);
+            for i in 0..len {
+                let base = reference[start + i];
+                if r.gen::<f32>() < 0.02 {
+                    out.push(BASES[r.gen_range(0..4)]);
+                } else {
+                    out.push(base);
+                }
+            }
+        } else {
+            for _ in 0..len {
+                out.push(BASES[r.gen_range(0..4)]);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_is_dna() {
+        let s = reference(1000, 1);
+        assert_eq!(s.len(), 1000);
+        assert!(s.iter().all(|b| BASES.contains(b)));
+    }
+
+    #[test]
+    fn queries_mostly_match_reference() {
+        let r = reference(10_000, 2);
+        let q = queries(&r, 50, 25, 3);
+        assert_eq!(q.len(), 50 * 25);
+        // At least some queries should appear (near-)verbatim.
+        let hay: &[u8] = &r;
+        let mut exact = 0;
+        for chunk in q.chunks(25) {
+            if hay.windows(25).any(|w| w == chunk) {
+                exact += 1;
+            }
+        }
+        assert!(exact >= 10, "exact {exact}");
+    }
+}

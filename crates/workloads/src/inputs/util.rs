@@ -1,0 +1,59 @@
+//! Small shared helpers for input generation.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic RNG for a generator.
+pub fn rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xC0FF_EE)
+}
+
+/// `n` uniform f32 values in `[lo, hi)`.
+pub fn f32_vec(n: usize, lo: f32, hi: f32, seed: u64) -> Vec<f32> {
+    let mut r = rng(seed);
+    (0..n).map(|_| r.gen_range(lo..hi)).collect()
+}
+
+/// `n` uniform u32 values in `[0, hi)`.
+pub fn u32_vec(n: usize, hi: u32, seed: u64) -> Vec<u32> {
+    let mut r = rng(seed);
+    (0..n).map(|_| r.gen_range(0..hi)).collect()
+}
+
+/// `n` points uniform in the unit cube, as (x, y, z) triples.
+pub fn points3d(n: usize, seed: u64) -> Vec<[f32; 3]> {
+    let mut r = rng(seed);
+    (0..n)
+        .map(|_| [r.gen::<f32>(), r.gen::<f32>(), r.gen::<f32>()])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(f32_vec(8, 0.0, 1.0, 7), f32_vec(8, 0.0, 1.0, 7));
+        assert_ne!(f32_vec(8, 0.0, 1.0, 7), f32_vec(8, 0.0, 1.0, 8));
+    }
+
+    #[test]
+    fn ranges_respected() {
+        for v in f32_vec(100, 2.0, 3.0, 1) {
+            assert!((2.0..3.0).contains(&v));
+        }
+        for v in u32_vec(100, 10, 1) {
+            assert!(v < 10);
+        }
+    }
+
+    #[test]
+    fn points_in_unit_cube() {
+        for p in points3d(50, 3) {
+            for c in p {
+                assert!((0.0..1.0).contains(&c));
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # workloads
+//!
+//! The 34 GPGPU benchmark programs the paper characterizes, re-implemented
+//! as functional SIMT kernels on the [`kepler_sim`] device, plus synthetic
+//! generators for the paper's inputs.
+//!
+//! Every program computes its *real* algorithm — results are read back and
+//! validated against host references in each module's tests — while its
+//! memory/compute trace drives the simulator's timing and power model. The
+//! paper's five suites map to the five modules:
+//!
+//! * [`lonestar`] — irregular graph/mesh codes: BH, L-BFS (plus the
+//!   `atomic`, `wla`, `wlw`, `wlc` variants), DMR, MST, PTA, SSSP (plus
+//!   `wln`, `wlc`), NSP.
+//! * [`parboil`] — P-BFS, CUTCP, HISTO, LBM, MRIQ, SAD, SGEMM, STEN, TPACF.
+//! * [`rodinia`] — BP, R-BFS, GE, MUM, NN, NW, PF.
+//! * [`shoc`] — S-BFS, FFT, MF, MD, QTC, ST, S2D.
+//! * [`sdk`] — EIP, EP, NB, SC.
+//!
+//! [`registry`] exposes the full Table-1 inventory; [`bench::Benchmark`] is
+//! the interface the characterization harness drives.
+
+pub mod bench;
+pub mod inputs;
+pub mod lonestar;
+pub mod parboil;
+pub mod registry;
+pub mod rodinia;
+pub mod sdk;
+pub mod shoc;
+
+pub use bench::{BenchSpec, Benchmark, InputSpec, ItemCounts, RunOutput, Suite};

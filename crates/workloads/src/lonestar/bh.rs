@@ -1,0 +1,522 @@
+//! BH — LonestarGPU Barnes-Hut n-body simulation.
+//!
+//! The real code's kernel pipeline, reproduced: (1) bounding-box reduction,
+//! (2) octree build with atomic child-pointer claiming, (3) bottom-up
+//! center-of-mass summarization, (4) force computation by divergent tree
+//! traversal with the θ opening criterion, (5) integration. The traversal's
+//! data-dependent control flow and scattered child loads make BH the
+//! canonical irregular-but-compute-heavy program.
+
+use crate::bench::{BenchSpec, Benchmark, InputSpec, RunOutput, Suite};
+use crate::inputs::points::plummer;
+use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, LaunchOpts};
+
+const BLOCK: u32 = 128;
+const THETA2: f32 = 0.25; // θ = 0.5
+const SOFTENING: f32 = 1e-2;
+const EMPTY: i32 = -1;
+
+struct BhBufs {
+    // Bodies.
+    x: DevBuffer<f32>,
+    y: DevBuffer<f32>,
+    z: DevBuffer<f32>,
+    m: DevBuffer<f32>,
+    ax: DevBuffer<f32>,
+    ay: DevBuffer<f32>,
+    az: DevBuffer<f32>,
+    // Bounding box (as f32 atomics).
+    min_c: DevBuffer<f32>,
+    max_c: DevBuffer<f32>,
+    // Octree: cells are allocated from a counter; child holds body ids
+    // (< n), cell ids (>= n, offset by n), or EMPTY.
+    child: DevBuffer<i32>,
+    cell_x: DevBuffer<f32>,
+    cell_y: DevBuffer<f32>,
+    cell_z: DevBuffer<f32>,
+    cell_m: DevBuffer<f32>,
+    cell_half: DevBuffer<f32>,
+    next_cell: DevBuffer<u32>,
+    n: usize,
+    max_cells: usize,
+}
+
+/// Kernel 1: bounding box via block-local reduction + global atomic min/max.
+struct BoundingBox<'a> {
+    b: &'a BhBufs,
+}
+impl Kernel for BoundingBox<'_> {
+    fn name(&self) -> &'static str {
+        "bh_bounding_box"
+    }
+    fn run_block(&self, blk: &mut BlockCtx) {
+        let b = self.b;
+        blk.for_each_thread(|t| {
+            let i = t.gtid() as usize;
+            if i >= b.n {
+                return;
+            }
+            let (x, y, z) = (t.ld(&b.x, i), t.ld(&b.y, i), t.ld(&b.z, i));
+            t.fp32_add(6);
+            t.atomic_min_f32(&b.min_c, 0, x);
+            t.atomic_min_f32(&b.min_c, 1, y);
+            t.atomic_min_f32(&b.min_c, 2, z);
+            // max via min of negated values.
+            t.atomic_min_f32(&b.max_c, 0, -x);
+            t.atomic_min_f32(&b.max_c, 1, -y);
+            t.atomic_min_f32(&b.max_c, 2, -z);
+        });
+    }
+}
+
+/// Kernel 2: octree build. Each body walks from the root and claims a leaf
+/// slot; occupied slots are split by allocating a new cell.
+struct BuildTree<'a> {
+    b: &'a BhBufs,
+}
+impl Kernel for BuildTree<'_> {
+    fn name(&self) -> &'static str {
+        "bh_build_tree"
+    }
+    fn run_block(&self, blk: &mut BlockCtx) {
+        let b = self.b;
+        let n = b.n;
+        blk.for_each_thread(|t| {
+            let i = t.gtid() as usize;
+            if i >= n {
+                return;
+            }
+            let (px, py, pz) = (t.ld(&b.x, i), t.ld(&b.y, i), t.ld(&b.z, i));
+            // Walk down from the root cell (cell 0).
+            let mut cell = 0usize;
+            let mut depth = 0;
+            loop {
+                depth += 1;
+                assert!(depth < 64, "octree insert runaway");
+                let cx = t.ld(&b.cell_x, cell);
+                let cy = t.ld(&b.cell_y, cell);
+                let cz = t.ld(&b.cell_z, cell);
+                let half = t.ld(&b.cell_half, cell);
+                let oct = ((px > cx) as usize) | ((py > cy) as usize) << 1 | ((pz > cz) as usize) << 2;
+                t.int_op(6);
+                t.fp32_add(3);
+                let slot = cell * 8 + oct;
+                let cur = t.ld(&b.child, slot);
+                if cur == EMPTY {
+                    // Claim the empty slot (CAS-style on the child array).
+                    t.atomic_or_u32(&b.next_cell, 0, 0); // models the CAS traffic
+                    t.st(&b.child, slot, i as i32);
+                    break;
+                } else if (cur as usize) < n {
+                    // Occupied by a body: split by allocating a child cell
+                    // and pushing the resident body down, then retry.
+                    let new_cell = t.atomic_add_u32(&b.next_cell, 0, 1) as usize;
+                    assert!(new_cell < b.max_cells, "octree cell pool exhausted");
+                    let q = half / 2.0;
+                    let nx = cx + if oct & 1 != 0 { q } else { -q };
+                    let ny = cy + if oct & 2 != 0 { q } else { -q };
+                    let nz = cz + if oct & 4 != 0 { q } else { -q };
+                    t.fp32_add(4);
+                    t.st(&b.cell_x, new_cell, nx);
+                    t.st(&b.cell_y, new_cell, ny);
+                    t.st(&b.cell_z, new_cell, nz);
+                    t.st(&b.cell_half, new_cell, q);
+                    // Re-insert the displaced body into the new cell.
+                    let other = cur as usize;
+                    let ox = t.ld(&b.x, other);
+                    let oy = t.ld(&b.y, other);
+                    let oz = t.ld(&b.z, other);
+                    let ooct = ((ox > nx) as usize)
+                        | ((oy > ny) as usize) << 1
+                        | ((oz > nz) as usize) << 2;
+                    t.int_op(6);
+                    t.st(&b.child, new_cell * 8 + ooct, cur);
+                    t.st(&b.child, slot, (n + new_cell) as i32);
+                    // Continue walking into the new cell.
+                    cell = new_cell;
+                } else {
+                    cell = cur as usize - n;
+                }
+            }
+        });
+    }
+}
+
+/// Kernel 3: bottom-up center-of-mass summarization. Cells are processed in
+/// reverse allocation order (children always have higher ids than their
+/// parent), one sweep.
+struct Summarize<'a> {
+    b: &'a BhBufs,
+    num_cells: usize,
+}
+impl Kernel for Summarize<'_> {
+    fn name(&self) -> &'static str {
+        "bh_summarize"
+    }
+    fn run_block(&self, blk: &mut BlockCtx) {
+        let b = self.b;
+        let num_cells = self.num_cells;
+        let n = b.n;
+        blk.for_each_thread(|t| {
+            let r = t.gtid() as usize;
+            if r >= num_cells {
+                return;
+            }
+            let cell = num_cells - 1 - r;
+            let mut mass = 0.0f32;
+            let (mut mx, mut my, mut mz) = (0.0f32, 0.0f32, 0.0f32);
+            for oct in 0..8 {
+                let c = t.ld(&b.child, cell * 8 + oct);
+                t.int_op(2);
+                if c == EMPTY {
+                    continue;
+                }
+                let (cm, cx, cy, cz) = if (c as usize) < n {
+                    let j = c as usize;
+                    (t.ld(&b.m, j), t.ld(&b.x, j), t.ld(&b.y, j), t.ld(&b.z, j))
+                } else {
+                    let j = c as usize - n;
+                    (
+                        t.ld(&b.cell_m, j),
+                        t.ld(&b.cell_x, j),
+                        t.ld(&b.cell_y, j),
+                        t.ld(&b.cell_z, j),
+                    )
+                };
+                mass += cm;
+                mx += cm * cx;
+                my += cm * cy;
+                mz += cm * cz;
+                t.fma32(4);
+            }
+            if mass > 0.0 {
+                t.sfu(1);
+                t.st(&b.cell_m, cell, mass);
+                t.st(&b.cell_x, cell, mx / mass);
+                t.st(&b.cell_y, cell, my / mass);
+                t.st(&b.cell_z, cell, mz / mass);
+            } else {
+                t.st(&b.cell_m, cell, 0.0);
+            }
+        });
+    }
+}
+
+/// Kernel 4: force computation by iterative tree traversal with the θ
+/// opening criterion. Heavily divergent, scattered loads.
+struct Force<'a> {
+    b: &'a BhBufs,
+    root_half: f32,
+}
+impl Kernel for Force<'_> {
+    fn name(&self) -> &'static str {
+        "bh_force"
+    }
+    fn run_block(&self, blk: &mut BlockCtx) {
+        let b = self.b;
+        let n = b.n;
+        let root_half = self.root_half;
+        blk.for_each_thread(|t| {
+            let i = t.gtid() as usize;
+            if i >= n {
+                return;
+            }
+            let (px, py, pz) = (t.ld(&b.x, i), t.ld(&b.y, i), t.ld(&b.z, i));
+            let (mut ax, mut ay, mut az) = (0.0f32, 0.0f32, 0.0f32);
+            // Explicit traversal stack of (node, half-size).
+            let mut stack: Vec<(i32, f32)> = vec![(n as i32, root_half)];
+            while let Some((node, half)) = stack.pop() {
+                t.int_op(2);
+                if node == EMPTY {
+                    continue;
+                }
+                let (cm, cx, cy, cz, is_body) = if (node as usize) < n {
+                    let j = node as usize;
+                    if j == i {
+                        continue;
+                    }
+                    (t.ld(&b.m, j), t.ld(&b.x, j), t.ld(&b.y, j), t.ld(&b.z, j), true)
+                } else {
+                    let j = node as usize - n;
+                    (
+                        t.ld(&b.cell_m, j),
+                        t.ld(&b.cell_x, j),
+                        t.ld(&b.cell_y, j),
+                        t.ld(&b.cell_z, j),
+                        false,
+                    )
+                };
+                if cm <= 0.0 {
+                    continue;
+                }
+                let dx = cx - px;
+                let dy = cy - py;
+                let dz = cz - pz;
+                let d2 = dx * dx + dy * dy + dz * dz + SOFTENING;
+                t.fma32(4);
+                let s = 2.0 * half;
+                if is_body || s * s < THETA2 * d2 {
+                    // Far enough (or a body): apply the interaction.
+                    let inv = 1.0 / d2.sqrt();
+                    let f = cm * inv * inv * inv;
+                    ax += f * dx;
+                    ay += f * dy;
+                    az += f * dz;
+                    t.sfu(1);
+                    t.fma32(5);
+                } else {
+                    // Open the cell.
+                    let j = node as usize - n;
+                    for oct in 0..8 {
+                        let c = t.ld(&b.child, j * 8 + oct);
+                        t.int_op(1);
+                        if c != EMPTY {
+                            stack.push((c, half / 2.0));
+                        }
+                    }
+                }
+            }
+            t.st(&b.ax, i, ax);
+            t.st(&b.ay, i, ay);
+            t.st(&b.az, i, az);
+        });
+    }
+}
+
+/// Kernel 5: leapfrog-ish integration (position update from acceleration).
+struct Integrate<'a> {
+    b: &'a BhBufs,
+    dt: f32,
+}
+impl Kernel for Integrate<'_> {
+    fn name(&self) -> &'static str {
+        "bh_integrate"
+    }
+    fn run_block(&self, blk: &mut BlockCtx) {
+        let b = self.b;
+        let dt = self.dt;
+        blk.for_each_thread(|t| {
+            let i = t.gtid() as usize;
+            if i >= b.n {
+                return;
+            }
+            let x = t.ld(&b.x, i) + dt * dt * t.ld(&b.ax, i);
+            let y = t.ld(&b.y, i) + dt * dt * t.ld(&b.ay, i);
+            let z = t.ld(&b.z, i) + dt * dt * t.ld(&b.az, i);
+            t.fma32(6);
+            t.st(&b.x, i, x);
+            t.st(&b.y, i, y);
+            t.st(&b.z, i, z);
+        });
+    }
+}
+
+/// The BH benchmark.
+pub struct BarnesHut;
+
+impl BarnesHut {
+    fn setup(&self, dev: &mut Device, n: usize, seed: u64) -> BhBufs {
+        let (xs, ys, zs, ms) = plummer(n, seed);
+        let max_cells = 4 * n + 64;
+        BhBufs {
+            x: dev.alloc_from(&xs),
+            y: dev.alloc_from(&ys),
+            z: dev.alloc_from(&zs),
+            m: dev.alloc_from(&ms),
+            ax: dev.alloc::<f32>(n),
+            ay: dev.alloc::<f32>(n),
+            az: dev.alloc::<f32>(n),
+            min_c: dev.alloc_init::<f32>(3, f32::MAX),
+            max_c: dev.alloc_init::<f32>(3, f32::MAX),
+            child: dev.alloc_init::<i32>(8 * max_cells, EMPTY),
+            cell_x: dev.alloc::<f32>(max_cells),
+            cell_y: dev.alloc::<f32>(max_cells),
+            cell_z: dev.alloc::<f32>(max_cells),
+            cell_m: dev.alloc::<f32>(max_cells),
+            cell_half: dev.alloc::<f32>(max_cells),
+            next_cell: dev.alloc::<u32>(1),
+            n,
+            max_cells,
+        }
+    }
+
+    /// One full BH timestep; returns the root half-size used.
+    fn step(&self, dev: &mut Device, b: &BhBufs, mult: f64) {
+        let grid = (b.n as u32).div_ceil(BLOCK);
+        let opts = LaunchOpts {
+            work_multiplier: mult,
+        };
+        dev.fill(&b.min_c, f32::MAX);
+        dev.fill(&b.max_c, f32::MAX);
+        dev.launch_with(&BoundingBox { b }, grid, BLOCK, opts);
+        let mins = dev.read(&b.min_c);
+        let maxs: Vec<f32> = dev.read(&b.max_c).iter().map(|v| -v).collect();
+        let half = (0..3)
+            .map(|k| (maxs[k] - mins[k]) / 2.0)
+            .fold(0.0f32, f32::max)
+            + 1e-3;
+        // Root cell 0 at the box center.
+        dev.fill(&b.child, EMPTY);
+        dev.fill(&b.next_cell, 1);
+        dev.write_at(&b.cell_x, 0, (mins[0] + maxs[0]) / 2.0);
+        dev.write_at(&b.cell_y, 0, (mins[1] + maxs[1]) / 2.0);
+        dev.write_at(&b.cell_z, 0, (mins[2] + maxs[2]) / 2.0);
+        dev.write_at(&b.cell_half, 0, half);
+        dev.launch_with(&BuildTree { b }, grid, BLOCK, opts);
+        let num_cells = dev.read_at(&b.next_cell, 0) as usize;
+        // Bottom-up summarization: block interleaving may visit a parent
+        // before its children, so sweep until the root mass accounts for
+        // every body (the real code polls per-cell ready flags).
+        let total_mass: f32 = dev.read(&b.m).iter().sum();
+        for sweep in 0.. {
+            dev.launch_with(
+                &Summarize { b, num_cells },
+                (num_cells as u32).div_ceil(BLOCK),
+                BLOCK,
+                opts,
+            );
+            if (dev.read_at(&b.cell_m, 0) - total_mass).abs() <= 1e-3 * total_mass {
+                break;
+            }
+            assert!(sweep < 64, "summarize failed to converge");
+        }
+        dev.launch_with(&Force { b, root_half: half }, grid, BLOCK, opts);
+        dev.launch_with(&Integrate { b, dt: 0.0025 }, grid, BLOCK, opts);
+    }
+}
+
+impl Benchmark for BarnesHut {
+    fn spec(&self) -> BenchSpec {
+        BenchSpec {
+            key: "bh",
+            name: "BH",
+            suite: Suite::LonestarGpu,
+            kernels: 9,
+            regular: false,
+            description: "Barnes-Hut approximate n-body simulation (octree)",
+        }
+    }
+
+    fn inputs(&self) -> Vec<InputSpec> {
+        // Paper: bodies-timesteps 10k-10k, 100k-10, 1m-1. BH work scales
+        // ~n log n per step times the step count.
+        vec![
+            InputSpec::new("10k bodies, 10k steps", 1024, 0, 2, 3_000.0),
+            InputSpec::new("100k bodies, 10 steps", 1536, 0, 2, 1_500.0),
+            InputSpec::new("1m bodies, 1 step", 2048, 0, 2, 1_800.0),
+        ]
+    }
+
+    fn run(&self, dev: &mut Device, input: &InputSpec) -> RunOutput {
+        let b = self.setup(dev, input.n, input.seed);
+        let steps = input.aux.max(1);
+        for _ in 0..steps {
+            self.step(dev, &b, input.mult / steps as f64);
+            dev.host_gap(0.005);
+        }
+        let ax = dev.read(&b.ax);
+        assert!(ax.iter().all(|v| v.is_finite()), "BH produced NaN forces");
+        let checksum: f64 = ax.iter().map(|&v| v.abs() as f64).sum();
+        assert!(checksum > 0.0);
+        RunOutput {
+            checksum,
+            items: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sdk::nbody::host_forces;
+    use kepler_sim::{ClockConfig, DeviceConfig};
+
+    fn device() -> Device {
+        Device::new(DeviceConfig::k20c(ClockConfig::k20_default(), false))
+    }
+
+    #[test]
+    fn bh_forces_approximate_direct_sum() {
+        let mut dev = device();
+        let bh = BarnesHut;
+        let b = bh.setup(&mut dev, 512, 7);
+        bh.step(&mut dev, &b, 1.0);
+        // Compare against direct O(n^2) forces *before* integration moved
+        // the bodies: recompute host forces from the post-step... instead,
+        // run a fresh setup and compute host forces on identical positions.
+        let mut dev2 = device();
+        let b2 = bh.setup(&mut dev2, 512, 7);
+        let (hx, hy, hz) = host_forces(
+            &dev2.read(&b2.x),
+            &dev2.read(&b2.y),
+            &dev2.read(&b2.z),
+            &dev2.read(&b2.m),
+        );
+        let gx = dev.read(&b.ax);
+        let gy = dev.read(&b.ay);
+        let gz = dev.read(&b.az);
+        // RMS relative error under θ=0.5 should be a few percent.
+        let mut num = 0.0f64;
+        let mut den = 0.0f64;
+        for i in 0..512 {
+            let e = ((gx[i] - hx[i]).powi(2) + (gy[i] - hy[i]).powi(2) + (gz[i] - hz[i]).powi(2))
+                as f64;
+            let m = (hx[i].powi(2) + hy[i].powi(2) + hz[i].powi(2)) as f64;
+            num += e;
+            den += m;
+        }
+        let rel = (num / den).sqrt();
+        assert!(rel < 0.05, "BH rms relative force error {rel}");
+    }
+
+    #[test]
+    fn tree_has_reasonable_size() {
+        let mut dev = device();
+        let bh = BarnesHut;
+        let b = bh.setup(&mut dev, 1024, 3);
+        bh.step(&mut dev, &b, 1.0);
+        let cells = dev.read_at(&b.next_cell, 0) as usize;
+        assert!(cells > 256 && cells < 4 * 1024, "cells {cells}");
+    }
+
+    #[test]
+    fn bh_is_divergent_and_uncoalesced() {
+        let mut dev = device();
+        let bh = BarnesHut;
+        let b = bh.setup(&mut dev, 1024, 3);
+        bh.step(&mut dev, &b, 1.0);
+        let c = dev.total_counters();
+        assert!(c.divergence() > 0.2, "divergence {}", c.divergence());
+        let unc = 1.0 - c.ideal_transactions / c.transactions;
+        assert!(unc > 0.3, "uncoalesced {unc}");
+    }
+
+    #[test]
+    fn run_executes_all_five_kernels() {
+        let mut dev = device();
+        BarnesHut.run(&mut dev, &InputSpec::new("t", 256, 0, 1, 1.0));
+        let names: std::collections::HashSet<_> =
+            dev.stats().iter().map(|l| l.kernel).collect();
+        for k in [
+            "bh_bounding_box",
+            "bh_build_tree",
+            "bh_summarize",
+            "bh_force",
+            "bh_integrate",
+        ] {
+            assert!(names.contains(k), "missing kernel {k}");
+        }
+    }
+
+    #[test]
+    fn bh_much_cheaper_than_all_pairs() {
+        // The whole point of Barnes-Hut: far fewer interactions than n^2.
+        let mut dev = device();
+        let bh = BarnesHut;
+        let b = bh.setup(&mut dev, 2048, 3);
+        bh.step(&mut dev, &b, 1.0);
+        let flops = dev.total_counters().flops();
+        let allpairs = 2048.0f64 * 2048.0 * 17.0;
+        assert!(flops < allpairs / 2.0, "flops {flops} vs {allpairs}");
+    }
+}

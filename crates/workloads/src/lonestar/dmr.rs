@@ -1,0 +1,316 @@
+//! DMR — LonestarGPU Delaunay mesh refinement (simplified).
+//!
+//! The real benchmark retriangulates cavities around bad triangles until
+//! no triangle has an angle below 30°. We keep the same computational
+//! shape — a worklist of bad triangles, atomic allocation of new mesh
+//! entities, data-dependent convergence — but simplify the refinement
+//! operator to *longest-edge midpoint bisection* driven by an area bound,
+//! which terminates provably and preserves total mesh area exactly (each
+//! split halves a triangle's area). DESIGN.md records this substitution.
+//!
+//! Kernels: (1) quality check building the bad-triangle worklist with an
+//! atomic cursor, (2) refinement splitting each bad triangle into two
+//! (allocating points/triangles with atomic counters). Host loop until the
+//! worklist drains.
+
+use crate::bench::{BenchSpec, Benchmark, InputSpec, ItemCounts, RunOutput, Suite};
+use crate::inputs::mesh::jittered_square;
+use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, LaunchOpts};
+
+const BLOCK: u32 = 128;
+
+struct MeshBufs {
+    px: DevBuffer<f32>,
+    py: DevBuffer<f32>,
+    /// Triangle vertex ids, 3 per triangle.
+    tri: DevBuffer<u32>,
+    num_tris: DevBuffer<u32>,
+    num_pts: DevBuffer<u32>,
+    worklist: DevBuffer<u32>,
+    wl_size: DevBuffer<u32>,
+    max_tris: usize,
+}
+
+/// Kernel 1: collect triangles whose area exceeds the bound.
+struct QualityCheck<'a> {
+    b: &'a MeshBufs,
+    threshold2: f32,
+    count: u32,
+}
+impl Kernel for QualityCheck<'_> {
+    fn name(&self) -> &'static str {
+        "dmr_quality_check"
+    }
+    fn run_block(&self, blk: &mut BlockCtx) {
+        let b = self.b;
+        let thr = self.threshold2;
+        let count = self.count;
+        blk.for_each_thread(|t| {
+            let i = t.gtid();
+            if i >= count {
+                return;
+            }
+            let ti = i as usize;
+            let a = t.ld(&b.tri, 3 * ti) as usize;
+            let c = t.ld(&b.tri, 3 * ti + 1) as usize;
+            let d = t.ld(&b.tri, 3 * ti + 2) as usize;
+            let (ax, ay) = (t.ld(&b.px, a), t.ld(&b.py, a));
+            let (bx, by) = (t.ld(&b.px, c), t.ld(&b.py, c));
+            let (cx, cy) = (t.ld(&b.px, d), t.ld(&b.py, d));
+            let area2 = ((bx - ax) * (cy - ay) - (cx - ax) * (by - ay)).abs();
+            t.fma32(4);
+            t.fp32_add(4);
+            if area2 > thr {
+                let slot = t.atomic_add_u32(&b.wl_size, 0, 1);
+                t.st(&b.worklist, slot as usize, i);
+            }
+        });
+    }
+}
+
+/// Kernel 2: split each bad triangle at the midpoint of its longest edge.
+struct Refine<'a> {
+    b: &'a MeshBufs,
+    wl_count: u32,
+}
+impl Kernel for Refine<'_> {
+    fn name(&self) -> &'static str {
+        "dmr_refine"
+    }
+    fn run_block(&self, blk: &mut BlockCtx) {
+        let b = self.b;
+        let wl_count = self.wl_count;
+        blk.for_each_thread(|t| {
+            let i = t.gtid();
+            if i >= wl_count {
+                return;
+            }
+            let ti = t.ld(&b.worklist, i as usize) as usize;
+            let v = [
+                t.ld(&b.tri, 3 * ti) as usize,
+                t.ld(&b.tri, 3 * ti + 1) as usize,
+                t.ld(&b.tri, 3 * ti + 2) as usize,
+            ];
+            let xs = [t.ld(&b.px, v[0]), t.ld(&b.px, v[1]), t.ld(&b.px, v[2])];
+            let ys = [t.ld(&b.py, v[0]), t.ld(&b.py, v[1]), t.ld(&b.py, v[2])];
+            // Longest edge (k, k+1).
+            let mut best = 0usize;
+            let mut best_len = -1.0f32;
+            for k in 0..3 {
+                let k2 = (k + 1) % 3;
+                let dx = xs[k2] - xs[k];
+                let dy = ys[k2] - ys[k];
+                let l = dx * dx + dy * dy;
+                t.fma32(2);
+                t.fp32_add(2);
+                if l > best_len {
+                    best_len = l;
+                    best = k;
+                }
+            }
+            let k2 = (best + 1) % 3;
+            let k3 = (best + 2) % 3;
+            // New midpoint vertex.
+            let p = t.atomic_add_u32(&b.num_pts, 0, 1) as usize;
+            t.fp32_mul(2);
+            t.fp32_add(2);
+            t.st(&b.px, p, 0.5 * (xs[best] + xs[k2]));
+            t.st(&b.py, p, 0.5 * (ys[best] + ys[k2]));
+            // Triangle ti becomes (v[best], p, v[k3]); new triangle is
+            // (p, v[k2], v[k3]).
+            let nt = t.atomic_add_u32(&b.num_tris, 0, 1) as usize;
+            assert!(nt < b.max_tris, "triangle pool exhausted");
+            t.st(&b.tri, 3 * ti, v[best] as u32);
+            t.st(&b.tri, 3 * ti + 1, p as u32);
+            t.st(&b.tri, 3 * ti + 2, v[k3] as u32);
+            t.st(&b.tri, 3 * nt, p as u32);
+            t.st(&b.tri, 3 * nt + 1, v[k2] as u32);
+            t.st(&b.tri, 3 * nt + 2, v[k3] as u32);
+        });
+    }
+}
+
+/// The DMR benchmark.
+pub struct Dmr;
+
+impl Dmr {
+    fn refine(&self, dev: &mut Device, w: usize, h: usize, seed: u64, mult: f64) -> (usize, f64) {
+        let mesh = jittered_square(w, h, seed);
+        let initial_area = mesh.total_area();
+        let n0 = mesh.num_tris();
+        // Area bound: one third of the mean initial triangle area; splits
+        // halve areas, so every triangle needs a bounded number of splits.
+        let mean_area2 = (0..n0).map(|t| mesh.area2(t).abs() as f64).sum::<f64>() / n0 as f64;
+        let threshold2 = (mean_area2 / 3.0) as f32;
+
+        // Generously sized pools (area halving bounds growth).
+        let max_tris = n0 * 16;
+        let max_pts = mesh.px.len() * 16;
+        let mut px = mesh.px.clone();
+        let mut py = mesh.py.clone();
+        px.resize(max_pts, 0.0);
+        py.resize(max_pts, 0.0);
+        let mut tri = vec![0u32; 3 * max_tris];
+        for (i, t) in mesh.tris.iter().enumerate() {
+            tri[3 * i] = t[0];
+            tri[3 * i + 1] = t[1];
+            tri[3 * i + 2] = t[2];
+        }
+        let b = MeshBufs {
+            px: dev.alloc_from(&px),
+            py: dev.alloc_from(&py),
+            tri: dev.alloc_from(&tri),
+            num_tris: dev.alloc_init(1, n0 as u32),
+            num_pts: dev.alloc_init(1, mesh.px.len() as u32),
+            worklist: dev.alloc::<u32>(max_tris),
+            wl_size: dev.alloc::<u32>(1),
+            max_tris,
+        };
+        let opts = LaunchOpts {
+            work_multiplier: mult,
+        };
+        let mut rounds = 0;
+        loop {
+            let count = dev.read_at(&b.num_tris, 0);
+            dev.fill(&b.wl_size, 0);
+            dev.launch_with(
+                &QualityCheck {
+                    b: &b,
+                    threshold2,
+                    count,
+                },
+                count.div_ceil(BLOCK),
+                BLOCK,
+                opts,
+            );
+            let bad = dev.read_at(&b.wl_size, 0);
+            if bad == 0 {
+                break;
+            }
+            dev.launch_with(
+                &Refine {
+                    b: &b,
+                    wl_count: bad,
+                },
+                bad.div_ceil(BLOCK),
+                BLOCK,
+                opts,
+            );
+            rounds += 1;
+            assert!(rounds < 64, "refinement failed to converge");
+        }
+        // Validate: total area preserved, all triangles within bound.
+        let final_tris = dev.read_at(&b.num_tris, 0) as usize;
+        let tri_data = dev.read(&b.tri);
+        let pxs = dev.read(&b.px);
+        let pys = dev.read(&b.py);
+        let mut total = 0.0f64;
+        for t in 0..final_tris {
+            let (a, c, d) = (
+                tri_data[3 * t] as usize,
+                tri_data[3 * t + 1] as usize,
+                tri_data[3 * t + 2] as usize,
+            );
+            let area2 =
+                ((pxs[c] - pxs[a]) * (pys[d] - pys[a]) - (pxs[d] - pxs[a]) * (pys[c] - pys[a]))
+                    .abs();
+            assert!(
+                area2 <= threshold2 * 1.0001,
+                "triangle {t} still above the area bound"
+            );
+            total += area2 as f64 / 2.0;
+        }
+        assert!(
+            (total - initial_area).abs() < 1e-3 * initial_area,
+            "mesh area not preserved: {total} vs {initial_area}"
+        );
+        (final_tris, total)
+    }
+}
+
+impl Benchmark for Dmr {
+    fn spec(&self) -> BenchSpec {
+        BenchSpec {
+            key: "dmr",
+            name: "DMR",
+            suite: Suite::LonestarGpu,
+            kernels: 4,
+            regular: false,
+            description: "Guaranteed-quality mesh refinement (worklist-driven splitting)",
+        }
+    }
+
+    fn inputs(&self) -> Vec<InputSpec> {
+        // Paper: 250k, 1m and 5m triangle meshes.
+        vec![
+            InputSpec::new("250k mesh", 20, 20, 0, 436_000.0),
+            InputSpec::new("1m mesh", 28, 28, 0, 355_000.0),
+            InputSpec::new("5m mesh", 40, 40, 0, 171_000.0),
+        ]
+    }
+
+    fn run(&self, dev: &mut Device, input: &InputSpec) -> RunOutput {
+        let (tris, area) = self.refine(dev, input.n, input.m, input.seed, input.mult);
+        let paper_tris = match input.name {
+            "250k mesh" => 250_000,
+            "1m mesh" => 1_000_000,
+            _ => 5_000_000,
+        };
+        RunOutput {
+            checksum: tris as f64 + area,
+            items: Some(ItemCounts {
+                vertices: paper_tris,
+                edges: 3 * paper_tris,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kepler_sim::{ClockConfig, DeviceConfig};
+
+    fn device() -> Device {
+        Device::new(DeviceConfig::k20c(ClockConfig::k20_default(), false))
+    }
+
+    #[test]
+    fn refinement_terminates_and_preserves_area() {
+        let mut dev = device();
+        let (tris, area) = Dmr.refine(&mut dev, 8, 8, 1, 1.0);
+        assert!(tris > 128, "triangles {tris}");
+        assert!((area - 1.0).abs() < 1e-3, "area {area}");
+    }
+
+    #[test]
+    fn refinement_grows_mesh_moderately() {
+        let mut dev = device();
+        let (tris, _) = Dmr.refine(&mut dev, 10, 10, 2, 1.0);
+        // Area bound of mean/3: expect roughly 3-8x growth, not explosion.
+        assert!(tris >= 400 && tris <= 2000, "triangles {tris}");
+    }
+
+    #[test]
+    fn workload_shrinks_over_rounds() {
+        let mut dev = device();
+        Dmr.refine(&mut dev, 10, 10, 3, 1.0);
+        let refine_grids: Vec<u32> = dev
+            .stats()
+            .iter()
+            .filter(|l| l.kernel == "dmr_refine")
+            .map(|l| l.counters.blocks as u32)
+            .collect();
+        assert!(refine_grids.len() >= 2);
+        // The last round touches far fewer triangles than the first.
+        assert!(refine_grids.last().unwrap() <= refine_grids.first().unwrap());
+    }
+
+    #[test]
+    fn dmr_run_is_deterministic_per_config() {
+        let input = InputSpec::new("t", 8, 8, 0, 1.0);
+        let a = Dmr.run(&mut device(), &input).checksum;
+        let b = Dmr.run(&mut device(), &input).checksum;
+        assert_eq!(a, b);
+    }
+}

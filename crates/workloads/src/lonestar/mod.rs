@@ -1,0 +1,20 @@
+//! LonestarGPU: irregular, data-dependent graph and mesh codes. The
+//! paper's widest-spread suite — small frequency changes produce
+//! super-linear runtime changes here, and uncoalesced traffic makes ECC
+//! disproportionately expensive.
+
+pub mod bfs;
+pub mod bh;
+pub mod dmr;
+pub mod mst;
+pub mod nsp;
+pub mod pta;
+pub mod sssp;
+
+pub use bfs::{LBfs, LBfsVariant};
+pub use bh::BarnesHut;
+pub use dmr::Dmr;
+pub use mst::Mst;
+pub use nsp::SurveyProp;
+pub use pta::Pta;
+pub use sssp::{Sssp, SsspVariant};

@@ -1,0 +1,390 @@
+//! MST — LonestarGPU minimum spanning tree via Boruvka's algorithm,
+//! implemented as successive relaxations of minimum-weight component edges.
+//!
+//! Each round: (1) every node scans its edges and `atomicMin`s the cheapest
+//! cross-component edge key into its component's slot, (2) a second scan
+//! identifies the winning edge (keys are made unique by folding in the
+//! undirected edge id, the classic Boruvka tie-break), (3) components hook
+//! onto their chosen neighbor (mutual pairs broken by id), (4) pointer
+//! jumping flattens the component forest, (5) node labels are refreshed.
+//! Rounds at least halve the component count, so O(log n) rounds total.
+//!
+//! The edge scans are uncoalesced and the hook/jump kernels are heavily
+//! divergent — the code the paper singles out for the largest active-runtime
+//! increase (25%) when dropping to 614 MHz.
+
+use crate::bench::{BenchSpec, Benchmark, InputSpec, RunOutput, Suite};
+use crate::inputs::graphs::{host_msf_weight, road_network, Csr};
+use crate::lonestar::bfs::{road_inputs, road_items};
+use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, LaunchOpts};
+
+const BLOCK: u32 = 256;
+const NONE: u32 = u32::MAX;
+
+struct MstBufs {
+    row_ptr: DevBuffer<u32>,
+    col: DevBuffer<u32>,
+    /// Unique edge keys: `weight << 18 | undirected_edge_id`.
+    key: DevBuffer<u32>,
+    /// Original weights, for the tree total.
+    weight: DevBuffer<u32>,
+    comp: DevBuffer<u32>,
+    best_key: DevBuffer<u32>,
+    best_edge: DevBuffer<u32>,
+    parent: DevBuffer<u32>,
+    total: DevBuffer<u32>,
+    changed: DevBuffer<u32>,
+    n: usize,
+}
+
+/// Round kernel 1: per node, find the cheapest edge leaving its component.
+struct FindMin<'a> {
+    b: &'a MstBufs,
+}
+impl Kernel for FindMin<'_> {
+    fn name(&self) -> &'static str {
+        "mst_find_min"
+    }
+    fn run_block(&self, blk: &mut BlockCtx) {
+        let b = self.b;
+        blk.for_each_thread(|t| {
+            let v = t.gtid() as usize;
+            if v >= b.n {
+                return;
+            }
+            let cv = t.ld(&b.comp, v) as usize;
+            let lo = t.ld(&b.row_ptr, v) as usize;
+            let hi = t.ld(&b.row_ptr, v + 1) as usize;
+            let mut best = NONE;
+            for e in lo..hi {
+                let w = t.ld(&b.col, e) as usize;
+                let cw = t.ld(&b.comp, w);
+                t.int_op(2);
+                if cw as usize != cv {
+                    let k = t.ld(&b.key, e);
+                    if k < best {
+                        best = k;
+                    }
+                }
+            }
+            if best != NONE {
+                t.atomic_min_u32(&b.best_key, cv, best);
+            }
+        });
+    }
+}
+
+/// Round kernel 2: re-scan to find which edge owns the winning key.
+struct ClaimEdge<'a> {
+    b: &'a MstBufs,
+}
+impl Kernel for ClaimEdge<'_> {
+    fn name(&self) -> &'static str {
+        "mst_claim_edge"
+    }
+    fn run_block(&self, blk: &mut BlockCtx) {
+        let b = self.b;
+        blk.for_each_thread(|t| {
+            let v = t.gtid() as usize;
+            if v >= b.n {
+                return;
+            }
+            let cv = t.ld(&b.comp, v) as usize;
+            let want = t.ld(&b.best_key, cv);
+            if want == NONE {
+                return;
+            }
+            let lo = t.ld(&b.row_ptr, v) as usize;
+            let hi = t.ld(&b.row_ptr, v + 1) as usize;
+            for e in lo..hi {
+                t.int_op(1);
+                if t.ld(&b.key, e) == want {
+                    t.st(&b.best_edge, cv, e as u32);
+                }
+            }
+        });
+    }
+}
+
+/// Round kernel 3: hook components along their chosen edges; mutual pairs
+/// are broken in favour of the lower component id, which also claims the
+/// edge weight for the tree total.
+struct Hook<'a> {
+    b: &'a MstBufs,
+}
+impl Kernel for Hook<'_> {
+    fn name(&self) -> &'static str {
+        "mst_hook"
+    }
+    fn run_block(&self, blk: &mut BlockCtx) {
+        let b = self.b;
+        blk.for_each_thread(|t| {
+            let c = t.gtid() as usize;
+            if c >= b.n {
+                return;
+            }
+            // Only live component roots participate.
+            if t.ld(&b.comp, c) as usize != c {
+                return;
+            }
+            let e = t.ld(&b.best_edge, c);
+            if e == NONE {
+                return;
+            }
+            let w = t.ld(&b.col, e as usize) as usize;
+            let target = t.ld(&b.comp, w) as usize;
+            t.int_op(3);
+            // Mutual selection: both endpoints picked the same undirected
+            // edge (identical unique key).
+            let target_edge = t.ld(&b.best_edge, target);
+            let mutual = target_edge != NONE
+                && t.ld(&b.key, target_edge as usize) == t.ld(&b.key, e as usize);
+            if mutual && c > target {
+                // The higher id yields; the lower id hooks and pays.
+                return;
+            }
+            t.st(&b.parent, c, target as u32);
+            let wt = t.ld(&b.weight, e as usize);
+            t.atomic_add_u32(&b.total, 0, wt);
+            t.st(&b.changed, 0, 1);
+        });
+    }
+}
+
+/// Round kernel 4: pointer jumping until the parent forest is flat.
+struct Jump<'a> {
+    b: &'a MstBufs,
+}
+impl Kernel for Jump<'_> {
+    fn name(&self) -> &'static str {
+        "mst_jump"
+    }
+    fn run_block(&self, blk: &mut BlockCtx) {
+        let b = self.b;
+        blk.for_each_thread(|t| {
+            let c = t.gtid() as usize;
+            if c >= b.n {
+                return;
+            }
+            let p = t.ld(&b.parent, c) as usize;
+            let gp = t.ld(&b.parent, p);
+            t.int_op(1);
+            if gp as usize != p {
+                t.st(&b.parent, c, gp);
+                t.st(&b.changed, 0, 1);
+            }
+        });
+    }
+}
+
+/// Round kernel 5: refresh node labels from the flattened forest.
+struct Relabel<'a> {
+    b: &'a MstBufs,
+}
+impl Kernel for Relabel<'_> {
+    fn name(&self) -> &'static str {
+        "mst_relabel"
+    }
+    fn run_block(&self, blk: &mut BlockCtx) {
+        let b = self.b;
+        blk.for_each_thread(|t| {
+            let v = t.gtid() as usize;
+            if v >= b.n {
+                return;
+            }
+            let c = t.ld(&b.comp, v) as usize;
+            let root = t.ld(&b.parent, c);
+            t.st(&b.comp, v, root);
+        });
+    }
+}
+
+/// The MST benchmark.
+pub struct Mst;
+
+impl Mst {
+    fn boruvka(&self, dev: &mut Device, g: &Csr, mult: f64) -> u64 {
+        let n = g.n;
+        // Unique keys: weight in the high bits, undirected edge id low.
+        // Both directed copies of an edge share the undirected id.
+        let mut und_id = vec![0u32; g.num_edges()];
+        {
+            use std::collections::HashMap;
+            let mut ids: HashMap<(u32, u32), u32> = HashMap::new();
+            let mut next = 0u32;
+            for u in 0..n {
+                for e in g.row_ptr[u] as usize..g.row_ptr[u + 1] as usize {
+                    let v = g.col[e] as usize;
+                    let key = (u.min(v) as u32, u.max(v) as u32);
+                    let id = *ids.entry(key).or_insert_with(|| {
+                        let i = next;
+                        next += 1;
+                        i
+                    });
+                    und_id[e] = id;
+                }
+            }
+            assert!(next < 1 << 18, "too many undirected edges for key packing");
+        }
+        let keys: Vec<u32> = g
+            .weight
+            .iter()
+            .zip(&und_id)
+            .map(|(&w, &id)| (w << 18) | id)
+            .collect();
+
+        let b = MstBufs {
+            row_ptr: dev.alloc_from(&g.row_ptr),
+            col: dev.alloc_from(&g.col),
+            key: dev.alloc_from(&keys),
+            weight: dev.alloc_from(&g.weight),
+            comp: dev.alloc_from(&(0..n as u32).collect::<Vec<_>>()),
+            best_key: dev.alloc_init(n, NONE),
+            best_edge: dev.alloc_init(n, NONE),
+            parent: dev.alloc_from(&(0..n as u32).collect::<Vec<_>>()),
+            total: dev.alloc::<u32>(1),
+            changed: dev.alloc::<u32>(1),
+            n,
+        };
+        let grid = (n as u32).div_ceil(BLOCK);
+        let opts = LaunchOpts {
+            work_multiplier: mult,
+        };
+        let mut rounds = 0;
+        loop {
+            dev.fill(&b.best_key, NONE);
+            dev.fill(&b.best_edge, NONE);
+            dev.fill(&b.changed, 0);
+            dev.launch_with(&FindMin { b: &b }, grid, BLOCK, opts);
+            dev.launch_with(&ClaimEdge { b: &b }, grid, BLOCK, opts);
+            dev.launch_with(&Hook { b: &b }, grid, BLOCK, opts);
+            if dev.read_at(&b.changed, 0) == 0 {
+                break; // no component found a cross edge: done
+            }
+            loop {
+                dev.fill(&b.changed, 0);
+                dev.launch_with(&Jump { b: &b }, grid, BLOCK, opts);
+                if dev.read_at(&b.changed, 0) == 0 {
+                    break;
+                }
+            }
+            dev.launch_with(&Relabel { b: &b }, grid, BLOCK, opts);
+            rounds += 1;
+            assert!(rounds < 64, "Boruvka failed to converge");
+        }
+        dev.read_at(&b.total, 0) as u64
+    }
+}
+
+impl Benchmark for Mst {
+    fn spec(&self) -> BenchSpec {
+        BenchSpec {
+            key: "mst",
+            name: "MST",
+            suite: Suite::LonestarGpu,
+            kernels: 7,
+            regular: false,
+            description: "Minimum spanning tree via Boruvka edge relaxations",
+        }
+    }
+
+    fn inputs(&self) -> Vec<InputSpec> {
+        road_inputs([176_000.0, 125_000.0, 63_000.0])
+    }
+
+    fn run(&self, dev: &mut Device, input: &InputSpec) -> RunOutput {
+        let g = road_network(input.n, input.m, input.seed);
+        let total = self.boruvka(dev, &g, input.mult);
+        let expect = host_msf_weight(&g);
+        assert_eq!(total, expect, "MST weight mismatch");
+        RunOutput {
+            checksum: total as f64,
+            items: Some(road_items(input.name)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inputs::graphs::random_kway;
+    use kepler_sim::{ClockConfig, DeviceConfig};
+
+    fn device() -> Device {
+        Device::new(DeviceConfig::k20c(ClockConfig::k20_default(), false))
+    }
+
+    #[test]
+    fn mst_matches_kruskal_on_road_network() {
+        Mst.run(&mut device(), &InputSpec::new("t", 16, 16, 0, 1.0));
+    }
+
+    #[test]
+    fn mst_matches_kruskal_on_larger_grid() {
+        Mst.run(&mut device(), &InputSpec::new("t", 28, 20, 0, 1.0));
+    }
+
+    #[test]
+    fn mst_on_disconnected_forest() {
+        // Two disjoint grids: minimum spanning *forest* weight must match.
+        let mut dev = device();
+        let g1 = road_network(8, 8, 5);
+        let g2 = road_network(8, 8, 6);
+        let off = g1.n as u32;
+        let mut edges: Vec<(u32, u32, u32)> = Vec::new();
+        for u in 0..g1.n {
+            for (v, w) in g1.neighbors(u) {
+                edges.push((u as u32, v, w));
+            }
+        }
+        for u in 0..g2.n {
+            for (v, w) in g2.neighbors(u) {
+                edges.push((u as u32 + off, v + off, w));
+            }
+        }
+        let merged = Csr::from_edges(g1.n + g2.n, &edges);
+        let total = Mst.boruvka(&mut dev, &merged, 1.0);
+        assert_eq!(total, host_msf_weight(&merged));
+    }
+
+    #[test]
+    fn mst_on_random_graph() {
+        let mut dev = device();
+        let g = random_kway(512, 4, 9);
+        // Symmetrize: MST needs an undirected graph.
+        let mut edges: Vec<(u32, u32, u32)> = Vec::new();
+        for u in 0..g.n {
+            for (v, w) in g.neighbors(u) {
+                if u as u32 != v {
+                    edges.push((u as u32, v, w));
+                    edges.push((v, u as u32, w));
+                }
+            }
+        }
+        let und = Csr::from_edges(g.n, &edges);
+        let total = Mst.boruvka(&mut dev, &und, 1.0);
+        assert_eq!(total, host_msf_weight(&und));
+    }
+
+    #[test]
+    fn boruvka_takes_logarithmic_rounds() {
+        let mut dev = device();
+        Mst.run(&mut dev, &InputSpec::new("t", 16, 16, 0, 1.0));
+        let find_launches = dev
+            .stats()
+            .iter()
+            .filter(|l| l.kernel == "mst_find_min")
+            .count();
+        assert!(find_launches <= 14, "rounds {find_launches}");
+    }
+
+    #[test]
+    fn mst_is_irregular_uncoalesced() {
+        let mut dev = device();
+        Mst.run(&mut dev, &InputSpec::new("t", 16, 16, 0, 1.0));
+        let c = dev.total_counters();
+        assert!(c.divergence() > 0.15, "divergence {}", c.divergence());
+        let unc = 1.0 - c.ideal_transactions / c.transactions;
+        assert!(unc > 0.2, "uncoalesced {unc}");
+    }
+}

@@ -1,0 +1,365 @@
+//! NSP — LonestarGPU survey propagation, a heuristic SAT solver based on
+//! Bayesian inference over the factor graph of a Boolean formula.
+//!
+//! The formula is a bipartite factor graph (clauses vs variables); each
+//! clause→variable edge carries a survey η. One iteration: (1) every
+//! variable aggregates the surveys of its other clauses into polarity
+//! products, (2) every edge recomputes η from those products, (3) a
+//! reduction finds the maximum change. Iterate until the surveys converge.
+//! Synchronous (double-buffered) updates keep the fixpoint reproducible.
+//!
+//! Variable degrees vary wildly in random k-SAT, so the per-edge loops
+//! diverge — NSP is irregular despite its floating-point-heavy inner loop.
+
+use crate::bench::{BenchSpec, Benchmark, InputSpec, ItemCounts, RunOutput, Suite};
+use crate::inputs::sat::{random_ksat, Formula};
+use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, LaunchOpts};
+
+const BLOCK: u32 = 128;
+const TOL: f32 = 1e-3;
+const MAX_ITERS: usize = 120;
+
+/// Flattened factor graph + SP state.
+#[derive(Clone, Copy)]
+struct SpBufs {
+    /// Clause -> edge range (CSR over clause side).
+    cl_ptr: DevBuffer<u32>,
+    /// Edge -> variable id.
+    edge_var: DevBuffer<u32>,
+    /// Edge -> 1 if the literal is negated.
+    edge_neg: DevBuffer<u32>,
+    /// Variable -> edge range (CSR over variable side).
+    var_ptr: DevBuffer<u32>,
+    var_edges: DevBuffer<u32>,
+    /// Surveys, double buffered.
+    eta_in: DevBuffer<f32>,
+    eta_out: DevBuffer<f32>,
+    /// Per-variable polarity products: Π(1-η) over positive / negative
+    /// occurrences.
+    prod_pos: DevBuffer<f32>,
+    prod_neg: DevBuffer<f32>,
+    /// Max |Δη| this iteration (fixed-point encoded for atomicMax).
+    max_delta: DevBuffer<u32>,
+    n_clauses: usize,
+    n_vars: usize,
+}
+
+/// Kernel 1: per-variable polarity products.
+struct VarProducts<'a> {
+    b: &'a SpBufs,
+}
+impl Kernel for VarProducts<'_> {
+    fn name(&self) -> &'static str {
+        "nsp_var_products"
+    }
+    fn run_block(&self, blk: &mut BlockCtx) {
+        let b = self.b;
+        blk.for_each_thread(|t| {
+            let v = t.gtid() as usize;
+            if v >= b.n_vars {
+                return;
+            }
+            let lo = t.ld(&b.var_ptr, v) as usize;
+            let hi = t.ld(&b.var_ptr, v + 1) as usize;
+            let (mut pp, mut pn) = (1.0f32, 1.0f32);
+            for k in lo..hi {
+                let e = t.ld(&b.var_edges, k) as usize;
+                let eta = t.ld(&b.eta_in, e);
+                let neg = t.ld(&b.edge_neg, e);
+                t.fp32_mul(2);
+                if neg == 0 {
+                    pp *= 1.0 - eta;
+                } else {
+                    pn *= 1.0 - eta;
+                }
+            }
+            t.st(&b.prod_pos, v, pp);
+            t.st(&b.prod_neg, v, pn);
+        });
+    }
+}
+
+/// Kernel 2: per-clause survey update.
+struct EdgeUpdate<'a> {
+    b: &'a SpBufs,
+}
+impl Kernel for EdgeUpdate<'_> {
+    fn name(&self) -> &'static str {
+        "nsp_edge_update"
+    }
+    fn run_block(&self, blk: &mut BlockCtx) {
+        let b = self.b;
+        blk.for_each_thread(|t| {
+            let c = t.gtid() as usize;
+            if c >= b.n_clauses {
+                return;
+            }
+            let lo = t.ld(&b.cl_ptr, c) as usize;
+            let hi = t.ld(&b.cl_ptr, c + 1) as usize;
+            for e in lo..hi {
+                // η_{c→v} = Π_{j∈c, j≠v} P_j^u, where P_j^u is the
+                // probability that literal j is "unsatisfying-constrained".
+                let mut eta = 1.0f32;
+                for e2 in lo..hi {
+                    if e2 == e {
+                        continue;
+                    }
+                    let j = t.ld(&b.edge_var, e2) as usize;
+                    let neg = t.ld(&b.edge_neg, e2);
+                    let eta_in = t.ld(&b.eta_in, e2);
+                    let pp = t.ld(&b.prod_pos, j);
+                    let pn = t.ld(&b.prod_neg, j);
+                    t.fp32_mul(4);
+                    t.fp32_add(3);
+                    t.sfu(1);
+                    // Cavity products: divide our own survey back out of
+                    // the same-polarity product.
+                    let denom = (1.0 - eta_in).max(1e-9);
+                    let (same, other) = if neg == 0 { (pp, pn) } else { (pn, pp) };
+                    let pi_u = (1.0 - same / denom) * other;
+                    let pi_s = (1.0 - other) * (same / denom);
+                    let pi_0 = (same / denom) * other;
+                    let total = (pi_u + pi_s + pi_0).max(1e-9);
+                    eta *= (pi_u / total).clamp(0.0, 1.0);
+                }
+                let old = t.ld(&b.eta_in, e);
+                let delta = (eta - old).abs();
+                t.fp32_add(2);
+                // Fixed-point max for the convergence reduction.
+                t.atomic_max_u32(&b.max_delta, 0, (delta * 1e6) as u32);
+                t.st(&b.eta_out, e, eta);
+            }
+        });
+    }
+}
+
+/// The NSP benchmark.
+pub struct SurveyProp;
+
+/// Host reference: the exact same synchronous update (the fixpoint of a
+/// synchronous iteration is deterministic, so device results must match).
+pub fn host_sp(f: &Formula, iters: usize) -> Vec<f32> {
+    let n_edges: usize = f.num_edges();
+    let mut eta = vec![0.5f32; n_edges];
+    let mut eta_next = vec![0.5f32; n_edges];
+    // Build the same CSR layouts.
+    let mut cl_ptr = vec![0u32; f.clauses.len() + 1];
+    for (c, cl) in f.clauses.iter().enumerate() {
+        cl_ptr[c + 1] = cl_ptr[c] + cl.len() as u32;
+    }
+    let edge_var: Vec<u32> = f
+        .clauses
+        .iter()
+        .flat_map(|cl| cl.iter().map(|&l| l.unsigned_abs() - 1))
+        .collect();
+    let edge_neg: Vec<u32> = f
+        .clauses
+        .iter()
+        .flat_map(|cl| cl.iter().map(|&l| (l < 0) as u32))
+        .collect();
+    let mut var_edges: Vec<Vec<u32>> = vec![Vec::new(); f.num_vars];
+    for (e, &v) in edge_var.iter().enumerate() {
+        var_edges[v as usize].push(e as u32);
+    }
+    for _ in 0..iters {
+        let mut pp = vec![1.0f32; f.num_vars];
+        let mut pn = vec![1.0f32; f.num_vars];
+        for v in 0..f.num_vars {
+            for &e in &var_edges[v] {
+                if edge_neg[e as usize] == 0 {
+                    pp[v] *= 1.0 - eta[e as usize];
+                } else {
+                    pn[v] *= 1.0 - eta[e as usize];
+                }
+            }
+        }
+        let mut max_delta = 0.0f32;
+        for c in 0..f.clauses.len() {
+            let (lo, hi) = (cl_ptr[c] as usize, cl_ptr[c + 1] as usize);
+            for e in lo..hi {
+                let mut eta_new = 1.0f32;
+                for e2 in lo..hi {
+                    if e2 == e {
+                        continue;
+                    }
+                    let j = edge_var[e2] as usize;
+                    let denom = (1.0 - eta[e2]).max(1e-9);
+                    let (same, other) = if edge_neg[e2] == 0 {
+                        (pp[j], pn[j])
+                    } else {
+                        (pn[j], pp[j])
+                    };
+                    let pi_u = (1.0 - same / denom) * other;
+                    let pi_s = (1.0 - other) * (same / denom);
+                    let pi_0 = (same / denom) * other;
+                    let total = (pi_u + pi_s + pi_0).max(1e-9);
+                    eta_new *= (pi_u / total).clamp(0.0, 1.0);
+                }
+                max_delta = max_delta.max((eta_new - eta[e]).abs());
+                eta_next[e] = eta_new;
+            }
+        }
+        std::mem::swap(&mut eta, &mut eta_next);
+        if max_delta < TOL {
+            break;
+        }
+    }
+    eta
+}
+
+impl SurveyProp {
+    fn solve(&self, dev: &mut Device, f: &Formula, mult: f64) -> Vec<f32> {
+        let n_edges = f.num_edges();
+        let mut cl_ptr = vec![0u32; f.clauses.len() + 1];
+        for (c, cl) in f.clauses.iter().enumerate() {
+            cl_ptr[c + 1] = cl_ptr[c] + cl.len() as u32;
+        }
+        let edge_var: Vec<u32> = f
+            .clauses
+            .iter()
+            .flat_map(|cl| cl.iter().map(|&l| l.unsigned_abs() - 1))
+            .collect();
+        let edge_neg: Vec<u32> = f
+            .clauses
+            .iter()
+            .flat_map(|cl| cl.iter().map(|&l| (l < 0) as u32))
+            .collect();
+        let mut var_lists: Vec<Vec<u32>> = vec![Vec::new(); f.num_vars];
+        for (e, &v) in edge_var.iter().enumerate() {
+            var_lists[v as usize].push(e as u32);
+        }
+        let mut var_ptr = vec![0u32; f.num_vars + 1];
+        for v in 0..f.num_vars {
+            var_ptr[v + 1] = var_ptr[v] + var_lists[v].len() as u32;
+        }
+        let var_edges: Vec<u32> = var_lists.concat();
+
+        let b = SpBufs {
+            cl_ptr: dev.alloc_from(&cl_ptr),
+            edge_var: dev.alloc_from(&edge_var),
+            edge_neg: dev.alloc_from(&edge_neg),
+            var_ptr: dev.alloc_from(&var_ptr),
+            var_edges: dev.alloc_from(&var_edges),
+            eta_in: dev.alloc_init::<f32>(n_edges, 0.5),
+            eta_out: dev.alloc_init::<f32>(n_edges, 0.5),
+            prod_pos: dev.alloc::<f32>(f.num_vars),
+            prod_neg: dev.alloc::<f32>(f.num_vars),
+            max_delta: dev.alloc::<u32>(1),
+            n_clauses: f.clauses.len(),
+            n_vars: f.num_vars,
+        };
+        let opts = LaunchOpts {
+            work_multiplier: mult,
+        };
+        let var_grid = (f.num_vars as u32).div_ceil(BLOCK);
+        let cl_grid = (f.clauses.len() as u32).div_ceil(BLOCK);
+        let mut eta_in = b.eta_in;
+        let mut eta_out = b.eta_out;
+        for _ in 0..MAX_ITERS {
+            dev.fill(&b.max_delta, 0);
+            let bufs = SpBufs {
+                eta_in,
+                eta_out,
+                ..b
+            };
+            dev.launch_with(&VarProducts { b: &bufs }, var_grid, BLOCK, opts);
+            dev.launch_with(&EdgeUpdate { b: &bufs }, cl_grid, BLOCK, opts);
+            std::mem::swap(&mut eta_in, &mut eta_out);
+            if dev.read_at(&b.max_delta, 0) < (TOL * 1e6) as u32 {
+                break;
+            }
+        }
+        dev.read(&eta_in)
+    }
+}
+
+impl Benchmark for SurveyProp {
+    fn spec(&self) -> BenchSpec {
+        BenchSpec {
+            key: "nsp",
+            name: "NSP",
+            suite: Suite::LonestarGpu,
+            kernels: 3,
+            regular: false,
+            description: "Survey propagation SAT heuristic on a factor graph",
+        }
+    }
+
+    fn inputs(&self) -> Vec<InputSpec> {
+        // Paper: clauses-literals-literals/clause 16800-4000-3, 42k-10k-3,
+        // 42k-10k-5.
+        vec![
+            InputSpec::new("16800-4000-3", 1680, 400, 3, 3_200.0),
+            InputSpec::new("42k-10k-3", 4200, 1000, 3, 1_400.0),
+            InputSpec::new("42k-10k-5", 4200, 1000, 5, 10_000.0),
+        ]
+    }
+
+    fn run(&self, dev: &mut Device, input: &InputSpec) -> RunOutput {
+        let f = random_ksat(input.n, input.m, input.aux, input.seed);
+        let eta = self.solve(dev, &f, input.mult);
+        assert!(eta.iter().all(|v| v.is_finite() && (0.0..=1.0).contains(v)));
+        let expect = host_sp(&f, MAX_ITERS);
+        for (i, (a, b)) in eta.iter().zip(&expect).enumerate() {
+            assert!((a - b).abs() < 1e-4, "eta[{i}]: {a} vs {b}");
+        }
+        let checksum: f64 = eta.iter().map(|&v| v as f64).sum();
+        RunOutput {
+            checksum,
+            items: Some(ItemCounts {
+                vertices: (input.n + input.m) as u64 * 10,
+                edges: f.num_edges() as u64 * 10,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kepler_sim::{ClockConfig, DeviceConfig};
+
+    fn device() -> Device {
+        Device::new(DeviceConfig::k20c(ClockConfig::k20_default(), false))
+    }
+
+    #[test]
+    fn device_matches_host_reference() {
+        SurveyProp.run(&mut device(), &InputSpec::new("t", 160, 40, 3, 1.0));
+    }
+
+    #[test]
+    fn surveys_converge_under_threshold_alpha() {
+        // α = m/n = 3 is below the 3-SAT SP threshold: surveys settle.
+        let mut dev = device();
+        let f = random_ksat(300, 100, 3, 5);
+        let eta = SurveyProp.solve(&mut dev, &f, 1.0);
+        // Convergence: far fewer iterations than the cap.
+        let iters = dev
+            .stats()
+            .iter()
+            .filter(|l| l.kernel == "nsp_edge_update")
+            .count();
+        assert!(iters < MAX_ITERS, "iterations {iters}");
+        assert!(eta.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn wider_clauses_mean_more_edge_work() {
+        let mut d3 = device();
+        SurveyProp.run(&mut d3, &InputSpec::new("k3", 160, 40, 3, 1.0));
+        let mut d5 = device();
+        SurveyProp.run(&mut d5, &InputSpec::new("k5", 160, 40, 5, 1.0));
+        let w3 = d3.total_counters().flops() / d3.stats().len() as f64;
+        let w5 = d5.total_counters().flops() / d5.stats().len() as f64;
+        assert!(w5 > 1.5 * w3, "k5 {w5} vs k3 {w3}");
+    }
+
+    #[test]
+    fn nsp_is_fp_heavy() {
+        let mut dev = device();
+        SurveyProp.run(&mut dev, &InputSpec::new("t", 160, 40, 3, 1.0));
+        let c = dev.total_counters();
+        assert!(c.flops() > c.lane_ops[4], "fp {} int {}", c.flops(), c.lane_ops[4]);
+    }
+}

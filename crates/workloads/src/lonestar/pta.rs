@@ -1,0 +1,386 @@
+//! PTA — LonestarGPU points-to analysis: flow-insensitive,
+//! context-insensitive Andersen-style inclusion constraints, solved
+//! topology-driven to a fixpoint.
+//!
+//! Constraint kinds over pointer variables, with points-to sets stored as
+//! device bit vectors:
+//!
+//! * address-of `p ⊇ {a}` (applied once at init),
+//! * copy `p ⊇ q`,
+//! * load `p ⊇ *q` (union pts(a) into pts(p) for every a ∈ pts(q)),
+//! * store `*p ⊇ q` (union pts(q) into pts(a) for every a ∈ pts(p)).
+//!
+//! The solver kernel sweeps all constraints each pass until nothing
+//! changes. Updates go into a *single* set array, so how far information
+//! propagates within one pass depends on the (timing-dependent) block
+//! interleaving — PTA is the paper's example of a program whose behaviour
+//! must be profiled across inputs (recommendation 5), and its 324-MHz
+//! outlier (smallest slowdown, largest energy drop).
+//!
+//! The paper's `vim`/`pine`/`tshark` constraint files are proprietary
+//! extractions; we generate synthetic constraint systems with the same
+//! kind mix (mostly copies, few loads/stores, ~2 constraints per variable).
+
+use crate::bench::{BenchSpec, Benchmark, InputSpec, ItemCounts, RunOutput, Suite};
+use crate::inputs::util::rng;
+use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, LaunchOpts};
+use rand::Rng;
+
+const BLOCK: u32 = 128;
+
+/// Constraint kinds, encoded in the device constraint table.
+const K_COPY: u32 = 0;
+const K_LOAD: u32 = 1;
+const K_STORE: u32 = 2;
+
+/// A synthetic constraint system.
+#[derive(Debug, Clone)]
+pub struct Constraints {
+    pub num_vars: usize,
+    /// (kind, dst, src) triples; address-of constraints are pre-applied to
+    /// the initial sets.
+    pub table: Vec<(u32, u32, u32)>,
+    /// Initial points-to bits: (var, target).
+    pub init: Vec<(u32, u32)>,
+}
+
+/// Generate a constraint system shaped like a C program's: every variable
+/// gets an address-of or copy chain; a minority are loads/stores through
+/// pointers.
+pub fn gen_constraints(num_vars: usize, seed: u64) -> Constraints {
+    let mut r = rng(seed);
+    let mut table = Vec::new();
+    let mut init = Vec::new();
+    // Address-of targets come from a small pool of allocation sites, as in
+    // real programs (keeps points-to sets realistically sparse).
+    let sites = (num_vars / 8).max(4);
+    for v in 0..num_vars as u32 {
+        // ~60% of variables take some address directly.
+        if r.gen::<f32>() < 0.6 {
+            init.push((v, r.gen_range(0..sites) as u32));
+        }
+    }
+    let n_cons = 2 * num_vars;
+    for _ in 0..n_cons {
+        let roll: f32 = r.gen();
+        let dst = r.gen_range(0..num_vars) as u32;
+        let src = r.gen_range(0..num_vars) as u32;
+        let kind = if roll < 0.62 {
+            K_COPY
+        } else if roll < 0.81 {
+            K_LOAD
+        } else {
+            K_STORE
+        };
+        table.push((kind, dst, src));
+    }
+    Constraints {
+        num_vars,
+        table,
+        init,
+    }
+}
+
+/// Host fixpoint solver (reference).
+pub fn host_solve(c: &Constraints) -> Vec<Vec<u32>> {
+    let words = c.num_vars.div_ceil(32);
+    let mut pts = vec![vec![0u32; words]; c.num_vars];
+    for &(v, tgt) in &c.init {
+        pts[v as usize][tgt as usize / 32] |= 1 << (tgt % 32);
+    }
+    loop {
+        let mut changed = false;
+        for &(kind, dst, src) in &c.table {
+            match kind {
+                K_COPY => changed |= union_into(&mut pts, dst as usize, src as usize),
+                K_LOAD => {
+                    let srcs = set_bits(&pts[src as usize]);
+                    for a in srcs {
+                        changed |= union_into(&mut pts, dst as usize, a as usize);
+                    }
+                }
+                _ => {
+                    let dsts = set_bits(&pts[dst as usize]);
+                    for a in dsts {
+                        changed |= union_into(&mut pts, a as usize, src as usize);
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    pts
+}
+
+fn union_into(pts: &mut [Vec<u32>], dst: usize, src: usize) -> bool {
+    if dst == src {
+        return false;
+    }
+    let mut changed = false;
+    for w in 0..pts[dst].len() {
+        let nv = pts[dst][w] | pts[src][w];
+        if nv != pts[dst][w] {
+            pts[dst][w] = nv;
+            changed = true;
+        }
+    }
+    changed
+}
+
+fn set_bits(words: &[u32]) -> Vec<u32> {
+    let mut out = Vec::new();
+    for (wi, &w) in words.iter().enumerate() {
+        let mut bits = w;
+        while bits != 0 {
+            let b = bits.trailing_zeros();
+            out.push((wi as u32) * 32 + b);
+            bits &= bits - 1;
+        }
+    }
+    out
+}
+
+struct PtaBufs {
+    kind: DevBuffer<u32>,
+    dst: DevBuffer<u32>,
+    src: DevBuffer<u32>,
+    /// Flattened bit matrix: `pts[v * words + w]`.
+    pts: DevBuffer<u32>,
+    changed: DevBuffer<u32>,
+    n_cons: usize,
+    words: usize,
+}
+
+/// The solver sweep: one thread per constraint.
+struct Solve<'a> {
+    b: &'a PtaBufs,
+}
+
+impl Kernel for Solve<'_> {
+    fn name(&self) -> &'static str {
+        "pta_solve"
+    }
+    fn run_block(&self, blk: &mut BlockCtx) {
+        let b = self.b;
+        let words = b.words;
+        blk.for_each_thread(|t| {
+            let i = t.gtid() as usize;
+            if i >= b.n_cons {
+                return;
+            }
+            let kind = t.ld(&b.kind, i);
+            let dst = t.ld(&b.dst, i) as usize;
+            let src = t.ld(&b.src, i) as usize;
+            t.int_op(3);
+            // Union src's set (or sets reached through it) into dst's.
+            let union_pair = |t: &mut kepler_sim::ThreadCtx, d: usize, s: usize| {
+                if d == s {
+                    return;
+                }
+                for w in 0..words {
+                    let sv = t.ld(&b.pts, s * words + w);
+                    if sv == 0 {
+                        t.int_op(1);
+                        continue;
+                    }
+                    let dv = t.ld(&b.pts, d * words + w);
+                    t.int_op(2);
+                    if dv | sv != dv {
+                        t.st(&b.pts, d * words + w, dv | sv);
+                        t.st(&b.changed, 0, 1);
+                    }
+                }
+            };
+            match kind {
+                K_COPY => union_pair(t, dst, src),
+                K_LOAD => {
+                    // dst ⊇ *src: walk src's set bits.
+                    for w in 0..words {
+                        let mut bits = t.ld(&b.pts, src * words + w);
+                        t.int_op(1);
+                        while bits != 0 {
+                            let a = (w as u32) * 32 + bits.trailing_zeros();
+                            bits &= bits - 1;
+                            t.int_op(2);
+                            union_pair(t, dst, a as usize);
+                        }
+                    }
+                }
+                _ => {
+                    // *dst ⊇ src: walk dst's set bits.
+                    for w in 0..words {
+                        let mut bits = t.ld(&b.pts, dst * words + w);
+                        t.int_op(1);
+                        while bits != 0 {
+                            let a = (w as u32) * 32 + bits.trailing_zeros();
+                            bits &= bits - 1;
+                            t.int_op(2);
+                            union_pair(t, a as usize, src);
+                        }
+                    }
+                }
+            }
+        });
+    }
+}
+
+/// The PTA benchmark.
+pub struct Pta;
+
+impl Pta {
+    fn solve(&self, dev: &mut Device, c: &Constraints, mult: f64) -> Vec<u32> {
+        let words = c.num_vars.div_ceil(32);
+        let mut init = vec![0u32; c.num_vars * words];
+        for &(v, tgt) in &c.init {
+            init[v as usize * words + tgt as usize / 32] |= 1 << (tgt % 32);
+        }
+        let b = PtaBufs {
+            kind: dev.alloc_from(&c.table.iter().map(|x| x.0).collect::<Vec<_>>()),
+            dst: dev.alloc_from(&c.table.iter().map(|x| x.1).collect::<Vec<_>>()),
+            src: dev.alloc_from(&c.table.iter().map(|x| x.2).collect::<Vec<_>>()),
+            pts: dev.alloc_from(&init),
+            changed: dev.alloc::<u32>(1),
+            n_cons: c.table.len(),
+            words,
+        };
+        let grid = (c.table.len() as u32).div_ceil(BLOCK);
+        let opts = LaunchOpts {
+            work_multiplier: mult,
+        };
+        let mut passes = 0;
+        loop {
+            dev.fill(&b.changed, 0);
+            dev.launch_with(&Solve { b: &b }, grid, BLOCK, opts);
+            passes += 1;
+            assert!(passes < 10_000, "PTA failed to converge");
+            if dev.read_at(&b.changed, 0) == 0 {
+                break;
+            }
+        }
+        dev.read(&b.pts)
+    }
+}
+
+impl Benchmark for Pta {
+    fn spec(&self) -> BenchSpec {
+        BenchSpec {
+            key: "pta",
+            name: "PTA",
+            suite: Suite::LonestarGpu,
+            kernels: 40,
+            regular: false,
+            description: "Andersen-style points-to analysis (inclusion constraints)",
+        }
+    }
+
+    fn inputs(&self) -> Vec<InputSpec> {
+        // Paper: vim (small), pine (medium), tshark (large).
+        vec![
+            InputSpec::new("vim (small)", 768, 0, 0, 1_100.0),
+            InputSpec::new("pine (medium)", 1024, 0, 0, 600.0),
+            InputSpec::new("tshark (large)", 1280, 0, 0, 640.0),
+        ]
+    }
+
+    fn run(&self, dev: &mut Device, input: &InputSpec) -> RunOutput {
+        let c = gen_constraints(input.n, input.seed);
+        let pts = self.solve(dev, &c, input.mult);
+        let expect = host_solve(&c);
+        let words = input.n.div_ceil(32);
+        for v in 0..input.n {
+            assert_eq!(
+                &pts[v * words..(v + 1) * words],
+                expect[v].as_slice(),
+                "PTA fixpoint mismatch at var {v}"
+            );
+        }
+        let total_bits: u64 = pts.iter().map(|w| w.count_ones() as u64).sum();
+        RunOutput {
+            checksum: total_bits as f64,
+            items: Some(ItemCounts {
+                vertices: input.n as u64,
+                edges: c.table.len() as u64,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kepler_sim::{ClockConfig, DeviceConfig};
+
+    fn device() -> Device {
+        Device::new(DeviceConfig::k20c(ClockConfig::k20_default(), false))
+    }
+
+    #[test]
+    fn tiny_manual_system() {
+        // a = &x; b = a; c = *b (x's set); *a = b (into x).
+        let c = Constraints {
+            num_vars: 4,
+            table: vec![(K_COPY, 1, 0), (K_LOAD, 2, 1), (K_STORE, 0, 1)],
+            init: vec![(0, 3)], // a -> {x=3}
+        };
+        let pts = host_solve(&c);
+        // b = a -> {3}; *a ⊇ b: pts(3) ⊇ {3}; c = *b = pts(3) = {3}.
+        assert_eq!(set_bits(&pts[1]), vec![3]);
+        assert_eq!(set_bits(&pts[3]), vec![3]);
+        assert_eq!(set_bits(&pts[2]), vec![3]);
+    }
+
+    #[test]
+    fn device_matches_host_small() {
+        Pta.run(&mut device(), &InputSpec::new("t", 96, 0, 0, 1.0));
+    }
+
+    #[test]
+    fn device_matches_host_medium() {
+        Pta.run(&mut device(), &InputSpec::new("t", 256, 0, 0, 1.0));
+    }
+
+    #[test]
+    fn fixpoint_is_order_independent() {
+        // Different configs interleave differently, but the fixpoint is
+        // unique: checksums must agree.
+        let input = InputSpec::new("t", 128, 0, 0, 1.0);
+        let a = Pta
+            .run(
+                &mut Device::new(DeviceConfig::k20c(ClockConfig::k20_default(), false)),
+                &input,
+            )
+            .checksum;
+        let b = Pta
+            .run(
+                &mut Device::new(DeviceConfig::k20c(ClockConfig::k20_324(), false)),
+                &input,
+            )
+            .checksum;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn convergence_takes_multiple_data_dependent_passes() {
+        let mut d1 = device();
+        Pta.run(&mut d1, &InputSpec::new("t", 96, 0, 0, 1.0));
+        // Transitive propagation cannot finish in one sweep.
+        assert!(d1.stats().len() >= 3, "passes {}", d1.stats().len());
+        // And more work happens per pass on larger constraint systems.
+        let mut d2 = device();
+        Pta.run(&mut d2, &InputSpec::new("t2", 256, 7, 0, 1.0));
+        let w1 = d1.total_counters().useful_bytes / d1.stats().len() as f64;
+        let w2 = d2.total_counters().useful_bytes / d2.stats().len() as f64;
+        assert!(w2 > 2.0 * w1);
+    }
+
+    #[test]
+    fn sets_grow_transitively() {
+        let c = gen_constraints(128, 1);
+        let pts = host_solve(&c);
+        let total: usize = pts.iter().map(|v| set_bits(v).len()).sum();
+        let init = c.init.len();
+        assert!(total > 2 * init, "total {total} vs init {init}");
+    }
+}

@@ -1,0 +1,412 @@
+//! SSSP — LonestarGPU single-source shortest paths and its variants
+//! (paper §IV.A.1f and Table 3):
+//!
+//! * `default` — topology-driven Bellman-Ford, one node per thread: every
+//!   settled node re-relaxes all of its edges every pass (double-buffered,
+//!   hop-synchronous).
+//! * `wln` — data-driven node worklist, one node per thread, duplicates
+//!   allowed: the worklist stays small, so most passes leave the GPU
+//!   almost idle — the paper finds it ~2.4x *slower* than the default.
+//! * `wlc` — data-driven, edge-parallel relaxation with worklist dedup
+//!   (Merrill's strategy adapted to SSSP): the efficient implementation.
+
+use crate::bench::{BenchSpec, Benchmark, InputSpec, RunOutput, Suite};
+use crate::inputs::graphs::{host_sssp, road_network, Csr};
+use crate::lonestar::bfs::{road_inputs, road_items, upload_graph, GraphBufs};
+use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, LaunchOpts};
+
+const BLOCK: u32 = 256;
+/// Worklist kernels use smaller blocks so modest frontiers still span
+/// multiple blocks (and therefore interleave).
+const WL_BLOCK: u32 = 64;
+const INF: u32 = u32::MAX;
+/// Edge-slot fan-out for the `wlc` edge-parallel kernel (road networks
+/// have degree <= ~6).
+const MAX_DEG: u32 = 8;
+
+/// `default`: hop-synchronous Bellman-Ford; all settled nodes relax all
+/// edges every pass.
+struct TopoSssp<'a> {
+    g: &'a GraphBufs,
+    dist_in: DevBuffer<u32>,
+    dist_out: DevBuffer<u32>,
+}
+
+impl Kernel for TopoSssp<'_> {
+    fn name(&self) -> &'static str {
+        "sssp_topo"
+    }
+    fn run_block(&self, blk: &mut BlockCtx) {
+        let g = self.g;
+        let (din, dout) = (self.dist_in, self.dist_out);
+        blk.for_each_thread(|t| {
+            let v = t.gtid() as usize;
+            if v >= g.n {
+                return;
+            }
+            let dv = t.ld(&din, v);
+            let own = t.ld(&dout, v);
+            if dv < own {
+                t.st(&dout, v, dv);
+            }
+            if dv == INF {
+                return;
+            }
+            let lo = t.ld(&g.row_ptr, v) as usize;
+            let hi = t.ld(&g.row_ptr, v + 1) as usize;
+            for e in lo..hi {
+                let w = t.ld(&g.col, e) as usize;
+                let wt = t.ld(&g.weight, e);
+                t.int_op(3);
+                let cand = dv.saturating_add(wt);
+                let cur = t.ld(&dout, w);
+                if cand < cur {
+                    t.st(&dout, w, cand);
+                    t.st(&g.changed, 0, 1);
+                }
+            }
+        });
+    }
+}
+
+/// `wln`: node worklist with duplicates; improved targets are pushed
+/// unconditionally.
+struct WlnSssp<'a> {
+    g: &'a GraphBufs,
+    dist: DevBuffer<u32>,
+    wl_in: DevBuffer<u32>,
+    wl_out: DevBuffer<u32>,
+    in_size: u32,
+    out_size: DevBuffer<u32>,
+}
+
+impl Kernel for WlnSssp<'_> {
+    fn name(&self) -> &'static str {
+        "sssp_wln"
+    }
+    fn run_block(&self, blk: &mut BlockCtx) {
+        let g = self.g;
+        let (dist, wl_in, wl_out, out_size) = (self.dist, self.wl_in, self.wl_out, self.out_size);
+        let in_size = self.in_size;
+        blk.for_each_thread(|t| {
+            let i = t.gtid();
+            if i >= in_size {
+                return;
+            }
+            let v = t.ld(&wl_in, i as usize) as usize;
+            let dv = t.ld(&dist, v);
+            let lo = t.ld(&g.row_ptr, v) as usize;
+            let hi = t.ld(&g.row_ptr, v + 1) as usize;
+            for e in lo..hi {
+                let w = t.ld(&g.col, e) as usize;
+                let wt = t.ld(&g.weight, e);
+                t.int_op(3);
+                let cand = dv.saturating_add(wt);
+                let old = t.atomic_min_u32(&dist, w, cand);
+                if cand < old {
+                    // Duplicates allowed: push without dedup.
+                    let slot = t.atomic_add_u32(&out_size, 0, 1);
+                    t.st(&wl_out, slot as usize, w as u32);
+                }
+            }
+        });
+    }
+}
+
+/// `wlc`: edge-parallel relaxation (one edge slot per thread) with
+/// worklist dedup via an in-worklist flag.
+struct WlcSssp<'a> {
+    g: &'a GraphBufs,
+    dist: DevBuffer<u32>,
+    in_wl: DevBuffer<u32>,
+    wl_in: DevBuffer<u32>,
+    wl_out: DevBuffer<u32>,
+    in_size: u32,
+    out_size: DevBuffer<u32>,
+}
+
+impl Kernel for WlcSssp<'_> {
+    fn name(&self) -> &'static str {
+        "sssp_wlc"
+    }
+    fn run_block(&self, blk: &mut BlockCtx) {
+        let g = self.g;
+        let (dist, in_wl, wl_in, wl_out, out_size) =
+            (self.dist, self.in_wl, self.wl_in, self.wl_out, self.out_size);
+        let in_size = self.in_size;
+        blk.for_each_thread(|t| {
+            let i = t.gtid();
+            if i >= in_size * MAX_DEG {
+                return;
+            }
+            let v = t.ld(&wl_in, (i / MAX_DEG) as usize) as usize;
+            let k = i % MAX_DEG;
+            let lo = t.ld(&g.row_ptr, v);
+            let hi = t.ld(&g.row_ptr, v + 1);
+            t.int_op(2);
+            if lo + k >= hi {
+                return;
+            }
+            let e = (lo + k) as usize;
+            let dv = t.ld(&dist, v);
+            let w = t.ld(&g.col, e) as usize;
+            let wt = t.ld(&g.weight, e);
+            let cand = dv.saturating_add(wt);
+            let old = t.atomic_min_u32(&dist, w, cand);
+            if cand < old {
+                // Dedup: only enqueue if not already in the out worklist.
+                if t.atomic_exch_u32(&in_wl, w, 1) == 0 {
+                    let slot = t.atomic_add_u32(&out_size, 0, 1);
+                    t.st(&wl_out, slot as usize, w as u32);
+                }
+            }
+        });
+    }
+}
+
+/// Which SSSP implementation to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SsspVariant {
+    Default,
+    Wln,
+    Wlc,
+}
+
+impl SsspVariant {
+    fn key(&self) -> &'static str {
+        match self {
+            SsspVariant::Default => "sssp",
+            SsspVariant::Wln => "sssp-wln",
+            SsspVariant::Wlc => "sssp-wlc",
+        }
+    }
+}
+
+/// The SSSP benchmark (pick a variant; `Default` is the Table-1 program).
+pub struct Sssp {
+    pub variant: SsspVariant,
+}
+
+impl Sssp {
+    pub fn new(variant: SsspVariant) -> Self {
+        Self { variant }
+    }
+
+    fn run_on_graph(&self, dev: &mut Device, g: &Csr, src: usize, mult: f64) -> Vec<u32> {
+        let bufs = upload_graph(dev, g);
+        let dist = dev.alloc_init::<u32>(g.n, INF);
+        dev.write_at(&dist, src, 0);
+        let grid = (g.n as u32).div_ceil(BLOCK);
+        let opts = LaunchOpts {
+            work_multiplier: mult,
+        };
+        match self.variant {
+            SsspVariant::Default => {
+                let dist_b = dev.alloc_init::<u32>(g.n, INF);
+                dev.write_at(&dist_b, src, 0);
+                let mut din = dist;
+                let mut dout = dist_b;
+                let mut passes = 0u32;
+                loop {
+                    dev.fill(&bufs.changed, 0);
+                    dev.launch_with(
+                        &TopoSssp {
+                            g: &bufs,
+                            dist_in: din,
+                            dist_out: dout,
+                        },
+                        grid,
+                        BLOCK,
+                        opts,
+                    );
+                    std::mem::swap(&mut din, &mut dout);
+                    passes += 1;
+                    assert!(passes < 1_000_000, "SSSP failed to converge");
+                    if dev.read_at(&bufs.changed, 0) == 0 {
+                        break;
+                    }
+                }
+                dev.read(&din)
+            }
+            SsspVariant::Wln => {
+                let cap = 16 * g.num_edges() + 16;
+                let wl_a = dev.alloc::<u32>(cap);
+                let wl_b = dev.alloc::<u32>(cap);
+                let out_size = dev.alloc::<u32>(1);
+                dev.write_at(&wl_a, 0, src as u32);
+                let mut in_size = 1u32;
+                let mut flip = false;
+                while in_size > 0 {
+                    dev.fill(&out_size, 0);
+                    let (wi, wo) = if flip { (wl_b, wl_a) } else { (wl_a, wl_b) };
+                    dev.launch_with(
+                        &WlnSssp {
+                            g: &bufs,
+                            dist,
+                            wl_in: wi,
+                            wl_out: wo,
+                            in_size,
+                            out_size,
+                        },
+                        in_size.div_ceil(WL_BLOCK),
+                        WL_BLOCK,
+                        opts,
+                    );
+                    in_size = dev.read_at(&out_size, 0);
+                    assert!((in_size as usize) < cap, "wln worklist overflow");
+                    flip = !flip;
+                }
+                dev.read(&dist)
+            }
+            SsspVariant::Wlc => {
+                let cap = g.n + 16;
+                let wl_a = dev.alloc::<u32>(cap);
+                let wl_b = dev.alloc::<u32>(cap);
+                let in_wl = dev.alloc::<u32>(g.n);
+                let out_size = dev.alloc::<u32>(1);
+                dev.write_at(&wl_a, 0, src as u32);
+                let mut in_size = 1u32;
+                let mut flip = false;
+                while in_size > 0 {
+                    dev.fill(&out_size, 0);
+                    dev.fill(&in_wl, 0);
+                    let (wi, wo) = if flip { (wl_b, wl_a) } else { (wl_a, wl_b) };
+                    dev.launch_with(
+                        &WlcSssp {
+                            g: &bufs,
+                            dist,
+                            in_wl,
+                            wl_in: wi,
+                            wl_out: wo,
+                            in_size,
+                            out_size,
+                        },
+                        (in_size * MAX_DEG).div_ceil(WL_BLOCK),
+                        WL_BLOCK,
+                        opts,
+                    );
+                    in_size = dev.read_at(&out_size, 0);
+                    flip = !flip;
+                }
+                dev.read(&dist)
+            }
+        }
+    }
+}
+
+impl Benchmark for Sssp {
+    fn spec(&self) -> BenchSpec {
+        BenchSpec {
+            key: self.variant.key(),
+            name: "SSSP",
+            suite: Suite::LonestarGpu,
+            kernels: 2,
+            regular: false,
+            description: "Single-source shortest paths on road networks (modified Bellman-Ford)",
+        }
+    }
+
+    fn inputs(&self) -> Vec<InputSpec> {
+        // All variants process the same paper-scale workload with the same
+        // multiplier; their runtime ratios are Table 3's data.
+        road_inputs([61_000.0, 48_000.0, 20_000.0])
+    }
+
+    fn run(&self, dev: &mut Device, input: &InputSpec) -> RunOutput {
+        let g = road_network(input.n, input.m, input.seed);
+        let src = g.n / 2 + input.n / 2;
+        let dist = self.run_on_graph(dev, &g, src, input.mult);
+        let expect = host_sssp(&g, src);
+        assert_eq!(dist, expect, "SSSP ({:?}) wrong distances", self.variant);
+        let reachable: u64 = dist.iter().filter(|&&d| d != INF).count() as u64;
+        RunOutput {
+            checksum: reachable as f64,
+            items: Some(road_items(input.name)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kepler_sim::{ClockConfig, DeviceConfig};
+
+    fn device() -> Device {
+        Device::new(DeviceConfig::k20c(ClockConfig::k20_default(), false))
+    }
+
+    fn small_input() -> InputSpec {
+        InputSpec::new("t", 20, 20, 0, 1.0)
+    }
+
+    #[test]
+    fn default_variant_correct() {
+        Sssp::new(SsspVariant::Default).run(&mut device(), &small_input());
+    }
+
+    #[test]
+    fn wln_variant_correct() {
+        Sssp::new(SsspVariant::Wln).run(&mut device(), &small_input());
+    }
+
+    #[test]
+    fn wlc_variant_correct() {
+        Sssp::new(SsspVariant::Wlc).run(&mut device(), &small_input());
+    }
+
+    #[test]
+    fn wlc_does_far_less_work_than_default() {
+        let mut d1 = device();
+        Sssp::new(SsspVariant::Default).run(&mut d1, &small_input());
+        let mut d2 = device();
+        Sssp::new(SsspVariant::Wlc).run(&mut d2, &small_input());
+        let w1 = d1.total_counters().useful_bytes;
+        let w2 = d2.total_counters().useful_bytes;
+        assert!(w2 < 0.5 * w1, "wlc {w2} vs default {w1}");
+    }
+
+    #[test]
+    fn wln_runs_many_low_occupancy_passes() {
+        let mut d = device();
+        Sssp::new(SsspVariant::Wln).run(&mut d, &small_input());
+        // Label-correcting needs at least diameter-many passes, and most
+        // worklists are tiny (1-2 blocks): the GPU idles — the reason the
+        // paper finds wln strictly worse.
+        let launches = d.stats().len();
+        assert!(launches > 15, "launches {launches}");
+        let small_grids = d.stats().iter().filter(|l| l.grid <= 2).count();
+        assert!(small_grids as f64 > 0.4 * launches as f64);
+    }
+
+    #[test]
+    fn variants_agree_with_each_other() {
+        let g = road_network(16, 16, 3);
+        let src = 8;
+        let a = Sssp::new(SsspVariant::Default).run_on_graph(&mut device(), &g, src, 1.0);
+        let b = Sssp::new(SsspVariant::Wln).run_on_graph(&mut device(), &g, src, 1.0);
+        let c = Sssp::new(SsspVariant::Wlc).run_on_graph(&mut device(), &g, src, 1.0);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn trajectory_changes_with_clock_config() {
+        // The paper's irregularity finding: frequency changes perturb the
+        // behaviour of data-driven codes. The worklist-size trajectory of
+        // wln must differ across clock configurations once worklists span
+        // multiple blocks (co-resident interleaving is config-seeded).
+        // A 36x36 grid makes the worklists exceed one block.
+        let input = InputSpec::new("t", 36, 36, 0, 1.0);
+        let run_at = |clocks| {
+            let mut dev = Device::new(DeviceConfig::k20c(clocks, false));
+            Sssp::new(SsspVariant::Wln).run(&mut dev, &input);
+            dev.stats()
+                .iter()
+                .map(|l| l.counters.useful_bytes as u64)
+                .collect::<Vec<_>>()
+        };
+        let a = run_at(ClockConfig::k20_default());
+        let b = run_at(ClockConfig::k20_324());
+        assert_ne!(a, b, "worklist trajectories identical across configs");
+    }
+}

@@ -1,0 +1,159 @@
+//! P-BFS — Parboil breadth-first search: queue-based, level-synchronous,
+//! with atomic frontier enqueue. Input: a road map of the San Francisco
+//! Bay Area (321k nodes / 800k edges), replaced by a synthetic road
+//! network of the same shape.
+
+use crate::bench::{BenchSpec, Benchmark, InputSpec, ItemCounts, RunOutput, Suite};
+use crate::inputs::graphs::{host_bfs, road_network};
+use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, LaunchOpts};
+
+const BLOCK: u32 = 64;
+const INF: u32 = u32::MAX;
+
+struct Frontier {
+    row_ptr: DevBuffer<u32>,
+    col: DevBuffer<u32>,
+    cost: DevBuffer<u32>,
+    wl_in: DevBuffer<u32>,
+    wl_out: DevBuffer<u32>,
+    out_size: DevBuffer<u32>,
+    in_size: u32,
+}
+
+impl Kernel for Frontier {
+    fn name(&self) -> &'static str {
+        "pbfs_frontier"
+    }
+    fn run_block(&self, blk: &mut BlockCtx) {
+        let k = self;
+        blk.for_each_thread(|t| {
+            let i = t.gtid();
+            if i >= k.in_size {
+                return;
+            }
+            let v = t.ld(&k.wl_in, i as usize) as usize;
+            let cv = t.ld(&k.cost, v);
+            let lo = t.ld(&k.row_ptr, v) as usize;
+            let hi = t.ld(&k.row_ptr, v + 1) as usize;
+            for e in lo..hi {
+                let w = t.ld(&k.col, e) as usize;
+                t.int_op(2);
+                if t.atomic_cas_u32(&k.cost, w, INF, cv + 1) == INF {
+                    let slot = t.atomic_add_u32(&k.out_size, 0, 1);
+                    t.st(&k.wl_out, slot as usize, w as u32);
+                }
+            }
+        });
+    }
+}
+
+/// The P-BFS benchmark.
+pub struct PBfs;
+
+impl Benchmark for PBfs {
+    fn spec(&self) -> BenchSpec {
+        BenchSpec {
+            key: "pbfs",
+            name: "P-BFS",
+            suite: Suite::Parboil,
+            kernels: 3,
+            regular: false,
+            description: "Queue-based BFS (shortest-path cost, uniform weights)",
+        }
+    }
+
+    fn inputs(&self) -> Vec<InputSpec> {
+        // SF Bay Area road map: 321k nodes, 800k edges.
+        vec![InputSpec::new("SF Bay road map", 56, 56, 0, 23_500.0)]
+    }
+
+    fn run(&self, dev: &mut Device, input: &InputSpec) -> RunOutput {
+        let g = road_network(input.n, input.m, input.seed);
+        let src = g.n / 2;
+        let k = Frontier {
+            row_ptr: dev.alloc_from(&g.row_ptr),
+            col: dev.alloc_from(&g.col),
+            cost: dev.alloc_init(g.n, INF),
+            wl_in: dev.alloc::<u32>(g.n + 1),
+            wl_out: dev.alloc::<u32>(g.n + 1),
+            out_size: dev.alloc::<u32>(1),
+            in_size: 1,
+        };
+        dev.write_at(&k.cost, src, 0);
+        dev.write_at(&k.wl_in, 0, src as u32);
+        let mut in_size = 1u32;
+        let mut flip = false;
+        let opts = LaunchOpts {
+            work_multiplier: input.mult,
+        };
+        while in_size > 0 {
+            dev.fill(&k.out_size, 0);
+            let (wi, wo) = if flip {
+                (k.wl_out, k.wl_in)
+            } else {
+                (k.wl_in, k.wl_out)
+            };
+            dev.launch_with(
+                &Frontier {
+                    wl_in: wi,
+                    wl_out: wo,
+                    in_size,
+                    ..k
+                },
+                in_size.div_ceil(BLOCK),
+                BLOCK,
+                opts,
+            );
+            in_size = dev.read_at(&k.out_size, 0);
+            flip = !flip;
+        }
+        let got = dev.read(&k.cost);
+        assert_eq!(got, host_bfs(&g, src), "P-BFS cost mismatch");
+        RunOutput {
+            checksum: got.iter().filter(|&&c| c != INF).count() as f64,
+            items: Some(ItemCounts {
+                vertices: 321_000,
+                edges: 800_000,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kepler_sim::{ClockConfig, DeviceConfig};
+
+    fn device() -> Device {
+        Device::new(DeviceConfig::k20c(ClockConfig::k20_default(), false))
+    }
+
+    #[test]
+    fn pbfs_matches_host() {
+        PBfs.run(&mut device(), &InputSpec::new("t", 20, 20, 0, 1.0));
+    }
+
+    #[test]
+    fn pbfs_level_count_is_graph_diameterish() {
+        let mut dev = device();
+        PBfs.run(&mut dev, &InputSpec::new("t", 20, 20, 0, 1.0));
+        let launches = dev.stats().len();
+        assert!(launches > 15 && launches < 80, "launches {launches}");
+    }
+
+    #[test]
+    fn pbfs_touches_each_edge_once() {
+        let mut dev = device();
+        let input = InputSpec::new("t", 16, 16, 0, 1.0);
+        PBfs.run(&mut dev, &input);
+        let g = road_network(16, 16, input.seed);
+        let c = dev.total_counters();
+        // Frontier BFS does O(m) edge work, far below n*diameter.
+        let edge_touches = c.atomics;
+        assert!(
+            edge_touches < 1.5 * g.num_edges() as f64 + 64.0,
+            "atomics {edge_touches} vs edges {}",
+            g.num_edges()
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! HISTO — Parboil saturating histogram: a 2-D histogram whose bins
+//! saturate at 255. The input distribution is heavily skewed (as in the
+//! paper's image input), so some bins suffer massive atomic contention —
+//! the defining cost of this benchmark.
+
+use crate::bench::{BenchSpec, Benchmark, InputSpec, RunOutput, Suite};
+use crate::inputs::util::rng;
+use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, LaunchOpts};
+use rand::Rng;
+
+const BLOCK: u32 = 256;
+const SAT: u32 = 255;
+
+struct HistoKernel {
+    data: DevBuffer<u32>,
+    bins: DevBuffer<u32>,
+    n: usize,
+}
+
+impl Kernel for HistoKernel {
+    fn name(&self) -> &'static str {
+        "histo_main"
+    }
+    fn run_block(&self, blk: &mut BlockCtx) {
+        let k = self;
+        blk.for_each_thread(|t| {
+            let i = t.gtid() as usize;
+            if i >= k.n {
+                return;
+            }
+            let bin = t.ld(&k.data, i) as usize;
+            // Saturating increment via a CAS loop, as the real code does.
+            loop {
+                let cur = t.ld(&k.bins, bin);
+                t.int_op(2);
+                if cur >= SAT {
+                    break;
+                }
+                if t.atomic_cas_u32(&k.bins, bin, cur, cur + 1) == cur {
+                    break;
+                }
+            }
+        });
+    }
+}
+
+/// Skewed (image-like) bin stream: a Gaussian-ish blob over a 2-D
+/// histogram, plus uniform background.
+pub fn skewed_stream(n: usize, num_bins: usize, seed: u64) -> Vec<u32> {
+    let mut r = rng(seed);
+    (0..n)
+        .map(|_| {
+            if r.gen::<f32>() < 0.6 {
+                // Hot region: 1/64th of the bins get most of the traffic.
+                r.gen_range(0..num_bins.div_ceil(64)) as u32
+            } else {
+                r.gen_range(0..num_bins) as u32
+            }
+        })
+        .collect()
+}
+
+/// Host reference saturating histogram.
+pub fn host_histo(data: &[u32], num_bins: usize) -> Vec<u32> {
+    let mut bins = vec![0u32; num_bins];
+    for &d in data {
+        let b = &mut bins[d as usize];
+        if *b < SAT {
+            *b += 1;
+        }
+    }
+    bins
+}
+
+/// The HISTO benchmark.
+pub struct Histo;
+
+impl Benchmark for Histo {
+    fn spec(&self) -> BenchSpec {
+        BenchSpec {
+            key: "histo",
+            name: "HISTO",
+            suite: Suite::Parboil,
+            kernels: 4,
+            regular: true,
+            description: "2-D saturating histogram (max bin count 255)",
+        }
+    }
+
+    fn inputs(&self) -> Vec<InputSpec> {
+        // Paper: image input, "20-4" parameters; n = stream, m = bins.
+        vec![InputSpec::new("image 20-4", 1 << 16, 4096, 0, 284_000.0)]
+    }
+
+    fn run(&self, dev: &mut Device, input: &InputSpec) -> RunOutput {
+        let data = skewed_stream(input.n, input.m, input.seed);
+        let k = HistoKernel {
+            data: dev.alloc_from(&data),
+            bins: dev.alloc::<u32>(input.m),
+            n: input.n,
+        };
+        dev.launch_with(
+            &k,
+            (input.n as u32).div_ceil(BLOCK),
+            BLOCK,
+            LaunchOpts {
+                work_multiplier: input.mult,
+            },
+        );
+        let got = dev.read(&k.bins);
+        let expect = host_histo(&data, input.m);
+        assert_eq!(got, expect, "histogram mismatch");
+        RunOutput {
+            checksum: got.iter().map(|&v| v as f64).sum(),
+            items: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kepler_sim::{ClockConfig, DeviceConfig};
+
+    fn device() -> Device {
+        Device::new(DeviceConfig::k20c(ClockConfig::k20_default(), false))
+    }
+
+    #[test]
+    fn histo_matches_host() {
+        Histo.run(&mut device(), &InputSpec::new("t", 4096, 256, 0, 1.0));
+    }
+
+    #[test]
+    fn hot_bins_saturate() {
+        let data = skewed_stream(1 << 15, 256, 3);
+        let bins = host_histo(&data, 256);
+        assert!(bins.iter().any(|&b| b == SAT), "nothing saturated");
+        assert!(bins.iter().all(|&b| b <= SAT));
+    }
+
+    #[test]
+    fn histo_has_heavy_atomic_traffic() {
+        let mut dev = device();
+        Histo.run(&mut dev, &InputSpec::new("t", 4096, 256, 0, 1.0));
+        let c = dev.total_counters();
+        assert!(c.atomics as f64 > 0.5 * 4096.0, "atomics {}", c.atomics);
+    }
+}

@@ -1,0 +1,245 @@
+//! LBM — Parboil Lattice-Boltzmann fluid dynamics (lid-driven cavity).
+//!
+//! The paper's 3-D D3Q19 simulation is reduced to the standard D2Q9
+//! lattice (documented in DESIGN.md): identical computational shape — a
+//! streaming step gathering nine distribution values from neighbors and a
+//! BGK collision step — and the same extreme memory-boundedness. LBM is
+//! the paper's worst case at the 324-MHz memory clock (7.75x slowdown,
+//! 2x energy).
+
+use crate::bench::{BenchSpec, Benchmark, InputSpec, RunOutput, Suite};
+use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, LaunchOpts};
+
+const BLOCK: u32 = 128;
+const Q: usize = 9;
+const CX: [i32; Q] = [0, 1, 0, -1, 0, 1, -1, -1, 1];
+const CY: [i32; Q] = [0, 0, 1, 0, -1, 1, 1, -1, -1];
+const W: [f32; Q] = [
+    4.0 / 9.0,
+    1.0 / 9.0,
+    1.0 / 9.0,
+    1.0 / 9.0,
+    1.0 / 9.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+];
+const OMEGA: f32 = 1.2;
+const LID_U: f32 = 0.08;
+
+struct LbmStep {
+    f_in: DevBuffer<f32>,
+    f_out: DevBuffer<f32>,
+    nx: usize,
+    ny: usize,
+}
+
+#[allow(clippy::needless_range_loop)]
+fn collide(f: &mut [f32; Q], lid: bool) {
+    let rho: f32 = f.iter().sum();
+    let mut ux = (f[1] + f[5] + f[8] - f[3] - f[6] - f[7]) / rho;
+    let mut uy = (f[2] + f[5] + f[6] - f[4] - f[7] - f[8]) / rho;
+    if lid {
+        ux = LID_U;
+        uy = 0.0;
+    }
+    let usq = 1.5 * (ux * ux + uy * uy);
+    for q in 0..Q {
+        let cu = 3.0 * (CX[q] as f32 * ux + CY[q] as f32 * uy);
+        let feq = W[q] * rho * (1.0 + cu + 0.5 * cu * cu - usq);
+        f[q] += OMEGA * (feq - f[q]);
+    }
+}
+
+impl Kernel for LbmStep {
+    fn name(&self) -> &'static str {
+        "lbm_stream_collide"
+    }
+    fn run_block(&self, blk: &mut BlockCtx) {
+        let (nx, ny) = (self.nx, self.ny);
+        let (f_in, f_out) = (self.f_in, self.f_out);
+        blk.for_each_thread(|t| {
+            let cell = t.gtid() as usize;
+            if cell >= nx * ny {
+                return;
+            }
+            let x = (cell % nx) as i32;
+            let y = (cell / nx) as i32;
+            // Stream: gather the nine populations from upwind neighbors
+            // (bounce-back at walls).
+            let mut f = [0.0f32; Q];
+            for q in 0..Q {
+                let sx = x - CX[q];
+                let sy = y - CY[q];
+                t.int_op(4);
+                if sx < 0 || sy < 0 || sx >= nx as i32 || sy >= ny as i32 {
+                    // Bounce back: take the opposite population from self.
+                    let opp = [0, 3, 4, 1, 2, 7, 8, 5, 6][q];
+                    f[q] = t.ld(&f_in, opp * nx * ny + cell);
+                } else {
+                    f[q] = t.ld(&f_in, q * nx * ny + (sy as usize) * nx + sx as usize);
+                }
+            }
+            // Collide (BGK); the top row is the moving lid.
+            let lid = y == ny as i32 - 1;
+            collide(&mut f, lid);
+            t.fma32(40);
+            t.sfu(1);
+            for q in 0..Q {
+                t.st(&f_out, q * nx * ny + cell, f[q]);
+            }
+        });
+    }
+}
+
+/// Host reference step (identical arithmetic).
+pub fn host_lbm_step(f_in: &[f32], nx: usize, ny: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; f_in.len()];
+    for cell in 0..nx * ny {
+        let x = (cell % nx) as i32;
+        let y = (cell / nx) as i32;
+        let mut f = [0.0f32; Q];
+        for q in 0..Q {
+            let sx = x - CX[q];
+            let sy = y - CY[q];
+            if sx < 0 || sy < 0 || sx >= nx as i32 || sy >= ny as i32 {
+                let opp = [0, 3, 4, 1, 2, 7, 8, 5, 6][q];
+                f[q] = f_in[opp * nx * ny + cell];
+            } else {
+                f[q] = f_in[q * nx * ny + (sy as usize) * nx + sx as usize];
+            }
+        }
+        collide(&mut f, y == ny as i32 - 1);
+        for q in 0..Q {
+            out[q * nx * ny + cell] = f[q];
+        }
+    }
+    out
+}
+
+/// The LBM benchmark.
+pub struct Lbm;
+
+impl Benchmark for Lbm {
+    fn spec(&self) -> BenchSpec {
+        BenchSpec {
+            key: "lbm",
+            name: "LBM",
+            suite: Suite::Parboil,
+            kernels: 1,
+            regular: true,
+            description: "Lattice-Boltzmann lid-driven cavity (BGK collision)",
+        }
+    }
+
+    fn inputs(&self) -> Vec<InputSpec> {
+        // Paper: 3000- and 100-timestep inputs.
+        vec![
+            InputSpec::new("3000 timesteps", 48, 12, 0, 15_000_000.0),
+            InputSpec::new("100 timesteps", 48, 6, 0, 1_500_000.0),
+        ]
+    }
+
+    fn run(&self, dev: &mut Device, input: &InputSpec) -> RunOutput {
+        let (nx, ny) = (input.n, input.n);
+        let steps = input.m.max(1);
+        // Uniform initial density 1.0 at rest.
+        let mut init = vec![0.0f32; Q * nx * ny];
+        for q in 0..Q {
+            for c in 0..nx * ny {
+                init[q * nx * ny + c] = W[q];
+            }
+        }
+        let mut bufs = [dev.alloc_from(&init), dev.alloc::<f32>(Q * nx * ny)];
+        let grid = ((nx * ny) as u32).div_ceil(BLOCK);
+        let mut expect = init;
+        for _ in 0..steps {
+            dev.launch_with(
+                &LbmStep {
+                    f_in: bufs[0],
+                    f_out: bufs[1],
+                    nx,
+                    ny,
+                },
+                grid,
+                BLOCK,
+                LaunchOpts {
+                    work_multiplier: input.mult / steps as f64,
+                },
+            );
+            bufs.swap(0, 1);
+            expect = host_lbm_step(&expect, nx, ny);
+        }
+        let got = dev.read(&bufs[0]);
+        for i in 0..got.len() {
+            assert!(
+                (got[i] - expect[i]).abs() < 1e-4,
+                "f[{i}]: {} vs {}",
+                got[i],
+                expect[i]
+            );
+        }
+        // Mass conservation (no inflow/outflow).
+        let mass: f64 = got.iter().map(|&v| v as f64).sum();
+        let expected_mass = (nx * ny) as f64;
+        assert!(
+            (mass - expected_mass).abs() < 1e-2 * expected_mass,
+            "mass {mass} vs {expected_mass}"
+        );
+        RunOutput {
+            checksum: mass,
+            items: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kepler_sim::{ClockConfig, DeviceConfig};
+
+    fn device() -> Device {
+        Device::new(DeviceConfig::k20c(ClockConfig::k20_default(), false))
+    }
+
+    #[test]
+    fn lbm_matches_host_and_conserves_mass() {
+        Lbm.run(&mut device(), &InputSpec::new("t", 16, 4, 0, 1.0));
+    }
+
+    #[test]
+    fn lid_drives_flow() {
+        // After some steps the cell row under the lid should have positive
+        // x-momentum.
+        let (nx, ny) = (16, 16);
+        let mut f = vec![0.0f32; Q * nx * ny];
+        for q in 0..Q {
+            for c in 0..nx * ny {
+                f[q * nx * ny + c] = W[q];
+            }
+        }
+        for _ in 0..30 {
+            f = host_lbm_step(&f, nx, ny);
+        }
+        let row = ny - 2;
+        let mut ux_sum = 0.0f32;
+        for x in 1..nx - 1 {
+            let cell = row * nx + x;
+            let ux = f[nx * ny + cell] + f[5 * nx * ny + cell] + f[8 * nx * ny + cell]
+                - f[3 * nx * ny + cell]
+                - f[6 * nx * ny + cell]
+                - f[7 * nx * ny + cell];
+            ux_sum += ux;
+        }
+        assert!(ux_sum > 0.0, "no flow under the lid: {ux_sum}");
+    }
+
+    #[test]
+    fn lbm_is_strongly_memory_bound() {
+        let mut dev = device();
+        Lbm.run(&mut dev, &InputSpec::new("t", 24, 2, 0, 1.0));
+        let c = dev.total_counters();
+        assert!(c.compute_intensity() < 1.5, "{}", c.compute_intensity());
+    }
+}

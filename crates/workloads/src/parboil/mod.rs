@@ -1,0 +1,23 @@
+//! Parboil: throughput-computing benchmarks (UIUC IMPACT). Mostly regular
+//! codes spanning the compute-bound (MRIQ, CUTCP) to heavily memory-bound
+//! (LBM, STEN) spectrum.
+
+pub mod bfs;
+pub mod cutcp;
+pub mod histo;
+pub mod lbm;
+pub mod mriq;
+pub mod sad;
+pub mod sgemm;
+pub mod stencil;
+pub mod tpacf;
+
+pub use bfs::PBfs;
+pub use cutcp::Cutcp;
+pub use histo::Histo;
+pub use lbm::Lbm;
+pub use mriq::Mriq;
+pub use sad::Sad;
+pub use sgemm::Sgemm;
+pub use stencil::Stencil3d;
+pub use tpacf::Tpacf;

@@ -1,0 +1,173 @@
+//! SAD — Parboil sum-of-absolute-differences, the motion-estimation kernel
+//! of MPEG encoders: every 16x16 macroblock of the current frame is
+//! compared against all candidate positions in a search window of the
+//! reference frame. Integer-dominated with heavy data reuse.
+
+use crate::bench::{BenchSpec, Benchmark, InputSpec, RunOutput, Suite};
+use crate::inputs::util::u32_vec;
+use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, LaunchOpts};
+
+const MB: usize = 16;
+
+struct SadKernel {
+    cur: DevBuffer<u32>,
+    refr: DevBuffer<u32>,
+    out: DevBuffer<u32>,
+    width: usize,
+    height: usize,
+    search: usize,
+}
+
+impl Kernel for SadKernel {
+    fn name(&self) -> &'static str {
+        "sad_macroblock"
+    }
+    fn run_block(&self, blk: &mut BlockCtx) {
+        let k = self;
+        let mbs_x = k.width / MB;
+        let win = 2 * k.search + 1;
+        // One block per macroblock; each thread handles one candidate
+        // offset of the search window.
+        let mb = blk.block_idx() as usize;
+        let (mbx, mby) = (mb % mbs_x, mb / mbs_x);
+        blk.for_each_thread(|t| {
+            let cand = t.tid() as usize;
+            if cand >= win * win {
+                return;
+            }
+            let dx = (cand % win) as i32 - k.search as i32;
+            let dy = (cand / win) as i32 - k.search as i32;
+            let mut sad = 0u32;
+            for py in 0..MB {
+                for px in 0..MB {
+                    let cx = (mbx * MB + px) as i32;
+                    let cy = (mby * MB + py) as i32;
+                    let rx = (cx + dx).clamp(0, k.width as i32 - 1);
+                    let ry = (cy + dy).clamp(0, k.height as i32 - 1);
+                    let a = t.ld(&k.cur, cy as usize * k.width + cx as usize);
+                    let b = t.ld(&k.refr, ry as usize * k.width + rx as usize);
+                    sad += a.abs_diff(b);
+                }
+            }
+            t.int_op((MB * MB * 4) as u32);
+            t.st(&k.out, mb * win * win + cand, sad);
+        });
+    }
+}
+
+/// Host reference SAD for one macroblock/candidate.
+pub fn host_sad(
+    cur: &[u32],
+    refr: &[u32],
+    width: usize,
+    height: usize,
+    mbx: usize,
+    mby: usize,
+    dx: i32,
+    dy: i32,
+) -> u32 {
+    let mut sad = 0u32;
+    for py in 0..MB {
+        for px in 0..MB {
+            let cx = (mbx * MB + px) as i32;
+            let cy = (mby * MB + py) as i32;
+            let rx = (cx + dx).clamp(0, width as i32 - 1);
+            let ry = (cy + dy).clamp(0, height as i32 - 1);
+            sad += cur[cy as usize * width + cx as usize]
+                .abs_diff(refr[ry as usize * width + rx as usize]);
+        }
+    }
+    sad
+}
+
+/// The SAD benchmark.
+pub struct Sad;
+
+impl Benchmark for Sad {
+    fn spec(&self) -> BenchSpec {
+        BenchSpec {
+            key: "sad",
+            name: "SAD",
+            suite: Suite::Parboil,
+            kernels: 3,
+            regular: true,
+            description: "Sum of absolute differences (MPEG motion estimation)",
+        }
+    }
+
+    fn inputs(&self) -> Vec<InputSpec> {
+        // n = frame width/height, m = search radius.
+        vec![InputSpec::new("default input", 96, 7, 0, 52_000.0)]
+    }
+
+    fn run(&self, dev: &mut Device, input: &InputSpec) -> RunOutput {
+        let (w, h) = (input.n, input.n);
+        let search = input.m;
+        let win = 2 * search + 1;
+        let cur = u32_vec(w * h, 256, input.seed);
+        let refr = u32_vec(w * h, 256, input.seed + 1);
+        let k = SadKernel {
+            cur: dev.alloc_from(&cur),
+            refr: dev.alloc_from(&refr),
+            out: dev.alloc::<u32>((w / MB) * (h / MB) * win * win),
+            width: w,
+            height: h,
+            search,
+        };
+        let mbs = ((w / MB) * (h / MB)) as u32;
+        let block = ((win * win + 31) / 32 * 32) as u32;
+        dev.launch_with(
+            &k,
+            mbs,
+            block,
+            LaunchOpts {
+                work_multiplier: input.mult,
+            },
+        );
+        let got = dev.read(&k.out);
+        // Spot-check against the host reference.
+        let mbs_x = w / MB;
+        for mb in 0..(mbs as usize) {
+            let cand = (mb * 7) % (win * win);
+            let dx = (cand % win) as i32 - search as i32;
+            let dy = (cand / win) as i32 - search as i32;
+            let expect = host_sad(&cur, &refr, w, h, mb % mbs_x, mb / mbs_x, dx, dy);
+            assert_eq!(got[mb * win * win + cand], expect, "SAD mismatch at {mb}");
+        }
+        RunOutput {
+            checksum: got.iter().map(|&v| v as f64).sum(),
+            items: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kepler_sim::{ClockConfig, DeviceConfig};
+
+    fn device() -> Device {
+        Device::new(DeviceConfig::k20c(ClockConfig::k20_default(), false))
+    }
+
+    #[test]
+    fn sad_matches_host() {
+        Sad.run(&mut device(), &InputSpec::new("t", 32, 2, 0, 1.0));
+    }
+
+    #[test]
+    fn identical_frames_have_zero_sad_at_origin() {
+        let w = 32;
+        let frame = u32_vec(w * w, 256, 1);
+        assert_eq!(host_sad(&frame, &frame, w, w, 0, 0, 0, 0), 0);
+        assert!(host_sad(&frame, &frame, w, w, 0, 0, 1, 0) > 0);
+    }
+
+    #[test]
+    fn sad_is_integer_dominated() {
+        let mut dev = device();
+        Sad.run(&mut dev, &InputSpec::new("t", 32, 2, 0, 1.0));
+        let c = dev.total_counters();
+        assert!(c.lane_ops[4] > c.flops(), "int {} fp {}", c.lane_ops[4], c.flops());
+    }
+}

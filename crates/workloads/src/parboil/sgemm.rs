@@ -1,0 +1,180 @@
+//! SGEMM — Parboil register/shared-memory-tiled dense matrix multiply
+//! (`C = A * B^T` with column-major A and C, matching the Parboil layout).
+
+use crate::bench::{BenchSpec, Benchmark, InputSpec, RunOutput, Suite};
+use crate::inputs::util::f32_vec;
+use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, KernelResources, LaunchOpts};
+
+const TILE: usize = 16;
+
+struct SgemmKernel {
+    a: DevBuffer<f32>,
+    b: DevBuffer<f32>,
+    c: DevBuffer<f32>,
+    n: usize,
+}
+
+impl Kernel for SgemmKernel {
+    fn name(&self) -> &'static str {
+        "sgemm_tiled"
+    }
+    fn resources(&self) -> KernelResources {
+        KernelResources {
+            regs_per_thread: 32,
+            shared_bytes: (2 * TILE * TILE * 4) as u32,
+        }
+    }
+    fn run_block(&self, blk: &mut BlockCtx) {
+        let n = self.n;
+        let tiles_per_row = n / TILE;
+        let block = blk.block_idx() as usize;
+        let (brow, bcol) = (block / tiles_per_row, block % tiles_per_row);
+        let sh_a = blk.shared_alloc::<f32>(TILE * TILE);
+        let sh_b = blk.shared_alloc::<f32>(TILE * TILE);
+        let (a, b, c) = (self.a, self.b, self.c);
+        let mut acc = vec![0.0f32; TILE * TILE];
+        for kt in 0..tiles_per_row {
+            blk.for_each_thread(|t| {
+                let tid = t.tid() as usize;
+                let (tr, tc) = (tid / TILE, tid % TILE);
+                // A is column-major: A[row, col] = a[col * n + row].
+                let av = t.ld(&a, (kt * TILE + tc) * n + brow * TILE + tr);
+                // B is transposed (row-major b[j, k]).
+                let bv = t.ld(&b, (bcol * TILE + tr) * n + kt * TILE + tc);
+                t.sst(&sh_a, tr * TILE + tc, av);
+                t.sst(&sh_b, tr * TILE + tc, bv);
+            });
+            blk.for_each_thread(|t| {
+                let tid = t.tid() as usize;
+                let (tr, tc) = (tid / TILE, tid % TILE);
+                let mut s = acc[tid];
+                for k in 0..TILE {
+                    s += t.shared_get(&sh_a, tr * TILE + k) * t.shared_get(&sh_b, tc * TILE + k);
+                }
+                t.fma32(TILE as u32);
+                t.smem(2 * TILE as u32);
+                acc[tid] = s;
+            });
+        }
+        blk.for_each_thread(|t| {
+            let tid = t.tid() as usize;
+            let (tr, tc) = (tid / TILE, tid % TILE);
+            // C column-major.
+            t.st(&c, (bcol * TILE + tc) * n + brow * TILE + tr, acc[tid]);
+        });
+    }
+}
+
+/// Host reference: C = A * B^T (column-major A/C, row-major B).
+pub fn host_sgemm(a: &[f32], b: &[f32], n: usize) -> Vec<f32> {
+    let mut c = vec![0.0f32; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let mut s = 0.0;
+            for k in 0..n {
+                s += a[k * n + i] * b[j * n + k];
+            }
+            c[j * n + i] = s;
+        }
+    }
+    c
+}
+
+/// The SGEMM benchmark.
+pub struct Sgemm;
+
+impl Benchmark for Sgemm {
+    fn spec(&self) -> BenchSpec {
+        BenchSpec {
+            key: "sgemm",
+            name: "SGEMM",
+            suite: Suite::Parboil,
+            kernels: 1,
+            regular: true,
+            description: "Register-tiled dense matrix-matrix multiplication",
+        }
+    }
+
+    fn inputs(&self) -> Vec<InputSpec> {
+        // Parboil "small"; the harness re-runs the kernel many times.
+        vec![InputSpec::new("\"small\" benchmark input", 128, 0, 0, 202_000.0)]
+    }
+
+    fn run(&self, dev: &mut Device, input: &InputSpec) -> RunOutput {
+        let n = input.n;
+        assert!(n % TILE == 0);
+        let a = f32_vec(n * n, -1.0, 1.0, input.seed);
+        let b = f32_vec(n * n, -1.0, 1.0, input.seed + 1);
+        let da = dev.alloc_from(&a);
+        let db = dev.alloc_from(&b);
+        let dc = dev.alloc::<f32>(n * n);
+        let grid = ((n / TILE) * (n / TILE)) as u32;
+        dev.launch_with(
+            &SgemmKernel {
+                a: da,
+                b: db,
+                c: dc,
+                n,
+            },
+            grid,
+            (TILE * TILE) as u32,
+            LaunchOpts {
+                work_multiplier: input.mult,
+            },
+        );
+        let got = dev.read(&dc);
+        let expect = host_sgemm(&a, &b, n);
+        for i in 0..n * n {
+            assert!(
+                (got[i] - expect[i]).abs() < 1e-3 * expect[i].abs().max(1.0),
+                "C[{i}]: {} vs {}",
+                got[i],
+                expect[i]
+            );
+        }
+        RunOutput {
+            checksum: got.iter().map(|&v| v as f64).sum(),
+            items: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kepler_sim::{ClockConfig, DeviceConfig};
+
+    fn device() -> Device {
+        Device::new(DeviceConfig::k20c(ClockConfig::k20_default(), false))
+    }
+
+    #[test]
+    fn sgemm_matches_host() {
+        Sgemm.run(&mut device(), &InputSpec::new("t", 64, 0, 0, 1.0));
+    }
+
+    #[test]
+    fn sgemm_compute_intensity_is_high() {
+        let mut dev = device();
+        Sgemm.run(&mut dev, &InputSpec::new("t", 64, 0, 0, 1.0));
+        let c = dev.total_counters();
+        assert!(c.compute_intensity() > 4.0, "{}", c.compute_intensity());
+        assert_eq!(c.divergence(), 0.0);
+    }
+
+    #[test]
+    fn host_sgemm_identity() {
+        let n = 4;
+        let mut ident = vec![0.0f32; n * n];
+        for i in 0..n {
+            ident[i * n + i] = 1.0;
+        }
+        let b: Vec<f32> = (0..16).map(|x| x as f32).collect();
+        let c = host_sgemm(&ident, &b, n);
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(c[j * n + i], b[j * n + i]);
+            }
+        }
+    }
+}

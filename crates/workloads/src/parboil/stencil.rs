@@ -1,0 +1,193 @@
+//! STEN — Parboil iterative 7-point Jacobi stencil on a regular 3-D grid.
+//! The canonical memory-bound streaming kernel: perfectly coalesced along
+//! x, almost no reuse, ~0.5 FLOP per byte.
+
+use crate::bench::{BenchSpec, Benchmark, InputSpec, RunOutput, Suite};
+use crate::inputs::util::f32_vec;
+use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, LaunchOpts};
+
+const BLOCK: u32 = 128;
+
+struct StencilKernel {
+    src: DevBuffer<f32>,
+    dst: DevBuffer<f32>,
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    c0: f32,
+    c1: f32,
+}
+
+impl Kernel for StencilKernel {
+    fn name(&self) -> &'static str {
+        "stencil3d"
+    }
+    fn run_block(&self, blk: &mut BlockCtx) {
+        let (nx, ny, nz) = (self.nx, self.ny, self.nz);
+        let (src, dst) = (self.src, self.dst);
+        let (c0, c1) = (self.c0, self.c1);
+        blk.for_each_thread(|t| {
+            let gid = t.gtid() as usize;
+            if gid >= nx * ny * nz {
+                return;
+            }
+            let x = gid % nx;
+            let y = (gid / nx) % ny;
+            let z = gid / (nx * ny);
+            t.int_op(4);
+            if x == 0 || y == 0 || z == 0 || x == nx - 1 || y == ny - 1 || z == nz - 1 {
+                return; // fixed boundary
+            }
+            let center = t.ld(&src, gid);
+            let sum = t.ld(&src, gid - 1)
+                + t.ld(&src, gid + 1)
+                + t.ld(&src, gid - nx)
+                + t.ld(&src, gid + nx)
+                + t.ld(&src, gid - nx * ny)
+                + t.ld(&src, gid + nx * ny);
+            t.fp32_add(5);
+            t.fma32(2);
+            t.st(&dst, gid, c0 * center + c1 * sum);
+        });
+    }
+}
+
+/// Host reference single Jacobi sweep.
+pub fn host_stencil(grid: &[f32], nx: usize, ny: usize, nz: usize, c0: f32, c1: f32) -> Vec<f32> {
+    let mut out = grid.to_vec();
+    for z in 1..nz - 1 {
+        for y in 1..ny - 1 {
+            for x in 1..nx - 1 {
+                let i = z * nx * ny + y * nx + x;
+                let sum = grid[i - 1]
+                    + grid[i + 1]
+                    + grid[i - nx]
+                    + grid[i + nx]
+                    + grid[i - nx * ny]
+                    + grid[i + nx * ny];
+                out[i] = c0 * grid[i] + c1 * sum;
+            }
+        }
+    }
+    out
+}
+
+/// The STEN benchmark.
+pub struct Stencil3d;
+
+impl Benchmark for Stencil3d {
+    fn spec(&self) -> BenchSpec {
+        BenchSpec {
+            key: "sten",
+            name: "STEN",
+            suite: Suite::Parboil,
+            kernels: 1,
+            regular: true,
+            description: "Iterative 7-point Jacobi stencil on a 3-D grid",
+        }
+    }
+
+    fn inputs(&self) -> Vec<InputSpec> {
+        // Parboil "small" is 128^3 x 100 iterations; we run a 32^3 grid for
+        // 8 sweeps and extrapolate.
+        vec![InputSpec::new("\"small\" benchmark input", 32, 8, 0, 2_270_000.0)]
+    }
+
+    fn run(&self, dev: &mut Device, input: &InputSpec) -> RunOutput {
+        let n = input.n;
+        let total = n * n * n;
+        let sweeps = input.m.max(1);
+        let init = f32_vec(total, 0.0, 1.0, input.seed);
+        let mut bufs = [dev.alloc_from(&init), dev.alloc::<f32>(total)];
+        // dst starts as a copy so boundaries carry over.
+        dev.write(&bufs[1], &init);
+        let grid = (total as u32).div_ceil(BLOCK);
+        let (c0, c1) = (0.5f32, 0.5 / 6.0);
+        let mut expect = init;
+        for _ in 0..sweeps {
+            dev.launch_with(
+                &StencilKernel {
+                    src: bufs[0],
+                    dst: bufs[1],
+                    nx: n,
+                    ny: n,
+                    nz: n,
+                    c0,
+                    c1,
+                },
+                grid,
+                BLOCK,
+                LaunchOpts {
+                    work_multiplier: input.mult / sweeps as f64,
+                },
+            );
+            bufs.swap(0, 1);
+            expect = host_stencil(&expect, n, n, n, c0, c1);
+        }
+        let got = dev.read(&bufs[0]);
+        for i in 0..total {
+            assert!(
+                (got[i] - expect[i]).abs() < 1e-4,
+                "grid[{i}]: {} vs {}",
+                got[i],
+                expect[i]
+            );
+        }
+        RunOutput {
+            checksum: got.iter().map(|&v| v as f64).sum(),
+            items: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kepler_sim::{ClockConfig, DeviceConfig};
+
+    fn device() -> Device {
+        Device::new(DeviceConfig::k20c(ClockConfig::k20_default(), false))
+    }
+
+    #[test]
+    fn stencil_matches_host() {
+        Stencil3d.run(&mut device(), &InputSpec::new("t", 12, 3, 0, 1.0));
+    }
+
+    #[test]
+    fn stencil_is_memory_bound() {
+        let mut dev = device();
+        Stencil3d.run(&mut dev, &InputSpec::new("t", 20, 2, 0, 1.0));
+        let c = dev.total_counters();
+        assert!(c.compute_intensity() < 2.0, "{}", c.compute_intensity());
+        // Unit-stride traffic: mostly coalesced.
+        let unc = 1.0 - c.ideal_transactions / c.transactions;
+        assert!(unc < 0.4, "uncoalesced {unc}");
+    }
+
+    #[test]
+    fn jacobi_smooths_toward_uniform() {
+        // Repeated averaging shrinks the value spread in the interior.
+        let n = 10;
+        let init = f32_vec(n * n * n, 0.0, 1.0, 3);
+        let mut cur = init.clone();
+        for _ in 0..20 {
+            cur = host_stencil(&cur, n, n, n, 0.5, 0.5 / 6.0);
+        }
+        let spread = |v: &[f32]| {
+            let inner: Vec<f32> = (0..v.len())
+                .filter(|&i| {
+                    let x = i % n;
+                    let y = (i / n) % n;
+                    let z = i / (n * n);
+                    x > 1 && y > 1 && z > 1 && x < n - 2 && y < n - 2 && z < n - 2
+                })
+                .map(|i| v[i])
+                .collect();
+            let max = inner.iter().cloned().fold(f32::MIN, f32::max);
+            let min = inner.iter().cloned().fold(f32::MAX, f32::min);
+            max - min
+        };
+        assert!(spread(&cur) < spread(&init) * 0.8);
+    }
+}

@@ -1,0 +1,185 @@
+//! The benchmark registry: the paper's Table-1 inventory (34 programs
+//! across 5 suites) plus the alternate implementations studied in Table 3.
+
+use crate::bench::Benchmark;
+use crate::lonestar::{
+    BarnesHut, Dmr, LBfs, LBfsVariant, Mst, Pta, Sssp, SsspVariant, SurveyProp,
+};
+use crate::parboil::{Cutcp, Histo, Lbm, Mriq, PBfs, Sad, Sgemm, Stencil3d, Tpacf};
+use crate::rodinia::{
+    BackProp, Gaussian, Mummer, NearestNeighbor, NeedlemanWunsch, Pathfinder, RBfs,
+};
+use crate::sdk::{EstimatePi, EstimatePiInline, NBody, Scan};
+use crate::shoc::{Fft, MaxFlops, MolecularDynamics, Qtc, RadixSort, SBfs, Stencil2d};
+
+/// The 34 programs of the paper's Table 1 (default implementations only),
+/// in suite order.
+pub fn all() -> Vec<Box<dyn Benchmark>> {
+    vec![
+        // CUDA SDK
+        Box::new(EstimatePiInline),
+        Box::new(EstimatePi),
+        Box::new(NBody),
+        Box::new(Scan),
+        // LonestarGPU
+        Box::new(BarnesHut),
+        Box::new(LBfs::new(LBfsVariant::Default)),
+        Box::new(Dmr),
+        Box::new(Mst),
+        Box::new(Pta),
+        Box::new(Sssp::new(SsspVariant::Default)),
+        Box::new(SurveyProp),
+        // Parboil
+        Box::new(PBfs),
+        Box::new(Cutcp),
+        Box::new(Histo),
+        Box::new(Lbm),
+        Box::new(Mriq),
+        Box::new(Sad),
+        Box::new(Sgemm),
+        Box::new(Stencil3d),
+        Box::new(Tpacf),
+        // Rodinia
+        Box::new(BackProp),
+        Box::new(RBfs),
+        Box::new(Gaussian),
+        Box::new(Mummer),
+        Box::new(NearestNeighbor),
+        Box::new(NeedlemanWunsch),
+        Box::new(Pathfinder),
+        // SHOC
+        Box::new(SBfs),
+        Box::new(Fft),
+        Box::new(MaxFlops),
+        Box::new(MolecularDynamics),
+        Box::new(Qtc),
+        Box::new(RadixSort),
+        Box::new(Stencil2d),
+    ]
+}
+
+/// The alternate implementations of L-BFS and SSSP studied in Table 3
+/// (plus the two L-BFS variants the paper could not measure).
+pub fn variants() -> Vec<Box<dyn Benchmark>> {
+    vec![
+        Box::new(LBfs::new(LBfsVariant::Atomic)),
+        Box::new(LBfs::new(LBfsVariant::Wla)),
+        Box::new(LBfs::new(LBfsVariant::Wlw)),
+        Box::new(LBfs::new(LBfsVariant::Wlc)),
+        Box::new(Sssp::new(SsspVariant::Wln)),
+        Box::new(Sssp::new(SsspVariant::Wlc)),
+    ]
+}
+
+/// Look up any program (Table-1 default or variant) by key.
+pub fn by_key(key: &str) -> Option<Box<dyn Benchmark>> {
+    all()
+        .into_iter()
+        .chain(variants())
+        .find(|b| b.spec().key == key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench::Suite;
+    use std::collections::HashSet;
+
+    #[test]
+    fn exactly_34_programs() {
+        assert_eq!(all().len(), 34);
+    }
+
+    #[test]
+    fn keys_are_unique() {
+        let keys: HashSet<&'static str> = all()
+            .iter()
+            .chain(variants().iter())
+            .map(|b| b.spec().key)
+            .collect();
+        assert_eq!(keys.len(), 34 + 6);
+    }
+
+    #[test]
+    fn suite_sizes_match_table1() {
+        let count = |s: Suite| all().iter().filter(|b| b.spec().suite == s).count();
+        assert_eq!(count(Suite::CudaSdk), 4);
+        assert_eq!(count(Suite::LonestarGpu), 7);
+        assert_eq!(count(Suite::Parboil), 9);
+        assert_eq!(count(Suite::Rodinia), 7);
+        assert_eq!(count(Suite::Shoc), 7);
+    }
+
+    #[test]
+    fn every_program_has_inputs() {
+        for b in all().iter().chain(variants().iter()) {
+            assert!(!b.inputs().is_empty(), "{} has no inputs", b.spec().key);
+            for i in b.inputs() {
+                assert!(i.mult > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn lonestar_is_all_irregular_sdk_all_regular() {
+        for b in all() {
+            match b.spec().suite {
+                Suite::LonestarGpu => assert!(!b.spec().regular, "{}", b.spec().key),
+                Suite::CudaSdk => assert!(b.spec().regular, "{}", b.spec().key),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn by_key_finds_programs_and_variants() {
+        assert!(by_key("nb").is_some());
+        assert!(by_key("lbfs-atomic").is_some());
+        assert!(by_key("sssp-wlc").is_some());
+        assert!(by_key("nope").is_none());
+    }
+
+    #[test]
+    fn kernel_counts_match_table1() {
+        let expected = [
+            ("eip", 2),
+            ("ep", 2),
+            ("nb", 1),
+            ("sc", 3),
+            ("bh", 9),
+            ("lbfs", 5),
+            ("dmr", 4),
+            ("mst", 7),
+            ("pta", 40),
+            ("sssp", 2),
+            ("nsp", 3),
+            ("pbfs", 3),
+            ("cutcp", 1),
+            ("histo", 4),
+            ("lbm", 1),
+            ("mriq", 2),
+            ("sad", 3),
+            ("sgemm", 1),
+            ("sten", 1),
+            ("tpacf", 1),
+            ("bp", 2),
+            ("rbfs", 2),
+            ("ge", 2),
+            ("mum", 3),
+            ("nn", 1),
+            ("nw", 2),
+            ("pf", 1),
+            ("sbfs", 9),
+            ("fft", 2),
+            ("mf", 20),
+            ("md", 1),
+            ("qtc", 6),
+            ("st", 5),
+            ("s2d", 1),
+        ];
+        for (key, kernels) in expected {
+            let b = by_key(key).unwrap_or_else(|| panic!("missing {key}"));
+            assert_eq!(b.spec().kernels, kernels, "kernel count for {key}");
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! BP — Rodinia back-propagation: training the weights of a two-layer
+//! neural network. Kernel 1 computes the hidden-layer activations (a
+//! matrix-vector product with block-level shared-memory reduction);
+//! kernel 2 adjusts the input-to-hidden weights from the propagated
+//! deltas. Memory-bound on the weight matrix.
+
+use crate::bench::{BenchSpec, Benchmark, InputSpec, RunOutput, Suite};
+use crate::inputs::util::f32_vec;
+use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, LaunchOpts};
+
+const HID: usize = 16;
+const BLOCK: u32 = 256;
+
+struct LayerForward {
+    input: DevBuffer<f32>,
+    weights: DevBuffer<f32>, // [n_in x HID]
+    partial: DevBuffer<f32>, // [num_blocks x HID]
+    n_in: usize,
+}
+
+impl Kernel for LayerForward {
+    fn name(&self) -> &'static str {
+        "bpnn_layerforward"
+    }
+    fn run_block(&self, blk: &mut BlockCtx) {
+        let k = self;
+        let dim = blk.block_dim() as usize;
+        let sh = blk.shared_alloc::<f32>(dim);
+        let bidx = blk.block_idx() as usize;
+        for h in 0..HID {
+            blk.for_each_thread(|t| {
+                let i = t.gtid() as usize;
+                let v = if i < k.n_in {
+                    let x = t.ld(&k.input, i);
+                    let w = t.ld(&k.weights, i * HID + h);
+                    t.fma32(1);
+                    x * w
+                } else {
+                    0.0
+                };
+                t.sst(&sh, t.tid() as usize, v);
+            });
+            let mut stride = dim / 2;
+            while stride > 0 {
+                blk.for_each_thread(|t| {
+                    let i = t.tid() as usize;
+                    if i < stride {
+                        let a = t.sld(&sh, i);
+                        let b = t.sld(&sh, i + stride);
+                        t.fp32_add(1);
+                        t.sst(&sh, i, a + b);
+                    }
+                });
+                stride /= 2;
+            }
+            blk.for_each_thread(|t| {
+                if t.tid() == 0 {
+                    let v = t.sld(&sh, 0);
+                    t.st(&k.partial, bidx * HID + h, v);
+                }
+            });
+        }
+    }
+}
+
+struct AdjustWeights {
+    input: DevBuffer<f32>,
+    weights: DevBuffer<f32>,
+    delta: DevBuffer<f32>, // [HID]
+    n_in: usize,
+    eta: f32,
+    momentum: f32,
+}
+
+impl Kernel for AdjustWeights {
+    fn name(&self) -> &'static str {
+        "bpnn_adjust_weights"
+    }
+    fn run_block(&self, blk: &mut BlockCtx) {
+        let k = self;
+        blk.for_each_thread(|t| {
+            let i = t.gtid() as usize;
+            if i >= k.n_in {
+                return;
+            }
+            let x = t.ld(&k.input, i);
+            for h in 0..HID {
+                let d = t.ld(&k.delta, h);
+                let w = t.ld(&k.weights, i * HID + h);
+                t.fma32(3);
+                t.st(&k.weights, i * HID + h, w + k.eta * d * x + k.momentum * w * 1e-4);
+            }
+        });
+    }
+}
+
+/// Host references.
+pub fn host_forward(input: &[f32], weights: &[f32]) -> Vec<f32> {
+    let mut out = vec![0.0f32; HID];
+    for h in 0..HID {
+        // Match the device's pairwise-reduction order per 256-element block
+        // closely enough for f32: accumulate per block, then sum.
+        for (i, &x) in input.iter().enumerate() {
+            out[h] += x * weights[i * HID + h];
+        }
+    }
+    out
+}
+
+/// The BP benchmark.
+pub struct BackProp;
+
+impl Benchmark for BackProp {
+    fn spec(&self) -> BenchSpec {
+        BenchSpec {
+            key: "bp",
+            name: "BP",
+            suite: Suite::Rodinia,
+            kernels: 2,
+            regular: true,
+            description: "Back-propagation training of a layered neural network",
+        }
+    }
+
+    fn inputs(&self) -> Vec<InputSpec> {
+        // Paper: 2^17 input units.
+        vec![InputSpec::new("2^17 elements", 1 << 13, 0, 0, 80_000.0)]
+    }
+
+    fn run(&self, dev: &mut Device, input: &InputSpec) -> RunOutput {
+        let n = input.n;
+        let x = f32_vec(n, 0.0, 1.0, input.seed);
+        let w = f32_vec(n * HID, -0.5, 0.5, input.seed + 1);
+        let k1 = LayerForward {
+            input: dev.alloc_from(&x),
+            weights: dev.alloc_from(&w),
+            partial: dev.alloc::<f32>(n.div_ceil(BLOCK as usize) * HID),
+            n_in: n,
+        };
+        let grid = (n as u32).div_ceil(BLOCK);
+        let opts = LaunchOpts {
+            work_multiplier: input.mult,
+        };
+        dev.launch_with(&k1, grid, BLOCK, opts);
+        // Host folds the partial sums (as Rodinia does) and computes deltas.
+        let partial = dev.read(&k1.partial);
+        let mut hidden = vec![0.0f32; HID];
+        for b in 0..grid as usize {
+            for h in 0..HID {
+                hidden[h] += partial[b * HID + h];
+            }
+        }
+        let expect = host_forward(&x, &w);
+        for h in 0..HID {
+            assert!(
+                (hidden[h] - expect[h]).abs() < 2e-2 * expect[h].abs().max(1.0),
+                "hidden[{h}]: {} vs {}",
+                hidden[h],
+                expect[h]
+            );
+        }
+        let delta: Vec<f32> = hidden.iter().map(|v| (1.0 - v.tanh().powi(2)) * 0.1).collect();
+        let k2 = AdjustWeights {
+            input: k1.input,
+            weights: k1.weights,
+            delta: dev.alloc_from(&delta),
+            n_in: n,
+            eta: 0.3,
+            momentum: 0.3,
+        };
+        dev.launch_with(&k2, grid, BLOCK, opts);
+        let new_w = dev.read(&k2.weights);
+        assert!(new_w.iter().all(|v| v.is_finite()));
+        // Weights must actually have moved.
+        let moved = new_w
+            .iter()
+            .zip(&w)
+            .filter(|(a, b)| (*a - *b).abs() > 1e-9)
+            .count();
+        assert!(moved > n / 2, "only {moved} weights updated");
+        RunOutput {
+            checksum: hidden.iter().map(|&v| v as f64).sum(),
+            items: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kepler_sim::{ClockConfig, DeviceConfig};
+
+    fn device() -> Device {
+        Device::new(DeviceConfig::k20c(ClockConfig::k20_default(), false))
+    }
+
+    #[test]
+    fn bp_matches_host_forward() {
+        BackProp.run(&mut device(), &InputSpec::new("t", 1024, 0, 0, 1.0));
+    }
+
+    #[test]
+    fn bp_is_memory_bound() {
+        let mut dev = device();
+        BackProp.run(&mut dev, &InputSpec::new("t", 2048, 0, 0, 1.0));
+        let c = dev.total_counters();
+        assert!(c.compute_intensity() < 4.0, "{}", c.compute_intensity());
+    }
+}

@@ -1,0 +1,176 @@
+//! R-BFS — Rodinia breadth-first search: the classic two-kernel
+//! frontier-mask formulation (no queues, no atomics): kernel 1 expands
+//! every node whose frontier flag is set, writing an "updating" mask;
+//! kernel 2 promotes the updating mask into the next frontier. Every pass
+//! scans all n nodes — cheap per pass, diameter-many passes.
+
+use crate::bench::{BenchSpec, Benchmark, InputSpec, ItemCounts, RunOutput, Suite};
+use crate::inputs::graphs::{host_bfs, random_kway};
+use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, LaunchOpts};
+
+const BLOCK: u32 = 256;
+const INF: u32 = u32::MAX;
+
+struct Bufs {
+    row_ptr: DevBuffer<u32>,
+    col: DevBuffer<u32>,
+    cost: DevBuffer<u32>,
+    mask: DevBuffer<u32>,
+    updating: DevBuffer<u32>,
+    visited: DevBuffer<u32>,
+    changed: DevBuffer<u32>,
+    n: usize,
+}
+
+struct Kernel1<'a> {
+    b: &'a Bufs,
+}
+impl Kernel for Kernel1<'_> {
+    fn name(&self) -> &'static str {
+        "rbfs_kernel1"
+    }
+    fn run_block(&self, blk: &mut BlockCtx) {
+        let b = self.b;
+        blk.for_each_thread(|t| {
+            let v = t.gtid() as usize;
+            if v >= b.n || t.ld(&b.mask, v) == 0 {
+                return;
+            }
+            t.st(&b.mask, v, 0);
+            let cv = t.ld(&b.cost, v);
+            let lo = t.ld(&b.row_ptr, v) as usize;
+            let hi = t.ld(&b.row_ptr, v + 1) as usize;
+            for e in lo..hi {
+                let w = t.ld(&b.col, e) as usize;
+                t.int_op(2);
+                if t.ld(&b.visited, w) == 0 {
+                    t.st(&b.cost, w, cv + 1);
+                    t.st(&b.updating, w, 1);
+                }
+            }
+        });
+    }
+}
+
+struct Kernel2<'a> {
+    b: &'a Bufs,
+}
+impl Kernel for Kernel2<'_> {
+    fn name(&self) -> &'static str {
+        "rbfs_kernel2"
+    }
+    fn run_block(&self, blk: &mut BlockCtx) {
+        let b = self.b;
+        blk.for_each_thread(|t| {
+            let v = t.gtid() as usize;
+            if v >= b.n || t.ld(&b.updating, v) == 0 {
+                return;
+            }
+            t.st(&b.mask, v, 1);
+            t.st(&b.visited, v, 1);
+            t.st(&b.updating, v, 0);
+            t.st(&b.changed, 0, 1);
+        });
+    }
+}
+
+/// The R-BFS benchmark.
+pub struct RBfs;
+
+impl Benchmark for RBfs {
+    fn spec(&self) -> BenchSpec {
+        BenchSpec {
+            key: "rbfs",
+            name: "R-BFS",
+            suite: Suite::Rodinia,
+            kernels: 2,
+            regular: false,
+            description: "Frontier-mask breadth-first search",
+        }
+    }
+
+    fn inputs(&self) -> Vec<InputSpec> {
+        // Paper: random graphs with 100k and 1m nodes (k ~ 4).
+        vec![
+            InputSpec::new("100k nodes", 8192, 4, 0, 169_000.0),
+            InputSpec::new("1m nodes", 16384, 4, 0, 86_000.0),
+        ]
+    }
+
+    fn run(&self, dev: &mut Device, input: &InputSpec) -> RunOutput {
+        let g = random_kway(input.n, input.m, input.seed);
+        let src = 0usize;
+        let b = Bufs {
+            row_ptr: dev.alloc_from(&g.row_ptr),
+            col: dev.alloc_from(&g.col),
+            cost: dev.alloc_init(g.n, INF),
+            mask: dev.alloc::<u32>(g.n),
+            updating: dev.alloc::<u32>(g.n),
+            visited: dev.alloc::<u32>(g.n),
+            changed: dev.alloc::<u32>(1),
+            n: g.n,
+        };
+        dev.write_at(&b.cost, src, 0);
+        dev.write_at(&b.mask, src, 1);
+        dev.write_at(&b.visited, src, 1);
+        let grid = (g.n as u32).div_ceil(BLOCK);
+        let opts = LaunchOpts {
+            work_multiplier: input.mult,
+        };
+        loop {
+            dev.fill(&b.changed, 0);
+            dev.launch_with(&Kernel1 { b: &b }, grid, BLOCK, opts);
+            dev.launch_with(&Kernel2 { b: &b }, grid, BLOCK, opts);
+            if dev.read_at(&b.changed, 0) == 0 {
+                break;
+            }
+        }
+        let got = dev.read(&b.cost);
+        assert_eq!(got, host_bfs(&g, src), "R-BFS cost mismatch");
+        RunOutput {
+            checksum: got.iter().filter(|&&c| c != INF).count() as f64,
+            items: Some(ItemCounts {
+                vertices: if input.name.starts_with("100k") {
+                    100_000
+                } else {
+                    1_000_000
+                },
+                edges: if input.name.starts_with("100k") {
+                    400_000
+                } else {
+                    4_000_000
+                },
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kepler_sim::{ClockConfig, DeviceConfig};
+
+    fn device() -> Device {
+        Device::new(DeviceConfig::k20c(ClockConfig::k20_default(), false))
+    }
+
+    #[test]
+    fn rbfs_matches_host() {
+        RBfs.run(&mut device(), &InputSpec::new("t", 2048, 4, 0, 1.0));
+    }
+
+    #[test]
+    fn rbfs_needs_few_passes_on_random_graph() {
+        let mut dev = device();
+        RBfs.run(&mut dev, &InputSpec::new("t", 2048, 4, 0, 1.0));
+        // Random graphs have logarithmic diameter.
+        assert!(dev.stats().len() < 30, "launches {}", dev.stats().len());
+    }
+
+    #[test]
+    fn rbfs_uses_no_atomics() {
+        let mut dev = device();
+        RBfs.run(&mut dev, &InputSpec::new("t", 1024, 4, 0, 1.0));
+        assert_eq!(dev.total_counters().atomics, 0.0);
+    }
+}

@@ -1,0 +1,230 @@
+//! GE — Rodinia Gaussian elimination: solves a dense linear system row by
+//! row with the classic Fan1/Fan2 kernel pair per pivot. 2n kernel
+//! launches with shrinking parallelism — low occupancy late in the solve.
+
+use crate::bench::{BenchSpec, Benchmark, InputSpec, RunOutput, Suite};
+use crate::inputs::util::rng;
+use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, LaunchOpts};
+use rand::Rng;
+
+const BLOCK: u32 = 256;
+
+/// Fan1: compute the multiplier column for pivot `p`.
+struct Fan1 {
+    a: DevBuffer<f32>,
+    mult: DevBuffer<f32>,
+    n: usize,
+    p: usize,
+}
+impl Kernel for Fan1 {
+    fn name(&self) -> &'static str {
+        "gaussian_fan1"
+    }
+    fn run_block(&self, blk: &mut BlockCtx) {
+        let k = self;
+        blk.for_each_thread(|t| {
+            let r = t.gtid() as usize + k.p + 1;
+            if r >= k.n {
+                return;
+            }
+            let pivot = t.ld(&k.a, k.p * k.n + k.p);
+            let below = t.ld(&k.a, r * k.n + k.p);
+            t.sfu(1);
+            t.st(&k.mult, r, below / pivot);
+        });
+    }
+}
+
+/// Fan2: eliminate the column below the pivot across the trailing matrix
+/// and the right-hand side.
+struct Fan2 {
+    a: DevBuffer<f32>,
+    b: DevBuffer<f32>,
+    mult: DevBuffer<f32>,
+    n: usize,
+    p: usize,
+}
+impl Kernel for Fan2 {
+    fn name(&self) -> &'static str {
+        "gaussian_fan2"
+    }
+    fn run_block(&self, blk: &mut BlockCtx) {
+        let k = self;
+        let cols = k.n - k.p;
+        blk.for_each_thread(|t| {
+            let idx = t.gtid() as usize;
+            let rows = k.n - k.p - 1;
+            if idx >= rows * cols {
+                return;
+            }
+            let r = k.p + 1 + idx / cols;
+            let c = k.p + idx % cols;
+            let m = t.ld(&k.mult, r);
+            let av = t.ld(&k.a, r * k.n + c);
+            let pv = t.ld(&k.a, k.p * k.n + c);
+            t.fma32(1);
+            t.st(&k.a, r * k.n + c, av - m * pv);
+            if c == k.p + idx % cols && idx % cols == 0 {
+                // One thread per row updates the RHS.
+                let bv = t.ld(&k.b, r);
+                let pb = t.ld(&k.b, k.p);
+                t.fma32(1);
+                t.st(&k.b, r, bv - m * pb);
+            }
+        });
+    }
+}
+
+/// Host reference: solve by Gaussian elimination + back substitution.
+pub fn host_solve(a: &[f32], b: &[f32], n: usize) -> Vec<f32> {
+    let mut a = a.to_vec();
+    let mut b = b.to_vec();
+    for p in 0..n - 1 {
+        for r in p + 1..n {
+            let m = a[r * n + p] / a[p * n + p];
+            for c in p..n {
+                a[r * n + c] -= m * a[p * n + c];
+            }
+            b[r] -= m * b[p];
+        }
+    }
+    let mut x = vec![0.0f32; n];
+    for r in (0..n).rev() {
+        let mut s = b[r];
+        for c in r + 1..n {
+            s -= a[r * n + c] * x[c];
+        }
+        x[r] = s / a[r * n + r];
+    }
+    x
+}
+
+/// The GE benchmark.
+pub struct Gaussian;
+
+impl Benchmark for Gaussian {
+    fn spec(&self) -> BenchSpec {
+        BenchSpec {
+            key: "ge",
+            name: "GE",
+            suite: Suite::Rodinia,
+            kernels: 2,
+            regular: true,
+            description: "Dense Gaussian elimination (Fan1/Fan2 per pivot)",
+        }
+    }
+
+    fn inputs(&self) -> Vec<InputSpec> {
+        // Paper: 2048 x 2048 matrix.
+        vec![InputSpec::new("2048 x 2048 matrix", 192, 0, 0, 20_000.0)]
+    }
+
+    fn run(&self, dev: &mut Device, input: &InputSpec) -> RunOutput {
+        let n = input.n;
+        let mut r = rng(input.seed);
+        // Diagonally dominant: stable without pivoting (as Rodinia assumes).
+        let mut a = vec![0.0f32; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                a[i * n + j] = if i == j {
+                    n as f32
+                } else {
+                    r.gen_range(-1.0..1.0)
+                };
+            }
+        }
+        let bvec: Vec<f32> = (0..n).map(|_| r.gen_range(-1.0..1.0)).collect();
+        let da = dev.alloc_from(&a);
+        let db = dev.alloc_from(&bvec);
+        let dm = dev.alloc::<f32>(n);
+        let opts = LaunchOpts {
+            work_multiplier: input.mult,
+        };
+        for p in 0..n - 1 {
+            let rows = (n - p - 1) as u32;
+            dev.launch_with(
+                &Fan1 {
+                    a: da,
+                    mult: dm,
+                    n,
+                    p,
+                },
+                rows.div_ceil(BLOCK),
+                BLOCK,
+                opts,
+            );
+            let work = rows * (n - p) as u32;
+            dev.launch_with(
+                &Fan2 {
+                    a: da,
+                    b: db,
+                    mult: dm,
+                    n,
+                    p,
+                },
+                work.div_ceil(BLOCK),
+                BLOCK,
+                opts,
+            );
+        }
+        // Back substitution on the host (as Rodinia does).
+        let ra = dev.read(&da);
+        let rb = dev.read(&db);
+        let mut x = vec![0.0f32; n];
+        for row in (0..n).rev() {
+            let mut s = rb[row];
+            for c in row + 1..n {
+                s -= ra[row * n + c] * x[c];
+            }
+            x[row] = s / ra[row * n + row];
+        }
+        // Validate against the original system: A x = b.
+        for i in 0..n {
+            let mut s = 0.0f32;
+            for j in 0..n {
+                s += a[i * n + j] * x[j];
+            }
+            assert!(
+                (s - bvec[i]).abs() < 1e-2,
+                "residual row {i}: {s} vs {}",
+                bvec[i]
+            );
+        }
+        RunOutput {
+            checksum: x.iter().map(|&v| v as f64).sum(),
+            items: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kepler_sim::{ClockConfig, DeviceConfig};
+
+    fn device() -> Device {
+        Device::new(DeviceConfig::k20c(ClockConfig::k20_default(), false))
+    }
+
+    #[test]
+    fn ge_solves_system() {
+        Gaussian.run(&mut device(), &InputSpec::new("t", 48, 0, 0, 1.0));
+    }
+
+    #[test]
+    fn host_solve_small_system() {
+        // 2x + y = 5; x + 3y = 10 -> x = 1, y = 3.
+        let a = vec![2.0, 1.0, 1.0, 3.0];
+        let b = vec![5.0, 10.0];
+        let x = host_solve(&a, &b, 2);
+        assert!((x[0] - 1.0).abs() < 1e-5);
+        assert!((x[1] - 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn ge_launch_count_is_2n() {
+        let mut dev = device();
+        Gaussian.run(&mut dev, &InputSpec::new("t", 32, 0, 0, 1.0));
+        assert_eq!(dev.stats().len(), 2 * 31);
+    }
+}

@@ -1,0 +1,19 @@
+//! Rodinia: heterogeneous-computing benchmarks (UVA). The suite whose
+//! memory-bound members (and only those) slow down drastically under ECC
+//! in the paper's Figure 4.
+
+pub mod backprop;
+pub mod bfs;
+pub mod gaussian;
+pub mod mummer;
+pub mod nn;
+pub mod nw;
+pub mod pathfinder;
+
+pub use backprop::BackProp;
+pub use bfs::RBfs;
+pub use gaussian::Gaussian;
+pub use mummer::Mummer;
+pub use nn::NearestNeighbor;
+pub use nw::NeedlemanWunsch;
+pub use pathfinder::Pathfinder;

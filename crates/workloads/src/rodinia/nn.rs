@@ -1,0 +1,132 @@
+//! NN — Rodinia nearest neighbor: computes the distance from every record
+//! of an unstructured data set to a query point (the k smallest are then
+//! selected on the host, as in the original code). A single trivially
+//! parallel, bandwidth-bound kernel over short records.
+
+use crate::bench::{BenchSpec, Benchmark, InputSpec, RunOutput, Suite};
+use crate::inputs::util::f32_vec;
+use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, LaunchOpts};
+
+const BLOCK: u32 = 256;
+
+struct DistKernel {
+    lat: DevBuffer<f32>,
+    lng: DevBuffer<f32>,
+    dist: DevBuffer<f32>,
+    q_lat: f32,
+    q_lng: f32,
+    n: usize,
+}
+
+impl Kernel for DistKernel {
+    fn name(&self) -> &'static str {
+        "nn_euclid"
+    }
+    fn run_block(&self, blk: &mut BlockCtx) {
+        let k = self;
+        blk.for_each_thread(|t| {
+            let i = t.gtid() as usize;
+            if i >= k.n {
+                return;
+            }
+            let dlat = t.ld(&k.lat, i) - k.q_lat;
+            let dlng = t.ld(&k.lng, i) - k.q_lng;
+            t.fma32(2);
+            t.sfu(1);
+            t.st(&k.dist, i, (dlat * dlat + dlng * dlng).sqrt());
+        });
+    }
+}
+
+/// The NN benchmark.
+pub struct NearestNeighbor;
+
+impl Benchmark for NearestNeighbor {
+    fn spec(&self) -> BenchSpec {
+        BenchSpec {
+            key: "nn",
+            name: "NN",
+            suite: Suite::Rodinia,
+            kernels: 1,
+            regular: true,
+            description: "k-nearest neighbors in an unstructured data set",
+        }
+    }
+
+    fn inputs(&self) -> Vec<InputSpec> {
+        // Paper: 42k data points ("nnlist"); the benchmark loops over many
+        // query batches.
+        vec![InputSpec::new("42k data points", 42_000, 10, 0, 4_200_000.0)]
+    }
+
+    fn run(&self, dev: &mut Device, input: &InputSpec) -> RunOutput {
+        let n = input.n;
+        let lat = f32_vec(n, 0.0, 90.0, input.seed);
+        let lng = f32_vec(n, 0.0, 180.0, input.seed + 1);
+        let k = DistKernel {
+            lat: dev.alloc_from(&lat),
+            lng: dev.alloc_from(&lng),
+            dist: dev.alloc::<f32>(n),
+            q_lat: 45.0,
+            q_lng: 90.0,
+            n,
+        };
+        let reps = input.m.max(1);
+        for _ in 0..reps {
+            dev.launch_with(
+                &k,
+                (n as u32).div_ceil(BLOCK),
+                BLOCK,
+                LaunchOpts {
+                    work_multiplier: input.mult / reps as f64,
+                },
+            );
+            dev.host_gap(0.002);
+        }
+        let dist = dev.read(&k.dist);
+        // Host selects the nearest (k = 1 check).
+        let (mut best_i, mut best_d) = (0usize, f32::MAX);
+        for (i, &d) in dist.iter().enumerate() {
+            if d < best_d {
+                best_d = d;
+                best_i = i;
+            }
+        }
+        let expect = (0..n)
+            .min_by(|&a, &b| {
+                let da = (lat[a] - 45.0).powi(2) + (lng[a] - 90.0).powi(2);
+                let dbv = (lat[b] - 45.0).powi(2) + (lng[b] - 90.0).powi(2);
+                da.partial_cmp(&dbv).unwrap()
+            })
+            .unwrap();
+        assert_eq!(best_i, expect, "nearest neighbor mismatch");
+        RunOutput {
+            checksum: best_d as f64,
+            items: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kepler_sim::{ClockConfig, DeviceConfig};
+
+    fn device() -> Device {
+        Device::new(DeviceConfig::k20c(ClockConfig::k20_default(), false))
+    }
+
+    #[test]
+    fn nn_finds_nearest() {
+        NearestNeighbor.run(&mut device(), &InputSpec::new("t", 4096, 2, 0, 1.0));
+    }
+
+    #[test]
+    fn nn_is_bandwidth_bound_and_regular() {
+        let mut dev = device();
+        NearestNeighbor.run(&mut dev, &InputSpec::new("t", 4096, 1, 0, 1.0));
+        let c = dev.total_counters();
+        assert!(c.compute_intensity() < 2.0);
+        assert!(c.divergence() < 0.05);
+    }
+}

@@ -1,0 +1,219 @@
+//! NW — Rodinia Needleman-Wunsch global DNA sequence alignment: dynamic
+//! programming over the score matrix in anti-diagonal waves of 16x16
+//! shared-memory tiles. Integer DP with data staging — memory-bound with
+//! modest parallelism early and late in the wave.
+
+use crate::bench::{BenchSpec, Benchmark, InputSpec, RunOutput, Suite};
+use crate::inputs::sequences::reference;
+use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, KernelResources, LaunchOpts};
+
+const TILE: usize = 16;
+const GAP: i32 = -1;
+
+struct NwTileWave {
+    score: DevBuffer<i32>,
+    seq_a: DevBuffer<u32>,
+    seq_b: DevBuffer<u32>,
+    n: usize, // matrix is (n+1) x (n+1)
+    wave: usize,
+}
+
+fn sub_score(a: u32, b: u32) -> i32 {
+    if a == b {
+        2
+    } else {
+        -1
+    }
+}
+
+impl Kernel for NwTileWave {
+    fn name(&self) -> &'static str {
+        "nw_tile_wave"
+    }
+    fn resources(&self) -> KernelResources {
+        KernelResources {
+            regs_per_thread: 24,
+            shared_bytes: ((TILE + 1) * (TILE + 1) * 4) as u32,
+        }
+    }
+    fn run_block(&self, blk: &mut BlockCtx) {
+        let k = self;
+        let tiles = k.n / TILE;
+        // Tiles on anti-diagonal `wave`: (ti, tj) with ti + tj == wave.
+        let b = blk.block_idx() as usize;
+        let ti = if k.wave < tiles {
+            b
+        } else {
+            k.wave - tiles + 1 + b
+        };
+        let tj = k.wave - ti;
+        if ti >= tiles || tj >= tiles {
+            return;
+        }
+        let sh = blk.shared_alloc::<i32>((TILE + 1) * (TILE + 1));
+        let row0 = ti * TILE;
+        let col0 = tj * TILE;
+        let pitch = k.n + 1;
+        // Stage the halo (top row and left column of the tile).
+        blk.for_each_thread(|t| {
+            let i = t.tid() as usize;
+            if i <= TILE {
+                let v = t.ld(&k.score, row0 * pitch + col0 + i);
+                t.sst(&sh, i, v);
+                let w = t.ld(&k.score, (row0 + i) * pitch + col0);
+                t.sst(&sh, i * (TILE + 1), w);
+            }
+        });
+        // Sweep the tile's own anti-diagonals in shared memory.
+        for d in 0..2 * TILE - 1 {
+            blk.for_each_thread(|t| {
+                let i = t.tid() as usize; // row within tile, 0-based
+                if i >= TILE {
+                    return;
+                }
+                let j = d as i64 - i as i64;
+                if !(0..TILE as i64).contains(&j) {
+                    return;
+                }
+                let j = j as usize;
+                let a = t.ld(&k.seq_a, row0 + i);
+                let bch = t.ld(&k.seq_b, col0 + j);
+                let diag = t.sld(&sh, i * (TILE + 1) + j);
+                let up = t.sld(&sh, i * (TILE + 1) + j + 1);
+                let left = t.sld(&sh, (i + 1) * (TILE + 1) + j);
+                t.int_op(6);
+                let best = (diag + sub_score(a, bch)).max(up + GAP).max(left + GAP);
+                t.sst(&sh, (i + 1) * (TILE + 1) + j + 1, best);
+            });
+        }
+        // Write the tile back.
+        blk.for_each_thread(|t| {
+            let i = t.tid() as usize;
+            if i >= TILE {
+                return;
+            }
+            for j in 0..TILE {
+                let v = t.shared_get(&sh, (i + 1) * (TILE + 1) + j + 1);
+                t.smem(1);
+                t.st(&k.score, (row0 + i + 1) * pitch + col0 + j + 1, v);
+            }
+        });
+    }
+}
+
+/// Host reference NW score matrix (returns the final alignment score).
+pub fn host_nw(a: &[u32], b: &[u32]) -> i32 {
+    let n = a.len();
+    let mut dp = vec![0i32; (n + 1) * (n + 1)];
+    let pitch = n + 1;
+    for i in 0..=n {
+        dp[i * pitch] = GAP * i as i32;
+        dp[i] = GAP * i as i32;
+    }
+    for i in 1..=n {
+        for j in 1..=n {
+            let d = dp[(i - 1) * pitch + j - 1] + sub_score(a[i - 1], b[j - 1]);
+            let u = dp[(i - 1) * pitch + j] + GAP;
+            let l = dp[i * pitch + j - 1] + GAP;
+            dp[i * pitch + j] = d.max(u).max(l);
+        }
+    }
+    dp[n * pitch + n]
+}
+
+/// The NW benchmark.
+pub struct NeedlemanWunsch;
+
+impl Benchmark for NeedlemanWunsch {
+    fn spec(&self) -> BenchSpec {
+        BenchSpec {
+            key: "nw",
+            name: "NW",
+            suite: Suite::Rodinia,
+            kernels: 2,
+            regular: true,
+            description: "Needleman-Wunsch DNA alignment (wavefront DP)",
+        }
+    }
+
+    fn inputs(&self) -> Vec<InputSpec> {
+        // Paper: 4096 and 16384 items.
+        vec![
+            InputSpec::new("4096 items", 256, 0, 0, 17_000.0),
+            InputSpec::new("16384 items", 512, 0, 0, 8_400.0),
+        ]
+    }
+
+    fn run(&self, dev: &mut Device, input: &InputSpec) -> RunOutput {
+        let n = input.n;
+        assert!(n % TILE == 0);
+        let a: Vec<u32> = reference(n, input.seed).iter().map(|&c| c as u32).collect();
+        let b: Vec<u32> = reference(n, input.seed + 1)
+            .iter()
+            .map(|&c| c as u32)
+            .collect();
+        let pitch = n + 1;
+        let mut init = vec![0i32; pitch * pitch];
+        for i in 0..=n {
+            init[i * pitch] = GAP * i as i32;
+            init[i] = GAP * i as i32;
+        }
+        let k = NwTileWave {
+            score: dev.alloc_from(&init),
+            seq_a: dev.alloc_from(&a),
+            seq_b: dev.alloc_from(&b),
+            n,
+            wave: 0,
+        };
+        let tiles = n / TILE;
+        let opts = LaunchOpts {
+            work_multiplier: input.mult,
+        };
+        for wave in 0..2 * tiles - 1 {
+            let width = if wave < tiles {
+                wave + 1
+            } else {
+                2 * tiles - 1 - wave
+            } as u32;
+            dev.launch_with(&NwTileWave { wave, ..k }, width, TILE as u32, opts);
+        }
+        let score = dev.read_at(&k.score, pitch * pitch - 1);
+        let expect = host_nw(&a, &b);
+        assert_eq!(score, expect, "NW score mismatch");
+        RunOutput {
+            checksum: score as f64,
+            items: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kepler_sim::{ClockConfig, DeviceConfig};
+
+    fn device() -> Device {
+        Device::new(DeviceConfig::k20c(ClockConfig::k20_default(), false))
+    }
+
+    #[test]
+    fn nw_matches_host() {
+        NeedlemanWunsch.run(&mut device(), &InputSpec::new("t", 64, 0, 0, 1.0));
+    }
+
+    #[test]
+    fn identical_sequences_score_2n() {
+        let a: Vec<u32> = vec![65, 67, 71, 84, 65, 65];
+        assert_eq!(host_nw(&a, &a), 12);
+    }
+
+    #[test]
+    fn nw_wave_parallelism_varies() {
+        let mut dev = device();
+        NeedlemanWunsch.run(&mut dev, &InputSpec::new("t", 64, 0, 0, 1.0));
+        let grids: Vec<u32> = dev.stats().iter().map(|l| l.grid).collect();
+        assert_eq!(*grids.iter().max().unwrap(), 4);
+        assert_eq!(grids[0], 1);
+        assert_eq!(*grids.last().unwrap(), 1);
+    }
+}

@@ -1,0 +1,178 @@
+//! PF — Rodinia PathFinder: dynamic programming over a 2-D grid, one row
+//! per step; each cell takes the minimum of the three neighbors above and
+//! adds its own weight. Rows are processed in a pyramid of halo-padded
+//! shared-memory tiles.
+
+use crate::bench::{BenchSpec, Benchmark, InputSpec, RunOutput, Suite};
+use crate::inputs::util::u32_vec;
+use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, LaunchOpts};
+
+const BLOCK: u32 = 256;
+
+struct PfRow {
+    wall: DevBuffer<u32>,
+    src: DevBuffer<u32>,
+    dst: DevBuffer<u32>,
+    cols: usize,
+    row: usize,
+}
+
+impl Kernel for PfRow {
+    fn name(&self) -> &'static str {
+        "pathfinder_dynproc"
+    }
+    fn run_block(&self, blk: &mut BlockCtx) {
+        let k = self;
+        let dim = blk.block_dim() as usize;
+        let sh = blk.shared_alloc::<u32>(dim + 2);
+        let base = blk.block_idx() as usize * dim;
+        blk.for_each_thread(|t| {
+            let c = base + t.tid() as usize;
+            let ti = t.tid() as usize + 1;
+            if c < k.cols {
+                let v = t.ld(&k.src, c);
+                t.sst(&sh, ti, v);
+            }
+            // Halo cells.
+            if t.tid() == 0 {
+                let v = if base > 0 {
+                    t.ld(&k.src, base - 1)
+                } else {
+                    u32::MAX / 2
+                };
+                t.sst(&sh, 0, v);
+            }
+            if t.tid() as usize == dim - 1 {
+                let v = if base + dim < k.cols {
+                    t.ld(&k.src, base + dim)
+                } else {
+                    u32::MAX / 2
+                };
+                t.sst(&sh, dim + 1, v);
+            }
+        });
+        blk.for_each_thread(|t| {
+            let c = base + t.tid() as usize;
+            if c >= k.cols {
+                return;
+            }
+            let ti = t.tid() as usize + 1;
+            let left = t.sld(&sh, ti - 1);
+            let mid = t.sld(&sh, ti);
+            let right = t.sld(&sh, ti + 1);
+            let w = t.ld(&k.wall, k.row * k.cols + c);
+            t.int_op(4);
+            t.st(&k.dst, c, w + left.min(mid).min(right));
+        });
+    }
+}
+
+/// Host reference DP.
+pub fn host_pathfinder(wall: &[u32], rows: usize, cols: usize) -> Vec<u32> {
+    let mut cur: Vec<u32> = wall[..cols].to_vec();
+    for r in 1..rows {
+        let mut next = vec![0u32; cols];
+        for c in 0..cols {
+            let mut best = cur[c];
+            if c > 0 {
+                best = best.min(cur[c - 1]);
+            }
+            if c + 1 < cols {
+                best = best.min(cur[c + 1]);
+            }
+            next[c] = wall[r * cols + c] + best;
+        }
+        cur = next;
+    }
+    cur
+}
+
+/// The PF benchmark.
+pub struct Pathfinder;
+
+impl Benchmark for Pathfinder {
+    fn spec(&self) -> BenchSpec {
+        BenchSpec {
+            key: "pf",
+            name: "PF",
+            suite: Suite::Rodinia,
+            kernels: 1,
+            regular: true,
+            description: "Grid dynamic programming (minimum-weight path)",
+        }
+    }
+
+    fn inputs(&self) -> Vec<InputSpec> {
+        // Paper: rows-cols-pyramid 100k-100-20 and 200k-200-40.
+        vec![
+            InputSpec::new("100k-100-20", 4096, 24, 0, 1_700_000.0),
+            InputSpec::new("200k-200-40", 8192, 24, 0, 858_000.0),
+        ]
+    }
+
+    fn run(&self, dev: &mut Device, input: &InputSpec) -> RunOutput {
+        let (cols, rows) = (input.n, input.m);
+        let wall = u32_vec(rows * cols, 10, input.seed);
+        let k = PfRow {
+            wall: dev.alloc_from(&wall),
+            src: dev.alloc_from(&wall[..cols]),
+            dst: dev.alloc::<u32>(cols),
+            cols,
+            row: 0,
+        };
+        let grid = (cols as u32).div_ceil(BLOCK);
+        let opts = LaunchOpts {
+            work_multiplier: input.mult,
+        };
+        let mut bufs = [k.src, k.dst];
+        for row in 1..rows {
+            dev.launch_with(
+                &PfRow {
+                    src: bufs[0],
+                    dst: bufs[1],
+                    row,
+                    ..k
+                },
+                grid,
+                BLOCK,
+                opts,
+            );
+            bufs.swap(0, 1);
+        }
+        let got = dev.read(&bufs[0]);
+        assert_eq!(got, host_pathfinder(&wall, rows, cols), "PF mismatch");
+        RunOutput {
+            checksum: got.iter().map(|&v| v as f64).sum(),
+            items: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kepler_sim::{ClockConfig, DeviceConfig};
+
+    fn device() -> Device {
+        Device::new(DeviceConfig::k20c(ClockConfig::k20_default(), false))
+    }
+
+    #[test]
+    fn pf_matches_host() {
+        Pathfinder.run(&mut device(), &InputSpec::new("t", 512, 8, 0, 1.0));
+    }
+
+    #[test]
+    fn host_pathfinder_takes_min_route() {
+        // 2 rows, 3 cols: second row adds min of neighbors above.
+        let wall = vec![5, 1, 5, 1, 1, 1];
+        assert_eq!(host_pathfinder(&wall, 2, 3), vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn pf_uses_shared_halo() {
+        let mut dev = device();
+        Pathfinder.run(&mut dev, &InputSpec::new("t", 512, 4, 0, 1.0));
+        assert!(dev.total_counters().shared_accesses > 0.0);
+    }
+}

@@ -1,0 +1,381 @@
+//! EIP / EP — the CUDA SDK Monte Carlo π estimators.
+//!
+//! Both draw uniform points in the unit square and count hits inside the
+//! quarter circle. **EIP** (`MC_EstimatePiInlineP`) generates its random
+//! numbers *inline* in the counting kernel — almost no memory traffic.
+//! **EP** (`MC_EstimatePiP`) first materializes batches of random numbers
+//! in global memory, then a second kernel consumes them — same math, much
+//! more DRAM traffic. The pair is a natural ablation of compute- vs
+//! memory-intensity on identical work.
+
+use crate::bench::{BenchSpec, Benchmark, InputSpec, RunOutput, Suite};
+use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, LaunchOpts};
+
+const BLOCK: u32 = 256;
+
+/// Marsaglia xorshift32 — the per-thread PRNG both kernels use.
+#[inline]
+fn xorshift32(state: &mut u32) -> u32 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 17;
+    x ^= x << 5;
+    *state = x;
+    x
+}
+
+#[inline]
+fn to_unit(x: u32) -> f32 {
+    (x >> 8) as f32 * (1.0 / 16_777_216.0)
+}
+
+/// Kernel 1 of EIP: inline sampling, block-level shared reduction, one
+/// atomic per block.
+struct InlineSample {
+    samples_per_thread: u32,
+    hits: DevBuffer<u32>,
+    seed: u32,
+}
+
+impl Kernel for InlineSample {
+    fn name(&self) -> &'static str {
+        "eip_sample"
+    }
+    fn run_block(&self, blk: &mut BlockCtx) {
+        let dim = blk.block_dim() as usize;
+        let partial = blk.shared_alloc::<u32>(dim);
+        let m = self.samples_per_thread;
+        let seed = self.seed;
+        let hits = self.hits;
+        blk.for_each_thread(|t| {
+            let mut state = seed ^ (t.gtid().wrapping_mul(0x9E3779B9) | 1);
+            let mut count = 0u32;
+            for _ in 0..m {
+                let x = to_unit(xorshift32(&mut state));
+                let y = to_unit(xorshift32(&mut state));
+                if x * x + y * y <= 1.0 {
+                    count += 1;
+                }
+            }
+            // ~8 int ops for the two xorshifts, 2 FMA + 1 compare per sample.
+            t.int_op(8 * m);
+            t.fma32(2 * m);
+            t.fp32_add(m);
+            t.sst(&partial, t.tid() as usize, count);
+        });
+        // Tree reduction in shared memory.
+        let mut stride = dim / 2;
+        while stride > 0 {
+            blk.for_each_thread(|t| {
+                let i = t.tid() as usize;
+                if i < stride {
+                    let a = t.sld(&partial, i);
+                    let b = t.sld(&partial, i + stride);
+                    t.int_op(1);
+                    t.sst(&partial, i, a + b);
+                }
+            });
+            stride /= 2;
+        }
+        blk.for_each_thread(|t| {
+            if t.tid() == 0 {
+                let total = t.sld(&partial, 0);
+                t.atomic_add_u32(&hits, 0, total);
+            }
+        });
+    }
+}
+
+/// Kernel 2 of EIP/EP: folds the per-run hit counter into the estimate slot
+/// (a trivial single-block pass, as in the SDK's final reduce).
+struct Finalize {
+    hits: DevBuffer<u32>,
+    out: DevBuffer<f32>,
+    total_samples: f32,
+}
+
+impl Kernel for Finalize {
+    fn name(&self) -> &'static str {
+        "pi_finalize"
+    }
+    fn run_block(&self, blk: &mut BlockCtx) {
+        let (hits, out, total) = (self.hits, self.out, self.total_samples);
+        blk.for_each_thread(|t| {
+            if t.tid() == 0 {
+                let h = t.ld(&hits, 0);
+                t.fp32_mul(2);
+                t.st(&out, 0, 4.0 * h as f32 / total);
+            }
+        });
+    }
+}
+
+/// Kernel 1 of EP: generate random-number batches into global memory.
+struct GenerateBatch {
+    randoms: DevBuffer<f32>,
+    per_thread: u32,
+    seed: u32,
+}
+
+impl Kernel for GenerateBatch {
+    fn name(&self) -> &'static str {
+        "ep_generate"
+    }
+    fn run_block(&self, blk: &mut BlockCtx) {
+        let (buf, m, seed) = (self.randoms, self.per_thread, self.seed);
+        blk.for_each_thread(|t| {
+            let mut state = seed ^ (t.gtid().wrapping_mul(0x85EBCA6B) | 1);
+            let stride = t.grid_threads() as usize;
+            let mut idx = t.gtid() as usize;
+            t.int_op(4 * m);
+            for _ in 0..m {
+                // Grid-strided coalesced stores.
+                let v = to_unit(xorshift32(&mut state));
+                t.st(&buf, idx, v);
+                idx += stride;
+            }
+        });
+    }
+}
+
+/// Kernel 2 of EP: consume random batches from global memory and count.
+struct CountBatch {
+    randoms: DevBuffer<f32>,
+    pairs_per_thread: u32,
+    hits: DevBuffer<u32>,
+}
+
+impl Kernel for CountBatch {
+    fn name(&self) -> &'static str {
+        "ep_count"
+    }
+    fn run_block(&self, blk: &mut BlockCtx) {
+        let dim = blk.block_dim() as usize;
+        let partial = blk.shared_alloc::<u32>(dim);
+        let (buf, m, hits) = (self.randoms, self.pairs_per_thread, self.hits);
+        blk.for_each_thread(|t| {
+            let stride = t.grid_threads() as usize;
+            let mut count = 0u32;
+            let mut idx = t.gtid() as usize;
+            for _ in 0..m {
+                let x = t.ld(&buf, idx);
+                let y = t.ld(&buf, idx + stride * m as usize);
+                if x * x + y * y <= 1.0 {
+                    count += 1;
+                }
+                idx += stride;
+            }
+            t.fma32(2 * m);
+            t.fp32_add(m);
+            t.sst(&partial, t.tid() as usize, count);
+        });
+        let mut stride = dim / 2;
+        while stride > 0 {
+            blk.for_each_thread(|t| {
+                let i = t.tid() as usize;
+                if i < stride {
+                    let a = t.sld(&partial, i);
+                    let b = t.sld(&partial, i + stride);
+                    t.int_op(1);
+                    t.sst(&partial, i, a + b);
+                }
+            });
+            stride /= 2;
+        }
+        blk.for_each_thread(|t| {
+            if t.tid() == 0 {
+                let total = t.sld(&partial, 0);
+                t.atomic_add_u32(&hits, 0, total);
+            }
+        });
+    }
+}
+
+fn check_pi(estimate: f32, total_samples: f64) {
+    // 4-sigma Monte Carlo bound.
+    let sigma = 4.0 * (std::f64::consts::PI / 4.0 * (1.0 - std::f64::consts::PI / 4.0)).sqrt()
+        / total_samples.sqrt();
+    let err = (estimate as f64 - std::f64::consts::PI).abs();
+    assert!(
+        err < 4.0 * sigma + 1e-3,
+        "pi estimate {estimate} off by {err} (sigma {sigma})"
+    );
+}
+
+/// EIP — `MC_EstimatePiInlineP`.
+pub struct EstimatePiInline;
+
+impl Benchmark for EstimatePiInline {
+    fn spec(&self) -> BenchSpec {
+        BenchSpec {
+            key: "eip",
+            name: "EIP",
+            suite: Suite::CudaSdk,
+            kernels: 2,
+            regular: true,
+            description: "Monte Carlo estimation of Pi with an inline PRNG",
+        }
+    }
+
+    fn inputs(&self) -> Vec<InputSpec> {
+        // Paper: no input parameters; n = threads, m = samples/thread.
+        vec![InputSpec::new("none", 16384, 48, 0, 1_750_000.0)]
+    }
+
+    fn run(&self, dev: &mut Device, input: &InputSpec) -> RunOutput {
+        let hits = dev.alloc::<u32>(1);
+        let out = dev.alloc::<f32>(1);
+        let total = (input.n * input.m) as f32;
+        dev.launch_with(
+            &InlineSample {
+                samples_per_thread: input.m as u32,
+                hits,
+                seed: input.seed as u32 | 1,
+            },
+            (input.n as u32).div_ceil(BLOCK),
+            BLOCK,
+            LaunchOpts {
+                work_multiplier: input.mult,
+            },
+        );
+        dev.launch(
+            &Finalize {
+                hits,
+                out,
+                total_samples: total,
+            },
+            1,
+            32,
+        );
+        let estimate = dev.read_at(&out, 0);
+        check_pi(estimate, total as f64);
+        RunOutput {
+            checksum: estimate as f64,
+            items: None,
+        }
+    }
+}
+
+/// EP — `MC_EstimatePiP` (batched random-number generation).
+pub struct EstimatePi;
+
+impl Benchmark for EstimatePi {
+    fn spec(&self) -> BenchSpec {
+        BenchSpec {
+            key: "ep",
+            name: "EP",
+            suite: Suite::CudaSdk,
+            kernels: 2,
+            regular: true,
+            description: "Monte Carlo estimation of Pi with batched PRNG",
+        }
+    }
+
+    fn inputs(&self) -> Vec<InputSpec> {
+        vec![InputSpec::new("none", 16384, 24, 0, 333_000.0)]
+    }
+
+    fn run(&self, dev: &mut Device, input: &InputSpec) -> RunOutput {
+        let threads = input.n;
+        let pairs = input.m as u32;
+        let randoms = dev.alloc::<f32>(threads * 2 * pairs as usize);
+        let hits = dev.alloc::<u32>(1);
+        let out = dev.alloc::<f32>(1);
+        let grid = (threads as u32).div_ceil(BLOCK);
+        let opts = LaunchOpts {
+            work_multiplier: input.mult,
+        };
+        dev.launch_with(
+            &GenerateBatch {
+                randoms,
+                per_thread: 2 * pairs,
+                seed: input.seed as u32 | 1,
+            },
+            grid,
+            BLOCK,
+            opts,
+        );
+        dev.launch_with(
+            &CountBatch {
+                randoms,
+                pairs_per_thread: pairs,
+                hits,
+            },
+            grid,
+            BLOCK,
+            opts,
+        );
+        let total = (threads * pairs as usize) as f32;
+        dev.launch(
+            &Finalize {
+                hits,
+                out,
+                total_samples: total,
+            },
+            1,
+            32,
+        );
+        let estimate = dev.read_at(&out, 0);
+        check_pi(estimate, total as f64);
+        RunOutput {
+            checksum: estimate as f64,
+            items: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kepler_sim::{ClockConfig, DeviceConfig};
+
+    fn device() -> Device {
+        Device::new(DeviceConfig::k20c(ClockConfig::k20_default(), false))
+    }
+
+    #[test]
+    fn eip_estimates_pi() {
+        let out = EstimatePiInline.run(&mut device(), &InputSpec::new("t", 4096, 32, 0, 1.0));
+        assert!((out.checksum - std::f64::consts::PI).abs() < 0.1);
+    }
+
+    #[test]
+    fn ep_estimates_pi() {
+        let out = EstimatePi.run(&mut device(), &InputSpec::new("t", 4096, 16, 0, 1.0));
+        assert!((out.checksum - std::f64::consts::PI).abs() < 0.1);
+    }
+
+    #[test]
+    fn ep_moves_more_memory_than_eip() {
+        let mut d1 = device();
+        EstimatePiInline.run(&mut d1, &InputSpec::new("t", 4096, 16, 0, 1.0));
+        let mut d2 = device();
+        EstimatePi.run(&mut d2, &InputSpec::new("t", 4096, 16, 0, 1.0));
+        let eip_bytes = d1.total_counters().useful_bytes;
+        let ep_bytes = d2.total_counters().useful_bytes;
+        assert!(
+            ep_bytes > 10.0 * eip_bytes,
+            "ep {ep_bytes} vs eip {eip_bytes}"
+        );
+    }
+
+    #[test]
+    fn xorshift_is_full_period_sane() {
+        let mut s = 1u32;
+        let mut seen_high = false;
+        for _ in 0..1000 {
+            let v = xorshift32(&mut s);
+            assert_ne!(v, 0);
+            if v > u32::MAX / 2 {
+                seen_high = true;
+            }
+        }
+        assert!(seen_high);
+    }
+
+    #[test]
+    fn both_report_two_kernels_like_table1() {
+        assert_eq!(EstimatePiInline.spec().kernels, 2);
+        assert_eq!(EstimatePi.spec().kernels, 2);
+    }
+}

@@ -1,0 +1,12 @@
+//! CUDA SDK sample programs: EIP, EP (Monte Carlo π), NB (all-pairs
+//! n-body), SC (parallel prefix sum). The paper's compute-bound, highly
+//! regular group — these draw the highest power and respond super-linearly
+//! to core DVFS.
+
+pub mod estimate_pi;
+pub mod nbody;
+pub mod scan;
+
+pub use estimate_pi::{EstimatePi, EstimatePiInline};
+pub use nbody::NBody;
+pub use scan::Scan;

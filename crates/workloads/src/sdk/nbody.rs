@@ -1,0 +1,271 @@
+//! NB — the CUDA SDK all-pairs n-body simulation.
+//!
+//! The classic shared-memory-tiled O(n²) force kernel: each block strides
+//! over tiles of bodies, stages a tile in shared memory, and every thread
+//! accumulates the gravitational acceleration of its own body against the
+//! staged tile. Highly regular, compute-bound, excellent cache behaviour —
+//! the paper's example of a code whose power drops super-linearly under
+//! core DVFS and that is essentially immune to ECC.
+
+use crate::bench::{BenchSpec, Benchmark, InputSpec, RunOutput, Suite};
+use crate::inputs::points::plummer;
+use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, KernelResources, LaunchOpts};
+
+const BLOCK: u32 = 256;
+const SOFTENING: f32 = 1e-2;
+
+struct Bodies {
+    x: DevBuffer<f32>,
+    y: DevBuffer<f32>,
+    z: DevBuffer<f32>,
+    m: DevBuffer<f32>,
+    ax: DevBuffer<f32>,
+    ay: DevBuffer<f32>,
+    az: DevBuffer<f32>,
+    n: usize,
+}
+
+struct ForceKernel<'a> {
+    b: &'a Bodies,
+}
+
+impl Kernel for ForceKernel<'_> {
+    fn name(&self) -> &'static str {
+        "nbody_force"
+    }
+
+    fn resources(&self) -> KernelResources {
+        KernelResources {
+            regs_per_thread: 40,
+            shared_bytes: BLOCK * 16,
+        }
+    }
+
+    fn run_block(&self, blk: &mut BlockCtx) {
+        let b = self.b;
+        let n = b.n;
+        let dim = blk.block_dim() as usize;
+        let tile_x = blk.shared_alloc::<f32>(dim);
+        let tile_y = blk.shared_alloc::<f32>(dim);
+        let tile_z = blk.shared_alloc::<f32>(dim);
+        let tile_m = blk.shared_alloc::<f32>(dim);
+        // Per-thread state persisted across tile phases.
+        let mut pos = vec![[0.0f32; 3]; dim];
+        let mut acc = vec![[0.0f32; 3]; dim];
+
+        blk.for_each_thread(|t| {
+            let i = t.gtid() as usize;
+            if i < n {
+                pos[t.tid() as usize] = [t.ld(&b.x, i), t.ld(&b.y, i), t.ld(&b.z, i)];
+            }
+        });
+
+        let tiles = n.div_ceil(dim);
+        for tile in 0..tiles {
+            let base = tile * dim;
+            let cnt = dim.min(n - base);
+            blk.for_each_thread(|t| {
+                let j = base + t.tid() as usize;
+                if j < n {
+                    let ti = t.tid() as usize;
+                    let v = (t.ld(&b.x, j), t.ld(&b.y, j), t.ld(&b.z, j), t.ld(&b.m, j));
+                    t.sst(&tile_x, ti, v.0);
+                    t.sst(&tile_y, ti, v.1);
+                    t.sst(&tile_z, ti, v.2);
+                    t.sst(&tile_m, ti, v.3);
+                }
+            });
+            blk.for_each_thread(|t| {
+                let i = t.gtid() as usize;
+                if i >= n {
+                    return;
+                }
+                let ti = t.tid() as usize;
+                let p = pos[ti];
+                let a = &mut acc[ti];
+                for j in 0..cnt {
+                    let dx = t.shared_get(&tile_x, j) - p[0];
+                    let dy = t.shared_get(&tile_y, j) - p[1];
+                    let dz = t.shared_get(&tile_z, j) - p[2];
+                    let r2 = dx * dx + dy * dy + dz * dz + SOFTENING;
+                    let inv = 1.0 / r2.sqrt();
+                    let s = t.shared_get(&tile_m, j) * inv * inv * inv;
+                    a[0] += s * dx;
+                    a[1] += s * dy;
+                    a[2] += s * dz;
+                }
+                // 6 FMA + 3 MUL + 1 SFU per interaction, 4 shared reads.
+                t.fma32(6 * cnt as u32);
+                t.fp32_mul(3 * cnt as u32);
+                t.sfu(cnt as u32);
+                t.smem(4 * cnt as u32);
+            });
+        }
+
+        blk.for_each_thread(|t| {
+            let i = t.gtid() as usize;
+            if i < n {
+                let a = acc[t.tid() as usize];
+                t.st(&b.ax, i, a[0]);
+                t.st(&b.ay, i, a[1]);
+                t.st(&b.az, i, a[2]);
+            }
+        });
+    }
+}
+
+/// The NB benchmark program.
+pub struct NBody;
+
+/// Host reference all-pairs accelerations (same math as the kernel).
+pub fn host_forces(
+    x: &[f32],
+    y: &[f32],
+    z: &[f32],
+    m: &[f32],
+) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+    let n = x.len();
+    let (mut ax, mut ay, mut az) = (vec![0.0; n], vec![0.0; n], vec![0.0; n]);
+    for i in 0..n {
+        for j in 0..n {
+            let dx = x[j] - x[i];
+            let dy = y[j] - y[i];
+            let dz = z[j] - z[i];
+            let r2 = dx * dx + dy * dy + dz * dz + SOFTENING;
+            let inv = 1.0 / r2.sqrt();
+            let s = m[j] * inv * inv * inv;
+            ax[i] += s * dx;
+            ay[i] += s * dy;
+            az[i] += s * dz;
+        }
+    }
+    (ax, ay, az)
+}
+
+impl NBody {
+    fn setup(&self, dev: &mut Device, input: &InputSpec) -> Bodies {
+        let (xs, ys, zs, ms) = plummer(input.n, input.seed);
+        Bodies {
+            x: dev.alloc_from(&xs),
+            y: dev.alloc_from(&ys),
+            z: dev.alloc_from(&zs),
+            m: dev.alloc_from(&ms),
+            ax: dev.alloc::<f32>(input.n),
+            ay: dev.alloc::<f32>(input.n),
+            az: dev.alloc::<f32>(input.n),
+            n: input.n,
+        }
+    }
+}
+
+impl Benchmark for NBody {
+    fn spec(&self) -> BenchSpec {
+        BenchSpec {
+            key: "nb",
+            name: "NB",
+            suite: Suite::CudaSdk,
+            kernels: 1,
+            regular: true,
+            description: "All-pairs n-body simulation (shared-memory tiled)",
+        }
+    }
+
+    fn inputs(&self) -> Vec<InputSpec> {
+        // Paper: 100k, 250k and 1m bodies. All-pairs work scales with n².
+        vec![
+            InputSpec::new("100k bodies", 1024, 0, 2, 220_000.0),
+            InputSpec::new("250k bodies", 1536, 0, 2, 146_000.0),
+            InputSpec::new("1m bodies", 2048, 0, 2, 167_000.0),
+        ]
+    }
+
+    fn run(&self, dev: &mut Device, input: &InputSpec) -> RunOutput {
+        let b = self.setup(dev, input);
+        let grid = (input.n as u32).div_ceil(BLOCK);
+        let steps = input.aux.max(1);
+        for _ in 0..steps {
+            dev.launch_with(
+                &ForceKernel { b: &b },
+                grid,
+                BLOCK,
+                LaunchOpts {
+                    work_multiplier: input.mult / steps as f64,
+                },
+            );
+            dev.host_gap(0.01);
+        }
+        let ax = dev.read(&b.ax);
+        assert!(ax.iter().all(|v| v.is_finite()), "NB produced NaN forces");
+        let checksum: f64 = ax.iter().map(|&v| v.abs() as f64).sum();
+        assert!(checksum > 0.0, "NB produced zero forces");
+        RunOutput {
+            checksum,
+            items: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kepler_sim::{ClockConfig, DeviceConfig};
+
+    fn device() -> Device {
+        Device::new(DeviceConfig::k20c(ClockConfig::k20_default(), false))
+    }
+
+    #[test]
+    fn forces_match_host_reference() {
+        let mut dev = device();
+        let input = InputSpec::new("test", 300, 0, 1, 1.0);
+        let nb = NBody;
+        let b = nb.setup(&mut dev, &input);
+        dev.launch(&ForceKernel { b: &b }, 2, BLOCK);
+        let (hax, _, haz) = host_forces(
+            &dev.read(&b.x),
+            &dev.read(&b.y),
+            &dev.read(&b.z),
+            &dev.read(&b.m),
+        );
+        let gax = dev.read(&b.ax);
+        let gaz = dev.read(&b.az);
+        for i in 0..300 {
+            assert!(
+                (gax[i] - hax[i]).abs() <= 1e-4 * hax[i].abs().max(1.0),
+                "ax[{i}]: {} vs {}",
+                gax[i],
+                hax[i]
+            );
+            assert!((gaz[i] - haz[i]).abs() <= 1e-4 * haz[i].abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn nb_is_compute_bound() {
+        let mut dev = device();
+        let nb = NBody;
+        let input = InputSpec::new("test", 1024, 0, 1, 1.0);
+        nb.run(&mut dev, &input);
+        let c = dev.total_counters();
+        // Way more compute than memory traffic.
+        assert!(c.compute_intensity() > 50.0, "{}", c.compute_intensity());
+        assert!(c.divergence() < 0.1, "{}", c.divergence());
+    }
+
+    #[test]
+    fn run_produces_stable_checksum() {
+        let nb = NBody;
+        let input = InputSpec::new("test", 512, 0, 1, 1.0);
+        let a = nb.run(&mut device(), &input);
+        let b = nb.run(&mut device(), &input);
+        assert_eq!(a.checksum, b.checksum);
+    }
+
+    #[test]
+    fn inputs_match_paper() {
+        let inputs = NBody.inputs();
+        assert_eq!(inputs.len(), 3);
+        // Larger paper inputs run on larger simulated body counts.
+        assert!(inputs[2].n > inputs[0].n);
+    }
+}

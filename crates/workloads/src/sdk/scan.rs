@@ -1,0 +1,286 @@
+//! SC — the CUDA SDK parallel prefix sum ("scan").
+//!
+//! Three-kernel Blelloch scan: (1) per-block exclusive scan in shared
+//! memory producing block sums, (2) a single-block scan of the block sums,
+//! (3) a uniform add distributing the scanned sums. Bandwidth-bound with
+//! heavy shared-memory traffic.
+
+use crate::bench::{BenchSpec, Benchmark, InputSpec, RunOutput, Suite};
+use crate::inputs::util::u32_vec;
+use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, KernelResources, LaunchOpts};
+
+const BLOCK: u32 = 256;
+/// Elements scanned per block (two per thread, as in the SDK code).
+const TILE: usize = 2 * BLOCK as usize;
+
+/// Kernel 1: exclusive scan of each tile; writes the tile's total to
+/// `block_sums`.
+struct BlockScan {
+    input: DevBuffer<u32>,
+    output: DevBuffer<u32>,
+    block_sums: DevBuffer<u32>,
+    n: usize,
+}
+
+impl Kernel for BlockScan {
+    fn name(&self) -> &'static str {
+        "scan_block"
+    }
+    fn resources(&self) -> KernelResources {
+        KernelResources {
+            regs_per_thread: 24,
+            shared_bytes: (TILE * 4) as u32,
+        }
+    }
+    fn run_block(&self, blk: &mut BlockCtx) {
+        let temp = blk.shared_alloc::<u32>(TILE);
+        let base = blk.block_idx() as usize * TILE;
+        let (input, output, sums, n) = (self.input, self.output, self.block_sums, self.n);
+
+        blk.for_each_thread(|t| {
+            let i = t.tid() as usize;
+            for k in [2 * i, 2 * i + 1] {
+                let g = base + k;
+                let v = if g < n { t.ld(&input, g) } else { 0 };
+                t.sst(&temp, k, v);
+            }
+        });
+
+        // Upsweep.
+        let mut stride = 1usize;
+        while stride < TILE {
+            blk.for_each_thread(|t| {
+                let i = t.tid() as usize;
+                let idx = (i + 1) * stride * 2 - 1;
+                if idx < TILE {
+                    let a = t.sld(&temp, idx - stride);
+                    let b = t.sld(&temp, idx);
+                    t.int_op(1);
+                    t.sst(&temp, idx, a.wrapping_add(b));
+                }
+            });
+            stride *= 2;
+        }
+        // Record the total and clear the last element.
+        blk.for_each_thread(|t| {
+            if t.tid() == 0 {
+                let total = t.sld(&temp, TILE - 1);
+                t.st(&sums, blk_idx(t), total);
+                t.sst(&temp, TILE - 1, 0);
+            }
+        });
+        // Downsweep.
+        stride = TILE / 2;
+        while stride > 0 {
+            blk.for_each_thread(|t| {
+                let i = t.tid() as usize;
+                let idx = (i + 1) * stride * 2 - 1;
+                if idx < TILE {
+                    let a = t.sld(&temp, idx - stride);
+                    let b = t.sld(&temp, idx);
+                    t.int_op(1);
+                    t.sst(&temp, idx - stride, b);
+                    t.sst(&temp, idx, a.wrapping_add(b));
+                }
+            });
+            stride /= 2;
+        }
+
+        blk.for_each_thread(|t| {
+            let i = t.tid() as usize;
+            for k in [2 * i, 2 * i + 1] {
+                let g = base + k;
+                if g < n {
+                    let v = t.sld(&temp, k);
+                    t.st(&output, g, v);
+                }
+            }
+        });
+    }
+}
+
+fn blk_idx(t: &kepler_sim::ThreadCtx) -> usize {
+    t.block_idx() as usize
+}
+
+/// Kernel 2: single-block exclusive scan of the block sums (sequential in
+/// thread 0 over a small array, as the SDK does for the top level).
+struct ScanSums {
+    sums: DevBuffer<u32>,
+    count: usize,
+}
+
+impl Kernel for ScanSums {
+    fn name(&self) -> &'static str {
+        "scan_sums"
+    }
+    fn run_block(&self, blk: &mut BlockCtx) {
+        let (sums, count) = (self.sums, self.count);
+        blk.for_each_thread(|t| {
+            if t.tid() == 0 {
+                let mut acc = 0u32;
+                for i in 0..count {
+                    let v = t.ld(&sums, i);
+                    t.int_op(1);
+                    t.st(&sums, i, acc);
+                    acc = acc.wrapping_add(v);
+                }
+            }
+        });
+    }
+}
+
+/// Kernel 3: add each block's scanned sum to its tile.
+struct UniformAdd {
+    output: DevBuffer<u32>,
+    block_sums: DevBuffer<u32>,
+    n: usize,
+}
+
+impl Kernel for UniformAdd {
+    fn name(&self) -> &'static str {
+        "scan_uniform_add"
+    }
+    fn run_block(&self, blk: &mut BlockCtx) {
+        let base = blk.block_idx() as usize * TILE;
+        let (output, sums, n) = (self.output, self.block_sums, self.n);
+        let bidx = blk.block_idx() as usize;
+        blk.for_each_thread(|t| {
+            let offset = t.ld(&sums, bidx);
+            let i = t.tid() as usize;
+            for k in [2 * i, 2 * i + 1] {
+                let g = base + k;
+                if g < n {
+                    let v = t.ld(&output, g);
+                    t.int_op(1);
+                    t.st(&output, g, v.wrapping_add(offset));
+                }
+            }
+        });
+    }
+}
+
+/// SC — parallel prefix sum.
+pub struct Scan;
+
+/// Host exclusive prefix sum.
+pub fn host_exclusive_scan(v: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(v.len());
+    let mut acc = 0u32;
+    for &x in v {
+        out.push(acc);
+        acc = acc.wrapping_add(x);
+    }
+    out
+}
+
+impl Benchmark for Scan {
+    fn spec(&self) -> BenchSpec {
+        BenchSpec {
+            key: "sc",
+            name: "SC",
+            suite: Suite::CudaSdk,
+            kernels: 3,
+            regular: true,
+            description: "Work-efficient parallel prefix sum (Blelloch scan)",
+        }
+    }
+
+    fn inputs(&self) -> Vec<InputSpec> {
+        // Paper: 2^26 elements; the SDK sample re-scans many times.
+        let sim_n = 1usize << 17;
+        let mult = ((1u64 << 26) as f64 / sim_n as f64) * 352.0;
+        vec![InputSpec::new("2^26 elements", sim_n, 0, 0, mult)]
+    }
+
+    fn run(&self, dev: &mut Device, input: &InputSpec) -> RunOutput {
+        let n = input.n;
+        let data = u32_vec(n, 1000, input.seed);
+        let inp = dev.alloc_from(&data);
+        let out = dev.alloc::<u32>(n);
+        let nblocks = n.div_ceil(TILE);
+        let sums = dev.alloc::<u32>(nblocks);
+        let opts = LaunchOpts {
+            work_multiplier: input.mult,
+        };
+        dev.launch_with(
+            &BlockScan {
+                input: inp,
+                output: out,
+                block_sums: sums,
+                n,
+            },
+            nblocks as u32,
+            BLOCK,
+            opts,
+        );
+        dev.launch_with(
+            &ScanSums {
+                sums,
+                count: nblocks,
+            },
+            1,
+            32,
+            opts,
+        );
+        dev.launch_with(
+            &UniformAdd {
+                output: out,
+                block_sums: sums,
+                n,
+            },
+            nblocks as u32,
+            BLOCK,
+            opts,
+        );
+        let result = dev.read(&out);
+        let expect = host_exclusive_scan(&data);
+        assert_eq!(result, expect, "scan result mismatch");
+        RunOutput {
+            checksum: *result.last().unwrap() as f64,
+            items: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kepler_sim::{ClockConfig, DeviceConfig};
+
+    fn device() -> Device {
+        Device::new(DeviceConfig::k20c(ClockConfig::k20_default(), false))
+    }
+
+    #[test]
+    fn scan_exact_power_of_two() {
+        let input = InputSpec::new("t", 4096, 0, 0, 1.0);
+        Scan.run(&mut device(), &input); // panics on mismatch
+    }
+
+    #[test]
+    fn scan_ragged_length() {
+        let input = InputSpec::new("t", 3000, 0, 0, 1.0);
+        Scan.run(&mut device(), &input);
+    }
+
+    #[test]
+    fn scan_tiny() {
+        let input = InputSpec::new("t", 5, 0, 0, 1.0);
+        Scan.run(&mut device(), &input);
+    }
+
+    #[test]
+    fn host_scan_reference() {
+        assert_eq!(host_exclusive_scan(&[1, 2, 3]), vec![0, 1, 3]);
+        assert_eq!(host_exclusive_scan(&[]), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn scan_uses_shared_memory_heavily() {
+        let mut dev = device();
+        Scan.run(&mut dev, &InputSpec::new("t", 8192, 0, 0, 1.0));
+        let c = dev.total_counters();
+        assert!(c.shared_accesses + c.lane_ops[6] > c.useful_bytes / 8.0);
+    }
+}

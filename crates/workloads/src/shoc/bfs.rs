@@ -1,0 +1,165 @@
+//! S-BFS — SHOC breadth-first search: frontier-queue BFS over a uniform
+//! random k-way graph. The SHOC harness times *many repeated traversals*
+//! of one (low-diameter) graph, so per-vertex and per-edge costs come out
+//! orders of magnitude worse than the road-network BFS codes — the
+//! mechanism behind the paper's Table 4 outlier.
+
+use crate::bench::{BenchSpec, Benchmark, InputSpec, ItemCounts, RunOutput, Suite};
+use crate::inputs::graphs::{host_bfs, random_kway};
+use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, LaunchOpts};
+
+const BLOCK: u32 = 64;
+const INF: u32 = u32::MAX;
+
+struct Frontier {
+    row_ptr: DevBuffer<u32>,
+    col: DevBuffer<u32>,
+    cost: DevBuffer<u32>,
+    wl_in: DevBuffer<u32>,
+    wl_out: DevBuffer<u32>,
+    out_size: DevBuffer<u32>,
+    in_size: u32,
+}
+
+impl Kernel for Frontier {
+    fn name(&self) -> &'static str {
+        "sbfs_frontier"
+    }
+    fn run_block(&self, blk: &mut BlockCtx) {
+        let k = self;
+        blk.for_each_thread(|t| {
+            let i = t.gtid();
+            if i >= k.in_size {
+                return;
+            }
+            let v = t.ld(&k.wl_in, i as usize) as usize;
+            let cv = t.ld(&k.cost, v);
+            let lo = t.ld(&k.row_ptr, v) as usize;
+            let hi = t.ld(&k.row_ptr, v + 1) as usize;
+            for e in lo..hi {
+                let w = t.ld(&k.col, e) as usize;
+                t.int_op(2);
+                if t.atomic_cas_u32(&k.cost, w, INF, cv + 1) == INF {
+                    let slot = t.atomic_add_u32(&k.out_size, 0, 1);
+                    t.st(&k.wl_out, slot as usize, w as u32);
+                }
+            }
+        });
+    }
+}
+
+/// The S-BFS benchmark.
+pub struct SBfs;
+
+impl Benchmark for SBfs {
+    fn spec(&self) -> BenchSpec {
+        BenchSpec {
+            key: "sbfs",
+            name: "S-BFS",
+            suite: Suite::Shoc,
+            kernels: 9,
+            regular: false,
+            description: "Repeated BFS traversals of a random k-way graph",
+        }
+    }
+
+    fn inputs(&self) -> Vec<InputSpec> {
+        // n = nodes, m = out-degree, aux = traversal repetitions.
+        vec![InputSpec::new("default benchmark input", 4096, 4, 40, 1_900.0)]
+    }
+
+    fn run(&self, dev: &mut Device, input: &InputSpec) -> RunOutput {
+        let g = random_kway(input.n, input.m, input.seed);
+        let src = 0usize;
+        let k = Frontier {
+            row_ptr: dev.alloc_from(&g.row_ptr),
+            col: dev.alloc_from(&g.col),
+            cost: dev.alloc_init(g.n, INF),
+            wl_in: dev.alloc::<u32>(g.n + 1),
+            wl_out: dev.alloc::<u32>(g.n + 1),
+            out_size: dev.alloc::<u32>(1),
+            in_size: 1,
+        };
+        let reps = input.aux.max(1);
+        let opts = LaunchOpts {
+            work_multiplier: input.mult,
+        };
+        let mut final_cost = Vec::new();
+        for _ in 0..reps {
+            dev.fill(&k.cost, INF);
+            dev.write_at(&k.cost, src, 0);
+            dev.write_at(&k.wl_in, 0, src as u32);
+            let mut in_size = 1u32;
+            let mut flip = false;
+            while in_size > 0 {
+                dev.fill(&k.out_size, 0);
+                let (wi, wo) = if flip {
+                    (k.wl_out, k.wl_in)
+                } else {
+                    (k.wl_in, k.wl_out)
+                };
+                dev.launch_with(
+                    &Frontier {
+                        wl_in: wi,
+                        wl_out: wo,
+                        in_size,
+                        ..k
+                    },
+                    in_size.div_ceil(BLOCK),
+                    BLOCK,
+                    opts,
+                );
+                in_size = dev.read_at(&k.out_size, 0);
+                flip = !flip;
+            }
+            dev.host_gap(0.004);
+            final_cost = dev.read(&k.cost);
+        }
+        assert_eq!(final_cost, host_bfs(&g, src), "S-BFS cost mismatch");
+        // Items: ONE traversal's worth — which is exactly why the per-item
+        // metrics look terrible for S-BFS (Table 4).
+        RunOutput {
+            checksum: final_cost.iter().filter(|&&c| c != INF).count() as f64,
+            // SHOC's default graph is small (its Table-4 per-item costs
+            // are 2-3 orders worse than the road-map codes because the
+            // harness re-traverses a tiny graph many times).
+            items: Some(ItemCounts {
+                vertices: 16_000,
+                edges: 64_000,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kepler_sim::{ClockConfig, DeviceConfig};
+
+    fn device() -> Device {
+        Device::new(DeviceConfig::k20c(ClockConfig::k20_default(), false))
+    }
+
+    #[test]
+    fn sbfs_matches_host() {
+        SBfs.run(&mut device(), &InputSpec::new("t", 512, 4, 2, 1.0));
+    }
+
+    #[test]
+    fn repetitions_multiply_the_work() {
+        let mut d1 = device();
+        SBfs.run(&mut d1, &InputSpec::new("t", 512, 4, 1, 1.0));
+        let mut d4 = device();
+        SBfs.run(&mut d4, &InputSpec::new("t", 512, 4, 4, 1.0));
+        let w1 = d1.total_counters().useful_bytes;
+        let w4 = d4.total_counters().useful_bytes;
+        assert!(w4 > 3.0 * w1, "w4 {w4} vs w1 {w1}");
+    }
+
+    #[test]
+    fn random_graph_traversal_is_shallow() {
+        let mut dev = device();
+        SBfs.run(&mut dev, &InputSpec::new("t", 2048, 6, 1, 1.0));
+        assert!(dev.stats().len() < 12, "launches {}", dev.stats().len());
+    }
+}

@@ -1,0 +1,206 @@
+//! FFT — SHOC fast Fourier transform: batched radix-2 Stockham FFT over
+//! single-precision complex data, one kernel launch per stage with
+//! power-of-two strided access (classic partially-coalesced pattern).
+
+use crate::bench::{BenchSpec, Benchmark, InputSpec, RunOutput, Suite};
+use crate::inputs::util::f32_vec;
+use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, LaunchOpts};
+
+const BLOCK: u32 = 256;
+
+/// One Stockham (decimation-in-frequency) stage. At stage `s`,
+/// `m = 2^s` and `l = n / (2m)`; thread `i` handles butterfly
+/// `(j, k) = (i / m, i % m)`:
+/// `y[k + 2jm] = a + b`, `y[k + 2jm + m] = w_j (a - b)` with
+/// `a = x[k + jm]`, `b = x[k + jm + lm]`, `w_j = e^{-i pi j / l}`.
+struct FftStage {
+    re_in: DevBuffer<f32>,
+    im_in: DevBuffer<f32>,
+    re_out: DevBuffer<f32>,
+    im_out: DevBuffer<f32>,
+    n: usize,
+    batch: usize,
+    stage: u32,
+}
+
+impl Kernel for FftStage {
+    fn name(&self) -> &'static str {
+        "fft_radix2_stage"
+    }
+    fn run_block(&self, blk: &mut BlockCtx) {
+        let k = self;
+        let half = k.n / 2;
+        let m = 1usize << k.stage;
+        let l = k.n / (2 * m);
+        blk.for_each_thread(|t| {
+            let gid = t.gtid() as usize;
+            if gid >= half * k.batch {
+                return;
+            }
+            let bat = gid / half;
+            let i = gid % half;
+            let base = bat * k.n;
+            let j = i / m;
+            let kk = i % m;
+            let angle = -std::f32::consts::PI * j as f32 / l as f32;
+            let (wr, wi) = (angle.cos(), angle.sin());
+            let a_idx = base + kk + j * m;
+            let b_idx = a_idx + l * m;
+            let (ar, ai) = (t.ld(&k.re_in, a_idx), t.ld(&k.im_in, a_idx));
+            let (br, bi) = (t.ld(&k.re_in, b_idx), t.ld(&k.im_in, b_idx));
+            let (dr, di) = (ar - br, ai - bi);
+            let out0 = base + kk + 2 * j * m;
+            let out1 = out0 + m;
+            t.fma32(8);
+            t.sfu(2);
+            t.int_op(6);
+            t.st(&k.re_out, out0, ar + br);
+            t.st(&k.im_out, out0, ai + bi);
+            t.st(&k.re_out, out1, dr * wr - di * wi);
+            t.st(&k.im_out, out1, dr * wi + di * wr);
+        });
+    }
+}
+
+/// Host reference DFT (O(n^2)) for validation of small transforms.
+pub fn host_dft(re: &[f32], im: &[f32]) -> (Vec<f32>, Vec<f32>) {
+    let n = re.len();
+    let mut or_ = vec![0.0f32; n];
+    let mut oi = vec![0.0f32; n];
+    for kk in 0..n {
+        for j in 0..n {
+            let ang = -2.0 * std::f32::consts::PI * (kk * j) as f32 / n as f32;
+            let (c, s) = (ang.cos(), ang.sin());
+            or_[kk] += re[j] * c - im[j] * s;
+            oi[kk] += re[j] * s + im[j] * c;
+        }
+    }
+    (or_, oi)
+}
+
+/// The FFT benchmark.
+pub struct Fft;
+
+impl Fft {
+    /// Run a batched forward FFT; returns (re, im).
+    fn fft(
+        &self,
+        dev: &mut Device,
+        re: &[f32],
+        im: &[f32],
+        n: usize,
+        batch: usize,
+        mult: f64,
+    ) -> (Vec<f32>, Vec<f32>) {
+        let stages = n.trailing_zeros();
+        let mut bufs = [
+            (dev.alloc_from(re), dev.alloc_from(im)),
+            (dev.alloc::<f32>(re.len()), dev.alloc::<f32>(im.len())),
+        ];
+        let work = ((n / 2 * batch) as u32).div_ceil(BLOCK);
+        for stage in 0..stages {
+            dev.launch_with(
+                &FftStage {
+                    re_in: bufs[0].0,
+                    im_in: bufs[0].1,
+                    re_out: bufs[1].0,
+                    im_out: bufs[1].1,
+                    n,
+                    batch,
+                    stage,
+                },
+                work,
+                BLOCK,
+                LaunchOpts {
+                    work_multiplier: mult / stages as f64,
+                },
+            );
+            bufs.swap(0, 1);
+        }
+        (dev.read(&bufs[0].0), dev.read(&bufs[0].1))
+    }
+}
+
+impl Benchmark for Fft {
+    fn spec(&self) -> BenchSpec {
+        BenchSpec {
+            key: "fft",
+            name: "FFT",
+            suite: Suite::Shoc,
+            kernels: 2,
+            regular: true,
+            description: "Batched radix-2 complex FFT (forward + inverse)",
+        }
+    }
+
+    fn inputs(&self) -> Vec<InputSpec> {
+        // n = transform size, m = batch count.
+        vec![InputSpec::new("default benchmark input", 512, 128, 0, 1_570_000.0)]
+    }
+
+    fn run(&self, dev: &mut Device, input: &InputSpec) -> RunOutput {
+        let (n, batch) = (input.n, input.m);
+        let re = f32_vec(n * batch, -1.0, 1.0, input.seed);
+        let im = f32_vec(n * batch, -1.0, 1.0, input.seed + 1);
+        let (gr, gi) = self.fft(dev, &re, &im, n, batch, input.mult);
+        // Validate one batch element against the host DFT.
+        let (er, ei) = host_dft(&re[..n], &im[..n]);
+        for i in 0..n {
+            assert!(
+                (gr[i] - er[i]).abs() < 2e-2 * er[i].abs().max(1.0) + 2e-2,
+                "re[{i}]: {} vs {}",
+                gr[i],
+                er[i]
+            );
+            assert!((gi[i] - ei[i]).abs() < 2e-2 * ei[i].abs().max(1.0) + 2e-2);
+        }
+        // Parseval check over the whole batch.
+        let input_energy: f64 = re.iter().zip(&im).map(|(r, i)| (r * r + i * i) as f64).sum();
+        let output_energy: f64 =
+            gr.iter().zip(&gi).map(|(r, i)| (r * r + i * i) as f64).sum::<f64>() / n as f64;
+        assert!(
+            (input_energy - output_energy).abs() < 1e-2 * input_energy,
+            "Parseval violated: {input_energy} vs {output_energy}"
+        );
+        RunOutput {
+            checksum: output_energy,
+            items: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kepler_sim::{ClockConfig, DeviceConfig};
+
+    fn device() -> Device {
+        Device::new(DeviceConfig::k20c(ClockConfig::k20_default(), false))
+    }
+
+    #[test]
+    fn fft_matches_dft() {
+        Fft.run(&mut device(), &InputSpec::new("t", 64, 4, 0, 1.0));
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut dev = device();
+        let n = 32;
+        let mut re = vec![0.0f32; n];
+        re[0] = 1.0;
+        let im = vec![0.0f32; n];
+        let (gr, gi) = Fft.fft(&mut dev, &re, &im, n, 1, 1.0);
+        for i in 0..n {
+            assert!((gr[i] - 1.0).abs() < 1e-4, "re[{i}] = {}", gr[i]);
+            assert!(gi[i].abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn stage_count_is_log2() {
+        let mut dev = device();
+        Fft.run(&mut dev, &InputSpec::new("t", 64, 2, 0, 1.0));
+        assert_eq!(dev.stats().len(), 6);
+    }
+}

@@ -1,0 +1,168 @@
+//! MF — SHOC MaxFlops: pure-compute microkernels measuring the peak
+//! floating-point throughput for different operation mixes (add, mul,
+//! mul-add chains, in single and double precision). Zero memory traffic —
+//! the paper's champion energy saver at the 614-MHz configuration.
+
+use crate::bench::{BenchSpec, Benchmark, InputSpec, RunOutput, Suite};
+use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, LaunchOpts};
+
+const BLOCK: u32 = 256;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mix {
+    Add,
+    Mul,
+    MAdd,
+    MulMAdd,
+    AddDp,
+    MAddDp,
+}
+
+struct FlopsKernel {
+    out: DevBuffer<f32>,
+    iters: u32,
+    mix: Mix,
+    n: usize,
+}
+
+impl Kernel for FlopsKernel {
+    fn name(&self) -> &'static str {
+        match self.mix {
+            Mix::Add => "maxflops_add1",
+            Mix::Mul => "maxflops_mul1",
+            Mix::MAdd => "maxflops_madd1",
+            Mix::MulMAdd => "maxflops_mulmadd1",
+            Mix::AddDp => "maxflops_add1_dp",
+            Mix::MAddDp => "maxflops_madd1_dp",
+        }
+    }
+    fn run_block(&self, blk: &mut BlockCtx) {
+        let k = self;
+        blk.for_each_thread(|t| {
+            let i = t.gtid() as usize;
+            if i >= k.n {
+                return;
+            }
+            // Long unrolled dependent chains, as in the real kernels.
+            let mut v = 0.999f32 + i as f32 * 1e-6;
+            let mut vd = 0.999f64;
+            for _ in 0..k.iters {
+                match k.mix {
+                    Mix::Add => {
+                        v = v + 0.5 - 0.4999;
+                        t.fp32_add(2);
+                    }
+                    Mix::Mul => {
+                        v = v * 1.000001 * 0.999999;
+                        t.fp32_mul(2);
+                    }
+                    Mix::MAdd => {
+                        v = v * 0.999999 + 1e-7;
+                        t.fma32(1);
+                    }
+                    Mix::MulMAdd => {
+                        v = (v * 1.000001) * 0.5 + v * 0.4999995;
+                        t.fp32_mul(1);
+                        t.fma32(2);
+                    }
+                    Mix::AddDp => {
+                        vd = vd + 0.5 - 0.4999;
+                        t.fp64(2);
+                    }
+                    Mix::MAddDp => {
+                        vd = vd * 0.999999 + 1e-7;
+                        t.fp64(1);
+                    }
+                }
+            }
+            t.st(&k.out, i, v + vd as f32);
+        });
+    }
+}
+
+/// The MF benchmark.
+pub struct MaxFlops;
+
+impl Benchmark for MaxFlops {
+    fn spec(&self) -> BenchSpec {
+        BenchSpec {
+            key: "mf",
+            name: "MF",
+            suite: Suite::Shoc,
+            kernels: 20,
+            regular: true,
+            description: "Peak floating-point throughput microkernels",
+        }
+    }
+
+    fn inputs(&self) -> Vec<InputSpec> {
+        vec![InputSpec::new("default benchmark input", 26624, 64, 0, 4_300_000.0)]
+    }
+
+    fn run(&self, dev: &mut Device, input: &InputSpec) -> RunOutput {
+        let out = dev.alloc::<f32>(input.n);
+        let grid = (input.n as u32).div_ceil(BLOCK);
+        let mixes = [
+            Mix::Add,
+            Mix::Mul,
+            Mix::MAdd,
+            Mix::MulMAdd,
+            Mix::AddDp,
+            Mix::MAddDp,
+        ];
+        for mix in mixes {
+            dev.launch_with(
+                &FlopsKernel {
+                    out,
+                    iters: input.m as u32,
+                    mix,
+                    n: input.n,
+                },
+                grid,
+                BLOCK,
+                LaunchOpts {
+                    work_multiplier: input.mult / mixes.len() as f64,
+                },
+            );
+            dev.host_gap(0.003);
+        }
+        let v = dev.read(&out);
+        assert!(v.iter().all(|x| x.is_finite()));
+        RunOutput {
+            checksum: v.iter().map(|&x| x as f64).sum(),
+            items: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kepler_sim::{ClockConfig, DeviceConfig};
+
+    fn device() -> Device {
+        Device::new(DeviceConfig::k20c(ClockConfig::k20_default(), false))
+    }
+
+    #[test]
+    fn mf_runs_all_mixes() {
+        let mut dev = device();
+        MaxFlops.run(&mut dev, &InputSpec::new("t", 1024, 16, 0, 1.0));
+        assert_eq!(dev.stats().len(), 6);
+    }
+
+    #[test]
+    fn mf_has_essentially_no_memory_traffic() {
+        let mut dev = device();
+        MaxFlops.run(&mut dev, &InputSpec::new("t", 1024, 64, 0, 1.0));
+        let c = dev.total_counters();
+        assert!(c.compute_intensity() > 10.0, "{}", c.compute_intensity());
+    }
+
+    #[test]
+    fn dp_mixes_record_fp64() {
+        let mut dev = device();
+        MaxFlops.run(&mut dev, &InputSpec::new("t", 1024, 16, 0, 1.0));
+        assert!(dev.total_counters().lane_ops[3] > 0.0);
+    }
+}

@@ -1,0 +1,20 @@
+//! SHOC: the Scalable HeterOgeneous Computing suite (ORNL) — device-level
+//! microbenchmarks and kernels, including MaxFlops (the paper's champion
+//! energy saver under core DVFS) and the notoriously
+//! overhead-dominated S-BFS of Table 4.
+
+pub mod bfs;
+pub mod fft;
+pub mod maxflops;
+pub mod md;
+pub mod qtc;
+pub mod sort;
+pub mod stencil2d;
+
+pub use bfs::SBfs;
+pub use fft::Fft;
+pub use maxflops::MaxFlops;
+pub use md::MolecularDynamics;
+pub use qtc::Qtc;
+pub use sort::RadixSort;
+pub use stencil2d::Stencil2d;

@@ -1,0 +1,144 @@
+//! S2D — SHOC Stencil2D: a 9-point single-precision stencil over a 2-D
+//! grid, iterated. Shared-memory tiles with halo; memory-bound.
+
+use crate::bench::{BenchSpec, Benchmark, InputSpec, RunOutput, Suite};
+use crate::inputs::util::f32_vec;
+use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, LaunchOpts};
+
+const BLOCK: u32 = 128;
+const W_CENTER: f32 = 0.25;
+const W_CARD: f32 = 0.15;
+const W_DIAG: f32 = 0.0375;
+
+struct S2dKernel {
+    src: DevBuffer<f32>,
+    dst: DevBuffer<f32>,
+    n: usize,
+}
+
+impl Kernel for S2dKernel {
+    fn name(&self) -> &'static str {
+        "stencil2d_9pt"
+    }
+    fn run_block(&self, blk: &mut BlockCtx) {
+        let k = self;
+        let n = k.n;
+        blk.for_each_thread(|t| {
+            let gid = t.gtid() as usize;
+            if gid >= n * n {
+                return;
+            }
+            let (x, y) = (gid % n, gid / n);
+            t.int_op(2);
+            if x == 0 || y == 0 || x == n - 1 || y == n - 1 {
+                return;
+            }
+            let c = t.ld(&k.src, gid);
+            let card = t.ld(&k.src, gid - 1)
+                + t.ld(&k.src, gid + 1)
+                + t.ld(&k.src, gid - n)
+                + t.ld(&k.src, gid + n);
+            let diag = t.ld(&k.src, gid - n - 1)
+                + t.ld(&k.src, gid - n + 1)
+                + t.ld(&k.src, gid + n - 1)
+                + t.ld(&k.src, gid + n + 1);
+            t.fp32_add(6);
+            t.fma32(3);
+            t.st(&k.dst, gid, W_CENTER * c + W_CARD * card + W_DIAG * diag);
+        });
+    }
+}
+
+/// Host reference sweep.
+pub fn host_s2d(grid: &[f32], n: usize) -> Vec<f32> {
+    let mut out = grid.to_vec();
+    for y in 1..n - 1 {
+        for x in 1..n - 1 {
+            let i = y * n + x;
+            let card = grid[i - 1] + grid[i + 1] + grid[i - n] + grid[i + n];
+            let diag = grid[i - n - 1] + grid[i - n + 1] + grid[i + n - 1] + grid[i + n + 1];
+            out[i] = W_CENTER * grid[i] + W_CARD * card + W_DIAG * diag;
+        }
+    }
+    out
+}
+
+/// The S2D benchmark.
+pub struct Stencil2d;
+
+impl Benchmark for Stencil2d {
+    fn spec(&self) -> BenchSpec {
+        BenchSpec {
+            key: "s2d",
+            name: "S2D",
+            suite: Suite::Shoc,
+            kernels: 1,
+            regular: true,
+            description: "9-point single-precision 2-D stencil",
+        }
+    }
+
+    fn inputs(&self) -> Vec<InputSpec> {
+        vec![InputSpec::new("default benchmark input", 256, 10, 0, 529_000.0)]
+    }
+
+    fn run(&self, dev: &mut Device, input: &InputSpec) -> RunOutput {
+        let n = input.n;
+        let init = f32_vec(n * n, 0.0, 1.0, input.seed);
+        let mut bufs = [dev.alloc_from(&init), dev.alloc::<f32>(n * n)];
+        dev.write(&bufs[1], &init);
+        let sweeps = input.m.max(1);
+        let mut expect = init;
+        for _ in 0..sweeps {
+            dev.launch_with(
+                &S2dKernel {
+                    src: bufs[0],
+                    dst: bufs[1],
+                    n,
+                },
+                ((n * n) as u32).div_ceil(BLOCK),
+                BLOCK,
+                LaunchOpts {
+                    work_multiplier: input.mult / sweeps as f64,
+                },
+            );
+            bufs.swap(0, 1);
+            expect = host_s2d(&expect, n);
+        }
+        let got = dev.read(&bufs[0]);
+        for i in 0..n * n {
+            assert!((got[i] - expect[i]).abs() < 1e-4, "cell {i}");
+        }
+        RunOutput {
+            checksum: got.iter().map(|&v| v as f64).sum(),
+            items: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kepler_sim::{ClockConfig, DeviceConfig};
+
+    fn device() -> Device {
+        Device::new(DeviceConfig::k20c(ClockConfig::k20_default(), false))
+    }
+
+    #[test]
+    fn s2d_matches_host() {
+        Stencil2d.run(&mut device(), &InputSpec::new("t", 32, 3, 0, 1.0));
+    }
+
+    #[test]
+    fn s2d_is_memory_bound() {
+        let mut dev = device();
+        Stencil2d.run(&mut dev, &InputSpec::new("t", 64, 2, 0, 1.0));
+        assert!(dev.total_counters().compute_intensity() < 2.0);
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        assert!((W_CENTER + 4.0 * W_CARD + 4.0 * W_DIAG - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,33 @@
+//! BFS showdown: the paper's Table 3 + Table 4 story in one binary — five
+//! implementations of breadth-first search with very different energy,
+//! power, and runtime behaviour on the same road network.
+
+use gpgpu_char::bench_suites::registry;
+use gpgpu_char::study::{measure_median3, GpuConfigKind};
+
+fn main() {
+    println!("BFS implementations on the largest road map (default config):");
+    let keys = ["lbfs", "lbfs-atomic", "lbfs-wla", "lbfs-wlw", "lbfs-wlc", "pbfs", "rbfs", "sbfs"];
+    let mut base_time = None;
+    for key in keys {
+        let bench = registry::by_key(key).unwrap();
+        let input = bench.inputs().last().unwrap().clone();
+        match measure_median3(bench.as_ref(), &input, GpuConfigKind::Default, 0) {
+            Ok(m) => {
+                let t = m.reading.active_runtime_s;
+                if key == "lbfs" {
+                    base_time = Some(t);
+                }
+                let rel = base_time.map(|b| t / b).unwrap_or(1.0);
+                println!(
+                    "  {:12} t={:7.2}s ({:5.2}x vs L-BFS default)  E={:8.1}J  P={:6.1}W",
+                    key, t, rel, m.reading.energy_j, m.reading.avg_power_w
+                );
+            }
+            Err(e) => println!(
+                "  {:12} unmeasurable: {e} — exactly why the paper could not report this variant",
+                key
+            ),
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! DVFS sweep: one program across all four of the paper's configurations,
+//! demonstrating the central finding — frequency changes move runtime,
+//! energy, and power by *different* amounts.
+//!
+//! ```text
+//! cargo run --release --example dvfs_sweep [program-key]
+//! ```
+
+use gpgpu_char::bench_suites::registry;
+use gpgpu_char::study::{measure_median3, GpuConfigKind};
+
+fn main() {
+    let key = std::env::args().nth(1).unwrap_or_else(|| "lbm".to_string());
+    let bench = registry::by_key(&key).expect("unknown program key");
+    let input = &bench.inputs()[0];
+    println!(
+        "{} / '{}' across all four configurations (ratios vs default):",
+        bench.spec().name,
+        input.name
+    );
+    let base = measure_median3(bench.as_ref(), input, GpuConfigKind::Default, 0)
+        .expect("default config must be measurable");
+    println!(
+        "  {:8}  t={:7.2}s  E={:8.1}J  P={:6.1}W",
+        "default",
+        base.reading.active_runtime_s,
+        base.reading.energy_j,
+        base.reading.avg_power_w
+    );
+    for kind in [GpuConfigKind::C614, GpuConfigKind::C324, GpuConfigKind::Ecc] {
+        match measure_median3(bench.as_ref(), input, kind, 0) {
+            Ok(m) => println!(
+                "  {:8}  t={:7.2}s ({:4.2}x)  E={:8.1}J ({:4.2}x)  P={:6.1}W ({:4.2}x)",
+                kind.name(),
+                m.reading.active_runtime_s,
+                m.reading.active_runtime_s / base.reading.active_runtime_s,
+                m.reading.energy_j,
+                m.reading.energy_j / base.reading.energy_j,
+                m.reading.avg_power_w,
+                m.reading.avg_power_w / base.reading.avg_power_w,
+            ),
+            Err(e) => println!(
+                "  {:8}  unmeasurable: {e} (the paper hit the same wall at 324 MHz)",
+                kind.name()
+            ),
+        }
+    }
+}

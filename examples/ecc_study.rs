@@ -1,0 +1,23 @@
+//! ECC study (the paper's §V.A.3): compare a memory-bound and a
+//! compute-bound program with ECC on and off — ECC's cost is entirely
+//! dependent on main-memory accesses.
+
+use gpgpu_char::bench_suites::registry;
+use gpgpu_char::study::{measure_median3, GpuConfigKind};
+
+fn main() {
+    for key in ["sten", "lbm", "lbfs", "mriq", "nb"] {
+        let bench = registry::by_key(key).unwrap();
+        let input = &bench.inputs()[0];
+        let base = measure_median3(bench.as_ref(), input, GpuConfigKind::Default, 0).unwrap();
+        let ecc = measure_median3(bench.as_ref(), input, GpuConfigKind::Ecc, 0).unwrap();
+        println!(
+            "{:6} {:26} ECC/default: time {:4.2}x  energy {:4.2}x  power {:4.2}x",
+            bench.spec().name,
+            input.name,
+            ecc.reading.active_runtime_s / base.reading.active_runtime_s,
+            ecc.reading.energy_j / base.reading.energy_j,
+            ecc.reading.avg_power_w / base.reading.avg_power_w,
+        );
+    }
+}

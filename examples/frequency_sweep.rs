@@ -1,0 +1,47 @@
+//! Sweep one program across all six K20c clock settings (the paper
+//! evaluates three of them) plus the paper's cross-GPU check: the same
+//! workload on K20c, K20x and K40 boards should show the same shape after
+//! scaling absolute numbers.
+
+use gpgpu_char::bench_suites::registry;
+use gpgpu_char::power::{K20Power, PowerSensor};
+use gpgpu_char::sim::{ClockConfig, Device, DeviceConfig};
+
+fn measure(cfg: DeviceConfig, key: &str) -> Option<(f64, f64, f64)> {
+    let b = registry::by_key(key).unwrap();
+    let input = &b.inputs()[0];
+    let mut cfg = cfg;
+    cfg.jitter_seed = 5;
+    let mut dev = Device::new(cfg);
+    b.run(&mut dev, input);
+    let (trace, _) = dev.finish();
+    let samples = PowerSensor::default().sample(&trace, 5);
+    let r = K20Power::default().analyze(&samples).ok()?;
+    Some((r.active_runtime_s, r.energy_j, r.avg_power_w))
+}
+
+fn main() {
+    let key = std::env::args().nth(1).unwrap_or_else(|| "sten".to_string());
+    println!("{key} across all six K20c clock settings:");
+    for clocks in ClockConfig::k20_all_settings() {
+        let label = format!("{:.0}/{:.0}", clocks.core_mhz, clocks.mem_mhz);
+        match measure(DeviceConfig::k20c(clocks, false), &key) {
+            Some((t, e, p)) => {
+                println!("  {label:>9} MHz   t={t:7.2}s  E={e:8.1}J  P={p:6.1}W")
+            }
+            None => println!("  {label:>9} MHz   unmeasurable (insufficient power samples)"),
+        }
+    }
+    println!();
+    println!("{key} across boards (same shape, scaled absolutes — paper §IV.B):");
+    for (name, cfg) in [
+        ("K20c", DeviceConfig::default()),
+        ("K20x", DeviceConfig::k20x(false)),
+        ("K40", DeviceConfig::k40(false)),
+    ] {
+        match measure(cfg, &key) {
+            Some((t, e, p)) => println!("  {name:>5}   t={t:7.2}s  E={e:8.1}J  P={p:6.1}W"),
+            None => println!("  {name:>5}   unmeasurable"),
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Input scaling (the paper's Figure 5 mechanism): how power, energy, and
+//! runtime respond as one program's input grows.
+
+use gpgpu_char::bench_suites::registry;
+use gpgpu_char::study::{measure_median3, GpuConfigKind};
+
+fn main() {
+    let key = std::env::args().nth(1).unwrap_or_else(|| "nb".to_string());
+    let bench = registry::by_key(&key).expect("unknown program key");
+    println!("{} across its inputs (default config):", bench.spec().name);
+    for input in bench.inputs() {
+        match measure_median3(bench.as_ref(), &input, GpuConfigKind::Default, 0) {
+            Ok(m) => println!(
+                "  {:28} t={:7.2}s  E={:8.1}J  P={:6.1}W",
+                input.name,
+                m.reading.active_runtime_s,
+                m.reading.energy_j,
+                m.reading.avg_power_w
+            ),
+            Err(e) => println!("  {:28} unmeasurable: {e}", input.name),
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Render the paper's Figure 1 — a power profile with idle, ramp,
+//! active plateau, and the driver's tail — for any program.
+//!
+//! ```text
+//! cargo run --release --example power_profile [program-key]
+//! ```
+
+use gpgpu_char::study::figures::power_profile;
+use gpgpu_char::study::report::render_fig1;
+
+fn main() {
+    let key = std::env::args().nth(1).unwrap_or_else(|| "nb".to_string());
+    print!("{}", render_fig1(&power_profile(&key)));
+}

@@ -1,0 +1,39 @@
+//! Quickstart: run one benchmark under two GPU configurations and print
+//! what the paper's measurement pipeline reports.
+//!
+//! ```text
+//! cargo run --release --example quickstart [program-key]
+//! ```
+
+use gpgpu_char::bench_suites::registry;
+use gpgpu_char::study::{measure_median3, GpuConfigKind};
+
+fn main() {
+    let key = std::env::args().nth(1).unwrap_or_else(|| "nb".to_string());
+    let bench = registry::by_key(&key).unwrap_or_else(|| {
+        eprintln!("unknown program '{key}'; try one of:");
+        for b in registry::all() {
+            eprintln!("  {:12} {}", b.spec().key, b.spec().description);
+        }
+        std::process::exit(1);
+    });
+    let input = &bench.inputs()[0];
+    println!(
+        "{} ({}) on input '{}':",
+        bench.spec().name,
+        bench.spec().description,
+        input.name
+    );
+    for kind in [GpuConfigKind::Default, GpuConfigKind::C614] {
+        match measure_median3(bench.as_ref(), input, kind, 0) {
+            Ok(m) => println!(
+                "  {:8}  active runtime {:7.2} s   energy {:8.1} J   avg power {:6.1} W",
+                kind.name(),
+                m.reading.active_runtime_s,
+                m.reading.energy_j,
+                m.reading.avg_power_w
+            ),
+            Err(e) => println!("  {:8}  unmeasurable: {e}", kind.name()),
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # gpgpu-char
+//!
+//! Facade crate for the reproduction of *"Energy, Power, and Performance
+//! Characterization of GPGPU Benchmark Programs"* (Coplin & Burtscher, 2016).
+//!
+//! The system is split into four crates, re-exported here:
+//!
+//! * [`sim`] (`kepler-sim`) — an execution-driven Kepler-class GPU simulator
+//!   with a CUDA-like SIMT kernel API, warp-level coalescing/divergence
+//!   modelling, a fluid block scheduler and a DVFS-aware power model.
+//! * [`power`] (`gpower`) — the measurement substrate: ground-truth power
+//!   traces, the emulated on-board sensor, and the K20Power tool.
+//! * [`bench_suites`] (`workloads`) — the paper's 34 benchmark programs from
+//!   five suites, re-implemented as functional SIMT kernels.
+//! * [`study`] (`characterize`) — the paper's contribution: the experiment
+//!   harness, the four GPU configurations, and the generators for every
+//!   table and figure in the evaluation section.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use gpgpu_char::study::{measure_median3, GpuConfigKind};
+//! use gpgpu_char::bench_suites::registry;
+//!
+//! let bench = registry::by_key("nb").expect("NB is registered");
+//! let input = &bench.inputs()[0];
+//! let m = measure_median3(bench.as_ref(), input, GpuConfigKind::Default, 0)
+//!     .expect("NB yields enough power samples");
+//! assert!(m.reading.active_runtime_s > 0.0);
+//! assert!(m.reading.avg_power_w > 30.0);
+//! ```
+
+pub use characterize as study;
+pub use gpower as power;
+pub use kepler_sim as sim;
+pub use workloads as bench_suites;

@@ -1,0 +1,57 @@
+//! The simulator changes *timing* across configurations — never answers.
+//! Regular programs must produce bit-identical results under every clock
+//! and ECC setting; irregular fixpoint programs must converge to the same
+//! fixpoint even though their trajectories differ.
+
+use gpgpu_char::bench_suites::registry;
+use gpgpu_char::sim::Device;
+use gpgpu_char::study::GpuConfigKind;
+
+fn checksum(key: &str, kind: GpuConfigKind) -> f64 {
+    let b = registry::by_key(key).unwrap();
+    let input = &b.inputs()[0];
+    let mut cfg = kind.device_config();
+    cfg.jitter_seed = 7;
+    let mut dev = Device::new(cfg);
+    b.run(&mut dev, input).checksum
+}
+
+#[test]
+fn regular_programs_identical_across_configs() {
+    for key in ["sc", "sgemm", "pf"] {
+        let base = checksum(key, GpuConfigKind::Default);
+        for kind in [GpuConfigKind::C614, GpuConfigKind::C324, GpuConfigKind::Ecc] {
+            assert_eq!(base, checksum(key, kind), "{key} diverged at {kind}");
+        }
+    }
+}
+
+#[test]
+fn irregular_fixpoints_identical_across_configs() {
+    // PTA's pass count is timing-dependent, but Andersen's fixpoint is
+    // unique; same for SSSP distances (run() validates against Dijkstra).
+    for key in ["pta", "sssp"] {
+        let base = checksum(key, GpuConfigKind::Default);
+        assert_eq!(base, checksum(key, GpuConfigKind::C324), "{key}");
+    }
+}
+
+#[test]
+fn irregular_trajectories_do_differ_across_configs() {
+    // ... while the *behaviour* (kernel launch count) genuinely changes
+    // with the clocks for at least one of the irregular codes.
+    let work = |key: &str, kind: GpuConfigKind| {
+        let b = registry::by_key(key).unwrap();
+        let input = &b.inputs()[0];
+        let mut cfg = kind.device_config();
+        cfg.jitter_seed = 7;
+        let mut dev = Device::new(cfg);
+        b.run(&mut dev, input);
+        // The functional work done (bytes touched) is trajectory-sensitive.
+        dev.total_counters().useful_bytes
+    };
+    let differs = ["sssp-wln", "pta", "lbfs-atomic"].iter().any(|key| {
+        work(key, GpuConfigKind::Default) != work(key, GpuConfigKind::C324)
+    });
+    assert!(differs, "no irregular code changed trajectory with the clocks");
+}

@@ -1,0 +1,59 @@
+//! The paper (§IV.B) repeated its experiments on K20m/K20x/K40 boards and
+//! found the same results after scaling the absolute measurements. These
+//! tests check the harness preserves that property.
+
+use gpgpu_char::bench_suites::registry;
+use gpgpu_char::power::{K20Power, PowerSensor};
+use gpgpu_char::sim::{ClockConfig, Device, DeviceConfig};
+
+fn run_on(cfg: DeviceConfig, key: &str) -> (f64, f64) {
+    let b = registry::by_key(key).unwrap();
+    let input = &b.inputs()[0];
+    let mut cfg = cfg;
+    cfg.jitter_seed = 9;
+    let mut dev = Device::new(cfg);
+    b.run(&mut dev, input);
+    let (trace, _) = dev.finish();
+    let samples = PowerSensor::default().sample(&trace, 9);
+    let r = K20Power::default().analyze(&samples).unwrap();
+    (r.active_runtime_s, r.avg_power_w)
+}
+
+#[test]
+fn bigger_boards_run_faster() {
+    let (t_c, _) = run_on(DeviceConfig::default(), "sten");
+    let (t_x, _) = run_on(DeviceConfig::k20x(false), "sten");
+    let (t_40, _) = run_on(DeviceConfig::k40(false), "sten");
+    assert!(t_x < t_c, "K20x {t_x} vs K20c {t_c}");
+    assert!(t_40 < t_x, "K40 {t_40} vs K20x {t_x}");
+}
+
+#[test]
+fn boundness_split_is_board_invariant() {
+    // The compute- vs memory-bound split (the paper's central dichotomy)
+    // must hold on every board: a core-clock-only change moves the
+    // compute-bound code but not the memory-bound one.
+    for board in [DeviceConfig::k20x, DeviceConfig::k40] {
+        let base = board(false);
+        let mut slow = base.clone();
+        slow.clocks.core_mhz *= 614.0 / 705.0;
+        slow.clocks.core_vrel = 0.95;
+        let (t_mem_a, _) = run_on(base.clone(), "sten");
+        let (t_mem_b, _) = run_on(slow.clone(), "sten");
+        let mem_ratio = t_mem_b / t_mem_a;
+        assert!((0.9..1.12).contains(&mem_ratio), "mem ratio {mem_ratio}");
+        let (t_comp_a, _) = run_on(base, "mriq");
+        let (t_comp_b, _) = run_on(slow, "mriq");
+        let comp_ratio = t_comp_b / t_comp_a;
+        assert!(comp_ratio > mem_ratio, "comp {comp_ratio} vs mem {mem_ratio}");
+    }
+}
+
+#[test]
+fn all_six_clock_settings_run() {
+    for clocks in ClockConfig::k20_all_settings() {
+        let cfg = DeviceConfig::k20c(clocks, false);
+        let (t, p) = run_on(cfg, "sgemm");
+        assert!(t > 1.0 && p > 25.0, "{} MHz: t={t} p={p}", clocks.core_mhz);
+    }
+}

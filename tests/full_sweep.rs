@@ -1,0 +1,44 @@
+//! Heavier integration sweeps. The full-inventory run is `#[ignore]`d by
+//! default (it is what `repro` exercises in release mode); the subset
+//! sweep runs in CI-time.
+
+use gpgpu_char::bench_suites::registry;
+use gpgpu_char::study::{measure, GpuConfigKind};
+use rayon::prelude::*;
+
+/// Every suite contributes at least one measurable program end-to-end.
+#[test]
+fn one_program_per_suite_measures() {
+    let keys = ["nb", "mst", "sten", "pf", "st"];
+    let failures: Vec<String> = keys
+        .par_iter()
+        .filter_map(|key| {
+            let b = registry::by_key(key).unwrap();
+            let input = &b.inputs()[0];
+            measure(b.as_ref(), input, GpuConfigKind::Default, 0)
+                .err()
+                .map(|e| format!("{key}: {e}"))
+        })
+        .collect();
+    assert!(failures.is_empty(), "{failures:?}");
+}
+
+/// The full Table-1 inventory runs and measures at the default
+/// configuration. Expensive in debug builds; run explicitly with
+/// `cargo test --release --test full_sweep -- --ignored`.
+#[test]
+#[ignore = "minutes in debug builds; repro covers it in release"]
+fn all_34_programs_measure_at_default() {
+    let keys: Vec<&'static str> = registry::all().iter().map(|b| b.spec().key).collect();
+    let failures: Vec<String> = keys
+        .par_iter()
+        .filter_map(|key| {
+            let b = registry::by_key(key).unwrap();
+            let input = &b.inputs()[0];
+            measure(b.as_ref(), input, GpuConfigKind::Default, 0)
+                .err()
+                .map(|e| format!("{key}: {e}"))
+        })
+        .collect();
+    assert!(failures.is_empty(), "{failures:?}");
+}

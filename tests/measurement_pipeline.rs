@@ -1,0 +1,62 @@
+//! End-to-end checks of the measurement substrate: ground-truth trace ->
+//! emulated sensor -> K20Power tool, including the artifacts the paper's
+//! methodology section describes (Figure 1).
+
+use gpgpu_char::bench_suites::registry;
+use gpgpu_char::power::{K20Power, PowerSensor};
+use gpgpu_char::sim::Device;
+use gpgpu_char::study::GpuConfigKind;
+
+fn trace_for(key: &str, kind: GpuConfigKind) -> gpgpu_char::power::PowerTrace {
+    let b = registry::by_key(key).unwrap();
+    let input = &b.inputs()[0];
+    let mut cfg = kind.device_config();
+    cfg.jitter_seed = 3;
+    let mut dev = Device::new(cfg);
+    b.run(&mut dev, input);
+    dev.finish().0
+}
+
+#[test]
+fn profile_has_idle_ramp_plateau_tail() {
+    let trace = trace_for("sgemm", GpuConfigKind::Default);
+    let samples = PowerSensor::default().sample(&trace, 5);
+    let reading = K20Power::default().analyze(&samples).unwrap();
+    // Idle lead-in below threshold.
+    assert!(samples[0].watts < reading.threshold_w);
+    // A plateau above it.
+    let above = samples.iter().filter(|s| s.watts > reading.threshold_w).count();
+    assert!(above > 20);
+    // Tail: after the last above-threshold sample the power decays toward
+    // idle rather than stepping there instantly.
+    let last_active = samples.iter().rposition(|s| s.watts > reading.threshold_w).unwrap();
+    let tail: Vec<f64> = samples[last_active..].iter().map(|s| s.watts).collect();
+    assert!(tail.windows(2).any(|w| w[1] < w[0]));
+    let end = *tail.last().unwrap();
+    assert!(end < reading.idle_w + 4.0, "trace must end near idle, got {end}");
+}
+
+#[test]
+fn threshold_adapts_to_configuration() {
+    // The paper: "lower frequency settings require a lower threshold".
+    let tool = K20Power::default();
+    let sensor = PowerSensor::default();
+    let hi = tool
+        .analyze(&sensor.sample(&trace_for("sgemm", GpuConfigKind::Default), 5))
+        .unwrap();
+    let lo = tool
+        .analyze(&sensor.sample(&trace_for("sgemm", GpuConfigKind::C324), 5))
+        .unwrap();
+    assert!(lo.threshold_w < hi.threshold_w, "{} vs {}", lo.threshold_w, hi.threshold_w);
+}
+
+#[test]
+fn multi_kernel_programs_keep_the_gpu_warm_between_launches() {
+    // Iterative programs launch hundreds of kernels; the driver's gap power
+    // plus sensor smoothing keeps the reading above threshold so the tool
+    // sees one contiguous active window, as on the real K20.
+    let trace = trace_for("sssp", GpuConfigKind::Default);
+    let samples = PowerSensor::default().sample(&trace, 5);
+    let reading = K20Power::default().analyze(&samples).unwrap();
+    assert!(reading.active_runtime_s > 5.0);
+}
