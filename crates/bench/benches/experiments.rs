@@ -48,7 +48,12 @@ fn table2_variability_sample(c: &mut Criterion) {
 
 /// Table 3's substrate: one variant-vs-default ratio cell.
 fn table3_variant_cell(c: &mut Criterion) {
-    bench_one(c, "table3_lbfs_atomic_default_cfg", "lbfs-atomic", GpuConfigKind::Default);
+    bench_one(
+        c,
+        "table3_lbfs_atomic_default_cfg",
+        "lbfs-atomic",
+        GpuConfigKind::Default,
+    );
 }
 
 /// Table 4's substrate: one per-item BFS measurement.

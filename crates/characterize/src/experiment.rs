@@ -3,8 +3,10 @@
 //! of three repetitions.
 
 use crate::configs::GpuConfigKind;
-use gpower::{variability_pct, K20Power, PowerError, PowerSensor, Reading};
-use kepler_sim::{Device, KernelCounters};
+use gpower::{variability_pct, K20Power, PowerError, PowerSensor, PowerTrace, Reading};
+use kepler_sim::{Device, KernelCounters, LaunchStats};
+use sim_telemetry::{Event, EventTrace};
+use std::sync::Arc;
 use workloads::bench::{Benchmark, InputSpec, ItemCounts};
 
 /// One successful measured run.
@@ -61,6 +63,70 @@ pub fn measure(
         items: out.items,
         counters,
     })
+}
+
+/// One run measured with full telemetry: the usual sensor/K20Power reading
+/// plus the event stream recorded behind it and the ground-truth trace.
+///
+/// Unlike [`measure`], an unmeasurable run (too few power samples) is not an
+/// error here — the profiler still wants the trace and per-kernel stats of a
+/// run the K20Power tool would reject, so the reading is kept as a `Result`.
+#[derive(Debug)]
+pub struct TracedMeasurement {
+    pub reading: Result<Reading, PowerError>,
+    pub checksum: f64,
+    pub items: Option<ItemCounts>,
+    /// Counters merged over all launches.
+    pub counters: KernelCounters,
+    /// Per-launch statistics, in launch order.
+    pub stats: Vec<LaunchStats>,
+    /// Ground-truth power trace the sensor sampled.
+    pub trace: PowerTrace,
+    /// Every telemetry event recorded during the run, in record order:
+    /// simulator events (launch/retire, block dispatch, SM/board/DRAM
+    /// intervals) followed by sensor samples and threshold crossings.
+    pub events: Vec<Event>,
+    /// Events evicted from the ring buffer to honour `event_capacity`.
+    pub dropped_events: u64,
+}
+
+/// Run `bench` on `input` under `kind` once with a telemetry recorder
+/// attached end to end: the [`Device`] (scheduler intervals, launches), the
+/// [`PowerSensor`] (samples, rate switches) and the [`K20Power`] analysis
+/// (threshold crossings) all feed the same bounded [`EventTrace`].
+///
+/// Seeding is identical to [`measure`], so the reading matches the untraced
+/// pipeline exactly — telemetry observes the run, it never perturbs it.
+pub fn measure_traced(
+    bench: &dyn Benchmark,
+    input: &InputSpec,
+    kind: GpuConfigKind,
+    rep: u64,
+    event_capacity: usize,
+) -> TracedMeasurement {
+    let seed = run_seed(bench.spec().key, input.name, rep);
+    let mut cfg = kind.device_config();
+    cfg.jitter_seed = seed;
+    let mut dev = Device::new(cfg);
+    let sink = Arc::new(EventTrace::with_capacity(event_capacity));
+    dev.set_telemetry(sink.clone());
+    let out = bench.run(&mut dev, input);
+    let counters = dev.total_counters();
+    let (trace, stats) = dev.finish();
+    let sensor = PowerSensor::default();
+    let samples = sensor.sample_traced(&trace, seed ^ 0x5A5A, Some(&*sink));
+    let reading = K20Power::default().analyze_traced(&samples, Some(&*sink));
+    let dropped_events = sink.dropped();
+    TracedMeasurement {
+        reading,
+        checksum: out.checksum,
+        items: out.items,
+        counters,
+        stats,
+        trace,
+        events: sink.take(),
+        dropped_events,
+    }
 }
 
 /// The paper's methodology: three repetitions, report the median of each
@@ -140,6 +206,47 @@ mod tests {
         let m = measure_median3(b.as_ref(), input, GpuConfigKind::Default, 0).unwrap();
         assert!(m.time_variability_pct >= 0.0 && m.time_variability_pct < 20.0);
         assert!(m.reading.active_runtime_s > 0.0);
+    }
+
+    #[test]
+    fn traced_measurement_matches_untraced_and_reconciles() {
+        let b = registry::by_key("sten").unwrap();
+        let input = &b.inputs()[0];
+        let plain = measure(b.as_ref(), input, GpuConfigKind::Default, 0).unwrap();
+        let traced = measure_traced(b.as_ref(), input, GpuConfigKind::Default, 0, 1 << 20);
+        // Same seeds -> identical reading; telemetry never perturbs the run.
+        let r = traced.reading.as_ref().unwrap();
+        assert_eq!(r.energy_j, plain.reading.energy_j);
+        assert_eq!(r.active_runtime_s, plain.reading.active_runtime_s);
+        assert_eq!(traced.checksum, plain.checksum);
+        // The event stream reconstructs the ground-truth trace energy.
+        assert_eq!(traced.dropped_events, 0);
+        let tl = sim_telemetry::build_timeline(&traced.events);
+        let rel =
+            (tl.total_energy_j() - traced.trace.total_energy()).abs() / traced.trace.total_energy();
+        assert!(rel < 1e-6, "rel {rel}");
+        assert!(!traced.stats.is_empty());
+        // The sensor's samples and the tool's crossings made it in too.
+        assert!(traced
+            .events
+            .iter()
+            .any(|e| matches!(e, Event::SensorSample { .. })));
+        assert!(traced
+            .events
+            .iter()
+            .any(|e| matches!(e, Event::ThresholdCross { rising: true, .. })));
+    }
+
+    #[test]
+    fn traced_measurement_survives_a_tiny_ring_buffer() {
+        let b = registry::by_key("sten").unwrap();
+        let input = &b.inputs()[0];
+        let traced = measure_traced(b.as_ref(), input, GpuConfigKind::Default, 0, 64);
+        assert!(traced.dropped_events > 0);
+        assert_eq!(traced.events.len(), 64);
+        // The run itself is unaffected by the recorder's capacity.
+        let plain = measure(b.as_ref(), input, GpuConfigKind::Default, 0).unwrap();
+        assert_eq!(traced.reading.unwrap().energy_j, plain.reading.energy_j);
     }
 
     #[test]

@@ -223,18 +223,16 @@ pub fn power_range_figure(reps: u64) -> Vec<PowerRangeCell> {
     let all: Vec<(Suite, GpuConfigKind, f64)> = keys
         .par_iter()
         .flat_map(|key| {
-            GpuConfigKind::ALL
-                .into_par_iter()
-                .filter_map(move |kind| {
-                    let b = registry::by_key(key).unwrap();
-                    let input = &b.inputs()[0];
-                    let r = if reps >= 3 {
-                        measure_median3(b.as_ref(), input, kind, 0).map(|m| m.reading)
-                    } else {
-                        measure(b.as_ref(), input, kind, 0).map(|m| m.reading)
-                    };
-                    r.ok().map(|r| (b.spec().suite, kind, r.avg_power_w))
-                })
+            GpuConfigKind::ALL.into_par_iter().filter_map(move |kind| {
+                let b = registry::by_key(key).unwrap();
+                let input = &b.inputs()[0];
+                let r = if reps >= 3 {
+                    measure_median3(b.as_ref(), input, kind, 0).map(|m| m.reading)
+                } else {
+                    measure(b.as_ref(), input, kind, 0).map(|m| m.reading)
+                };
+                r.ok().map(|r| (b.spec().suite, kind, r.avg_power_w))
+            })
         })
         .collect();
     let mut out = Vec::new();

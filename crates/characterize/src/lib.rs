@@ -14,4 +14,6 @@ pub mod report;
 pub mod tables;
 
 pub use configs::GpuConfigKind;
-pub use experiment::{measure, measure_median3, Measurement, MedianMeasurement};
+pub use experiment::{
+    measure, measure_median3, measure_traced, Measurement, MedianMeasurement, TracedMeasurement,
+};

@@ -12,8 +12,12 @@ fn opt(v: Option<f64>) -> String {
 /// Render Table 1.
 pub fn render_table1(rows: &[Table1Row]) -> String {
     let mut s = String::new();
-    writeln!(s, "Table 1: program names, number of global kernels, inputs").unwrap();
-    writeln!(s, "{:8} {:12} {:>3}  {}", "Program", "Suite", "#K", "Inputs").unwrap();
+    writeln!(
+        s,
+        "Table 1: program names, number of global kernels, inputs"
+    )
+    .unwrap();
+    writeln!(s, "{:8} {:12} {:>3}  Inputs", "Program", "Suite", "#K").unwrap();
     for r in rows {
         writeln!(
             s,
@@ -86,7 +90,11 @@ pub fn render_table3(rows: &[Table3Row]) -> String {
 /// Render Table 4.
 pub fn render_table4(rows: &[Table4Row]) -> String {
     let mut s = String::new();
-    writeln!(s, "Table 4: cross-benchmark BFS comparison (default config)").unwrap();
+    writeln!(
+        s,
+        "Table 4: cross-benchmark BFS comparison (default config)"
+    )
+    .unwrap();
     writeln!(
         s,
         "{:6} {:>12} {:>12} {:>12}   per 100k vertices",
@@ -154,11 +162,21 @@ pub fn render_fig1(p: &PowerProfile) -> String {
 /// Render a ratio figure (Figures 2, 3, 4).
 pub fn render_ratio_figure(f: &RatioFigure, title: &str) -> String {
     let mut s = String::new();
-    writeln!(s, "{title} ({} relative to {})", f.alt.name(), f.base.name()).unwrap();
+    writeln!(
+        s,
+        "{title} ({} relative to {})",
+        f.alt.name(),
+        f.base.name()
+    )
+    .unwrap();
     writeln!(
         s,
         "{:12} {:>6} {:>28} {:>28} {:>28}",
-        "Suite", "n", "runtime min/q1/med/q3/max", "energy min/q1/med/q3/max", "power min/q1/med/q3/max"
+        "Suite",
+        "n",
+        "runtime min/q1/med/q3/max",
+        "energy min/q1/med/q3/max",
+        "power min/q1/med/q3/max"
     )
     .unwrap();
     for sb in &f.suites {
@@ -194,7 +212,12 @@ pub fn render_ratio_figure(f: &RatioFigure, title: &str) -> String {
         .unwrap();
     }
     if !f.excluded.is_empty() {
-        writeln!(s, "excluded (insufficient power samples): {}", f.excluded.join(", ")).unwrap();
+        writeln!(
+            s,
+            "excluded (insufficient power samples): {}",
+            f.excluded.join(", ")
+        )
+        .unwrap();
     }
     s
 }
@@ -280,6 +303,64 @@ pub fn render_tr_detail(rows: &[crate::tables::TrDetailRow]) -> String {
     s
 }
 
+/// Render the telemetry-backed per-phase energy breakdown of one run.
+///
+/// The phases come from the simulator's board-interval events: `idle`
+/// (pre-run lead-in and post-tail floor), `gap` (host-side time between
+/// kernels), `kernel_static` (idle + static overhead while a kernel runs)
+/// and `tail` (the driver's power decay after the last kernel). The dynamic
+/// SM energy is everything the kernels' blocks actually drew; together the
+/// five rows sum to the ground-truth trace energy.
+pub fn render_phase_breakdown(tl: &sim_telemetry::Timeline) -> String {
+    use sim_telemetry::BoardPhase;
+    let total = tl.total_energy_j();
+    let mut s = String::new();
+    writeln!(s, "Per-phase energy breakdown (telemetry)").unwrap();
+    writeln!(s, "{:14} {:>12} {:>7}", "phase", "energy [J]", "share").unwrap();
+    let pct = |e: f64| {
+        if total > 0.0 {
+            100.0 * e / total
+        } else {
+            0.0
+        }
+    };
+    let mut row = |name: &str, e: f64| {
+        writeln!(s, "{:14} {:>12.2} {:>6.1}%", name, e, pct(e)).unwrap();
+    };
+    for phase in [
+        BoardPhase::Idle,
+        BoardPhase::Gap,
+        BoardPhase::KernelStatic,
+        BoardPhase::Tail,
+    ] {
+        row(phase.name(), tl.phase_energy_j(phase));
+    }
+    row("sm-dynamic", tl.sm_energy_j);
+    row("total", total);
+    writeln!(
+        s,
+        "SMs active: {}   DRAM moved: {:.2} GB (peak {:.1} GB/s, contended {:.2} s)",
+        tl.sms.len(),
+        tl.dram_bytes / 1e9,
+        tl.dram_peak_bytes_per_s / 1e9,
+        tl.contention_s
+    )
+    .unwrap();
+    for lane in &tl.sms {
+        writeln!(
+            s,
+            "  SM {:>2}: {:>9.2} J  busy {:>7.3} s  issue {:>5.1}%  peak blocks {}",
+            lane.sm,
+            lane.energy_j,
+            lane.busy_s,
+            100.0 * lane.mean_issue_frac(),
+            lane.peak_resident
+        )
+        .unwrap();
+    }
+    s
+}
+
 /// Render any figure/table data as CSV for downstream plotting.
 pub fn ratio_figure_csv(fig: &RatioFigure) -> String {
     let mut s = String::from("key,suite,input,time_ratio,energy_ratio,power_ratio\n");
@@ -337,7 +418,36 @@ mod tests {
             lines.next().unwrap(),
             "key,suite,input,time_ratio,energy_ratio,power_ratio"
         );
-        assert!(lines.next().unwrap().starts_with("nb,CUDA SDK,\"100k bodies\",1.15"));
+        assert!(lines
+            .next()
+            .unwrap()
+            .starts_with("nb,CUDA SDK,\"100k bodies\",1.15"));
+    }
+
+    #[test]
+    fn phase_breakdown_renders_all_phases_and_lanes() {
+        use crate::configs::GpuConfigKind;
+        use crate::experiment::measure_traced;
+        use workloads::registry;
+        let b = registry::by_key("sten").unwrap();
+        let input = &b.inputs()[0];
+        let m = measure_traced(b.as_ref(), input, GpuConfigKind::Default, 0, 1 << 20);
+        let tl = sim_telemetry::build_timeline(&m.events);
+        let s = render_phase_breakdown(&tl);
+        for name in [
+            "idle",
+            "gap",
+            "kernel_static",
+            "tail",
+            "sm-dynamic",
+            "total",
+        ] {
+            assert!(s.contains(name), "missing {name} in:\n{s}");
+        }
+        assert!(s.contains("SM  0:"), "{s}");
+        // The rendered total is the reconciled trace energy.
+        let rel = (tl.total_energy_j() - m.trace.total_energy()).abs() / m.trace.total_energy();
+        assert!(rel < 1e-6);
     }
 
     #[test]

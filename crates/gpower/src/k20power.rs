@@ -14,6 +14,7 @@
 
 use crate::sensor::Sample;
 use serde::{Deserialize, Serialize};
+use sim_telemetry::{Event, TelemetrySink};
 
 /// Tool configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -91,13 +92,40 @@ impl K20Power {
 
     /// Analyze one run's samples.
     pub fn analyze(&self, samples: &[Sample]) -> Result<Reading, PowerError> {
+        self.analyze_traced(samples, None)
+    }
+
+    /// Like [`K20Power::analyze`], additionally emitting a
+    /// [`Event::ThresholdCross`] into `telemetry` each time the sample
+    /// stream crosses the dynamically chosen threshold (rising = entering
+    /// the active-runtime window). The crossings are emitted even when the
+    /// run is ultimately rejected for insufficient samples, so a trace of a
+    /// too-fast run still shows *where* the tool looked.
+    pub fn analyze_traced(
+        &self,
+        samples: &[Sample],
+        telemetry: Option<&dyn TelemetrySink>,
+    ) -> Result<Reading, PowerError> {
         if samples.is_empty() {
             return Err(PowerError::NoSamples);
         }
         let idle = estimate_idle(samples);
         let peak = samples.iter().map(|s| s.watts).fold(f64::MIN, f64::max);
-        let threshold =
-            (idle + self.config.threshold_frac * (peak - idle)).max(idle + self.config.min_margin_w);
+        let threshold = (idle + self.config.threshold_frac * (peak - idle))
+            .max(idle + self.config.min_margin_w);
+
+        // A run that starts already above threshold opens its active window
+        // at the very first sample.
+        if let Some(sink) = telemetry {
+            if samples[0].watts > threshold {
+                sink.record(Event::ThresholdCross {
+                    t: samples[0].t,
+                    watts: samples[0].watts,
+                    threshold_w: threshold,
+                    rising: true,
+                });
+            }
+        }
 
         let mut active_runtime = 0.0;
         let mut energy = 0.0;
@@ -108,6 +136,16 @@ impl K20Power {
             let above_b = b.watts > threshold;
             if above_a {
                 n_active += 1;
+            }
+            if above_a != above_b {
+                if let Some(sink) = telemetry {
+                    sink.record(Event::ThresholdCross {
+                        t: b.t,
+                        watts: b.watts,
+                        threshold_w: threshold,
+                        rising: above_b,
+                    });
+                }
             }
             if above_a && above_b {
                 let dt = b.t - a.t;
@@ -185,7 +223,11 @@ mod tests {
         assert!(r.threshold_w > r.idle_w + 4.0);
         assert!(r.threshold_w < 140.0);
         // With a 26ish idle and 140 peak the paper quotes ~55 W.
-        assert!(r.threshold_w > 40.0 && r.threshold_w < 70.0, "{}", r.threshold_w);
+        assert!(
+            r.threshold_w > 40.0 && r.threshold_w < 70.0,
+            "{}",
+            r.threshold_w
+        );
     }
 
     #[test]
@@ -226,9 +268,44 @@ mod tests {
     }
 
     #[test]
+    fn traced_analysis_reports_threshold_crossings() {
+        use sim_telemetry::{Event, EventTrace};
+        let tool = K20Power::default();
+        let samples = run_trace(3.0, 10.0, 120.0);
+        let sink = EventTrace::with_capacity(1024);
+        let traced = tool.analyze_traced(&samples, Some(&sink)).unwrap();
+        let crossings: Vec<(f64, bool)> = sink
+            .take()
+            .into_iter()
+            .filter_map(|e| match e {
+                Event::ThresholdCross { t, rising, .. } => Some((t, rising)),
+                _ => None,
+            })
+            .collect();
+        // One clean active window: a rise into it and a fall out of it.
+        assert_eq!(crossings.len(), 2, "{crossings:?}");
+        assert!(crossings[0].1, "first crossing must be rising");
+        assert!(!crossings[1].1, "second crossing must be falling");
+        assert!(crossings[0].0 < crossings[1].0);
+        // The gap between the crossings brackets the active runtime.
+        let window = crossings[1].0 - crossings[0].0;
+        assert!(
+            (window - traced.active_runtime_s).abs() < 1.0,
+            "window {window} vs active {}",
+            traced.active_runtime_s
+        );
+        // And the traced variant returns exactly what analyze() returns.
+        let plain = tool.analyze(&samples).unwrap();
+        assert_eq!(plain.active_runtime_s, traced.active_runtime_s);
+        assert_eq!(plain.energy_j, traced.energy_j);
+    }
+
+    #[test]
     fn display_of_errors() {
         let e = PowerError::InsufficientSamples(3);
         assert!(e.to_string().contains("3"));
-        assert!(PowerError::NoSamples.to_string().contains("no power samples"));
+        assert!(PowerError::NoSamples
+            .to_string()
+            .contains("no power samples"));
     }
 }

@@ -13,6 +13,7 @@ use crate::trace::PowerTrace;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use sim_telemetry::{Event, TelemetrySink};
 
 /// One sensor reading.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -74,6 +75,20 @@ impl PowerSensor {
     /// initial power. `seed` controls the measurement noise, so repeated
     /// "runs" see different noise, like real hardware.
     pub fn sample(&self, trace: &PowerTrace, seed: u64) -> Vec<Sample> {
+        self.sample_traced(trace, seed, None)
+    }
+
+    /// Like [`PowerSensor::sample`], additionally emitting a
+    /// [`Event::SensorSample`] per reading and a [`Event::SensorRateSwitch`]
+    /// whenever the driver's sampling rate changes (idle 1 Hz ↔ active
+    /// 10 Hz) into `telemetry`. With `telemetry` `None` this is exactly
+    /// `sample`.
+    pub fn sample_traced(
+        &self,
+        trace: &PowerTrace,
+        seed: u64,
+        telemetry: Option<&dyn TelemetrySink>,
+    ) -> Vec<Sample> {
         let cfg = &self.config;
         let mut rng = SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
         let end = trace.end_time();
@@ -87,6 +102,7 @@ impl PowerSensor {
         let alpha = 1.0 - (-FILTER_DT / cfg.tau_s).exp();
         let mut t = 0.0;
         let mut next_sample = 0.0;
+        let mut last_rate = 0.0f64;
         while t < end {
             smoothed += (trace.watts_at(t) - smoothed) * alpha;
             if t + 1e-12 >= next_sample {
@@ -103,6 +119,17 @@ impl PowerSensor {
                 } else {
                     cfg.idle_rate_hz
                 };
+                if let Some(sink) = telemetry {
+                    if rate != last_rate {
+                        sink.record(Event::SensorRateSwitch { t, rate_hz: rate });
+                    }
+                    sink.record(Event::SensorSample {
+                        t,
+                        watts: q,
+                        rate_hz: rate,
+                    });
+                }
+                last_rate = rate;
                 next_sample = t + 1.0 / rate;
             }
             t += FILTER_DT;
@@ -252,6 +279,45 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn traced_sampling_reports_rate_switches_and_samples() {
+        use sim_telemetry::{Event, EventTrace};
+        let s = noiseless();
+        let mut tr = PowerTrace::new();
+        tr.push(3.0, 25.0); // idle: 1 Hz
+        tr.push(5.0, 120.0); // active: 10 Hz
+        tr.push(3.0, 25.0); // back to idle
+        let sink = EventTrace::with_capacity(4096);
+        let samples = s.sample_traced(&tr, 1, Some(&sink));
+        let events = sink.take();
+        // One SensorSample event per returned sample, identical values.
+        let evs: Vec<(f64, f64)> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::SensorSample { t, watts, .. } => Some((*t, *watts)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(evs.len(), samples.len());
+        for (s, (t, w)) in samples.iter().zip(&evs) {
+            assert_eq!((s.t, s.watts), (*t, *w));
+        }
+        // The rate was announced, then switched up and back down.
+        let switches: Vec<f64> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::SensorRateSwitch { rate_hz, .. } => Some(*rate_hz),
+                _ => None,
+            })
+            .collect();
+        assert!(switches.len() >= 3, "switches {switches:?}");
+        assert_eq!(switches[0], 1.0);
+        assert!(switches.contains(&10.0));
+        assert_eq!(*switches.last().unwrap(), 1.0);
+        // And the traced variant returns exactly what sample() returns.
+        assert_eq!(samples, s.sample(&tr, 1));
     }
 
     #[test]

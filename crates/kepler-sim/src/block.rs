@@ -52,8 +52,13 @@ pub struct BlockCtx<'a> {
 }
 
 impl<'a> BlockCtx<'a> {
-    pub(crate) fn new(mem: &'a mut GlobalMem, block_idx: u32, grid_dim: u32, block_dim: u32) -> Self {
-        assert!(block_dim >= 1 && block_dim <= 1024, "block size 1..=1024");
+    pub(crate) fn new(
+        mem: &'a mut GlobalMem,
+        block_idx: u32,
+        grid_dim: u32,
+        block_dim: u32,
+    ) -> Self {
+        assert!((1..=1024).contains(&block_dim), "block size 1..=1024");
         Self {
             mem,
             block_idx,

@@ -91,7 +91,7 @@ mod tests {
     #[test]
     fn unit_stride_fp64_is_two_transactions() {
         let a: Vec<u64> = (0..32).map(|i| 4096 + 8 * i).collect();
-        let c = coalesce(&a, &vec![8u32; 32]);
+        let c = coalesce(&a, &[8u32; 32]);
         assert_eq!(c.transactions, 2);
         assert_eq!(c.useful_bytes, 256);
     }
@@ -131,7 +131,7 @@ mod tests {
     #[test]
     fn partial_warp() {
         let a: Vec<u64> = (0..7).map(|i| 4096 + 4 * i).collect();
-        let c = coalesce(&a, &vec![4u32; 7]);
+        let c = coalesce(&a, &[4u32; 7]);
         assert_eq!(c.transactions, 1);
         assert_eq!(c.lanes, 7);
         assert_eq!(c.useful_bytes, 28);

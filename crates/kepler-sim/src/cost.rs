@@ -60,9 +60,7 @@ impl BlockCost {
             total += self.lane_ops[c.idx()] as f64 * e[c.idx()];
         }
         let idle_lanes = (self.slots * 32).saturating_sub(self.active_lanes);
-        total
-            + self.shared_accesses as f64 * p.e_shared
-            + idle_lanes as f64 * p.e_idle_lane
+        total + self.shared_accesses as f64 * p.e_shared + idle_lanes as f64 * p.e_idle_lane
     }
 
     /// Memory-side energy (joules) at nominal voltage: DRAM bytes,
@@ -98,8 +96,7 @@ impl BlockCost {
             return self.dram_bytes;
         }
         let unc = self.uncoalesced_fraction();
-        self.dram_bytes
-            * (1.0 + cfg.ecc_coalesced_overhead + unc * cfg.ecc_uncoalesced_overhead)
+        self.dram_bytes * (1.0 + cfg.ecc_coalesced_overhead + unc * cfg.ecc_uncoalesced_overhead)
     }
 
     /// Merge another block's cost into this one (used for per-launch

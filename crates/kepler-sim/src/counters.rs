@@ -3,6 +3,7 @@
 use crate::cost::BlockCost;
 use crate::ops::CompClass;
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 
 /// Aggregated activity of one kernel launch, at paper scale (the launch's
 /// work multiplier is already applied).
@@ -82,21 +83,57 @@ impl KernelCounters {
             + self.lane_ops[CompClass::Sfu.idx()]
     }
 
-    /// Branch-divergence fraction over the launch.
+    /// Branch-divergence fraction over the launch, clamped to `[0, 1]`.
+    ///
+    /// The clamp matters for hand-built or merged counters where
+    /// `active_lanes` can exceed `slots * 32` by a rounding hair (scaled
+    /// float accumulation), which would otherwise report a negative
+    /// divergence.
     pub fn divergence(&self) -> f64 {
-        if self.slots == 0.0 {
+        if self.slots <= 0.0 {
             0.0
         } else {
-            1.0 - self.active_lanes / (self.slots * 32.0)
+            (1.0 - self.active_lanes / (self.slots * 32.0)).clamp(0.0, 1.0)
         }
     }
 
     /// Arithmetic intensity: lane compute ops per useful DRAM byte.
+    ///
+    /// An all-compute launch is genuinely `INFINITY`; a launch with neither
+    /// compute nor memory (e.g. a freshly merged empty `KernelCounters`)
+    /// reports `0.0` rather than the NaN that `0/0` would produce.
     pub fn compute_intensity(&self) -> f64 {
         if self.useful_bytes == 0.0 {
-            f64::INFINITY
+            if self.total_lane_ops() == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
         } else {
             self.total_lane_ops() / self.useful_bytes
+        }
+    }
+
+    /// DRAM coalescing efficiency: ideal transactions / issued transactions
+    /// (1.0 = perfectly coalesced; 0 when the launch did no memory).
+    pub fn coalescing_efficiency(&self) -> f64 {
+        if self.transactions <= 0.0 {
+            if self.ideal_transactions > 0.0 {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            (self.ideal_transactions / self.transactions).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Share of issue cycles lost to shared-memory bank conflicts.
+    pub fn bank_conflict_share(&self) -> f64 {
+        if self.issue_cycles <= 0.0 {
+            0.0
+        } else {
+            (self.bank_conflict_cycles / self.issue_cycles).clamp(0.0, 1.0)
         }
     }
 }
@@ -104,7 +141,10 @@ impl KernelCounters {
 /// Statistics for one kernel launch.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LaunchStats {
-    pub kernel: &'static str,
+    /// Kernel name. `Cow` so registry kernels keep their `&'static str`
+    /// names allocation-free while dynamically-named kernels (e.g. built
+    /// from CLI arguments) can own a `String`.
+    pub kernel: Cow<'static, str>,
     /// Simulated time at which blocks started executing, seconds.
     pub start_s: f64,
     /// Kernel duration (first dispatch to last completion), seconds.
@@ -167,5 +207,77 @@ mod tests {
         let mut m = KernelCounters::default();
         m.add_block(&block(64, 128.0), 1.0);
         assert!((m.compute_intensity() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intensity_of_empty_counters_is_zero_not_nan() {
+        let empty = KernelCounters::default();
+        assert_eq!(empty.compute_intensity(), 0.0);
+        // Merging empties stays NaN-free too.
+        let mut merged = KernelCounters::default();
+        merged.merge(&empty);
+        assert_eq!(merged.compute_intensity(), 0.0);
+        assert_eq!(merged.flops(), 0.0);
+        assert!(!merged.divergence().is_nan());
+    }
+
+    #[test]
+    fn divergence_clamped_to_unit_interval() {
+        // Rounding overshoot: more active lanes than slots can hold.
+        let over = KernelCounters {
+            slots: 10.0,
+            active_lanes: 321.0,
+            ..KernelCounters::default()
+        };
+        assert_eq!(over.divergence(), 0.0);
+        // Degenerate negative slots (corrupt input) must not explode.
+        let neg = KernelCounters {
+            slots: -1.0,
+            active_lanes: 5.0,
+            ..KernelCounters::default()
+        };
+        assert_eq!(neg.divergence(), 0.0);
+        // A fully divergent launch caps at 1.
+        let div = KernelCounters {
+            slots: 10.0,
+            active_lanes: 0.0,
+            ..KernelCounters::default()
+        };
+        assert_eq!(div.divergence(), 1.0);
+    }
+
+    #[test]
+    fn coalescing_and_bank_conflict_ratios() {
+        let k = KernelCounters {
+            transactions: 200.0,
+            ideal_transactions: 100.0,
+            issue_cycles: 1000.0,
+            bank_conflict_cycles: 250.0,
+            ..KernelCounters::default()
+        };
+        assert!((k.coalescing_efficiency() - 0.5).abs() < 1e-12);
+        assert!((k.bank_conflict_share() - 0.25).abs() < 1e-12);
+        let empty = KernelCounters::default();
+        assert_eq!(empty.coalescing_efficiency(), 0.0);
+        assert_eq!(empty.bank_conflict_share(), 0.0);
+    }
+
+    #[test]
+    fn launch_stats_kernel_name_accepts_owned_strings() {
+        let dynamic = LaunchStats {
+            kernel: format!("cli-kernel-{}", 7).into(),
+            start_s: 0.0,
+            duration_s: 1.0,
+            energy_j: 10.0,
+            grid: 1,
+            block_threads: 32,
+            counters: KernelCounters::default(),
+        };
+        let static_name = LaunchStats {
+            kernel: "saxpy".into(),
+            ..dynamic.clone()
+        };
+        assert_eq!(dynamic.kernel, "cli-kernel-7");
+        assert_eq!(static_name.kernel, "saxpy");
     }
 }

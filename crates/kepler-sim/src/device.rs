@@ -10,6 +10,8 @@ use crate::scheduler::run_launch;
 use gpower::PowerTrace;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use sim_telemetry::{BoardPhase, Event, TelemetrySink};
+use std::sync::Arc;
 
 /// Per-launch options.
 #[derive(Debug, Clone, Copy)]
@@ -41,6 +43,7 @@ pub struct Device {
     trace: PowerTrace,
     rng: SmallRng,
     launches: Vec<LaunchStats>,
+    telemetry: Option<Arc<dyn TelemetrySink>>,
 }
 
 /// Idle time recorded before the first kernel, seconds. Gives the
@@ -56,7 +59,7 @@ impl Device {
         // clock wobble. Seeded by jitter_seed so repetitions differ the way
         // the paper's Table 2 reports.
         {
-            let mut r = SmallRng::seed_from_u64(cfg.jitter_seed ^ 0x7_E4A1_1u64);
+            let mut r = SmallRng::seed_from_u64(cfg.jitter_seed ^ 0x007E_4A11_u64);
             let thermal = 1.0 + 0.012 * (r.gen::<f64>() - 0.5) * 2.0;
             let p = &mut cfg.power;
             for e in [
@@ -84,9 +87,8 @@ impl Device {
         // The seed folds in the clock configuration: co-resident block
         // interleaving on real hardware shifts with the clocks, which is
         // how a frequency change perturbs racy (irregular) kernels.
-        let clock_hash = (cfg.clocks.core_mhz as u64) << 20
-            ^ (cfg.clocks.mem_mhz as u64) << 4
-            ^ cfg.ecc as u64;
+        let clock_hash =
+            (cfg.clocks.core_mhz as u64) << 20 ^ (cfg.clocks.mem_mhz as u64) << 4 ^ cfg.ecc as u64;
         let rng = SmallRng::seed_from_u64(cfg.jitter_seed ^ clock_hash ^ 0xD1CE_5EED);
         Self {
             cfg,
@@ -94,7 +96,45 @@ impl Device {
             trace,
             rng,
             launches: Vec::new(),
+            telemetry: None,
         }
+    }
+
+    /// Attach a telemetry sink. Call right after [`Device::new`] for full
+    /// coverage: the sink immediately receives a `ConfigSnapshot` of the
+    /// run's clock/ECC configuration plus `BoardInterval`s covering
+    /// whatever the trace already holds (the idle lead-in, when attached at
+    /// construction), and every subsequent launch, host gap and the finish
+    /// tail emit their structured events. Without a sink the simulator's
+    /// instrumented paths cost one branch each.
+    pub fn set_telemetry(&mut self, sink: Arc<dyn TelemetrySink>) {
+        sink.record(Event::ConfigSnapshot {
+            t: self.trace.end_time(),
+            core_mhz: self.cfg.clocks.core_mhz,
+            mem_mhz: self.cfg.clocks.mem_mhz,
+            ecc: self.cfg.ecc,
+        });
+        // Retroactively cover segments recorded before attachment, so the
+        // event stream's interval energy still reconciles with the trace.
+        for seg in self.trace.segments() {
+            let phase = if (seg.watts - self.cfg.power.idle_w).abs() < 1e-9 {
+                BoardPhase::Idle
+            } else {
+                BoardPhase::Gap
+            };
+            sink.record(Event::BoardInterval {
+                t0: seg.t0,
+                t1: seg.t1,
+                watts: seg.watts,
+                phase,
+            });
+        }
+        self.telemetry = Some(sink);
+    }
+
+    /// The attached telemetry sink, if any.
+    pub fn telemetry(&self) -> Option<&Arc<dyn TelemetrySink>> {
+        self.telemetry.as_ref()
     }
 
     pub fn config(&self) -> &DeviceConfig {
@@ -175,13 +215,28 @@ impl Device {
         );
         // Host/driver launch overhead: the GPU sits warm between kernels.
         let gap_w = self.cfg.power.idle_w
-            + self.cfg.power.gap_overhead_w
-                * self.cfg.clocks.core_vrel
-                * self.cfg.clocks.core_vrel;
+            + self.cfg.power.gap_overhead_w * self.cfg.clocks.core_vrel * self.cfg.clocks.core_vrel;
+        let overhead_start = self.trace.end_time();
         let overhead = self.cfg.launch_overhead_s * (1.0 + self.rng.gen::<f64>() * 0.2);
         self.trace.push(overhead, gap_w);
 
         let start = self.trace.end_time();
+        let launch_id = self.launches.len() as u32;
+        if let Some(sink) = &self.telemetry {
+            sink.record(Event::BoardInterval {
+                t0: overhead_start,
+                t1: start,
+                watts: gap_w,
+                phase: BoardPhase::Gap,
+            });
+            sink.record(Event::KernelLaunch {
+                t: start,
+                launch: launch_id,
+                name: kernel.display_name().into_owned(),
+                grid,
+                block_threads,
+            });
+        }
         let resources = kernel.resources();
         let mut counters = KernelCounters::default();
         let mem = &mut self.mem;
@@ -193,6 +248,8 @@ impl Device {
             block_threads,
             &resources,
             opts.work_multiplier,
+            launch_id,
+            self.telemetry.as_deref(),
             |block_idx| {
                 let mut blk = BlockCtx::new(mem, block_idx, grid, block_threads);
                 kernel.run_block(&mut blk);
@@ -201,8 +258,16 @@ impl Device {
                 cost
             },
         );
+        if let Some(sink) = &self.telemetry {
+            sink.record(Event::KernelRetire {
+                t: self.trace.end_time(),
+                launch: launch_id,
+                duration_s: outcome.duration_s,
+                energy_j: outcome.energy_j,
+            });
+        }
         self.launches.push(LaunchStats {
-            kernel: kernel.name(),
+            kernel: kernel.display_name(),
             start_s: start,
             duration_s: outcome.duration_s,
             energy_j: outcome.energy_j,
@@ -220,9 +285,16 @@ impl Device {
             return;
         }
         let gap_w = self.cfg.power.idle_w
-            + self.cfg.power.gap_overhead_w
-                * self.cfg.clocks.core_vrel
-                * self.cfg.clocks.core_vrel;
+            + self.cfg.power.gap_overhead_w * self.cfg.clocks.core_vrel * self.cfg.clocks.core_vrel;
+        if let Some(sink) = &self.telemetry {
+            let t0 = self.trace.end_time();
+            sink.record(Event::BoardInterval {
+                t0,
+                t1: t0 + seconds,
+                watts: gap_w,
+                phase: BoardPhase::Gap,
+            });
+        }
         self.trace.push(seconds, gap_w);
     }
 
@@ -253,8 +325,30 @@ impl Device {
         let p = &self.cfg.power;
         let gap_w =
             p.idle_w + p.gap_overhead_w * self.cfg.clocks.core_vrel * self.cfg.clocks.core_vrel;
+        let decay_w = p.idle_w + 0.4 * (gap_w - p.idle_w);
+        if let Some(sink) = &self.telemetry {
+            let t0 = self.trace.end_time();
+            sink.record(Event::BoardInterval {
+                t0,
+                t1: t0 + p.tail_s,
+                watts: gap_w,
+                phase: BoardPhase::Tail,
+            });
+            sink.record(Event::BoardInterval {
+                t0: t0 + p.tail_s,
+                t1: t0 + p.tail_s + 0.5,
+                watts: decay_w,
+                phase: BoardPhase::Tail,
+            });
+            sink.record(Event::BoardInterval {
+                t0: t0 + p.tail_s + 0.5,
+                t1: t0 + p.tail_s + 0.5 + LEAD_OUT_S,
+                watts: p.idle_w,
+                phase: BoardPhase::Idle,
+            });
+        }
         self.trace.push(p.tail_s, gap_w);
-        self.trace.push(0.5, p.idle_w + 0.4 * (gap_w - p.idle_w));
+        self.trace.push(0.5, decay_w);
         self.trace.push(LEAD_OUT_S, p.idle_w);
         (self.trace, self.launches)
     }
@@ -398,6 +492,109 @@ mod tests {
         };
         assert_eq!(run(42), run(42));
         assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn telemetry_covers_the_whole_run_and_reconciles() {
+        use sim_telemetry::{build_timeline, BoardPhase, Event, EventTrace};
+
+        let mut dev = device();
+        let sink = Arc::new(EventTrace::with_capacity(1 << 20));
+        dev.set_telemetry(sink.clone());
+        let n = 1 << 14;
+        let x = dev.alloc_from(&vec![1.0f32; n]);
+        let y = dev.alloc_from(&vec![1.0f32; n]);
+        let k = Saxpy { x, y, a: 2.0 };
+        dev.launch_with(
+            &k,
+            (n as u32).div_ceil(256),
+            256,
+            LaunchOpts {
+                work_multiplier: 1e4,
+            },
+        );
+        dev.host_gap(1.5);
+        dev.launch(&k, (n as u32).div_ceil(256), 256);
+        let (trace, stats) = dev.finish();
+
+        let events = sink.events();
+        assert_eq!(sink.dropped(), 0);
+
+        // One config snapshot, one launch/retire pair per launch.
+        let snaps = events
+            .iter()
+            .filter(|e| matches!(e, Event::ConfigSnapshot { .. }))
+            .count();
+        assert_eq!(snaps, 1);
+        let launches: Vec<&Event> = events
+            .iter()
+            .filter(|e| matches!(e, Event::KernelLaunch { .. }))
+            .collect();
+        assert_eq!(launches.len(), 2);
+        if let Event::KernelLaunch { name, launch, .. } = launches[0] {
+            assert_eq!(name, "saxpy");
+            assert_eq!(*launch, 0);
+        }
+        let retires = events
+            .iter()
+            .filter(|e| matches!(e, Event::KernelRetire { .. }))
+            .count();
+        assert_eq!(retires, 2);
+
+        // The interval events tile the full trace: lead-in, launch gaps,
+        // kernel windows, host gap, tail, lead-out. Their energy must
+        // reproduce the ground-truth trace energy.
+        let tl = build_timeline(&events);
+        let truth = trace.total_energy();
+        let rel = (tl.total_energy_j() - truth).abs() / truth;
+        assert!(
+            rel < 1e-6,
+            "timeline {} vs trace {}",
+            tl.total_energy_j(),
+            truth
+        );
+        assert!((tl.end_time - trace.end_time()).abs() < 1e-9);
+
+        // Phases present: idle lead-in/out, launch-overhead + host gaps,
+        // kernel-static windows, and the driver tail.
+        for phase in [
+            BoardPhase::Idle,
+            BoardPhase::Gap,
+            BoardPhase::KernelStatic,
+            BoardPhase::Tail,
+        ] {
+            assert!(tl.phase_energy_j(phase) > 0.0, "missing {phase:?}");
+        }
+
+        // Per-launch retire energy matches LaunchStats.
+        for (i, s) in stats.iter().enumerate() {
+            let retire = events.iter().find_map(|e| match e {
+                Event::KernelRetire {
+                    launch, energy_j, ..
+                } if *launch == i as u32 => Some(*energy_j),
+                _ => None,
+            });
+            assert_eq!(retire, Some(s.energy_j));
+        }
+    }
+
+    #[test]
+    fn telemetry_attachment_leaves_results_unchanged() {
+        let run = |with_sink: bool| {
+            let mut cfg = DeviceConfig::k20c(ClockConfig::k20_default(), false);
+            cfg.jitter_seed = 9;
+            let mut dev = Device::new(cfg);
+            if with_sink {
+                dev.set_telemetry(Arc::new(sim_telemetry::EventTrace::with_capacity(1 << 16)));
+            }
+            let n = 1 << 12;
+            let x = dev.alloc_from(&vec![1.0f32; n]);
+            let y = dev.alloc_from(&vec![1.0f32; n]);
+            dev.launch(&Saxpy { x, y, a: 2.0 }, 16, 256);
+            let (trace, stats) = dev.finish();
+            (trace.total_energy(), stats[0].duration_s)
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -36,6 +36,13 @@ pub trait Kernel {
         "kernel"
     }
 
+    /// Display name recorded in [`crate::LaunchStats`]. Defaults to
+    /// [`Kernel::name`]; override to attach a dynamically built name (an
+    /// owned `String`) without needing a leaked `&'static str`.
+    fn display_name(&self) -> std::borrow::Cow<'static, str> {
+        std::borrow::Cow::Borrowed(self.name())
+    }
+
     /// Resource usage for the occupancy calculation.
     fn resources(&self) -> KernelResources {
         KernelResources::default()
@@ -58,7 +65,22 @@ mod tests {
     fn default_name_and_resources() {
         let k = Nop;
         assert_eq!(k.name(), "kernel");
+        assert_eq!(k.display_name(), "kernel");
         assert_eq!(k.resources().regs_per_thread, 32);
         assert_eq!(k.resources().shared_bytes, 0);
+    }
+
+    #[test]
+    fn display_name_can_be_owned() {
+        struct Named(String);
+        impl Kernel for Named {
+            fn display_name(&self) -> std::borrow::Cow<'static, str> {
+                std::borrow::Cow::Owned(self.0.clone())
+            }
+            fn run_block(&self, _blk: &mut BlockCtx) {}
+        }
+        let k = Named("from-cli".to_string());
+        assert_eq!(k.display_name(), "from-cli");
+        assert_eq!(k.name(), "kernel"); // default untouched
     }
 }

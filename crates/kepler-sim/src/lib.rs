@@ -62,3 +62,8 @@ pub use counters::{KernelCounters, LaunchStats};
 pub use device::{Device, LaunchOpts};
 pub use kernel::{Kernel, KernelResources};
 pub use ops::CompClass;
+
+/// Structured-event observability layer (re-exported for convenience):
+/// attach a [`telemetry::TelemetrySink`] with [`Device::set_telemetry`] to
+/// stream kernel/block/power/DRAM events out of a run.
+pub use sim_telemetry as telemetry;

@@ -14,11 +14,12 @@
 
 use crate::config::DeviceConfig;
 use crate::cost::BlockCost;
-use crate::occupancy::resident_blocks;
 use crate::kernel::KernelResources;
+use crate::occupancy::resident_blocks;
 use gpower::PowerTrace;
 use rand::rngs::SmallRng;
 use rand::Rng;
+use sim_telemetry::{BoardPhase, Event, TelemetrySink};
 
 /// Result of scheduling one kernel launch.
 #[derive(Debug, Clone, Copy)]
@@ -31,6 +32,8 @@ pub struct SchedOutcome {
 
 struct Active {
     sm: usize,
+    /// Logical block index within the grid (for telemetry).
+    block: u32,
     comp_rem: f64,
     mem_rem: f64,
     comp_total: f64,
@@ -54,6 +57,17 @@ const EPS: f64 = 1e-9;
 /// `exec` materializes block `i`'s cost by running it functionally; it is
 /// called exactly once per block, in dispatch order. Power segments are
 /// appended to `trace` starting at its current end time.
+///
+/// When `telemetry` is attached, the scheduler emits a structured event
+/// stream: `BlockDispatch`/`BlockComplete` per block, and per scheduling
+/// interval one `SmInterval` per occupied SM (its dynamic watts and issue
+/// utilization), one `BoardInterval` with the static/uncore share, and one
+/// `DramInterval` (aggregate bandwidth plus `DramContentionOpen`/`Close`
+/// edges when ≥2 blocks compete). The per-interval events partition the
+/// exact watts pushed into `trace`, so summing their energy reproduces the
+/// launch's trace energy. `launch_id` tags every event with the caller's
+/// launch ordinal. With `telemetry` `None` the instrumentation reduces to a
+/// branch per site.
 #[allow(clippy::too_many_arguments)]
 pub fn run_launch(
     cfg: &DeviceConfig,
@@ -63,6 +77,8 @@ pub fn run_launch(
     block_threads: u32,
     resources: &KernelResources,
     work_multiplier: f64,
+    launch_id: u32,
+    telemetry: Option<&dyn TelemetrySink>,
     mut exec: impl FnMut(u32) -> BlockCost,
 ) -> SchedOutcome {
     assert!(grid >= 1, "grid must have at least one block");
@@ -104,6 +120,8 @@ pub fn run_launch(
         v
     };
 
+    let mut dram_contended = false;
+
     while completed < grid {
         // Dispatch while there are free occupancy slots.
         while next_block < grid {
@@ -111,18 +129,16 @@ pub fn run_launch(
             if sm_resident[sm] >= occupancy {
                 break;
             }
-            let cost = exec(order[next_block as usize]);
+            let block = order[next_block as usize];
+            let cost = exec(block);
             let jitter = 1.0 + cfg.jitter * (rng.gen::<f64>() - 0.5) * 2.0;
             let mult = work_multiplier * jitter;
             let comp = (cost.issue_cycles * mult).max(100.0);
             let mem = cost.dram_bytes_with_ecc(cfg) * mult;
-            let floor = if cost.transactions > 0 {
-                dram_lat
-            } else {
-                0.0
-            } + 0.5e-6;
+            let floor = if cost.transactions > 0 { dram_lat } else { 0.0 } + 0.5e-6;
             active.push(Active {
                 sm,
+                block,
                 comp_rem: comp,
                 mem_rem: mem,
                 comp_total: comp,
@@ -136,6 +152,15 @@ pub fn run_launch(
             });
             sm_resident[sm] += 1;
             next_block += 1;
+            if let Some(sink) = telemetry {
+                sink.record(Event::BlockDispatch {
+                    t: now,
+                    launch: launch_id,
+                    block,
+                    sm: sm as u16,
+                    slot: sm_resident[sm] as u16,
+                });
+            }
         }
 
         // Compute rates for this interval.
@@ -212,6 +237,54 @@ pub fn run_launch(
             watts += b.comp_energy * (b.rate_c / b.comp_total.max(EPS));
             watts += b.mem_energy * (b.rate_m / b.mem_total);
         }
+
+        if let Some(sink) = telemetry {
+            // The interval events partition `watts`: the BoardInterval
+            // carries the static/uncore share and each occupied SM carries
+            // its blocks' dynamic share, so Σ interval energies == the
+            // energy pushed into the trace.
+            sink.record(Event::BoardInterval {
+                t0: now,
+                t1: now + dt,
+                watts: p.idle_w + p.active_overhead_w * vc2,
+                phase: BoardPhase::KernelStatic,
+            });
+            let mut sm_watts = vec![0.0f64; cfg.num_sms];
+            let mut sm_issue = vec![0.0f64; cfg.num_sms];
+            for b in &active {
+                sm_watts[b.sm] += b.comp_energy * (b.rate_c / b.comp_total.max(EPS))
+                    + b.mem_energy * (b.rate_m / b.mem_total);
+                sm_issue[b.sm] += b.rate_c / core_hz;
+            }
+            for s in 0..cfg.num_sms {
+                if sm_resident[s] > 0 {
+                    sink.record(Event::SmInterval {
+                        t0: now,
+                        t1: now + dt,
+                        sm: s as u16,
+                        watts: sm_watts[s],
+                        issue_frac: sm_issue[s].min(1.0),
+                        resident: sm_resident[s] as u16,
+                    });
+                }
+            }
+            let bytes_per_s: f64 = active.iter().map(|b| b.rate_m).sum();
+            let demanders = active.iter().filter(|b| b.mem_rem > EPS).count() as u16;
+            sink.record(Event::DramInterval {
+                t0: now,
+                t1: now + dt,
+                bytes_per_s,
+                demanders,
+            });
+            if demanders >= 2 && !dram_contended {
+                dram_contended = true;
+                sink.record(Event::DramContentionOpen { t: now, demanders });
+            } else if demanders < 2 && dram_contended {
+                dram_contended = false;
+                sink.record(Event::DramContentionClose { t: now });
+            }
+        }
+
         trace.push(dt, watts);
         energy += watts * dt;
         now += dt;
@@ -239,11 +312,25 @@ pub fn run_launch(
             };
             if done {
                 sm_resident[active[i].sm] -= 1;
+                if let Some(sink) = telemetry {
+                    sink.record(Event::BlockComplete {
+                        t: now,
+                        launch: launch_id,
+                        block: active[i].block,
+                        sm: active[i].sm as u16,
+                    });
+                }
                 active.swap_remove(i);
                 completed += 1;
             } else {
                 i += 1;
             }
+        }
+    }
+
+    if dram_contended {
+        if let Some(sink) = telemetry {
+            sink.record(Event::DramContentionClose { t: now });
         }
     }
 
@@ -299,6 +386,8 @@ mod tests {
             256,
             &KernelResources::default(),
             1.0,
+            0,
+            None,
             |_| cost,
         )
     }
@@ -376,7 +465,10 @@ mod tests {
         let a = sched(&hi, 260, block);
         let b = sched(&lo, 260, block);
         let power_ratio = (b.energy_j / b.duration_s) / (a.energy_j / a.duration_s);
-        assert!(power_ratio < 614.0 / 705.0 + 0.02, "power ratio {power_ratio}");
+        assert!(
+            power_ratio < 614.0 / 705.0 + 0.02,
+            "power ratio {power_ratio}"
+        );
     }
 
     #[test]
@@ -419,6 +511,8 @@ mod tests {
             256,
             &KernelResources::default(),
             1.0,
+            0,
+            None,
             |_| compute_block(1_000_000),
         );
         assert!((trace.end_time() - (1.0 + o.duration_s)).abs() < 1e-9);
@@ -438,6 +532,8 @@ mod tests {
             256,
             &KernelResources::default(),
             1.0,
+            0,
+            None,
             |i| {
                 order.push(i);
                 compute_block(10_000)
@@ -467,6 +563,8 @@ mod tests {
                 256,
                 &KernelResources::default(),
                 1.0,
+                0,
+                None,
                 |i| {
                     order.push(i);
                     compute_block(10_000)
@@ -476,6 +574,92 @@ mod tests {
         };
         assert_eq!(collect(7), collect(7));
         assert_ne!(collect(7), collect(8));
+    }
+
+    #[test]
+    fn telemetry_intervals_reconcile_with_launch_energy() {
+        use sim_telemetry::{build_timeline, EventTrace};
+        let cfg = DeviceConfig::k20c(ClockConfig::k20_default(), false);
+        let sink = EventTrace::with_capacity(1 << 20);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut trace = PowerTrace::new();
+        let o = run_launch(
+            &cfg,
+            &mut rng,
+            &mut trace,
+            130,
+            256,
+            &KernelResources::default(),
+            1.0,
+            3,
+            Some(&sink),
+            |i| {
+                if i % 2 == 0 {
+                    compute_block(500_000)
+                } else {
+                    memory_block(2_000_000.0)
+                }
+            },
+        );
+        let events = sink.take();
+        assert_eq!(sink.dropped(), 0);
+        let tl = build_timeline(&events);
+        // The interval events partition the trace watts exactly.
+        let rel = (tl.total_energy_j() - o.energy_j).abs() / o.energy_j;
+        assert!(
+            rel < 1e-9,
+            "timeline {} vs outcome {}",
+            tl.total_energy_j(),
+            o.energy_j
+        );
+        // Every block dispatched and completed once, tagged with our launch id.
+        use sim_telemetry::Event;
+        let dispatches = events
+            .iter()
+            .filter(|e| matches!(e, Event::BlockDispatch { launch: 3, .. }))
+            .count();
+        let completions = events
+            .iter()
+            .filter(|e| matches!(e, Event::BlockComplete { launch: 3, .. }))
+            .count();
+        assert_eq!(dispatches, 130);
+        assert_eq!(completions, 130);
+        // Issue utilization stays within [0, 1] on every lane.
+        for lane in &tl.sms {
+            for seg in &lane.segments {
+                assert!((0.0..=1.0).contains(&seg.issue_frac), "{seg:?}");
+            }
+        }
+        // Memory blocks compete for DRAM: contention must have been seen.
+        assert!(tl.contention_s > 0.0);
+    }
+
+    #[test]
+    fn telemetry_does_not_perturb_the_simulation() {
+        use sim_telemetry::EventTrace;
+        let cfg = DeviceConfig::k20c(ClockConfig::k20_default(), false);
+        let run = |sink: Option<&dyn sim_telemetry::TelemetrySink>| {
+            let mut rng = SmallRng::seed_from_u64(5);
+            let mut trace = PowerTrace::new();
+            let o = run_launch(
+                &cfg,
+                &mut rng,
+                &mut trace,
+                64,
+                256,
+                &KernelResources::default(),
+                1.0,
+                0,
+                sink,
+                |_| compute_block(1_000_000),
+            );
+            (o.duration_s, o.energy_j, trace.end_time())
+        };
+        let silent = run(None);
+        let recorder = EventTrace::with_capacity(1 << 16);
+        let observed = run(Some(&recorder));
+        assert_eq!(silent, observed);
+        assert!(!recorder.is_empty());
     }
 
     #[test]
@@ -501,6 +685,8 @@ mod tests {
             256,
             &KernelResources::default(),
             mult,
+            0,
+            None,
             |_| cost,
         )
         .duration_s
@@ -541,7 +727,7 @@ mod tests {
                 let mut trace = PowerTrace::new();
                 let o = run_launch(
                     &cfg, &mut rng, &mut trace, grid, 256,
-                    &KernelResources::default(), 1.0, |_| cost,
+                    &KernelResources::default(), 1.0, 0, None, |_| cost,
                 );
                 prop_assert!(o.duration_s > 0.0);
                 let avg = o.energy_j / o.duration_s;

@@ -1,0 +1,896 @@
+//! Trace exporters: Chrome Trace Event JSON, JSONL, and CSV.
+//!
+//! All three are hand-rolled (the workspace builds offline with no JSON
+//! dependency). The JSONL form is round-trippable through
+//! [`event_from_jsonl`]; the Chrome form targets `chrome://tracing` and
+//! `ui.perfetto.dev`; the CSV form is a fixed superset of columns for
+//! spreadsheet work.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::event::{BoardPhase, Event};
+
+/// Escape a string for embedding inside a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format a float for JSON. Rust's `{}` prints the shortest representation
+/// that round-trips, which is exactly what the JSONL parser needs; non-finite
+/// values (which no instrumented site produces) degrade to `null`.
+fn num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".into()
+    }
+}
+
+const US: f64 = 1e6; // Chrome trace timestamps are microseconds.
+
+/// Render an event stream as a Chrome Trace Event JSON document.
+///
+/// Layout: one process (`pid` 0). Thread 0 carries the kernel timeline
+/// (`X` complete events spanning launch→retire); thread `sm + 1` carries
+/// that SM's block-residency slices. Power, occupancy, issue utilization
+/// and DRAM bandwidth appear as `C` counter tracks; contention open/close,
+/// threshold crossings, sensor-rate switches and the configuration
+/// snapshot appear as instant (`i`) events.
+pub fn chrome_trace(events: &[Event]) -> String {
+    let mut rows: Vec<String> = Vec::with_capacity(events.len() + 8);
+    rows.push(
+        r#"{"ph":"M","pid":0,"tid":0,"name":"process_name","args":{"name":"kepler-sim"}}"#.into(),
+    );
+    rows.push(
+        r#"{"ph":"M","pid":0,"tid":0,"name":"thread_name","args":{"name":"kernels"}}"#.into(),
+    );
+
+    // Kernel names by launch id, so retire events can label their slice.
+    let mut knames: HashMap<u32, String> = HashMap::new();
+    // Open block slices keyed by (launch, block) -> (t0, sm).
+    let mut open_blocks: HashMap<(u32, u32), (f64, u16)> = HashMap::new();
+    let mut named_sms: Vec<u16> = Vec::new();
+
+    for ev in events {
+        match ev {
+            Event::ConfigSnapshot {
+                t,
+                core_mhz,
+                mem_mhz,
+                ecc,
+            } => {
+                rows.push(format!(
+                    r#"{{"ph":"i","s":"g","pid":0,"tid":0,"ts":{},"name":"config","args":{{"core_mhz":{},"mem_mhz":{},"ecc":{}}}}}"#,
+                    num(t * US),
+                    num(*core_mhz),
+                    num(*mem_mhz),
+                    ecc
+                ));
+            }
+            Event::KernelLaunch { launch, name, .. } => {
+                knames.insert(*launch, name.clone());
+            }
+            Event::KernelRetire {
+                t,
+                launch,
+                duration_s,
+                energy_j,
+            } => {
+                let name = knames
+                    .get(launch)
+                    .cloned()
+                    .unwrap_or_else(|| format!("launch {launch}"));
+                rows.push(format!(
+                    r#"{{"ph":"X","pid":0,"tid":0,"ts":{},"dur":{},"name":"{}","args":{{"launch":{},"energy_j":{}}}}}"#,
+                    num((t - duration_s) * US),
+                    num(duration_s * US),
+                    esc(&name),
+                    launch,
+                    num(*energy_j)
+                ));
+            }
+            Event::BlockDispatch {
+                t,
+                launch,
+                block,
+                sm,
+                ..
+            } => {
+                open_blocks.insert((*launch, *block), (*t, *sm));
+                if !named_sms.contains(sm) {
+                    named_sms.push(*sm);
+                    rows.push(format!(
+                        r#"{{"ph":"M","pid":0,"tid":{},"name":"thread_name","args":{{"name":"SM {}"}}}}"#,
+                        sm + 1,
+                        sm
+                    ));
+                }
+            }
+            Event::BlockComplete {
+                t,
+                launch,
+                block,
+                sm,
+            } => {
+                let (t0, _) = open_blocks.remove(&(*launch, *block)).unwrap_or((*t, *sm));
+                rows.push(format!(
+                    r#"{{"ph":"X","pid":0,"tid":{},"ts":{},"dur":{},"name":"block {}","args":{{"launch":{}}}}}"#,
+                    sm + 1,
+                    num(t0 * US),
+                    num((t - t0) * US),
+                    block,
+                    launch
+                ));
+            }
+            Event::SmInterval {
+                t0,
+                sm,
+                watts,
+                issue_frac,
+                resident,
+                ..
+            } => {
+                rows.push(format!(
+                    r#"{{"ph":"C","pid":0,"tid":0,"ts":{},"name":"SM {} power (W)","args":{{"watts":{}}}}}"#,
+                    num(t0 * US),
+                    sm,
+                    num(*watts)
+                ));
+                rows.push(format!(
+                    r#"{{"ph":"C","pid":0,"tid":0,"ts":{},"name":"SM {} occupancy","args":{{"resident":{},"issue_frac":{}}}}}"#,
+                    num(t0 * US),
+                    sm,
+                    resident,
+                    num(*issue_frac)
+                ));
+            }
+            Event::BoardInterval {
+                t0, watts, phase, ..
+            } => {
+                rows.push(format!(
+                    r#"{{"ph":"C","pid":0,"tid":0,"ts":{},"name":"board power (W)","args":{{"watts":{},"phase":"{}"}}}}"#,
+                    num(t0 * US),
+                    num(*watts),
+                    phase.name()
+                ));
+            }
+            Event::DramInterval {
+                t0,
+                bytes_per_s,
+                demanders,
+                ..
+            } => {
+                rows.push(format!(
+                    r#"{{"ph":"C","pid":0,"tid":0,"ts":{},"name":"DRAM bandwidth (GB/s)","args":{{"gbps":{},"demanders":{}}}}}"#,
+                    num(t0 * US),
+                    num(bytes_per_s / 1e9),
+                    demanders
+                ));
+            }
+            Event::DramContentionOpen { t, demanders } => {
+                rows.push(format!(
+                    r#"{{"ph":"i","s":"g","pid":0,"tid":0,"ts":{},"name":"dram contention open","args":{{"demanders":{}}}}}"#,
+                    num(t * US),
+                    demanders
+                ));
+            }
+            Event::DramContentionClose { t } => {
+                rows.push(format!(
+                    r#"{{"ph":"i","s":"g","pid":0,"tid":0,"ts":{},"name":"dram contention close","args":{{}}}}"#,
+                    num(t * US)
+                ));
+            }
+            Event::SensorSample { t, watts, rate_hz } => {
+                rows.push(format!(
+                    r#"{{"ph":"C","pid":0,"tid":0,"ts":{},"name":"sensor (W)","args":{{"watts":{},"rate_hz":{}}}}}"#,
+                    num(t * US),
+                    num(*watts),
+                    num(*rate_hz)
+                ));
+            }
+            Event::SensorRateSwitch { t, rate_hz } => {
+                rows.push(format!(
+                    r#"{{"ph":"i","s":"g","pid":0,"tid":0,"ts":{},"name":"sensor rate switch","args":{{"rate_hz":{}}}}}"#,
+                    num(t * US),
+                    num(*rate_hz)
+                ));
+            }
+            Event::ThresholdCross {
+                t,
+                watts,
+                threshold_w,
+                rising,
+            } => {
+                rows.push(format!(
+                    r#"{{"ph":"i","s":"g","pid":0,"tid":0,"ts":{},"name":"threshold {}","args":{{"watts":{},"threshold_w":{}}}}}"#,
+                    num(t * US),
+                    if *rising { "rise" } else { "fall" },
+                    num(*watts),
+                    num(*threshold_w)
+                ));
+            }
+        }
+    }
+
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    out.push_str(&rows.join(",\n"));
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Render one event as a flat one-line JSON object, `tag` field first.
+pub fn event_to_jsonl(ev: &Event) -> String {
+    let tag = ev.tag();
+    match ev {
+        Event::ConfigSnapshot {
+            t,
+            core_mhz,
+            mem_mhz,
+            ecc,
+        } => format!(
+            r#"{{"tag":"{tag}","t":{},"core_mhz":{},"mem_mhz":{},"ecc":{}}}"#,
+            num(*t),
+            num(*core_mhz),
+            num(*mem_mhz),
+            ecc
+        ),
+        Event::KernelLaunch {
+            t,
+            launch,
+            name,
+            grid,
+            block_threads,
+        } => format!(
+            r#"{{"tag":"{tag}","t":{},"launch":{},"name":"{}","grid":{},"block_threads":{}}}"#,
+            num(*t),
+            launch,
+            esc(name),
+            grid,
+            block_threads
+        ),
+        Event::KernelRetire {
+            t,
+            launch,
+            duration_s,
+            energy_j,
+        } => format!(
+            r#"{{"tag":"{tag}","t":{},"launch":{},"duration_s":{},"energy_j":{}}}"#,
+            num(*t),
+            launch,
+            num(*duration_s),
+            num(*energy_j)
+        ),
+        Event::BlockDispatch {
+            t,
+            launch,
+            block,
+            sm,
+            slot,
+        } => format!(
+            r#"{{"tag":"{tag}","t":{},"launch":{},"block":{},"sm":{},"slot":{}}}"#,
+            num(*t),
+            launch,
+            block,
+            sm,
+            slot
+        ),
+        Event::BlockComplete {
+            t,
+            launch,
+            block,
+            sm,
+        } => format!(
+            r#"{{"tag":"{tag}","t":{},"launch":{},"block":{},"sm":{}}}"#,
+            num(*t),
+            launch,
+            block,
+            sm
+        ),
+        Event::SmInterval {
+            t0,
+            t1,
+            sm,
+            watts,
+            issue_frac,
+            resident,
+        } => format!(
+            r#"{{"tag":"{tag}","t0":{},"t1":{},"sm":{},"watts":{},"issue_frac":{},"resident":{}}}"#,
+            num(*t0),
+            num(*t1),
+            sm,
+            num(*watts),
+            num(*issue_frac),
+            resident
+        ),
+        Event::BoardInterval {
+            t0,
+            t1,
+            watts,
+            phase,
+        } => format!(
+            r#"{{"tag":"{tag}","t0":{},"t1":{},"watts":{},"phase":"{}"}}"#,
+            num(*t0),
+            num(*t1),
+            num(*watts),
+            phase.name()
+        ),
+        Event::DramInterval {
+            t0,
+            t1,
+            bytes_per_s,
+            demanders,
+        } => format!(
+            r#"{{"tag":"{tag}","t0":{},"t1":{},"bytes_per_s":{},"demanders":{}}}"#,
+            num(*t0),
+            num(*t1),
+            num(*bytes_per_s),
+            demanders
+        ),
+        Event::DramContentionOpen { t, demanders } => format!(
+            r#"{{"tag":"{tag}","t":{},"demanders":{}}}"#,
+            num(*t),
+            demanders
+        ),
+        Event::DramContentionClose { t } => {
+            format!(r#"{{"tag":"{tag}","t":{}}}"#, num(*t))
+        }
+        Event::SensorSample { t, watts, rate_hz } => format!(
+            r#"{{"tag":"{tag}","t":{},"watts":{},"rate_hz":{}}}"#,
+            num(*t),
+            num(*watts),
+            num(*rate_hz)
+        ),
+        Event::SensorRateSwitch { t, rate_hz } => format!(
+            r#"{{"tag":"{tag}","t":{},"rate_hz":{}}}"#,
+            num(*t),
+            num(*rate_hz)
+        ),
+        Event::ThresholdCross {
+            t,
+            watts,
+            threshold_w,
+            rising,
+        } => format!(
+            r#"{{"tag":"{tag}","t":{},"watts":{},"threshold_w":{},"rising":{}}}"#,
+            num(*t),
+            num(*watts),
+            num(*threshold_w),
+            rising
+        ),
+    }
+}
+
+/// Render an event stream as JSONL, one event per line.
+pub fn jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        out.push_str(&event_to_jsonl(ev));
+        out.push('\n');
+    }
+    out
+}
+
+/// Fixed CSV column superset shared by every event kind.
+pub const CSV_HEADER: &str =
+    "tag,t,t1,launch,name,grid,block_threads,block,sm,slot,watts,issue_frac,resident,\
+bytes_per_s,demanders,duration_s,energy_j,rate_hz,threshold_w,rising,phase,core_mhz,mem_mhz,ecc";
+
+fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Render an event stream as CSV with the [`CSV_HEADER`] columns; cells that
+/// do not apply to an event kind are left empty.
+pub fn csv(events: &[Event]) -> String {
+    let mut out = String::from(CSV_HEADER);
+    out.push('\n');
+    for ev in events {
+        // Column order must match CSV_HEADER.
+        let mut cols: [String; 24] = Default::default();
+        cols[0] = ev.tag().to_string();
+        cols[1] = num(ev.time());
+        match ev {
+            Event::ConfigSnapshot {
+                core_mhz,
+                mem_mhz,
+                ecc,
+                ..
+            } => {
+                cols[21] = num(*core_mhz);
+                cols[22] = num(*mem_mhz);
+                cols[23] = ecc.to_string();
+            }
+            Event::KernelLaunch {
+                launch,
+                name,
+                grid,
+                block_threads,
+                ..
+            } => {
+                cols[3] = launch.to_string();
+                cols[4] = csv_field(name);
+                cols[5] = grid.to_string();
+                cols[6] = block_threads.to_string();
+            }
+            Event::KernelRetire {
+                launch,
+                duration_s,
+                energy_j,
+                ..
+            } => {
+                cols[3] = launch.to_string();
+                cols[15] = num(*duration_s);
+                cols[16] = num(*energy_j);
+            }
+            Event::BlockDispatch {
+                launch,
+                block,
+                sm,
+                slot,
+                ..
+            } => {
+                cols[3] = launch.to_string();
+                cols[7] = block.to_string();
+                cols[8] = sm.to_string();
+                cols[9] = slot.to_string();
+            }
+            Event::BlockComplete {
+                launch, block, sm, ..
+            } => {
+                cols[3] = launch.to_string();
+                cols[7] = block.to_string();
+                cols[8] = sm.to_string();
+            }
+            Event::SmInterval {
+                t1,
+                sm,
+                watts,
+                issue_frac,
+                resident,
+                ..
+            } => {
+                cols[2] = num(*t1);
+                cols[8] = sm.to_string();
+                cols[10] = num(*watts);
+                cols[11] = num(*issue_frac);
+                cols[12] = resident.to_string();
+            }
+            Event::BoardInterval {
+                t1, watts, phase, ..
+            } => {
+                cols[2] = num(*t1);
+                cols[10] = num(*watts);
+                cols[20] = phase.name().to_string();
+            }
+            Event::DramInterval {
+                t1,
+                bytes_per_s,
+                demanders,
+                ..
+            } => {
+                cols[2] = num(*t1);
+                cols[13] = num(*bytes_per_s);
+                cols[14] = demanders.to_string();
+            }
+            Event::DramContentionOpen { demanders, .. } => {
+                cols[14] = demanders.to_string();
+            }
+            Event::DramContentionClose { .. } => {}
+            Event::SensorSample { watts, rate_hz, .. } => {
+                cols[10] = num(*watts);
+                cols[17] = num(*rate_hz);
+            }
+            Event::SensorRateSwitch { rate_hz, .. } => {
+                cols[17] = num(*rate_hz);
+            }
+            Event::ThresholdCross {
+                watts,
+                threshold_w,
+                rising,
+                ..
+            } => {
+                cols[10] = num(*watts);
+                cols[18] = num(*threshold_w);
+                cols[19] = rising.to_string();
+            }
+        }
+        out.push_str(&cols.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// JSONL parsing (round-trip support)
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum JVal {
+    Num(f64),
+    Str(String),
+    Bool(bool),
+}
+
+/// Parse one flat JSON object (string/number/bool values only — exactly the
+/// shape [`event_to_jsonl`] emits). Returns `None` on malformed input.
+fn parse_flat_object(line: &str) -> Option<Vec<(String, JVal)>> {
+    let mut chars = line.trim().chars().peekable();
+    let mut out = Vec::new();
+
+    fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars>) {
+        while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
+            chars.next();
+        }
+    }
+
+    fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars>) -> Option<String> {
+        if chars.next()? != '"' {
+            return None;
+        }
+        let mut s = String::new();
+        loop {
+            match chars.next()? {
+                '"' => return Some(s),
+                '\\' => match chars.next()? {
+                    '"' => s.push('"'),
+                    '\\' => s.push('\\'),
+                    '/' => s.push('/'),
+                    'n' => s.push('\n'),
+                    'r' => s.push('\r'),
+                    't' => s.push('\t'),
+                    'u' => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            code = code * 16 + chars.next()?.to_digit(16)?;
+                        }
+                        s.push(char::from_u32(code)?);
+                    }
+                    _ => return None,
+                },
+                c => s.push(c),
+            }
+        }
+    }
+
+    skip_ws(&mut chars);
+    if chars.next()? != '{' {
+        return None;
+    }
+    skip_ws(&mut chars);
+    if chars.peek() == Some(&'}') {
+        chars.next();
+        return Some(out);
+    }
+    loop {
+        skip_ws(&mut chars);
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        if chars.next()? != ':' {
+            return None;
+        }
+        skip_ws(&mut chars);
+        let val = match chars.peek()? {
+            '"' => JVal::Str(parse_string(&mut chars)?),
+            't' | 'f' => {
+                let mut word = String::new();
+                while matches!(chars.peek(), Some(c) if c.is_ascii_alphabetic()) {
+                    word.push(chars.next().unwrap());
+                }
+                match word.as_str() {
+                    "true" => JVal::Bool(true),
+                    "false" => JVal::Bool(false),
+                    _ => return None,
+                }
+            }
+            _ => {
+                let mut numtxt = String::new();
+                while matches!(chars.peek(), Some(c) if "+-0123456789.eE".contains(*c)) {
+                    numtxt.push(chars.next().unwrap());
+                }
+                JVal::Num(numtxt.parse().ok()?)
+            }
+        };
+        out.push((key, val));
+        skip_ws(&mut chars);
+        match chars.next()? {
+            ',' => continue,
+            '}' => break,
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+/// Parse one JSONL line produced by [`event_to_jsonl`] back into an
+/// [`Event`]. Returns `None` for malformed lines or unknown tags.
+pub fn event_from_jsonl(line: &str) -> Option<Event> {
+    let fields = parse_flat_object(line)?;
+    let get = |k: &str| fields.iter().find(|(key, _)| key == k).map(|(_, v)| v);
+    let f = |k: &str| match get(k)? {
+        JVal::Num(x) => Some(*x),
+        _ => None,
+    };
+    let s = |k: &str| match get(k)? {
+        JVal::Str(x) => Some(x.clone()),
+        _ => None,
+    };
+    let b = |k: &str| match get(k)? {
+        JVal::Bool(x) => Some(*x),
+        _ => None,
+    };
+    let u32of = |k: &str| f(k).map(|x| x as u32);
+    let u16of = |k: &str| f(k).map(|x| x as u16);
+
+    Some(match s("tag")?.as_str() {
+        "config" => Event::ConfigSnapshot {
+            t: f("t")?,
+            core_mhz: f("core_mhz")?,
+            mem_mhz: f("mem_mhz")?,
+            ecc: b("ecc")?,
+        },
+        "kernel_launch" => Event::KernelLaunch {
+            t: f("t")?,
+            launch: u32of("launch")?,
+            name: s("name")?,
+            grid: u32of("grid")?,
+            block_threads: u32of("block_threads")?,
+        },
+        "kernel_retire" => Event::KernelRetire {
+            t: f("t")?,
+            launch: u32of("launch")?,
+            duration_s: f("duration_s")?,
+            energy_j: f("energy_j")?,
+        },
+        "block_dispatch" => Event::BlockDispatch {
+            t: f("t")?,
+            launch: u32of("launch")?,
+            block: u32of("block")?,
+            sm: u16of("sm")?,
+            slot: u16of("slot")?,
+        },
+        "block_complete" => Event::BlockComplete {
+            t: f("t")?,
+            launch: u32of("launch")?,
+            block: u32of("block")?,
+            sm: u16of("sm")?,
+        },
+        "sm_interval" => Event::SmInterval {
+            t0: f("t0")?,
+            t1: f("t1")?,
+            sm: u16of("sm")?,
+            watts: f("watts")?,
+            issue_frac: f("issue_frac")?,
+            resident: u16of("resident")?,
+        },
+        "board_interval" => Event::BoardInterval {
+            t0: f("t0")?,
+            t1: f("t1")?,
+            watts: f("watts")?,
+            phase: BoardPhase::from_name(&s("phase")?)?,
+        },
+        "dram_interval" => Event::DramInterval {
+            t0: f("t0")?,
+            t1: f("t1")?,
+            bytes_per_s: f("bytes_per_s")?,
+            demanders: u16of("demanders")?,
+        },
+        "dram_contention_open" => Event::DramContentionOpen {
+            t: f("t")?,
+            demanders: u16of("demanders")?,
+        },
+        "dram_contention_close" => Event::DramContentionClose { t: f("t")? },
+        "sensor_sample" => Event::SensorSample {
+            t: f("t")?,
+            watts: f("watts")?,
+            rate_hz: f("rate_hz")?,
+        },
+        "sensor_rate_switch" => Event::SensorRateSwitch {
+            t: f("t")?,
+            rate_hz: f("rate_hz")?,
+        },
+        "threshold_cross" => Event::ThresholdCross {
+            t: f("t")?,
+            watts: f("watts")?,
+            threshold_w: f("threshold_w")?,
+            rising: b("rising")?,
+        },
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::ConfigSnapshot {
+                t: 0.0,
+                core_mhz: 705.0,
+                mem_mhz: 2600.0,
+                ecc: true,
+            },
+            Event::KernelLaunch {
+                t: 3.0,
+                launch: 0,
+                name: "bfs \"frontier\"".into(),
+                grid: 64,
+                block_threads: 256,
+            },
+            Event::BlockDispatch {
+                t: 3.0,
+                launch: 0,
+                block: 0,
+                sm: 2,
+                slot: 1,
+            },
+            Event::SmInterval {
+                t0: 3.0,
+                t1: 3.25,
+                sm: 2,
+                watts: 7.5,
+                issue_frac: 0.875,
+                resident: 1,
+            },
+            Event::BoardInterval {
+                t0: 3.0,
+                t1: 3.25,
+                watts: 60.0,
+                phase: BoardPhase::KernelStatic,
+            },
+            Event::DramInterval {
+                t0: 3.0,
+                t1: 3.25,
+                bytes_per_s: 1.5e11,
+                demanders: 2,
+            },
+            Event::DramContentionOpen {
+                t: 3.0,
+                demanders: 2,
+            },
+            Event::BlockComplete {
+                t: 3.25,
+                launch: 0,
+                block: 0,
+                sm: 2,
+            },
+            Event::DramContentionClose { t: 3.25 },
+            Event::KernelRetire {
+                t: 3.25,
+                launch: 0,
+                duration_s: 0.25,
+                energy_j: 16.875,
+            },
+            Event::SensorSample {
+                t: 3.2,
+                watts: 66.2,
+                rate_hz: 10.0,
+            },
+            Event::SensorRateSwitch {
+                t: 3.1,
+                rate_hz: 10.0,
+            },
+            Event::ThresholdCross {
+                t: 3.05,
+                watts: 66.0,
+                threshold_w: 40.0,
+                rising: true,
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_round_trips_every_variant() {
+        for ev in sample_events() {
+            let line = event_to_jsonl(&ev);
+            let back =
+                event_from_jsonl(&line).unwrap_or_else(|| panic!("failed to parse back: {line}"));
+            assert_eq!(back, ev, "round-trip mismatch for {line}");
+        }
+    }
+
+    #[test]
+    fn jsonl_document_round_trips() {
+        let evs = sample_events();
+        let doc = jsonl(&evs);
+        let back: Vec<Event> = doc.lines().map(|l| event_from_jsonl(l).unwrap()).collect();
+        assert_eq!(back, evs);
+    }
+
+    #[test]
+    fn jsonl_escapes_and_unescapes_names() {
+        let ev = Event::KernelLaunch {
+            t: 0.0,
+            launch: 1,
+            name: "odd \"name\"\twith\\stuff\n".into(),
+            grid: 1,
+            block_threads: 32,
+        };
+        let line = event_to_jsonl(&ev);
+        assert!(!line.contains('\n'), "JSONL line must be newline-free");
+        assert_eq!(event_from_jsonl(&line), Some(ev));
+    }
+
+    #[test]
+    fn jsonl_rejects_garbage() {
+        assert_eq!(event_from_jsonl("not json"), None);
+        assert_eq!(event_from_jsonl("{\"tag\":\"unknown_tag\",\"t\":0}"), None);
+        assert_eq!(event_from_jsonl("{\"tag\":\"kernel_retire\"}"), None);
+    }
+
+    #[test]
+    fn chrome_trace_has_expected_shape() {
+        let doc = chrome_trace(&sample_events());
+        assert!(doc.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"));
+        assert!(doc.trim_end().ends_with("]}"));
+        // Kernel slice labelled with the (escaped) launch name.
+        assert!(doc.contains(r#""ph":"X""#));
+        assert!(doc.contains(r#""name":"bfs \"frontier\"""#));
+        // SM thread metadata and block slice on tid = sm + 1.
+        assert!(doc.contains(r#""name":"SM 2""#));
+        assert!(doc.contains(r#""tid":3"#));
+        // Counter tracks for power and DRAM bandwidth.
+        assert!(doc.contains(r#""ph":"C""#));
+        assert!(doc.contains(r#""name":"board power (W)""#));
+        assert!(doc.contains(r#""name":"DRAM bandwidth (GB/s)""#));
+        // Instant events for contention and threshold crossings.
+        assert!(doc.contains(r#""name":"dram contention open""#));
+        assert!(doc.contains(r#""name":"threshold rise""#));
+        // Timestamps are microseconds: 3.25 s retire -> ts 3000000, dur 250000.
+        assert!(doc.contains(r#""ts":3000000,"dur":250000"#));
+    }
+
+    #[test]
+    fn chrome_trace_rows_are_valid_flat_json() {
+        // Every emitted row should at least tokenize as a flat object as far
+        // as our parser is concerned, except rows with nested args — so
+        // instead check balanced braces and that each row parses as JSON-ish:
+        let doc = chrome_trace(&sample_events());
+        for line in doc.lines() {
+            let line = line.trim_end_matches(',');
+            if line.starts_with('{') && line.ends_with('}') {
+                let opens = line.matches('{').count();
+                let closes = line.matches('}').count();
+                assert_eq!(opens, closes, "unbalanced braces in {line}");
+                assert_eq!(line.matches('"').count() % 2, 0, "odd quotes in {line}");
+            }
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_one_row_per_event() {
+        let evs = sample_events();
+        let doc = csv(&evs);
+        let lines: Vec<&str> = doc.lines().collect();
+        assert_eq!(lines.len(), evs.len() + 1);
+        assert_eq!(lines[0], CSV_HEADER);
+        let ncols = CSV_HEADER.split(',').count();
+        // A quoted kernel name contains a comma; skip naive splitting there.
+        for line in &lines[1..] {
+            if !line.contains('"') {
+                assert_eq!(line.split(',').count(), ncols, "bad column count: {line}");
+            }
+        }
+        // Kernel name with quotes is escaped per RFC 4180.
+        assert!(doc.contains("\"bfs \"\"frontier\"\"\""));
+    }
+}

@@ -1,0 +1,165 @@
+//! Bounded in-memory event recorder.
+
+use std::sync::Mutex;
+
+use crate::event::Event;
+use crate::sink::TelemetrySink;
+
+/// A ring-buffered [`TelemetrySink`] with a hard memory bound.
+///
+/// Capacity is fixed at construction; once the buffer is full the oldest
+/// events are overwritten and counted in [`EventTrace::dropped`], so a
+/// long-running simulation can stay instrumented without unbounded growth.
+/// Interior mutability (a `Mutex` around a plain ring) keeps `record`
+/// callable through `&self`, which is what the sink trait requires.
+#[derive(Debug)]
+pub struct EventTrace {
+    inner: Mutex<Ring>,
+}
+
+#[derive(Debug)]
+struct Ring {
+    buf: Vec<Event>,
+    cap: usize,
+    /// Index of the logically-oldest event once the buffer has wrapped.
+    head: usize,
+    dropped: u64,
+}
+
+impl EventTrace {
+    /// A recorder that retains at most `capacity` events (minimum 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cap = capacity.max(1);
+        EventTrace {
+            inner: Mutex::new(Ring {
+                buf: Vec::with_capacity(cap.min(4096)),
+                cap,
+                head: 0,
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted to honour the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().unwrap().dropped
+    }
+
+    /// Retained events in record order (oldest first).
+    pub fn events(&self) -> Vec<Event> {
+        let ring = self.inner.lock().unwrap();
+        let mut out = Vec::with_capacity(ring.buf.len());
+        out.extend_from_slice(&ring.buf[ring.head..]);
+        out.extend_from_slice(&ring.buf[..ring.head]);
+        out
+    }
+
+    /// Drain the recorder, returning events in record order.
+    pub fn take(&self) -> Vec<Event> {
+        let mut ring = self.inner.lock().unwrap();
+        let head = ring.head;
+        ring.head = 0;
+        let mut buf = std::mem::take(&mut ring.buf);
+        buf.rotate_left(head);
+        buf
+    }
+}
+
+impl TelemetrySink for EventTrace {
+    fn record(&self, event: Event) {
+        let mut ring = self.inner.lock().unwrap();
+        if ring.buf.len() < ring.cap {
+            ring.buf.push(event);
+        } else {
+            let head = ring.head;
+            ring.buf[head] = event;
+            ring.head = (head + 1) % ring.cap;
+            ring.dropped += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(t: f64) -> Event {
+        Event::DramContentionClose { t }
+    }
+
+    #[test]
+    fn records_in_order_below_capacity() {
+        let tr = EventTrace::with_capacity(8);
+        for i in 0..5 {
+            tr.record(close(i as f64));
+        }
+        let evs = tr.events();
+        assert_eq!(evs.len(), 5);
+        assert_eq!(tr.dropped(), 0);
+        for (i, e) in evs.iter().enumerate() {
+            assert_eq!(e.time(), i as f64);
+        }
+    }
+
+    #[test]
+    fn wraps_and_counts_drops() {
+        let tr = EventTrace::with_capacity(4);
+        for i in 0..10 {
+            tr.record(close(i as f64));
+        }
+        assert_eq!(tr.len(), 4);
+        assert_eq!(tr.dropped(), 6);
+        let times: Vec<f64> = tr.events().iter().map(|e| e.time()).collect();
+        assert_eq!(times, vec![6.0, 7.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn take_drains_and_preserves_order_after_wrap() {
+        let tr = EventTrace::with_capacity(3);
+        for i in 0..5 {
+            tr.record(close(i as f64));
+        }
+        let times: Vec<f64> = tr.take().iter().map(|e| e.time()).collect();
+        assert_eq!(times, vec![2.0, 3.0, 4.0]);
+        assert!(tr.is_empty());
+        // Recorder is reusable after take().
+        tr.record(close(9.0));
+        assert_eq!(tr.len(), 1);
+        assert_eq!(tr.events()[0].time(), 9.0);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let tr = EventTrace::with_capacity(0);
+        tr.record(close(1.0));
+        tr.record(close(2.0));
+        assert_eq!(tr.len(), 1);
+        assert_eq!(tr.events()[0].time(), 2.0);
+        assert_eq!(tr.dropped(), 1);
+    }
+
+    #[test]
+    fn concurrent_records_are_all_counted() {
+        let tr = EventTrace::with_capacity(1024);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for i in 0..100 {
+                        tr.record(close(i as f64));
+                    }
+                });
+            }
+        });
+        assert_eq!(tr.len(), 400);
+        assert_eq!(tr.dropped(), 0);
+    }
+}

@@ -1,0 +1,57 @@
+//! The sink trait instrumented code records into.
+
+use crate::event::Event;
+
+/// A consumer of telemetry events.
+///
+/// Instrumentation sites hold an `Option<&dyn TelemetrySink>` (or
+/// `Option<Arc<dyn TelemetrySink>>` for owners) and build events only when
+/// a sink is attached:
+///
+/// ```
+/// # use sim_telemetry::{TelemetrySink, Event};
+/// fn hot_loop(sink: Option<&dyn TelemetrySink>) {
+///     // ... simulation work ...
+///     if let Some(s) = sink {
+///         s.record(Event::DramContentionClose { t: 1.0 });
+///     }
+/// }
+/// hot_loop(None); // un-instrumented: one branch, no event construction
+/// ```
+///
+/// so the disabled path costs a branch on a `None` — no virtual call, no
+/// allocation, no formatting.
+pub trait TelemetrySink: Send + Sync {
+    /// Record one event. Implementations must tolerate being called from
+    /// multiple threads (the characterization harness runs devices on a
+    /// thread pool, though each device records into its own sink in
+    /// practice).
+    fn record(&self, event: Event);
+}
+
+/// A sink that drops everything. Useful where an API wants *a* sink rather
+/// than an `Option`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopSink;
+
+impl TelemetrySink for NoopSink {
+    #[inline]
+    fn record(&self, _event: Event) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_sink_accepts_events() {
+        let s = NoopSink;
+        s.record(Event::DramContentionClose { t: 0.0 });
+    }
+
+    #[test]
+    fn trait_object_safe() {
+        let s: &dyn TelemetrySink = &NoopSink;
+        s.record(Event::DramContentionClose { t: 0.0 });
+    }
+}

@@ -1,0 +1,426 @@
+//! Post-hoc reductions of an event stream into per-SM and DRAM timelines.
+//!
+//! [`build_timeline`] folds the interval-shaped events (`SmInterval`,
+//! `BoardInterval`, `DramInterval`) into per-SM lanes, a board-power lane and
+//! a DRAM-bandwidth lane. Because the scheduler emits exactly one
+//! `SmInterval` per SM per scheduling interval plus one `BoardInterval` for
+//! the static share — and those same watts are what it pushes into the
+//! ground-truth `PowerTrace` — the timeline's [`Timeline::total_energy_j`]
+//! reproduces `PowerTrace::total_energy()` to float precision.
+
+use std::collections::BTreeMap;
+
+use crate::event::{BoardPhase, Event};
+
+/// One SM's activity over one scheduler interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SmSeg {
+    pub t0: f64,
+    pub t1: f64,
+    /// Dynamic watts attributed to the SM's resident blocks.
+    pub watts: f64,
+    /// Fraction of issue bandwidth in use (0..=1).
+    pub issue_frac: f64,
+    pub resident: u16,
+}
+
+/// The full activity lane for one SM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SmLane {
+    pub sm: u16,
+    pub segments: Vec<SmSeg>,
+    /// Integrated dynamic energy over all segments.
+    pub energy_j: f64,
+    /// Wall time with at least one resident block.
+    pub busy_s: f64,
+    /// Issue-utilization integral (busy-time weighted mean is
+    /// `issue_s / busy_s`).
+    pub issue_s: f64,
+    pub peak_resident: u16,
+}
+
+impl SmLane {
+    /// Mean issue utilization while the SM had resident work.
+    pub fn mean_issue_frac(&self) -> f64 {
+        if self.busy_s > 0.0 {
+            self.issue_s / self.busy_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Board-level power over an interval, labelled with its phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoardSeg {
+    pub t0: f64,
+    pub t1: f64,
+    pub watts: f64,
+    pub phase: BoardPhase,
+}
+
+/// Aggregate DRAM traffic over an interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramSeg {
+    pub t0: f64,
+    pub t1: f64,
+    pub bytes_per_s: f64,
+    pub demanders: u16,
+}
+
+/// Everything [`build_timeline`] derives from an event stream.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    /// Per-SM lanes, sorted by SM id.
+    pub sms: Vec<SmLane>,
+    /// Board-level power segments in event order.
+    pub board: Vec<BoardSeg>,
+    /// DRAM bandwidth segments in event order.
+    pub dram: Vec<DramSeg>,
+    /// Σ per-SM dynamic interval energy.
+    pub sm_energy_j: f64,
+    /// Σ board-interval energy (idle, gaps, kernel-static, tail).
+    pub board_energy_j: f64,
+    /// Energy by board phase, indexed via [`Timeline::phase_energy_j`].
+    phase_energy: [f64; 4],
+    /// Total DRAM bytes moved.
+    pub dram_bytes: f64,
+    /// Peak DRAM bandwidth over any interval.
+    pub dram_peak_bytes_per_s: f64,
+    /// Wall time with ≥2 blocks competing for DRAM.
+    pub contention_s: f64,
+    /// Latest interval end / event time seen.
+    pub end_time: f64,
+}
+
+impl Timeline {
+    /// `sm_energy_j + board_energy_j` — reconciles with
+    /// `PowerTrace::total_energy()` for a fully-instrumented run.
+    pub fn total_energy_j(&self) -> f64 {
+        self.sm_energy_j + self.board_energy_j
+    }
+
+    /// Board energy attributed to one phase.
+    pub fn phase_energy_j(&self, phase: BoardPhase) -> f64 {
+        self.phase_energy[phase_idx(phase)]
+    }
+
+    /// Lane for an SM id, if it ever had work.
+    pub fn sm(&self, sm: u16) -> Option<&SmLane> {
+        self.sms.iter().find(|l| l.sm == sm)
+    }
+}
+
+fn phase_idx(p: BoardPhase) -> usize {
+    match p {
+        BoardPhase::Idle => 0,
+        BoardPhase::Gap => 1,
+        BoardPhase::KernelStatic => 2,
+        BoardPhase::Tail => 3,
+    }
+}
+
+/// Fold an event stream into a [`Timeline`].
+///
+/// Non-interval events (launch/retire, dispatch, sensor samples…) only
+/// advance [`Timeline::end_time`]; the energy accounting uses interval
+/// events exclusively so dropping informational events from a saturated
+/// ring buffer cannot skew the reconciliation.
+pub fn build_timeline(events: &[Event]) -> Timeline {
+    let mut lanes: BTreeMap<u16, SmLane> = BTreeMap::new();
+    let mut tl = Timeline::default();
+
+    for ev in events {
+        match *ev {
+            Event::SmInterval {
+                t0,
+                t1,
+                sm,
+                watts,
+                issue_frac,
+                resident,
+            } => {
+                let dt = (t1 - t0).max(0.0);
+                let lane = lanes.entry(sm).or_insert_with(|| SmLane {
+                    sm,
+                    segments: Vec::new(),
+                    energy_j: 0.0,
+                    busy_s: 0.0,
+                    issue_s: 0.0,
+                    peak_resident: 0,
+                });
+                lane.segments.push(SmSeg {
+                    t0,
+                    t1,
+                    watts,
+                    issue_frac,
+                    resident,
+                });
+                lane.energy_j += watts * dt;
+                if resident > 0 {
+                    lane.busy_s += dt;
+                    lane.issue_s += issue_frac * dt;
+                }
+                lane.peak_resident = lane.peak_resident.max(resident);
+                tl.sm_energy_j += watts * dt;
+                tl.end_time = tl.end_time.max(t1);
+            }
+            Event::BoardInterval {
+                t0,
+                t1,
+                watts,
+                phase,
+            } => {
+                let dt = (t1 - t0).max(0.0);
+                tl.board.push(BoardSeg {
+                    t0,
+                    t1,
+                    watts,
+                    phase,
+                });
+                tl.board_energy_j += watts * dt;
+                tl.phase_energy[phase_idx(phase)] += watts * dt;
+                tl.end_time = tl.end_time.max(t1);
+            }
+            Event::DramInterval {
+                t0,
+                t1,
+                bytes_per_s,
+                demanders,
+            } => {
+                let dt = (t1 - t0).max(0.0);
+                tl.dram.push(DramSeg {
+                    t0,
+                    t1,
+                    bytes_per_s,
+                    demanders,
+                });
+                tl.dram_bytes += bytes_per_s * dt;
+                tl.dram_peak_bytes_per_s = tl.dram_peak_bytes_per_s.max(bytes_per_s);
+                if demanders >= 2 {
+                    tl.contention_s += dt;
+                }
+                tl.end_time = tl.end_time.max(t1);
+            }
+            ref other => {
+                tl.end_time = tl.end_time.max(other.time());
+            }
+        }
+    }
+
+    tl.sms = lanes.into_values().collect();
+    tl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integrates_sm_and_board_energy() {
+        let evs = vec![
+            Event::BoardInterval {
+                t0: 0.0,
+                t1: 2.0,
+                watts: 10.0,
+                phase: BoardPhase::Idle,
+            },
+            Event::SmInterval {
+                t0: 2.0,
+                t1: 3.0,
+                sm: 0,
+                watts: 5.0,
+                issue_frac: 0.5,
+                resident: 2,
+            },
+            Event::SmInterval {
+                t0: 2.0,
+                t1: 3.0,
+                sm: 1,
+                watts: 3.0,
+                issue_frac: 1.0,
+                resident: 1,
+            },
+            Event::BoardInterval {
+                t0: 2.0,
+                t1: 3.0,
+                watts: 20.0,
+                phase: BoardPhase::KernelStatic,
+            },
+        ];
+        let tl = build_timeline(&evs);
+        assert!((tl.board_energy_j - 40.0).abs() < 1e-12);
+        assert!((tl.sm_energy_j - 8.0).abs() < 1e-12);
+        assert!((tl.total_energy_j() - 48.0).abs() < 1e-12);
+        assert!((tl.phase_energy_j(BoardPhase::Idle) - 20.0).abs() < 1e-12);
+        assert!((tl.phase_energy_j(BoardPhase::KernelStatic) - 20.0).abs() < 1e-12);
+        assert_eq!(tl.phase_energy_j(BoardPhase::Tail), 0.0);
+        assert_eq!(tl.end_time, 3.0);
+    }
+
+    #[test]
+    fn lanes_sorted_with_busy_and_issue_stats() {
+        let evs = vec![
+            Event::SmInterval {
+                t0: 0.0,
+                t1: 1.0,
+                sm: 3,
+                watts: 1.0,
+                issue_frac: 0.25,
+                resident: 1,
+            },
+            Event::SmInterval {
+                t0: 1.0,
+                t1: 2.0,
+                sm: 3,
+                watts: 0.0,
+                issue_frac: 0.0,
+                resident: 0,
+            },
+            Event::SmInterval {
+                t0: 0.0,
+                t1: 1.0,
+                sm: 1,
+                watts: 2.0,
+                issue_frac: 0.75,
+                resident: 4,
+            },
+        ];
+        let tl = build_timeline(&evs);
+        let ids: Vec<u16> = tl.sms.iter().map(|l| l.sm).collect();
+        assert_eq!(ids, vec![1, 3]);
+        let l3 = tl.sm(3).unwrap();
+        assert_eq!(l3.segments.len(), 2);
+        assert_eq!(l3.busy_s, 1.0); // idle segment excluded
+        assert!((l3.mean_issue_frac() - 0.25).abs() < 1e-12);
+        assert_eq!(l3.peak_resident, 1);
+        assert_eq!(tl.sm(1).unwrap().peak_resident, 4);
+        assert!(tl.sm(0).is_none());
+    }
+
+    #[test]
+    fn dram_stats_track_contention() {
+        let evs = vec![
+            Event::DramInterval {
+                t0: 0.0,
+                t1: 1.0,
+                bytes_per_s: 100.0,
+                demanders: 1,
+            },
+            Event::DramInterval {
+                t0: 1.0,
+                t1: 3.0,
+                bytes_per_s: 250.0,
+                demanders: 3,
+            },
+        ];
+        let tl = build_timeline(&evs);
+        assert!((tl.dram_bytes - 600.0).abs() < 1e-9);
+        assert_eq!(tl.dram_peak_bytes_per_s, 250.0);
+        assert_eq!(tl.contention_s, 2.0);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// An arbitrary mix of interval and informational events. The first
+        /// tuple element picks the variant; the rest parameterize it.
+        fn arb_event() -> impl Strategy<Value = Event> {
+            (
+                0u8..4,
+                (0.0f64..50.0, 0.0f64..5.0, 0.0f64..120.0),
+                (0u16..8, 0.0f64..1.0, 0u16..30),
+            )
+                .prop_map(|(kind, (t0, dt, watts), (sm, frac, count))| match kind {
+                    0 => Event::SmInterval {
+                        t0,
+                        t1: t0 + dt,
+                        sm,
+                        watts,
+                        issue_frac: frac,
+                        resident: count % 6,
+                    },
+                    1 => Event::BoardInterval {
+                        t0,
+                        t1: t0 + dt,
+                        watts,
+                        phase: [
+                            BoardPhase::Idle,
+                            BoardPhase::Gap,
+                            BoardPhase::KernelStatic,
+                            BoardPhase::Tail,
+                        ][(sm % 4) as usize],
+                    },
+                    2 => Event::DramInterval {
+                        t0,
+                        t1: t0 + dt,
+                        bytes_per_s: watts * 1e9,
+                        demanders: count,
+                    },
+                    _ => Event::KernelRetire {
+                        t: t0,
+                        launch: sm as u32,
+                        duration_s: dt,
+                        energy_j: watts,
+                    },
+                })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// The timeline's total energy is exactly the independent
+            /// integral of the interval events, per-lane energies sum to
+            /// the SM total, and phase energies sum to the board total —
+            /// regardless of event order or interleaving.
+            #[test]
+            fn prop_timeline_energy_is_the_interval_integral(
+                events in proptest::collection::vec(arb_event(), 0..200)
+            ) {
+                let tl = build_timeline(&events);
+                let mut sm = 0.0;
+                let mut board = 0.0;
+                for ev in &events {
+                    match *ev {
+                        Event::SmInterval { t0, t1, watts, .. } => sm += watts * (t1 - t0),
+                        Event::BoardInterval { t0, t1, watts, .. } => board += watts * (t1 - t0),
+                        _ => {}
+                    }
+                }
+                let tol = 1e-9 * (1.0 + sm.abs() + board.abs());
+                prop_assert!((tl.sm_energy_j - sm).abs() < tol);
+                prop_assert!((tl.board_energy_j - board).abs() < tol);
+                prop_assert!((tl.total_energy_j() - (sm + board)).abs() < tol);
+                let lane_sum: f64 = tl.sms.iter().map(|l| l.energy_j).sum();
+                prop_assert!((lane_sum - tl.sm_energy_j).abs() < tol);
+                let phase_sum: f64 = [
+                    BoardPhase::Idle,
+                    BoardPhase::Gap,
+                    BoardPhase::KernelStatic,
+                    BoardPhase::Tail,
+                ]
+                .into_iter()
+                .map(|p| tl.phase_energy_j(p))
+                .sum();
+                prop_assert!((phase_sum - tl.board_energy_j).abs() < tol);
+                for lane in &tl.sms {
+                    prop_assert!(lane.issue_s <= lane.busy_s + 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn informational_events_only_extend_end_time() {
+        let evs = vec![Event::KernelRetire {
+            t: 7.5,
+            launch: 0,
+            duration_s: 1.0,
+            energy_j: 42.0,
+        }];
+        let tl = build_timeline(&evs);
+        assert_eq!(tl.total_energy_j(), 0.0);
+        assert_eq!(tl.end_time, 7.5);
+    }
+}

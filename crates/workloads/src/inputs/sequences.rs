@@ -8,7 +8,7 @@ const BASES: [u8; 4] = [b'A', b'C', b'G', b'T'];
 /// A random DNA reference sequence of length `n`.
 pub fn reference(n: usize, seed: u64) -> Vec<u8> {
     let mut r = rng(seed);
-    (0..n).map(|_| BASES[r.gen_range(0..4)]).collect()
+    (0..n).map(|_| BASES[r.gen_range(0..4usize)]).collect()
 }
 
 /// Query reads of length `len`, most of which are real substrings of
@@ -23,14 +23,14 @@ pub fn queries(reference: &[u8], count: usize, len: usize, seed: u64) -> Vec<u8>
             for i in 0..len {
                 let base = reference[start + i];
                 if r.gen::<f32>() < 0.02 {
-                    out.push(BASES[r.gen_range(0..4)]);
+                    out.push(BASES[r.gen_range(0..4usize)]);
                 } else {
                     out.push(base);
                 }
             }
         } else {
             for _ in 0..len {
-                out.push(BASES[r.gen_range(0..4)]);
+                out.push(BASES[r.gen_range(0..4usize)]);
             }
         }
     }

@@ -5,7 +5,7 @@ use rand::{Rng, SeedableRng};
 
 /// Deterministic RNG for a generator.
 pub fn rng(seed: u64) -> SmallRng {
-    SmallRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xC0FF_EE)
+    SmallRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x00C0_FFEE)
 }
 
 /// `n` uniform f32 values in `[lo, hi)`.

@@ -367,15 +367,7 @@ impl LBfs {
                 dev.write_at(&dirty, src, 1);
                 loop {
                     dev.fill(&bufs.changed, 0);
-                    dev.launch_with(
-                        &AtomicKernel {
-                            g: &bufs,
-                            dirty,
-                        },
-                        grid,
-                        BLOCK,
-                        opts,
-                    );
+                    dev.launch_with(&AtomicKernel { g: &bufs, dirty }, grid, BLOCK, opts);
                     if dev.read_at(&bufs.changed, 0) == 0 {
                         break;
                     }
@@ -388,7 +380,11 @@ impl LBfs {
                 let mut flip = false;
                 loop {
                     dev.fill(&bufs.changed, 0);
-                    let (fin, fout) = if flip { (flag_b, flag_a) } else { (flag_a, flag_b) };
+                    let (fin, fout) = if flip {
+                        (flag_b, flag_a)
+                    } else {
+                        (flag_a, flag_b)
+                    };
                     dev.launch_with(
                         &WlaKernel {
                             g: &bufs,

@@ -97,7 +97,8 @@ impl Kernel for BuildTree<'_> {
                 let cy = t.ld(&b.cell_y, cell);
                 let cz = t.ld(&b.cell_z, cell);
                 let half = t.ld(&b.cell_half, cell);
-                let oct = ((px > cx) as usize) | ((py > cy) as usize) << 1 | ((pz > cz) as usize) << 2;
+                let oct =
+                    ((px > cx) as usize) | ((py > cy) as usize) << 1 | ((pz > cz) as usize) << 2;
                 t.int_op(6);
                 t.fp32_add(3);
                 let slot = cell * 8 + oct;
@@ -235,7 +236,13 @@ impl Kernel for Force<'_> {
                     if j == i {
                         continue;
                     }
-                    (t.ld(&b.m, j), t.ld(&b.x, j), t.ld(&b.y, j), t.ld(&b.z, j), true)
+                    (
+                        t.ld(&b.m, j),
+                        t.ld(&b.x, j),
+                        t.ld(&b.y, j),
+                        t.ld(&b.z, j),
+                        true,
+                    )
                 } else {
                     let j = node as usize - n;
                     (
@@ -495,8 +502,8 @@ mod tests {
     fn run_executes_all_five_kernels() {
         let mut dev = device();
         BarnesHut.run(&mut dev, &InputSpec::new("t", 256, 0, 1, 1.0));
-        let names: std::collections::HashSet<_> =
-            dev.stats().iter().map(|l| l.kernel).collect();
+        let names: std::collections::HashSet<&str> =
+            dev.stats().iter().map(|l| l.kernel.as_ref()).collect();
         for k in [
             "bh_bounding_box",
             "bh_build_tree",

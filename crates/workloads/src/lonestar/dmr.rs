@@ -211,9 +211,9 @@ impl Dmr {
                 tri_data[3 * t + 1] as usize,
                 tri_data[3 * t + 2] as usize,
             );
-            let area2 =
-                ((pxs[c] - pxs[a]) * (pys[d] - pys[a]) - (pxs[d] - pxs[a]) * (pys[c] - pys[a]))
-                    .abs();
+            let area2 = ((pxs[c] - pxs[a]) * (pys[d] - pys[a])
+                - (pxs[d] - pxs[a]) * (pys[c] - pys[a]))
+                .abs();
             assert!(
                 area2 <= threshold2 * 1.0001,
                 "triangle {t} still above the area bound"
@@ -288,7 +288,7 @@ mod tests {
         let mut dev = device();
         let (tris, _) = Dmr.refine(&mut dev, 10, 10, 2, 1.0);
         // Area bound of mean/3: expect roughly 3-8x growth, not explosion.
-        assert!(tris >= 400 && tris <= 2000, "triangles {tris}");
+        assert!((400..=2000).contains(&tris), "triangles {tris}");
     }
 
     #[test]

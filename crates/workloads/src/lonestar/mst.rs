@@ -213,6 +213,7 @@ impl Mst {
             let mut ids: HashMap<(u32, u32), u32> = HashMap::new();
             let mut next = 0u32;
             for u in 0..n {
+                #[allow(clippy::needless_range_loop)]
                 for e in g.row_ptr[u] as usize..g.row_ptr[u + 1] as usize {
                     let v = g.col[e] as usize;
                     let key = (u.min(v) as u32, u.max(v) as u32);

@@ -360,6 +360,11 @@ mod tests {
         let mut dev = device();
         SurveyProp.run(&mut dev, &InputSpec::new("t", 160, 40, 3, 1.0));
         let c = dev.total_counters();
-        assert!(c.flops() > c.lane_ops[4], "fp {} int {}", c.flops(), c.lane_ops[4]);
+        assert!(
+            c.flops() > c.lane_ops[4],
+            "fp {} int {}",
+            c.flops(),
+            c.lane_ops[4]
+        );
     }
 }

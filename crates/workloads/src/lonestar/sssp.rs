@@ -131,8 +131,13 @@ impl Kernel for WlcSssp<'_> {
     }
     fn run_block(&self, blk: &mut BlockCtx) {
         let g = self.g;
-        let (dist, in_wl, wl_in, wl_out, out_size) =
-            (self.dist, self.in_wl, self.wl_in, self.wl_out, self.out_size);
+        let (dist, in_wl, wl_in, wl_out, out_size) = (
+            self.dist,
+            self.in_wl,
+            self.wl_in,
+            self.wl_out,
+            self.out_size,
+        );
         let in_size = self.in_size;
         blk.for_each_thread(|t| {
             let i = t.gtid();

@@ -50,8 +50,12 @@ impl Kernel for CutcpKernel {
                 for dy in -1..=1i32 {
                     for dx in -1..=1i32 {
                         let (nx, ny, nz) = (bx + dx, by + dy, bz + dz);
-                        if nx < 0 || ny < 0 || nz < 0
-                            || nx >= bps as i32 || ny >= bps as i32 || nz >= bps as i32
+                        if nx < 0
+                            || ny < 0
+                            || nz < 0
+                            || nx >= bps as i32
+                            || ny >= bps as i32
+                            || nz >= bps as i32
                         {
                             continue;
                         }
@@ -95,6 +99,7 @@ pub fn host_cutcp(
 ) -> Vec<f32> {
     let spacing = box_len / grid_dim as f32;
     let mut pot = vec![0.0f32; grid_dim * grid_dim * grid_dim];
+    #[allow(clippy::needless_range_loop)]
     for gid in 0..pot.len() {
         let gx = (gid % grid_dim) as f32 * spacing;
         let gy = ((gid / grid_dim) % grid_dim) as f32 * spacing;

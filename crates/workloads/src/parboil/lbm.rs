@@ -86,6 +86,7 @@ impl Kernel for LbmStep {
             collide(&mut f, lid);
             t.fma32(40);
             t.sfu(1);
+            #[allow(clippy::needless_range_loop)]
             for q in 0..Q {
                 t.st(&f_out, q * nx * ny + cell, f[q]);
             }

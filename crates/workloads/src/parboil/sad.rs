@@ -56,6 +56,7 @@ impl Kernel for SadKernel {
 }
 
 /// Host reference SAD for one macroblock/candidate.
+#[allow(clippy::too_many_arguments)]
 pub fn host_sad(
     cur: &[u32],
     refr: &[u32],
@@ -115,7 +116,7 @@ impl Benchmark for Sad {
             search,
         };
         let mbs = ((w / MB) * (h / MB)) as u32;
-        let block = ((win * win + 31) / 32 * 32) as u32;
+        let block = ((win * win).div_ceil(32) * 32) as u32;
         dev.launch_with(
             &k,
             mbs,
@@ -168,6 +169,11 @@ mod tests {
         let mut dev = device();
         Sad.run(&mut dev, &InputSpec::new("t", 32, 2, 0, 1.0));
         let c = dev.total_counters();
-        assert!(c.lane_ops[4] > c.flops(), "int {} fp {}", c.lane_ops[4], c.flops());
+        assert!(
+            c.lane_ops[4] > c.flops(),
+            "int {} fp {}",
+            c.lane_ops[4],
+            c.flops()
+        );
     }
 }

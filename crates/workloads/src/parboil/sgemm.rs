@@ -97,12 +97,18 @@ impl Benchmark for Sgemm {
 
     fn inputs(&self) -> Vec<InputSpec> {
         // Parboil "small"; the harness re-runs the kernel many times.
-        vec![InputSpec::new("\"small\" benchmark input", 128, 0, 0, 202_000.0)]
+        vec![InputSpec::new(
+            "\"small\" benchmark input",
+            128,
+            0,
+            0,
+            202_000.0,
+        )]
     }
 
     fn run(&self, dev: &mut Device, input: &InputSpec) -> RunOutput {
         let n = input.n;
-        assert!(n % TILE == 0);
+        assert!(n.is_multiple_of(TILE));
         let a = f32_vec(n * n, -1.0, 1.0, input.seed);
         let b = f32_vec(n * n, -1.0, 1.0, input.seed + 1);
         let da = dev.alloc_from(&a);

@@ -90,7 +90,13 @@ impl Benchmark for Stencil3d {
     fn inputs(&self) -> Vec<InputSpec> {
         // Parboil "small" is 128^3 x 100 iterations; we run a 32^3 grid for
         // 8 sweeps and extrapolate.
-        vec![InputSpec::new("\"small\" benchmark input", 32, 8, 0, 2_270_000.0)]
+        vec![InputSpec::new(
+            "\"small\" benchmark input",
+            32,
+            8,
+            0,
+            2_270_000.0,
+        )]
     }
 
     fn run(&self, dev: &mut Device, input: &InputSpec) -> RunOutput {

@@ -99,7 +99,13 @@ impl Benchmark for Tpacf {
     }
 
     fn inputs(&self) -> Vec<InputSpec> {
-        vec![InputSpec::new("\"small\" benchmark input", 1536, 0, 0, 4_400.0)]
+        vec![InputSpec::new(
+            "\"small\" benchmark input",
+            1536,
+            0,
+            0,
+            4_400.0,
+        )]
     }
 
     fn run(&self, dev: &mut Device, input: &InputSpec) -> RunOutput {

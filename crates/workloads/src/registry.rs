@@ -2,9 +2,7 @@
 //! across 5 suites) plus the alternate implementations studied in Table 3.
 
 use crate::bench::Benchmark;
-use crate::lonestar::{
-    BarnesHut, Dmr, LBfs, LBfsVariant, Mst, Pta, Sssp, SsspVariant, SurveyProp,
-};
+use crate::lonestar::{BarnesHut, Dmr, LBfs, LBfsVariant, Mst, Pta, Sssp, SsspVariant, SurveyProp};
 use crate::parboil::{Cutcp, Histo, Lbm, Mriq, PBfs, Sad, Sgemm, Stencil3d, Tpacf};
 use crate::rodinia::{
     BackProp, Gaussian, Mummer, NearestNeighbor, NeedlemanWunsch, Pathfinder, RBfs,

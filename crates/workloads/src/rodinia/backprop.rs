@@ -88,7 +88,11 @@ impl Kernel for AdjustWeights {
                 let d = t.ld(&k.delta, h);
                 let w = t.ld(&k.weights, i * HID + h);
                 t.fma32(3);
-                t.st(&k.weights, i * HID + h, w + k.eta * d * x + k.momentum * w * 1e-4);
+                t.st(
+                    &k.weights,
+                    i * HID + h,
+                    w + k.eta * d * x + k.momentum * w * 1e-4,
+                );
             }
         });
     }
@@ -144,7 +148,7 @@ impl Benchmark for BackProp {
         dev.launch_with(&k1, grid, BLOCK, opts);
         // Host folds the partial sums (as Rodinia does) and computes deltas.
         let partial = dev.read(&k1.partial);
-        let mut hidden = vec![0.0f32; HID];
+        let mut hidden = [0.0f32; HID];
         for b in 0..grid as usize {
             for h in 0..HID {
                 hidden[h] += partial[b * HID + h];
@@ -159,7 +163,10 @@ impl Benchmark for BackProp {
                 expect[h]
             );
         }
-        let delta: Vec<f32> = hidden.iter().map(|v| (1.0 - v.tanh().powi(2)) * 0.1).collect();
+        let delta: Vec<f32> = hidden
+            .iter()
+            .map(|v| (1.0 - v.tanh().powi(2)) * 0.1)
+            .collect();
         let k2 = AdjustWeights {
             input: k1.input,
             weights: k1.weights,

@@ -64,7 +64,7 @@ impl Kernel for Fan2 {
             let pv = t.ld(&k.a, k.p * k.n + c);
             t.fma32(1);
             t.st(&k.a, r * k.n + c, av - m * pv);
-            if c == k.p + idx % cols && idx % cols == 0 {
+            if c == k.p + idx % cols && idx.is_multiple_of(cols) {
                 // One thread per row updates the RHS.
                 let bv = t.ld(&k.b, r);
                 let pb = t.ld(&k.b, k.p);

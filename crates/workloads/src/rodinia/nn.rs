@@ -56,7 +56,13 @@ impl Benchmark for NearestNeighbor {
     fn inputs(&self) -> Vec<InputSpec> {
         // Paper: 42k data points ("nnlist"); the benchmark loops over many
         // query batches.
-        vec![InputSpec::new("42k data points", 42_000, 10, 0, 4_200_000.0)]
+        vec![InputSpec::new(
+            "42k data points",
+            42_000,
+            10,
+            0,
+            4_200_000.0,
+        )]
     }
 
     fn run(&self, dev: &mut Device, input: &InputSpec) -> RunOutput {

@@ -146,7 +146,7 @@ impl Benchmark for NeedlemanWunsch {
 
     fn run(&self, dev: &mut Device, input: &InputSpec) -> RunOutput {
         let n = input.n;
-        assert!(n % TILE == 0);
+        assert!(n.is_multiple_of(TILE));
         let a: Vec<u32> = reference(n, input.seed).iter().map(|&c| c as u32).collect();
         let b: Vec<u32> = reference(n, input.seed + 1)
             .iter()

@@ -118,12 +118,7 @@ impl Kernel for ForceKernel<'_> {
 pub struct NBody;
 
 /// Host reference all-pairs accelerations (same math as the kernel).
-pub fn host_forces(
-    x: &[f32],
-    y: &[f32],
-    z: &[f32],
-    m: &[f32],
-) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+pub fn host_forces(x: &[f32], y: &[f32], z: &[f32], m: &[f32]) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
     let n = x.len();
     let (mut ax, mut ay, mut az) = (vec![0.0; n], vec![0.0; n], vec![0.0; n]);
     for i in 0..n {

@@ -65,7 +65,13 @@ impl Benchmark for SBfs {
 
     fn inputs(&self) -> Vec<InputSpec> {
         // n = nodes, m = out-degree, aux = traversal repetitions.
-        vec![InputSpec::new("default benchmark input", 4096, 4, 40, 1_900.0)]
+        vec![InputSpec::new(
+            "default benchmark input",
+            4096,
+            4,
+            40,
+            1_900.0,
+        )]
     }
 
     fn run(&self, dev: &mut Device, input: &InputSpec) -> RunOutput {

@@ -135,7 +135,13 @@ impl Benchmark for Fft {
 
     fn inputs(&self) -> Vec<InputSpec> {
         // n = transform size, m = batch count.
-        vec![InputSpec::new("default benchmark input", 512, 128, 0, 1_570_000.0)]
+        vec![InputSpec::new(
+            "default benchmark input",
+            512,
+            128,
+            0,
+            1_570_000.0,
+        )]
     }
 
     fn run(&self, dev: &mut Device, input: &InputSpec) -> RunOutput {
@@ -155,9 +161,17 @@ impl Benchmark for Fft {
             assert!((gi[i] - ei[i]).abs() < 2e-2 * ei[i].abs().max(1.0) + 2e-2);
         }
         // Parseval check over the whole batch.
-        let input_energy: f64 = re.iter().zip(&im).map(|(r, i)| (r * r + i * i) as f64).sum();
-        let output_energy: f64 =
-            gr.iter().zip(&gi).map(|(r, i)| (r * r + i * i) as f64).sum::<f64>() / n as f64;
+        let input_energy: f64 = re
+            .iter()
+            .zip(&im)
+            .map(|(r, i)| (r * r + i * i) as f64)
+            .sum();
+        let output_energy: f64 = gr
+            .iter()
+            .zip(&gi)
+            .map(|(r, i)| (r * r + i * i) as f64)
+            .sum::<f64>()
+            / n as f64;
         assert!(
             (input_energy - output_energy).abs() < 1e-2 * input_energy,
             "Parseval violated: {input_energy} vs {output_energy}"

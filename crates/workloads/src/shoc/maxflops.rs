@@ -96,7 +96,13 @@ impl Benchmark for MaxFlops {
     }
 
     fn inputs(&self) -> Vec<InputSpec> {
-        vec![InputSpec::new("default benchmark input", 26624, 64, 0, 4_300_000.0)]
+        vec![InputSpec::new(
+            "default benchmark input",
+            26624,
+            64,
+            0,
+            4_300_000.0,
+        )]
     }
 
     fn run(&self, dev: &mut Device, input: &InputSpec) -> RunOutput {

@@ -125,7 +125,13 @@ impl Benchmark for MolecularDynamics {
     }
 
     fn inputs(&self) -> Vec<InputSpec> {
-        vec![InputSpec::new("default benchmark input", 4096, 24, 0, 172_000.0)]
+        vec![InputSpec::new(
+            "default benchmark input",
+            4096,
+            24,
+            0,
+            172_000.0,
+        )]
     }
 
     fn run(&self, dev: &mut Device, input: &InputSpec) -> RunOutput {

@@ -165,7 +165,13 @@ impl Benchmark for Qtc {
     }
 
     fn inputs(&self) -> Vec<InputSpec> {
-        vec![InputSpec::new("default benchmark input", 768, 0, 0, 5_200.0)]
+        vec![InputSpec::new(
+            "default benchmark input",
+            768,
+            0,
+            0,
+            5_200.0,
+        )]
     }
 
     fn run(&self, dev: &mut Device, input: &InputSpec) -> RunOutput {

@@ -154,7 +154,13 @@ impl Benchmark for RadixSort {
     }
 
     fn inputs(&self) -> Vec<InputSpec> {
-        vec![InputSpec::new("default benchmark input", 1 << 16, 0, 0, 22_400.0)]
+        vec![InputSpec::new(
+            "default benchmark input",
+            1 << 16,
+            0,
+            0,
+            22_400.0,
+        )]
     }
 
     fn run(&self, dev: &mut Device, input: &InputSpec) -> RunOutput {
@@ -162,7 +168,10 @@ impl Benchmark for RadixSort {
         let keys = u32_vec(n, u32::MAX, input.seed);
         let vals: Vec<u32> = (0..n as u32).collect();
         let chunk = 1024usize;
-        assert!(n % chunk == 0, "input must be a multiple of {chunk}");
+        assert!(
+            n.is_multiple_of(chunk),
+            "input must be a multiple of {chunk}"
+        );
         let chunks = n / chunk;
         let mut kin = dev.alloc_from(&keys);
         let mut vin = dev.alloc_from(&vals);

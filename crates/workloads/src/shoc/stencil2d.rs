@@ -79,7 +79,13 @@ impl Benchmark for Stencil2d {
     }
 
     fn inputs(&self) -> Vec<InputSpec> {
-        vec![InputSpec::new("default benchmark input", 256, 10, 0, 529_000.0)]
+        vec![InputSpec::new(
+            "default benchmark input",
+            256,
+            10,
+            0,
+            529_000.0,
+        )]
     }
 
     fn run(&self, dev: &mut Device, input: &InputSpec) -> RunOutput {

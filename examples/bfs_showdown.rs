@@ -7,7 +7,16 @@ use gpgpu_char::study::{measure_median3, GpuConfigKind};
 
 fn main() {
     println!("BFS implementations on the largest road map (default config):");
-    let keys = ["lbfs", "lbfs-atomic", "lbfs-wla", "lbfs-wlw", "lbfs-wlc", "pbfs", "rbfs", "sbfs"];
+    let keys = [
+        "lbfs",
+        "lbfs-atomic",
+        "lbfs-wla",
+        "lbfs-wlw",
+        "lbfs-wlc",
+        "pbfs",
+        "rbfs",
+        "sbfs",
+    ];
     let mut base_time = None;
     for key in keys {
         let bench = registry::by_key(key).unwrap();

@@ -22,10 +22,7 @@ fn main() {
         .expect("default config must be measurable");
     println!(
         "  {:8}  t={:7.2}s  E={:8.1}J  P={:6.1}W",
-        "default",
-        base.reading.active_runtime_s,
-        base.reading.energy_j,
-        base.reading.avg_power_w
+        "default", base.reading.active_runtime_s, base.reading.energy_j, base.reading.avg_power_w
     );
     for kind in [GpuConfigKind::C614, GpuConfigKind::C324, GpuConfigKind::Ecc] {
         match measure_median3(bench.as_ref(), input, kind, 0) {

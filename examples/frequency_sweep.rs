@@ -21,7 +21,9 @@ fn measure(cfg: DeviceConfig, key: &str) -> Option<(f64, f64, f64)> {
 }
 
 fn main() {
-    let key = std::env::args().nth(1).unwrap_or_else(|| "sten".to_string());
+    let key = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "sten".to_string());
     println!("{key} across all six K20c clock settings:");
     for clocks in ClockConfig::k20_all_settings() {
         let label = format!("{:.0}/{:.0}", clocks.core_mhz, clocks.mem_mhz);

@@ -12,10 +12,7 @@ fn main() {
         match measure_median3(bench.as_ref(), &input, GpuConfigKind::Default, 0) {
             Ok(m) => println!(
                 "  {:28} t={:7.2}s  E={:8.1}J  P={:6.1}W",
-                input.name,
-                m.reading.active_runtime_s,
-                m.reading.energy_j,
-                m.reading.avg_power_w
+                input.name, m.reading.active_runtime_s, m.reading.energy_j, m.reading.avg_power_w
             ),
             Err(e) => println!("  {:28} unmeasurable: {e}", input.name),
         }

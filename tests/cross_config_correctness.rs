@@ -50,8 +50,11 @@ fn irregular_trajectories_do_differ_across_configs() {
         // The functional work done (bytes touched) is trajectory-sensitive.
         dev.total_counters().useful_bytes
     };
-    let differs = ["sssp-wln", "pta", "lbfs-atomic"].iter().any(|key| {
-        work(key, GpuConfigKind::Default) != work(key, GpuConfigKind::C324)
-    });
-    assert!(differs, "no irregular code changed trajectory with the clocks");
+    let differs = ["sssp-wln", "pta", "lbfs-atomic"]
+        .iter()
+        .any(|key| work(key, GpuConfigKind::Default) != work(key, GpuConfigKind::C324));
+    assert!(
+        differs,
+        "no irregular code changed trajectory with the clocks"
+    );
 }

@@ -45,7 +45,10 @@ fn boundness_split_is_board_invariant() {
         let (t_comp_a, _) = run_on(base, "mriq");
         let (t_comp_b, _) = run_on(slow, "mriq");
         let comp_ratio = t_comp_b / t_comp_a;
-        assert!(comp_ratio > mem_ratio, "comp {comp_ratio} vs mem {mem_ratio}");
+        assert!(
+            comp_ratio > mem_ratio,
+            "comp {comp_ratio} vs mem {mem_ratio}"
+        );
     }
 }
 

@@ -25,15 +25,24 @@ fn profile_has_idle_ramp_plateau_tail() {
     // Idle lead-in below threshold.
     assert!(samples[0].watts < reading.threshold_w);
     // A plateau above it.
-    let above = samples.iter().filter(|s| s.watts > reading.threshold_w).count();
+    let above = samples
+        .iter()
+        .filter(|s| s.watts > reading.threshold_w)
+        .count();
     assert!(above > 20);
     // Tail: after the last above-threshold sample the power decays toward
     // idle rather than stepping there instantly.
-    let last_active = samples.iter().rposition(|s| s.watts > reading.threshold_w).unwrap();
+    let last_active = samples
+        .iter()
+        .rposition(|s| s.watts > reading.threshold_w)
+        .unwrap();
     let tail: Vec<f64> = samples[last_active..].iter().map(|s| s.watts).collect();
     assert!(tail.windows(2).any(|w| w[1] < w[0]));
     let end = *tail.last().unwrap();
-    assert!(end < reading.idle_w + 4.0, "trace must end near idle, got {end}");
+    assert!(
+        end < reading.idle_w + 4.0,
+        "trace must end near idle, got {end}"
+    );
 }
 
 #[test]
@@ -47,7 +56,12 @@ fn threshold_adapts_to_configuration() {
     let lo = tool
         .analyze(&sensor.sample(&trace_for("sgemm", GpuConfigKind::C324), 5))
         .unwrap();
-    assert!(lo.threshold_w < hi.threshold_w, "{} vs {}", lo.threshold_w, hi.threshold_w);
+    assert!(
+        lo.threshold_w < hi.threshold_w,
+        "{} vs {}",
+        lo.threshold_w,
+        hi.threshold_w
+    );
 }
 
 #[test]

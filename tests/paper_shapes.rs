@@ -4,12 +4,22 @@
 
 use gpgpu_char::bench_suites::registry;
 use gpgpu_char::power::Reading;
-use gpgpu_char::study::{measure, GpuConfigKind};
+use gpgpu_char::study::{measure, measure_median3, GpuConfigKind};
 
 fn read(key: &str, kind: GpuConfigKind) -> Reading {
     let b = registry::by_key(key).unwrap();
     let input = &b.inputs()[0];
     measure(b.as_ref(), input, kind, 0)
+        .unwrap_or_else(|e| panic!("{key} at {kind}: {e}"))
+        .reading
+}
+
+/// Median-of-3 reading, for assertions whose margin is within the sensor's
+/// single-run quantization noise (~1% at the 10 Hz sampling rate).
+fn read3(key: &str, kind: GpuConfigKind) -> Reading {
+    let b = registry::by_key(key).unwrap();
+    let input = &b.inputs()[0];
+    measure_median3(b.as_ref(), input, kind, 0)
         .unwrap_or_else(|e| panic!("{key} at {kind}: {e}"))
         .reading
 }
@@ -30,8 +40,10 @@ fn compute_bound_response_to_614() {
 /// (core-only slowdown) and their energy *decreases*.
 #[test]
 fn memory_bound_unaffected_by_614() {
-    let base = read("sten", GpuConfigKind::Default);
-    let alt = read("sten", GpuConfigKind::C614);
+    // Median-of-3: the energy margin here is ~1%, inside a single run's
+    // sensor-quantization noise.
+    let base = read3("sten", GpuConfigKind::Default);
+    let alt = read3("sten", GpuConfigKind::C614);
     let t_ratio = alt.active_runtime_s / base.active_runtime_s;
     assert!((0.93..1.07).contains(&t_ratio), "t ratio {t_ratio}");
     assert!(alt.energy_j < base.energy_j * 1.01, "energy must not rise");
@@ -46,7 +58,10 @@ fn memory_clock_devastates_memory_bound() {
     let t_ratio = alt.active_runtime_s / base.active_runtime_s;
     assert!(t_ratio > 4.0, "LBM 324/614 time ratio {t_ratio}");
     let e_ratio = alt.energy_j / base.energy_j;
-    assert!(e_ratio > 1.3, "LBM energy must rise at 324, ratio {e_ratio}");
+    assert!(
+        e_ratio > 1.3,
+        "LBM energy must rise at 324, ratio {e_ratio}"
+    );
 }
 
 /// §V.A.2 / finding 6: lowering the clocks consistently lowers power.

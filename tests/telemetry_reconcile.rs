@@ -1,0 +1,68 @@
+//! Acceptance check for the telemetry layer: the per-SM/board timeline
+//! rebuilt from the event stream must reproduce the ground-truth
+//! `PowerTrace` energy within 1% on workloads of all three characters —
+//! compute-bound, memory-bound and irregular.
+
+use gpgpu_char::bench_suites::registry;
+use gpgpu_char::sim::telemetry::{build_timeline, Event};
+use gpgpu_char::study::{measure_traced, GpuConfigKind};
+
+fn reconcile(key: &str, kind: GpuConfigKind) {
+    let b = registry::by_key(key).unwrap_or_else(|| panic!("no workload {key}"));
+    let input = &b.inputs()[0];
+    let m = measure_traced(b.as_ref(), input, kind, 0, 1 << 21);
+    assert_eq!(m.dropped_events, 0, "{key}: ring buffer too small for test");
+    let tl = build_timeline(&m.events);
+    let truth = m.trace.total_energy();
+    assert!(truth > 0.0, "{key}: empty trace");
+    let rel = (tl.total_energy_j() - truth).abs() / truth;
+    assert!(
+        rel < 0.01,
+        "{key} under {}: timeline {} J vs trace {} J (rel {rel})",
+        kind.name(),
+        tl.total_energy_j(),
+        truth
+    );
+    // The timeline spans the whole run and every SM lane carries energy.
+    assert!((tl.end_time - m.trace.end_time()).abs() < 1e-6, "{key}");
+    assert!(!tl.sms.is_empty(), "{key}: no SM lanes");
+    for lane in &tl.sms {
+        assert!(lane.energy_j > 0.0, "{key}: SM {} idle all run", lane.sm);
+        assert!(lane.busy_s > 0.0, "{key}");
+    }
+    // Launch/retire events bracket every kernel the device reported.
+    let launches = m
+        .events
+        .iter()
+        .filter(|e| matches!(e, Event::KernelLaunch { .. }))
+        .count();
+    let retires = m
+        .events
+        .iter()
+        .filter(|e| matches!(e, Event::KernelRetire { .. }))
+        .count();
+    assert_eq!(launches, m.stats.len(), "{key}");
+    assert_eq!(retires, m.stats.len(), "{key}");
+}
+
+#[test]
+fn compute_bound_workload_reconciles() {
+    reconcile("sgemm", GpuConfigKind::Default);
+}
+
+#[test]
+fn memory_bound_workload_reconciles() {
+    reconcile("sten", GpuConfigKind::Default);
+}
+
+#[test]
+fn irregular_workload_reconciles() {
+    reconcile("lbfs", GpuConfigKind::Default);
+}
+
+#[test]
+fn reconciliation_holds_under_alternate_clocks() {
+    reconcile("sgemm", GpuConfigKind::C614);
+    reconcile("sten", GpuConfigKind::C324);
+    reconcile("lbfs", GpuConfigKind::Ecc);
+}

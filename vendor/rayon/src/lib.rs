@@ -1,0 +1,209 @@
+//! Offline shim for the subset of rayon this workspace uses.
+//!
+//! `par_iter()` / `into_par_iter()` yield an eager parallel pipeline
+//! ([`Par`]): each adapter (`map`, `filter_map`, `flat_map`) evaluates its
+//! closure across a pool of scoped OS threads (one chunk per core) and
+//! collects the stage's results in input order. This is a coarser execution
+//! model than rayon's work-stealing — per-stage barriers instead of fused
+//! lazy pipelines — but the workloads here are dozens of multi-millisecond
+//! simulator runs, so chunk-level parallelism recovers essentially all of
+//! the speedup.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads used for a stage of `n` items.
+fn workers(n: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    cores.min(n).max(1)
+}
+
+/// Run `f` over `items` on scoped threads, preserving input order.
+fn parallel_map<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
+    let n = items.len();
+    let nw = workers(n);
+    if nw <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Contiguous chunks: chunk i covers [starts[i], starts[i+1]).
+    let chunk = n.div_ceil(nw);
+    let mut slots: Vec<Option<Vec<R>>> = (0..nw).map(|_| None).collect();
+    let mut rest = items;
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(nw);
+    while !rest.is_empty() {
+        let take = chunk.min(rest.len());
+        let tail = rest.split_off(take);
+        chunks.push(std::mem::replace(&mut rest, tail));
+    }
+    let f = &f;
+    std::thread::scope(|s| {
+        for (slot, chunk_items) in slots.iter_mut().zip(chunks) {
+            s.spawn(move || {
+                *slot = Some(chunk_items.into_iter().map(f).collect());
+            });
+        }
+    });
+    slots.into_iter().flat_map(|v| v.unwrap()).collect()
+}
+
+/// An eager "parallel iterator": a fully materialized stage of items.
+pub struct Par<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> Par<T> {
+    pub fn map<R, F>(self, f: F) -> Par<R>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        Par {
+            items: parallel_map(self.items, f),
+        }
+    }
+
+    pub fn filter_map<R, F>(self, f: F) -> Par<R>
+    where
+        R: Send,
+        F: Fn(T) -> Option<R> + Sync,
+    {
+        Par {
+            items: parallel_map(self.items, f).into_iter().flatten().collect(),
+        }
+    }
+
+    pub fn filter<F>(self, f: F) -> Par<T>
+    where
+        F: Fn(&T) -> bool + Sync,
+    {
+        Par {
+            items: parallel_map(self.items, |t| if f(&t) { Some(t) } else { None })
+                .into_iter()
+                .flatten()
+                .collect(),
+        }
+    }
+
+    pub fn flat_map<R, I, F>(self, f: F) -> Par<R>
+    where
+        R: Send,
+        I: IntoIterator<Item = R>,
+        F: Fn(T) -> I + Sync,
+    {
+        Par {
+            items: parallel_map(self.items, |t| f(t).into_iter().collect::<Vec<R>>())
+                .into_iter()
+                .flatten()
+                .collect(),
+        }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        let _ = parallel_map(self.items, f);
+    }
+
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+}
+
+impl<T> IntoIterator for Par<T> {
+    type Item = T;
+    type IntoIter = std::vec::IntoIter<T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter()
+    }
+}
+
+/// `into_par_iter()` for anything iterable (vectors, arrays, ranges).
+pub trait IntoParallelIterator: IntoIterator + Sized {
+    fn into_par_iter(self) -> Par<Self::Item> {
+        Par {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+impl<I: IntoIterator + Sized> IntoParallelIterator for I {}
+
+/// `par_iter()` for slices (and, via deref, vectors and arrays).
+pub trait ParallelSlice<T: Sync> {
+    fn par_iter(&self) -> Par<&T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> Par<&T> {
+        Par {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, Par, ParallelSlice};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|x| *x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn filter_map_and_flat_map() {
+        let v: Vec<u32> = (0..100).collect();
+        let evens: Vec<u32> = v
+            .par_iter()
+            .filter_map(|x| (x % 2 == 0).then_some(*x))
+            .collect();
+        assert_eq!(evens.len(), 50);
+        let pairs: Vec<u32> = v.par_iter().flat_map(|x| vec![*x, *x]).collect();
+        assert_eq!(pairs.len(), 200);
+        assert_eq!(pairs[0], 0);
+        assert_eq!(pairs[199], 99);
+    }
+
+    #[test]
+    fn nested_parallel_stages() {
+        let outer: Vec<u32> = (0..4).collect();
+        let all: Vec<u32> = outer
+            .par_iter()
+            .flat_map(|x| (0..10u32).into_par_iter().map(move |y| *x * 10 + y))
+            .collect();
+        assert_eq!(all.len(), 40);
+        assert_eq!(all[39], 39);
+    }
+
+    #[test]
+    fn into_par_iter_on_arrays_and_ranges() {
+        let a = [1u32, 2, 3, 4];
+        let s: u32 = a.into_par_iter().map(|x| x).sum();
+        assert_eq!(s, 10);
+        let c = (0..17u32).into_par_iter().count();
+        assert_eq!(c, 17);
+    }
+
+    #[test]
+    fn empty_input() {
+        let v: Vec<u32> = Vec::new();
+        let out: Vec<u32> = v.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+    }
+}

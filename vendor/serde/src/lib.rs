@@ -1,0 +1,17 @@
+//! Offline shim for the `serde` facade.
+//!
+//! The workspace annotates data types with `#[derive(Serialize,
+//! Deserialize)]` so they are ready for real serialization, but nothing in
+//! the build actually serializes through serde (structured export is
+//! hand-rolled in `sim-telemetry`). This shim provides the two trait names
+//! and re-exports no-op derive macros so the annotations compile without
+//! network access.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,18 @@
+//! No-op `Serialize` / `Deserialize` derives for the offline serde shim.
+//!
+//! The workspace only uses serde derives as markers (nothing is actually
+//! serialized through serde — the exporters in `sim-telemetry` hand-roll
+//! their JSON/CSV), so deriving nothing keeps every annotated type valid
+//! without pulling in syn/quote, which are unavailable offline.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
