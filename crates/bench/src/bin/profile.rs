@@ -18,7 +18,9 @@
 //! ground-truth power trace.
 
 use characterize::report::render_phase_breakdown;
+use characterize::sanity::measure_traced_checked;
 use characterize::{measure_traced, GpuConfigKind};
+use sim_sanitizer::{Allowlist, CheckerSet};
 use sim_telemetry::{build_timeline, chrome_trace, csv, jsonl};
 use workloads::registry;
 
@@ -30,6 +32,7 @@ struct Args {
     format: Option<String>,
     events: usize,
     rep: u64,
+    check: bool,
     list: bool,
 }
 
@@ -37,7 +40,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: profile --workload <key> [--input <index|name>] \
          [--config default|614|324|ECC] [--out trace.json] \
-         [--format chrome|jsonl|csv] [--events N] [--rep R]\n\
+         [--format chrome|jsonl|csv] [--events N] [--rep R] [--check]\n\
          \x20      profile --list"
     );
     std::process::exit(2);
@@ -52,6 +55,7 @@ fn parse_args() -> Args {
         format: None,
         events: 1 << 20,
         rep: 0,
+        check: false,
         list: false,
     };
     let mut it = std::env::args().skip(1);
@@ -77,6 +81,7 @@ fn parse_args() -> Args {
             "--format" | "-f" => args.format = Some(val()),
             "--events" => args.events = val().parse().unwrap_or_else(|_| usage()),
             "--rep" => args.rep = val().parse().unwrap_or_else(|_| usage()),
+            "--check" => args.check = true,
             "--list" => args.list = true,
             "--help" | "-h" => usage(),
             _ => {
@@ -135,7 +140,23 @@ fn main() {
         args.config.name()
     );
     let t0 = std::time::Instant::now();
-    let m = measure_traced(bench.as_ref(), input, args.config, args.rep, args.events);
+    let (m, check_report) = if args.check {
+        let (m, rep) = measure_traced_checked(
+            bench.as_ref(),
+            input,
+            args.config,
+            args.rep,
+            args.events,
+            CheckerSet::default(),
+            &Allowlist::default(),
+        );
+        (m, Some(rep))
+    } else {
+        (
+            measure_traced(bench.as_ref(), input, args.config, args.rep, args.events),
+            None,
+        )
+    };
     eprintln!(
         "[profile] simulated in {:?}, {} events recorded ({} dropped)",
         t0.elapsed(),
@@ -189,6 +210,20 @@ fn main() {
             r.active_runtime_s, r.energy_j, r.avg_power_w, r.threshold_w
         ),
         Err(e) => println!("K20Power reading: run rejected ({e})"),
+    }
+
+    // Combined summary when the sanitizer rode along (--check).
+    if let Some(rep) = &check_report {
+        println!();
+        print!("{}", rep.render_text());
+        println!(
+            "Sanitize summary: {} error{}, {} warning{}, {} allowed",
+            rep.errors(),
+            if rep.errors() == 1 { "" } else { "s" },
+            rep.warnings(),
+            if rep.warnings() == 1 { "" } else { "s" },
+            rep.suppressed.len()
+        );
     }
 
     // Export.

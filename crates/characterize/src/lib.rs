@@ -11,9 +11,13 @@ pub mod configs;
 pub mod experiment;
 pub mod figures;
 pub mod report;
+pub mod sanity;
 pub mod tables;
 
 pub use configs::GpuConfigKind;
 pub use experiment::{
     measure, measure_median3, measure_traced, Measurement, MedianMeasurement, TracedMeasurement,
+};
+pub use sanity::{
+    measure_traced_checked, sanitize_run, sanitize_run_raw, workload_allowlist, SanitizedRun,
 };

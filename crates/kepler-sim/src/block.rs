@@ -7,6 +7,7 @@
 //! Within a phase, each thread records an op stream; at the phase boundary
 //! the streams are folded into warp instructions by [`crate::warp`].
 
+use crate::access::{Access, AccessEvent, AccessKind, AccessObserver, MemSpace};
 use crate::buffer::{DevBuffer, DevCopy, GlobalMem};
 use crate::cost::BlockCost;
 use crate::ops::{CompClass, Op};
@@ -49,6 +50,13 @@ pub struct BlockCtx<'a> {
     shared_words: u32,
     cost: BlockCost,
     phases: u32,
+    observer: Option<&'a dyn AccessObserver>,
+    launch_id: u32,
+    /// Per-thread explicit [`ThreadCtx::sync`] counts; allocated lazily on
+    /// the first call so sync-free kernels pay nothing.
+    syncs: Vec<u32>,
+    /// Explicit syncs already folded into the cost (max across threads).
+    syncs_costed: u32,
 }
 
 impl<'a> BlockCtx<'a> {
@@ -73,7 +81,17 @@ impl<'a> BlockCtx<'a> {
                 ..BlockCost::default()
             },
             phases: 0,
+            observer: None,
+            launch_id: 0,
+            syncs: Vec::new(),
+            syncs_costed: 0,
         }
+    }
+
+    /// Attach the device's access observer for the duration of this block.
+    pub(crate) fn attach_observer(&mut self, obs: &'a dyn AccessObserver, launch_id: u32) {
+        self.observer = Some(obs);
+        self.launch_id = launch_id;
     }
 
     /// This block's index within the grid.
@@ -131,11 +149,29 @@ impl<'a> BlockCtx<'a> {
             self.cost.barriers += 1;
             self.cost.issue_cycles += 2.0 * self.cost.warps as f64;
         }
+        // Explicit in-phase barriers (`ThreadCtx::sync`) cost the same per
+        // executed barrier; the block proceeds at the pace of the thread
+        // that executed the most.
+        let sync_max = self.syncs.iter().copied().max().unwrap_or(0);
+        if sync_max > self.syncs_costed {
+            let fresh = (sync_max - self.syncs_costed) as u64;
+            self.cost.barriers += fresh;
+            self.cost.issue_cycles += 2.0 * fresh as f64 * self.cost.warps as f64;
+            self.syncs_costed = sync_max;
+        }
         self.phases += 1;
     }
 
     /// Finish the block and return its accumulated cost.
     pub(crate) fn into_cost(self) -> BlockCost {
+        if let Some(obs) = self.observer {
+            obs.observe(AccessEvent::BlockEnd {
+                launch: self.launch_id,
+                block: self.block_idx,
+                phases: self.phases,
+                syncs: &self.syncs,
+            });
+        }
         self.cost
     }
 
@@ -163,6 +199,19 @@ macro_rules! atomic_rmw {
         $(#[$doc])*
         pub fn $name(&mut self, buf: &DevBuffer<$t>, idx: usize, v: $t) -> $t {
             self.push(Op::GAtom { addr: buf.addr_of(idx) });
+            let oob = idx >= buf.len;
+            self.observe(
+                MemSpace::Global,
+                AccessKind::Atomic,
+                buf.id as u32,
+                idx as u64,
+                buf.addr_of(idx),
+                std::mem::size_of::<$t>() as u32,
+                oob,
+            );
+            if oob && self.sanitized() {
+                return <$t>::default();
+            }
             let old = self.blk.mem.load(buf, idx);
             let f: fn($t, $t) -> $t = $op;
             self.blk.mem.store(buf, idx, f(old, v));
@@ -181,11 +230,52 @@ impl<'b, 'a> ThreadCtx<'b, 'a> {
             (op, stream.last_mut())
         {
             if *lc == class {
-                *ln += n;
-                return;
+                if let Some(sum) = ln.checked_add(n) {
+                    *ln = sum;
+                    return;
+                }
+                // Saturated: start a fresh entry instead of wrapping the
+                // lane-op count on very long loops.
             }
         }
         stream.push(op);
+    }
+
+    /// Report an access to the attached observer, if any.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn observe(
+        &self,
+        space: MemSpace,
+        kind: AccessKind,
+        buffer: u32,
+        index: u64,
+        addr: u64,
+        bytes: u32,
+        oob: bool,
+    ) {
+        if let Some(obs) = self.blk.observer {
+            obs.observe(AccessEvent::Access(Access {
+                launch: self.blk.launch_id,
+                block: self.blk.block_idx,
+                tid: self.tid,
+                phase: self.blk.phases,
+                space,
+                kind,
+                buffer,
+                index,
+                addr,
+                bytes,
+                oob,
+            }));
+        }
+    }
+
+    /// True when an observer is attached and `oob` access should be
+    /// reported-and-skipped rather than panicking.
+    #[inline]
+    fn sanitized(&self) -> bool {
+        self.blk.observer.is_some()
     }
 
     /// Thread index within the block.
@@ -220,20 +310,48 @@ impl<'b, 'a> ThreadCtx<'b, 'a> {
     /// Global load.
     #[inline]
     pub fn ld<T: DevCopy>(&mut self, buf: &DevBuffer<T>, idx: usize) -> T {
+        let bytes = std::mem::size_of::<T>() as u32;
         self.push(Op::Gld {
             addr: buf.addr_of(idx),
-            bytes: std::mem::size_of::<T>() as u32,
+            bytes,
         });
+        let oob = idx >= buf.len;
+        self.observe(
+            MemSpace::Global,
+            AccessKind::Read,
+            buf.id as u32,
+            idx as u64,
+            buf.addr_of(idx),
+            bytes,
+            oob,
+        );
+        if oob && self.sanitized() {
+            return T::default();
+        }
         self.blk.mem.load(buf, idx)
     }
 
     /// Global store.
     #[inline]
     pub fn st<T: DevCopy>(&mut self, buf: &DevBuffer<T>, idx: usize, v: T) {
+        let bytes = std::mem::size_of::<T>() as u32;
         self.push(Op::Gst {
             addr: buf.addr_of(idx),
-            bytes: std::mem::size_of::<T>() as u32,
+            bytes,
         });
+        let oob = idx >= buf.len;
+        self.observe(
+            MemSpace::Global,
+            AccessKind::Write,
+            buf.id as u32,
+            idx as u64,
+            buf.addr_of(idx),
+            bytes,
+            oob,
+        );
+        if oob && self.sanitized() {
+            return;
+        }
         self.blk.mem.store(buf, idx, v);
     }
 
@@ -275,6 +393,19 @@ impl<'b, 'a> ThreadCtx<'b, 'a> {
         self.push(Op::GAtom {
             addr: buf.addr_of(idx),
         });
+        let oob = idx >= buf.len;
+        self.observe(
+            MemSpace::Global,
+            AccessKind::Atomic,
+            buf.id as u32,
+            idx as u64,
+            buf.addr_of(idx),
+            4,
+            oob,
+        );
+        if oob && self.sanitized() {
+            return 0;
+        }
         let old = self.blk.mem.load(buf, idx);
         if old == cmp {
             self.blk.mem.store(buf, idx, val);
@@ -288,6 +419,11 @@ impl<'b, 'a> ThreadCtx<'b, 'a> {
     pub fn sld<T: DevCopy>(&mut self, s: &SharedBuf<T>, idx: usize) -> T {
         let word = s.word_base + ((idx * std::mem::size_of::<T>()) / 4) as u32;
         self.push(Op::Shm { word });
+        let oob = idx >= s.len;
+        self.observe_shared(AccessKind::Read, s, idx, oob);
+        if oob && self.sanitized() {
+            return T::default();
+        }
         self.blk.shared_vec(s)[idx]
     }
 
@@ -295,7 +431,45 @@ impl<'b, 'a> ThreadCtx<'b, 'a> {
     pub fn sst<T: DevCopy>(&mut self, s: &SharedBuf<T>, idx: usize, v: T) {
         let word = s.word_base + ((idx * std::mem::size_of::<T>()) / 4) as u32;
         self.push(Op::Shm { word });
+        let oob = idx >= s.len;
+        self.observe_shared(AccessKind::Write, s, idx, oob);
+        if oob && self.sanitized() {
+            return;
+        }
         self.blk.shared_vec_mut(s)[idx] = v;
+    }
+
+    #[inline]
+    fn observe_shared<T: DevCopy>(
+        &self,
+        kind: AccessKind,
+        s: &SharedBuf<T>,
+        idx: usize,
+        oob: bool,
+    ) {
+        let elem = std::mem::size_of::<T>();
+        self.observe(
+            MemSpace::Shared,
+            kind,
+            s.slot as u32,
+            idx as u64,
+            s.word_base as u64 * 4 + (idx * elem) as u64,
+            elem as u32,
+            oob,
+        );
+    }
+
+    /// An explicit `__syncthreads()` *inside* a phase. The structural
+    /// barrier at the end of [`BlockCtx::for_each_thread`] is always
+    /// uniform; use this to model a conditionally executed barrier — the
+    /// sanitizer's barrier-divergence checker compares per-thread counts at
+    /// block end, and each executed barrier costs the same as a phase
+    /// boundary.
+    pub fn sync(&mut self) {
+        if self.blk.syncs.is_empty() {
+            self.blk.syncs = vec![0; self.blk.block_dim as usize];
+        }
+        self.blk.syncs[self.tid as usize] += 1;
     }
 
     // ---- compute ----
@@ -346,14 +520,25 @@ impl<'b, 'a> ThreadCtx<'b, 'a> {
     }
 
     /// Functional read of shared memory with no trace recording; pair with
-    /// [`ThreadCtx::smem`] to account for the traffic in aggregate.
+    /// [`ThreadCtx::smem`] to account for the traffic in aggregate. Still
+    /// visible to the sanitizer's observer.
     pub fn shared_get<T: DevCopy>(&self, s: &SharedBuf<T>, idx: usize) -> T {
+        let oob = idx >= s.len;
+        self.observe_shared(AccessKind::Read, s, idx, oob);
+        if oob && self.sanitized() {
+            return T::default();
+        }
         self.blk.shared_vec(s)[idx]
     }
 
     /// Functional write of shared memory with no trace recording; pair with
-    /// [`ThreadCtx::smem`].
+    /// [`ThreadCtx::smem`]. Still visible to the sanitizer's observer.
     pub fn shared_set<T: DevCopy>(&mut self, s: &SharedBuf<T>, idx: usize, v: T) {
+        let oob = idx >= s.len;
+        self.observe_shared(AccessKind::Write, s, idx, oob);
+        if oob && self.sanitized() {
+            return;
+        }
         self.blk.shared_vec_mut(s)[idx] = v;
     }
 
@@ -495,6 +680,37 @@ mod tests {
         assert_eq!(cost.lane_ops[CompClass::Int.idx()], 96);
         // Merged: one fma slot-run of 10 + one int run of 3 -> 13 slots.
         assert_eq!(cost.slots, 13);
+    }
+
+    #[test]
+    fn compute_merge_saturates_instead_of_wrapping() {
+        let ((), cost) = with_block(1, |blk| {
+            blk.for_each_thread(|t| {
+                t.int_op(u32::MAX - 2);
+                t.int_op(10); // would wrap a u32 slot count
+            });
+        });
+        // The merge split at the saturation point instead of wrapping (or
+        // panicking): the full total survives in the 64-bit counters.
+        assert_eq!(cost.slots, u32::MAX as u64 + 8);
+        assert_eq!(cost.lane_ops[CompClass::Int.idx()], u32::MAX as u64 + 8);
+    }
+
+    #[test]
+    fn explicit_sync_costs_like_a_barrier() {
+        let ((), plain) = with_block(64, |blk| {
+            blk.for_each_thread(|t| t.int_op(1));
+        });
+        let ((), synced) = with_block(64, |blk| {
+            blk.for_each_thread(|t| {
+                t.int_op(1);
+                t.sync();
+                t.sync();
+            });
+        });
+        assert_eq!(plain.barriers, 0);
+        assert_eq!(synced.barriers, 2);
+        assert!(synced.issue_cycles > plain.issue_cycles);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The simulated GPU device: memory management, kernel launches, the
 //! simulated clock, and the ground-truth power trace.
 
+use crate::access::{AccessEvent, AccessObserver};
 use crate::block::BlockCtx;
 use crate::buffer::{DevBuffer, DevCopy, GlobalMem};
 use crate::config::DeviceConfig;
@@ -44,6 +45,7 @@ pub struct Device {
     rng: SmallRng,
     launches: Vec<LaunchStats>,
     telemetry: Option<Arc<dyn TelemetrySink>>,
+    access: Option<Arc<dyn AccessObserver>>,
 }
 
 /// Idle time recorded before the first kernel, seconds. Gives the
@@ -97,6 +99,7 @@ impl Device {
             rng,
             launches: Vec::new(),
             telemetry: None,
+            access: None,
         }
     }
 
@@ -137,6 +140,53 @@ impl Device {
         self.telemetry.as_ref()
     }
 
+    /// Attach an access observer (the sanitizer hook). Call right after
+    /// [`Device::new`], before allocating buffers, so the observer sees
+    /// every buffer's lifecycle; buffers allocated before attachment are
+    /// simply unknown to it. With an observer attached, out-of-bounds
+    /// accesses are reported and skipped instead of panicking (see
+    /// [`crate::access`]); everything else about the run is unchanged.
+    pub fn set_access_observer(&mut self, obs: Arc<dyn AccessObserver>) {
+        self.access = Some(obs);
+    }
+
+    /// The attached access observer, if any.
+    pub fn access_observer(&self) -> Option<&Arc<dyn AccessObserver>> {
+        self.access.as_ref()
+    }
+
+    fn observe_alloc<T: DevCopy>(&self, buf: &DevBuffer<T>, initialized: bool) {
+        if let Some(obs) = &self.access {
+            obs.observe(AccessEvent::BufferAlloc {
+                id: buf.id as u32,
+                base: buf.base,
+                len: buf.len as u64,
+                elem_bytes: std::mem::size_of::<T>() as u32,
+                initialized,
+            });
+        }
+    }
+
+    fn observe_host_write(&self, id: usize, lo: u64, hi: u64) {
+        if let Some(obs) = &self.access {
+            obs.observe(AccessEvent::BufferHostWrite {
+                id: id as u32,
+                lo,
+                hi,
+            });
+        }
+    }
+
+    /// Name a buffer in sanitizer reports. No-op without an observer.
+    pub fn label_buffer<T: DevCopy>(&self, buf: &DevBuffer<T>, label: &str) {
+        if let Some(obs) = &self.access {
+            obs.observe(AccessEvent::BufferLabel {
+                id: buf.id as u32,
+                label,
+            });
+        }
+    }
+
     pub fn config(&self) -> &DeviceConfig {
         &self.cfg
     }
@@ -148,19 +198,28 @@ impl Device {
 
     // ---- memory ----
 
-    /// Allocate a default-initialized device buffer.
+    /// Allocate a device buffer. Functionally default-initialized, but —
+    /// like `cudaMalloc` — the sanitizer's uninitialized-read checker
+    /// treats its contents as undefined until written; use
+    /// [`Device::alloc_init`] when the algorithm relies on zeroed memory.
     pub fn alloc<T: DevCopy>(&mut self, len: usize) -> DevBuffer<T> {
-        self.mem.alloc(len)
+        let buf = self.mem.alloc(len);
+        self.observe_alloc(&buf, false);
+        buf
     }
 
     /// Allocate a buffer filled with `init`.
     pub fn alloc_init<T: DevCopy>(&mut self, len: usize, init: T) -> DevBuffer<T> {
-        self.mem.alloc_init(len, init)
+        let buf = self.mem.alloc_init(len, init);
+        self.observe_alloc(&buf, true);
+        buf
     }
 
     /// Allocate and upload from a host slice.
     pub fn alloc_from<T: DevCopy>(&mut self, data: &[T]) -> DevBuffer<T> {
-        self.mem.alloc_from(data)
+        let buf = self.mem.alloc_from(data);
+        self.observe_alloc(&buf, true);
+        buf
     }
 
     /// Read a buffer back to the host.
@@ -181,16 +240,19 @@ impl Device {
     /// Overwrite a buffer from a host slice.
     pub fn write<T: DevCopy>(&mut self, buf: &DevBuffer<T>, data: &[T]) {
         self.mem.vec_mut(buf).copy_from_slice(data);
+        self.observe_host_write(buf.id, 0, buf.len as u64);
     }
 
     /// Overwrite a single element.
     pub fn write_at<T: DevCopy>(&mut self, buf: &DevBuffer<T>, idx: usize, v: T) {
         self.mem.vec_mut(buf)[idx] = v;
+        self.observe_host_write(buf.id, idx as u64, idx as u64 + 1);
     }
 
     /// Fill a buffer with a value (a host-side `cudaMemset`).
     pub fn fill<T: DevCopy>(&mut self, buf: &DevBuffer<T>, v: T) {
         self.mem.vec_mut(buf).fill(v);
+        self.observe_host_write(buf.id, 0, buf.len as u64);
     }
 
     // ---- execution ----
@@ -238,6 +300,18 @@ impl Device {
             });
         }
         let resources = kernel.resources();
+        let name = kernel.display_name();
+        let access = self.access.as_deref();
+        if let Some(obs) = access {
+            obs.observe(AccessEvent::LaunchBegin {
+                launch: launch_id,
+                kernel: &name,
+                grid,
+                block_threads,
+                regs_per_thread: resources.regs_per_thread,
+                shared_bytes: resources.shared_bytes,
+            });
+        }
         let mut counters = KernelCounters::default();
         let mem = &mut self.mem;
         let outcome = run_launch(
@@ -252,6 +326,9 @@ impl Device {
             self.telemetry.as_deref(),
             |block_idx| {
                 let mut blk = BlockCtx::new(mem, block_idx, grid, block_threads);
+                if let Some(obs) = access {
+                    blk.attach_observer(obs, launch_id);
+                }
                 kernel.run_block(&mut blk);
                 let cost = blk.into_cost();
                 counters.add_block(&cost, opts.work_multiplier);
@@ -267,7 +344,7 @@ impl Device {
             });
         }
         self.launches.push(LaunchStats {
-            kernel: kernel.display_name(),
+            kernel: name,
             start_s: start,
             duration_s: outcome.duration_s,
             energy_j: outcome.energy_j,
@@ -275,7 +352,14 @@ impl Device {
             block_threads,
             counters,
         });
-        self.launches.last().unwrap()
+        let stats = self.launches.last().unwrap();
+        if let Some(obs) = &self.access {
+            obs.observe(AccessEvent::LaunchEnd {
+                launch: launch_id,
+                stats,
+            });
+        }
+        stats
     }
 
     /// Record host-side time between kernels (the driver keeps the GPU
@@ -595,6 +679,98 @@ mod tests {
             (trace.total_energy(), stats[0].duration_s)
         };
         assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn access_observer_sees_run_and_leaves_results_unchanged() {
+        use crate::access::{AccessEvent, AccessKind, AccessObserver};
+        use std::sync::Mutex;
+
+        #[derive(Default)]
+        struct Tally {
+            allocs: usize,
+            reads: u64,
+            writes: u64,
+            blocks: usize,
+            launches: usize,
+        }
+        struct Obs(Mutex<Tally>);
+        impl AccessObserver for Obs {
+            fn observe(&self, ev: AccessEvent<'_>) {
+                let mut t = self.0.lock().unwrap();
+                match ev {
+                    AccessEvent::BufferAlloc { .. } => t.allocs += 1,
+                    AccessEvent::Access(a) => match a.kind {
+                        AccessKind::Read => t.reads += 1,
+                        _ => t.writes += 1,
+                    },
+                    AccessEvent::BlockEnd { .. } => t.blocks += 1,
+                    AccessEvent::LaunchEnd { .. } => t.launches += 1,
+                    _ => {}
+                }
+            }
+        }
+
+        let run = |observe: bool| {
+            let mut dev = device();
+            let obs = Arc::new(Obs(Mutex::new(Tally::default())));
+            if observe {
+                dev.set_access_observer(obs.clone());
+            }
+            let n = 1 << 12;
+            let x = dev.alloc_from(&vec![1.0f32; n]);
+            let y = dev.alloc_from(&vec![1.0f32; n]);
+            dev.launch(&Saxpy { x, y, a: 2.0 }, 16, 256);
+            let (trace, stats) = dev.finish();
+            let t = std::mem::take(&mut *obs.0.lock().unwrap());
+            (trace.total_energy(), stats[0].duration_s, t)
+        };
+        let (e0, d0, _) = run(false);
+        let (e1, d1, t) = run(true);
+        assert_eq!((e0, d0), (e1, d1));
+        assert_eq!(t.allocs, 2);
+        assert_eq!(t.reads, 2 * 4096); // two loads per element
+        assert_eq!(t.writes, 4096);
+        assert_eq!(t.blocks, 16);
+        assert_eq!(t.launches, 1);
+    }
+
+    #[test]
+    fn oob_access_is_skipped_under_observation() {
+        use crate::access::{AccessEvent, AccessObserver};
+        use std::sync::atomic::{AtomicU32, Ordering};
+
+        struct OobCount(AtomicU32);
+        impl AccessObserver for OobCount {
+            fn observe(&self, ev: AccessEvent<'_>) {
+                if let AccessEvent::Access(a) = ev {
+                    if a.oob {
+                        self.0.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+
+        struct OobStore {
+            buf: DevBuffer<f32>,
+        }
+        impl Kernel for OobStore {
+            fn run_block(&self, blk: &mut BlockCtx) {
+                let buf = self.buf;
+                blk.for_each_thread(|t| {
+                    // Off-by-the-whole-block: every thread stores past the end.
+                    t.st(&buf, buf.len() + t.tid() as usize, 1.0);
+                });
+            }
+        }
+
+        let mut dev = device();
+        let obs = Arc::new(OobCount(AtomicU32::new(0)));
+        dev.set_access_observer(obs.clone());
+        let buf = dev.alloc_init::<f32>(8, 0.0);
+        dev.launch(&OobStore { buf }, 1, 32); // would panic unobserved
+        assert_eq!(obs.0.load(Ordering::Relaxed), 32);
+        assert!(dev.read(&buf).iter().all(|&v| v == 0.0));
     }
 
     #[test]

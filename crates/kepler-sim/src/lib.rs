@@ -42,6 +42,7 @@
 //! mechanism the paper invokes to explain why LonestarGPU codes respond
 //! super-linearly to small frequency changes.
 
+pub mod access;
 pub mod block;
 pub mod buffer;
 pub mod coalesce;
@@ -55,6 +56,7 @@ pub mod ops;
 pub mod scheduler;
 pub mod warp;
 
+pub use access::{Access, AccessEvent, AccessKind, AccessObserver, MemSpace};
 pub use block::{BlockCtx, SharedBuf, ThreadCtx};
 pub use buffer::{DevBuffer, GlobalMem};
 pub use config::{ClockConfig, DeviceConfig, PowerParams};

@@ -1,0 +1,252 @@
+//! Allowlists: which findings are intentional.
+//!
+//! The irregular LonestarGPU codes are racy *by design* — the paper runs
+//! them because their timing-dependent behaviour is the phenomenon under
+//! study. An allowlist entry marks such a finding as intended so the gate
+//! can fail on everything else.
+//!
+//! Entry syntax (one per line in a file, or one per string from
+//! `Benchmark::sanitizer_allowlist`):
+//!
+//! ```text
+//! [workload:]checker:kernel-glob
+//! ```
+//!
+//! * `workload` — optional workload key (`sssp`, `lbfs-wlc`, ...); `*` or
+//!   absent means any workload. Workload-provided entries are already
+//!   scoped to their own workload.
+//! * `checker` — a checker name (`race-global`, ...) or `*`.
+//! * `kernel-glob` — the kernel display name, with `*` matching any run of
+//!   characters (e.g. `sssp_*`).
+//!
+//! `#` starts a comment; blank lines are ignored.
+
+use crate::finding::{Checker, Finding};
+
+/// Match `pat` against `s`, where `*` in `pat` matches any (possibly
+/// empty) run of characters.
+pub fn glob_match(pat: &str, s: &str) -> bool {
+    let parts: Vec<&str> = pat.split('*').collect();
+    if parts.len() == 1 {
+        return pat == s;
+    }
+    let mut rest = s;
+    for (i, part) in parts.iter().enumerate() {
+        if part.is_empty() {
+            continue;
+        }
+        if i == 0 {
+            match rest.strip_prefix(part) {
+                Some(r) => rest = r,
+                None => return false,
+            }
+        } else if i == parts.len() - 1 {
+            return rest.ends_with(part);
+        } else {
+            match rest.find(part) {
+                Some(pos) => rest = &rest[pos + part.len()..],
+                None => return false,
+            }
+        }
+    }
+    // Pattern ended with '*' (last part empty) — anything left matches.
+    true
+}
+
+/// One parsed allowlist entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Workload key this entry applies to; `None` = any.
+    pub workload: Option<String>,
+    /// Checker this entry applies to; `None` = any.
+    pub checker: Option<Checker>,
+    /// Glob over the kernel display name.
+    pub kernel: String,
+}
+
+impl Entry {
+    /// Parse `[workload:]checker:kernel-glob`. Returns `None` on malformed
+    /// input (unknown checker name, wrong field count).
+    pub fn parse(s: &str) -> Option<Entry> {
+        let fields: Vec<&str> = s.split(':').collect();
+        let (workload, checker, kernel) = match fields.as_slice() {
+            [c, k] => (None, *c, *k),
+            [w, c, k] => (Some(*w), *c, *k),
+            _ => return None,
+        };
+        let checker = match checker {
+            "*" => None,
+            name => Some(Checker::from_name(name)?),
+        };
+        let workload = match workload {
+            None | Some("*") => None,
+            Some(w) => Some(w.to_string()),
+        };
+        Some(Entry {
+            workload,
+            checker,
+            kernel: kernel.to_string(),
+        })
+    }
+
+    pub fn matches(&self, workload: &str, f: &Finding) -> bool {
+        if let Some(w) = &self.workload {
+            if w != workload {
+                return false;
+            }
+        }
+        if let Some(c) = self.checker {
+            if c != f.checker {
+                return false;
+            }
+        }
+        glob_match(&self.kernel, &f.kernel)
+    }
+}
+
+/// A set of allowlist entries.
+#[derive(Debug, Clone, Default)]
+pub struct Allowlist {
+    entries: Vec<Entry>,
+}
+
+impl Allowlist {
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Build from a workload's own `sanitizer_allowlist()` strings, scoped
+    /// to that workload. Malformed entries are reported as `Err`.
+    pub fn from_workload(key: &str, entries: &[&str]) -> Result<Allowlist, String> {
+        let mut list = Allowlist::default();
+        for s in entries {
+            let mut e = Entry::parse(s)
+                .ok_or_else(|| format!("workload {key}: bad allowlist entry {s:?}"))?;
+            // Workload-provided entries never apply to other workloads.
+            e.workload = Some(key.to_string());
+            list.entries.push(e);
+        }
+        Ok(list)
+    }
+
+    /// Parse a committed baseline file (`#` comments, blank lines, one
+    /// entry per line).
+    pub fn parse_file(text: &str) -> Result<Allowlist, String> {
+        let mut list = Allowlist::default();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let e = Entry::parse(line)
+                .ok_or_else(|| format!("line {}: bad allowlist entry {line:?}", lineno + 1))?;
+            list.entries.push(e);
+        }
+        Ok(list)
+    }
+
+    /// Merge another allowlist into this one.
+    pub fn extend(&mut self, other: Allowlist) {
+        self.entries.extend(other.entries);
+    }
+
+    pub fn allows(&self, workload: &str, f: &Finding) -> bool {
+        self.entries.iter().any(|e| e.matches(workload, f))
+    }
+
+    /// Move allowed findings from `findings` into `suppressed` in a
+    /// [`crate::Report`].
+    pub fn apply(&self, report: &mut crate::Report) {
+        if self.entries.is_empty() {
+            return;
+        }
+        let workload = report.workload.clone();
+        let (allowed, active): (Vec<_>, Vec<_>) = report
+            .findings
+            .drain(..)
+            .partition(|f| self.allows(&workload, f));
+        report.findings = active;
+        report.suppressed.extend(allowed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::finding::Severity;
+
+    fn finding(checker: Checker, kernel: &str) -> Finding {
+        Finding {
+            checker,
+            severity: Severity::Error,
+            kernel: kernel.into(),
+            hazard: "read/write".into(),
+            buffer: "b".into(),
+            count: 1,
+            first_launch: 0,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn glob_semantics() {
+        assert!(glob_match("sssp_*", "sssp_topo"));
+        assert!(glob_match("*", "anything"));
+        assert!(glob_match("bh_*_tree", "bh_build_tree"));
+        assert!(glob_match("exact", "exact"));
+        assert!(!glob_match("exact", "exactly"));
+        assert!(!glob_match("sssp_*", "bfs_topo"));
+        assert!(glob_match("*topo", "sssp_topo"));
+    }
+
+    #[test]
+    fn entry_parsing() {
+        let e = Entry::parse("race-global:sssp_*").unwrap();
+        assert_eq!(e.workload, None);
+        assert_eq!(e.checker, Some(Checker::RaceGlobal));
+        let e = Entry::parse("sssp:*:sssp_topo").unwrap();
+        assert_eq!(e.workload.as_deref(), Some("sssp"));
+        assert_eq!(e.checker, None);
+        assert!(Entry::parse("no-such-checker:k").is_none());
+        assert!(Entry::parse("toomany:a:b:c").is_none());
+    }
+
+    #[test]
+    fn workload_entries_are_scoped() {
+        let list = Allowlist::from_workload("sssp", &["race-global:sssp_*"]).unwrap();
+        assert!(list.allows("sssp", &finding(Checker::RaceGlobal, "sssp_topo")));
+        assert!(!list.allows("lbfs", &finding(Checker::RaceGlobal, "sssp_topo")));
+        assert!(!list.allows("sssp", &finding(Checker::RaceShared, "sssp_topo")));
+    }
+
+    #[test]
+    fn file_parsing_with_comments() {
+        let text = "# baseline\n\nsssp:race-global:sssp_* # intended\n*:oob:bad_kernel\n";
+        let list = Allowlist::parse_file(text).unwrap();
+        assert_eq!(list.len(), 2);
+        assert!(list.allows("sssp", &finding(Checker::RaceGlobal, "sssp_wln")));
+        assert!(list.allows("any", &finding(Checker::OutOfBounds, "bad_kernel")));
+        assert!(Allowlist::parse_file("bogus line here").is_err());
+    }
+
+    #[test]
+    fn apply_partitions_report() {
+        let mut rep = crate::Report {
+            workload: "sssp".into(),
+            findings: vec![
+                finding(Checker::RaceGlobal, "sssp_topo"),
+                finding(Checker::OutOfBounds, "sssp_topo"),
+            ],
+            ..crate::Report::default()
+        };
+        let list = Allowlist::from_workload("sssp", &["race-global:sssp_*"]).unwrap();
+        list.apply(&mut rep);
+        assert_eq!(rep.findings.len(), 1);
+        assert_eq!(rep.findings[0].checker, Checker::OutOfBounds);
+        assert_eq!(rep.suppressed.len(), 1);
+    }
+}

@@ -1,0 +1,45 @@
+//! # sim-sanitizer
+//!
+//! `compute-sanitizer`-style dynamic checkers over the simulator's
+//! functional access stream.
+//!
+//! The functional layer of `kepler-sim` executes kernels deterministically,
+//! which makes it a perfect oracle for hazards that are nondeterministic on
+//! real hardware: the [`Sanitizer`] observes every per-thread access (plus
+//! block/warp/thread identity and barrier epochs) and runs
+//!
+//! * **race detection** — shared and global memory, with happens-before
+//!   derived from barrier epochs inside a block and atomics-aware benign
+//!   classification across blocks;
+//! * **barrier-divergence checking** — threads of one block reaching
+//!   different explicit `sync()` counts;
+//! * **out-of-bounds / uninitialized-read checking** — against the
+//!   registered buffer extents and host/device write history;
+//! * **performance lints** — uncoalesced access, bank-conflict hotspots and
+//!   low-occupancy launches, reusing the simulator's coalescing and
+//!   occupancy models as oracles.
+//!
+//! Findings aggregate per (checker, kernel, hazard, buffer) into a
+//! [`Report`]; intentional hazards (the irregular LonestarGPU codes are
+//! racy by design) are suppressed via an [`Allowlist`].
+//!
+//! ```no_run
+//! use sim_sanitizer::{CheckerSet, Sanitizer};
+//! use std::sync::Arc;
+//!
+//! let cfg = kepler_sim::DeviceConfig::k20c(kepler_sim::ClockConfig::k20_default(), true);
+//! let san = Arc::new(Sanitizer::new("demo", "default", &cfg, CheckerSet::default()));
+//! let mut dev = kepler_sim::Device::new(cfg);
+//! dev.set_access_observer(san.clone());
+//! // ... run kernels ...
+//! let report = san.report();
+//! assert!(report.clean());
+//! ```
+
+pub mod allowlist;
+pub mod collector;
+pub mod finding;
+
+pub use allowlist::{glob_match, Allowlist, Entry};
+pub use collector::{CheckerSet, Sanitizer};
+pub use finding::{Checker, Finding, Report, Severity};

@@ -1,0 +1,351 @@
+//! Seeded-bug fixtures: each kernel carries one deliberate defect, and the
+//! sanitizer must catch exactly it. A clean kernel closes the loop by
+//! producing no findings at all.
+
+use kepler_sim::{BlockCtx, ClockConfig, DevBuffer, Device, DeviceConfig, Kernel};
+use sim_sanitizer::{Allowlist, Checker, CheckerSet, Sanitizer, Severity};
+use std::sync::Arc;
+
+fn sanitized_device(checks: CheckerSet) -> (Device, Arc<Sanitizer>) {
+    let cfg = DeviceConfig::k20c(ClockConfig::k20_default(), false);
+    let san = Arc::new(Sanitizer::new("fixture", "unit", &cfg, checks));
+    let mut dev = Device::new(cfg);
+    dev.set_access_observer(san.clone());
+    (dev, san)
+}
+
+/// Fixture 1: a block reduction that "forgot" its __syncthreads — every
+/// thread writes shared[tid % 8], so 32 threads of a warp collide on 8
+/// shared words within one barrier epoch.
+struct SharedRace;
+impl Kernel for SharedRace {
+    fn name(&self) -> &'static str {
+        "shared_race"
+    }
+    fn run_block(&self, blk: &mut BlockCtx) {
+        let s = blk.shared_alloc::<u32>(8);
+        blk.for_each_thread(|t| {
+            let slot = (t.tid() % 8) as usize;
+            let old = t.sld(&s, slot);
+            t.sst(&s, slot, old + t.tid());
+        });
+    }
+}
+
+#[test]
+fn seeded_shared_race_is_caught() {
+    let (mut dev, san) = sanitized_device(CheckerSet::default());
+    dev.launch(&SharedRace, 4, 64);
+    let rep = san.report();
+    assert!(
+        rep.findings
+            .iter()
+            .any(|f| f.checker == Checker::RaceShared),
+        "expected a race-shared finding, got: {}",
+        rep.render_text()
+    );
+    let f = rep
+        .findings
+        .iter()
+        .find(|f| f.checker == Checker::RaceShared)
+        .unwrap();
+    assert_eq!(
+        f.severity,
+        Severity::Error,
+        "read-then-write race is an error"
+    );
+    assert_eq!(f.kernel, "shared_race");
+    assert!(f.buffer.starts_with("shared"));
+}
+
+/// Fixture 2: half the threads take an early-exit branch around an
+/// explicit `sync()` — classic conditional-__syncthreads barrier
+/// divergence (deadlock on real hardware).
+struct BarrierBug;
+impl Kernel for BarrierBug {
+    fn name(&self) -> &'static str {
+        "barrier_bug"
+    }
+    fn run_block(&self, blk: &mut BlockCtx) {
+        blk.for_each_thread(|t| {
+            if t.tid() < 32 {
+                t.sync();
+            }
+            t.int_op(1);
+        });
+    }
+}
+
+#[test]
+fn seeded_barrier_divergence_is_caught() {
+    let (mut dev, san) = sanitized_device(CheckerSet::default());
+    dev.launch(&BarrierBug, 2, 64);
+    let rep = san.report();
+    let f = rep
+        .findings
+        .iter()
+        .find(|f| f.checker == Checker::BarrierDivergence)
+        .unwrap_or_else(|| panic!("expected barrier-divergence: {}", rep.render_text()));
+    assert_eq!(f.severity, Severity::Error);
+    assert_eq!(f.kernel, "barrier_bug");
+    assert_eq!(f.count, 2, "both blocks diverge");
+}
+
+/// Fixture 3: an off-by-one grid: thread n writes out[n] where
+/// out.len() == n — the last thread of the last block stores past the end.
+struct OobStore {
+    out: DevBuffer<u32>,
+}
+impl Kernel for OobStore {
+    fn name(&self) -> &'static str {
+        "oob_store"
+    }
+    fn run_block(&self, blk: &mut BlockCtx) {
+        let out = self.out;
+        blk.for_each_thread(|t| {
+            // Missing the `if i < n` guard on purpose.
+            t.st(&out, t.gtid() as usize, 7);
+        });
+    }
+}
+
+#[test]
+fn seeded_oob_store_is_caught_and_skipped() {
+    let (mut dev, san) = sanitized_device(CheckerSet::default());
+    let out = dev.alloc_init::<u32>(100, 0); // grid covers 128 threads
+    dev.launch(&OobStore { out }, 2, 64);
+    let rep = san.report();
+    let f = rep
+        .findings
+        .iter()
+        .find(|f| f.checker == Checker::OutOfBounds)
+        .unwrap_or_else(|| panic!("expected oob: {}", rep.render_text()));
+    assert_eq!(f.severity, Severity::Error);
+    assert_eq!(f.count, 28, "threads 100..128 each store once past the end");
+    assert_eq!(f.hazard, "write");
+    // The sanitizer skips OOB stores (compute-sanitizer semantics): the
+    // in-bounds results are still correct.
+    let host = dev.read(&out);
+    assert!(host.iter().all(|&v| v == 7));
+    // And nothing else fired.
+    assert_eq!(
+        rep.findings.len(),
+        1,
+        "only oob expected: {}",
+        rep.render_text()
+    );
+}
+
+/// Fixture 4: reading memory that was `alloc`'d but never written.
+struct UninitRead {
+    src: DevBuffer<f32>,
+    dst: DevBuffer<f32>,
+}
+impl Kernel for UninitRead {
+    fn name(&self) -> &'static str {
+        "uninit_read"
+    }
+    fn run_block(&self, blk: &mut BlockCtx) {
+        let (src, dst) = (self.src, self.dst);
+        blk.for_each_thread(|t| {
+            let i = t.gtid() as usize;
+            let v = t.ld(&src, i);
+            t.st(&dst, i, v);
+        });
+    }
+}
+
+#[test]
+fn seeded_uninit_read_is_caught() {
+    let (mut dev, san) = sanitized_device(CheckerSet::default());
+    let src = dev.alloc::<f32>(64); // cudaMalloc-style: never written
+    let dst = dev.alloc_init::<f32>(64, 0.0);
+    dev.label_buffer(&src, "src");
+    dev.launch(&UninitRead { src, dst }, 1, 64);
+    let rep = san.report();
+    let f = rep
+        .findings
+        .iter()
+        .find(|f| f.checker == Checker::UninitRead)
+        .unwrap_or_else(|| panic!("expected uninit-read: {}", rep.render_text()));
+    assert_eq!(f.count, 64);
+    assert_eq!(f.buffer, "src", "labelled buffer name is used");
+}
+
+/// Fixture 5: every block plain-stores to word 0 of the same buffer —
+/// a cross-block write/write conflict (each block also wrote a distinct
+/// word, which must NOT be flagged).
+struct CrossBlockWaw {
+    flag: DevBuffer<u32>,
+}
+impl Kernel for CrossBlockWaw {
+    fn name(&self) -> &'static str {
+        "cross_waw"
+    }
+    fn run_block(&self, blk: &mut BlockCtx) {
+        let flag = self.flag;
+        blk.for_each_thread(|t| {
+            if t.tid() == 0 {
+                t.st(&flag, 0, t.block_idx());
+                t.st(&flag, 1 + t.block_idx() as usize, 1);
+            }
+        });
+    }
+}
+
+#[test]
+fn cross_block_write_conflict_is_a_warning() {
+    let (mut dev, san) = sanitized_device(CheckerSet::default());
+    let flag = dev.alloc_init::<u32>(16, 0);
+    dev.launch(&CrossBlockWaw { flag }, 8, 32);
+    let rep = san.report();
+    assert_eq!(rep.findings.len(), 1, "{}", rep.render_text());
+    let f = &rep.findings[0];
+    assert_eq!(f.checker, Checker::RaceGlobal);
+    assert_eq!(
+        f.severity,
+        Severity::Warning,
+        "plain WAW is the mild hazard"
+    );
+    assert_eq!(f.hazard, "cross-block write/write");
+}
+
+/// Fixture 6: cross-block *atomic* traffic on one word is benign — counted,
+/// not reported.
+struct AtomicHistogram {
+    bins: DevBuffer<u32>,
+}
+impl Kernel for AtomicHistogram {
+    fn name(&self) -> &'static str {
+        "atomic_hist"
+    }
+    fn run_block(&self, blk: &mut BlockCtx) {
+        let bins = self.bins;
+        blk.for_each_thread(|t| {
+            t.atomic_add_u32(&bins, (t.gtid() % 4) as usize, 1);
+        });
+    }
+}
+
+#[test]
+fn all_atomic_cross_block_traffic_is_benign() {
+    let (mut dev, san) = sanitized_device(CheckerSet::default());
+    let bins = dev.alloc_init::<u32>(4, 0);
+    dev.launch(&AtomicHistogram { bins }, 8, 64);
+    let rep = san.report();
+    assert!(rep.clean(), "atomics are not races: {}", rep.render_text());
+    assert_eq!(rep.benign_atomic.len(), 1);
+    assert_eq!(rep.benign_atomic[0], ("atomic_hist".to_string(), 4));
+    assert_eq!(dev.read(&bins), vec![128; 4]);
+}
+
+/// A correct grid-stride saxpy: guards its bounds, initializes its inputs,
+/// races with nobody.
+struct CleanSaxpy {
+    x: DevBuffer<f32>,
+    y: DevBuffer<f32>,
+}
+impl Kernel for CleanSaxpy {
+    fn name(&self) -> &'static str {
+        "clean_saxpy"
+    }
+    fn run_block(&self, blk: &mut BlockCtx) {
+        let (x, y) = (self.x, self.y);
+        let n = x.len();
+        blk.for_each_thread(|t| {
+            let i = t.gtid() as usize;
+            if i < n {
+                let v = t.ld(&x, i);
+                let old = t.ld(&y, i);
+                t.fma32(1);
+                t.st(&y, i, 2.0 * v + old);
+            }
+        });
+    }
+}
+
+#[test]
+fn clean_kernel_has_no_findings() {
+    let (mut dev, san) = sanitized_device(CheckerSet::all());
+    let n = 1 << 12;
+    let x = dev.alloc_from(&vec![1.0f32; n]);
+    let y = dev.alloc_init::<f32>(n, 0.0);
+    dev.launch(&CleanSaxpy { x, y }, (n as u32).div_ceil(256), 256);
+    let rep = san.report();
+    assert!(rep.clean(), "false positives: {}", rep.render_text());
+    assert!(rep.accesses >= 3 * n as u64);
+    assert_eq!(rep.launches, 1);
+}
+
+#[test]
+fn results_are_identical_with_and_without_sanitizer() {
+    let n = 1 << 10;
+    let run = |sanitize: bool| -> Vec<f32> {
+        let cfg = DeviceConfig::k20c(ClockConfig::k20_default(), false);
+        let mut dev = Device::new(cfg.clone());
+        if sanitize {
+            let san = Arc::new(Sanitizer::new("fx", "u", &cfg, CheckerSet::all()));
+            dev.set_access_observer(san);
+        }
+        let x = dev.alloc_from(&vec![3.0f32; n]);
+        let y = dev.alloc_init::<f32>(n, 1.0);
+        dev.launch(&CleanSaxpy { x, y }, (n as u32).div_ceil(128), 128);
+        dev.read(&y)
+    };
+    assert_eq!(run(false), run(true));
+}
+
+#[test]
+fn allowlist_suppresses_intended_races_end_to_end() {
+    let (mut dev, san) = sanitized_device(CheckerSet::default());
+    let flag = dev.alloc_init::<u32>(16, 0);
+    dev.launch(&CrossBlockWaw { flag }, 8, 32);
+    let mut rep = san.report();
+    let list = Allowlist::from_workload("fixture", &["race-global:cross_*"]).unwrap();
+    list.apply(&mut rep);
+    assert!(rep.clean());
+    assert_eq!(rep.suppressed.len(), 1);
+}
+
+/// Lints fire only when asked for: a strided access pattern trips the
+/// uncoalesced lint under `CheckerSet::all()` but not under the default
+/// correctness set.
+struct Strided {
+    x: DevBuffer<f32>,
+}
+impl Kernel for Strided {
+    fn name(&self) -> &'static str {
+        "strided"
+    }
+    fn run_block(&self, blk: &mut BlockCtx) {
+        let x = self.x;
+        let n = x.len();
+        blk.for_each_thread(|t| {
+            let i = (t.gtid() as usize * 33) % n; // stride past every 128B segment
+            let v = t.ld(&x, i);
+            t.st(&x, i, v + 1.0);
+        });
+    }
+}
+
+#[test]
+fn uncoalesced_lint_is_opt_in() {
+    for (checks, expect_lint) in [(CheckerSet::default(), false), (CheckerSet::all(), true)] {
+        let (mut dev, san) = sanitized_device(checks);
+        let n = 1 << 14;
+        let x = dev.alloc_init::<f32>(n, 0.0);
+        dev.launch(&Strided { x }, (n as u32).div_ceil(256), 256);
+        let rep = san.report();
+        let has_lint = rep
+            .findings
+            .iter()
+            .any(|f| f.checker == Checker::Uncoalesced);
+        assert_eq!(has_lint, expect_lint, "{}", rep.render_text());
+        // The permutation is a bijection, so no correctness findings either way.
+        assert!(
+            rep.findings.iter().all(|f| f.checker.is_lint()),
+            "{}",
+            rep.render_text()
+        );
+    }
+}

@@ -131,6 +131,17 @@ pub enum Event {
         threshold_w: f64,
         rising: bool,
     },
+    /// A sanitizer finding attached to the run (race, barrier divergence,
+    /// out-of-bounds access, performance lint, ...), so profile traces can
+    /// carry correctness annotations. `severity` is `"error"` or
+    /// `"warning"`; `checker` names the detector that fired.
+    Finding {
+        t: f64,
+        checker: String,
+        severity: String,
+        kernel: String,
+        message: String,
+    },
 }
 
 impl Event {
@@ -150,6 +161,7 @@ impl Event {
             Event::SensorSample { .. } => "sensor_sample",
             Event::SensorRateSwitch { .. } => "sensor_rate_switch",
             Event::ThresholdCross { .. } => "threshold_cross",
+            Event::Finding { .. } => "finding",
         }
     }
 
@@ -166,6 +178,7 @@ impl Event {
             | Event::SensorSample { t, .. }
             | Event::SensorRateSwitch { t, .. }
             | Event::ThresholdCross { t, .. } => t,
+            Event::Finding { t, .. } => t,
             Event::SmInterval { t0, .. }
             | Event::BoardInterval { t0, .. }
             | Event::DramInterval { t0, .. } => t0,
@@ -251,6 +264,13 @@ mod tests {
                 watts: 0.0,
                 threshold_w: 0.0,
                 rising: true,
+            },
+            Event::Finding {
+                t: 0.0,
+                checker: "race-shared".into(),
+                severity: "error".into(),
+                kernel: "k".into(),
+                message: "m".into(),
             },
         ];
         let tags: std::collections::HashSet<&str> = evs.iter().map(|e| e.tag()).collect();

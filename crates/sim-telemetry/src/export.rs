@@ -224,6 +224,22 @@ pub fn chrome_trace(events: &[Event]) -> String {
                     num(*threshold_w)
                 ));
             }
+            Event::Finding {
+                t,
+                checker,
+                severity,
+                kernel,
+                message,
+            } => {
+                rows.push(format!(
+                    r#"{{"ph":"i","s":"g","pid":0,"tid":0,"ts":{},"name":"finding: {}","args":{{"severity":"{}","kernel":"{}","message":"{}"}}}}"#,
+                    num(t * US),
+                    esc(checker),
+                    esc(severity),
+                    esc(kernel),
+                    esc(message)
+                ));
+            }
         }
     }
 
@@ -372,6 +388,20 @@ pub fn event_to_jsonl(ev: &Event) -> String {
             num(*threshold_w),
             rising
         ),
+        Event::Finding {
+            t,
+            checker,
+            severity,
+            kernel,
+            message,
+        } => format!(
+            r#"{{"tag":"{tag}","t":{},"checker":"{}","severity":"{}","kernel":"{}","message":"{}"}}"#,
+            num(*t),
+            esc(checker),
+            esc(severity),
+            esc(kernel),
+            esc(message)
+        ),
     }
 }
 
@@ -388,7 +418,8 @@ pub fn jsonl(events: &[Event]) -> String {
 /// Fixed CSV column superset shared by every event kind.
 pub const CSV_HEADER: &str =
     "tag,t,t1,launch,name,grid,block_threads,block,sm,slot,watts,issue_frac,resident,\
-bytes_per_s,demanders,duration_s,energy_j,rate_hz,threshold_w,rising,phase,core_mhz,mem_mhz,ecc";
+bytes_per_s,demanders,duration_s,energy_j,rate_hz,threshold_w,rising,phase,core_mhz,mem_mhz,ecc,\
+checker,severity,message";
 
 fn csv_field(s: &str) -> String {
     if s.contains(',') || s.contains('"') || s.contains('\n') {
@@ -405,7 +436,7 @@ pub fn csv(events: &[Event]) -> String {
     out.push('\n');
     for ev in events {
         // Column order must match CSV_HEADER.
-        let mut cols: [String; 24] = Default::default();
+        let mut cols: [String; 27] = Default::default();
         cols[0] = ev.tag().to_string();
         cols[1] = num(ev.time());
         match ev {
@@ -511,6 +542,18 @@ pub fn csv(events: &[Event]) -> String {
                 cols[10] = num(*watts);
                 cols[18] = num(*threshold_w);
                 cols[19] = rising.to_string();
+            }
+            Event::Finding {
+                checker,
+                severity,
+                kernel,
+                message,
+                ..
+            } => {
+                cols[4] = csv_field(kernel);
+                cols[24] = csv_field(checker);
+                cols[25] = csv_field(severity);
+                cols[26] = csv_field(message);
             }
         }
         out.push_str(&cols.join(","));
@@ -713,6 +756,13 @@ pub fn event_from_jsonl(line: &str) -> Option<Event> {
             threshold_w: f("threshold_w")?,
             rising: b("rising")?,
         },
+        "finding" => Event::Finding {
+            t: f("t")?,
+            checker: s("checker")?,
+            severity: s("severity")?,
+            kernel: s("kernel")?,
+            message: s("message")?,
+        },
         _ => return None,
     })
 }
@@ -794,6 +844,13 @@ mod tests {
                 watts: 66.0,
                 threshold_w: 40.0,
                 rising: true,
+            },
+            Event::Finding {
+                t: 3.1,
+                checker: "race-global".into(),
+                severity: "warning".into(),
+                kernel: "bfs \"frontier\"".into(),
+                message: "write/write on dist[3], blocks 0 and 7".into(),
             },
         ]
     }

@@ -116,6 +116,15 @@ pub trait Benchmark: Send + Sync {
     /// Run the whole program (allocate, launch kernels, read back) on `dev`.
     /// Panics if the computed result fails the program's own validation.
     fn run(&self, dev: &mut Device, input: &InputSpec) -> RunOutput;
+
+    /// Sanitizer allowlist entries (`checker:kernel-glob` strings, parsed
+    /// by `sim-sanitizer`) for hazards this program exhibits *by design* —
+    /// the irregular LonestarGPU codes race on purpose; their
+    /// timing-dependent behaviour is the phenomenon the paper studies.
+    /// Entries are automatically scoped to this program's key.
+    fn sanitizer_allowlist(&self) -> &'static [&'static str] {
+        &[]
+    }
 }
 
 #[cfg(test)]

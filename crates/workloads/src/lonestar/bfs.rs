@@ -374,8 +374,10 @@ impl LBfs {
                 }
             }
             LBfsVariant::Wla => {
-                let flag_a = dev.alloc::<u32>(g.n);
-                let flag_b = dev.alloc::<u32>(g.n);
+                // Every node's flag is read each pass: zero them explicitly
+                // (the reference memsets) instead of reading fresh memory.
+                let flag_a = dev.alloc_init::<u32>(g.n, 0);
+                let flag_b = dev.alloc_init::<u32>(g.n, 0);
                 dev.write_at(&flag_a, src, 1);
                 let mut flip = false;
                 loop {
@@ -494,6 +496,22 @@ impl Benchmark for LBfs {
             // is orders of magnitude smaller — they finish before the
             // sensor collects enough samples, exactly as in the paper.
             LBfsVariant::Wlw | LBfsVariant::Wlc => road_inputs([400.0, 700.0, 1000.0]),
+        }
+    }
+
+    fn sanitizer_allowlist(&self) -> &'static [&'static str] {
+        // Every L-BFS variant relaxes node levels without locks: threads
+        // read a neighbour's level while others write it, and the shared
+        // `changed` flag is a same-value multi-writer. Monotonic level
+        // updates make the result correct anyway — the races are the
+        // algorithm. (The `wlc` variant is race-free: it claims nodes with
+        // CAS and pushes to the worklist through atomics only.)
+        match self.variant {
+            LBfsVariant::Default => &["race-global:lbfs_topo"],
+            LBfsVariant::Atomic => &["race-global:lbfs_atomic"],
+            LBfsVariant::Wla => &["race-global:lbfs_wla"],
+            LBfsVariant::Wlw => &["race-global:lbfs_wlw"],
+            LBfsVariant::Wlc => &[],
         }
     }
 

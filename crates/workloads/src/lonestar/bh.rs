@@ -414,6 +414,19 @@ impl Benchmark for BarnesHut {
         ]
     }
 
+    fn sanitizer_allowlist(&self) -> &'static [&'static str] {
+        // Lock-free octree construction: insertion claims child slots and
+        // publishes cell payloads through plain reads/writes (the original
+        // polls a mass sentinel), and summarization walks cells other
+        // blocks are still filling. All timing-dependent by design — the
+        // paper's explanation for BH's response to clock changes.
+        &[
+            "race-global:bh_build_tree",
+            "race-global:bh_summarize",
+            "uninit-read:bh_summarize",
+        ]
+    }
+
     fn run(&self, dev: &mut Device, input: &InputSpec) -> RunOutput {
         let b = self.setup(dev, input.n, input.seed);
         let steps = input.aux.max(1);

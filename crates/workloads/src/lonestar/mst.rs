@@ -293,6 +293,14 @@ impl Benchmark for Mst {
         road_inputs([176_000.0, 125_000.0, 63_000.0])
     }
 
+    fn sanitizer_allowlist(&self) -> &'static [&'static str] {
+        // Boruvka components hook onto each other and pointer-jump
+        // concurrently: parent pointers are read while other threads
+        // rewrite them, and the `changed` flag is a same-value
+        // multi-writer. Union-find converges under any interleaving.
+        &["race-global:mst_hook", "race-global:mst_jump"]
+    }
+
     fn run(&self, dev: &mut Device, input: &InputSpec) -> RunOutput {
         let g = road_network(input.n, input.m, input.seed);
         let total = self.boruvka(dev, &g, input.mult);

@@ -317,6 +317,18 @@ impl Benchmark for Sssp {
         road_inputs([61_000.0, 48_000.0, 20_000.0])
     }
 
+    fn sanitizer_allowlist(&self) -> &'static [&'static str] {
+        // Bellman-Ford relaxations race on distances (read while another
+        // thread writes, atomic-min mixed with plain reads) in every
+        // variant; monotonically decreasing distances make the fixpoint
+        // correct regardless of interleaving.
+        match self.variant {
+            SsspVariant::Default => &["race-global:sssp_topo"],
+            SsspVariant::Wln => &["race-global:sssp_wln"],
+            SsspVariant::Wlc => &["race-global:sssp_wlc"],
+        }
+    }
+
     fn run(&self, dev: &mut Device, input: &InputSpec) -> RunOutput {
         let g = road_network(input.n, input.m, input.seed);
         let src = g.n / 2 + input.n / 2;

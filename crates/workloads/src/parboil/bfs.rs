@@ -67,6 +67,12 @@ impl Benchmark for PBfs {
         vec![InputSpec::new("SF Bay road map", 56, 56, 0, 23_500.0)]
     }
 
+    fn sanitizer_allowlist(&self) -> &'static [&'static str] {
+        // Frontier expansion claims levels with atomics but reads them
+        // plainly in the same pass; monotonic levels keep the result exact.
+        &["race-global:pbfs_frontier"]
+    }
+
     fn run(&self, dev: &mut Device, input: &InputSpec) -> RunOutput {
         let g = road_network(input.n, input.m, input.seed);
         let src = g.n / 2;

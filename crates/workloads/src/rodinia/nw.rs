@@ -169,13 +169,17 @@ impl Benchmark for NeedlemanWunsch {
         let opts = LaunchOpts {
             work_multiplier: input.mult,
         };
+        // TILE+1 threads: the halo staging phase needs one thread per halo
+        // entry (top row and left column are TILE+1 long); with only TILE
+        // threads the corner entries were never staged and silently read as
+        // shared-memory zero-init, which corrupts the DP at full scale.
         for wave in 0..2 * tiles - 1 {
             let width = if wave < tiles {
                 wave + 1
             } else {
                 2 * tiles - 1 - wave
             } as u32;
-            dev.launch_with(&NwTileWave { wave, ..k }, width, TILE as u32, opts);
+            dev.launch_with(&NwTileWave { wave, ..k }, width, TILE as u32 + 1, opts);
         }
         let score = dev.read_at(&k.score, pitch * pitch - 1);
         let expect = host_nw(&a, &b);

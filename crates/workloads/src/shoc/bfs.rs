@@ -74,6 +74,13 @@ impl Benchmark for SBfs {
         )]
     }
 
+    fn sanitizer_allowlist(&self) -> &'static [&'static str] {
+        // Same pattern as the other BFS ports: atomic level claims mixed
+        // with plain reads of the frontier within a pass, correct because
+        // levels only ever decrease.
+        &["race-global:sbfs_frontier"]
+    }
+
     fn run(&self, dev: &mut Device, input: &InputSpec) -> RunOutput {
         let g = random_kway(input.n, input.m, input.seed);
         let src = 0usize;

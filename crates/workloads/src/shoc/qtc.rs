@@ -180,7 +180,9 @@ impl Benchmark for Qtc {
         let xy = f32_vec(2 * n, 0.0, 1.0, input.seed);
         let k = CountKernel {
             xy: dev.alloc_from(&xy),
-            clustered: dev.alloc::<u32>(n),
+            // Read for every point from the first launch on: must start as
+            // an explicit "not clustered" zero, not fresh memory.
+            clustered: dev.alloc_init::<u32>(n, 0),
             counts: dev.alloc::<u32>(n),
             n,
             thr2,

@@ -12,6 +12,9 @@
 //!   traces, the emulated on-board sensor, and the K20Power tool.
 //! * [`bench_suites`] (`workloads`) — the paper's 34 benchmark programs from
 //!   five suites, re-implemented as functional SIMT kernels.
+//! * [`sanitizer`] (`sim-sanitizer`) — compute-sanitizer-style race,
+//!   barrier-divergence, out-of-bounds and coalescing checkers over the
+//!   functional layer's access streams.
 //! * [`study`] (`characterize`) — the paper's contribution: the experiment
 //!   harness, the four GPU configurations, and the generators for every
 //!   table and figure in the evaluation section.
@@ -33,4 +36,5 @@
 pub use characterize as study;
 pub use gpower as power;
 pub use kepler_sim as sim;
+pub use sim_sanitizer as sanitizer;
 pub use workloads as bench_suites;
