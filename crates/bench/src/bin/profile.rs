@@ -140,6 +140,7 @@ fn main() {
         args.config.name()
     );
     let t0 = std::time::Instant::now();
+    let dev0 = kepler_sim::devices_created();
     let (m, check_report) = if args.check {
         let (m, rep) = measure_traced_checked(
             bench.as_ref(),
@@ -158,8 +159,14 @@ fn main() {
         )
     };
     eprintln!(
-        "[profile] simulated in {:?}, {} events recorded ({} dropped)",
+        "[profile] simulated in {:?} ({} device{}), {} events recorded ({} dropped)",
         t0.elapsed(),
+        kepler_sim::devices_created() - dev0,
+        if kepler_sim::devices_created() - dev0 == 1 {
+            ""
+        } else {
+            "s"
+        },
         m.events.len(),
         m.dropped_events
     );

@@ -1,0 +1,917 @@
+//! The measurement campaign engine.
+//!
+//! The paper's evaluation is **one measurement matrix** — every program ×
+//! input × clock/ECC configuration × repetition — from which every table
+//! and figure is derived. Before this module existed, each artifact
+//! generator re-simulated its own overlapping slice of that matrix (the
+//! default configuration alone was swept four times by `repro all`). A
+//! [`Campaign`] instead:
+//!
+//! * **plans** — collects the deduplicated run matrix requested by any set
+//!   of artifacts ([`plan_artifacts`] / the `*_runs()` planners in
+//!   [`crate::tables`] and [`crate::figures`]);
+//! * **executes** — runs the unique (workload, input, config, rep) units
+//!   on the rayon work-stealing pool, exactly once per process, with
+//!   in-flight deduplication so even unplanned concurrent requests cannot
+//!   double-simulate;
+//! * **memoizes** — results (including *measurement failures*, the paper's
+//!   324-MHz exclusions) are kept in-process and served to every artifact;
+//! * **persists** — each unit is written to a content-addressed on-disk
+//!   cache keyed by `(workload key, input, config, rep, seed, sim-version
+//!   fingerprint)` in a versioned plain-text record. Corrupt or truncated
+//!   entries and records from an older simulator model are re-run, never
+//!   fatal.
+//!
+//! Median-of-three readings are *derived* from the three cached single
+//! runs via [`combine_median3`], so the rep is the cache unit and a quick
+//! (1-rep) figure shares its rep-0 simulation with the full methodology.
+
+use crate::configs::GpuConfigKind;
+use crate::experiment::{combine_median3, measure, run_seed, Measurement, MedianMeasurement};
+use gpower::{PowerError, Reading};
+use kepler_sim::KernelCounters;
+use rayon::prelude::*;
+use sim_telemetry::{Event, TelemetrySink};
+use std::collections::{HashMap, HashSet};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+use workloads::bench::{Benchmark, InputSpec, ItemCounts};
+use workloads::registry;
+
+/// Version prefix of the canonical cache key and the on-disk record
+/// layout. Bump when the record format changes shape.
+const FORMAT_VERSION: &str = "v1";
+const RECORD_MAGIC: &str = "gpgpu-campaign v1";
+const RECORD_END: &str = "end gpgpu-campaign";
+
+/// 64-bit FNV-1a (the *correct* prime — see the `run_seed` fix).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    const FNV_PRIME: u64 = 0x100_0000_01b3;
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Fingerprint of the simulation + measurement model this build produces.
+/// Any change that alters simulated numbers bumps one of the component
+/// version tags, which invalidates every persisted record at load time.
+pub fn sim_fingerprint() -> u64 {
+    let ident = format!(
+        "{}|{}|characterize/{}",
+        kepler_sim::SIM_VERSION,
+        gpower::MEASUREMENT_VERSION,
+        env!("CARGO_PKG_VERSION"),
+    );
+    fnv1a64(ident.as_bytes())
+}
+
+/// One unit of the measurement matrix: a single repetition of one program
+/// input under one configuration.
+#[derive(Debug, Clone)]
+pub struct RunRequest {
+    pub key: &'static str,
+    pub input: InputSpec,
+    pub config: GpuConfigKind,
+    pub rep: u64,
+}
+
+/// The artifacts whose data comes from the measurement matrix. Table 1 and
+/// Figure 1 are excluded on purpose: the inventory needs no measurements
+/// and the sample power profile uses its own fixed-seed run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Artifact {
+    Table2,
+    Table3,
+    Table4,
+    Fig2,
+    Fig3,
+    Fig4,
+    Fig5,
+    Fig6,
+    TrDetail,
+}
+
+impl Artifact {
+    /// Parse a `repro`-style artifact selector. Returns `None` for
+    /// artifacts that need no measurements (`table1`, `fig1`) and unknown
+    /// names alike.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "table2" => Artifact::Table2,
+            "table3" => Artifact::Table3,
+            "table4" => Artifact::Table4,
+            "fig2" => Artifact::Fig2,
+            "fig3" => Artifact::Fig3,
+            "fig4" => Artifact::Fig4,
+            "fig5" => Artifact::Fig5,
+            "fig6" => Artifact::Fig6,
+            "trdata" => Artifact::TrDetail,
+            _ => return None,
+        })
+    }
+
+    /// The runs this artifact needs at the given repetition count.
+    pub fn runs(&self, reps: u64) -> Vec<RunRequest> {
+        match self {
+            // Table 2's variability is meaningless without all three reps.
+            Artifact::Table2 => crate::tables::table2_runs(),
+            Artifact::Table3 => crate::tables::table3_runs(reps),
+            Artifact::Table4 => crate::tables::table4_runs(reps),
+            Artifact::Fig2 => {
+                crate::figures::ratio_figure_runs(GpuConfigKind::Default, GpuConfigKind::C614, reps)
+            }
+            Artifact::Fig3 => {
+                crate::figures::ratio_figure_runs(GpuConfigKind::C614, GpuConfigKind::C324, reps)
+            }
+            Artifact::Fig4 => {
+                crate::figures::ratio_figure_runs(GpuConfigKind::Default, GpuConfigKind::Ecc, reps)
+            }
+            Artifact::Fig5 => crate::figures::input_power_figure_runs(reps),
+            Artifact::Fig6 => crate::figures::power_range_figure_runs(reps),
+            Artifact::TrDetail => crate::tables::tr_detail_runs(reps),
+        }
+    }
+}
+
+/// Collect the deduplicated run matrix of a set of artifacts. Requests are
+/// deduplicated by canonical cache key, preserving first-seen order.
+pub fn plan_artifacts(artifacts: &[Artifact], reps: u64) -> Vec<RunRequest> {
+    let mut seen = HashSet::new();
+    let mut plan = Vec::new();
+    for a in artifacts {
+        for req in a.runs(reps) {
+            if seen.insert(canonical_key_parts(
+                req.key, &req.input, req.config, req.rep,
+            )) {
+                plan.push(req);
+            }
+        }
+    }
+    plan
+}
+
+/// Rep indices a `reps` request expands to: the paper's three repetitions,
+/// or the single rep-0 run in `--quick` mode.
+pub(crate) fn rep_indices(reps: u64) -> std::ops::Range<u64> {
+    if reps >= 3 {
+        0..3
+    } else {
+        0..1
+    }
+}
+
+/// The canonical identity of one run unit, *without* the model
+/// fingerprint (the fingerprint is stored inside the record so an
+/// outdated entry is observed as stale rather than silently orphaned).
+fn canonical_key_parts(key: &str, input: &InputSpec, config: GpuConfigKind, rep: u64) -> String {
+    // The seed is derived from (key, input, rep), but it is part of the
+    // paper's methodology, so it is folded into the identity explicitly:
+    // a change to the seeding scheme must invalidate cached measurements.
+    let seed = run_seed(key, input.name, rep);
+    let spec_key = registry::by_key(key)
+        .map(|b| b.spec().cache_key())
+        .unwrap_or_else(|| key.to_string());
+    format!(
+        "{FORMAT_VERSION}|{spec_key}|{}|cfg={}|rep={rep}|seed={seed:016x}",
+        input.cache_key(),
+        config.name(),
+    )
+}
+
+/// Counter snapshot of a campaign's cache behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CampaignStats {
+    /// Simulations actually executed by this process.
+    pub simulated: u64,
+    /// Requests served from the in-process memo.
+    pub memo_hits: u64,
+    /// Requests served from the on-disk cache.
+    pub disk_hits: u64,
+    /// On-disk records rejected because their model fingerprint differs
+    /// from this build (each forced a re-run).
+    pub disk_stale: u64,
+    /// On-disk records rejected as corrupt/truncated (each forced a
+    /// re-run).
+    pub disk_corrupt: u64,
+}
+
+impl CampaignStats {
+    /// Total requests resolved (any source).
+    pub fn resolved(&self) -> u64 {
+        self.simulated + self.memo_hits + self.disk_hits
+    }
+}
+
+impl std::fmt::Display for CampaignStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "simulated={} memo_hits={} disk_hits={} stale={} corrupt={}",
+            self.simulated, self.memo_hits, self.disk_hits, self.disk_stale, self.disk_corrupt
+        )
+    }
+}
+
+/// Campaign construction options.
+#[derive(Default)]
+pub struct CampaignConfig {
+    /// Directory of the persistent cache. `None` disables persistence
+    /// (in-process memoization still applies).
+    pub cache_dir: Option<PathBuf>,
+    /// Optional sink for `CacheLookup` / `CampaignProgress` events.
+    pub telemetry: Option<Arc<dyn TelemetrySink>>,
+}
+
+#[derive(Default)]
+struct CampaignState {
+    memo: HashMap<String, Result<Measurement, PowerError>>,
+    inflight: HashSet<String>,
+}
+
+/// The shared measurement campaign: every table and figure generator pulls
+/// its readings from one of these, so `repro all` performs each unique
+/// simulation exactly once and a warm-cache re-run simulates nothing.
+pub struct Campaign {
+    cache_dir: Option<PathBuf>,
+    telemetry: Option<Arc<dyn TelemetrySink>>,
+    fingerprint: u64,
+    started: Instant,
+    state: Mutex<CampaignState>,
+    done: Condvar,
+    simulated: AtomicU64,
+    memo_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    disk_stale: AtomicU64,
+    disk_corrupt: AtomicU64,
+}
+
+impl Campaign {
+    pub fn new(cfg: CampaignConfig) -> Self {
+        Self {
+            cache_dir: cfg.cache_dir,
+            telemetry: cfg.telemetry,
+            fingerprint: sim_fingerprint(),
+            started: Instant::now(),
+            state: Mutex::new(CampaignState::default()),
+            done: Condvar::new(),
+            simulated: AtomicU64::new(0),
+            memo_hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            disk_stale: AtomicU64::new(0),
+            disk_corrupt: AtomicU64::new(0),
+        }
+    }
+
+    /// A campaign with in-process memoization only.
+    pub fn in_memory() -> Self {
+        Self::new(CampaignConfig::default())
+    }
+
+    /// Override the model fingerprint. Test hook: lets a test plant a
+    /// record that a correctly-fingerprinted campaign must treat as stale.
+    #[doc(hidden)]
+    pub fn with_fingerprint(mut self, fingerprint: u64) -> Self {
+        self.fingerprint = fingerprint;
+        self
+    }
+
+    /// Current counter snapshot.
+    pub fn stats(&self) -> CampaignStats {
+        CampaignStats {
+            simulated: self.simulated.load(Ordering::Relaxed),
+            memo_hits: self.memo_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            disk_stale: self.disk_stale.load(Ordering::Relaxed),
+            disk_corrupt: self.disk_corrupt.load(Ordering::Relaxed),
+        }
+    }
+
+    fn emit(&self, ev: Event) {
+        if let Some(sink) = &self.telemetry {
+            sink.record(ev);
+        }
+    }
+
+    fn wall(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Execute a planned set of requests on the rayon pool, deduplicated
+    /// by cache identity. Returns the number of unique units resolved.
+    pub fn execute(&self, plan: &[RunRequest]) -> usize {
+        let mut seen = HashSet::new();
+        let unique: Vec<&RunRequest> = plan
+            .iter()
+            .filter(|r| seen.insert(canonical_key_parts(r.key, &r.input, r.config, r.rep)))
+            .collect();
+        let total = unique.len() as u32;
+        let progress = AtomicU64::new(0);
+        unique.par_iter().for_each(|req| {
+            if let Some(b) = registry::by_key(req.key) {
+                let _ = self.run(b.as_ref(), &req.input, req.config, req.rep);
+            }
+            let done = progress.fetch_add(1, Ordering::Relaxed) as u32 + 1;
+            self.emit(Event::CampaignProgress {
+                t: self.wall(),
+                done,
+                total,
+            });
+        });
+        unique.len()
+    }
+
+    /// One unit of the matrix, memoized: serve from the in-process memo,
+    /// else from disk, else simulate (exactly once per process — a second
+    /// concurrent request for the same unit waits for the first).
+    pub fn run(
+        &self,
+        bench: &dyn Benchmark,
+        input: &InputSpec,
+        config: GpuConfigKind,
+        rep: u64,
+    ) -> Result<Measurement, PowerError> {
+        let ckey = canonical_key_parts(bench.spec().key, input, config, rep);
+        {
+            let mut g = self.state.lock().unwrap();
+            loop {
+                if let Some(v) = g.memo.get(&ckey) {
+                    self.memo_hits.fetch_add(1, Ordering::Relaxed);
+                    self.emit(Event::CacheLookup {
+                        t: self.wall(),
+                        key: ckey.clone(),
+                        hit: true,
+                        disk: false,
+                    });
+                    return v.clone();
+                }
+                if g.inflight.contains(&ckey) {
+                    g = self.done.wait(g).unwrap();
+                } else {
+                    break;
+                }
+            }
+            // Disk probe under the lock: records are tiny, and probing
+            // here keeps hit accounting race-free.
+            if let Some(rec) = self.load_record(&ckey) {
+                g.memo.insert(ckey.clone(), rec.clone());
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                self.emit(Event::CacheLookup {
+                    t: self.wall(),
+                    key: ckey.clone(),
+                    hit: true,
+                    disk: true,
+                });
+                return rec;
+            }
+            g.inflight.insert(ckey.clone());
+        }
+        // Simulate outside the lock so the pool keeps stealing work.
+        let res = measure(bench, input, config, rep);
+        self.simulated.fetch_add(1, Ordering::Relaxed);
+        self.store_record(&ckey, &res);
+        let mut g = self.state.lock().unwrap();
+        g.memo.insert(ckey.clone(), res.clone());
+        g.inflight.remove(&ckey);
+        drop(g);
+        self.done.notify_all();
+        self.emit(Event::CacheLookup {
+            t: self.wall(),
+            key: ckey,
+            hit: false,
+            disk: false,
+        });
+        res
+    }
+
+    /// The paper's median-of-three, derived from the three cached reps.
+    /// Bit-identical to [`crate::experiment::measure_median3`]: both feed
+    /// the same per-rep measurements through [`combine_median3`].
+    pub fn median3(
+        &self,
+        bench: &dyn Benchmark,
+        input: &InputSpec,
+        config: GpuConfigKind,
+    ) -> Result<MedianMeasurement, PowerError> {
+        let runs = [
+            self.run(bench, input, config, 0)?,
+            self.run(bench, input, config, 1)?,
+            self.run(bench, input, config, 2)?,
+        ];
+        Ok(combine_median3(&runs))
+    }
+
+    /// A reading at the requested repetition count: the median-of-three
+    /// methodology, or the single rep-0 run in `--quick` mode.
+    pub fn reading(
+        &self,
+        bench: &dyn Benchmark,
+        input: &InputSpec,
+        config: GpuConfigKind,
+        reps: u64,
+    ) -> Result<Reading, PowerError> {
+        if reps >= 3 {
+            self.median3(bench, input, config).map(|m| m.reading)
+        } else {
+            self.run(bench, input, config, 0).map(|m| m.reading)
+        }
+    }
+
+    /// Like [`Campaign::reading`] but with the ancillary fields (items,
+    /// counters, variability) the tables need.
+    pub fn measurement(
+        &self,
+        bench: &dyn Benchmark,
+        input: &InputSpec,
+        config: GpuConfigKind,
+        reps: u64,
+    ) -> Result<MedianMeasurement, PowerError> {
+        if reps >= 3 {
+            self.median3(bench, input, config)
+        } else {
+            self.run(bench, input, config, 0)
+                .map(|m| MedianMeasurement {
+                    reading: m.reading,
+                    items: m.items,
+                    counters: m.counters,
+                    time_variability_pct: 0.0,
+                    energy_variability_pct: 0.0,
+                })
+        }
+    }
+
+    // -- persistence --------------------------------------------------------
+
+    fn record_path(&self, ckey: &str) -> Option<PathBuf> {
+        self.cache_dir
+            .as_ref()
+            .map(|d| d.join(format!("{:016x}.camp", fnv1a64(ckey.as_bytes()))))
+    }
+
+    /// Load one record, verifying fingerprint and full key. Any failure is
+    /// a miss: stale and corrupt entries bump their counters and will be
+    /// overwritten by the re-run's store.
+    fn load_record(&self, ckey: &str) -> Option<Result<Measurement, PowerError>> {
+        let path = self.record_path(ckey)?;
+        let body = std::fs::read_to_string(&path).ok()?;
+        match parse_record(&body) {
+            Some((fp, key, res)) => {
+                if key != ckey {
+                    // Hash collision or hand-edited file: treat as absent.
+                    None
+                } else if fp != self.fingerprint {
+                    self.disk_stale.fetch_add(1, Ordering::Relaxed);
+                    None
+                } else {
+                    Some(res)
+                }
+            }
+            None => {
+                self.disk_corrupt.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Persist one record. Best-effort: an unwritable cache directory
+    /// degrades to memo-only operation. The write goes through a unique
+    /// temporary file + rename so concurrent processes never observe a
+    /// torn record.
+    fn store_record(&self, ckey: &str, res: &Result<Measurement, PowerError>) {
+        let Some(path) = self.record_path(ckey) else {
+            return;
+        };
+        let Some(dir) = path.parent() else { return };
+        if std::fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        let body = format_record(self.fingerprint, ckey, res);
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        if std::fs::write(&tmp, body).is_ok() && std::fs::rename(&tmp, &path).is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Record format (hand-rolled: the workspace builds offline, serde is a shim)
+// ---------------------------------------------------------------------------
+
+fn fbits(x: f64) -> String {
+    format!("{:016x}", x.to_bits())
+}
+
+fn parse_fbits(tok: &str) -> Option<f64> {
+    u64::from_str_radix(tok, 16).ok().map(f64::from_bits)
+}
+
+/// Render one record. Floats are stored as their exact bit patterns so a
+/// round-trip through the cache is bit-identical to the live measurement.
+fn format_record(fingerprint: u64, ckey: &str, res: &Result<Measurement, PowerError>) -> String {
+    let mut s = String::new();
+    s.push_str(RECORD_MAGIC);
+    s.push('\n');
+    s.push_str(&format!("fingerprint {fingerprint:016x}\n"));
+    s.push_str(&format!("key {ckey}\n"));
+    match res {
+        Ok(m) => {
+            let r = &m.reading;
+            s.push_str("status ok\n");
+            s.push_str(&format!(
+                "reading {} {} {} {} {} {}\n",
+                fbits(r.active_runtime_s),
+                fbits(r.energy_j),
+                fbits(r.avg_power_w),
+                fbits(r.threshold_w),
+                fbits(r.idle_w),
+                r.n_active_samples
+            ));
+            s.push_str(&format!("checksum {}\n", fbits(m.checksum)));
+            match &m.items {
+                Some(it) => s.push_str(&format!("items {} {}\n", it.vertices, it.edges)),
+                None => s.push_str("items none\n"),
+            }
+            let c = &m.counters;
+            s.push_str(&format!(
+                "counters {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}\n",
+                c.blocks,
+                c.threads,
+                c.warps,
+                fbits(c.issue_cycles),
+                fbits(c.dram_bytes),
+                fbits(c.useful_bytes),
+                fbits(c.transactions),
+                fbits(c.ideal_transactions),
+                fbits(c.atomics),
+                fbits(c.lane_ops[0]),
+                fbits(c.lane_ops[1]),
+                fbits(c.lane_ops[2]),
+                fbits(c.lane_ops[3]),
+                fbits(c.lane_ops[4]),
+                fbits(c.lane_ops[5]),
+                fbits(c.lane_ops[6]),
+                fbits(c.shared_accesses),
+                fbits(c.bank_conflict_cycles),
+                fbits(c.barriers),
+                fbits(c.slots),
+                fbits(c.active_lanes),
+                0 // reserved
+            ));
+        }
+        Err(PowerError::InsufficientSamples(n)) => {
+            s.push_str("status err\n");
+            s.push_str(&format!("error insufficient {n}\n"));
+        }
+        Err(PowerError::NoSamples) => {
+            s.push_str("status err\n");
+            s.push_str("error nosamples\n");
+        }
+    }
+    s.push_str(RECORD_END);
+    s.push('\n');
+    s
+}
+
+/// Parse one record back. `None` on any malformation — including a missing
+/// terminator line, which is how a truncated write is detected.
+fn parse_record(body: &str) -> Option<(u64, String, Result<Measurement, PowerError>)> {
+    let mut lines = body.lines();
+    if lines.next()? != RECORD_MAGIC {
+        return None;
+    }
+    let fp_line = lines.next()?;
+    let fp = u64::from_str_radix(fp_line.strip_prefix("fingerprint ")?, 16).ok()?;
+    let key = lines.next()?.strip_prefix("key ")?.to_string();
+    let status = lines.next()?;
+    let res: Result<Measurement, PowerError> = match status {
+        "status ok" => {
+            let rtoks: Vec<&str> = lines
+                .next()?
+                .strip_prefix("reading ")?
+                .split_whitespace()
+                .collect();
+            if rtoks.len() != 6 {
+                return None;
+            }
+            let reading = Reading {
+                active_runtime_s: parse_fbits(rtoks[0])?,
+                energy_j: parse_fbits(rtoks[1])?,
+                avg_power_w: parse_fbits(rtoks[2])?,
+                threshold_w: parse_fbits(rtoks[3])?,
+                idle_w: parse_fbits(rtoks[4])?,
+                n_active_samples: rtoks[5].parse().ok()?,
+            };
+            let checksum = parse_fbits(lines.next()?.strip_prefix("checksum ")?)?;
+            let items_line = lines.next()?.strip_prefix("items ")?;
+            let items = if items_line == "none" {
+                None
+            } else {
+                let mut it = items_line.split_whitespace();
+                Some(ItemCounts {
+                    vertices: it.next()?.parse().ok()?,
+                    edges: it.next()?.parse().ok()?,
+                })
+            };
+            let ctoks: Vec<&str> = lines
+                .next()?
+                .strip_prefix("counters ")?
+                .split_whitespace()
+                .collect();
+            if ctoks.len() != 22 {
+                return None;
+            }
+            let mut counters = KernelCounters {
+                blocks: ctoks[0].parse().ok()?,
+                threads: ctoks[1].parse().ok()?,
+                warps: ctoks[2].parse().ok()?,
+                issue_cycles: parse_fbits(ctoks[3])?,
+                dram_bytes: parse_fbits(ctoks[4])?,
+                useful_bytes: parse_fbits(ctoks[5])?,
+                transactions: parse_fbits(ctoks[6])?,
+                ideal_transactions: parse_fbits(ctoks[7])?,
+                atomics: parse_fbits(ctoks[8])?,
+                ..Default::default()
+            };
+            for i in 0..7 {
+                counters.lane_ops[i] = parse_fbits(ctoks[9 + i])?;
+            }
+            counters.shared_accesses = parse_fbits(ctoks[16])?;
+            counters.bank_conflict_cycles = parse_fbits(ctoks[17])?;
+            counters.barriers = parse_fbits(ctoks[18])?;
+            counters.slots = parse_fbits(ctoks[19])?;
+            counters.active_lanes = parse_fbits(ctoks[20])?;
+            Ok(Measurement {
+                reading,
+                checksum,
+                items,
+                counters,
+            })
+        }
+        "status err" => {
+            let err_line = lines.next()?.strip_prefix("error ")?;
+            if err_line == "nosamples" {
+                Err(PowerError::NoSamples)
+            } else {
+                let n = err_line.strip_prefix("insufficient ")?.parse().ok()?;
+                Err(PowerError::InsufficientSamples(n))
+            }
+        }
+        _ => return None,
+    };
+    if lines.next()? != RECORD_END {
+        return None;
+    }
+    Some((fp, key, res))
+}
+
+/// Remove every record in `dir` (used by `repro --no-cache` semantics is
+/// *not* this — this is an explicit purge helper for tooling and tests).
+pub fn purge_cache(dir: &Path) -> std::io::Result<usize> {
+    let mut removed = 0;
+    if dir.is_dir() {
+        for entry in std::fs::read_dir(dir)? {
+            let path = entry?.path();
+            if path.extension().map(|e| e == "camp").unwrap_or(false) {
+                std::fs::remove_file(&path)?;
+                removed += 1;
+            }
+        }
+    }
+    Ok(removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::measure_median3;
+    use std::sync::atomic::AtomicU32;
+
+    static TEST_DIR_SEQ: AtomicU32 = AtomicU32::new(0);
+
+    /// A unique scratch cache directory per test (no tempfile dependency).
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let n = TEST_DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "gpgpu-campaign-test-{}-{tag}-{n}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn disk_campaign(dir: &Path) -> Campaign {
+        Campaign::new(CampaignConfig {
+            cache_dir: Some(dir.to_path_buf()),
+            telemetry: None,
+        })
+    }
+
+    fn readings_bit_identical(a: &Reading, b: &Reading) -> bool {
+        a.active_runtime_s.to_bits() == b.active_runtime_s.to_bits()
+            && a.energy_j.to_bits() == b.energy_j.to_bits()
+            && a.avg_power_w.to_bits() == b.avg_power_w.to_bits()
+            && a.threshold_w.to_bits() == b.threshold_w.to_bits()
+            && a.idle_w.to_bits() == b.idle_w.to_bits()
+            && a.n_active_samples == b.n_active_samples
+    }
+
+    #[test]
+    fn campaign_median3_matches_direct_measurement_bitwise() {
+        let dir = scratch_dir("roundtrip");
+        let b = registry::by_key("sgemm").unwrap();
+        let input = &b.inputs()[0];
+        let direct = measure_median3(b.as_ref(), input, GpuConfigKind::Default, 0).unwrap();
+
+        // Cold campaign: simulates, persists.
+        let c1 = disk_campaign(&dir);
+        let m1 = c1
+            .median3(b.as_ref(), input, GpuConfigKind::Default)
+            .unwrap();
+        assert!(readings_bit_identical(&m1.reading, &direct.reading));
+        assert_eq!(m1.counters, direct.counters);
+        assert_eq!(c1.stats().simulated, 3);
+
+        // Warm campaign, same directory: serves the records from disk
+        // without touching the simulator, bit-identical.
+        let before = kepler_sim::devices_created();
+        let c2 = disk_campaign(&dir);
+        let m2 = c2
+            .median3(b.as_ref(), input, GpuConfigKind::Default)
+            .unwrap();
+        assert_eq!(
+            kepler_sim::devices_created(),
+            before,
+            "cache hit must skip simulation"
+        );
+        let s = c2.stats();
+        assert_eq!((s.simulated, s.disk_hits), (0, 3), "{s}");
+        assert!(readings_bit_identical(&m2.reading, &direct.reading));
+        assert_eq!(m2.counters, direct.counters);
+        assert_eq!(
+            m2.time_variability_pct.to_bits(),
+            direct.time_variability_pct.to_bits()
+        );
+        assert_eq!(
+            m2.energy_variability_pct.to_bits(),
+            direct.energy_variability_pct.to_bits()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn memo_hit_skips_simulation_and_is_counted() {
+        let b = registry::by_key("sten").unwrap();
+        let input = &b.inputs()[0];
+        let c = Campaign::in_memory();
+        let m1 = c.run(b.as_ref(), input, GpuConfigKind::Default, 0).unwrap();
+        assert_eq!(c.stats().simulated, 1);
+        let before = kepler_sim::devices_created();
+        let m2 = c.run(b.as_ref(), input, GpuConfigKind::Default, 0).unwrap();
+        assert_eq!(kepler_sim::devices_created(), before);
+        assert_eq!(c.stats().memo_hits, 1);
+        assert!(readings_bit_identical(&m1.reading, &m2.reading));
+    }
+
+    #[test]
+    fn stale_fingerprint_forces_rerun() {
+        let dir = scratch_dir("stale");
+        let b = registry::by_key("sten").unwrap();
+        let input = &b.inputs()[0];
+        // Plant a record under a deliberately different fingerprint.
+        let old = disk_campaign(&dir).with_fingerprint(0xDEAD_BEEF);
+        old.run(b.as_ref(), input, GpuConfigKind::Default, 0)
+            .unwrap();
+        assert_eq!(old.stats().simulated, 1);
+        // A correctly-fingerprinted campaign must re-run, not trust it.
+        let c = disk_campaign(&dir);
+        c.run(b.as_ref(), input, GpuConfigKind::Default, 0).unwrap();
+        let s = c.stats();
+        assert_eq!((s.simulated, s.disk_hits, s.disk_stale), (1, 0, 1), "{s}");
+        // ... and its store repaired the record for the next campaign.
+        let c2 = disk_campaign(&dir);
+        c2.run(b.as_ref(), input, GpuConfigKind::Default, 0)
+            .unwrap();
+        assert_eq!(c2.stats().disk_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_record_forces_clean_rerun() {
+        let dir = scratch_dir("truncated");
+        let b = registry::by_key("sten").unwrap();
+        let input = &b.inputs()[0];
+        let c1 = disk_campaign(&dir);
+        let m1 = c1
+            .run(b.as_ref(), input, GpuConfigKind::Default, 0)
+            .unwrap();
+        // Truncate the single record on disk (simulates a torn write that
+        // bypassed the tmp+rename path, e.g. a full disk).
+        let files: Vec<PathBuf> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        assert_eq!(files.len(), 1);
+        let body = std::fs::read_to_string(&files[0]).unwrap();
+        std::fs::write(&files[0], &body[..body.len() / 2]).unwrap();
+        let c2 = disk_campaign(&dir);
+        let m2 = c2
+            .run(b.as_ref(), input, GpuConfigKind::Default, 0)
+            .unwrap();
+        let s = c2.stats();
+        assert_eq!((s.simulated, s.disk_hits, s.disk_corrupt), (1, 0, 1), "{s}");
+        assert!(readings_bit_identical(&m1.reading, &m2.reading));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn measurement_errors_are_cached_too() {
+        // lbfs-wlw on its largest input is the paper's "too fast to
+        // measure" case; the campaign must not re-simulate it on every
+        // request (the 324-MHz sweep would otherwise never warm up).
+        let dir = scratch_dir("errors");
+        let b = registry::by_key("lbfs-wlw").unwrap();
+        let input = b.inputs().last().unwrap().clone();
+        let c1 = disk_campaign(&dir);
+        let e1 = c1
+            .run(b.as_ref(), &input, GpuConfigKind::Default, 0)
+            .unwrap_err();
+        assert_eq!(c1.stats().simulated, 1);
+        let c2 = disk_campaign(&dir);
+        let before = kepler_sim::devices_created();
+        let e2 = c2
+            .run(b.as_ref(), &input, GpuConfigKind::Default, 0)
+            .unwrap_err();
+        assert_eq!(kepler_sim::devices_created(), before);
+        assert_eq!(c2.stats().disk_hits, 1);
+        assert_eq!(e1, e2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn execute_deduplicates_the_plan() {
+        let b = registry::by_key("sten").unwrap();
+        let input = b.inputs()[0].clone();
+        let c = Campaign::in_memory();
+        let req = RunRequest {
+            key: "sten",
+            input,
+            config: GpuConfigKind::Default,
+            rep: 0,
+        };
+        // The same unit requested three times plans down to one run.
+        let unique = c.execute(&[req.clone(), req.clone(), req]);
+        assert_eq!(unique, 1);
+        assert_eq!(c.stats().simulated, 1);
+    }
+
+    #[test]
+    fn record_format_rejects_malformed_bodies() {
+        let m = Measurement {
+            reading: Reading {
+                active_runtime_s: 1.5,
+                energy_j: 150.0,
+                avg_power_w: 100.0,
+                threshold_w: 55.0,
+                idle_w: 25.0,
+                n_active_samples: 15,
+            },
+            checksum: 42.0,
+            items: Some(ItemCounts {
+                vertices: 7,
+                edges: 11,
+            }),
+            counters: Default::default(),
+        };
+        let body = format_record(0xABCD, "v1|k|i|cfg=default|rep=0|seed=0", &Ok(m.clone()));
+        let (fp, key, res) = parse_record(&body).unwrap();
+        assert_eq!(fp, 0xABCD);
+        assert_eq!(key, "v1|k|i|cfg=default|rep=0|seed=0");
+        let back = res.unwrap();
+        assert!(readings_bit_identical(&back.reading, &m.reading));
+        assert_eq!(back.items, m.items);
+        // Truncation at any line boundary is rejected.
+        let lines: Vec<&str> = body.lines().collect();
+        for cut in 1..lines.len() {
+            let partial = lines[..cut].join("\n");
+            assert!(parse_record(&partial).is_none(), "cut at {cut} accepted");
+        }
+        // Error records round-trip as well.
+        let err = format_record(1, "k", &Err(PowerError::InsufficientSamples(4)));
+        assert_eq!(
+            parse_record(&err).unwrap().2.unwrap_err(),
+            PowerError::InsufficientSamples(4)
+        );
+        assert!(parse_record("garbage").is_none());
+    }
+
+    #[test]
+    fn fingerprint_is_stable_within_a_build() {
+        assert_eq!(sim_fingerprint(), sim_fingerprint());
+        assert_ne!(sim_fingerprint(), 0);
+    }
+}

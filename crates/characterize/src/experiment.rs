@@ -30,11 +30,23 @@ pub struct MedianMeasurement {
     pub energy_variability_pct: f64,
 }
 
-fn run_seed(bench_key: &str, input_name: &str, rep: u64) -> u64 {
+/// Jitter seed of one repetition: FNV-1a over the program key and input
+/// name, folded with the repetition index.
+///
+/// The two strings are separated by `0xFF` (a byte that cannot occur in
+/// UTF-8), so distinct pairs like `("ab", "c")` and `("a", "bc")` hash to
+/// distinct seeds — plain concatenation used to alias them, which gave
+/// different program/input combinations identical run-to-run jitter.
+pub(crate) fn run_seed(bench_key: &str, input_name: &str, rep: u64) -> u64 {
+    const FNV_PRIME: u64 = 0x100_0000_01b3; // 2^40 + 2^8 + 0xb3
     let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for b in bench_key.bytes().chain(input_name.bytes()) {
+    for b in bench_key
+        .bytes()
+        .chain(std::iter::once(0xFF))
+        .chain(input_name.bytes())
+    {
         h ^= b as u64;
-        h = h.wrapping_mul(0x1000_0000_01b3);
+        h = h.wrapping_mul(FNV_PRIME);
     }
     h ^ rep.wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
@@ -140,9 +152,20 @@ pub fn measure_median3(
     let runs: Vec<Measurement> = (0..3)
         .map(|r| measure(bench, input, kind, base_rep * 3 + r))
         .collect::<Result<_, _>>()?;
+    Ok(combine_median3(&runs))
+}
+
+/// Combine three repetitions into the paper's reported median measurement.
+///
+/// Runtime and energy are the medians of their repetitions; average power
+/// is **derived** as `median energy / median runtime` rather than medianed
+/// independently — the K20Power definition (`Reading::avg_power_w` is
+/// `energy_j / active_runtime_s`) must survive the combination, and three
+/// independently-taken medians need not come from the same repetition.
+pub fn combine_median3(runs: &[Measurement]) -> MedianMeasurement {
+    assert_eq!(runs.len(), 3, "median-of-three needs exactly three runs");
     let times: Vec<f64> = runs.iter().map(|m| m.reading.active_runtime_s).collect();
     let energies: Vec<f64> = runs.iter().map(|m| m.reading.energy_j).collect();
-    let powers: Vec<f64> = runs.iter().map(|m| m.reading.avg_power_w).collect();
     let med = gpower::median(&times);
     // Pick the run whose time is the median for the ancillary fields.
     let med_run = runs
@@ -150,21 +173,24 @@ pub fn measure_median3(
         .min_by(|a, b| {
             (a.reading.active_runtime_s - med)
                 .abs()
-                .partial_cmp(&(b.reading.active_runtime_s - med).abs())
-                .unwrap()
+                .total_cmp(&(b.reading.active_runtime_s - med).abs())
         })
         .unwrap();
     let mut reading = med_run.reading;
     reading.active_runtime_s = med;
     reading.energy_j = gpower::median(&energies);
-    reading.avg_power_w = gpower::median(&powers);
-    Ok(MedianMeasurement {
+    reading.avg_power_w = if med > 0.0 {
+        reading.energy_j / med
+    } else {
+        0.0
+    };
+    MedianMeasurement {
         reading,
         items: med_run.items,
         counters: med_run.counters,
         time_variability_pct: variability_pct(&times),
         energy_variability_pct: variability_pct(&energies),
-    })
+    }
 }
 
 #[cfg(test)]
@@ -254,5 +280,62 @@ mod tests {
         assert_ne!(run_seed("a", "x", 0), run_seed("b", "x", 0));
         assert_ne!(run_seed("a", "x", 0), run_seed("a", "y", 0));
         assert_ne!(run_seed("a", "x", 0), run_seed("a", "x", 1));
+    }
+
+    /// Regression: plain concatenation of key and input bytes made
+    /// `("ab", "c")` and `("a", "bc")` share a seed (and with them every
+    /// boundary-shifted pair), so distinct program/input combinations got
+    /// identical jitter. The `0xFF` separator keeps them apart.
+    #[test]
+    fn seeds_distinguish_key_input_boundary() {
+        assert_ne!(run_seed("ab", "c", 0), run_seed("a", "bc", 0));
+        assert_ne!(run_seed("ab", "", 0), run_seed("a", "b", 0));
+        assert_ne!(run_seed("lbfs", "-wla x", 0), run_seed("lbfs-wla", " x", 0));
+    }
+
+    /// Regression: the median-of-three reading must stay internally
+    /// consistent with the K20Power definition — `avg_power_w` is exactly
+    /// `energy_j / active_runtime_s`, not an independently-taken median.
+    #[test]
+    fn median3_reading_is_internally_consistent() {
+        let b = registry::by_key("sgemm").unwrap();
+        let input = &b.inputs()[0];
+        let m = measure_median3(b.as_ref(), input, GpuConfigKind::Default, 0).unwrap();
+        assert_eq!(
+            m.reading.avg_power_w.to_bits(),
+            (m.reading.energy_j / m.reading.active_runtime_s).to_bits(),
+            "avg_power_w must be derived from the median energy and time"
+        );
+    }
+
+    /// The combiner's invariant holds even on hand-built runs where the
+    /// three metric medians come from three *different* repetitions.
+    #[test]
+    fn combine_median3_derives_power_from_medians() {
+        let mk = |t: f64, e: f64, p: f64| Measurement {
+            reading: gpower::Reading {
+                active_runtime_s: t,
+                energy_j: e,
+                avg_power_w: p,
+                threshold_w: 50.0,
+                idle_w: 25.0,
+                n_active_samples: 100,
+            },
+            checksum: 0.0,
+            items: None,
+            counters: Default::default(),
+        };
+        // Median time from run 0, median energy from run 1; a per-metric
+        // median of powers would pick 110.0 (run 2) — internally
+        // inconsistent with 1000/10 = 100 W.
+        let runs = [
+            mk(10.0, 900.0, 90.0),
+            mk(9.0, 1000.0, 111.1),
+            mk(11.0, 1210.0, 110.0),
+        ];
+        let m = combine_median3(&runs);
+        assert_eq!(m.reading.active_runtime_s, 10.0);
+        assert_eq!(m.reading.energy_j, 1000.0);
+        assert_eq!(m.reading.avg_power_w, 100.0);
     }
 }

@@ -5,9 +5,15 @@
 //!   ratios between two configurations (614/default, 324/614, ECC/default).
 //! * Figure 5 — power ratios across program inputs.
 //! * Figure 6 — absolute power ranges per suite and configuration.
+//!
+//! All measuring generators read from the shared [`Campaign`]; each has a
+//! `*_runs()` planner so `repro` can prefetch the union of several
+//! artifacts in one deduplicated pass. Figure 1 is the exception: it
+//! replays one fixed-seed run for its sample trace and is not part of the
+//! measurement matrix.
 
+use crate::campaign::{rep_indices, Campaign, RunRequest};
 use crate::configs::GpuConfigKind;
-use crate::experiment::{measure, measure_median3};
 use gpower::{box_stats, BoxStats, K20Power, PowerSensor, Sample};
 use kepler_sim::Device;
 use rayon::prelude::*;
@@ -47,24 +53,46 @@ pub struct RatioFigure {
     pub excluded: Vec<String>,
 }
 
+/// The runs a ratio figure needs: every program's primary input under both
+/// configurations.
+pub fn ratio_figure_runs(base: GpuConfigKind, alt: GpuConfigKind, reps: u64) -> Vec<RunRequest> {
+    let mut runs = Vec::new();
+    for b in registry::all() {
+        let input = b.inputs()[0].clone();
+        for config in [base, alt] {
+            for rep in rep_indices(reps) {
+                runs.push(RunRequest {
+                    key: b.spec().key,
+                    input: input.clone(),
+                    config,
+                    rep,
+                });
+            }
+        }
+    }
+    runs
+}
+
 /// Compute a ratio figure: every Table-1 program (primary input), `reps`
 /// repetitions per configuration with the median reported.
-pub fn ratio_figure(base: GpuConfigKind, alt: GpuConfigKind, reps: u64) -> RatioFigure {
+pub fn ratio_figure(
+    c: &Campaign,
+    base: GpuConfigKind,
+    alt: GpuConfigKind,
+    reps: u64,
+) -> RatioFigure {
     let keys: Vec<&'static str> = registry::all().iter().map(|b| b.spec().key).collect();
     let results: Vec<Result<ProgramRatio, String>> = keys
         .par_iter()
         .map(|key| {
             let b = registry::by_key(key).unwrap();
             let input = &b.inputs()[0];
-            let run = |kind| {
-                if reps >= 3 {
-                    measure_median3(b.as_ref(), input, kind, 0).map(|m| m.reading)
-                } else {
-                    measure(b.as_ref(), input, kind, 0).map(|m| m.reading)
-                }
-            };
-            let base_r = run(base).map_err(|e| format!("{key}: {e}"))?;
-            let alt_r = run(alt).map_err(|e| format!("{key}: {e}"))?;
+            let base_r = c
+                .reading(b.as_ref(), input, base, reps)
+                .map_err(|e| format!("{key}: {e}"))?;
+            let alt_r = c
+                .reading(b.as_ref(), input, alt, reps)
+                .map_err(|e| format!("{key}: {e}"))?;
             Ok(ProgramRatio {
                 key: key.to_string(),
                 suite: b.spec().suite,
@@ -164,8 +192,30 @@ pub struct InputPowerRow {
     pub power_w: f64,
 }
 
+/// The runs Figure 5 needs: every input of every multi-input program at
+/// the default configuration.
+pub fn input_power_figure_runs(reps: u64) -> Vec<RunRequest> {
+    let mut runs = Vec::new();
+    for b in registry::all() {
+        if b.inputs().len() <= 1 {
+            continue;
+        }
+        for input in b.inputs() {
+            for rep in rep_indices(reps) {
+                runs.push(RunRequest {
+                    key: b.spec().key,
+                    input: input.clone(),
+                    config: GpuConfigKind::Default,
+                    rep,
+                });
+            }
+        }
+    }
+    runs
+}
+
 /// Compute Figure 5: programs with multiple inputs, default configuration.
-pub fn input_power_figure(reps: u64) -> Vec<InputPowerRow> {
+pub fn input_power_figure(c: &Campaign, reps: u64) -> Vec<InputPowerRow> {
     let multi: Vec<&'static str> = registry::all()
         .iter()
         .filter(|b| b.inputs().len() > 1)
@@ -179,13 +229,9 @@ pub fn input_power_figure(reps: u64) -> Vec<InputPowerRow> {
             let powers: Vec<Option<f64>> = inputs
                 .iter()
                 .map(|input| {
-                    let r = if reps >= 3 {
-                        measure_median3(b.as_ref(), input, GpuConfigKind::Default, 0)
-                            .map(|m| m.reading)
-                    } else {
-                        measure(b.as_ref(), input, GpuConfigKind::Default, 0).map(|m| m.reading)
-                    };
-                    r.ok().map(|r| r.avg_power_w)
+                    c.reading(b.as_ref(), input, GpuConfigKind::Default, reps)
+                        .ok()
+                        .map(|r| r.avg_power_w)
                 })
                 .collect();
             let base = powers[0];
@@ -217,8 +263,28 @@ pub struct PowerRangeCell {
     pub n_programs: usize,
 }
 
+/// The runs Figure 6 needs: every program's primary input under all four
+/// configurations.
+pub fn power_range_figure_runs(reps: u64) -> Vec<RunRequest> {
+    let mut runs = Vec::new();
+    for b in registry::all() {
+        let input = b.inputs()[0].clone();
+        for config in GpuConfigKind::ALL {
+            for rep in rep_indices(reps) {
+                runs.push(RunRequest {
+                    key: b.spec().key,
+                    input: input.clone(),
+                    config,
+                    rep,
+                });
+            }
+        }
+    }
+    runs
+}
+
 /// Compute Figure 6 over all programs and all four configurations.
-pub fn power_range_figure(reps: u64) -> Vec<PowerRangeCell> {
+pub fn power_range_figure(c: &Campaign, reps: u64) -> Vec<PowerRangeCell> {
     let keys: Vec<&'static str> = registry::all().iter().map(|b| b.spec().key).collect();
     let all: Vec<(Suite, GpuConfigKind, f64)> = keys
         .par_iter()
@@ -226,12 +292,9 @@ pub fn power_range_figure(reps: u64) -> Vec<PowerRangeCell> {
             GpuConfigKind::ALL.into_par_iter().filter_map(move |kind| {
                 let b = registry::by_key(key).unwrap();
                 let input = &b.inputs()[0];
-                let r = if reps >= 3 {
-                    measure_median3(b.as_ref(), input, kind, 0).map(|m| m.reading)
-                } else {
-                    measure(b.as_ref(), input, kind, 0).map(|m| m.reading)
-                };
-                r.ok().map(|r| (b.spec().suite, kind, r.avg_power_w))
+                c.reading(b.as_ref(), input, kind, reps)
+                    .ok()
+                    .map(|r| (b.spec().suite, kind, r.avg_power_w))
             })
         })
         .collect();
@@ -259,6 +322,7 @@ pub fn power_range_figure(reps: u64) -> Vec<PowerRangeCell> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::experiment::measure;
 
     #[test]
     fn power_profile_has_idle_and_active_phases() {
@@ -281,5 +345,12 @@ mod tests {
         let alt = measure(b.as_ref(), input, GpuConfigKind::C614, 0).unwrap();
         let ratio = alt.reading.avg_power_w / base.reading.avg_power_w;
         assert!(ratio < 1.0, "614 must lower power, ratio {ratio}");
+    }
+
+    #[test]
+    fn ratio_figure_planner_covers_both_configs() {
+        let runs = ratio_figure_runs(GpuConfigKind::Default, GpuConfigKind::C614, 1);
+        assert_eq!(runs.len(), 34 * 2);
+        assert!(runs.iter().any(|r| r.config == GpuConfigKind::C614));
     }
 }

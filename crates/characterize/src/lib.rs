@@ -7,6 +7,7 @@
 //! three-repetition median methodology, and generates the data behind
 //! every table and figure of the evaluation section.
 
+pub mod campaign;
 pub mod configs;
 pub mod experiment;
 pub mod figures;
@@ -14,9 +15,13 @@ pub mod report;
 pub mod sanity;
 pub mod tables;
 
+pub use campaign::{
+    plan_artifacts, sim_fingerprint, Artifact, Campaign, CampaignConfig, CampaignStats, RunRequest,
+};
 pub use configs::GpuConfigKind;
 pub use experiment::{
-    measure, measure_median3, measure_traced, Measurement, MedianMeasurement, TracedMeasurement,
+    combine_median3, measure, measure_median3, measure_traced, Measurement, MedianMeasurement,
+    TracedMeasurement,
 };
 pub use sanity::{
     measure_traced_checked, sanitize_run, sanitize_run_raw, workload_allowlist, SanitizedRun,

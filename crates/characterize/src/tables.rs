@@ -1,8 +1,12 @@
 //! Generators for the paper's tables.
+//!
+//! Every measuring generator takes the shared [`Campaign`] it draws its
+//! readings from, and has a sibling `*_runs()` planner describing the
+//! slice of the measurement matrix it needs, so `repro` can prefetch the
+//! union of several artifacts in one deduplicated pass.
 
+use crate::campaign::{rep_indices, Campaign, RunRequest};
 use crate::configs::GpuConfigKind;
-use crate::experiment::{measure_median3, MedianMeasurement};
-use gpower::PowerError;
 use rayon::prelude::*;
 use serde::Serialize;
 use workloads::bench::Suite;
@@ -42,16 +46,34 @@ pub struct Table2Row {
     pub avg_energy_pct: f64,
 }
 
+/// The runs Table 2 needs. Variability is meaningless without all three
+/// repetitions, so this planner ignores `--quick` on purpose.
+pub fn table2_runs() -> Vec<RunRequest> {
+    let mut runs = Vec::new();
+    for b in registry::all() {
+        let input = b.inputs()[0].clone();
+        for rep in 0..3 {
+            runs.push(RunRequest {
+                key: b.spec().key,
+                input: input.clone(),
+                config: GpuConfigKind::Default,
+                rep,
+            });
+        }
+    }
+    runs
+}
+
 /// Table 2: maximum and average run-to-run variability over three
 /// repetitions per program (default configuration).
-pub fn table2() -> Vec<Table2Row> {
+pub fn table2(c: &Campaign) -> Vec<Table2Row> {
     let keys: Vec<&'static str> = registry::all().iter().map(|b| b.spec().key).collect();
     let vars: Vec<(Suite, f64, f64)> = keys
         .par_iter()
         .filter_map(|key| {
             let b = registry::by_key(key).unwrap();
             let input = &b.inputs()[0];
-            let m = measure_median3(b.as_ref(), input, GpuConfigKind::Default, 0).ok()?;
+            let m = c.median3(b.as_ref(), input, GpuConfigKind::Default).ok()?;
             Some((
                 b.spec().suite,
                 m.time_variability_pct,
@@ -92,37 +114,73 @@ pub struct Table3Row {
     pub power_ratio: Option<f64>,
 }
 
+const TABLE3_CELLS: [(&str, &str, &str); 4] = [
+    ("L-BFS", "atomic", "lbfs-atomic"),
+    ("L-BFS", "wla", "lbfs-wla"),
+    ("SSSP", "wlc", "sssp-wlc"),
+    ("SSSP", "wln", "sssp-wln"),
+];
+
+fn table3_base_key(alg: &str) -> &'static str {
+    if alg == "L-BFS" {
+        "lbfs"
+    } else {
+        "sssp"
+    }
+}
+
+/// The runs Table 3 needs: both base implementations and all four
+/// variants, largest input, every configuration.
+pub fn table3_runs(reps: u64) -> Vec<RunRequest> {
+    let mut runs = Vec::new();
+    for key in [
+        "lbfs",
+        "lbfs-atomic",
+        "lbfs-wla",
+        "sssp",
+        "sssp-wlc",
+        "sssp-wln",
+    ] {
+        let b = registry::by_key(key).unwrap();
+        let input = b.inputs().last().unwrap().clone();
+        for config in GpuConfigKind::ALL {
+            for rep in rep_indices(reps) {
+                runs.push(RunRequest {
+                    key: b.spec().key,
+                    input: input.clone(),
+                    config,
+                    rep,
+                });
+            }
+        }
+    }
+    runs
+}
+
 /// Table 3: L-BFS (`atomic`, `wla`) and SSSP (`wlc`, `wln`) relative to
 /// their default implementations on the largest road map, across all four
 /// configurations.
-pub fn table3() -> Vec<Table3Row> {
-    let cells: Vec<(&'static str, &'static str, &'static str)> = vec![
-        ("L-BFS", "atomic", "lbfs-atomic"),
-        ("L-BFS", "wla", "lbfs-wla"),
-        ("SSSP", "wlc", "sssp-wlc"),
-        ("SSSP", "wln", "sssp-wln"),
-    ];
-    let base_key = |alg: &str| if alg == "L-BFS" { "lbfs" } else { "sssp" };
+pub fn table3(c: &Campaign, reps: u64) -> Vec<Table3Row> {
     let mut jobs = Vec::new();
-    for (alg, variant, key) in &cells {
+    for (alg, variant, key) in &TABLE3_CELLS {
         for config in GpuConfigKind::ALL {
             jobs.push((*alg, *variant, *key, config));
         }
     }
     jobs.par_iter()
         .map(|(alg, variant, key, config)| {
-            let run = |k: &str| -> Result<MedianMeasurement, PowerError> {
+            let run = |k: &str| {
                 let b = registry::by_key(k).unwrap();
                 let input = b.inputs().last().unwrap().clone(); // entire USA
-                measure_median3(b.as_ref(), &input, *config, 0)
+                c.reading(b.as_ref(), &input, *config, reps)
             };
-            let base = run(base_key(alg));
+            let base = run(table3_base_key(alg));
             let alt = run(key);
             let (t, e, p) = match (base, alt) {
                 (Ok(b), Ok(a)) => (
-                    Some(a.reading.active_runtime_s / b.reading.active_runtime_s),
-                    Some(a.reading.energy_j / b.reading.energy_j),
-                    Some(a.reading.avg_power_w / b.reading.avg_power_w),
+                    Some(a.active_runtime_s / b.active_runtime_s),
+                    Some(a.energy_j / b.energy_j),
+                    Some(a.avg_power_w / b.avg_power_w),
                 ),
                 _ => (None, None, None),
             };
@@ -148,15 +206,37 @@ pub struct Table4Row {
     pub per_edge: (f64, f64, f64),
 }
 
+const TABLE4_KEYS: [&str; 4] = ["lbfs", "pbfs", "rbfs", "sbfs"];
+
+/// The runs Table 4 needs: the four BFS implementations on their largest
+/// inputs, default configuration.
+pub fn table4_runs(reps: u64) -> Vec<RunRequest> {
+    let mut runs = Vec::new();
+    for key in TABLE4_KEYS {
+        let b = registry::by_key(key).unwrap();
+        let input = b.inputs().last().unwrap().clone();
+        for rep in rep_indices(reps) {
+            runs.push(RunRequest {
+                key: b.spec().key,
+                input: input.clone(),
+                config: GpuConfigKind::Default,
+                rep,
+            });
+        }
+    }
+    runs
+}
+
 /// Table 4: cross-suite BFS comparison, cost per 100k processed vertices
 /// and edges on each implementation's largest input (default config).
-pub fn table4() -> Vec<Table4Row> {
-    ["lbfs", "pbfs", "rbfs", "sbfs"]
+pub fn table4(c: &Campaign, reps: u64) -> Vec<Table4Row> {
+    TABLE4_KEYS
         .par_iter()
         .map(|key| {
             let b = registry::by_key(key).unwrap();
             let input = b.inputs().last().unwrap().clone();
-            let m = measure_median3(b.as_ref(), &input, GpuConfigKind::Default, 0)
+            let m = c
+                .measurement(b.as_ref(), &input, GpuConfigKind::Default, reps)
                 .expect("BFS implementations must be measurable at default");
             let items = m.items.expect("BFS programs report item counts");
             let per = |count: u64| {
@@ -191,9 +271,29 @@ pub struct TrDetailRow {
     pub power_w: Option<f64>,
 }
 
+/// The runs the technical-report detail dump needs: the entire matrix.
+pub fn tr_detail_runs(reps: u64) -> Vec<RunRequest> {
+    let mut runs = Vec::new();
+    for b in registry::all() {
+        for input in b.inputs() {
+            for config in GpuConfigKind::ALL {
+                for rep in rep_indices(reps) {
+                    runs.push(RunRequest {
+                        key: b.spec().key,
+                        input: input.clone(),
+                        config,
+                        rep,
+                    });
+                }
+            }
+        }
+    }
+    runs
+}
+
 /// The technical report's detailed per-program results: every program,
 /// every input, every configuration, absolute medians.
-pub fn tr_detail(reps: u64) -> Vec<TrDetailRow> {
+pub fn tr_detail(c: &Campaign, reps: u64) -> Vec<TrDetailRow> {
     let mut jobs = Vec::new();
     for b in registry::all() {
         for input in b.inputs() {
@@ -205,11 +305,7 @@ pub fn tr_detail(reps: u64) -> Vec<TrDetailRow> {
     jobs.par_iter()
         .map(|(key, input, config)| {
             let b = registry::by_key(key).unwrap();
-            let r = if reps >= 3 {
-                measure_median3(b.as_ref(), input, *config, 0).map(|m| m.reading)
-            } else {
-                crate::experiment::measure(b.as_ref(), input, *config, 0).map(|m| m.reading)
-            };
+            let r = c.reading(b.as_ref(), input, *config, reps);
             let (t, e, p) = match r {
                 Ok(r) => (
                     Some(r.active_runtime_s),
@@ -241,5 +337,20 @@ mod tests {
         assert_eq!(t.len(), 34);
         assert!(t.iter().any(|r| r.name == "L-BFS" && r.kernels == 5));
         assert!(t.iter().all(|r| !r.inputs.is_empty()));
+    }
+
+    #[test]
+    fn planners_cover_their_tables() {
+        // Table 2: 34 programs x 3 reps at the default configuration.
+        assert_eq!(table2_runs().len(), 34 * 3);
+        // Table 3: 6 implementations x 4 configs x 1 rep in quick mode.
+        assert_eq!(table3_runs(1).len(), 6 * 4);
+        assert_eq!(table3_runs(3).len(), 6 * 4 * 3);
+        // Table 4: 4 BFS implementations, default config only.
+        assert_eq!(table4_runs(1).len(), 4);
+        // The TR detail matrix covers every program at least once per
+        // configuration.
+        let tr = tr_detail_runs(1);
+        assert!(tr.len() >= 34 * 4);
     }
 }

@@ -178,7 +178,7 @@ impl K20Power {
 /// (the run always begins and ends with the GPU idling).
 fn estimate_idle(samples: &[Sample]) -> f64 {
     let mut watts: Vec<f64> = samples.iter().map(|s| s.watts).collect();
-    watts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    watts.sort_by(|a, b| a.total_cmp(b));
     let k = (watts.len() / 20).max(1).min(watts.len());
     watts[..k].iter().sum::<f64>() / k as f64
 }

@@ -26,6 +26,11 @@ pub mod sensor;
 pub mod stats;
 pub mod trace;
 
+/// Version tag of the sensor + K20Power measurement model. Bump whenever a
+/// change alters produced readings (sensor response, noise, thresholding),
+/// so persisted measurement caches keyed on it are invalidated.
+pub const MEASUREMENT_VERSION: &str = "gpower/2";
+
 pub use k20power::{K20Power, K20PowerConfig, PowerError, Reading};
 pub use sensor::{PowerSensor, Sample, SensorConfig};
 pub use stats::{box_stats, median, variability_pct, BoxStats};

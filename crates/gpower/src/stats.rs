@@ -4,12 +4,26 @@
 
 use serde::{Deserialize, Serialize};
 
+/// NaN guard shared by every statistic here: a NaN sample means the
+/// measurement pipeline upstream is broken, and letting it through would
+/// silently corrupt medians and box glyphs. Debug builds reject it loudly;
+/// release builds fall back to `total_cmp` ordering (NaNs sort to the end,
+/// so finite results stay deterministic).
+#[inline]
+fn debug_reject_nan(values: &[f64], what: &str) {
+    debug_assert!(
+        values.iter().all(|v| !v.is_nan()),
+        "{what} of a slice containing NaN"
+    );
+}
+
 /// Median of a slice (mean of the middle two for even lengths).
-/// Panics on an empty slice.
+/// Panics on an empty slice; NaN inputs are rejected in debug builds.
 pub fn median(values: &[f64]) -> f64 {
     assert!(!values.is_empty(), "median of empty slice");
+    debug_reject_nan(values, "median");
     let mut v = values.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v.sort_by(|a, b| a.total_cmp(b));
     let n = v.len();
     if n % 2 == 1 {
         v[n / 2]
@@ -18,11 +32,13 @@ pub fn median(values: &[f64]) -> f64 {
     }
 }
 
-/// Linear-interpolation percentile, `q` in [0, 1]. Panics on empty input.
+/// Linear-interpolation percentile, `q` in [0, 1]. Panics on empty input;
+/// NaN inputs are rejected in debug builds.
 pub fn percentile(values: &[f64], q: f64) -> f64 {
     assert!(!values.is_empty(), "percentile of empty slice");
+    debug_reject_nan(values, "percentile");
     let mut v = values.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v.sort_by(|a, b| a.total_cmp(b));
     let pos = q.clamp(0.0, 1.0) * (v.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -40,8 +56,9 @@ pub fn variability_pct(values: &[f64]) -> f64 {
     if values.len() < 2 {
         return 0.0;
     }
-    let max = values.iter().copied().fold(f64::MIN, f64::max);
-    let min = values.iter().copied().fold(f64::MAX, f64::min);
+    debug_reject_nan(values, "variability_pct");
+    let max = total_max(values);
+    let min = total_min(values);
     let med = median(values);
     if med == 0.0 {
         0.0
@@ -62,15 +79,36 @@ pub struct BoxStats {
     pub n: usize,
 }
 
-/// Compute [`BoxStats`]. Panics on empty input.
+/// `total_cmp`-based minimum (well-defined even for inputs a `f64::MAX`
+/// fold would mishandle, e.g. slices where every element is NaN).
+fn total_min(values: &[f64]) -> f64 {
+    values
+        .iter()
+        .copied()
+        .min_by(|a, b| a.total_cmp(b))
+        .unwrap()
+}
+
+/// `total_cmp`-based maximum.
+fn total_max(values: &[f64]) -> f64 {
+    values
+        .iter()
+        .copied()
+        .max_by(|a, b| a.total_cmp(b))
+        .unwrap()
+}
+
+/// Compute [`BoxStats`]. Panics on empty input; NaN inputs are rejected in
+/// debug builds.
 pub fn box_stats(values: &[f64]) -> BoxStats {
     assert!(!values.is_empty(), "box_stats of empty slice");
+    debug_reject_nan(values, "box_stats");
     BoxStats {
-        min: values.iter().copied().fold(f64::MAX, f64::min),
+        min: total_min(values),
         q1: percentile(values, 0.25),
         median: median(values),
         q3: percentile(values, 0.75),
-        max: values.iter().copied().fold(f64::MIN, f64::max),
+        max: total_max(values),
         n: values.len(),
     }
 }
@@ -91,6 +129,42 @@ mod tests {
     #[should_panic]
     fn median_empty_panics() {
         median(&[]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "NaN")]
+    fn median_rejects_nan_in_debug() {
+        median(&[1.0, f64::NAN, 2.0]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "NaN")]
+    fn box_stats_rejects_nan_in_debug() {
+        box_stats(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "NaN")]
+    fn variability_rejects_nan_in_debug() {
+        variability_pct(&[1.0, f64::NAN]);
+    }
+
+    /// Release-mode contract: `total_cmp` sorts NaN above every finite
+    /// value, so the finite part of a contaminated slice still yields a
+    /// deterministic, non-panicking answer (no `partial_cmp().unwrap()`).
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn nan_never_panics_in_release() {
+        let v = [3.0, f64::NAN, 1.0, 2.0];
+        assert_eq!(median(&v), 2.5); // mid of [1, 2, 3, NaN] -> (2+3)/2
+        let b = box_stats(&v);
+        assert_eq!(b.min, 1.0);
+        assert!(b.max.is_nan());
+        let _ = percentile(&v, 0.5);
+        let _ = variability_pct(&v);
     }
 
     #[test]
@@ -149,6 +223,27 @@ mod tests {
             let lhs = median(&scaled);
             let rhs = median(&v) * k;
             prop_assert!((lhs - rhs).abs() <= 1e-9 * rhs.abs().max(1.0));
+        }
+
+        /// Negative values must not trip the `total_cmp` folds (a naive
+        /// `fold(f64::MIN, f64::max)` is immune, but sign handling in
+        /// `total_cmp`'s bit trick is worth pinning down).
+        #[test]
+        fn prop_box_stats_negative_values(v in proptest::collection::vec(-1e6f64..1e6, 1..64)) {
+            let b = box_stats(&v);
+            prop_assert!(b.min <= b.q1 && b.q1 <= b.median);
+            prop_assert!(b.median <= b.q3 && b.q3 <= b.max);
+            prop_assert!(v.iter().all(|x| *x >= b.min && *x <= b.max));
+        }
+
+        /// The sort behind median/percentile is total: any permutation of
+        /// the same finite values yields bit-identical statistics.
+        #[test]
+        fn prop_median_permutation_invariant(v in proptest::collection::vec(-1e3f64..1e3, 2..24)) {
+            let mut rev = v.clone();
+            rev.reverse();
+            prop_assert_eq!(median(&v).to_bits(), median(&rev).to_bits());
+            prop_assert_eq!(percentile(&v, 0.25).to_bits(), percentile(&rev, 0.25).to_bits());
         }
     }
 }

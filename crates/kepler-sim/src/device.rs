@@ -12,7 +12,19 @@ use gpower::PowerTrace;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use sim_telemetry::{BoardPhase, Event, TelemetrySink};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Process-wide count of simulated program runs (one per [`Device`]
+/// constructed). The campaign layer uses this as an independent witness
+/// that a cached measurement really skipped the simulator: a cache hit
+/// leaves the counter untouched.
+static DEVICES_CREATED: AtomicU64 = AtomicU64::new(0);
+
+/// Total number of [`Device`]s constructed by this process so far.
+pub fn devices_created() -> u64 {
+    DEVICES_CREATED.load(Ordering::Relaxed)
+}
 
 /// Per-launch options.
 #[derive(Debug, Clone, Copy)]
@@ -56,6 +68,7 @@ const LEAD_OUT_S: f64 = 3.0;
 
 impl Device {
     pub fn new(mut cfg: DeviceConfig) -> Self {
+        DEVICES_CREATED.fetch_add(1, Ordering::Relaxed);
         // Run-to-run perturbations a real board shows between repetitions:
         // a small thermal drift of the dynamic power and a tiny effective
         // clock wobble. Seeded by jitter_seed so repetitions differ the way

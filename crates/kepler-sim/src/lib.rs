@@ -56,11 +56,17 @@ pub mod ops;
 pub mod scheduler;
 pub mod warp;
 
+/// Version tag of the simulator's timing/power model. Bump whenever a
+/// change alters simulated numbers (scheduler, cost model, power model,
+/// jitter), so persisted measurement caches keyed on it are invalidated.
+pub const SIM_VERSION: &str = "kepler-sim/2";
+
 pub use access::{Access, AccessEvent, AccessKind, AccessObserver, MemSpace};
 pub use block::{BlockCtx, SharedBuf, ThreadCtx};
 pub use buffer::{DevBuffer, GlobalMem};
 pub use config::{ClockConfig, DeviceConfig, PowerParams};
 pub use counters::{KernelCounters, LaunchStats};
+pub use device::devices_created;
 pub use device::{Device, LaunchOpts};
 pub use kernel::{Kernel, KernelResources};
 pub use ops::CompClass;

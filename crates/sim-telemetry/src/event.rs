@@ -142,6 +142,21 @@ pub enum Event {
         kernel: String,
         message: String,
     },
+    /// The measurement campaign resolved one run of its matrix against its
+    /// caches. `t` is *wall-clock* seconds since the campaign started (a
+    /// campaign spans many simulated runs, so simulated time is
+    /// meaningless here). `hit` is false when the run had to be simulated;
+    /// `disk` distinguishes an on-disk cache hit from an in-process memo
+    /// hit.
+    CacheLookup {
+        t: f64,
+        key: String,
+        hit: bool,
+        disk: bool,
+    },
+    /// Campaign execution progress: `done` of `total` planned runs have
+    /// been resolved. `t` is wall-clock seconds since the campaign started.
+    CampaignProgress { t: f64, done: u32, total: u32 },
 }
 
 impl Event {
@@ -162,6 +177,8 @@ impl Event {
             Event::SensorRateSwitch { .. } => "sensor_rate_switch",
             Event::ThresholdCross { .. } => "threshold_cross",
             Event::Finding { .. } => "finding",
+            Event::CacheLookup { .. } => "cache_lookup",
+            Event::CampaignProgress { .. } => "campaign_progress",
         }
     }
 
@@ -179,6 +196,7 @@ impl Event {
             | Event::SensorRateSwitch { t, .. }
             | Event::ThresholdCross { t, .. } => t,
             Event::Finding { t, .. } => t,
+            Event::CacheLookup { t, .. } | Event::CampaignProgress { t, .. } => t,
             Event::SmInterval { t0, .. }
             | Event::BoardInterval { t0, .. }
             | Event::DramInterval { t0, .. } => t0,
@@ -271,6 +289,17 @@ mod tests {
                 severity: "error".into(),
                 kernel: "k".into(),
                 message: "m".into(),
+            },
+            Event::CacheLookup {
+                t: 0.0,
+                key: "v1|lbfs@k5".into(),
+                hit: true,
+                disk: false,
+            },
+            Event::CampaignProgress {
+                t: 0.0,
+                done: 3,
+                total: 136,
             },
         ];
         let tags: std::collections::HashSet<&str> = evs.iter().map(|e| e.tag()).collect();

@@ -240,6 +240,23 @@ pub fn chrome_trace(events: &[Event]) -> String {
                     esc(message)
                 ));
             }
+            Event::CacheLookup { t, key, hit, disk } => {
+                rows.push(format!(
+                    r#"{{"ph":"i","s":"g","pid":0,"tid":0,"ts":{},"name":"cache {}","args":{{"key":"{}","disk":{}}}}}"#,
+                    num(t * US),
+                    if *hit { "hit" } else { "miss" },
+                    esc(key),
+                    disk
+                ));
+            }
+            Event::CampaignProgress { t, done, total } => {
+                rows.push(format!(
+                    r#"{{"ph":"C","pid":0,"tid":0,"ts":{},"name":"campaign progress","args":{{"done":{},"total":{}}}}}"#,
+                    num(t * US),
+                    done,
+                    total
+                ));
+            }
         }
     }
 
@@ -402,6 +419,19 @@ pub fn event_to_jsonl(ev: &Event) -> String {
             esc(kernel),
             esc(message)
         ),
+        Event::CacheLookup { t, key, hit, disk } => format!(
+            r#"{{"tag":"{tag}","t":{},"key":"{}","hit":{},"disk":{}}}"#,
+            num(*t),
+            esc(key),
+            hit,
+            disk
+        ),
+        Event::CampaignProgress { t, done, total } => format!(
+            r#"{{"tag":"{tag}","t":{},"done":{},"total":{}}}"#,
+            num(*t),
+            done,
+            total
+        ),
     }
 }
 
@@ -419,7 +449,7 @@ pub fn jsonl(events: &[Event]) -> String {
 pub const CSV_HEADER: &str =
     "tag,t,t1,launch,name,grid,block_threads,block,sm,slot,watts,issue_frac,resident,\
 bytes_per_s,demanders,duration_s,energy_j,rate_hz,threshold_w,rising,phase,core_mhz,mem_mhz,ecc,\
-checker,severity,message";
+checker,severity,message,key,hit,disk,done,total";
 
 fn csv_field(s: &str) -> String {
     if s.contains(',') || s.contains('"') || s.contains('\n') {
@@ -436,7 +466,7 @@ pub fn csv(events: &[Event]) -> String {
     out.push('\n');
     for ev in events {
         // Column order must match CSV_HEADER.
-        let mut cols: [String; 27] = Default::default();
+        let mut cols: [String; 32] = Default::default();
         cols[0] = ev.tag().to_string();
         cols[1] = num(ev.time());
         match ev {
@@ -554,6 +584,15 @@ pub fn csv(events: &[Event]) -> String {
                 cols[24] = csv_field(checker);
                 cols[25] = csv_field(severity);
                 cols[26] = csv_field(message);
+            }
+            Event::CacheLookup { key, hit, disk, .. } => {
+                cols[27] = csv_field(key);
+                cols[28] = hit.to_string();
+                cols[29] = disk.to_string();
+            }
+            Event::CampaignProgress { done, total, .. } => {
+                cols[30] = done.to_string();
+                cols[31] = total.to_string();
             }
         }
         out.push_str(&cols.join(","));
@@ -763,6 +802,17 @@ pub fn event_from_jsonl(line: &str) -> Option<Event> {
             kernel: s("kernel")?,
             message: s("message")?,
         },
+        "cache_lookup" => Event::CacheLookup {
+            t: f("t")?,
+            key: s("key")?,
+            hit: b("hit")?,
+            disk: b("disk")?,
+        },
+        "campaign_progress" => Event::CampaignProgress {
+            t: f("t")?,
+            done: u32of("done")?,
+            total: u32of("total")?,
+        },
         _ => return None,
     })
 }
@@ -851,6 +901,17 @@ mod tests {
                 severity: "warning".into(),
                 kernel: "bfs \"frontier\"".into(),
                 message: "write/write on dist[3], blocks 0 and 7".into(),
+            },
+            Event::CacheLookup {
+                t: 4.0,
+                key: "v1|lbfs@k5|entire USA#n1m2a0x0s0|cfg=default|rep=0".into(),
+                hit: true,
+                disk: true,
+            },
+            Event::CampaignProgress {
+                t: 4.1,
+                done: 17,
+                total: 136,
             },
         ]
     }

@@ -54,6 +54,16 @@ pub struct BenchSpec {
     pub description: &'static str,
 }
 
+impl BenchSpec {
+    /// Stable identity of this program for persisted measurement caches:
+    /// the lookup key plus the kernel count, so a port that restructures a
+    /// program's kernels (changing its simulated behaviour) invalidates
+    /// cached measurements even though the key is unchanged.
+    pub fn cache_key(&self) -> String {
+        format!("{}@k{}", self.key, self.kernels)
+    }
+}
+
 /// One program input. Benchmarks interpret `n`/`m`/`aux` in their own terms
 /// (documented per program); `mult` extrapolates the functionally executed
 /// work to the paper-scale input so simulated runtimes produce enough power
@@ -84,6 +94,22 @@ impl InputSpec {
             mult,
             seed: 0x5EED,
         }
+    }
+
+    /// Stable identity of this input for persisted measurement caches:
+    /// every parameter that shapes the simulated run is folded in (`mult`
+    /// by its exact bit pattern), so retuning an input's size or seed
+    /// invalidates cached measurements that carry its (unchanged) name.
+    pub fn cache_key(&self) -> String {
+        format!(
+            "{}#n{}m{}a{}x{:016x}s{}",
+            self.name,
+            self.n,
+            self.m,
+            self.aux,
+            self.mult.to_bits(),
+            self.seed
+        )
     }
 }
 
@@ -143,5 +169,43 @@ mod tests {
         let i = InputSpec::new("x", 10, 20, 30, 5.0);
         assert_eq!(i.n, 10);
         assert_eq!(i.mult, 5.0);
+    }
+
+    #[test]
+    fn cache_keys_are_stable_and_parameter_sensitive() {
+        let a = InputSpec::new("x", 10, 20, 30, 5.0);
+        assert_eq!(
+            a.cache_key(),
+            InputSpec::new("x", 10, 20, 30, 5.0).cache_key()
+        );
+        // Every parameter participates in the identity.
+        assert_ne!(
+            a.cache_key(),
+            InputSpec::new("x", 11, 20, 30, 5.0).cache_key()
+        );
+        assert_ne!(
+            a.cache_key(),
+            InputSpec::new("x", 10, 21, 30, 5.0).cache_key()
+        );
+        assert_ne!(
+            a.cache_key(),
+            InputSpec::new("x", 10, 20, 31, 5.0).cache_key()
+        );
+        assert_ne!(
+            a.cache_key(),
+            InputSpec::new("x", 10, 20, 30, 5.5).cache_key()
+        );
+        let mut reseeded = a.clone();
+        reseeded.seed = 1;
+        assert_ne!(a.cache_key(), reseeded.cache_key());
+        let spec = BenchSpec {
+            key: "lbfs",
+            name: "L-BFS",
+            suite: Suite::LonestarGpu,
+            kernels: 5,
+            regular: false,
+            description: "",
+        };
+        assert_eq!(spec.cache_key(), "lbfs@k5");
     }
 }
