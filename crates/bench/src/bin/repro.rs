@@ -1,7 +1,7 @@
 //! Regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--quick] [--no-cache] [--cache-dir DIR] [ARTIFACT...]
+//! repro [--quick] [--no-cache] [--cache-dir DIR] [--jobs N] [ARTIFACT...]
 //!
 //! ARTIFACT: table1 table2 table3 table4 fig1 fig2 fig3 fig4 fig5 fig6
 //!           trdata all        (default: all)
@@ -10,6 +10,10 @@
 //! `--quick` runs one repetition per configuration instead of the paper's
 //! three (the shapes are identical; only Table 2's variability needs the
 //! full three, which it always uses).
+//!
+//! `--jobs N` sets the worker-pool size for the simulator's pre-executed
+//! launches (default: one worker per core). Purely a wall-clock knob —
+//! results are bit-identical for every N; see `docs/CAMPAIGN.md`.
 //!
 //! All requested artifacts draw from one shared measurement campaign: the
 //! union of their run matrices is deduplicated and executed exactly once,
@@ -34,7 +38,7 @@ const ALL: [&str; 10] = [
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--quick] [--no-cache] [--cache-dir DIR] [ARTIFACT...]\n\
+        "usage: repro [--quick] [--no-cache] [--cache-dir DIR] [--jobs N] [ARTIFACT...]\n\
          artifacts: {} trdata all",
         ALL.join(" ")
     );
@@ -55,6 +59,13 @@ fn main() {
                 Some(d) => cache_dir = Some(PathBuf::from(d)),
                 None => {
                     eprintln!("[repro] --cache-dir needs a directory argument");
+                    usage();
+                }
+            },
+            "--jobs" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n > 0 => kepler_sim::set_exec_jobs(n),
+                _ => {
+                    eprintln!("[repro] --jobs needs a positive worker count");
                     usage();
                 }
             },
@@ -144,8 +155,9 @@ fn main() {
     }
 
     let stats = campaign.stats();
+    let (pre_hits, pre_misses) = kepler_sim::exec_cache_stats();
     eprintln!(
-        "[repro] done in {:?} | requested={raw} unique={unique} | {stats}",
+        "[repro] done in {:?} | requested={raw} unique={unique} | {stats} | pre-exec hits={pre_hits} misses={pre_misses}",
         t0.elapsed()
     );
 }

@@ -1,0 +1,200 @@
+//! Simulator wall-clock micro-harness.
+//!
+//! Times the *simulator itself* (functional execution + fluid scheduling +
+//! sensor/K20Power analysis) on a set of workloads, and optionally a cold
+//! end-to-end `repro` invocation, then emits a machine-readable JSON report
+//! (`BENCH_SIM.json` in CI).
+//!
+//! ```text
+//! simbench [--all] [--reps N] [--out FILE] [--repro-binary PATH] [KEY...]
+//!
+//! KEY            workload keys (default: sgemm lbm bh — compute-bound,
+//!                memory-bound, irregular)
+//! --all          every Table-1 program instead
+//! --reps N       repetitions per workload; the report keeps the minimum
+//!                wall time (default 3)
+//! --out FILE     write the JSON report to FILE instead of stdout
+//! --repro-binary PATH
+//!                additionally time `PATH all --quick --no-cache` cold,
+//!                end to end, as `repro_all_quick_s`
+//! --baseline-s S record S as `repro_all_quick_baseline_s` (the same
+//!                measurement taken on the pre-optimization tree, for
+//!                before/after reports)
+//! ```
+//!
+//! Simulated results (energy, runtime) are *not* reported here — those are
+//! `repro`'s job and must never depend on wall-clock. This harness answers
+//! one question: how long does the simulator take to produce them.
+
+use characterize::experiment::measure;
+use characterize::GpuConfigKind;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+use workloads::registry;
+
+/// The default representative trio: compute-bound (sgemm), memory-bound
+/// (lbm), irregular/racy (bh).
+const DEFAULT_KEYS: [&str; 3] = ["sgemm", "lbm", "bh"];
+
+fn usage() -> ! {
+    eprintln!("usage: simbench [--all] [--reps N] [--out FILE] [--repro-binary PATH] [KEY...]");
+    std::process::exit(2);
+}
+
+struct Row {
+    key: &'static str,
+    input: &'static str,
+    wall_s: f64,
+    sim_runtime_s: f64,
+    sim_energy_j: f64,
+}
+
+fn main() {
+    let mut all = false;
+    let mut reps = 3usize;
+    let mut out: Option<PathBuf> = None;
+    let mut repro_binary: Option<PathBuf> = None;
+    let mut baseline_s: Option<f64> = None;
+    let mut keys: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--all" => all = true,
+            "--reps" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) if n > 0 => reps = n,
+                _ => usage(),
+            },
+            "--out" => match args.next() {
+                Some(p) => out = Some(PathBuf::from(p)),
+                None => usage(),
+            },
+            "--repro-binary" => match args.next() {
+                Some(p) => repro_binary = Some(PathBuf::from(p)),
+                None => usage(),
+            },
+            "--baseline-s" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(s) => baseline_s = Some(s),
+                None => usage(),
+            },
+            s if s.starts_with("--") => {
+                eprintln!("[simbench] unknown flag: {s}");
+                usage();
+            }
+            s => keys.push(s.to_string()),
+        }
+    }
+
+    let benches: Vec<_> = if all {
+        registry::all()
+    } else {
+        let wanted: Vec<&str> = if keys.is_empty() {
+            DEFAULT_KEYS.to_vec()
+        } else {
+            keys.iter().map(String::as_str).collect()
+        };
+        wanted
+            .iter()
+            .map(|k| {
+                registry::by_key(k).unwrap_or_else(|| {
+                    eprintln!("[simbench] unknown workload: {k}");
+                    usage();
+                })
+            })
+            .collect()
+    };
+
+    let mut rows: Vec<Row> = Vec::new();
+    for b in &benches {
+        let spec = b.spec();
+        let inputs = b.inputs();
+        let input = &inputs[0];
+        let mut best_wall = f64::INFINITY;
+        let mut sim_runtime_s = 0.0;
+        let mut sim_energy_j = 0.0;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let m = measure(b.as_ref(), input, GpuConfigKind::Default, 0)
+                .unwrap_or_else(|e| panic!("{} failed to measure: {e:?}", spec.key));
+            let wall = t0.elapsed().as_secs_f64();
+            if wall < best_wall {
+                best_wall = wall;
+            }
+            // Identical seed each rep: the simulated numbers must agree.
+            sim_runtime_s = m.reading.active_runtime_s;
+            sim_energy_j = m.reading.energy_j;
+        }
+        eprintln!(
+            "[simbench] {:8} {:>8.3}s wall (sim {:.2}s, {:.0} J)",
+            spec.key, best_wall, sim_runtime_s, sim_energy_j
+        );
+        rows.push(Row {
+            key: spec.key,
+            input: input.name,
+            wall_s: best_wall,
+            sim_runtime_s,
+            sim_energy_j,
+        });
+    }
+
+    let repro_all_quick_s = repro_binary.map(|bin| {
+        let t0 = Instant::now();
+        let status = std::process::Command::new(&bin)
+            .args(["all", "--quick", "--no-cache"])
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .status()
+            .unwrap_or_else(|e| panic!("failed to run {}: {e}", bin.display()));
+        assert!(status.success(), "repro exited with {status}");
+        let wall = t0.elapsed().as_secs_f64();
+        eprintln!("[simbench] repro all --quick --no-cache: {wall:.3}s");
+        wall
+    });
+
+    // Hand-rolled JSON: flat schema; strings escaped (input names can
+    // contain quotes, e.g. sgemm's `"small" benchmark input`).
+    fn esc(s: &str) -> String {
+        s.chars()
+            .flat_map(|c| match c {
+                '"' => vec!['\\', '"'],
+                '\\' => vec!['\\', '\\'],
+                c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+                c => vec![c],
+            })
+            .collect()
+    }
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"reps\": {reps},\n"));
+    if let Some(s) = repro_all_quick_s {
+        json.push_str(&format!("  \"repro_all_quick_s\": {s:.3},\n"));
+    }
+    if let Some(s) = baseline_s {
+        json.push_str(&format!("  \"repro_all_quick_baseline_s\": {s:.3},\n"));
+    }
+    json.push_str("  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"key\": \"{}\", \"input\": \"{}\", \"wall_s\": {:.4}, \
+             \"sim_runtime_s\": {:.4}, \"sim_energy_j\": {:.2}}}{}\n",
+            esc(r.key),
+            esc(r.input),
+            r.wall_s,
+            r.sim_runtime_s,
+            r.sim_energy_j,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    let total: f64 = rows.iter().map(|r| r.wall_s).sum();
+    json.push_str(&format!("  \"total_wall_s\": {total:.4}\n}}\n"));
+
+    match out {
+        Some(path) => {
+            let mut f = std::fs::File::create(&path)
+                .unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display()));
+            f.write_all(json.as_bytes()).expect("write report");
+            eprintln!("[simbench] wrote {}", path.display());
+        }
+        None => print!("{json}"),
+    }
+}

@@ -11,9 +11,21 @@ use crate::access::{Access, AccessEvent, AccessKind, AccessObserver, MemSpace};
 use crate::buffer::{DevBuffer, DevCopy, GlobalMem};
 use crate::cost::BlockCost;
 use crate::ops::{CompClass, Op};
-use crate::warp::reduce_warp;
+use crate::warp::{reduce_warp_with, WarpScratch};
 use std::any::Any;
 use std::marker::PhantomData;
+
+/// Reusable per-executor scratch pooled across blocks: stream buffers keep
+/// their capacities, so steady-state block execution allocates nothing for
+/// op recording or warp reduction. One scratch belongs to one executor
+/// thread; the device owns one for the serial path and parallel execution
+/// gives each worker its own.
+#[derive(Default)]
+pub struct ExecScratch {
+    streams: Vec<Vec<Op>>,
+    syncs: Vec<u32>,
+    warp: WarpScratch,
+}
 
 /// A typed handle to a block's shared-memory array.
 pub struct SharedBuf<T> {
@@ -45,34 +57,50 @@ pub struct BlockCtx<'a> {
     block_idx: u32,
     grid_dim: u32,
     block_dim: u32,
-    streams: Vec<Vec<Op>>,
+    scratch: ExecScratch,
     shared: Vec<Box<dyn Any + Send>>,
     shared_words: u32,
     cost: BlockCost,
     phases: u32,
     observer: Option<&'a dyn AccessObserver>,
     launch_id: u32,
-    /// Per-thread explicit [`ThreadCtx::sync`] counts; allocated lazily on
-    /// the first call so sync-free kernels pay nothing.
-    syncs: Vec<u32>,
     /// Explicit syncs already folded into the cost (max across threads).
     syncs_costed: u32,
 }
 
 impl<'a> BlockCtx<'a> {
+    #[cfg(test)]
     pub(crate) fn new(
         mem: &'a mut GlobalMem,
         block_idx: u32,
         grid_dim: u32,
         block_dim: u32,
     ) -> Self {
+        Self::with_scratch(mem, block_idx, grid_dim, block_dim, ExecScratch::default())
+    }
+
+    /// Construct a block reusing a pooled [`ExecScratch`]; reclaim it with
+    /// [`BlockCtx::finish`]. Stream buffers keep their capacities across
+    /// blocks, so after warm-up no per-block allocation happens here.
+    pub(crate) fn with_scratch(
+        mem: &'a mut GlobalMem,
+        block_idx: u32,
+        grid_dim: u32,
+        block_dim: u32,
+        mut scratch: ExecScratch,
+    ) -> Self {
         assert!((1..=1024).contains(&block_dim), "block size 1..=1024");
+        if scratch.streams.len() < block_dim as usize {
+            scratch.streams.resize_with(block_dim as usize, Vec::new);
+        }
+        debug_assert!(scratch.streams.iter().all(Vec::is_empty));
+        scratch.syncs.clear();
         Self {
             mem,
             block_idx,
             grid_dim,
             block_dim,
-            streams: vec![Vec::new(); block_dim as usize],
+            scratch,
             shared: Vec::new(),
             shared_words: 0,
             cost: BlockCost {
@@ -83,7 +111,6 @@ impl<'a> BlockCtx<'a> {
             phases: 0,
             observer: None,
             launch_id: 0,
-            syncs: Vec::new(),
             syncs_costed: 0,
         }
     }
@@ -128,8 +155,17 @@ impl<'a> BlockCtx<'a> {
     /// been folded into the block cost.
     pub fn for_each_thread(&mut self, mut f: impl FnMut(&mut ThreadCtx<'_, 'a>)) {
         for tid in 0..self.block_dim {
-            let mut tc = ThreadCtx { blk: self, tid };
+            // The thread takes ownership of its stream buffer so op
+            // recording skips the per-op indexing into the stream table.
+            let stream = std::mem::take(&mut self.scratch.streams[tid as usize]);
+            let mut tc = ThreadCtx {
+                blk: self,
+                tid,
+                stream,
+            };
             f(&mut tc);
+            let ThreadCtx { stream, .. } = tc;
+            self.scratch.streams[tid as usize] = stream;
         }
         self.end_phase();
     }
@@ -139,9 +175,13 @@ impl<'a> BlockCtx<'a> {
         for w in 0..block_dim.div_ceil(32) {
             let lo = w * 32;
             let hi = (lo + 32).min(block_dim);
-            reduce_warp(&self.streams[lo..hi], &mut self.cost);
+            reduce_warp_with(
+                &self.scratch.streams[lo..hi],
+                &mut self.cost,
+                &mut self.scratch.warp,
+            );
         }
-        for s in &mut self.streams {
+        for s in &mut self.scratch.streams {
             s.clear();
         }
         if self.phases > 0 {
@@ -152,7 +192,7 @@ impl<'a> BlockCtx<'a> {
         // Explicit in-phase barriers (`ThreadCtx::sync`) cost the same per
         // executed barrier; the block proceeds at the pace of the thread
         // that executed the most.
-        let sync_max = self.syncs.iter().copied().max().unwrap_or(0);
+        let sync_max = self.scratch.syncs.iter().copied().max().unwrap_or(0);
         if sync_max > self.syncs_costed {
             let fresh = (sync_max - self.syncs_costed) as u64;
             self.cost.barriers += fresh;
@@ -163,16 +203,23 @@ impl<'a> BlockCtx<'a> {
     }
 
     /// Finish the block and return its accumulated cost.
+    #[cfg(test)]
     pub(crate) fn into_cost(self) -> BlockCost {
+        self.finish().0
+    }
+
+    /// Finish the block, returning its cost and the scratch for reuse by
+    /// the next block.
+    pub(crate) fn finish(self) -> (BlockCost, ExecScratch) {
         if let Some(obs) = self.observer {
             obs.observe(AccessEvent::BlockEnd {
                 launch: self.launch_id,
                 block: self.block_idx,
                 phases: self.phases,
-                syncs: &self.syncs,
+                syncs: &self.scratch.syncs,
             });
         }
-        self.cost
+        (self.cost, self.scratch)
     }
 
     fn shared_vec<T: DevCopy>(&self, s: &SharedBuf<T>) -> &Vec<T> {
@@ -192,6 +239,9 @@ impl<'a> BlockCtx<'a> {
 pub struct ThreadCtx<'b, 'a> {
     blk: &'b mut BlockCtx<'a>,
     tid: u32,
+    /// This thread's op stream, owned for the duration of the thread's
+    /// phase closure (taken from and returned to the block's scratch).
+    stream: Vec<Op>,
 }
 
 macro_rules! atomic_rmw {
@@ -223,11 +273,10 @@ macro_rules! atomic_rmw {
 impl<'b, 'a> ThreadCtx<'b, 'a> {
     #[inline]
     fn push(&mut self, op: Op) {
-        let stream = &mut self.blk.streams[self.tid as usize];
         // Merge back-to-back compute ops of the same class so stream length
         // tracks instruction slots.
         if let (Op::Comp { class, n }, Some(Op::Comp { class: lc, n: ln })) =
-            (op, stream.last_mut())
+            (op, self.stream.last_mut())
         {
             if *lc == class {
                 if let Some(sum) = ln.checked_add(n) {
@@ -238,7 +287,7 @@ impl<'b, 'a> ThreadCtx<'b, 'a> {
                 // lane-op count on very long loops.
             }
         }
-        stream.push(op);
+        self.stream.push(op);
     }
 
     /// Report an access to the attached observer, if any.
@@ -466,10 +515,13 @@ impl<'b, 'a> ThreadCtx<'b, 'a> {
     /// block end, and each executed barrier costs the same as a phase
     /// boundary.
     pub fn sync(&mut self) {
-        if self.blk.syncs.is_empty() {
-            self.blk.syncs = vec![0; self.blk.block_dim as usize];
+        if self.blk.scratch.syncs.is_empty() {
+            self.blk
+                .scratch
+                .syncs
+                .resize(self.blk.block_dim as usize, 0);
         }
-        self.blk.syncs[self.tid as usize] += 1;
+        self.blk.scratch.syncs[self.tid as usize] += 1;
     }
 
     // ---- compute ----

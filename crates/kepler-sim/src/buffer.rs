@@ -43,8 +43,136 @@ impl<T> DevBuffer<T> {
     }
 }
 
-struct Slot {
-    data: Box<dyn Any + Send + Sync>,
+/// Storage for one buffer. The workloads' element types get dedicated
+/// variants so that `load`/`store` resolve the type with one predictable
+/// enum branch: within each arm the `&dyn Any` coercion has a statically
+/// known vtable, so the `downcast_ref` folds to a constant at
+/// monomorphization instead of an indirect `type_id` call per access.
+enum Slot {
+    U32(Vec<u32>),
+    F32(Vec<f32>),
+    I32(Vec<i32>),
+    Other(Box<dyn Any + Send + Sync>),
+}
+
+impl Slot {
+    fn new<T: DevCopy>(v: Vec<T>) -> Slot {
+        let mut v = Some(v);
+        let any: &mut dyn Any = &mut v;
+        if let Some(s) = any.downcast_mut::<Option<Vec<u32>>>() {
+            return Slot::U32(s.take().unwrap());
+        }
+        if let Some(s) = any.downcast_mut::<Option<Vec<f32>>>() {
+            return Slot::F32(s.take().unwrap());
+        }
+        if let Some(s) = any.downcast_mut::<Option<Vec<i32>>>() {
+            return Slot::I32(s.take().unwrap());
+        }
+        Slot::Other(Box::new(v.take().unwrap()))
+    }
+
+    #[inline]
+    fn get<T: DevCopy>(&self) -> &Vec<T> {
+        let any: &dyn Any = match self {
+            Slot::U32(v) => v,
+            Slot::F32(v) => v,
+            Slot::I32(v) => v,
+            Slot::Other(b) => return b.downcast_ref::<Vec<T>>().expect("buffer type mismatch"),
+        };
+        any.downcast_ref::<Vec<T>>().expect("buffer type mismatch")
+    }
+
+    #[inline]
+    fn get_mut<T: DevCopy>(&mut self) -> &mut Vec<T> {
+        let any: &mut dyn Any = match self {
+            Slot::U32(v) => v,
+            Slot::F32(v) => v,
+            Slot::I32(v) => v,
+            Slot::Other(b) => return b.downcast_mut::<Vec<T>>().expect("buffer type mismatch"),
+        };
+        any.downcast_mut::<Vec<T>>().expect("buffer type mismatch")
+    }
+}
+
+/// An owned copy of one typed slot's contents. The launch pre-execution
+/// cache uses these to capture a kernel's global-memory write effects and
+/// replay them without re-executing (see [`crate::memo`]). Only the
+/// dedicated [`Slot`] variants are representable: `Slot::Other` buffers
+/// cannot be cloned generically, which simply disqualifies the owning
+/// launch from pre-execution.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum SlotData {
+    U32(Vec<u32>),
+    F32(Vec<f32>),
+    I32(Vec<i32>),
+}
+
+impl SlotData {
+    /// Payload size, for the cache's byte budget.
+    pub(crate) fn bytes(&self) -> usize {
+        4 * match self {
+            SlotData::U32(v) => v.len(),
+            SlotData::F32(v) => v.len(),
+            SlotData::I32(v) => v.len(),
+        }
+    }
+
+    /// Overwrite `self`'s elements with `shard`'s wherever `shard` differs
+    /// bitwise from `base`. Merging every shard of a sharded pre-execution
+    /// into a clone of the baseline reconstructs the post-launch slot, as
+    /// long as shards' write sets are disjoint (the `parallel_safe`
+    /// contract). Bitwise comparison so `-0.0` vs `0.0` and NaN payloads
+    /// replay exactly.
+    pub(crate) fn merge_from(&mut self, base: &SlotData, shard: &SlotData) {
+        match (self, base, shard) {
+            (SlotData::U32(m), SlotData::U32(b), SlotData::U32(s)) => {
+                for i in 0..m.len() {
+                    if s[i] != b[i] {
+                        m[i] = s[i];
+                    }
+                }
+            }
+            (SlotData::F32(m), SlotData::F32(b), SlotData::F32(s)) => {
+                for i in 0..m.len() {
+                    if s[i].to_bits() != b[i].to_bits() {
+                        m[i] = s[i];
+                    }
+                }
+            }
+            (SlotData::I32(m), SlotData::I32(b), SlotData::I32(s)) => {
+                for i in 0..m.len() {
+                    if s[i] != b[i] {
+                        m[i] = s[i];
+                    }
+                }
+            }
+            _ => unreachable!("slot type changed between snapshots"),
+        }
+    }
+}
+
+impl Slot {
+    fn to_data(&self) -> Option<SlotData> {
+        match self {
+            Slot::U32(v) => Some(SlotData::U32(v.clone())),
+            Slot::F32(v) => Some(SlotData::F32(v.clone())),
+            Slot::I32(v) => Some(SlotData::I32(v.clone())),
+            Slot::Other(_) => None,
+        }
+    }
+
+    /// Bitwise equality (distinguishes `-0.0` from `0.0` and NaN bit
+    /// patterns, unlike `PartialEq` on floats).
+    fn bit_eq(&self, other: &Slot) -> bool {
+        match (self, other) {
+            (Slot::U32(a), Slot::U32(b)) => a == b,
+            (Slot::I32(a), Slot::I32(b)) => a == b,
+            (Slot::F32(a), Slot::F32(b)) => {
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+            }
+            _ => false,
+        }
+    }
 }
 
 /// The device's global memory: an arena of typed buffers.
@@ -75,9 +203,7 @@ impl GlobalMem {
         let base = self.next_base;
         self.next_base += bytes.div_ceil(BASE_ALIGN).max(1) * BASE_ALIGN;
         let id = self.slots.len();
-        self.slots.push(Slot {
-            data: Box::new(vec![init; len]),
-        });
+        self.slots.push(Slot::new(vec![init; len]));
         DevBuffer {
             id,
             base,
@@ -94,19 +220,15 @@ impl GlobalMem {
     }
 
     /// Immutable view of a buffer's contents.
+    #[inline]
     pub fn slice<T: DevCopy>(&self, buf: &DevBuffer<T>) -> &[T] {
-        self.slots[buf.id]
-            .data
-            .downcast_ref::<Vec<T>>()
-            .expect("buffer type mismatch")
+        self.slots[buf.id].get::<T>()
     }
 
     /// Mutable view of a buffer's contents.
+    #[inline]
     pub fn vec_mut<T: DevCopy>(&mut self, buf: &DevBuffer<T>) -> &mut [T] {
-        self.slots[buf.id]
-            .data
-            .downcast_mut::<Vec<T>>()
-            .expect("buffer type mismatch")
+        self.slots[buf.id].get_mut::<T>()
     }
 
     /// Functional load.
@@ -124,6 +246,105 @@ impl GlobalMem {
     /// Total bytes currently allocated (for tests/reporting).
     pub fn allocated_bytes(&self) -> u64 {
         self.next_base - BASE_ALIGN
+    }
+
+    // ---- pre-execution support (see crate::memo) ----
+
+    /// Deep copy for speculative execution, or `None` if any buffer holds a
+    /// type outside the dedicated variants.
+    pub(crate) fn try_clone(&self) -> Option<GlobalMem> {
+        let mut slots = Vec::with_capacity(self.slots.len());
+        for s in &self.slots {
+            slots.push(match s.to_data()? {
+                SlotData::U32(v) => Slot::U32(v),
+                SlotData::F32(v) => Slot::F32(v),
+                SlotData::I32(v) => Slot::I32(v),
+            });
+        }
+        Some(GlobalMem {
+            slots,
+            next_base: self.next_base,
+        })
+    }
+
+    /// 128-bit content fingerprint of the whole memory image (slot types,
+    /// lengths and element bits, in slot order), or `None` if any buffer is
+    /// a `Slot::Other`. Two memories with equal fingerprints are treated as
+    /// identical by the launch pre-execution cache, so both lanes must
+    /// collide before a stale replay is possible.
+    pub(crate) fn fingerprint(&self) -> Option<[u64; 2]> {
+        // Lane 1: splitmix64 absorption. Lane 2: a degree-n polynomial in
+        // an odd multiplier (Horner form). Independent enough that joint
+        // collisions on non-adversarial data are out of reach.
+        #[inline]
+        fn mix(h: u64, v: u64) -> u64 {
+            let mut x = (h ^ v).wrapping_add(0x9E37_79B9_7F4A_7C15);
+            x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            x ^ (x >> 31)
+        }
+        let mut h1 = 0x0B5E_55ED_5EED_F00Du64;
+        let mut h2 = 0x2545_F491_4F6C_DD1Du64;
+        let mut absorb = |v: u64| {
+            h1 = mix(h1, v);
+            h2 = h2.wrapping_mul(0x0000_0100_0000_01B3).wrapping_add(v);
+        };
+        absorb(self.next_base);
+        for s in &self.slots {
+            match s {
+                Slot::U32(v) => {
+                    absorb(0x7531 ^ (v.len() as u64) << 16);
+                    v.iter().for_each(|&x| absorb(x as u64));
+                }
+                Slot::F32(v) => {
+                    absorb(0x8642 ^ (v.len() as u64) << 16);
+                    v.iter().for_each(|&x| absorb(x.to_bits() as u64));
+                }
+                Slot::I32(v) => {
+                    absorb(0x9753 ^ (v.len() as u64) << 16);
+                    v.iter().for_each(|&x| absorb(x as u32 as u64));
+                }
+                Slot::Other(_) => return None,
+            }
+        }
+        Some([h1, h2])
+    }
+
+    /// Number of buffers allocated so far.
+    pub(crate) fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether slot `id` differs bitwise between `self` and `other`.
+    pub(crate) fn slot_differs(&self, other: &GlobalMem, id: usize) -> bool {
+        !self.slots[id].bit_eq(&other.slots[id])
+    }
+
+    /// Owned copy of slot `id` (`None` for `Slot::Other`).
+    pub(crate) fn slot_data(&self, id: usize) -> Option<SlotData> {
+        self.slots[id].to_data()
+    }
+
+    /// The slots of `after` that differ bitwise from `self`, as owned
+    /// copies: a launch's write effects, given the memory image before and
+    /// after executing it.
+    pub(crate) fn changed_slots(&self, after: &GlobalMem) -> Vec<(u32, SlotData)> {
+        debug_assert_eq!(self.slots.len(), after.slots.len());
+        (0..self.slots.len())
+            .filter(|&i| self.slot_differs(after, i))
+            .map(|i| (i as u32, after.slots[i].to_data().expect("typed slot")))
+            .collect()
+    }
+
+    /// Overwrite the listed slots (replaying a cached launch's writes).
+    pub(crate) fn apply_slots(&mut self, changes: &[(u32, SlotData)]) {
+        for (id, data) in changes {
+            self.slots[*id as usize] = match data.clone() {
+                SlotData::U32(v) => Slot::U32(v),
+                SlotData::F32(v) => Slot::F32(v),
+                SlotData::I32(v) => Slot::I32(v),
+            };
+        }
     }
 }
 
@@ -198,5 +419,78 @@ mod tests {
         assert_eq!(m.allocated_bytes(), 0);
         m.alloc::<u8>(1000);
         assert!(m.allocated_bytes() >= 1000);
+    }
+
+    #[test]
+    fn fingerprint_tracks_content() {
+        let mut m = GlobalMem::new();
+        let a = m.alloc_from(&[1u32, 2, 3]);
+        let b = m.alloc_from(&[1.5f32, -2.5]);
+        let fp0 = m.fingerprint().unwrap();
+        assert_eq!(
+            m.fingerprint().unwrap(),
+            fp0,
+            "fingerprint is a pure function"
+        );
+        m.store(&a, 1, 99);
+        let fp1 = m.fingerprint().unwrap();
+        assert_ne!(fp0, fp1);
+        m.store(&a, 1, 2); // restore
+        assert_eq!(m.fingerprint().unwrap(), fp0);
+        // Sign of zero is content: -0.0 and 0.0 must not collide.
+        m.store(&b, 0, 0.0);
+        let fpz = m.fingerprint().unwrap();
+        m.store(&b, 0, -0.0);
+        assert_ne!(m.fingerprint().unwrap(), fpz);
+    }
+
+    #[test]
+    fn fingerprint_and_clone_bail_on_untyped_slots() {
+        let mut m = GlobalMem::new();
+        m.alloc::<u32>(4);
+        assert!(m.fingerprint().is_some());
+        assert!(m.try_clone().is_some());
+        m.alloc::<u64>(4); // no dedicated variant -> Slot::Other
+        assert!(m.fingerprint().is_none());
+        assert!(m.try_clone().is_none());
+    }
+
+    #[test]
+    fn changed_slots_roundtrip() {
+        let mut m = GlobalMem::new();
+        let a = m.alloc_from(&[1u32, 2, 3]);
+        let b = m.alloc_from(&[0.0f32; 4]);
+        let _c = m.alloc_from(&[-1i32, -2]);
+        let mut after = m.try_clone().unwrap();
+        after.store(&a, 0, 7);
+        after.store(&b, 3, 4.25);
+        let changes = m.changed_slots(&after);
+        assert_eq!(
+            changes.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+            [0, 1]
+        );
+        m.apply_slots(&changes);
+        assert_eq!(m.slice(&a), &[7, 2, 3]);
+        assert_eq!(m.slice(&b), &[0.0, 0.0, 0.0, 4.25]);
+        assert!(m.changed_slots(&after).is_empty());
+    }
+
+    #[test]
+    fn merge_from_takes_only_shard_writes() {
+        let base = SlotData::F32(vec![0.0; 4]);
+        let mut merged = base.clone();
+        // Shard 1 wrote elements 0..2, shard 2 wrote element 3.
+        let s1 = SlotData::F32(vec![1.0, 2.0, 0.0, 0.0]);
+        let s2 = SlotData::F32(vec![0.0, 0.0, 0.0, -0.0]);
+        merged.merge_from(&base, &s1);
+        merged.merge_from(&base, &s2);
+        let SlotData::F32(v) = merged else {
+            unreachable!()
+        };
+        assert_eq!(v[..3], [1.0, 2.0, 0.0]);
+        assert!(
+            v[3] == 0.0 && v[3].is_sign_negative(),
+            "bitwise merge keeps -0.0"
+        );
     }
 }

@@ -47,22 +47,50 @@ pub fn coalesce(addrs: &[u64], bytes: &[u32]) -> Coalesced {
             lanes: 0,
         };
     }
-    // Collect distinct segment ids. 32 entries: a tiny sorted scratch array
-    // beats a hash set here.
-    let mut segs = [0u64; 64];
-    let mut n_segs = 0usize;
     let mut useful = 0u32;
+    let mut monotonic = true;
+    let mut prev = addrs[0];
     for (&a, &b) in addrs.iter().zip(bytes) {
         useful += b;
-        let first = a / SEGMENT_BYTES;
-        let last = (a + b.max(1) as u64 - 1) / SEGMENT_BYTES;
-        for s in first..=last {
-            if !segs[..n_segs].contains(&s) && n_segs < segs.len() {
-                segs[n_segs] = s;
-                n_segs += 1;
+        monotonic &= a >= prev;
+        prev = a;
+    }
+    let n_segs = if monotonic {
+        // Fast path: non-decreasing addresses (the usual tid-ordered stride
+        // pattern) touch non-decreasing segment ranges, so every segment at
+        // or below the running high-water mark has already been counted and
+        // distinct segments can be counted in one pass.
+        let mut n = 0u64;
+        let mut hi = u64::MAX; // no segment counted yet
+        for (&a, &b) in addrs.iter().zip(bytes) {
+            let first = a / SEGMENT_BYTES;
+            let last = (a + b.max(1) as u64 - 1) / SEGMENT_BYTES;
+            if hi == u64::MAX || first > hi {
+                n += last - first + 1;
+                hi = last;
+            } else if last > hi {
+                n += last - hi;
+                hi = last;
             }
         }
-    }
+        n.min(64) as usize
+    } else {
+        // Collect distinct segment ids. 32 entries: a tiny sorted scratch
+        // array beats a hash set here.
+        let mut segs = [0u64; 64];
+        let mut n_segs = 0usize;
+        for (&a, &b) in addrs.iter().zip(bytes) {
+            let first = a / SEGMENT_BYTES;
+            let last = (a + b.max(1) as u64 - 1) / SEGMENT_BYTES;
+            for s in first..=last {
+                if !segs[..n_segs].contains(&s) && n_segs < segs.len() {
+                    segs[n_segs] = s;
+                    n_segs += 1;
+                }
+            }
+        }
+        n_segs
+    };
     Coalesced {
         transactions: n_segs as u32,
         useful_bytes: useful,

@@ -2,17 +2,20 @@
 //! simulated clock, and the ground-truth power trace.
 
 use crate::access::{AccessEvent, AccessObserver};
-use crate::block::BlockCtx;
-use crate::buffer::{DevBuffer, DevCopy, GlobalMem};
+use crate::block::{BlockCtx, ExecScratch};
+use crate::buffer::{DevBuffer, DevCopy, GlobalMem, SlotData};
 use crate::config::DeviceConfig;
+use crate::cost::BlockCost;
 use crate::counters::{KernelCounters, LaunchStats};
 use crate::kernel::Kernel;
-use crate::scheduler::run_launch;
+use crate::memo::{self, LaunchEffects, LaunchKey};
+use crate::scheduler::{run_launch_pooled, SchedScratch};
 use gpower::PowerTrace;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use sim_telemetry::{BoardPhase, Event, TelemetrySink};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Process-wide count of simulated program runs (one per [`Device`]
@@ -24,6 +27,74 @@ static DEVICES_CREATED: AtomicU64 = AtomicU64::new(0);
 /// Total number of [`Device`]s constructed by this process so far.
 pub fn devices_created() -> u64 {
     DEVICES_CREATED.load(Ordering::Relaxed)
+}
+
+/// Worker threads used to shard pre-executed launches; 0 means "one per
+/// available core". Set once at startup from `repro --jobs`.
+static EXEC_JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Set the process-default worker count for pre-executed launches
+/// (`repro --jobs N`). `0` restores the default of one worker per core.
+/// Results are bit-identical for every value — this is purely a wall-clock
+/// / CPU-occupancy knob.
+pub fn set_exec_jobs(n: usize) {
+    EXEC_JOBS.store(n, Ordering::Relaxed);
+}
+
+/// The effective pre-execution worker count.
+pub fn exec_jobs() -> usize {
+    match EXEC_JOBS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
+/// (hits, misses) of the process-wide launch pre-execution cache.
+pub fn exec_cache_stats() -> (u64, u64) {
+    memo::stats()
+}
+
+/// Drop every cached launch and zero [`exec_cache_stats`]. Tests use this
+/// to observe a cold execution; production code never needs it.
+pub fn reset_exec_cache() {
+    memo::reset()
+}
+
+/// How a device functionally executes the blocks of a launch whose kernel
+/// declares [`Kernel::parallel_safe`]. (Kernels that don't always use
+/// [`ExecStrategy::AtDispatch`] — that ordering *is* their semantics.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecStrategy {
+    /// Execute each block at its simulated dispatch time, serially, even if
+    /// the kernel permits reordering.
+    AtDispatch,
+    /// Pre-execute the whole grid before scheduling — sharded over `jobs`
+    /// worker threads and shared across identical launches through the
+    /// process-wide cache — then replay the recorded per-block costs at
+    /// dispatch time. Bit-identical to [`ExecStrategy::AtDispatch`] under
+    /// the `parallel_safe` contract, for any `jobs >= 1`.
+    PreExec {
+        /// Worker threads for the functional execution.
+        jobs: usize,
+    },
+}
+
+/// Run one block functionally and return its cost, threading the pooled
+/// scratch through. Shared by the pre-execution paths (the exec-at-dispatch
+/// path inlines the same sequence to also attach the access observer).
+fn exec_one_block(
+    kernel: &dyn Kernel,
+    mem: &mut GlobalMem,
+    block_idx: u32,
+    grid: u32,
+    block_threads: u32,
+    scratch: ExecScratch,
+) -> (BlockCost, ExecScratch) {
+    let mut blk = BlockCtx::with_scratch(mem, block_idx, grid, block_threads, scratch);
+    kernel.run_block(&mut blk);
+    blk.finish()
 }
 
 /// Per-launch options.
@@ -58,6 +129,15 @@ pub struct Device {
     launches: Vec<LaunchStats>,
     telemetry: Option<Arc<dyn TelemetrySink>>,
     access: Option<Arc<dyn AccessObserver>>,
+    /// Pooled execution scratch reused by every serially executed block of
+    /// every launch on this device.
+    scratch: ExecScratch,
+    /// Pooled scheduler working memory reused by every launch, making the
+    /// fluid loop's steady state allocation-free.
+    sched: SchedScratch,
+    /// Per-device execution strategy override; `None` follows the process
+    /// default (`PreExec` with [`exec_jobs`] workers).
+    exec: Option<ExecStrategy>,
 }
 
 /// Idle time recorded before the first kernel, seconds. Gives the
@@ -113,7 +193,18 @@ impl Device {
             launches: Vec::new(),
             telemetry: None,
             access: None,
+            scratch: ExecScratch::default(),
+            sched: SchedScratch::default(),
+            exec: None,
         }
+    }
+
+    /// Override how `parallel_safe` launches execute on this device (the
+    /// equivalence tests pin both sides of the comparison with this).
+    /// Without an override the device follows the process default:
+    /// `PreExec { jobs: exec_jobs() }`.
+    pub fn set_exec_strategy(&mut self, strategy: ExecStrategy) {
+        self.exec = Some(strategy);
     }
 
     /// Attach a telemetry sink. Call right after [`Device::new`] for full
@@ -314,6 +405,22 @@ impl Device {
         }
         let resources = kernel.resources();
         let name = kernel.display_name();
+        // Kernels declaring dispatch-order independence are pre-executed
+        // (usually replayed straight from the process-wide cache) and the
+        // scheduler consumes their recorded costs; irregular kernels — and
+        // every launch under the sanitizer, which must watch the real
+        // access stream — execute each block at its dispatch time. Either
+        // way the exec closure runs once per block in dispatch order, so
+        // counter accumulation (f64 sums) is order-identical.
+        let strategy = self
+            .exec
+            .unwrap_or(ExecStrategy::PreExec { jobs: exec_jobs() });
+        let effects = match strategy {
+            ExecStrategy::PreExec { jobs } if kernel.parallel_safe() && self.access.is_none() => {
+                self.pre_execute(kernel, &name, grid, block_threads, jobs)
+            }
+            _ => None,
+        };
         let access = self.access.as_deref();
         if let Some(obs) = access {
             obs.observe(AccessEvent::LaunchBegin {
@@ -326,28 +433,58 @@ impl Device {
             });
         }
         let mut counters = KernelCounters::default();
-        let mem = &mut self.mem;
-        let outcome = run_launch(
-            &self.cfg,
-            &mut self.rng,
-            &mut self.trace,
-            grid,
-            block_threads,
-            &resources,
-            opts.work_multiplier,
-            launch_id,
-            self.telemetry.as_deref(),
-            |block_idx| {
-                let mut blk = BlockCtx::new(mem, block_idx, grid, block_threads);
-                if let Some(obs) = access {
-                    blk.attach_observer(obs, launch_id);
-                }
-                kernel.run_block(&mut blk);
-                let cost = blk.into_cost();
-                counters.add_block(&cost, opts.work_multiplier);
-                cost
-            },
-        );
+        let outcome = match &effects {
+            Some(fx) => run_launch_pooled(
+                &self.cfg,
+                &mut self.rng,
+                &mut self.trace,
+                grid,
+                block_threads,
+                &resources,
+                opts.work_multiplier,
+                launch_id,
+                self.telemetry.as_deref(),
+                |block_idx| {
+                    let cost = fx.costs[block_idx as usize];
+                    counters.add_block(&cost, opts.work_multiplier);
+                    cost
+                },
+                &mut self.sched,
+            ),
+            None => {
+                let mem = &mut self.mem;
+                let scratch = &mut self.scratch;
+                run_launch_pooled(
+                    &self.cfg,
+                    &mut self.rng,
+                    &mut self.trace,
+                    grid,
+                    block_threads,
+                    &resources,
+                    opts.work_multiplier,
+                    launch_id,
+                    self.telemetry.as_deref(),
+                    |block_idx| {
+                        let mut blk = BlockCtx::with_scratch(
+                            mem,
+                            block_idx,
+                            grid,
+                            block_threads,
+                            std::mem::take(scratch),
+                        );
+                        if let Some(obs) = access {
+                            blk.attach_observer(obs, launch_id);
+                        }
+                        kernel.run_block(&mut blk);
+                        let (cost, s) = blk.finish();
+                        *scratch = s;
+                        counters.add_block(&cost, opts.work_multiplier);
+                        cost
+                    },
+                    &mut self.sched,
+                )
+            }
+        };
         if let Some(sink) = &self.telemetry {
             sink.record(Event::KernelRetire {
                 t: self.trace.end_time(),
@@ -373,6 +510,114 @@ impl Device {
             });
         }
         stats
+    }
+
+    /// Functionally execute a `parallel_safe` launch ahead of scheduling —
+    /// or fetch it from the process-wide cache — apply its global-memory
+    /// effects, and return the per-block costs for dispatch-time replay.
+    ///
+    /// `None` means the launch cannot be pre-executed (some buffer's type
+    /// has no dedicated slot variant, so the memory image can be neither
+    /// fingerprinted nor cloned); the caller falls back to
+    /// exec-at-dispatch, which is always correct.
+    fn pre_execute(
+        &mut self,
+        kernel: &dyn Kernel,
+        name: &str,
+        grid: u32,
+        block_threads: u32,
+        jobs: usize,
+    ) -> Option<Arc<LaunchEffects>> {
+        let mem_fp = self.mem.fingerprint()?;
+        let key = LaunchKey {
+            kernel: name.to_string(),
+            params: kernel.params(),
+            grid,
+            block_threads,
+            mem_fp,
+        };
+        if let Some(fx) = memo::lookup(&key) {
+            self.mem.apply_slots(&fx.writes);
+            return Some(fx);
+        }
+        let jobs = jobs.clamp(1, grid as usize);
+        let fx = if jobs == 1 {
+            // Execute the grid in block order against one clone of the
+            // pre-launch image; the slots that end up differing are the
+            // launch's write effects.
+            let mut post = self.mem.try_clone()?;
+            let mut scratch = std::mem::take(&mut self.scratch);
+            let mut costs = Vec::with_capacity(grid as usize);
+            for b in 0..grid {
+                let (cost, s) = exec_one_block(kernel, &mut post, b, grid, block_threads, scratch);
+                scratch = s;
+                costs.push(cost);
+            }
+            self.scratch = scratch;
+            let writes = self.mem.changed_slots(&post);
+            Arc::new(LaunchEffects { costs, writes })
+        } else {
+            // Contiguous block shards, each executed against its own clone
+            // of the pre-launch image. Under the `parallel_safe` contract
+            // the shards' write sets are disjoint, so merging each shard's
+            // element-level changes into a copy of the baseline
+            // reconstructs the serial post-state bit-for-bit.
+            let base = &self.mem;
+            let shard = grid.div_ceil(jobs as u32);
+            let results: Vec<(Vec<BlockCost>, GlobalMem)> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..jobs as u32)
+                    .map(|j| {
+                        let lo = j * shard;
+                        let hi = ((j + 1) * shard).min(grid);
+                        s.spawn(move || {
+                            let mut m = base.try_clone().expect("fingerprinted image clones");
+                            let mut scratch = ExecScratch::default();
+                            let mut costs = Vec::with_capacity((hi - lo) as usize);
+                            for b in lo..hi {
+                                let (cost, sc) =
+                                    exec_one_block(kernel, &mut m, b, grid, block_threads, scratch);
+                                scratch = sc;
+                                costs.push(cost);
+                            }
+                            (costs, m)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("pre-exec worker panicked"))
+                    .collect()
+            });
+            let mut costs = Vec::with_capacity(grid as usize);
+            for (c, _) in &results {
+                costs.extend_from_slice(c);
+            }
+            let changed: Vec<u32> = (0..base.slot_count() as u32)
+                .filter(|&id| {
+                    results
+                        .iter()
+                        .any(|(_, m)| base.slot_differs(m, id as usize))
+                })
+                .collect();
+            let writes: Vec<(u32, SlotData)> = changed
+                .into_iter()
+                .map(|id| {
+                    let base_data = base.slot_data(id as usize).expect("typed slot");
+                    let mut merged = base_data.clone();
+                    for (_, m) in &results {
+                        if base.slot_differs(m, id as usize) {
+                            let shard_data = m.slot_data(id as usize).expect("typed slot");
+                            merged.merge_from(&base_data, &shard_data);
+                        }
+                    }
+                    (id, merged)
+                })
+                .collect();
+            Arc::new(LaunchEffects { costs, writes })
+        };
+        self.mem.apply_slots(&fx.writes);
+        memo::insert(key, fx.clone());
+        Some(fx)
     }
 
     /// Record host-side time between kernels (the driver keeps the GPU
@@ -793,5 +1038,119 @@ mod tests {
         let x = dev.alloc_from(&[0.0f32]);
         let y = dev.alloc_from(&[0.0f32]);
         dev.launch(&Saxpy { x, y, a: 1.0 }, 1, 0);
+    }
+
+    /// Saxpy with the `parallel_safe` opt-in: every thread reads and writes
+    /// only its own `y[i]`, so blocks are dispatch-order independent.
+    struct PSaxpy(Saxpy);
+
+    impl Kernel for PSaxpy {
+        fn name(&self) -> &'static str {
+            "psaxpy"
+        }
+        fn parallel_safe(&self) -> bool {
+            true
+        }
+        fn params(&self) -> Vec<u64> {
+            crate::kernel::ParamKey::new()
+                .buf(&self.0.x)
+                .buf(&self.0.y)
+                .f(self.0.a)
+                .done()
+        }
+        fn run_block(&self, blk: &mut BlockCtx) {
+            self.0.run_block(blk);
+        }
+    }
+
+    /// Build a device + data and run one PSaxpy launch under `strategy`,
+    /// returning (y contents, duration, energy, counter fingerprint).
+    fn psaxpy_run(strategy: Option<ExecStrategy>, n: usize) -> (Vec<f32>, f64, f64, f64) {
+        let mut dev = device();
+        if let Some(s) = strategy {
+            dev.set_exec_strategy(s);
+        }
+        let x: Vec<f32> = (0..n).map(|i| (i as f32 * 0.37).sin()).collect();
+        let y: Vec<f32> = (0..n).map(|i| (i as f32 * 0.11).cos()).collect();
+        let x = dev.alloc_from(&x);
+        let y = dev.alloc_from(&y);
+        let k = PSaxpy(Saxpy { x, y, a: 1.5 });
+        let stats = dev.launch(&k, (n as u32).div_ceil(128), 128);
+        let (d, e) = (stats.duration_s, stats.energy_j);
+        let c = stats.counters;
+        (dev.read(&y), d, e, c.issue_cycles + c.dram_bytes)
+    }
+
+    #[test]
+    fn pre_exec_strategies_are_bit_identical() {
+        let _g = memo::test_guard();
+        let n = 4096;
+        memo::reset();
+        let serial = psaxpy_run(Some(ExecStrategy::AtDispatch), n);
+        assert_eq!(memo::stats(), (0, 0), "AtDispatch never consults the cache");
+        memo::reset();
+        let pre1 = psaxpy_run(Some(ExecStrategy::PreExec { jobs: 1 }), n);
+        memo::reset();
+        let pre3 = psaxpy_run(Some(ExecStrategy::PreExec { jobs: 3 }), n);
+        // A fourth run replays from the cache (no reset): pure hit path.
+        let hit = psaxpy_run(Some(ExecStrategy::PreExec { jobs: 3 }), n);
+        assert_eq!(memo::stats().0, 1, "fourth run hit the cache");
+        for (i, other) in [&pre1, &pre3, &hit].into_iter().enumerate() {
+            assert!(
+                serial
+                    .0
+                    .iter()
+                    .zip(&other.0)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "y diverged in variant {i}"
+            );
+            assert_eq!(
+                serial.1.to_bits(),
+                other.1.to_bits(),
+                "duration, variant {i}"
+            );
+            assert_eq!(serial.2.to_bits(), other.2.to_bits(), "energy, variant {i}");
+            assert_eq!(
+                serial.3.to_bits(),
+                other.3.to_bits(),
+                "counters, variant {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn pre_exec_cache_shared_across_devices() {
+        let _g = memo::test_guard();
+        memo::reset();
+        let a = psaxpy_run(None, 2048); // process default: PreExec
+        let (h0, m0) = memo::stats();
+        assert_eq!((h0, m0), (0, 1), "first device misses");
+        let b = psaxpy_run(None, 2048);
+        assert_eq!(memo::stats(), (1, 1), "identical second device hits");
+        assert!(a
+            .0
+            .iter()
+            .zip(&b.0)
+            .all(|(x, y)| x.to_bits() == y.to_bits()));
+        // Different scalar parameter -> different key, no stale replay.
+        let mut dev = device();
+        let x = dev.alloc_from(&vec![1.0f32; 2048]);
+        let y = dev.alloc_from(&vec![1.0f32; 2048]);
+        dev.launch(&PSaxpy(Saxpy { x, y, a: -2.0 }), 16, 128);
+        assert_eq!(memo::stats(), (1, 2));
+        assert!(dev.read(&y).iter().all(|&v| v == -1.0));
+    }
+
+    #[test]
+    fn pre_exec_falls_back_on_untyped_buffers() {
+        let _g = memo::test_guard();
+        memo::reset();
+        let mut dev = device();
+        let _odd = dev.alloc_init::<u64>(8, 7); // Slot::Other: unfingerprintable
+        let x = dev.alloc_from(&vec![2.0f32; 1024]);
+        let y = dev.alloc_from(&vec![1.0f32; 1024]);
+        dev.launch(&PSaxpy(Saxpy { x, y, a: 2.0 }), 8, 128);
+        assert_eq!(memo::stats(), (0, 0), "fallback skips the cache entirely");
+        assert!(dev.read(&y).iter().all(|&v| v == 5.0));
     }
 }

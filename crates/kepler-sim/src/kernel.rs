@@ -2,6 +2,7 @@
 //! simulator.
 
 use crate::block::BlockCtx;
+use crate::buffer::DevBuffer;
 
 /// Static resource usage of a kernel, used for the occupancy calculation
 /// (how many blocks fit on one SM simultaneously).
@@ -30,7 +31,17 @@ impl Default for KernelResources {
 /// blocks dispatched before them — which is how the simulator models the
 /// intra-kernel data races and timing-dependent behaviour of irregular
 /// codes.
-pub trait Kernel {
+///
+/// Kernels whose blocks are *independent* of dispatch order can opt out of
+/// that serialization via [`Kernel::parallel_safe`], which lets the device
+/// pre-execute the whole grid (sharded over worker threads) and replay the
+/// recorded block costs and memory effects into the scheduler — including
+/// across launches with identical inputs (see `docs/PERF.md`).
+///
+/// `Sync` is a supertrait so a `&dyn Kernel` can be shared with the
+/// pre-execution workers; kernels are plain parameter structs, so this is
+/// automatic in practice.
+pub trait Kernel: Sync {
     /// Kernel name (for stats and reports).
     fn name(&self) -> &'static str {
         "kernel"
@@ -50,6 +61,81 @@ pub trait Kernel {
 
     /// Execute one block functionally, recording its trace.
     fn run_block(&self, blk: &mut BlockCtx);
+
+    /// Whether this kernel's blocks may be executed out of dispatch order.
+    ///
+    /// Returning `true` is a contract with three clauses, all about *global*
+    /// memory within a single launch:
+    ///
+    /// 1. no block reads a location that another block of the same launch
+    ///    writes (reading your *own* earlier writes is fine);
+    /// 2. no global atomics (an atomic is a read-modify-write, and
+    ///    floating-point accumulation makes the result order-dependent);
+    /// 3. `run_block` is a pure function of the kernel's parameters, the
+    ///    launch geometry and the pre-launch memory image — no interior
+    ///    mutability, I/O or other hidden state.
+    ///
+    /// Under the contract, executing blocks in any order (or concurrently on
+    /// separate memory shards) is bit-identical to exec-at-dispatch, so the
+    /// device pre-executes the grid once and replays cached costs into the
+    /// scheduler. Kernels that violate the contract while claiming it will
+    /// produce wrong results *deterministically* — the serial-vs-parallel
+    /// equivalence tests catch this. Default: `false` (exec-at-dispatch,
+    /// the right choice for every irregular/racy kernel).
+    fn parallel_safe(&self) -> bool {
+        false
+    }
+
+    /// Scalar launch parameters that influence `run_block` but are not
+    /// stored in device memory (problem dims, scaling constants, iteration
+    /// counters, ...), folded into the pre-execution cache key.
+    ///
+    /// Kernels returning `true` from [`Kernel::parallel_safe`] MUST list
+    /// every such field here (floats via `to_bits()`): two launches with
+    /// equal kernel name, geometry, memory image and `params` are assumed
+    /// to execute identically. Irrelevant for exec-at-dispatch kernels.
+    fn params(&self) -> Vec<u64> {
+        Vec::new()
+    }
+}
+
+/// Builder for [`Kernel::params`]: folds buffer bindings and scalar
+/// parameters into the cache-key vector with a uniform encoding.
+///
+/// Fold every `DevBuffer` field with [`ParamKey::buf`] — buffers are
+/// identified by base address, which distinguishes e.g. the two directions
+/// of a ping-pong pair even when their *contents* happen to coincide — and
+/// every scalar with [`ParamKey::u`] / [`ParamKey::f`].
+#[derive(Default)]
+pub struct ParamKey(Vec<u64>);
+
+impl ParamKey {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold a buffer binding (identity, not contents — the memory image
+    /// fingerprint covers contents).
+    pub fn buf<T>(mut self, b: &DevBuffer<T>) -> Self {
+        self.0.push(b.addr_of(0));
+        self
+    }
+
+    /// Fold an integer scalar.
+    pub fn u(mut self, v: u64) -> Self {
+        self.0.push(v);
+        self
+    }
+
+    /// Fold an `f32` scalar, bitwise.
+    pub fn f(mut self, v: f32) -> Self {
+        self.0.push(v.to_bits() as u64);
+        self
+    }
+
+    pub fn done(self) -> Vec<u64> {
+        self.0
+    }
 }
 
 #[cfg(test)]
@@ -68,6 +154,10 @@ mod tests {
         assert_eq!(k.display_name(), "kernel");
         assert_eq!(k.resources().regs_per_thread, 32);
         assert_eq!(k.resources().shared_bytes, 0);
+        // Exec-at-dispatch is the default: opting into pre-execution is an
+        // explicit, per-kernel statement.
+        assert!(!k.parallel_safe());
+        assert!(k.params().is_empty());
     }
 
     #[test]

@@ -51,6 +51,7 @@ pub mod cost;
 pub mod counters;
 pub mod device;
 pub mod kernel;
+mod memo;
 pub mod occupancy;
 pub mod ops;
 pub mod scheduler;
@@ -67,8 +68,9 @@ pub use buffer::{DevBuffer, GlobalMem};
 pub use config::{ClockConfig, DeviceConfig, PowerParams};
 pub use counters::{KernelCounters, LaunchStats};
 pub use device::devices_created;
-pub use device::{Device, LaunchOpts};
-pub use kernel::{Kernel, KernelResources};
+pub use device::{exec_cache_stats, exec_jobs, reset_exec_cache, set_exec_jobs};
+pub use device::{Device, ExecStrategy, LaunchOpts};
+pub use kernel::{Kernel, KernelResources, ParamKey};
 pub use ops::CompClass;
 
 /// Structured-event observability layer (re-exported for convenience):

@@ -1,0 +1,171 @@
+//! Process-wide launch pre-execution cache.
+//!
+//! A `parallel_safe` kernel's functional outcome — per-block costs and
+//! global-memory write effects — depends only on the kernel's name and
+//! parameters, the launch geometry and the pre-launch memory image. None of
+//! those vary with the clock/ECC configuration, so when the measurement
+//! campaign replays the same workload under its ~7 GPU configurations
+//! (Table 4, Figures 5/6), every configuration after the first can reuse
+//! the first one's functional execution and spend its time purely in the
+//! (configuration-dependent) scheduler. This cache is what makes that
+//! sharing happen: it is keyed by [`LaunchKey`] and shared by all devices
+//! in the process.
+//!
+//! Entries are immutable once inserted (`Arc`), so lookups are cheap and
+//! concurrent campaign workers can share them. A byte budget bounds the
+//! cache: once exceeded, new entries are simply not retained (no eviction —
+//! the campaign's reuse pattern is "same workload, next config", which the
+//! budget comfortably covers).
+
+use crate::buffer::SlotData;
+use crate::cost::BlockCost;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Identity of a pre-executed launch. Two launches with equal keys execute
+/// identically under the `parallel_safe` contract.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub(crate) struct LaunchKey {
+    /// Kernel display name plus its scalar parameters ([`crate::Kernel::params`]).
+    pub kernel: String,
+    pub params: Vec<u64>,
+    pub grid: u32,
+    pub block_threads: u32,
+    /// Fingerprint of the full pre-launch memory image.
+    pub mem_fp: [u64; 2],
+}
+
+/// The cached outcome of functionally executing one launch.
+pub(crate) struct LaunchEffects {
+    /// Per-block costs, indexed by block id.
+    pub costs: Vec<BlockCost>,
+    /// Post-launch contents of every slot the launch changed.
+    pub writes: Vec<(u32, SlotData)>,
+}
+
+impl LaunchEffects {
+    fn bytes(&self) -> usize {
+        self.costs.len() * std::mem::size_of::<BlockCost>()
+            + self.writes.iter().map(|(_, d)| d.bytes()).sum::<usize>()
+    }
+}
+
+/// Retained-entry byte budget. The quick campaign's working set is tens of
+/// MB; 1 GiB leaves room for full-scale inputs without letting a pathological
+/// caller grow without bound.
+const BUDGET_BYTES: usize = 1 << 30;
+
+struct Cache {
+    map: HashMap<LaunchKey, Arc<LaunchEffects>>,
+    bytes: usize,
+}
+
+static CACHE: OnceLock<Mutex<Cache>> = OnceLock::new();
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+
+fn cache() -> &'static Mutex<Cache> {
+    CACHE.get_or_init(|| {
+        Mutex::new(Cache {
+            map: HashMap::new(),
+            bytes: 0,
+        })
+    })
+}
+
+/// Look up a launch; counts a hit or miss.
+pub(crate) fn lookup(key: &LaunchKey) -> Option<Arc<LaunchEffects>> {
+    let found = cache().lock().unwrap().map.get(key).cloned();
+    match &found {
+        Some(_) => HITS.fetch_add(1, Ordering::Relaxed),
+        None => MISSES.fetch_add(1, Ordering::Relaxed),
+    };
+    found
+}
+
+/// Retain a computed launch, budget permitting. Concurrent inserts of the
+/// same key are benign: under the `parallel_safe` contract both computed
+/// identical effects, and whichever lands last wins.
+pub(crate) fn insert(key: LaunchKey, fx: Arc<LaunchEffects>) {
+    let add = fx.bytes();
+    let mut c = cache().lock().unwrap();
+    if c.bytes + add > BUDGET_BYTES {
+        return;
+    }
+    if c.map.insert(key, fx).is_none() {
+        c.bytes += add;
+    }
+}
+
+/// (hits, misses) since process start (or the last [`reset`]).
+pub(crate) fn stats() -> (u64, u64) {
+    (HITS.load(Ordering::Relaxed), MISSES.load(Ordering::Relaxed))
+}
+
+/// Drop every entry and zero the stats. For tests that must observe a cold
+/// miss (e.g. to exercise the sharded execution path a second time).
+pub(crate) fn reset() {
+    let mut c = cache().lock().unwrap();
+    c.map.clear();
+    c.bytes = 0;
+    HITS.store(0, Ordering::Relaxed);
+    MISSES.store(0, Ordering::Relaxed);
+}
+
+/// Tests touching the process-global cache (here and in `device`) hold this
+/// lock so their `reset()`/stats assertions don't race each other under the
+/// parallel test runner.
+#[cfg(test)]
+pub(crate) fn test_guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(tag: u64) -> LaunchKey {
+        LaunchKey {
+            kernel: "k".into(),
+            params: vec![tag],
+            grid: 4,
+            block_threads: 64,
+            mem_fp: [tag, !tag],
+        }
+    }
+
+    fn effects(blocks: usize) -> Arc<LaunchEffects> {
+        Arc::new(LaunchEffects {
+            costs: vec![BlockCost::default(); blocks],
+            writes: vec![(0, SlotData::U32(vec![1, 2, 3]))],
+        })
+    }
+
+    #[test]
+    fn roundtrip_and_stats() {
+        let _g = test_guard();
+        reset();
+        assert!(lookup(&key(1)).is_none());
+        insert(key(1), effects(4));
+        let got = lookup(&key(1)).expect("cached");
+        assert_eq!(got.costs.len(), 4);
+        assert!(lookup(&key(2)).is_none(), "params are part of the key");
+        assert_eq!(stats(), (1, 2));
+        reset();
+        assert_eq!(stats(), (0, 0));
+        assert!(lookup(&key(1)).is_none());
+    }
+
+    #[test]
+    fn double_insert_counts_bytes_once() {
+        let _g = test_guard();
+        reset();
+        insert(key(7), effects(2));
+        insert(key(7), effects(2));
+        let c = cache().lock().unwrap();
+        let entry_bytes = effects(2).bytes();
+        assert_eq!(c.bytes, entry_bytes);
+    }
+}

@@ -52,6 +52,75 @@ struct Active {
 
 const EPS: f64 = 1e-9;
 
+/// Reusable scheduler working memory.
+///
+/// Everything the fluid loop needs per interval — per-SM aggregates, the
+/// water-filling worklists, the telemetry accumulators, the shuffled
+/// dispatch order and the active-block table — lives here, so a launch
+/// driven through [`run_launch_pooled`] performs **zero heap allocations
+/// per scheduling interval** once the launch is set up (a debug assertion
+/// in the loop enforces this). A [`crate::device::Device`] owns one and
+/// reuses it across every launch of the program run.
+#[derive(Default)]
+pub struct SchedScratch {
+    /// Blocks currently resident on some SM.
+    active: Vec<Active>,
+    /// Per-SM resident-block count.
+    sm_resident: Vec<usize>,
+    /// Per-SM resident warps. `Active::warps` is integer-valued, so this
+    /// f64 sum is exact and can be maintained incrementally on dispatch
+    /// and retire without perturbing the per-interval rate math.
+    sm_warps: Vec<f64>,
+    /// Per-SM count of blocks still draining their compute stream,
+    /// maintained incrementally (dispatch: +1, stream drain: -1).
+    sm_demand: Vec<u32>,
+    /// `level_mask[r]` = bitmask of SMs with exactly `r` resident blocks.
+    /// Together with `min_level` this answers "first least-loaded SM" in
+    /// O(1) instead of a scan over all SMs per dispatch.
+    level_mask: Vec<u64>,
+    /// Water-filling worklists (indices into `active`).
+    uncapped: Vec<usize>,
+    next_uncapped: Vec<usize>,
+    /// Telemetry per-SM accumulators for the current interval.
+    sm_watts: Vec<f64>,
+    sm_issue: Vec<f64>,
+    /// Window-shuffled dispatch order for the current launch.
+    order: Vec<u32>,
+}
+
+/// Run one kernel launch through the fluid model with a private scratch.
+///
+/// Convenience wrapper over [`run_launch_pooled`]; callers issuing many
+/// launches (the device) should hold a [`SchedScratch`] and use the pooled
+/// entry point directly.
+#[allow(clippy::too_many_arguments)]
+pub fn run_launch(
+    cfg: &DeviceConfig,
+    rng: &mut SmallRng,
+    trace: &mut PowerTrace,
+    grid: u32,
+    block_threads: u32,
+    resources: &KernelResources,
+    work_multiplier: f64,
+    launch_id: u32,
+    telemetry: Option<&dyn TelemetrySink>,
+    exec: impl FnMut(u32) -> BlockCost,
+) -> SchedOutcome {
+    run_launch_pooled(
+        cfg,
+        rng,
+        trace,
+        grid,
+        block_threads,
+        resources,
+        work_multiplier,
+        launch_id,
+        telemetry,
+        exec,
+        &mut SchedScratch::default(),
+    )
+}
+
 /// Run one kernel launch through the fluid model.
 ///
 /// `exec` materializes block `i`'s cost by running it functionally; it is
@@ -68,8 +137,11 @@ const EPS: f64 = 1e-9;
 /// launch's trace energy. `launch_id` tags every event with the caller's
 /// launch ordinal. With `telemetry` `None` the instrumentation reduces to a
 /// branch per site.
+///
+/// `scratch` is caller-owned working memory; reusing one across launches
+/// makes the steady-state interval loop allocation-free.
 #[allow(clippy::too_many_arguments)]
-pub fn run_launch(
+pub fn run_launch_pooled(
     cfg: &DeviceConfig,
     rng: &mut SmallRng,
     trace: &mut PowerTrace,
@@ -80,8 +152,10 @@ pub fn run_launch(
     launch_id: u32,
     telemetry: Option<&dyn TelemetrySink>,
     mut exec: impl FnMut(u32) -> BlockCost,
+    scratch: &mut SchedScratch,
 ) -> SchedOutcome {
     assert!(grid >= 1, "grid must have at least one block");
+    assert!(cfg.num_sms <= 64, "the dispatch level masks hold 64 SMs");
     let occupancy = resident_blocks(cfg, block_threads, resources);
     let p = &cfg.power;
     let vc2 = cfg.clocks.core_vrel * cfg.clocks.core_vrel;
@@ -96,8 +170,46 @@ pub fn run_launch(
     let mut energy = 0.0f64;
     let mut next_block = 0u32;
     let mut completed = 0u32;
-    let mut sm_resident = vec![0usize; cfg.num_sms];
-    let mut active: Vec<Active> = Vec::with_capacity(cfg.num_sms * occupancy);
+
+    let slots = cfg.num_sms * occupancy;
+    let SchedScratch {
+        active,
+        sm_resident,
+        sm_warps,
+        sm_demand,
+        level_mask,
+        uncapped,
+        next_uncapped,
+        sm_watts,
+        sm_issue,
+        order,
+    } = scratch;
+    active.clear();
+    active.reserve(slots);
+    sm_resident.clear();
+    sm_resident.resize(cfg.num_sms, 0);
+    sm_warps.clear();
+    sm_warps.resize(cfg.num_sms, 0.0);
+    sm_demand.clear();
+    sm_demand.resize(cfg.num_sms, 0);
+    level_mask.clear();
+    level_mask.resize(occupancy + 1, 0);
+    level_mask[0] = if cfg.num_sms == 64 {
+        u64::MAX
+    } else {
+        (1u64 << cfg.num_sms) - 1
+    };
+    // Lowest residency level with a resident SM: the invariant that makes
+    // "first least-loaded SM" a trailing_zeros instead of a scan.
+    let mut min_level = 0usize;
+    uncapped.clear();
+    uncapped.reserve(slots);
+    next_uncapped.clear();
+    next_uncapped.reserve(slots);
+    sm_watts.clear();
+    sm_watts.resize(cfg.num_sms, 0.0);
+    sm_issue.clear();
+    sm_issue.resize(cfg.num_sms, 0.0);
 
     // Execution order: on real hardware, blocks that are co-resident
     // interleave nondeterministically and the interleaving shifts with the
@@ -107,28 +219,50 @@ pub fn run_launch(
     // changing the frequency genuinely changes the order racy kernels
     // observe — the paper's timing-dependent-irregularity mechanism.
     let window = (cfg.num_sms * occupancy * 2).max(2);
-    let order: Vec<u32> = {
-        let mut v: Vec<u32> = (0..grid).collect();
-        if cfg.interleave_shuffle {
-            for chunk in v.chunks_mut(window) {
-                for i in (1..chunk.len()).rev() {
-                    let j = rng.gen_range(0..=i);
-                    chunk.swap(i, j);
-                }
+    order.clear();
+    order.extend(0..grid);
+    if cfg.interleave_shuffle {
+        for chunk in order.chunks_mut(window) {
+            for i in (1..chunk.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                chunk.swap(i, j);
             }
         }
-        v
-    };
+    }
 
     let mut dram_contended = false;
+    // Blocks with an undrained memory stream, maintained incrementally.
+    let mut mem_demanders = 0u32;
+
+    #[cfg(debug_assertions)]
+    macro_rules! scratch_caps {
+        () => {
+            (
+                active.capacity(),
+                sm_resident.capacity(),
+                sm_warps.capacity(),
+                sm_demand.capacity(),
+                level_mask.capacity(),
+                uncapped.capacity(),
+                next_uncapped.capacity(),
+                sm_watts.capacity(),
+                sm_issue.capacity(),
+                order.capacity(),
+            )
+        };
+    }
+    #[cfg(debug_assertions)]
+    let caps0 = scratch_caps!();
 
     while completed < grid {
-        // Dispatch while there are free occupancy slots.
+        // Dispatch while there are free occupancy slots, always to the
+        // lowest-numbered least-loaded SM (the level masks track the
+        // residency histogram so this needs no per-dispatch scan).
         while next_block < grid {
-            let sm = (0..cfg.num_sms).min_by_key(|&s| sm_resident[s]).unwrap();
-            if sm_resident[sm] >= occupancy {
+            if min_level >= occupancy {
                 break;
             }
+            let sm = level_mask[min_level].trailing_zeros() as usize;
             let block = order[next_block as usize];
             let cost = exec(block);
             let jitter = 1.0 + cfg.jitter * (rng.gen::<f64>() - 0.5) * 2.0;
@@ -136,6 +270,7 @@ pub fn run_launch(
             let comp = (cost.issue_cycles * mult).max(100.0);
             let mem = cost.dram_bytes_with_ecc(cfg) * mult;
             let floor = if cost.transactions > 0 { dram_lat } else { 0.0 } + 0.5e-6;
+            let warps = cost.warps.max(1) as f64;
             active.push(Active {
                 sm,
                 block,
@@ -146,11 +281,29 @@ pub fn run_launch(
                 comp_energy: cost.comp_energy(p) * mult * vc2,
                 mem_energy: cost.mem_energy(p) * mult * vm2 * ecc_energy_factor,
                 min_end: now + floor,
-                warps: cost.warps.max(1) as f64,
+                warps,
                 rate_c: 0.0,
                 rate_m: 0.0,
             });
-            sm_resident[sm] += 1;
+            // The occupancy slot the block lands in is the SM's residency
+            // *before* this dispatch.
+            let slot = sm_resident[sm];
+            let bit = 1u64 << sm;
+            level_mask[min_level] &= !bit;
+            level_mask[min_level + 1] |= bit;
+            sm_resident[sm] = slot + 1;
+            if level_mask[min_level] == 0 {
+                // This SM was (one of) the last at the minimum level and
+                // just moved up one: the new minimum is exactly one higher.
+                min_level += 1;
+            }
+            sm_warps[sm] += warps;
+            // `comp` is clamped to >= 100 cycles, so a fresh block always
+            // demands compute.
+            sm_demand[sm] += 1;
+            if mem > EPS {
+                mem_demanders += 1;
+            }
             next_block += 1;
             if let Some(sink) = telemetry {
                 sink.record(Event::BlockDispatch {
@@ -158,7 +311,7 @@ pub fn run_launch(
                     launch: launch_id,
                     block,
                     sm: sm as u16,
-                    slot: sm_resident[sm] as u16,
+                    slot: slot as u16,
                 });
             }
         }
@@ -166,39 +319,29 @@ pub fn run_launch(
         // Compute rates for this interval.
         // Compute: each SM's issue bandwidth, derated when too few warps
         // are resident to hide latency, shared among its compute-hungry
-        // blocks.
-        let mut sm_warps = vec![0.0f64; cfg.num_sms];
-        let mut sm_demand = vec![0u32; cfg.num_sms];
-        for b in &active {
-            sm_warps[b.sm] += b.warps;
-            if b.comp_rem > EPS {
-                sm_demand[b.sm] += 1;
-            }
-        }
-        for b in &mut active {
+        // blocks. The per-SM warp/demand aggregates are maintained
+        // incrementally on dispatch/retire/stream-drain.
+        for b in active.iter_mut() {
             b.rate_c = if b.comp_rem > EPS {
                 let eff = (sm_warps[b.sm] / cfg.latency_hiding_warps).min(1.0);
                 core_hz * eff / sm_demand[b.sm] as f64
             } else {
                 0.0
             };
+            b.rate_m = 0.0;
         }
         // Memory: global DRAM bandwidth water-filled over demanding blocks,
         // each capped by its memory-level parallelism.
         let mut remaining_bw = dram_bps;
-        for b in &mut active {
-            b.rate_m = 0.0;
-        }
-        let mut uncapped: Vec<usize> = (0..active.len())
-            .filter(|&i| active[i].mem_rem > EPS)
-            .collect();
+        uncapped.clear();
+        uncapped.extend((0..active.len()).filter(|&i| active[i].mem_rem > EPS));
         for _ in 0..3 {
             if uncapped.is_empty() || remaining_bw <= EPS {
                 break;
             }
             let fair = remaining_bw / uncapped.len() as f64;
-            let mut next_uncapped = Vec::with_capacity(uncapped.len());
-            for &i in &uncapped {
+            next_uncapped.clear();
+            for &i in uncapped.iter() {
                 let cap = active[i].warps * cfg.mlp_per_warp * 128.0 / dram_lat;
                 let take = fair.min(cap - active[i].rate_m);
                 if take > EPS {
@@ -209,12 +352,12 @@ pub fn run_launch(
                     }
                 }
             }
-            uncapped = next_uncapped;
+            std::mem::swap(uncapped, next_uncapped);
         }
 
         // Time to the next event.
         let mut dt = f64::INFINITY;
-        for b in &active {
+        for b in active.iter() {
             if b.rate_c > EPS && b.comp_rem > EPS {
                 dt = dt.min(b.comp_rem / b.rate_c);
             }
@@ -226,14 +369,26 @@ pub fn run_launch(
             }
         }
         if !dt.is_finite() {
-            // Only latency floors remain and they are all in the past.
-            dt = 1e-7;
+            // Nothing is draining and no latency floor lies ahead of
+            // `now`. The only legitimate way here is floors that rounding
+            // left marginally in the past, so jump straight to the
+            // furthest one and let its blocks retire this interval —
+            // instead of crawling toward it in fixed 1e-7 steps. A block
+            // that still has stream work but zero rate would spin forever;
+            // fail loudly instead.
+            assert!(
+                !active.iter().any(|b| b.comp_rem > EPS || b.mem_rem > EPS),
+                "scheduler stall: active block has stream work but zero rate \
+                 (is mlp_per_warp or the issue rate zero?)"
+            );
+            let horizon = active.iter().map(|b| b.min_end).fold(now, f64::max);
+            dt = horizon - now;
         }
         let dt = dt.max(1e-9);
 
         // Power over this interval.
         let mut watts = p.idle_w + p.active_overhead_w * vc2;
-        for b in &active {
+        for b in active.iter() {
             watts += b.comp_energy * (b.rate_c / b.comp_total.max(EPS));
             watts += b.mem_energy * (b.rate_m / b.mem_total);
         }
@@ -249,9 +404,9 @@ pub fn run_launch(
                 watts: p.idle_w + p.active_overhead_w * vc2,
                 phase: BoardPhase::KernelStatic,
             });
-            let mut sm_watts = vec![0.0f64; cfg.num_sms];
-            let mut sm_issue = vec![0.0f64; cfg.num_sms];
-            for b in &active {
+            sm_watts.fill(0.0);
+            sm_issue.fill(0.0);
+            for b in active.iter() {
                 sm_watts[b.sm] += b.comp_energy * (b.rate_c / b.comp_total.max(EPS))
                     + b.mem_energy * (b.rate_m / b.mem_total);
                 sm_issue[b.sm] += b.rate_c / core_hz;
@@ -269,7 +424,7 @@ pub fn run_launch(
                 }
             }
             let bytes_per_s: f64 = active.iter().map(|b| b.rate_m).sum();
-            let demanders = active.iter().filter(|b| b.mem_rem > EPS).count() as u16;
+            let demanders = mem_demanders as u16;
             sink.record(Event::DramInterval {
                 t0: now,
                 t1: now + dt,
@@ -289,11 +444,14 @@ pub fn run_launch(
         energy += watts * dt;
         now += dt;
 
-        // Advance progress and retire completed blocks.
+        // Advance progress and retire completed blocks. Stream drains and
+        // retires update the per-SM aggregates in place.
         let mut i = 0;
         while i < active.len() {
             {
                 let b = &mut active[i];
+                let was_comp = b.comp_rem > EPS;
+                let was_mem = b.mem_rem > EPS;
                 b.comp_rem -= b.rate_c * dt;
                 b.mem_rem -= b.rate_m * dt;
                 // Clamp float residue: a stream within a relative epsilon
@@ -305,13 +463,28 @@ pub fn run_launch(
                 if b.mem_rem <= 1e-9 * b.mem_total + EPS {
                     b.mem_rem = 0.0;
                 }
+                if was_comp && b.comp_rem <= EPS {
+                    sm_demand[b.sm] -= 1;
+                }
+                if was_mem && b.mem_rem <= EPS {
+                    mem_demanders -= 1;
+                }
             }
             let done = {
                 let b = &active[i];
                 b.comp_rem <= EPS && b.mem_rem <= EPS && now + 1e-12 >= b.min_end
             };
             if done {
-                sm_resident[active[i].sm] -= 1;
+                let sm = active[i].sm;
+                let r = sm_resident[sm];
+                let bit = 1u64 << sm;
+                level_mask[r] &= !bit;
+                level_mask[r - 1] |= bit;
+                sm_resident[sm] = r - 1;
+                if r - 1 < min_level {
+                    min_level = r - 1;
+                }
+                sm_warps[sm] -= active[i].warps;
                 if let Some(sink) = telemetry {
                     sink.record(Event::BlockComplete {
                         t: now,
@@ -326,6 +499,15 @@ pub fn run_launch(
                 i += 1;
             }
         }
+
+        // The tentpole invariant: once a launch is set up, the interval
+        // loop must not grow (= reallocate) any scratch vector.
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(
+            scratch_caps!(),
+            caps0,
+            "scheduler interval allocated: a scratch vector grew"
+        );
     }
 
     if dram_contended {
@@ -660,6 +842,137 @@ mod tests {
         let observed = run(Some(&recorder));
         assert_eq!(silent, observed);
         assert!(!recorder.is_empty());
+    }
+
+    #[test]
+    fn dispatch_records_the_occupied_slot() {
+        use sim_telemetry::EventTrace;
+        // 26 blocks over 13 SMs, all dispatched before any completes: each
+        // SM receives exactly two blocks, into slots 0 then 1.
+        let cfg = DeviceConfig::k20c(ClockConfig::k20_default(), false);
+        let sink = EventTrace::with_capacity(1 << 16);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut trace = PowerTrace::new();
+        run_launch(
+            &cfg,
+            &mut rng,
+            &mut trace,
+            26,
+            256,
+            &KernelResources::default(),
+            1.0,
+            0,
+            Some(&sink),
+            |_| compute_block(100_000),
+        );
+        let mut per_sm: Vec<Vec<u16>> = vec![Vec::new(); cfg.num_sms];
+        for e in sink.take() {
+            if let Event::BlockDispatch { sm, slot, .. } = e {
+                per_sm[sm as usize].push(slot);
+            }
+        }
+        for (sm, slots) in per_sm.iter().enumerate() {
+            assert_eq!(slots, &[0, 1], "sm {sm} got slots {slots:?}");
+        }
+    }
+
+    #[test]
+    fn latency_floor_grid_completes_without_crawling() {
+        use sim_telemetry::EventTrace;
+        // Blocks with no memory traffic to drain but a (huge) DRAM latency
+        // floor: the scheduler must jump across the floor in one interval,
+        // never crawl toward it in fixed sub-floor steps.
+        let mut cfg = DeviceConfig::k20c(ClockConfig::k20_default(), false);
+        cfg.jitter = 0.0;
+        cfg.dram_latency_s = 5e-3; // 50_000x a 1e-7 crawl step
+        let cost = BlockCost {
+            threads: 256,
+            warps: 8,
+            transactions: 1, // arms the latency floor
+            ..BlockCost::default()
+        };
+        let sink = EventTrace::with_capacity(1 << 16);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut trace = PowerTrace::new();
+        let o = run_launch(
+            &cfg,
+            &mut rng,
+            &mut trace,
+            26,
+            256,
+            &KernelResources::default(),
+            1.0,
+            0,
+            Some(&sink),
+            |_| cost,
+        );
+        assert!(o.duration_s >= cfg.dram_latency());
+        let intervals = sink
+            .take()
+            .iter()
+            .filter(|e| matches!(e, Event::BoardInterval { .. }))
+            .count();
+        assert!(intervals < 20, "floor wait took {intervals} intervals");
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduler stall")]
+    fn zero_rate_stall_fails_loudly_instead_of_spinning() {
+        // With no memory-level parallelism a memory stream can never
+        // drain. The old fallback crawled forever in 1e-7 steps; now the
+        // scheduler detects the stall.
+        let mut cfg = DeviceConfig::k20c(ClockConfig::k20_default(), false);
+        cfg.jitter = 0.0;
+        cfg.mlp_per_warp = 0.0;
+        sched(&cfg, 4, memory_block(1_000_000.0));
+    }
+
+    #[test]
+    fn pooled_scratch_matches_fresh_and_stops_growing() {
+        let cfg = DeviceConfig::k20c(ClockConfig::k20_default(), false);
+        let run = |scratch: &mut SchedScratch| {
+            let mut rng = SmallRng::seed_from_u64(9);
+            let mut trace = PowerTrace::new();
+            let o = run_launch_pooled(
+                &cfg,
+                &mut rng,
+                &mut trace,
+                130,
+                256,
+                &KernelResources::default(),
+                1.0,
+                0,
+                None,
+                |i| {
+                    if i % 2 == 0 {
+                        compute_block(500_000)
+                    } else {
+                        memory_block(2_000_000.0)
+                    }
+                },
+                scratch,
+            );
+            (o.duration_s, o.energy_j, trace.end_time())
+        };
+        let mut pooled = SchedScratch::default();
+        let first = run(&mut pooled);
+        let caps = (
+            pooled.active.capacity(),
+            pooled.uncapped.capacity(),
+            pooled.order.capacity(),
+        );
+        // Re-running on warm scratch is bit-identical to the first (fresh)
+        // run and allocates nothing new.
+        let second = run(&mut pooled);
+        assert_eq!(first, second);
+        assert_eq!(
+            caps,
+            (
+                pooled.active.capacity(),
+                pooled.uncapped.capacity(),
+                pooled.order.capacity(),
+            )
+        );
     }
 
     #[test]

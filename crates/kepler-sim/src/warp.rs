@@ -8,7 +8,7 @@
 //! inactive — the hardware would execute those paths serially, which is
 //! exactly what charging full slot cost for partial masks models.
 
-use crate::coalesce::coalesce;
+use crate::coalesce::{coalesce, SEGMENT_BYTES};
 use crate::cost::BlockCost;
 use crate::ops::{Op, OpKind};
 
@@ -23,142 +23,447 @@ const SHM_BASE_CYCLES: f64 = 0.25;
 /// Extra cycles per additional conflicting bank access.
 const SHM_CONFLICT_CYCLES: f64 = 0.5;
 
+/// Reusable scratch for [`reduce_warp_with`]: every per-call allocation of
+/// the reduction hoisted out, so a pooled scratch makes warp reduction
+/// allocation-free in steady state.
+/// The fixed arrays are per-kind lane buffers for the slot being reduced;
+/// they are seeded lazily (a kind's state is initialized the first time the
+/// kind appears in a slot), so stale data from earlier slots is never read
+/// and nothing needs clearing between slots.
+#[derive(Default)]
+pub struct WarpScratch {
+    kinds: Vec<OpKind>,
+    sorted: Vec<u64>,
+    gld_a: [u64; 32],
+    gld_b: [u32; 32],
+    gst_a: [u64; 32],
+    gst_b: [u32; 32],
+    atm_a: [u64; 32],
+    shm_w: [u32; 32],
+    comp: [(u32, u64); 7],
+}
+
+/// Bit index of an op's kind in the per-slot seen mask: compute classes
+/// occupy bits 0..7, the memory/shared kinds the bits above.
+#[inline]
+fn op_bit(op: Op) -> u32 {
+    match op {
+        Op::Comp { class, .. } => class.idx() as u32,
+        Op::Gld { .. } => 7,
+        Op::Gst { .. } => 8,
+        Op::GAtom { .. } => 9,
+        Op::Shm { .. } => 10,
+    }
+}
+
 /// Reduce the op streams of one warp (up to 32 threads) into `cost`.
 /// Streams are consumed logically but not mutated; the caller clears them.
 pub fn reduce_warp(streams: &[Vec<Op>], cost: &mut BlockCost) {
+    reduce_warp_with(streams, cost, &mut WarpScratch::default());
+}
+
+/// [`reduce_warp`] with caller-pooled scratch (the hot path).
+///
+/// Live lanes are tracked in a bitmask: a lane whose stream has ended is
+/// visited exactly once more (to clear its bit), so gather work is
+/// proportional to the *sum* of stream lengths, not `max_len * 32` —
+/// divergent streams (data-dependent neighbour loops) stop paying for their
+/// ended peers. A slot where every live lane records the same op kind (the
+/// overwhelmingly common case) folds in a single pass; mixed-kind slots
+/// take the generic per-kind split.
+pub fn reduce_warp_with(streams: &[Vec<Op>], cost: &mut BlockCost, scr: &mut WarpScratch) {
     debug_assert!(streams.len() <= 32);
-    let max_len = streams.iter().map(Vec::len).max().unwrap_or(0);
+    let mut max_len = 0usize;
+    let mut active: u32 = 0;
+    for (i, s) in streams.iter().enumerate() {
+        let l = s.len();
+        if l > 0 {
+            active |= 1 << i;
+            if l > max_len {
+                max_len = l;
+            }
+        }
+    }
     if max_len == 0 {
         return;
     }
-    // Scratch reused across slots.
-    let mut addrs: Vec<u64> = Vec::with_capacity(32);
-    let mut bytes: Vec<u32> = Vec::with_capacity(32);
-    let mut kinds: Vec<OpKind> = Vec::with_capacity(4);
+    // Flat slice table: lane -> ops, hoisted so the slot loop does one
+    // indexed load per lane instead of re-derefing `Vec` headers through a
+    // bounds-checked outer slice.
+    let mut lanes: [&[Op]; 32] = [&[]; 32];
+    for (i, s) in streams.iter().enumerate() {
+        lanes[i] = s.as_slice();
+    }
 
     for j in 0..max_len {
-        kinds.clear();
-        for s in streams {
-            if let Some(op) = s.get(j) {
-                let k = op.kind();
-                if !kinds.contains(&k) {
-                    kinds.push(k);
-                }
+        // Find the lead lane for this slot, retiring lanes that ended.
+        let mut m = active;
+        let mut lead = None;
+        while m != 0 {
+            let i = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let s = lanes[i];
+            if j >= s.len() {
+                active &= !(1u32 << i);
+                continue;
+            }
+            lead = Some(s[j]);
+            break;
+        }
+        let Some(op0) = lead else {
+            continue;
+        };
+
+        // One pass over the remaining live lanes: each lane's op is
+        // dispatched into per-kind state as it is read. A kind's state is
+        // seeded the first time the kind appears, so the scratch buffers
+        // never need clearing. `scr.kinds` stays empty while the slot is
+        // uniform; the first foreign kind starts the first-seen kind list.
+        let lead_bit = op_bit(op0);
+        let mut seen: u32 = 1 << lead_bit;
+        scr.kinds.clear();
+        let (mut gld_n, mut gst_n, mut atm_n, mut shm_n) = (0usize, 0usize, 0usize, 0usize);
+        // Closed-form state for a memory lead kind while the lane addresses
+        // stay non-decreasing (the usual tid-ordered pattern): distinct
+        // segments via a running high-water mark, useful bytes, and the
+        // atomic serialization depth (max run of equal addresses — exact on
+        // sorted input). Only consulted if the slot finishes uniform.
+        let mut monotonic = true;
+        let mut prev = 0u64;
+        let mut hi = 0u64;
+        let mut txns = 0u64;
+        let mut useful = 0u32;
+        let mut depth = 1u32;
+        let mut run = 1u32;
+        match op0 {
+            Op::Comp { class, n } => scr.comp[class.idx()] = (n, n as u64),
+            Op::Gld { addr, bytes } => {
+                scr.gld_a[0] = addr;
+                scr.gld_b[0] = bytes;
+                gld_n = 1;
+                useful = bytes;
+                prev = addr;
+                hi = (addr + bytes.max(1) as u64 - 1) / SEGMENT_BYTES;
+                txns = hi - addr / SEGMENT_BYTES + 1;
+            }
+            Op::Gst { addr, bytes } => {
+                scr.gst_a[0] = addr;
+                scr.gst_b[0] = bytes;
+                gst_n = 1;
+                useful = bytes;
+                prev = addr;
+                hi = (addr + bytes.max(1) as u64 - 1) / SEGMENT_BYTES;
+                txns = hi - addr / SEGMENT_BYTES + 1;
+            }
+            Op::GAtom { addr } => {
+                scr.atm_a[0] = addr;
+                atm_n = 1;
+                prev = addr;
+                hi = (addr + 3) / SEGMENT_BYTES;
+                txns = hi - addr / SEGMENT_BYTES + 1;
+            }
+            Op::Shm { word } => {
+                scr.shm_w[0] = word;
+                shm_n = 1;
             }
         }
-        // Each distinct kind at this slot executes as its own (divergent)
-        // warp instruction.
-        for &kind in &kinds {
-            match kind {
-                OpKind::Comp(class) => {
-                    let mut n_max = 0u32;
-                    let mut lane_ops = 0u64;
-                    for s in streams {
-                        if let Some(Op::Comp { class: c, n }) = s.get(j) {
-                            if *c == class {
-                                n_max = n_max.max(*n);
-                                lane_ops += *n as u64;
+        while m != 0 {
+            let i = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let s = lanes[i];
+            if j >= s.len() {
+                active &= !(1u32 << i);
+                continue;
+            }
+            let op = s[j];
+            let bit = op_bit(op);
+            if seen & (1 << bit) == 0 {
+                // First lane of a new kind: record first-seen order and
+                // seed this kind's state.
+                seen |= 1 << bit;
+                if scr.kinds.is_empty() {
+                    scr.kinds.push(op0.kind());
+                }
+                scr.kinds.push(op.kind());
+                match op {
+                    Op::Comp { class, n } => scr.comp[class.idx()] = (n, n as u64),
+                    Op::Gld { addr, bytes } => {
+                        scr.gld_a[0] = addr;
+                        scr.gld_b[0] = bytes;
+                        gld_n = 1;
+                    }
+                    Op::Gst { addr, bytes } => {
+                        scr.gst_a[0] = addr;
+                        scr.gst_b[0] = bytes;
+                        gst_n = 1;
+                    }
+                    Op::GAtom { addr } => {
+                        scr.atm_a[0] = addr;
+                        atm_n = 1;
+                    }
+                    Op::Shm { word } => {
+                        scr.shm_w[0] = word;
+                        shm_n = 1;
+                    }
+                }
+                continue;
+            }
+            match op {
+                Op::Comp { class, n } => {
+                    let c = &mut scr.comp[class.idx()];
+                    if n > c.0 {
+                        c.0 = n;
+                    }
+                    c.1 += n as u64;
+                }
+                Op::Gld { addr, bytes } => {
+                    scr.gld_a[gld_n] = addr;
+                    scr.gld_b[gld_n] = bytes;
+                    gld_n += 1;
+                    if lead_bit == 7 && monotonic {
+                        if addr < prev {
+                            monotonic = false;
+                        } else {
+                            prev = addr;
+                            useful += bytes;
+                            let first = addr / SEGMENT_BYTES;
+                            let last = (addr + bytes.max(1) as u64 - 1) / SEGMENT_BYTES;
+                            if first > hi {
+                                txns += last - first + 1;
+                                hi = last;
+                            } else if last > hi {
+                                txns += last - hi;
+                                hi = last;
                             }
                         }
                     }
+                }
+                Op::Gst { addr, bytes } => {
+                    scr.gst_a[gst_n] = addr;
+                    scr.gst_b[gst_n] = bytes;
+                    gst_n += 1;
+                    if lead_bit == 8 && monotonic {
+                        if addr < prev {
+                            monotonic = false;
+                        } else {
+                            prev = addr;
+                            useful += bytes;
+                            let first = addr / SEGMENT_BYTES;
+                            let last = (addr + bytes.max(1) as u64 - 1) / SEGMENT_BYTES;
+                            if first > hi {
+                                txns += last - first + 1;
+                                hi = last;
+                            } else if last > hi {
+                                txns += last - hi;
+                                hi = last;
+                            }
+                        }
+                    }
+                }
+                Op::GAtom { addr } => {
+                    scr.atm_a[atm_n] = addr;
+                    atm_n += 1;
+                    if lead_bit == 9 && monotonic {
+                        if addr < prev {
+                            monotonic = false;
+                        } else {
+                            if addr == prev {
+                                run += 1;
+                                if run > depth {
+                                    depth = run;
+                                }
+                            } else {
+                                run = 1;
+                            }
+                            prev = addr;
+                            let first = addr / SEGMENT_BYTES;
+                            let last = (addr + 3) / SEGMENT_BYTES;
+                            if first > hi {
+                                txns += last - first + 1;
+                                hi = last;
+                            } else if last > hi {
+                                txns += last - hi;
+                                hi = last;
+                            }
+                        }
+                    }
+                }
+                Op::Shm { word } => {
+                    scr.shm_w[shm_n] = word;
+                    shm_n += 1;
+                }
+            }
+        }
+
+        if scr.kinds.is_empty() {
+            // Uniform slot: one warp instruction of the lead kind.
+            match op0 {
+                Op::Comp { class, .. } => {
+                    let (n_max, lane_ops) = scr.comp[class.idx()];
                     cost.issue_cycles += class.cycles_per_warp_op() * n_max as f64;
                     cost.lane_ops[class.idx()] += lane_ops;
                     cost.slots += n_max as u64;
-                    // Lanes are active for their own op count, idle for the
-                    // rest of the merged run.
                     cost.active_lanes += lane_ops;
                 }
-                OpKind::Gld | OpKind::Gst => {
-                    addrs.clear();
-                    bytes.clear();
-                    for s in streams {
-                        match s.get(j) {
-                            Some(Op::Gld { addr, bytes: b }) if kind == OpKind::Gld => {
-                                addrs.push(*addr);
-                                bytes.push(*b);
-                            }
-                            Some(Op::Gst { addr, bytes: b }) if kind == OpKind::Gst => {
-                                addrs.push(*addr);
-                                bytes.push(*b);
-                            }
-                            _ => {}
-                        }
+                Op::Gld { .. } => {
+                    if monotonic {
+                        accumulate_global(cost, txns.min(64) as u32, useful, gld_n as u32);
+                    } else {
+                        cost_global(cost, &scr.gld_a[..gld_n], &scr.gld_b[..gld_n]);
                     }
-                    let c = coalesce(&addrs, &bytes);
-                    cost.issue_cycles +=
-                        LSU_BASE_CYCLES + REPLAY_CYCLES * (c.transactions.saturating_sub(1)) as f64;
-                    cost.transactions += c.transactions as u64;
-                    cost.ideal_transactions += c.ideal_transactions() as u64;
-                    cost.dram_bytes += c.dram_bytes() as f64;
-                    cost.useful_bytes += c.useful_bytes as f64;
-                    cost.slots += 1;
-                    cost.active_lanes += c.lanes as u64;
                 }
-                OpKind::GAtom => {
-                    addrs.clear();
-                    bytes.clear();
-                    for s in streams {
-                        if let Some(Op::GAtom { addr }) = s.get(j) {
-                            addrs.push(*addr);
-                            bytes.push(4);
-                        }
+                Op::Gst { .. } => {
+                    if monotonic {
+                        accumulate_global(cost, txns.min(64) as u32, useful, gst_n as u32);
+                    } else {
+                        cost_global(cost, &scr.gst_a[..gst_n], &scr.gst_b[..gst_n]);
                     }
-                    let c = coalesce(&addrs, &bytes);
-                    // Same-address atomics serialize: the max multiplicity
-                    // of any single address is the serialization depth.
-                    let mut sorted = addrs.clone();
-                    sorted.sort_unstable();
-                    let mut depth = 1u32;
-                    let mut run = 1u32;
-                    for w in sorted.windows(2) {
-                        if w[0] == w[1] {
-                            run += 1;
-                            depth = depth.max(run);
-                        } else {
-                            run = 1;
-                        }
-                    }
-                    cost.issue_cycles += LSU_BASE_CYCLES
-                        + REPLAY_CYCLES * c.transactions as f64
-                        + ATOMIC_SERIAL_CYCLES * depth as f64;
-                    cost.transactions += c.transactions as u64;
-                    cost.ideal_transactions += c.ideal_transactions() as u64;
-                    cost.dram_bytes += c.dram_bytes() as f64;
-                    cost.useful_bytes += c.useful_bytes as f64;
-                    cost.atomics += addrs.len() as u64;
-                    cost.slots += 1;
-                    cost.active_lanes += addrs.len() as u64;
                 }
-                OpKind::Shm => {
-                    // Bank-conflict analysis: 32 banks, 4-byte words.
-                    // Distinct words mapping to the same bank serialize;
-                    // identical words broadcast for free.
-                    let mut words: Vec<u32> = Vec::with_capacity(32);
-                    for s in streams {
-                        if let Some(Op::Shm { word }) = s.get(j) {
-                            words.push(*word);
-                        }
+                Op::GAtom { .. } => {
+                    if monotonic {
+                        accumulate_atomic(cost, txns.min(64) as u32, depth, atm_n as u32);
+                    } else {
+                        cost_atomic(cost, &scr.atm_a[..atm_n], &mut scr.sorted);
                     }
-                    let lanes = words.len() as u64;
-                    words.sort_unstable();
-                    words.dedup();
-                    let mut per_bank = [0u8; 32];
-                    let mut degree = 1u8;
-                    for w in &words {
-                        let b = (w % 32) as usize;
-                        per_bank[b] += 1;
-                        degree = degree.max(per_bank[b]);
-                    }
-                    cost.issue_cycles +=
-                        SHM_BASE_CYCLES + SHM_CONFLICT_CYCLES * (degree - 1) as f64;
-                    cost.bank_conflict_cycles += SHM_CONFLICT_CYCLES * (degree - 1) as f64;
-                    cost.shared_accesses += lanes;
-                    cost.slots += 1;
-                    cost.active_lanes += lanes;
                 }
+                Op::Shm { .. } => cost_shared(cost, &mut scr.shm_w[..shm_n]),
             }
+        } else {
+            finalize_mixed(cost, scr, gld_n, gst_n, atm_n, shm_n);
         }
     }
+}
+
+/// Finalize a divergent slot: each kind present executes as its own warp
+/// instruction, in first-seen lane order, from the per-kind buffers the
+/// single gather pass filled.
+#[cold]
+fn finalize_mixed(
+    cost: &mut BlockCost,
+    scr: &mut WarpScratch,
+    gld_n: usize,
+    gst_n: usize,
+    atm_n: usize,
+    shm_n: usize,
+) {
+    let kinds = std::mem::take(&mut scr.kinds);
+    for &kind in &kinds {
+        match kind {
+            OpKind::Comp(class) => {
+                let (n_max, lane_ops) = scr.comp[class.idx()];
+                cost.issue_cycles += class.cycles_per_warp_op() * n_max as f64;
+                cost.lane_ops[class.idx()] += lane_ops;
+                cost.slots += n_max as u64;
+                cost.active_lanes += lane_ops;
+            }
+            OpKind::Gld => cost_global(cost, &scr.gld_a[..gld_n], &scr.gld_b[..gld_n]),
+            OpKind::Gst => cost_global(cost, &scr.gst_a[..gst_n], &scr.gst_b[..gst_n]),
+            OpKind::GAtom => cost_atomic(cost, &scr.atm_a[..atm_n], &mut scr.sorted),
+            OpKind::Shm => cost_shared(cost, &mut scr.shm_w[..shm_n]),
+        }
+    }
+    scr.kinds = kinds;
+}
+
+/// Accumulate one warp-wide global load/store from inline-coalesced totals.
+/// Produces exactly the numbers [`cost_global`] derives from a buffered
+/// [`coalesce`] call.
+fn accumulate_global(cost: &mut BlockCost, transactions: u32, useful: u32, lanes: u32) {
+    cost.issue_cycles += LSU_BASE_CYCLES + REPLAY_CYCLES * (transactions.saturating_sub(1)) as f64;
+    cost.transactions += transactions as u64;
+    cost.ideal_transactions += (useful as u64).div_ceil(SEGMENT_BYTES).max(1);
+    cost.dram_bytes += (transactions as u64 * SEGMENT_BYTES) as f64;
+    cost.useful_bytes += useful as f64;
+    cost.slots += 1;
+    cost.active_lanes += lanes as u64;
+}
+
+/// Accumulate one warp-wide global atomic from inline-coalesced totals.
+/// Produces exactly the numbers [`cost_atomic`] derives from the buffered
+/// path (atomics are 4 bytes per lane).
+fn accumulate_atomic(cost: &mut BlockCost, transactions: u32, depth: u32, lanes: u32) {
+    cost.issue_cycles +=
+        LSU_BASE_CYCLES + REPLAY_CYCLES * transactions as f64 + ATOMIC_SERIAL_CYCLES * depth as f64;
+    cost.transactions += transactions as u64;
+    cost.ideal_transactions += (lanes as u64 * 4).div_ceil(SEGMENT_BYTES).max(1);
+    cost.dram_bytes += (transactions as u64 * SEGMENT_BYTES) as f64;
+    cost.useful_bytes += (lanes * 4) as f64;
+    cost.atomics += lanes as u64;
+    cost.slots += 1;
+    cost.active_lanes += lanes as u64;
+}
+
+/// Cost one warp-wide global load/store over the gathered lane addresses.
+fn cost_global(cost: &mut BlockCost, addrs: &[u64], bytes: &[u32]) {
+    let c = coalesce(addrs, bytes);
+    cost.issue_cycles +=
+        LSU_BASE_CYCLES + REPLAY_CYCLES * (c.transactions.saturating_sub(1)) as f64;
+    cost.transactions += c.transactions as u64;
+    cost.ideal_transactions += c.ideal_transactions() as u64;
+    cost.dram_bytes += c.dram_bytes() as f64;
+    cost.useful_bytes += c.useful_bytes as f64;
+    cost.slots += 1;
+    cost.active_lanes += c.lanes as u64;
+}
+
+/// Lane byte widths for warp-wide atomics (always 4 bytes per lane).
+static ATOMIC_BYTES: [u32; 32] = [4; 32];
+
+/// Cost one warp-wide global atomic over the gathered lane addresses.
+/// `sorted` is scratch for the serialization-depth sort.
+fn cost_atomic(cost: &mut BlockCost, addrs: &[u64], sorted: &mut Vec<u64>) {
+    let c = coalesce(addrs, &ATOMIC_BYTES[..addrs.len()]);
+    // Same-address atomics serialize: the max multiplicity of any single
+    // address is the serialization depth.
+    sorted.clear();
+    sorted.extend_from_slice(addrs);
+    sorted.sort_unstable();
+    let mut depth = 1u32;
+    let mut run = 1u32;
+    for w in sorted.windows(2) {
+        if w[0] == w[1] {
+            run += 1;
+            depth = depth.max(run);
+        } else {
+            run = 1;
+        }
+    }
+    cost.issue_cycles += LSU_BASE_CYCLES
+        + REPLAY_CYCLES * c.transactions as f64
+        + ATOMIC_SERIAL_CYCLES * depth as f64;
+    cost.transactions += c.transactions as u64;
+    cost.ideal_transactions += c.ideal_transactions() as u64;
+    cost.dram_bytes += c.dram_bytes() as f64;
+    cost.useful_bytes += c.useful_bytes as f64;
+    cost.atomics += addrs.len() as u64;
+    cost.slots += 1;
+    cost.active_lanes += addrs.len() as u64;
+}
+
+/// Cost one warp-wide shared-memory access over the gathered words.
+/// Bank-conflict analysis: 32 banks, 4-byte words. Distinct words mapping
+/// to the same bank serialize; identical words broadcast for free.
+/// `words` is sorted in place; conflict degree counts distinct words only.
+fn cost_shared(cost: &mut BlockCost, words: &mut [u32]) {
+    let lanes = words.len() as u64;
+    words.sort_unstable();
+    let mut per_bank = [0u8; 32];
+    let mut degree = 1u8;
+    let mut prev = None;
+    for &w in words.iter() {
+        if prev == Some(w) {
+            continue;
+        }
+        prev = Some(w);
+        let b = (w % 32) as usize;
+        per_bank[b] += 1;
+        degree = degree.max(per_bank[b]);
+    }
+    cost.issue_cycles += SHM_BASE_CYCLES + SHM_CONFLICT_CYCLES * (degree - 1) as f64;
+    cost.bank_conflict_cycles += SHM_CONFLICT_CYCLES * (degree - 1) as f64;
+    cost.shared_accesses += lanes;
+    cost.slots += 1;
+    cost.active_lanes += lanes;
 }
 
 #[cfg(test)]
@@ -319,5 +624,84 @@ mod tests {
         reduce_warp(&streams, &mut cost);
         assert_eq!(cost.transactions, 1);
         assert_eq!(cost.dram_bytes, 128.0);
+    }
+
+    #[test]
+    fn pooled_scratch_matches_fresh_scratch() {
+        // Reusing one scratch across many reductions must not change any
+        // cost, including after divergent and mixed-kind slots.
+        let warps: Vec<Vec<Vec<Op>>> = vec![
+            vec![vec![comp(3)]; 32],
+            (0..32)
+                .map(|i| {
+                    let mut s = vec![Op::Gld {
+                        addr: 4096 + 8 * i,
+                        bytes: 4,
+                    }];
+                    if i % 3 == 0 {
+                        s.push(Op::GAtom { addr: 1 << 20 });
+                    }
+                    if i % 2 == 0 {
+                        s.push(Op::Shm { word: i as u32 });
+                    } else {
+                        s.push(comp(i as u32 + 1));
+                    }
+                    s
+                })
+                .collect(),
+            (0..17)
+                .map(|i| {
+                    vec![Op::Gst {
+                        addr: 1 << 16 | (997 * i * i) as u64,
+                        bytes: 8,
+                    }]
+                })
+                .collect(),
+        ];
+        let mut pooled = WarpScratch::default();
+        for streams in &warps {
+            let mut fresh_cost = BlockCost::default();
+            reduce_warp(streams, &mut fresh_cost);
+            let mut pooled_cost = BlockCost::default();
+            reduce_warp_with(streams, &mut pooled_cost, &mut pooled);
+            assert_eq!(fresh_cost, pooled_cost);
+        }
+    }
+
+    #[test]
+    fn ended_lanes_leave_later_slots_unchanged() {
+        // One long stream among short ones: slots past the short streams'
+        // ends cost exactly like a 1-lane warp.
+        let mut streams: Vec<Vec<Op>> = vec![vec![comp(1)]; 31];
+        streams.push(vec![
+            comp(1),
+            Op::Gld {
+                addr: 4096,
+                bytes: 4,
+            },
+            comp(5),
+        ]);
+        let mut cost = BlockCost::default();
+        reduce_warp(&streams, &mut cost);
+
+        let mut solo_tail = BlockCost::default();
+        reduce_warp(
+            &[vec![
+                Op::Gld {
+                    addr: 4096,
+                    bytes: 4,
+                },
+                comp(5),
+            ]],
+            &mut solo_tail,
+        );
+        let mut first_slot = BlockCost::default();
+        reduce_warp(&vec![vec![comp(1)]; 32], &mut first_slot);
+
+        assert_eq!(cost.slots, first_slot.slots + solo_tail.slots);
+        assert_eq!(cost.transactions, solo_tail.transactions);
+        assert!(
+            (cost.issue_cycles - (first_slot.issue_cycles + solo_tail.issue_cycles)).abs() < 1e-12
+        );
     }
 }

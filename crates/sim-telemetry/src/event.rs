@@ -77,8 +77,8 @@ pub enum Event {
         launch: u32,
         block: u32,
         sm: u16,
-        /// Resident blocks on that SM after the dispatch (the occupied
-        /// slot count, 1-based).
+        /// The occupancy slot the block occupies on its SM (0-based: the
+        /// SM's resident-block count at the moment of dispatch).
         slot: u16,
     },
     /// A block retired from its SM.

@@ -6,7 +6,7 @@
 use crate::bench::{BenchSpec, Benchmark, InputSpec, RunOutput, Suite};
 use crate::inputs::points::lattice_atoms;
 use crate::inputs::util::f32_vec;
-use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, LaunchOpts};
+use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, LaunchOpts, ParamKey};
 
 const BLOCK: u32 = 128;
 
@@ -23,6 +23,23 @@ struct CutcpKernel {
 }
 
 impl Kernel for CutcpKernel {
+    fn parallel_safe(&self) -> bool {
+        true
+    }
+    fn params(&self) -> Vec<u64> {
+        ParamKey::new()
+            .buf(&self.atom_xyz)
+            .buf(&self.atom_q)
+            .buf(&self.bin_start)
+            .buf(&self.bin_atoms)
+            .buf(&self.grid_pot)
+            .u(self.grid_dim as u64)
+            .u(self.bins_per_side as u64)
+            .f(self.box_len)
+            .f(self.cutoff2)
+            .done()
+    }
+
     fn name(&self) -> &'static str {
         "cutcp_lattice"
     }

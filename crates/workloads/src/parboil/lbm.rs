@@ -8,7 +8,7 @@
 //! 2x energy).
 
 use crate::bench::{BenchSpec, Benchmark, InputSpec, RunOutput, Suite};
-use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, LaunchOpts};
+use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, LaunchOpts, ParamKey};
 
 const BLOCK: u32 = 128;
 const Q: usize = 9;
@@ -53,6 +53,18 @@ fn collide(f: &mut [f32; Q], lid: bool) {
 }
 
 impl Kernel for LbmStep {
+    fn parallel_safe(&self) -> bool {
+        true
+    }
+    fn params(&self) -> Vec<u64> {
+        ParamKey::new()
+            .buf(&self.f_in)
+            .buf(&self.f_out)
+            .u(self.nx as u64)
+            .u(self.ny as u64)
+            .done()
+    }
+
     fn name(&self) -> &'static str {
         "lbm_stream_collide"
     }

@@ -5,7 +5,7 @@
 
 use crate::bench::{BenchSpec, Benchmark, InputSpec, RunOutput, Suite};
 use crate::inputs::util::f32_vec;
-use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, LaunchOpts};
+use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, LaunchOpts, ParamKey};
 
 const BLOCK: u32 = 256;
 const TWO_PI: f32 = 2.0 * std::f32::consts::PI;
@@ -25,6 +25,25 @@ struct QKernel {
 }
 
 impl Kernel for QKernel {
+    fn parallel_safe(&self) -> bool {
+        true
+    }
+    fn params(&self) -> Vec<u64> {
+        ParamKey::new()
+            .buf(&self.kx)
+            .buf(&self.ky)
+            .buf(&self.kz)
+            .buf(&self.phi_mag)
+            .buf(&self.x)
+            .buf(&self.y)
+            .buf(&self.z)
+            .buf(&self.qr)
+            .buf(&self.qi)
+            .u(self.num_k as u64)
+            .u(self.num_x as u64)
+            .done()
+    }
+
     fn name(&self) -> &'static str {
         "mriq_computeQ"
     }

@@ -5,7 +5,7 @@
 
 use crate::bench::{BenchSpec, Benchmark, InputSpec, RunOutput, Suite};
 use crate::inputs::util::u32_vec;
-use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, LaunchOpts};
+use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, LaunchOpts, ParamKey};
 
 const MB: usize = 16;
 
@@ -19,6 +19,20 @@ struct SadKernel {
 }
 
 impl Kernel for SadKernel {
+    fn parallel_safe(&self) -> bool {
+        true
+    }
+    fn params(&self) -> Vec<u64> {
+        ParamKey::new()
+            .buf(&self.cur)
+            .buf(&self.refr)
+            .buf(&self.out)
+            .u(self.width as u64)
+            .u(self.height as u64)
+            .u(self.search as u64)
+            .done()
+    }
+
     fn name(&self) -> &'static str {
         "sad_macroblock"
     }

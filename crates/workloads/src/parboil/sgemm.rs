@@ -3,7 +3,7 @@
 
 use crate::bench::{BenchSpec, Benchmark, InputSpec, RunOutput, Suite};
 use crate::inputs::util::f32_vec;
-use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, KernelResources, LaunchOpts};
+use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, KernelResources, LaunchOpts, ParamKey};
 
 const TILE: usize = 16;
 
@@ -15,6 +15,18 @@ struct SgemmKernel {
 }
 
 impl Kernel for SgemmKernel {
+    fn parallel_safe(&self) -> bool {
+        true
+    }
+    fn params(&self) -> Vec<u64> {
+        ParamKey::new()
+            .buf(&self.a)
+            .buf(&self.b)
+            .buf(&self.c)
+            .u(self.n as u64)
+            .done()
+    }
+
     fn name(&self) -> &'static str {
         "sgemm_tiled"
     }

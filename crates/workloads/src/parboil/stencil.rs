@@ -4,7 +4,7 @@
 
 use crate::bench::{BenchSpec, Benchmark, InputSpec, RunOutput, Suite};
 use crate::inputs::util::f32_vec;
-use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, LaunchOpts};
+use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, LaunchOpts, ParamKey};
 
 const BLOCK: u32 = 128;
 
@@ -19,6 +19,21 @@ struct StencilKernel {
 }
 
 impl Kernel for StencilKernel {
+    fn parallel_safe(&self) -> bool {
+        true
+    }
+    fn params(&self) -> Vec<u64> {
+        ParamKey::new()
+            .buf(&self.src)
+            .buf(&self.dst)
+            .u(self.nx as u64)
+            .u(self.ny as u64)
+            .u(self.nz as u64)
+            .f(self.c0)
+            .f(self.c1)
+            .done()
+    }
+
     fn name(&self) -> &'static str {
         "stencil3d"
     }

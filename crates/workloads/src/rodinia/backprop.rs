@@ -6,7 +6,7 @@
 
 use crate::bench::{BenchSpec, Benchmark, InputSpec, RunOutput, Suite};
 use crate::inputs::util::f32_vec;
-use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, LaunchOpts};
+use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, LaunchOpts, ParamKey};
 
 const HID: usize = 16;
 const BLOCK: u32 = 256;
@@ -19,6 +19,18 @@ struct LayerForward {
 }
 
 impl Kernel for LayerForward {
+    fn parallel_safe(&self) -> bool {
+        true
+    }
+    fn params(&self) -> Vec<u64> {
+        ParamKey::new()
+            .buf(&self.input)
+            .buf(&self.weights)
+            .buf(&self.partial)
+            .u(self.n_in as u64)
+            .done()
+    }
+
     fn name(&self) -> &'static str {
         "bpnn_layerforward"
     }
@@ -73,6 +85,20 @@ struct AdjustWeights {
 }
 
 impl Kernel for AdjustWeights {
+    fn parallel_safe(&self) -> bool {
+        true
+    }
+    fn params(&self) -> Vec<u64> {
+        ParamKey::new()
+            .buf(&self.input)
+            .buf(&self.weights)
+            .buf(&self.delta)
+            .u(self.n_in as u64)
+            .f(self.eta)
+            .f(self.momentum)
+            .done()
+    }
+
     fn name(&self) -> &'static str {
         "bpnn_adjust_weights"
     }

@@ -4,7 +4,7 @@
 
 use crate::bench::{BenchSpec, Benchmark, InputSpec, RunOutput, Suite};
 use crate::inputs::util::rng;
-use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, LaunchOpts};
+use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, LaunchOpts, ParamKey};
 use rand::Rng;
 
 const BLOCK: u32 = 256;
@@ -17,6 +17,18 @@ struct Fan1 {
     p: usize,
 }
 impl Kernel for Fan1 {
+    fn parallel_safe(&self) -> bool {
+        true
+    }
+    fn params(&self) -> Vec<u64> {
+        ParamKey::new()
+            .buf(&self.a)
+            .buf(&self.mult)
+            .u(self.n as u64)
+            .u(self.p as u64)
+            .done()
+    }
+
     fn name(&self) -> &'static str {
         "gaussian_fan1"
     }
@@ -45,6 +57,19 @@ struct Fan2 {
     p: usize,
 }
 impl Kernel for Fan2 {
+    fn parallel_safe(&self) -> bool {
+        true
+    }
+    fn params(&self) -> Vec<u64> {
+        ParamKey::new()
+            .buf(&self.a)
+            .buf(&self.b)
+            .buf(&self.mult)
+            .u(self.n as u64)
+            .u(self.p as u64)
+            .done()
+    }
+
     fn name(&self) -> &'static str {
         "gaussian_fan2"
     }

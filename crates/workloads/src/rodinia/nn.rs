@@ -5,7 +5,7 @@
 
 use crate::bench::{BenchSpec, Benchmark, InputSpec, RunOutput, Suite};
 use crate::inputs::util::f32_vec;
-use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, LaunchOpts};
+use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, LaunchOpts, ParamKey};
 
 const BLOCK: u32 = 256;
 
@@ -19,6 +19,20 @@ struct DistKernel {
 }
 
 impl Kernel for DistKernel {
+    fn parallel_safe(&self) -> bool {
+        true
+    }
+    fn params(&self) -> Vec<u64> {
+        ParamKey::new()
+            .buf(&self.lat)
+            .buf(&self.lng)
+            .buf(&self.dist)
+            .f(self.q_lat)
+            .f(self.q_lng)
+            .u(self.n as u64)
+            .done()
+    }
+
     fn name(&self) -> &'static str {
         "nn_euclid"
     }

@@ -5,7 +5,7 @@
 
 use crate::bench::{BenchSpec, Benchmark, InputSpec, RunOutput, Suite};
 use crate::inputs::sequences::reference;
-use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, KernelResources, LaunchOpts};
+use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, KernelResources, LaunchOpts, ParamKey};
 
 const TILE: usize = 16;
 const GAP: i32 = -1;
@@ -27,6 +27,19 @@ fn sub_score(a: u32, b: u32) -> i32 {
 }
 
 impl Kernel for NwTileWave {
+    fn parallel_safe(&self) -> bool {
+        true
+    }
+    fn params(&self) -> Vec<u64> {
+        ParamKey::new()
+            .buf(&self.score)
+            .buf(&self.seq_a)
+            .buf(&self.seq_b)
+            .u(self.n as u64)
+            .u(self.wave as u64)
+            .done()
+    }
+
     fn name(&self) -> &'static str {
         "nw_tile_wave"
     }

@@ -5,7 +5,7 @@
 
 use crate::bench::{BenchSpec, Benchmark, InputSpec, RunOutput, Suite};
 use crate::inputs::util::u32_vec;
-use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, LaunchOpts};
+use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, LaunchOpts, ParamKey};
 
 const BLOCK: u32 = 256;
 
@@ -18,6 +18,19 @@ struct PfRow {
 }
 
 impl Kernel for PfRow {
+    fn parallel_safe(&self) -> bool {
+        true
+    }
+    fn params(&self) -> Vec<u64> {
+        ParamKey::new()
+            .buf(&self.wall)
+            .buf(&self.src)
+            .buf(&self.dst)
+            .u(self.cols as u64)
+            .u(self.row as u64)
+            .done()
+    }
+
     fn name(&self) -> &'static str {
         "pathfinder_dynproc"
     }

@@ -9,7 +9,7 @@
 
 use crate::bench::{BenchSpec, Benchmark, InputSpec, RunOutput, Suite};
 use crate::inputs::points::plummer;
-use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, KernelResources, LaunchOpts};
+use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, KernelResources, LaunchOpts, ParamKey};
 
 const BLOCK: u32 = 256;
 const SOFTENING: f32 = 1e-2;
@@ -30,6 +30,22 @@ struct ForceKernel<'a> {
 }
 
 impl Kernel for ForceKernel<'_> {
+    fn parallel_safe(&self) -> bool {
+        true
+    }
+    fn params(&self) -> Vec<u64> {
+        ParamKey::new()
+            .buf(&self.b.x)
+            .buf(&self.b.y)
+            .buf(&self.b.z)
+            .buf(&self.b.m)
+            .buf(&self.b.ax)
+            .buf(&self.b.ay)
+            .buf(&self.b.az)
+            .u(self.b.n as u64)
+            .done()
+    }
+
     fn name(&self) -> &'static str {
         "nbody_force"
     }

@@ -7,7 +7,7 @@
 
 use crate::bench::{BenchSpec, Benchmark, InputSpec, RunOutput, Suite};
 use crate::inputs::util::u32_vec;
-use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, KernelResources, LaunchOpts};
+use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, KernelResources, LaunchOpts, ParamKey};
 
 const BLOCK: u32 = 256;
 /// Elements scanned per block (two per thread, as in the SDK code).
@@ -23,6 +23,18 @@ struct BlockScan {
 }
 
 impl Kernel for BlockScan {
+    fn parallel_safe(&self) -> bool {
+        true
+    }
+    fn params(&self) -> Vec<u64> {
+        ParamKey::new()
+            .buf(&self.input)
+            .buf(&self.output)
+            .buf(&self.block_sums)
+            .u(self.n as u64)
+            .done()
+    }
+
     fn name(&self) -> &'static str {
         "scan_block"
     }
@@ -111,6 +123,13 @@ struct ScanSums {
 }
 
 impl Kernel for ScanSums {
+    fn parallel_safe(&self) -> bool {
+        true
+    }
+    fn params(&self) -> Vec<u64> {
+        ParamKey::new().buf(&self.sums).u(self.count as u64).done()
+    }
+
     fn name(&self) -> &'static str {
         "scan_sums"
     }
@@ -138,6 +157,17 @@ struct UniformAdd {
 }
 
 impl Kernel for UniformAdd {
+    fn parallel_safe(&self) -> bool {
+        true
+    }
+    fn params(&self) -> Vec<u64> {
+        ParamKey::new()
+            .buf(&self.output)
+            .buf(&self.block_sums)
+            .u(self.n as u64)
+            .done()
+    }
+
     fn name(&self) -> &'static str {
         "scan_uniform_add"
     }

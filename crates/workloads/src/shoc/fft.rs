@@ -4,7 +4,7 @@
 
 use crate::bench::{BenchSpec, Benchmark, InputSpec, RunOutput, Suite};
 use crate::inputs::util::f32_vec;
-use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, LaunchOpts};
+use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, LaunchOpts, ParamKey};
 
 const BLOCK: u32 = 256;
 
@@ -24,6 +24,21 @@ struct FftStage {
 }
 
 impl Kernel for FftStage {
+    fn parallel_safe(&self) -> bool {
+        true
+    }
+    fn params(&self) -> Vec<u64> {
+        ParamKey::new()
+            .buf(&self.re_in)
+            .buf(&self.im_in)
+            .buf(&self.re_out)
+            .buf(&self.im_out)
+            .u(self.n as u64)
+            .u(self.batch as u64)
+            .u(self.stage as u64)
+            .done()
+    }
+
     fn name(&self) -> &'static str {
         "fft_radix2_stage"
     }

@@ -4,7 +4,7 @@
 //! the paper's champion energy saver at the 614-MHz configuration.
 
 use crate::bench::{BenchSpec, Benchmark, InputSpec, RunOutput, Suite};
-use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, LaunchOpts};
+use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, LaunchOpts, ParamKey};
 
 const BLOCK: u32 = 256;
 
@@ -26,6 +26,18 @@ struct FlopsKernel {
 }
 
 impl Kernel for FlopsKernel {
+    fn parallel_safe(&self) -> bool {
+        true
+    }
+    fn params(&self) -> Vec<u64> {
+        ParamKey::new()
+            .buf(&self.out)
+            .u(self.iters as u64)
+            .u(self.mix as u64)
+            .u(self.n as u64)
+            .done()
+    }
+
     fn name(&self) -> &'static str {
         match self.mix {
             Mix::Add => "maxflops_add1",

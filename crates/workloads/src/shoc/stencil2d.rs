@@ -3,7 +3,7 @@
 
 use crate::bench::{BenchSpec, Benchmark, InputSpec, RunOutput, Suite};
 use crate::inputs::util::f32_vec;
-use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, LaunchOpts};
+use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, LaunchOpts, ParamKey};
 
 const BLOCK: u32 = 128;
 const W_CENTER: f32 = 0.25;
@@ -17,6 +17,17 @@ struct S2dKernel {
 }
 
 impl Kernel for S2dKernel {
+    fn parallel_safe(&self) -> bool {
+        true
+    }
+    fn params(&self) -> Vec<u64> {
+        ParamKey::new()
+            .buf(&self.src)
+            .buf(&self.dst)
+            .u(self.n as u64)
+            .done()
+    }
+
     fn name(&self) -> &'static str {
         "stencil2d_9pt"
     }
