@@ -1,0 +1,288 @@
+//! Load generator for the characterization service.
+//!
+//! ```text
+//! loadgen [--addr A] [--concurrency C] [--dups N] [--out FILE]
+//!
+//! --addr A         target an already-running server; by default an
+//!                  in-process server is booted on an ephemeral port
+//!                  (workers = available parallelism, no disk cache)
+//! --concurrency C  client threads per phase (default 8)
+//! --dups N         identical concurrent requests in the dedup phase
+//!                  (default 32)
+//! --out FILE       write the JSON report to FILE instead of stdout
+//! ```
+//!
+//! Four phases, each reporting throughput and p50/p95/p99 latency:
+//!
+//! 1. `cold`  — distinct workload × config runs, simulation-bound
+//! 2. `warm`  — the same requests again, served from the campaign memo
+//! 3. `dedup` — N identical concurrent requests (one simulation underneath)
+//! 4. `healthz` — the no-op endpoint, pure HTTP overhead
+//!
+//! The report (`BENCH_SERVE.json` in CI) follows `BENCH_SIM.json`'s
+//! hand-rolled flat style.
+
+use sim_serve::{Server, ServerConfig};
+use std::io::{Read, Write as _};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Fast single-kernel programs spanning the suites; crossed with two
+/// configurations they make the distinct-request pool.
+const COLD_KEYS: [&str; 8] = ["sgemm", "sten", "nn", "pf", "md", "s2d", "lbm", "cutcp"];
+const CONFIGS: [&str; 2] = ["default", "614"];
+
+fn usage() -> ! {
+    eprintln!("usage: loadgen [--addr A] [--concurrency C] [--dups N] [--out FILE]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut addr_arg: Option<String> = None;
+    let mut concurrency = 8usize;
+    let mut dups = 32usize;
+    let mut out: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--addr" => match args.next() {
+                Some(v) => addr_arg = Some(v),
+                None => usage(),
+            },
+            "--concurrency" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) if n > 0 => concurrency = n,
+                _ => usage(),
+            },
+            "--dups" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) if n > 0 => dups = n,
+                _ => usage(),
+            },
+            "--out" => match args.next() {
+                Some(p) => out = Some(PathBuf::from(p)),
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+
+    // Target: an external server, or an in-process one on an ephemeral port.
+    let (addr, embedded) = match addr_arg {
+        Some(a) => {
+            let addr = a
+                .to_socket_addrs()
+                .ok()
+                .and_then(|mut it| it.next())
+                .unwrap_or_else(|| {
+                    eprintln!("[loadgen] cannot resolve {a}");
+                    std::process::exit(1);
+                });
+            (addr, None)
+        }
+        None => {
+            let workers = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4);
+            let server = Server::bind(ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                workers,
+                queue_capacity: 256,
+                cache_dir: None,
+                default_artifact_reps: 1,
+                request_timeout: Duration::from_secs(600),
+                ..ServerConfig::default()
+            })
+            .expect("bind ephemeral server");
+            let addr = server.local_addr();
+            let shutdown = server.shutdown_handle();
+            let handle = std::thread::spawn(move || server.run());
+            eprintln!("[loadgen] embedded server on {addr} ({workers} workers)");
+            (addr, Some((shutdown, handle)))
+        }
+    };
+
+    let cold_bodies: Vec<String> = COLD_KEYS
+        .iter()
+        .flat_map(|k| {
+            CONFIGS
+                .iter()
+                .map(move |c| format!(r#"{{"workload": "{k}", "config": "{c}"}}"#))
+        })
+        .collect();
+    let dup_body = r#"{"workload": "tpacf"}"#.to_string();
+
+    let mut phases = Vec::new();
+    phases.push(run_phase("cold", addr, &cold_bodies, concurrency, post_run));
+    phases.push(run_phase("warm", addr, &cold_bodies, concurrency, post_run));
+    let dup_bodies: Vec<String> = std::iter::repeat_with(|| dup_body.clone())
+        .take(dups)
+        .collect();
+    phases.push(run_phase("dedup", addr, &dup_bodies, dups, post_run));
+    let health_bodies: Vec<String> = std::iter::repeat_with(String::new).take(200).collect();
+    phases.push(run_phase(
+        "healthz",
+        addr,
+        &health_bodies,
+        concurrency,
+        get_healthz,
+    ));
+
+    if let Some((shutdown, handle)) = embedded {
+        shutdown.store(true, Ordering::SeqCst);
+        let _ = handle.join();
+    }
+
+    let report = render_report(concurrency, dups, &phases);
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &report).expect("write report");
+            eprintln!("[loadgen] wrote {}", path.display());
+        }
+        None => println!("{report}"),
+    }
+}
+
+fn post_run(addr: SocketAddr, body: &str) -> u16 {
+    http(addr, "POST", "/v1/runs", body)
+}
+
+fn get_healthz(addr: SocketAddr, _body: &str) -> u16 {
+    http(addr, "GET", "/healthz", "")
+}
+
+/// One request over a fresh connection; returns the status (0 = transport
+/// failure).
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> u16 {
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        return 0;
+    };
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(600)));
+    if write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .is_err()
+    {
+        return 0;
+    }
+    let mut raw = Vec::new();
+    if stream.read_to_end(&mut raw).is_err() {
+        return 0;
+    }
+    std::str::from_utf8(&raw)
+        .ok()
+        .and_then(|t| t.split(' ').nth(1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+struct Phase {
+    name: &'static str,
+    requests: usize,
+    errors: usize,
+    wall_s: f64,
+    latencies_ms: Vec<f64>,
+}
+
+impl Phase {
+    fn throughput_rps(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.requests as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Nearest-rank percentile over the sorted latency set.
+    fn percentile_ms(&self, q: f64) -> f64 {
+        if self.latencies_ms.is_empty() {
+            return 0.0;
+        }
+        let rank = ((q * self.latencies_ms.len() as f64).ceil() as usize)
+            .clamp(1, self.latencies_ms.len());
+        self.latencies_ms[rank - 1]
+    }
+}
+
+/// Fire `bodies` at `addr` from `concurrency` threads; every non-2xx/4xx
+/// reply (and every transport failure) counts as an error.
+fn run_phase(
+    name: &'static str,
+    addr: SocketAddr,
+    bodies: &[String],
+    concurrency: usize,
+    call: fn(SocketAddr, &str) -> u16,
+) -> Phase {
+    let bodies = Arc::new(bodies.to_vec());
+    let next = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..concurrency.max(1))
+        .map(|_| {
+            let bodies = Arc::clone(&bodies);
+            let next = Arc::clone(&next);
+            std::thread::spawn(move || {
+                let mut lat = Vec::new();
+                let mut errors = 0usize;
+                loop {
+                    let i = next.fetch_add(1, Ordering::SeqCst);
+                    if i >= bodies.len() {
+                        return (lat, errors);
+                    }
+                    let r0 = Instant::now();
+                    let status = call(addr, &bodies[i]);
+                    lat.push(r0.elapsed().as_secs_f64() * 1e3);
+                    if !(200..500).contains(&status) {
+                        errors += 1;
+                    }
+                }
+            })
+        })
+        .collect();
+    let mut latencies_ms = Vec::new();
+    let mut errors = 0;
+    for h in handles {
+        let (lat, errs) = h.join().expect("phase thread");
+        latencies_ms.extend(lat);
+        errors += errs;
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    latencies_ms.sort_by(f64::total_cmp);
+    eprintln!(
+        "[loadgen] {name}: {} requests in {wall_s:.3}s ({errors} errors)",
+        bodies.len()
+    );
+    Phase {
+        name,
+        requests: bodies.len(),
+        errors,
+        wall_s,
+        latencies_ms,
+    }
+}
+
+fn render_report(concurrency: usize, dups: usize, phases: &[Phase]) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"concurrency\": {concurrency},\n"));
+    s.push_str(&format!("  \"dup_requests\": {dups},\n"));
+    s.push_str("  \"phases\": [\n");
+    for (i, p) in phases.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"requests\": {}, \"errors\": {}, \"wall_s\": {:.3}, \
+             \"throughput_rps\": {:.1}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}}}{}\n",
+            p.name,
+            p.requests,
+            p.errors,
+            p.wall_s,
+            p.throughput_rps(),
+            p.percentile_ms(0.50),
+            p.percentile_ms(0.95),
+            p.percentile_ms(0.99),
+            if i + 1 < phases.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

@@ -1,0 +1,93 @@
+//! The characterization service daemon.
+//!
+//! ```text
+//! serve [--addr A] [--workers N] [--queue N] [--cache-dir DIR | --no-cache]
+//!       [--reps 1|3] [--timeout-s S]
+//!
+//! --addr A        bind address (default 127.0.0.1:8077; port 0 = ephemeral)
+//! --workers N     measurement worker threads (default 2)
+//! --queue N       pending-job capacity before load is shed (default 64)
+//! --cache-dir DIR campaign cache directory (default target/campaign-cache,
+//!                 shared with `repro` so a warm `repro` run pre-warms the
+//!                 service)
+//! --no-cache      in-process memoization only
+//! --reps R        default repetitions for /v1/artifacts (default 3, the
+//!                 paper's methodology and the goldens' setting)
+//! --timeout-s S   per-request job deadline (default 300)
+//! ```
+//!
+//! SIGTERM/SIGINT trigger a graceful drain: stop accepting, run every
+//! admitted job to completion, join the workers, exit 0.
+
+use sim_serve::{install_signal_handlers, Server, ServerConfig};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve [--addr A] [--workers N] [--queue N] [--cache-dir DIR | --no-cache] \
+         [--reps 1|3] [--timeout-s S]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cfg = ServerConfig {
+        cache_dir: Some(PathBuf::from("target/campaign-cache")),
+        ..ServerConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--addr" => match args.next() {
+                Some(v) => cfg.addr = v,
+                None => usage(),
+            },
+            "--workers" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) if n > 0 => cfg.workers = n,
+                _ => usage(),
+            },
+            "--queue" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) if n > 0 => cfg.queue_capacity = n,
+                _ => usage(),
+            },
+            "--cache-dir" => match args.next() {
+                Some(d) => cfg.cache_dir = Some(PathBuf::from(d)),
+                None => usage(),
+            },
+            "--no-cache" => cfg.cache_dir = None,
+            "--reps" => match args.next().as_deref() {
+                Some("1") => cfg.default_artifact_reps = 1,
+                Some("3") => cfg.default_artifact_reps = 3,
+                _ => usage(),
+            },
+            "--timeout-s" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(s) if s > 0 => cfg.request_timeout = Duration::from_secs(s),
+                _ => usage(),
+            },
+            _ => usage(),
+        }
+    }
+
+    install_signal_handlers();
+    let server = match Server::bind(cfg.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("[serve] cannot bind {}: {e}", cfg.addr);
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "[serve] listening on {} | workers={} queue={} cache={} artifact_reps={}",
+        server.local_addr(),
+        cfg.workers,
+        cfg.queue_capacity,
+        cfg.cache_dir
+            .as_deref()
+            .map(|p| p.display().to_string())
+            .unwrap_or_else(|| "none".to_string()),
+        cfg.default_artifact_reps,
+    );
+    server.run();
+    eprintln!("[serve] drained, exiting");
+}

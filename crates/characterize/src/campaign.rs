@@ -27,9 +27,11 @@
 //! (1-rep) figure shares its rep-0 simulation with the full methodology.
 
 use crate::configs::GpuConfigKind;
-use crate::experiment::{combine_median3, measure, run_seed, Measurement, MedianMeasurement};
+use crate::experiment::{
+    combine_median3, measure, measure_with_device_config, run_seed, Measurement, MedianMeasurement,
+};
 use gpower::{PowerError, Reading};
-use kepler_sim::KernelCounters;
+use kepler_sim::{ClockConfig, DeviceConfig, KernelCounters};
 use rayon::prelude::*;
 use sim_telemetry::{Event, TelemetrySink};
 use std::collections::{HashMap, HashSet};
@@ -146,7 +148,10 @@ pub fn plan_artifacts(artifacts: &[Artifact], reps: u64) -> Vec<RunRequest> {
     for a in artifacts {
         for req in a.runs(reps) {
             if seen.insert(canonical_key_parts(
-                req.key, &req.input, req.config, req.rep,
+                req.key,
+                &req.input,
+                req.config.name(),
+                req.rep,
             )) {
                 plan.push(req);
             }
@@ -168,7 +173,9 @@ pub(crate) fn rep_indices(reps: u64) -> std::ops::Range<u64> {
 /// The canonical identity of one run unit, *without* the model
 /// fingerprint (the fingerprint is stored inside the record so an
 /// outdated entry is observed as stale rather than silently orphaned).
-fn canonical_key_parts(key: &str, input: &InputSpec, config: GpuConfigKind, rep: u64) -> String {
+/// `cfg_tag` is [`GpuConfigKind::name`] for the paper's named settings or
+/// [`SweepPoint::cache_tag`] for a sweep grid point.
+fn canonical_key_parts(key: &str, input: &InputSpec, cfg_tag: &str, rep: u64) -> String {
     // The seed is derived from (key, input, rep), but it is part of the
     // paper's methodology, so it is folded into the identity explicitly:
     // a change to the seeding scheme must invalidate cached measurements.
@@ -177,13 +184,139 @@ fn canonical_key_parts(key: &str, input: &InputSpec, config: GpuConfigKind, rep:
         .map(|b| b.spec().cache_key())
         .unwrap_or_else(|| key.to_string());
     format!(
-        "{FORMAT_VERSION}|{spec_key}|{}|cfg={}|rep={rep}|seed={seed:016x}",
+        "{FORMAT_VERSION}|{spec_key}|{}|cfg={cfg_tag}|rep={rep}|seed={seed:016x}",
         input.cache_key(),
-        config.name(),
     )
 }
 
-/// Counter snapshot of a campaign's cache behaviour.
+// ---------------------------------------------------------------------------
+// Clock sweeps (the what-if grid behind `POST /v1/sweep`)
+// ---------------------------------------------------------------------------
+
+/// Valid core-clock range of a sweep point, MHz (the K20c driver ladder
+/// spans 324–758 MHz).
+pub const SWEEP_CORE_MHZ: (f64, f64) = (324.0, 758.0);
+/// Valid memory-clock range of a sweep point, MHz.
+pub const SWEEP_MEM_MHZ: (f64, f64) = (324.0, 2600.0);
+
+/// Known (clock MHz, relative voltage) pairs of the K20c core DVFS ladder.
+const CORE_VREL_LADDER: [(f64, f64); 6] = [
+    (324.0, 0.85),
+    (614.0, 0.95),
+    (640.0, 0.96),
+    (666.0, 0.98),
+    (705.0, 1.0),
+    (758.0, 1.03),
+];
+
+/// The memory domain exposes only two voltages (324 MHz and 2.6 GHz).
+const MEM_VREL_LADDER: [(f64, f64); 2] = [(324.0, 0.85), (2600.0, 1.0)];
+
+/// Clamped piecewise-linear interpolation over a (clock, vrel) ladder.
+fn interp_vrel(mhz: f64, ladder: &[(f64, f64)]) -> f64 {
+    let (lo, hi) = (ladder[0], ladder[ladder.len() - 1]);
+    if mhz <= lo.0 {
+        return lo.1;
+    }
+    if mhz >= hi.0 {
+        return hi.1;
+    }
+    for w in ladder.windows(2) {
+        let (x0, y0) = w[0];
+        let (x1, y1) = w[1];
+        if mhz <= x1 {
+            return y0 + (y1 - y0) * (mhz - x0) / (x1 - x0);
+        }
+    }
+    hi.1
+}
+
+/// One point of a clock sweep: an arbitrary core/memory clock pair with
+/// domain voltages interpolated from the K20c DVFS ladder. A point that
+/// lands exactly on a driver setting reproduces that setting's voltages,
+/// so e.g. `SweepPoint { core_mhz: 614.0, mem_mhz: 2600.0 }` measures
+/// bit-identically to [`GpuConfigKind::C614`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    pub core_mhz: f64,
+    pub mem_mhz: f64,
+}
+
+impl SweepPoint {
+    /// Whether both clocks are finite and inside the driver's range.
+    pub fn is_valid(&self) -> bool {
+        self.core_mhz.is_finite()
+            && self.mem_mhz.is_finite()
+            && (SWEEP_CORE_MHZ.0..=SWEEP_CORE_MHZ.1).contains(&self.core_mhz)
+            && (SWEEP_MEM_MHZ.0..=SWEEP_MEM_MHZ.1).contains(&self.mem_mhz)
+    }
+
+    /// The clock configuration of this point, with interpolated voltages.
+    pub fn clock_config(&self) -> ClockConfig {
+        ClockConfig {
+            core_mhz: self.core_mhz,
+            mem_mhz: self.mem_mhz,
+            core_vrel: interp_vrel(self.core_mhz, &CORE_VREL_LADDER),
+            mem_vrel: interp_vrel(self.mem_mhz, &MEM_VREL_LADDER),
+        }
+    }
+
+    /// The device configuration of this point (ECC off, like the paper's
+    /// clock studies).
+    pub fn device_config(&self) -> DeviceConfig {
+        DeviceConfig::k20c(self.clock_config(), false)
+    }
+
+    /// Cache-identity tag. Clocks participate by their exact bit patterns,
+    /// so `614` and `614.0000001` are distinct cache entries.
+    pub fn cache_tag(&self) -> String {
+        format!(
+            "sweep:c{:016x}:m{:016x}",
+            self.core_mhz.to_bits(),
+            self.mem_mhz.to_bits()
+        )
+    }
+}
+
+/// The cartesian grid of a sweep request, deduplicated by exact clock bit
+/// patterns, preserving first-seen order.
+pub fn sweep_grid(core_mhz: &[f64], mem_mhz: &[f64]) -> Vec<SweepPoint> {
+    let mut seen = HashSet::new();
+    let mut grid = Vec::new();
+    for &c in core_mhz {
+        for &m in mem_mhz {
+            if seen.insert((c.to_bits(), m.to_bits())) {
+                grid.push(SweepPoint {
+                    core_mhz: c,
+                    mem_mhz: m,
+                });
+            }
+        }
+    }
+    grid
+}
+
+/// Pareto-optimality flags for `(runtime, energy)` pairs, index-matched to
+/// the input: `true` iff no other point is at least as good on both axes
+/// and strictly better on one. Unmeasurable points should be filtered out
+/// before calling (a NaN never dominates and is never dominated).
+pub fn pareto_front(points: &[(f64, f64)]) -> Vec<bool> {
+    points
+        .iter()
+        .enumerate()
+        .map(|(i, &(t, e))| {
+            !points
+                .iter()
+                .enumerate()
+                .any(|(j, &(tj, ej))| j != i && tj <= t && ej <= e && (tj < t || ej < e))
+        })
+        .collect()
+}
+
+/// Counter snapshot of a campaign's cache behaviour. Obtained from
+/// [`Campaign::stats`], which is safe to call from any thread at any time
+/// (the `repro` closing summary and the `sim-serve` `/metrics` endpoint
+/// both read it live).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CampaignStats {
     /// Simulations actually executed by this process.
@@ -198,6 +331,13 @@ pub struct CampaignStats {
     /// On-disk records rejected as corrupt/truncated (each forced a
     /// re-run).
     pub disk_corrupt: u64,
+    /// Units being simulated *right now* (concurrent duplicate requests
+    /// waiting on one of them are not counted — they hold no simulation).
+    pub in_flight: u64,
+    /// Memoized units whose cached outcome is a measurement *error* (the
+    /// paper's too-fast-to-measure exclusions, served as first-class
+    /// values).
+    pub cached_errors: u64,
 }
 
 impl CampaignStats {
@@ -205,14 +345,25 @@ impl CampaignStats {
     pub fn resolved(&self) -> u64 {
         self.simulated + self.memo_hits + self.disk_hits
     }
+
+    /// Requests served without simulating (any cache layer).
+    pub fn hits(&self) -> u64 {
+        self.memo_hits + self.disk_hits
+    }
 }
 
 impl std::fmt::Display for CampaignStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "simulated={} memo_hits={} disk_hits={} stale={} corrupt={}",
-            self.simulated, self.memo_hits, self.disk_hits, self.disk_stale, self.disk_corrupt
+            "simulated={} memo_hits={} disk_hits={} stale={} corrupt={} in_flight={} cached_errors={}",
+            self.simulated,
+            self.memo_hits,
+            self.disk_hits,
+            self.disk_stale,
+            self.disk_corrupt,
+            self.in_flight,
+            self.cached_errors
         )
     }
 }
@@ -231,6 +382,18 @@ pub struct CampaignConfig {
 struct CampaignState {
     memo: HashMap<String, Result<Measurement, PowerError>>,
     inflight: HashSet<String>,
+    /// Memo entries holding an `Err` (maintained at insertion so
+    /// [`Campaign::stats`] never scans the memo).
+    cached_errors: u64,
+}
+
+impl CampaignState {
+    fn memoize(&mut self, ckey: String, res: Result<Measurement, PowerError>) {
+        if res.is_err() {
+            self.cached_errors += 1;
+        }
+        self.memo.insert(ckey, res);
+    }
 }
 
 /// The shared measurement campaign: every table and figure generator pulls
@@ -282,12 +445,18 @@ impl Campaign {
 
     /// Current counter snapshot.
     pub fn stats(&self) -> CampaignStats {
+        let (in_flight, cached_errors) = {
+            let g = self.state.lock().unwrap();
+            (g.inflight.len() as u64, g.cached_errors)
+        };
         CampaignStats {
             simulated: self.simulated.load(Ordering::Relaxed),
             memo_hits: self.memo_hits.load(Ordering::Relaxed),
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
             disk_stale: self.disk_stale.load(Ordering::Relaxed),
             disk_corrupt: self.disk_corrupt.load(Ordering::Relaxed),
+            in_flight,
+            cached_errors,
         }
     }
 
@@ -307,7 +476,7 @@ impl Campaign {
         let mut seen = HashSet::new();
         let unique: Vec<&RunRequest> = plan
             .iter()
-            .filter(|r| seen.insert(canonical_key_parts(r.key, &r.input, r.config, r.rep)))
+            .filter(|r| seen.insert(canonical_key_parts(r.key, &r.input, r.config.name(), r.rep)))
             .collect();
         let total = unique.len() as u32;
         let progress = AtomicU64::new(0);
@@ -335,7 +504,84 @@ impl Campaign {
         config: GpuConfigKind,
         rep: u64,
     ) -> Result<Measurement, PowerError> {
-        let ckey = canonical_key_parts(bench.spec().key, input, config, rep);
+        let ckey = canonical_key_parts(bench.spec().key, input, config.name(), rep);
+        self.resolve(ckey, || measure(bench, input, config, rep))
+    }
+
+    /// One unit of a clock sweep, memoized under the point's cache tag.
+    /// Shares every cache layer (and the in-flight dedup) with [`run`]; a
+    /// sweep point that coincides with a named configuration still has its
+    /// own cache identity (`cfg=sweep:...` vs `cfg=default`), since the
+    /// sweep's voltage model is interpolated rather than named.
+    pub fn run_sweep_point(
+        &self,
+        bench: &dyn Benchmark,
+        input: &InputSpec,
+        point: SweepPoint,
+        rep: u64,
+    ) -> Result<Measurement, PowerError> {
+        let ckey = canonical_key_parts(bench.spec().key, input, &point.cache_tag(), rep);
+        self.resolve(ckey, || {
+            measure_with_device_config(bench, input, point.device_config(), rep)
+        })
+    }
+
+    /// A sweep-point reading at the requested repetition count, mirroring
+    /// [`Campaign::reading`]'s median-of-three / quick split.
+    pub fn sweep_reading(
+        &self,
+        bench: &dyn Benchmark,
+        input: &InputSpec,
+        point: SweepPoint,
+        reps: u64,
+    ) -> Result<Reading, PowerError> {
+        if reps >= 3 {
+            let runs = [
+                self.run_sweep_point(bench, input, point, 0)?,
+                self.run_sweep_point(bench, input, point, 1)?,
+                self.run_sweep_point(bench, input, point, 2)?,
+            ];
+            Ok(combine_median3(&runs).reading)
+        } else {
+            self.run_sweep_point(bench, input, point, 0)
+                .map(|m| m.reading)
+        }
+    }
+
+    /// Resolve every point of a sweep grid on the rayon pool. Returns
+    /// `(point, outcome)` in grid order; unmeasurable points carry their
+    /// error as a value (the 324-MHz-style exclusions survive a sweep).
+    #[allow(clippy::type_complexity)]
+    pub fn sweep(
+        &self,
+        bench: &dyn Benchmark,
+        input: &InputSpec,
+        grid: &[SweepPoint],
+        reps: u64,
+    ) -> Vec<(SweepPoint, Result<Reading, PowerError>)> {
+        let total = grid.len() as u32;
+        let progress = AtomicU64::new(0);
+        grid.par_iter()
+            .map(|&p| {
+                let res = self.sweep_reading(bench, input, p, reps);
+                let done = progress.fetch_add(1, Ordering::Relaxed) as u32 + 1;
+                self.emit(Event::CampaignProgress {
+                    t: self.wall(),
+                    done,
+                    total,
+                });
+                (p, res)
+            })
+            .collect()
+    }
+
+    /// The shared memo/disk/simulate resolution path behind [`run`] and
+    /// [`run_sweep_point`].
+    fn resolve(
+        &self,
+        ckey: String,
+        simulate: impl FnOnce() -> Result<Measurement, PowerError>,
+    ) -> Result<Measurement, PowerError> {
         {
             let mut g = self.state.lock().unwrap();
             loop {
@@ -358,7 +604,7 @@ impl Campaign {
             // Disk probe under the lock: records are tiny, and probing
             // here keeps hit accounting race-free.
             if let Some(rec) = self.load_record(&ckey) {
-                g.memo.insert(ckey.clone(), rec.clone());
+                g.memoize(ckey.clone(), rec.clone());
                 self.disk_hits.fetch_add(1, Ordering::Relaxed);
                 self.emit(Event::CacheLookup {
                     t: self.wall(),
@@ -371,11 +617,11 @@ impl Campaign {
             g.inflight.insert(ckey.clone());
         }
         // Simulate outside the lock so the pool keeps stealing work.
-        let res = measure(bench, input, config, rep);
+        let res = simulate();
         self.simulated.fetch_add(1, Ordering::Relaxed);
         self.store_record(&ckey, &res);
         let mut g = self.state.lock().unwrap();
-        g.memo.insert(ckey.clone(), res.clone());
+        g.memoize(ckey.clone(), res.clone());
         g.inflight.remove(&ckey);
         drop(g);
         self.done.notify_all();
@@ -913,5 +1159,125 @@ mod tests {
     fn fingerprint_is_stable_within_a_build() {
         assert_eq!(sim_fingerprint(), sim_fingerprint());
         assert_ne!(sim_fingerprint(), 0);
+    }
+
+    /// A sweep point on a driver ladder setting reproduces that setting's
+    /// voltages exactly, so its measurement is bit-identical to the named
+    /// configuration's.
+    #[test]
+    fn sweep_point_on_ladder_matches_named_config_bitwise() {
+        let p = SweepPoint {
+            core_mhz: 614.0,
+            mem_mhz: 2600.0,
+        };
+        assert_eq!(p.clock_config(), ClockConfig::k20_614());
+        let low = SweepPoint {
+            core_mhz: 324.0,
+            mem_mhz: 324.0,
+        };
+        assert_eq!(low.clock_config(), ClockConfig::k20_324());
+
+        let b = registry::by_key("sten").unwrap();
+        let input = &b.inputs()[0];
+        let c = Campaign::in_memory();
+        let named = c.run(b.as_ref(), input, GpuConfigKind::C614, 0).unwrap();
+        let swept = c.run_sweep_point(b.as_ref(), input, p, 0).unwrap();
+        assert!(readings_bit_identical(&named.reading, &swept.reading));
+        // Distinct cache identities: both simulated despite equal configs.
+        assert_eq!(c.stats().simulated, 2);
+    }
+
+    /// Interpolated voltages stay monotone and clamped inside the ladder.
+    #[test]
+    fn sweep_voltage_interpolation_is_monotone_and_clamped() {
+        let v = |mhz| {
+            SweepPoint {
+                core_mhz: mhz,
+                mem_mhz: 2600.0,
+            }
+            .clock_config()
+            .core_vrel
+        };
+        assert_eq!(v(324.0), 0.85);
+        assert_eq!(v(758.0), 1.03);
+        let mut last = 0.0;
+        for mhz in [324.0, 400.0, 500.0, 614.0, 640.0, 666.0, 705.0, 758.0] {
+            let cur = v(mhz);
+            assert!(cur >= last, "vrel not monotone at {mhz}");
+            last = cur;
+        }
+        // Midpoint of the 324..614 segment.
+        let mid = v(469.0);
+        assert!((mid - 0.9).abs() < 1e-12, "mid {mid}");
+    }
+
+    #[test]
+    fn sweep_grid_deduplicates_and_orders() {
+        let g = sweep_grid(&[705.0, 614.0, 705.0], &[2600.0, 2600.0]);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g[0].core_mhz, 705.0);
+        assert_eq!(g[1].core_mhz, 614.0);
+        assert!(g[0].is_valid());
+        assert!(!SweepPoint {
+            core_mhz: 100.0,
+            mem_mhz: 2600.0
+        }
+        .is_valid());
+        assert!(!SweepPoint {
+            core_mhz: f64::NAN,
+            mem_mhz: 2600.0
+        }
+        .is_valid());
+    }
+
+    #[test]
+    fn pareto_front_flags_non_dominated_points() {
+        // (runtime, energy): a dominates c; b trades off against a.
+        let pts = [(1.0, 10.0), (2.0, 5.0), (3.0, 12.0), (1.0, 10.0)];
+        let flags = pareto_front(&pts);
+        // Duplicates of a frontier point both survive (neither strictly
+        // dominates the other).
+        assert_eq!(flags, vec![true, true, false, true]);
+        assert_eq!(pareto_front(&[]), Vec::<bool>::new());
+    }
+
+    /// Sweep records persist and round-trip like named-config records.
+    #[test]
+    fn sweep_records_round_trip_through_disk_cache() {
+        let dir = scratch_dir("sweep");
+        let b = registry::by_key("sten").unwrap();
+        let input = &b.inputs()[0];
+        let p = SweepPoint {
+            core_mhz: 500.0,
+            mem_mhz: 2600.0,
+        };
+        let c1 = disk_campaign(&dir);
+        let m1 = c1.run_sweep_point(b.as_ref(), input, p, 0).unwrap();
+        assert_eq!(c1.stats().simulated, 1);
+        let before = kepler_sim::devices_created();
+        let c2 = disk_campaign(&dir);
+        let m2 = c2.run_sweep_point(b.as_ref(), input, p, 0).unwrap();
+        assert_eq!(kepler_sim::devices_created(), before);
+        assert_eq!(c2.stats().disk_hits, 1);
+        assert!(readings_bit_identical(&m1.reading, &m2.reading));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// `stats()` exposes the cached-error count and the live in-flight
+    /// gauge (zero at rest).
+    #[test]
+    fn stats_report_cached_errors_and_in_flight() {
+        let b = registry::by_key("lbfs-wlw").unwrap();
+        let input = b.inputs().last().unwrap().clone();
+        let c = Campaign::in_memory();
+        assert_eq!(c.stats().in_flight, 0);
+        assert_eq!(c.stats().cached_errors, 0);
+        let _ = c
+            .run(b.as_ref(), &input, GpuConfigKind::Default, 0)
+            .unwrap_err();
+        let s = c.stats();
+        assert_eq!(s.cached_errors, 1);
+        assert_eq!(s.in_flight, 0);
+        assert_eq!(s.simulated, 1);
     }
 }

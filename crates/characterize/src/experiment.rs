@@ -4,7 +4,7 @@
 
 use crate::configs::GpuConfigKind;
 use gpower::{variability_pct, K20Power, PowerError, PowerSensor, PowerTrace, Reading};
-use kepler_sim::{Device, KernelCounters, LaunchStats};
+use kepler_sim::{Device, DeviceConfig, KernelCounters, LaunchStats};
 use sim_telemetry::{Event, EventTrace};
 use std::sync::Arc;
 use workloads::bench::{Benchmark, InputSpec, ItemCounts};
@@ -59,8 +59,22 @@ pub fn measure(
     kind: GpuConfigKind,
     rep: u64,
 ) -> Result<Measurement, PowerError> {
+    measure_with_device_config(bench, input, kind.device_config(), rep)
+}
+
+/// [`measure`] generalized to an arbitrary [`DeviceConfig`] — the clock
+/// sweep path, where the configuration is a grid point rather than one of
+/// the paper's four named settings. Seeding is identical to [`measure`]
+/// (the seed depends only on program, input and repetition), so a sweep
+/// point that coincides with a named configuration produces a bit-identical
+/// measurement.
+pub fn measure_with_device_config(
+    bench: &dyn Benchmark,
+    input: &InputSpec,
+    mut cfg: DeviceConfig,
+    rep: u64,
+) -> Result<Measurement, PowerError> {
     let seed = run_seed(bench.spec().key, input.name, rep);
-    let mut cfg = kind.device_config();
     cfg.jitter_seed = seed;
     let mut dev = Device::new(cfg);
     let out = bench.run(&mut dev, input);

@@ -16,12 +16,13 @@ pub mod sanity;
 pub mod tables;
 
 pub use campaign::{
-    plan_artifacts, sim_fingerprint, Artifact, Campaign, CampaignConfig, CampaignStats, RunRequest,
+    pareto_front, plan_artifacts, sim_fingerprint, sweep_grid, Artifact, Campaign, CampaignConfig,
+    CampaignStats, RunRequest, SweepPoint, SWEEP_CORE_MHZ, SWEEP_MEM_MHZ,
 };
 pub use configs::GpuConfigKind;
 pub use experiment::{
-    combine_median3, measure, measure_median3, measure_traced, Measurement, MedianMeasurement,
-    TracedMeasurement,
+    combine_median3, measure, measure_median3, measure_traced, measure_with_device_config,
+    Measurement, MedianMeasurement, TracedMeasurement,
 };
 pub use sanity::{
     measure_traced_checked, sanitize_run, sanitize_run_raw, workload_allowlist, SanitizedRun,

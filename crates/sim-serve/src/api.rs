@@ -1,0 +1,646 @@
+//! The service's domain layer: request validation, campaign execution and
+//! JSON response construction — everything between HTTP bytes and the
+//! `characterize` crate.
+
+use crate::json::{self, Json};
+use characterize::campaign::{
+    pareto_front, plan_artifacts, sweep_grid, Artifact, Campaign, SweepPoint, SWEEP_CORE_MHZ,
+    SWEEP_MEM_MHZ,
+};
+use characterize::figures::{input_power_figure, power_profile, power_range_figure, ratio_figure};
+use characterize::report::*;
+use characterize::tables::{table1, table2, table3, table4, tr_detail};
+use characterize::{GpuConfigKind, MedianMeasurement};
+use gpower::{PowerError, Reading};
+use workloads::bench::{Benchmark, InputSpec};
+use workloads::registry;
+
+/// Maximum sweep grid size per request (core × memory points).
+pub const MAX_SWEEP_POINTS: usize = 64;
+
+/// The measurement-fidelity caveat attached to every measured response, in
+/// the spirit of "Part-time Power Measurements: nvidia-smi's Lack of
+/// Attention": the emulated sensor reproduces the K20's coarse on-board
+/// sampling, so short runs are genuinely under-sampled rather than
+/// smoothed over.
+pub fn caveats() -> Json {
+    Json::Arr(vec![
+        Json::str(
+            "power is sampled by an emulated on-board sensor at 1-10 Hz (the K20's \
+             nvidia-smi path); runs shorter than a few samples are rejected as \
+             unmeasurable rather than extrapolated",
+        ),
+        Json::str(
+            "active runtime is quantized to the sampler grid; sub-100ms effects are \
+             invisible (see 'Part-time Power Measurements: nvidia-smi's Lack of \
+             Attention')",
+        ),
+    ])
+}
+
+/// A client-visible error: HTTP status + stable machine-readable code.
+#[derive(Debug, Clone)]
+pub struct ApiError {
+    pub status: u16,
+    pub code: &'static str,
+    pub message: String,
+    /// Extra structured fields merged into the `error` object.
+    pub extra: Vec<(&'static str, Json)>,
+}
+
+impl ApiError {
+    pub fn new(status: u16, code: &'static str, message: impl Into<String>) -> Self {
+        Self {
+            status,
+            code,
+            message: message.into(),
+            extra: Vec::new(),
+        }
+    }
+
+    /// The response body: `{"error": {"code": ..., "message": ..., ...}}`.
+    pub fn body(&self) -> Json {
+        let mut fields = vec![
+            ("code", Json::str(self.code)),
+            ("message", Json::str(self.message.clone())),
+        ];
+        fields.extend(self.extra.iter().cloned());
+        Json::obj([("error", Json::obj(fields))])
+    }
+}
+
+/// A cached measurement failure is not a server fault: it is the paper's
+/// "too fast to measure" outcome, served as `422` with a stable code so a
+/// poisoned cache entry round-trips as the same structured error forever.
+pub fn measurement_error(e: &PowerError) -> ApiError {
+    match e {
+        PowerError::InsufficientSamples(n) => {
+            let mut err = ApiError::new(
+                422,
+                "insufficient_samples",
+                format!(
+                    "run produced {n} above-threshold power samples, fewer than the \
+                     K20Power minimum; the paper excludes such runs rather than \
+                     reporting them"
+                ),
+            );
+            err.extra.push(("observed_samples", Json::num(*n as f64)));
+            err
+        }
+        PowerError::NoSamples => ApiError::new(
+            422,
+            "no_samples",
+            "run produced no power samples at all (empty trace)",
+        ),
+    }
+}
+
+/// Parameters of one `/v1/runs` request.
+#[derive(Clone)]
+pub struct RunParams {
+    pub bench: std::sync::Arc<dyn Benchmark>,
+    pub input: InputSpec,
+    pub config: GpuConfigKind,
+    pub reps: u64,
+}
+
+impl std::fmt::Debug for RunParams {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunParams")
+            .field("bench", &self.bench.spec().key)
+            .field("input", &self.input.name)
+            .field("config", &self.config)
+            .field("reps", &self.reps)
+            .finish()
+    }
+}
+
+fn parse_body(body: &[u8]) -> Result<Json, ApiError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| ApiError::new(400, "invalid_body", "body is not UTF-8"))?;
+    json::parse(text).map_err(|e| ApiError::new(400, "invalid_json", e.to_string()))
+}
+
+fn lookup_workload(doc: &Json) -> Result<std::sync::Arc<dyn Benchmark>, ApiError> {
+    let key = doc
+        .get("workload")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ApiError::new(400, "missing_field", "\"workload\" (string) is required"))?;
+    registry::by_key(key)
+        .map(std::sync::Arc::from)
+        .ok_or_else(|| {
+            ApiError::new(
+                404,
+                "unknown_workload",
+                format!("no workload with key {key:?}; see GET /v1/workloads"),
+            )
+        })
+}
+
+fn lookup_input(bench: &dyn Benchmark, doc: &Json) -> Result<InputSpec, ApiError> {
+    let inputs = bench.inputs();
+    match doc.get("input") {
+        None => Ok(inputs[0].clone()),
+        Some(Json::Str(name)) => inputs
+            .iter()
+            .find(|i| i.name == name)
+            .cloned()
+            .ok_or_else(|| {
+                let known: Vec<&str> = inputs.iter().map(|i| i.name).collect();
+                ApiError::new(
+                    404,
+                    "unknown_input",
+                    format!("no input named {name:?}; this workload has {known:?}"),
+                )
+            }),
+        Some(n) => {
+            let idx = n.as_u64().ok_or_else(|| {
+                ApiError::new(400, "invalid_input", "\"input\" must be a name or an index")
+            })?;
+            inputs.get(idx as usize).cloned().ok_or_else(|| {
+                ApiError::new(
+                    404,
+                    "unknown_input",
+                    format!("input index {idx} out of range (0..{})", inputs.len()),
+                )
+            })
+        }
+    }
+}
+
+fn lookup_reps(doc: &Json) -> Result<u64, ApiError> {
+    match doc.get("reps") {
+        None => Ok(1),
+        Some(v) => match v.as_u64() {
+            Some(r @ 1) | Some(r @ 3) => Ok(r),
+            _ => Err(ApiError::new(
+                400,
+                "invalid_reps",
+                "\"reps\" must be 1 (quick) or 3 (the paper's median-of-three)",
+            )),
+        },
+    }
+}
+
+/// Parse and validate a `/v1/runs` body.
+pub fn parse_run_request(body: &[u8]) -> Result<RunParams, ApiError> {
+    let doc = parse_body(body)?;
+    let bench = lookup_workload(&doc)?;
+    let input = lookup_input(bench.as_ref(), &doc)?;
+    let reps = lookup_reps(&doc)?;
+    let config = match doc.get("config") {
+        None => GpuConfigKind::Default,
+        Some(v) => {
+            let name = v.as_str().ok_or_else(|| {
+                ApiError::new(400, "invalid_config", "\"config\" must be a string")
+            })?;
+            GpuConfigKind::ALL
+                .into_iter()
+                .find(|c| c.name().eq_ignore_ascii_case(name))
+                .ok_or_else(|| {
+                    ApiError::new(
+                        400,
+                        "unknown_config",
+                        format!("no configuration {name:?}; one of default/614/324/ECC"),
+                    )
+                })?
+        }
+    };
+    Ok(RunParams {
+        bench,
+        input,
+        config,
+        reps,
+    })
+}
+
+fn reading_json(r: &Reading) -> Json {
+    Json::obj([
+        ("active_runtime_s", Json::num(r.active_runtime_s)),
+        ("energy_j", Json::num(r.energy_j)),
+        ("avg_power_w", Json::num(r.avg_power_w)),
+        ("threshold_w", Json::num(r.threshold_w)),
+        ("idle_w", Json::num(r.idle_w)),
+        ("n_active_samples", Json::num(r.n_active_samples as f64)),
+    ])
+}
+
+fn median_json(params: &RunParams, m: &MedianMeasurement) -> Json {
+    let mut fields = vec![
+        ("workload", Json::str(params.bench.spec().key)),
+        ("input", Json::str(params.input.name)),
+        ("config", Json::str(params.config.name())),
+        ("reps", Json::num(params.reps as f64)),
+        ("median", reading_json(&m.reading)),
+    ];
+    if params.reps >= 3 {
+        fields.push((
+            "variability_pct",
+            Json::obj([
+                ("time", Json::num(m.time_variability_pct)),
+                ("energy", Json::num(m.energy_variability_pct)),
+            ]),
+        ));
+    }
+    if let Some(items) = &m.items {
+        fields.push((
+            "items",
+            Json::obj([
+                ("vertices", Json::num(items.vertices as f64)),
+                ("edges", Json::num(items.edges as f64)),
+            ]),
+        ));
+    }
+    fields.push(("caveats", caveats()));
+    Json::obj(fields)
+}
+
+/// Execute a `/v1/runs` request against the shared campaign.
+pub fn run_response(campaign: &Campaign, params: &RunParams) -> Result<Json, ApiError> {
+    let m = campaign
+        .measurement(
+            params.bench.as_ref(),
+            &params.input,
+            params.config,
+            params.reps,
+        )
+        .map_err(|e| measurement_error(&e))?;
+    Ok(median_json(params, &m))
+}
+
+/// Parameters of one `/v1/sweep` request.
+#[derive(Clone)]
+pub struct SweepParams {
+    pub bench: std::sync::Arc<dyn Benchmark>,
+    pub input: InputSpec,
+    pub grid: Vec<SweepPoint>,
+    pub reps: u64,
+}
+
+impl std::fmt::Debug for SweepParams {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepParams")
+            .field("bench", &self.bench.spec().key)
+            .field("input", &self.input.name)
+            .field("grid", &self.grid)
+            .field("reps", &self.reps)
+            .finish()
+    }
+}
+
+fn clock_list(doc: &Json, field: &'static str, range: (f64, f64)) -> Result<Vec<f64>, ApiError> {
+    let arr = doc.get(field).and_then(Json::as_arr).ok_or_else(|| {
+        ApiError::new(
+            400,
+            "missing_field",
+            format!("\"{field}\" (array of MHz values) is required"),
+        )
+    })?;
+    if arr.is_empty() {
+        return Err(ApiError::new(
+            400,
+            "invalid_clock",
+            format!("\"{field}\" must not be empty"),
+        ));
+    }
+    arr.iter()
+        .map(|v| {
+            v.as_f64()
+                .filter(|mhz| (range.0..=range.1).contains(mhz))
+                .ok_or_else(|| {
+                    ApiError::new(
+                        400,
+                        "invalid_clock",
+                        format!(
+                            "\"{field}\" entries must be numbers in {:.0}..={:.0} MHz, got {}",
+                            range.0,
+                            range.1,
+                            v.dump()
+                        ),
+                    )
+                })
+        })
+        .collect()
+}
+
+/// Parse and validate a `/v1/sweep` body.
+pub fn parse_sweep_request(body: &[u8]) -> Result<SweepParams, ApiError> {
+    let doc = parse_body(body)?;
+    let bench = lookup_workload(&doc)?;
+    let input = lookup_input(bench.as_ref(), &doc)?;
+    let reps = lookup_reps(&doc)?;
+    let core = clock_list(&doc, "core_mhz", SWEEP_CORE_MHZ)?;
+    let mem = clock_list(&doc, "mem_mhz", SWEEP_MEM_MHZ)?;
+    let grid = sweep_grid(&core, &mem);
+    if grid.len() > MAX_SWEEP_POINTS {
+        return Err(ApiError::new(
+            400,
+            "sweep_too_large",
+            format!(
+                "grid has {} points; the limit is {MAX_SWEEP_POINTS} per request",
+                grid.len()
+            ),
+        ));
+    }
+    Ok(SweepParams {
+        bench,
+        input,
+        grid,
+        reps,
+    })
+}
+
+/// Execute a `/v1/sweep`: resolve the grid, embed per-point outcomes
+/// (unmeasurable points carry their structured error), and flag the
+/// Pareto frontier of energy vs runtime — the sweet-spot search.
+pub fn sweep_response(campaign: &Campaign, params: &SweepParams) -> Json {
+    let outcomes = campaign.sweep(
+        params.bench.as_ref(),
+        &params.input,
+        &params.grid,
+        params.reps,
+    );
+    // Pareto over the measurable points only.
+    let measured: Vec<(f64, f64)> = outcomes
+        .iter()
+        .filter_map(|(_, r)| r.as_ref().ok().map(|m| (m.active_runtime_s, m.energy_j)))
+        .collect();
+    let flags = pareto_front(&measured);
+    let mut flag_iter = flags.iter();
+    let points: Vec<Json> = outcomes
+        .iter()
+        .map(|(p, r)| {
+            let mut fields = vec![
+                ("core_mhz", Json::num(p.core_mhz)),
+                ("mem_mhz", Json::num(p.mem_mhz)),
+            ];
+            match r {
+                Ok(reading) => {
+                    let pareto = *flag_iter.next().unwrap();
+                    fields.push(("reading", reading_json(reading)));
+                    fields.push(("pareto", Json::Bool(pareto)));
+                }
+                Err(e) => {
+                    fields.push((
+                        "error",
+                        measurement_error(e).body().get("error").unwrap().clone(),
+                    ));
+                    fields.push(("pareto", Json::Bool(false)));
+                }
+            }
+            Json::obj(fields)
+        })
+        .collect();
+    // The frontier, sorted by runtime ascending, as a compact summary.
+    let mut frontier: Vec<(f64, f64, f64)> = outcomes
+        .iter()
+        .filter_map(|(p, r)| {
+            r.as_ref()
+                .ok()
+                .map(|m| (p.core_mhz, p.mem_mhz, m.active_runtime_s))
+        })
+        .zip(flags.iter())
+        .filter(|(_, &f)| f)
+        .map(|(x, _)| x)
+        .collect();
+    frontier.sort_by(|a, b| a.2.total_cmp(&b.2));
+    Json::obj([
+        ("workload", Json::str(params.bench.spec().key)),
+        ("input", Json::str(params.input.name)),
+        ("reps", Json::num(params.reps as f64)),
+        ("points", Json::Arr(points)),
+        (
+            "pareto_frontier",
+            Json::Arr(
+                frontier
+                    .into_iter()
+                    .map(|(c, m, t)| {
+                        Json::obj([
+                            ("core_mhz", Json::num(c)),
+                            ("mem_mhz", Json::num(m)),
+                            ("active_runtime_s", Json::num(t)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("caveats", caveats()),
+    ])
+}
+
+/// Every artifact name `repro` accepts, in `repro all` output order plus
+/// the opt-in `trdata`.
+pub const ARTIFACT_NAMES: [&str; 11] = [
+    "table1", "fig1", "fig2", "fig3", "fig4", "table2", "table3", "table4", "fig5", "fig6",
+    "trdata",
+];
+
+/// Generate one artifact's text, byte-identical to `repro <name>` stdout
+/// at the same repetition count: the same generator, the same renderer,
+/// the same trailing newline.
+pub fn artifact_text(campaign: &Campaign, name: &str, reps: u64) -> Result<String, ApiError> {
+    if !ARTIFACT_NAMES.contains(&name) {
+        return Err(ApiError::new(
+            404,
+            "unknown_artifact",
+            format!("no artifact {name:?}; one of {ARTIFACT_NAMES:?}"),
+        ));
+    }
+    // Prefetch the artifact's run matrix through the shared campaign (one
+    // deduplicated parallel pass; progress events flow to subscribers),
+    // then render from the memo.
+    if let Some(a) = Artifact::from_name(name) {
+        campaign.execute(&plan_artifacts(&[a], reps));
+    }
+    let rendered = match name {
+        "table1" => render_table1(&table1()),
+        "fig1" => render_fig1(&power_profile("sgemm")),
+        "fig2" => render_ratio_figure(
+            &ratio_figure(campaign, GpuConfigKind::Default, GpuConfigKind::C614, reps),
+            "Figure 2: effects of the 614 configuration",
+        ),
+        "fig3" => render_ratio_figure(
+            &ratio_figure(campaign, GpuConfigKind::C614, GpuConfigKind::C324, reps),
+            "Figure 3: effects of the 324 configuration",
+        ),
+        "fig4" => render_ratio_figure(
+            &ratio_figure(campaign, GpuConfigKind::Default, GpuConfigKind::Ecc, reps),
+            "Figure 4: effects of ECC",
+        ),
+        "table2" => render_table2(&table2(campaign)),
+        "table3" => render_table3(&table3(campaign, reps)),
+        "table4" => render_table4(&table4(campaign, reps)),
+        "fig5" => render_fig5(&input_power_figure(campaign, reps)),
+        "fig6" => render_fig6(&power_range_figure(campaign, reps)),
+        "trdata" => render_tr_detail(&tr_detail(campaign, reps)),
+        _ => unreachable!("gated by ARTIFACT_NAMES"),
+    };
+    // `repro` prints with `println!`, so the byte-identical body carries
+    // the trailing newline.
+    Ok(format!("{rendered}\n"))
+}
+
+/// `GET /v1/workloads`: the discoverable request space.
+pub fn workloads_response() -> Json {
+    let items: Vec<Json> = registry::all()
+        .iter()
+        .map(|b| {
+            let spec = b.spec();
+            Json::obj([
+                ("key", Json::str(spec.key)),
+                ("name", Json::str(spec.name)),
+                ("suite", Json::str(spec.suite.name())),
+                ("regular", Json::Bool(spec.regular)),
+                (
+                    "inputs",
+                    Json::Arr(b.inputs().iter().map(|i| Json::str(i.name)).collect()),
+                ),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("workloads", Json::Arr(items)),
+        (
+            "configs",
+            Json::Arr(
+                GpuConfigKind::ALL
+                    .iter()
+                    .map(|c| Json::str(c.name()))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_minimal_run_request() {
+        let p = parse_run_request(br#"{"workload": "sgemm"}"#).unwrap();
+        assert_eq!(p.bench.spec().key, "sgemm");
+        assert_eq!(p.config, GpuConfigKind::Default);
+        assert_eq!(p.reps, 1);
+        assert_eq!(p.input.name, p.bench.inputs()[0].name);
+    }
+
+    #[test]
+    fn run_request_validation_errors_carry_stable_codes() {
+        for (body, status, code) in [
+            (&br#"not json"#[..], 400, "invalid_json"),
+            (br#"{}"#, 400, "missing_field"),
+            (br#"{"workload": "nope"}"#, 404, "unknown_workload"),
+            (
+                br#"{"workload": "sgemm", "input": "nope"}"#,
+                404,
+                "unknown_input",
+            ),
+            (
+                br#"{"workload": "sgemm", "input": 99}"#,
+                404,
+                "unknown_input",
+            ),
+            (
+                br#"{"workload": "sgemm", "config": "999"}"#,
+                400,
+                "unknown_config",
+            ),
+            (br#"{"workload": "sgemm", "reps": 2}"#, 400, "invalid_reps"),
+        ] {
+            let e = parse_run_request(body).unwrap_err();
+            assert_eq!((e.status, e.code), (status, code), "{body:?}");
+            // The body shape is {"error": {"code": ...}}.
+            assert_eq!(
+                e.body().get("error").unwrap().get("code").unwrap().as_str(),
+                Some(code)
+            );
+        }
+    }
+
+    #[test]
+    fn config_names_parse_case_insensitively() {
+        let p = parse_run_request(br#"{"workload": "sgemm", "config": "ecc"}"#).unwrap();
+        assert_eq!(p.config, GpuConfigKind::Ecc);
+        let p = parse_run_request(br#"{"workload": "sgemm", "config": "614"}"#).unwrap();
+        assert_eq!(p.config, GpuConfigKind::C614);
+    }
+
+    #[test]
+    fn measurement_errors_map_to_422_with_stable_codes() {
+        let e = measurement_error(&PowerError::InsufficientSamples(4));
+        assert_eq!((e.status, e.code), (422, "insufficient_samples"));
+        let err_obj = e.body();
+        let inner = err_obj.get("error").unwrap();
+        assert_eq!(inner.get("observed_samples").unwrap().as_u64(), Some(4));
+        let e = measurement_error(&PowerError::NoSamples);
+        assert_eq!((e.status, e.code), (422, "no_samples"));
+    }
+
+    #[test]
+    fn sweep_request_validates_grid() {
+        let p = parse_sweep_request(
+            br#"{"workload": "sgemm", "core_mhz": [705, 614], "mem_mhz": [2600]}"#,
+        )
+        .unwrap();
+        assert_eq!(p.grid.len(), 2);
+        let e =
+            parse_sweep_request(br#"{"workload": "sgemm", "core_mhz": [9999], "mem_mhz": [2600]}"#)
+                .unwrap_err();
+        assert_eq!(e.code, "invalid_clock");
+        let e = parse_sweep_request(br#"{"workload": "sgemm", "core_mhz": [705], "mem_mhz": []}"#)
+            .unwrap_err();
+        assert_eq!(e.code, "invalid_clock");
+        let e = parse_sweep_request(br#"{"workload": "sgemm", "mem_mhz": [2600]}"#).unwrap_err();
+        assert_eq!(e.code, "missing_field");
+        // 9 x 9 = 81 > 64.
+        let nine = "[324,400,450,500,550,600,650,700,758]";
+        let body = format!(
+            r#"{{"workload": "sgemm", "core_mhz": {nine}, "mem_mhz": [324,500,700,900,1100,1300,1500,1700,2600]}}"#
+        );
+        let e = parse_sweep_request(body.as_bytes()).unwrap_err();
+        assert_eq!(e.code, "sweep_too_large");
+    }
+
+    #[test]
+    fn artifact_names_cover_repro_and_reject_unknown() {
+        let c = Campaign::in_memory();
+        let e = artifact_text(&c, "table9", 1).unwrap_err();
+        assert_eq!((e.status, e.code), (404, "unknown_artifact"));
+        // The measurement-free artifacts render without touching the
+        // simulator's measurement path.
+        let t1 = artifact_text(&c, "table1", 1).unwrap();
+        assert!(t1.starts_with("Table 1"));
+        assert!(t1.ends_with('\n'));
+    }
+
+    #[test]
+    fn workloads_response_lists_the_registry() {
+        let doc = workloads_response();
+        let items = doc.get("workloads").unwrap().as_arr().unwrap();
+        assert_eq!(items.len(), registry::all().len());
+        assert_eq!(doc.get("configs").unwrap().as_arr().unwrap().len(), 4);
+    }
+
+    /// End-to-end through the campaign: a real run response with the
+    /// caveats attached, and byte-identical JSON for identical requests.
+    #[test]
+    fn run_response_is_deterministic_json() {
+        let c = Campaign::in_memory();
+        let p = parse_run_request(br#"{"workload": "sten"}"#).unwrap();
+        let a = run_response(&c, &p).unwrap().dump();
+        let b = run_response(&c, &p).unwrap().dump();
+        assert_eq!(a, b);
+        let doc = json::parse(&a).unwrap();
+        assert!(
+            doc.get("median")
+                .unwrap()
+                .get("energy_j")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+                > 0.0
+        );
+        assert_eq!(doc.get("caveats").unwrap().as_arr().unwrap().len(), 2);
+    }
+}

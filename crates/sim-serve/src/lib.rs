@@ -1,0 +1,53 @@
+//! # sim-serve
+//!
+//! Characterization-as-a-service: a dependency-free HTTP/1.1 JSON service
+//! over `std::net` that exposes the [`characterize`] measurement campaign
+//! to remote clients. One long-lived [`Campaign`] backs every request, so
+//! the service inherits the campaign's three cache layers (in-process
+//! memo, condvar in-flight dedup, on-disk records): N identical concurrent
+//! requests cost one simulation, and a warm cache serves paper artifacts
+//! byte-identical to `repro` without simulating at all.
+//!
+//! ## Endpoints
+//!
+//! | Route | What it does |
+//! |---|---|
+//! | `POST /v1/runs` | Measure one workload × input × config × reps |
+//! | `POST /v1/sweep` | Clock-grid sweep → Pareto frontier of energy vs runtime |
+//! | `GET /v1/artifacts/{name}` | A paper table/figure, byte-identical to `repro` |
+//! | `GET /v1/workloads` | The discoverable request space |
+//! | `GET /healthz` | Liveness (`ok` / `draining`) |
+//! | `GET /metrics` | Queue, campaign-cache, and latency metrics |
+//!
+//! Long-running requests can append `?stream=1` to receive chunked NDJSON:
+//! `progress` lines fed by the campaign's [`sim_telemetry`] events, then
+//! one terminal `result` line.
+//!
+//! ## Admission control
+//!
+//! Every measurement runs on a fixed worker pool fed by a bounded queue
+//! ([`queue::JobQueue`]) — the single admission point. A full queue sheds
+//! load immediately (`503` + `Retry-After`) instead of letting latency
+//! grow; request size limits are enforced while reading; a graceful drain
+//! (SIGTERM/SIGINT or [`Server::shutdown_handle`]) stops accepting, runs
+//! the admitted backlog to completion, and exits cleanly.
+//!
+//! See `docs/SERVE.md` for the full API reference and semantics.
+//!
+//! [`Campaign`]: characterize::campaign::Campaign
+
+pub mod api;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod queue;
+pub mod server;
+
+pub use api::{ApiError, ARTIFACT_NAMES, MAX_SWEEP_POINTS};
+pub use http::{Limits, Request, Response};
+pub use json::Json;
+pub use metrics::{Endpoint, Metrics};
+pub use queue::{JobQueue, SubmitError};
+pub use server::{
+    install_signal_handlers, signal_shutdown_requested, ServeState, Server, ServerConfig,
+};

@@ -1,0 +1,233 @@
+//! A bounded job queue feeding a fixed worker pool.
+//!
+//! Connection handlers stay cheap: anything that can touch the simulator
+//! is packaged as a job and submitted here. The queue is the service's
+//! *only* admission point, so backpressure is a single number — a full
+//! queue rejects immediately (the HTTP layer turns that into `503` +
+//! `Retry-After`) instead of letting latency grow without bound.
+//!
+//! Identical concurrent jobs deliberately all enter the queue: the
+//! campaign underneath deduplicates them on its in-flight condvar, so N
+//! duplicates cost N queue slots but only one simulation.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Why a job was not admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Queue at capacity — shed load, retry later.
+    Full,
+    /// Queue draining for shutdown — no new work.
+    Closed,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    open: bool,
+    /// Jobs currently executing on workers.
+    active: usize,
+}
+
+struct Shared {
+    state: Mutex<QueueState>,
+    capacity: usize,
+    /// Signals workers that a job (or shutdown) is available.
+    work: Condvar,
+    /// Signals `drain` that the queue went idle.
+    idle: Condvar,
+}
+
+/// The bounded queue + its worker pool.
+pub struct JobQueue {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    worker_count: usize,
+}
+
+impl JobQueue {
+    /// A queue holding at most `capacity` pending jobs, executed by
+    /// `workers` threads (both clamped to ≥ 1).
+    pub fn new(capacity: usize, workers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                open: true,
+                active: 0,
+            }),
+            capacity: capacity.max(1),
+            work: Condvar::new(),
+            idle: Condvar::new(),
+        });
+        let worker_count = workers.max(1);
+        let handles = (0..worker_count)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("sim-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Self {
+            shared,
+            workers: Mutex::new(handles),
+            worker_count,
+        }
+    }
+
+    /// Admit one job, or reject immediately.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) -> Result<(), SubmitError> {
+        let mut g = self.shared.state.lock().unwrap();
+        if !g.open {
+            return Err(SubmitError::Closed);
+        }
+        if g.jobs.len() >= self.shared.capacity {
+            return Err(SubmitError::Full);
+        }
+        g.jobs.push_back(Box::new(job));
+        drop(g);
+        self.shared.work.notify_one();
+        Ok(())
+    }
+
+    /// Jobs waiting (not yet picked up by a worker).
+    pub fn depth(&self) -> usize {
+        self.shared.state.lock().unwrap().jobs.len()
+    }
+
+    /// Jobs currently executing.
+    pub fn active(&self) -> usize {
+        self.shared.state.lock().unwrap().active
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    pub fn workers(&self) -> usize {
+        self.worker_count
+    }
+
+    /// Graceful drain: refuse new jobs, run everything already admitted to
+    /// completion, then join the workers. Idempotent; shared-reference so
+    /// the queue can live in an `Arc` alongside its submitters.
+    pub fn drain(&self) {
+        {
+            let mut g = self.shared.state.lock().unwrap();
+            g.open = false;
+            // Wait until the backlog is executed, not merely dequeued.
+            while !g.jobs.is_empty() || g.active > 0 {
+                g = self.shared.idle.wait(g).unwrap();
+            }
+        }
+        self.shared.work.notify_all();
+        for h in self.workers.lock().unwrap().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut g = shared.state.lock().unwrap();
+            loop {
+                if let Some(job) = g.jobs.pop_front() {
+                    g.active += 1;
+                    break job;
+                }
+                if !g.open {
+                    return;
+                }
+                g = shared.work.wait(g).unwrap();
+            }
+        };
+        // A panicking job must not take the worker down with it: the
+        // submitting handler observes the panic through its result
+        // channel hanging up and answers 500.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+        let mut g = shared.state.lock().unwrap();
+        g.active -= 1;
+        let notify_idle = g.jobs.is_empty() && g.active == 0;
+        drop(g);
+        if notify_idle {
+            shared.idle.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    #[test]
+    fn executes_submitted_jobs() {
+        let q = JobQueue::new(8, 2);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..5 {
+            let tx = tx.clone();
+            q.submit(move || tx.send(i).unwrap()).unwrap();
+        }
+        let mut got: Vec<i32> = (0..5)
+            .map(|_| rx.recv_timeout(Duration::from_secs(5)).unwrap())
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        q.drain();
+    }
+
+    #[test]
+    fn full_queue_rejects_and_drains_clean() {
+        let q = JobQueue::new(1, 1);
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        // Occupy the single worker...
+        q.submit(move || {
+            started_tx.send(()).unwrap();
+            gate_rx.recv().unwrap();
+        })
+        .unwrap();
+        started_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        // ...fill the single slot...
+        q.submit(|| {}).unwrap();
+        // ...and the next admission is shed.
+        assert_eq!(q.submit(|| {}).unwrap_err(), SubmitError::Full);
+        assert_eq!(q.depth(), 1);
+        assert_eq!(q.active(), 1);
+        gate_tx.send(()).unwrap();
+        q.drain();
+    }
+
+    #[test]
+    fn drain_runs_the_backlog_before_returning() {
+        let q = JobQueue::new(16, 1);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..10 {
+            let done = Arc::clone(&done);
+            q.submit(move || {
+                std::thread::sleep(Duration::from_millis(2));
+                done.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+        }
+        q.drain();
+        assert_eq!(done.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn a_panicking_job_does_not_kill_the_worker() {
+        let q = JobQueue::new(4, 1);
+        q.submit(|| panic!("boom")).unwrap();
+        let (tx, rx) = mpsc::channel();
+        q.submit(move || tx.send(42).unwrap()).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), 42);
+        q.drain();
+    }
+}

@@ -1,0 +1,670 @@
+//! The HTTP server: accept loop, routing, the job-queue bridge, NDJSON
+//! progress streaming, and graceful drain.
+//!
+//! Threading model: one acceptor (the caller of [`Server::run`]), one
+//! short-lived thread per connection, and the fixed [`JobQueue`] worker
+//! pool. Connection threads only parse/validate and wait; every call that
+//! can touch the simulator runs on a queue worker, so the queue capacity
+//! is the service's single admission-control knob. Identical concurrent
+//! requests all enter the queue but the [`Campaign`] underneath collapses
+//! them onto one simulation via its in-flight dedup.
+
+use crate::api::{self, ApiError};
+use crate::http::{
+    read_request, write_response, ChunkedResponse, Limits, ReadError, Request, Response,
+};
+use crate::json::Json;
+use crate::metrics::{Endpoint, Metrics};
+use crate::queue::{JobQueue, SubmitError};
+use characterize::campaign::{Campaign, CampaignConfig};
+use sim_telemetry::{Event, FanoutSink, TelemetrySink};
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:8077` (port 0 for ephemeral).
+    pub addr: String,
+    /// Queue worker threads executing measurement jobs.
+    pub workers: usize,
+    /// Maximum queued (not yet executing) jobs before load is shed.
+    pub queue_capacity: usize,
+    /// Campaign cache directory (`None`: in-process memo only).
+    pub cache_dir: Option<PathBuf>,
+    /// Repetitions for `/v1/artifacts` when the request does not say —
+    /// 3 keeps artifact bodies byte-identical to `repro` and the goldens.
+    pub default_artifact_reps: u64,
+    /// Wall-clock budget for one queued job (`504` after; the job keeps
+    /// running and its result lands in the cache).
+    pub request_timeout: Duration,
+    /// Read limits for one request.
+    pub limits: Limits,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:8077".to_string(),
+            workers: 2,
+            queue_capacity: 64,
+            cache_dir: None,
+            default_artifact_reps: 3,
+            request_timeout: Duration::from_secs(300),
+            limits: Limits::default(),
+        }
+    }
+}
+
+// -- signal handling --------------------------------------------------------
+
+/// Set by the SIGTERM/SIGINT handler; checked by every accept-loop pass.
+static SIGNAL_SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_shutdown_signal(_signum: i32) {
+    SIGNAL_SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Install SIGTERM and SIGINT handlers that request a graceful drain.
+///
+/// Uses the platform `signal(2)` that `std` already links — storing one
+/// atomic flag is async-signal-safe, and the accept loop polls the flag,
+/// so no self-pipe is needed.
+pub fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_shutdown_signal as *const () as usize);
+        signal(SIGINT, on_shutdown_signal as *const () as usize);
+    }
+}
+
+/// Whether a drain-requesting signal has been received.
+pub fn signal_shutdown_requested() -> bool {
+    SIGNAL_SHUTDOWN.load(Ordering::SeqCst)
+}
+
+// -- shared state -----------------------------------------------------------
+
+/// Everything connection handlers and queue workers share.
+pub struct ServeState {
+    pub campaign: Campaign,
+    pub fanout: Arc<FanoutSink>,
+    pub metrics: Metrics,
+    queue: JobQueue,
+    limits: Limits,
+    request_timeout: Duration,
+    default_artifact_reps: u64,
+    started: Instant,
+    draining: AtomicBool,
+    connections: AtomicUsize,
+}
+
+impl ServeState {
+    /// Queue gauges for `/metrics` and tests.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.depth()
+    }
+}
+
+/// A validated request, packaged for a queue worker to execute.
+type MeasurementJob = Box<dyn FnOnce(&ServeState) -> JobReply + Send>;
+
+/// What a queued job produces: status + payload, composable into either a
+/// fixed response or the final line of an NDJSON stream.
+enum JobReply {
+    Json(u16, Json),
+    Text(u16, String),
+}
+
+impl JobReply {
+    fn status(&self) -> u16 {
+        match self {
+            JobReply::Json(s, _) | JobReply::Text(s, _) => *s,
+        }
+    }
+
+    fn into_response(self) -> Response {
+        match self {
+            JobReply::Json(status, body) => Response::json(status, body.dump()),
+            JobReply::Text(status, body) => Response::text(status, body),
+        }
+    }
+
+    /// The `result` NDJSON line: `{"event":"result","status":...,"body":...}`.
+    fn into_stream_line(self) -> String {
+        let (status, body) = match self {
+            JobReply::Json(s, b) => (s, b),
+            JobReply::Text(s, t) => (s, Json::Str(t)),
+        };
+        Json::obj([
+            ("event", Json::str("result")),
+            ("status", Json::num(status as f64)),
+            ("body", body),
+        ])
+        .dump()
+    }
+}
+
+fn api_error_reply(e: &ApiError) -> JobReply {
+    JobReply::Json(e.status, e.body())
+}
+
+fn error_response(status: u16, code: &'static str, message: impl Into<String>) -> Response {
+    Response::json(status, ApiError::new(status, code, message).body().dump())
+}
+
+// -- the server -------------------------------------------------------------
+
+/// A bound, not-yet-running service instance.
+pub struct Server {
+    state: Arc<ServeState>,
+    listener: TcpListener,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Bind the listener and build the shared state (campaign wired to a
+    /// fanout sink so clients can stream progress).
+    pub fn bind(cfg: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let fanout = Arc::new(FanoutSink::new());
+        let campaign = Campaign::new(CampaignConfig {
+            cache_dir: cfg.cache_dir.clone(),
+            telemetry: Some(Arc::clone(&fanout) as Arc<dyn TelemetrySink>),
+        });
+        let state = Arc::new(ServeState {
+            campaign,
+            fanout,
+            metrics: Metrics::new(),
+            queue: JobQueue::new(cfg.queue_capacity, cfg.workers),
+            limits: cfg.limits,
+            request_timeout: cfg.request_timeout,
+            default_artifact_reps: cfg.default_artifact_reps,
+            started: Instant::now(),
+            draining: AtomicBool::new(false),
+            connections: AtomicUsize::new(0),
+        });
+        Ok(Server {
+            state,
+            listener,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("bound listener")
+    }
+
+    /// A flag that stops the accept loop when set (the programmatic
+    /// equivalent of SIGTERM; tests use it).
+    pub fn shutdown_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// The shared state (tests and `loadgen` read gauges through it).
+    pub fn state(&self) -> Arc<ServeState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Serve until shutdown is requested (handle or signal), then drain:
+    /// stop accepting, finish every admitted job, join the workers, wait
+    /// for in-flight connections.
+    pub fn run(self) {
+        // Nonblocking accept polled with exponential idle backoff: a burst
+        // is accepted back-to-back with ~1ms wake-up latency, while an idle
+        // listener costs ~60 polls/s. (Polling a flag instead of blocking
+        // in accept keeps shutdown signal-handling async-signal-safe.)
+        let mut idle_sleep_ms = 1u64;
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) || signal_shutdown_requested() {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    idle_sleep_ms = 1;
+                    let state = Arc::clone(&self.state);
+                    state.connections.fetch_add(1, Ordering::SeqCst);
+                    std::thread::Builder::new()
+                        .name("sim-serve-conn".to_string())
+                        .spawn(move || {
+                            handle_connection(&state, stream);
+                            state.connections.fetch_sub(1, Ordering::SeqCst);
+                        })
+                        .expect("spawn connection handler");
+                }
+                Err(_) => {
+                    // WouldBlock or a transient accept error: back off.
+                    std::thread::sleep(Duration::from_millis(idle_sleep_ms));
+                    idle_sleep_ms = (idle_sleep_ms * 2).min(16);
+                }
+            }
+        }
+        // Drain: no new connections are accepted past this point; new
+        // submissions see `Closed` and answer 503.
+        self.state.draining.store(true, Ordering::SeqCst);
+        self.state.queue.drain();
+        // Give in-flight connection threads (now at most waiting on the
+        // drained queue or writing responses) a bounded window to finish.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while self.state.connections.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+}
+
+// -- connection handling ----------------------------------------------------
+
+fn handle_connection(state: &Arc<ServeState>, stream: TcpStream) {
+    // Accepted sockets must be blocking regardless of the listener's mode.
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    let reader_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(reader_stream);
+    let mut writer = BufWriter::new(stream);
+    let t0 = Instant::now();
+    match read_request(&mut reader, &state.limits) {
+        Err(ReadError::Closed) => {}
+        Err(ReadError::Io(_)) => {
+            let _ = write_response(
+                &mut writer,
+                &error_response(408, "request_timeout", "timed out reading the request"),
+            );
+            state.metrics.observe(Endpoint::Other, 408, t0.elapsed());
+        }
+        Err(ReadError::Bad { status, message }) => {
+            let _ = write_response(&mut writer, &error_response(status, "bad_request", message));
+            state.metrics.observe(Endpoint::Other, status, t0.elapsed());
+        }
+        Ok(req) => dispatch(state, &req, &mut writer, t0),
+    }
+}
+
+fn endpoint_of(req: &Request) -> Endpoint {
+    match (req.method.as_str(), req.path.as_str()) {
+        (_, "/v1/runs") => Endpoint::Runs,
+        (_, "/v1/sweep") => Endpoint::Sweep,
+        (_, p) if p == "/v1/artifacts" || p.starts_with("/v1/artifacts/") => Endpoint::Artifacts,
+        (_, "/healthz") => Endpoint::Healthz,
+        (_, "/metrics") => Endpoint::Metrics,
+        _ => Endpoint::Other,
+    }
+}
+
+fn wants_stream(req: &Request) -> bool {
+    matches!(req.query_param("stream"), Some("1") | Some("true"))
+}
+
+fn dispatch(state: &Arc<ServeState>, req: &Request, writer: &mut impl std::io::Write, t0: Instant) {
+    let endpoint = endpoint_of(req);
+    // The cheap, never-queued endpoints answer inline even mid-drain.
+    let inline: Option<Response> = match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => Some(healthz(state)),
+        ("GET", "/metrics") => Some(Response::json(200, metrics_body(state).dump())),
+        ("GET", "/v1/workloads") => Some(Response::json(200, api::workloads_response().dump())),
+        ("GET", "/v1/artifacts") => Some(Response::json(
+            200,
+            Json::obj([(
+                "artifacts",
+                Json::Arr(api::ARTIFACT_NAMES.iter().map(|n| Json::str(*n)).collect()),
+            )])
+            .dump(),
+        )),
+        ("GET", "/v1/runs") | ("GET", "/v1/sweep") => Some(
+            error_response(405, "method_not_allowed", "use POST")
+                .with_header("Allow", "POST".to_string()),
+        ),
+        ("POST", p) if p == "/v1/artifacts" || p.starts_with("/v1/artifacts/") => Some(
+            error_response(405, "method_not_allowed", "use GET")
+                .with_header("Allow", "GET".to_string()),
+        ),
+        ("POST", "/v1/runs") | ("POST", "/v1/sweep") => None,
+        ("GET", p) if p.starts_with("/v1/artifacts/") => None,
+        _ => Some(error_response(
+            404,
+            "not_found",
+            format!("no route for {} {}", req.method, req.path),
+        )),
+    };
+    if let Some(resp) = inline {
+        let status = resp.status;
+        let _ = write_response(writer, &resp);
+        state.metrics.observe(endpoint, status, t0.elapsed());
+        return;
+    }
+
+    // Queued endpoints: validate inline (cheap, shed bad input before it
+    // costs a queue slot), then hand the measurement to a worker.
+    let job: MeasurementJob = match build_job(state, req) {
+        Ok(job) => job,
+        Err(e) => {
+            let _ = write_response(writer, &Response::json(e.status, e.body().dump()));
+            state.metrics.observe(endpoint, e.status, t0.elapsed());
+            return;
+        }
+    };
+
+    if wants_stream(req) {
+        let status = run_streaming(state, job, writer);
+        state.metrics.observe(endpoint, status, t0.elapsed());
+    } else {
+        let mut resp = run_queued(state, job).into_response();
+        if resp.status == 503 {
+            resp = resp.with_header("Retry-After", "1".to_string());
+        }
+        let status = resp.status;
+        let _ = write_response(writer, &resp);
+        state.metrics.observe(endpoint, status, t0.elapsed());
+    }
+}
+
+/// Parse + validate one queued request into its worker-side job.
+fn build_job(state: &Arc<ServeState>, req: &Request) -> Result<MeasurementJob, ApiError> {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/v1/runs") => {
+            let params = api::parse_run_request(&req.body)?;
+            Ok(Box::new(move |st: &ServeState| {
+                match api::run_response(&st.campaign, &params) {
+                    Ok(body) => JobReply::Json(200, body),
+                    Err(e) => api_error_reply(&e),
+                }
+            }))
+        }
+        ("POST", "/v1/sweep") => {
+            let params = api::parse_sweep_request(&req.body)?;
+            Ok(Box::new(move |st: &ServeState| {
+                JobReply::Json(200, api::sweep_response(&st.campaign, &params))
+            }))
+        }
+        ("GET", path) => {
+            let name = path
+                .strip_prefix("/v1/artifacts/")
+                .unwrap_or_default()
+                .to_string();
+            let reps = match req.query_param("reps") {
+                None => state.default_artifact_reps,
+                Some("1") => 1,
+                Some("3") => 3,
+                Some(other) => {
+                    return Err(ApiError::new(
+                        400,
+                        "invalid_reps",
+                        format!("reps must be 1 or 3, got {other:?}"),
+                    ))
+                }
+            };
+            // Reject unknown names before spending a queue slot.
+            if !api::ARTIFACT_NAMES.contains(&name.as_str()) {
+                return Err(ApiError::new(
+                    404,
+                    "unknown_artifact",
+                    format!("no artifact {name:?}; one of {:?}", api::ARTIFACT_NAMES),
+                ));
+            }
+            Ok(Box::new(move |st: &ServeState| {
+                match api::artifact_text(&st.campaign, &name, reps) {
+                    Ok(text) => JobReply::Text(200, text),
+                    Err(e) => api_error_reply(&e),
+                }
+            }))
+        }
+        _ => unreachable!("dispatch routes only queued endpoints here"),
+    }
+}
+
+/// Submit a job and block for its reply (or shed/timeout).
+fn run_queued(state: &Arc<ServeState>, job: MeasurementJob) -> JobReply {
+    let (tx, rx) = mpsc::sync_channel::<JobReply>(1);
+    let st = Arc::clone(state);
+    match state.queue.submit(move || {
+        let _ = tx.send(job(&st));
+    }) {
+        Err(SubmitError::Full) => {
+            return JobReply::Json(
+                503,
+                ApiError::new(
+                    503,
+                    "queue_full",
+                    format!(
+                        "job queue at capacity ({}); retry shortly",
+                        state.queue.capacity()
+                    ),
+                )
+                .body(),
+            )
+        }
+        Err(SubmitError::Closed) => {
+            return JobReply::Json(
+                503,
+                ApiError::new(503, "draining", "server is draining for shutdown").body(),
+            )
+        }
+        Ok(()) => {}
+    }
+    match rx.recv_timeout(state.request_timeout) {
+        Ok(reply) => reply,
+        Err(mpsc::RecvTimeoutError::Timeout) => JobReply::Json(
+            504,
+            ApiError::new(
+                504,
+                "deadline_exceeded",
+                "the job exceeded the request timeout; it keeps running and its \
+                 result will be served from cache on retry",
+            )
+            .body(),
+        ),
+        // The worker caught a panic in this job; its sender is gone.
+        Err(mpsc::RecvTimeoutError::Disconnected) => JobReply::Json(
+            500,
+            ApiError::new(500, "internal", "the job failed unexpectedly").body(),
+        ),
+    }
+}
+
+/// The HTTP status `run_streaming` reports to metrics for a shed request.
+fn shed_status(reply: &JobReply) -> u16 {
+    reply.status()
+}
+
+/// Streamed execution: a `200` chunked NDJSON response carrying
+/// `progress` lines (campaign-global `CampaignProgress` events) and one
+/// terminal `result` line. Returns the status recorded in metrics.
+fn run_streaming(
+    state: &Arc<ServeState>,
+    job: MeasurementJob,
+    writer: &mut impl std::io::Write,
+) -> u16 {
+    // Subscribe before submitting so no progress is missed.
+    let sub = state
+        .fanout
+        .subscribe_filtered(|e| matches!(e, Event::CampaignProgress { .. }));
+    let (tx, rx) = mpsc::sync_channel::<JobReply>(1);
+    let st = Arc::clone(state);
+    match state.queue.submit(move || {
+        let _ = tx.send(job(&st));
+    }) {
+        Err(SubmitError::Full) => {
+            let reply = JobReply::Json(
+                503,
+                ApiError::new(503, "queue_full", "job queue at capacity; retry shortly").body(),
+            );
+            let status = shed_status(&reply);
+            let _ = write_response(
+                writer,
+                &reply
+                    .into_response()
+                    .with_header("Retry-After", "1".to_string()),
+            );
+            return status;
+        }
+        Err(SubmitError::Closed) => {
+            let reply = JobReply::Json(
+                503,
+                ApiError::new(503, "draining", "server is draining for shutdown").body(),
+            );
+            let status = shed_status(&reply);
+            let _ = write_response(
+                writer,
+                &reply
+                    .into_response()
+                    .with_header("Retry-After", "5".to_string()),
+            );
+            return status;
+        }
+        Ok(()) => {}
+    }
+
+    let mut chunked = match ChunkedResponse::start(writer, 200, "application/x-ndjson") {
+        Ok(c) => c,
+        Err(_) => return 200, // client went away; job still completes + caches
+    };
+    let deadline = Instant::now() + state.request_timeout;
+    let final_line = loop {
+        // Forward whatever progress queued up.
+        for ev in sub.try_iter() {
+            if let Event::CampaignProgress { done, total, .. } = ev {
+                let line = Json::obj([
+                    ("event", Json::str("progress")),
+                    ("done", Json::num(done as f64)),
+                    ("total", Json::num(total as f64)),
+                ])
+                .dump();
+                if chunked.chunk(format!("{line}\n").as_bytes()).is_err() {
+                    // Client hung up; let the job finish for the cache.
+                    return 200;
+                }
+            }
+        }
+        match rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(reply) => break reply.into_stream_line(),
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if Instant::now() >= deadline {
+                    break JobReply::Json(
+                        504,
+                        ApiError::new(
+                            504,
+                            "deadline_exceeded",
+                            "the job exceeded the request timeout; it keeps running \
+                             and its result will be served from cache on retry",
+                        )
+                        .body(),
+                    )
+                    .into_stream_line();
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                break JobReply::Json(
+                    500,
+                    ApiError::new(500, "internal", "the job failed unexpectedly").body(),
+                )
+                .into_stream_line();
+            }
+        }
+    };
+    let _ = chunked.chunk(format!("{final_line}\n").as_bytes());
+    let _ = chunked.finish();
+    200
+}
+
+// -- cheap endpoints --------------------------------------------------------
+
+fn healthz(state: &Arc<ServeState>) -> Response {
+    let draining = state.draining.load(Ordering::SeqCst);
+    Response::json(
+        200,
+        Json::obj([(
+            "status",
+            Json::str(if draining { "draining" } else { "ok" }),
+        )])
+        .dump(),
+    )
+}
+
+/// The `/metrics` document: queue gauges, campaign cache counters, stream
+/// subscriber count, and per-endpoint HTTP latency histograms.
+pub fn metrics_body(state: &Arc<ServeState>) -> Json {
+    let stats = state.campaign.stats();
+    Json::obj([
+        (
+            "uptime_s",
+            Json::num((state.started.elapsed().as_secs_f64() * 1e3).round() / 1e3),
+        ),
+        (
+            "queue",
+            Json::obj([
+                ("depth", Json::num(state.queue.depth() as f64)),
+                ("active", Json::num(state.queue.active() as f64)),
+                ("capacity", Json::num(state.queue.capacity() as f64)),
+                ("workers", Json::num(state.queue.workers() as f64)),
+            ]),
+        ),
+        (
+            "campaign",
+            Json::obj([
+                ("simulated", Json::num(stats.simulated as f64)),
+                ("memo_hits", Json::num(stats.memo_hits as f64)),
+                ("disk_hits", Json::num(stats.disk_hits as f64)),
+                ("disk_stale", Json::num(stats.disk_stale as f64)),
+                ("disk_corrupt", Json::num(stats.disk_corrupt as f64)),
+                ("in_flight", Json::num(stats.in_flight as f64)),
+                ("cached_errors", Json::num(stats.cached_errors as f64)),
+            ]),
+        ),
+        (
+            "stream_subscribers",
+            Json::num(state.fanout.subscriber_count() as f64),
+        ),
+        ("http", state.metrics.to_json()),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_reply_renders_both_shapes() {
+        let r = JobReply::Json(422, Json::obj([("a", Json::num(1.0))])).into_response();
+        assert_eq!(r.status, 422);
+        assert_eq!(r.content_type, "application/json");
+        let r = JobReply::Text(200, "Table 4\n".to_string()).into_response();
+        assert_eq!(r.content_type, "text/plain; charset=utf-8");
+        assert_eq!(r.body, b"Table 4\n");
+        let line = JobReply::Text(200, "x\n".to_string()).into_stream_line();
+        assert_eq!(line, r#"{"event":"result","status":200,"body":"x\n"}"#);
+    }
+
+    #[test]
+    fn endpoint_routing_classifies_paths() {
+        fn req(method: &str, path: &str) -> Request {
+            Request {
+                method: method.to_string(),
+                path: path.to_string(),
+                query: vec![],
+                headers: vec![],
+                body: vec![],
+            }
+        }
+        assert_eq!(endpoint_of(&req("POST", "/v1/runs")), Endpoint::Runs);
+        assert_eq!(endpoint_of(&req("POST", "/v1/sweep")), Endpoint::Sweep);
+        assert_eq!(
+            endpoint_of(&req("GET", "/v1/artifacts/table4")),
+            Endpoint::Artifacts
+        );
+        assert_eq!(endpoint_of(&req("GET", "/healthz")), Endpoint::Healthz);
+        assert_eq!(endpoint_of(&req("GET", "/metrics")), Endpoint::Metrics);
+        assert_eq!(endpoint_of(&req("GET", "/nope")), Endpoint::Other);
+    }
+}

@@ -1,0 +1,466 @@
+//! End-to-end tests over a real socket: boot the server on an ephemeral
+//! port, speak HTTP/1.1 to it with `TcpStream`, and verify the service
+//! guarantees — concurrent dedup onto one simulation, structured cached
+//! errors, byte-identical artifacts, backpressure, streaming, drain.
+//!
+//! `kepler_sim::devices_created()` is process-global, so every test takes
+//! `serial()`: the simulation-count witnesses would otherwise observe each
+//! other's devices.
+
+use characterize::figures::power_profile;
+use characterize::report::{render_fig1, render_table1};
+use characterize::tables::table1;
+use sim_serve::json::{self, Json};
+use sim_serve::{Server, ServerConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn serial() -> MutexGuard<'static, ()> {
+    TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+struct TestServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TestServer {
+    fn boot(mut cfg: ServerConfig) -> Self {
+        cfg.addr = "127.0.0.1:0".to_string();
+        let server = Server::bind(cfg).expect("bind ephemeral port");
+        let addr = server.local_addr();
+        let shutdown = server.shutdown_handle();
+        let handle = std::thread::spawn(move || server.run());
+        Self {
+            addr,
+            shutdown,
+            handle: Some(handle),
+        }
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            h.join().expect("server thread exits cleanly");
+        }
+    }
+}
+
+impl Drop for TestServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+struct Reply {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: Vec<u8>,
+}
+
+impl Reply {
+    fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn json(&self) -> Json {
+        json::parse(std::str::from_utf8(&self.body).expect("utf-8 body")).expect("json body")
+    }
+}
+
+/// One full request/response over a fresh connection (the server speaks
+/// `Connection: close`, so EOF delimits the response).
+fn request(addr: SocketAddr, method: &str, target: &str, body: Option<&str>) -> Reply {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    let body = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {target} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("write request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &[u8]) -> Reply {
+    let split = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("header terminator");
+    let head = std::str::from_utf8(&raw[..split]).expect("utf-8 head");
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().expect("status line");
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    let headers: Vec<(String, String)> = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    let mut body = raw[split + 4..].to_vec();
+    if headers
+        .iter()
+        .any(|(k, v)| k == "transfer-encoding" && v == "chunked")
+    {
+        body = dechunk(&body);
+    }
+    Reply {
+        status,
+        headers,
+        body,
+    }
+}
+
+/// Decode a chunked body (sizes in hex, CRLF-framed, 0-chunk terminator).
+fn dechunk(mut raw: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    loop {
+        let eol = raw
+            .windows(2)
+            .position(|w| w == b"\r\n")
+            .expect("chunk size line");
+        let size = usize::from_str_radix(std::str::from_utf8(&raw[..eol]).unwrap().trim(), 16)
+            .expect("hex chunk size");
+        raw = &raw[eol + 2..];
+        if size == 0 {
+            return out;
+        }
+        out.extend_from_slice(&raw[..size]);
+        raw = &raw[size + 2..]; // skip the chunk's trailing CRLF
+    }
+}
+
+fn quick_config() -> ServerConfig {
+    ServerConfig {
+        workers: 4,
+        queue_capacity: 32,
+        cache_dir: None,
+        default_artifact_reps: 1,
+        request_timeout: Duration::from_secs(120),
+        ..ServerConfig::default()
+    }
+}
+
+// -- the acceptance-criteria test -------------------------------------------
+
+/// Eight concurrent identical `POST /v1/runs` cost exactly ONE simulation
+/// (witnessed by the process-global device counter) and produce eight
+/// byte-identical bodies.
+#[test]
+fn eight_concurrent_identical_runs_cost_one_simulation() {
+    let _guard = serial();
+    let mut srv = TestServer::boot(quick_config());
+    let addr = srv.addr;
+    let before = kepler_sim::devices_created();
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            std::thread::spawn(move || {
+                request(addr, "POST", "/v1/runs", Some(r#"{"workload": "sten"}"#))
+            })
+        })
+        .collect();
+    let replies: Vec<Reply> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let after = kepler_sim::devices_created();
+    assert_eq!(
+        after - before,
+        1,
+        "8 identical in-flight requests must collapse onto one simulation"
+    );
+    for r in &replies {
+        assert_eq!(r.status, 200);
+        assert_eq!(
+            r.body, replies[0].body,
+            "deduplicated requests must serve identical bodies"
+        );
+    }
+    let doc = replies[0].json();
+    assert_eq!(doc.get("workload").unwrap().as_str(), Some("sten"));
+    assert!(
+        doc.get("median")
+            .unwrap()
+            .get("energy_j")
+            .unwrap()
+            .as_f64()
+            .unwrap()
+            > 0.0
+    );
+    srv.stop();
+}
+
+/// A run the paper excludes as too-fast-to-measure answers `422` with a
+/// stable error code, and the poisoned cache entry round-trips as the
+/// same structured error — without re-simulating.
+#[test]
+fn cached_measurement_error_round_trips_as_stable_422() {
+    let _guard = serial();
+    let mut srv = TestServer::boot(quick_config());
+    let body = r#"{"workload": "lbfs-wlw", "input": "entire USA"}"#;
+    let before = kepler_sim::devices_created();
+    let first = request(srv.addr, "POST", "/v1/runs", Some(body));
+    let simulated = kepler_sim::devices_created() - before;
+    assert_eq!(first.status, 422);
+    let doc = first.json();
+    let err = doc.get("error").unwrap();
+    assert_eq!(
+        err.get("code").unwrap().as_str(),
+        Some("insufficient_samples")
+    );
+    assert!(err.get("observed_samples").unwrap().as_u64().is_some());
+    assert!(simulated >= 1);
+
+    // Second request: served from the poisoned memo entry, byte-identical,
+    // no new simulation.
+    let before = kepler_sim::devices_created();
+    let second = request(srv.addr, "POST", "/v1/runs", Some(body));
+    assert_eq!(kepler_sim::devices_created() - before, 0);
+    assert_eq!(second.status, 422);
+    assert_eq!(second.body, first.body);
+
+    // The cached error is visible in /metrics.
+    let metrics = request(srv.addr, "GET", "/metrics", None).json();
+    let campaign = metrics.get("campaign").unwrap();
+    assert_eq!(campaign.get("cached_errors").unwrap().as_u64(), Some(1));
+    assert_eq!(
+        metrics
+            .get("http")
+            .unwrap()
+            .get("responses_by_status")
+            .unwrap()
+            .get("422")
+            .unwrap()
+            .as_u64(),
+        Some(2)
+    );
+    srv.stop();
+}
+
+/// Artifact bodies are byte-identical to what `repro` prints: the same
+/// renderer output plus the `println!` newline.
+#[test]
+fn artifact_bodies_match_repro_rendering_bytes() {
+    let _guard = serial();
+    let mut srv = TestServer::boot(quick_config());
+    let t1 = request(srv.addr, "GET", "/v1/artifacts/table1", None);
+    assert_eq!(t1.status, 200);
+    assert_eq!(t1.header("content-type"), Some("text/plain; charset=utf-8"));
+    assert_eq!(
+        t1.body,
+        format!("{}\n", render_table1(&table1())).into_bytes()
+    );
+
+    let f1 = request(srv.addr, "GET", "/v1/artifacts/fig1", None);
+    assert_eq!(f1.status, 200);
+    assert_eq!(
+        f1.body,
+        format!("{}\n", render_fig1(&power_profile("sgemm"))).into_bytes()
+    );
+
+    let missing = request(srv.addr, "GET", "/v1/artifacts/table9", None);
+    assert_eq!(missing.status, 404);
+    assert_eq!(
+        missing
+            .json()
+            .get("error")
+            .unwrap()
+            .get("code")
+            .unwrap()
+            .as_str(),
+        Some("unknown_artifact")
+    );
+    srv.stop();
+}
+
+/// With one worker and a one-slot queue, a third concurrent measurement is
+/// shed with `503` + `Retry-After` while the first two are still admitted.
+#[test]
+fn full_queue_sheds_load_with_retry_after() {
+    let _guard = serial();
+    let mut srv = TestServer::boot(ServerConfig {
+        workers: 1,
+        queue_capacity: 1,
+        ..quick_config()
+    });
+    let addr = srv.addr;
+    // Occupy the single worker with a cold three-rep run...
+    let first = std::thread::spawn(move || {
+        request(
+            addr,
+            "POST",
+            "/v1/runs",
+            Some(r#"{"workload": "mst", "reps": 3}"#),
+        )
+    });
+    wait_until(&srv, |s| {
+        s.get("queue").unwrap().get("active").unwrap().as_u64() == Some(1)
+    });
+    // ...fill the single queue slot with a second, distinct run...
+    let second = std::thread::spawn(move || {
+        request(
+            addr,
+            "POST",
+            "/v1/runs",
+            Some(r#"{"workload": "nw", "reps": 3}"#),
+        )
+    });
+    wait_until(&srv, |s| {
+        s.get("queue").unwrap().get("depth").unwrap().as_u64() == Some(1)
+    });
+    // ...and the third admission is rejected immediately.
+    let shed = request(addr, "POST", "/v1/runs", Some(r#"{"workload": "nn"}"#));
+    assert_eq!(shed.status, 503);
+    assert_eq!(shed.header("retry-after"), Some("1"));
+    assert_eq!(
+        shed.json()
+            .get("error")
+            .unwrap()
+            .get("code")
+            .unwrap()
+            .as_str(),
+        Some("queue_full")
+    );
+    // The admitted pair still completes normally.
+    assert_eq!(first.join().unwrap().status, 200);
+    assert_eq!(second.join().unwrap().status, 200);
+    srv.stop();
+}
+
+/// Poll `/metrics` until `pred` holds (deadline-bounded).
+fn wait_until(srv: &TestServer, pred: impl Fn(&Json) -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let doc = request(srv.addr, "GET", "/metrics", None).json();
+        if pred(&doc) {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting on /metrics: {}",
+            doc.dump()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// `?stream=1` answers chunked NDJSON: `progress` events from the
+/// campaign, then exactly one terminal `result` line.
+#[test]
+fn streaming_sweep_emits_progress_then_result() {
+    let _guard = serial();
+    let mut srv = TestServer::boot(quick_config());
+    let reply = request(
+        srv.addr,
+        "POST",
+        "/v1/sweep?stream=1",
+        Some(r#"{"workload": "sten", "core_mhz": [705, 614], "mem_mhz": [2600]}"#),
+    );
+    assert_eq!(reply.status, 200);
+    assert_eq!(reply.header("transfer-encoding"), Some("chunked"));
+    assert_eq!(reply.header("content-type"), Some("application/x-ndjson"));
+    let text = String::from_utf8(reply.body).unwrap();
+    let lines: Vec<Json> = text
+        .lines()
+        .map(|l| json::parse(l).expect("each NDJSON line parses"))
+        .collect();
+    assert!(!lines.is_empty());
+    let (progress, terminal): (Vec<&Json>, Vec<&Json>) = lines
+        .iter()
+        .partition(|l| l.get("event").unwrap().as_str() == Some("progress"));
+    assert_eq!(terminal.len(), 1, "exactly one result line: {text}");
+    assert!(!progress.is_empty(), "sweep must stream progress: {text}");
+    for p in &progress {
+        assert!(
+            p.get("done").unwrap().as_u64().unwrap() <= p.get("total").unwrap().as_u64().unwrap()
+        );
+    }
+    let result = terminal[0];
+    assert_eq!(result.get("status").unwrap().as_u64(), Some(200));
+    let body = result.get("body").unwrap();
+    assert_eq!(body.get("points").unwrap().as_arr().unwrap().len(), 2);
+    assert!(!body
+        .get("pareto_frontier")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .is_empty());
+    srv.stop();
+}
+
+/// Request-reading limits answer before any measurement: oversized bodies
+/// are `413`, bad routes `404`, wrong methods `405` with `Allow`.
+#[test]
+fn request_limits_and_routing_errors() {
+    let _guard = serial();
+    let mut srv = TestServer::boot(quick_config());
+    let addr = srv.addr;
+
+    // Oversized body: rejected from the Content-Length alone.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write!(
+        stream,
+        "POST /v1/runs HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n",
+        1024 * 1024
+    )
+    .unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap();
+    assert_eq!(parse_response(&raw).status, 413);
+
+    assert_eq!(request(addr, "GET", "/nope", None).status, 404);
+    let r = request(addr, "GET", "/v1/runs", None);
+    assert_eq!(r.status, 405);
+    assert_eq!(r.header("allow"), Some("POST"));
+    let r = request(addr, "POST", "/v1/artifacts/table4", None);
+    assert_eq!(r.status, 405);
+    assert_eq!(r.header("allow"), Some("GET"));
+
+    // Healthz + workload discovery.
+    let h = request(addr, "GET", "/healthz", None);
+    assert_eq!(h.status, 200);
+    assert_eq!(h.json().get("status").unwrap().as_str(), Some("ok"));
+    let w = request(addr, "GET", "/v1/workloads", None).json();
+    assert!(w.get("workloads").unwrap().as_arr().unwrap().len() >= 30);
+    srv.stop();
+}
+
+/// Stopping the server drains cleanly: the accept loop exits, workers
+/// join, and the port stops answering.
+#[test]
+fn shutdown_drains_and_stops_listening() {
+    let _guard = serial();
+    let mut srv = TestServer::boot(quick_config());
+    let addr = srv.addr;
+    assert_eq!(request(addr, "GET", "/healthz", None).status, 200);
+    srv.stop();
+    // The listener is gone; a fresh connection must fail (allow a moment
+    // for the OS to tear the socket down).
+    let refused = TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err()
+        || TcpStream::connect(addr)
+            .and_then(|mut s| {
+                s.set_read_timeout(Some(Duration::from_millis(500)))?;
+                write!(s, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")?;
+                let mut buf = Vec::new();
+                s.read_to_end(&mut buf).map(|_| buf.is_empty())
+            })
+            .unwrap_or(true);
+    assert!(refused, "drained server must not answer new requests");
+}

@@ -27,6 +27,9 @@
 //! * [`export`] — Chrome Trace Event JSON (loadable in `chrome://tracing`
 //!   or `ui.perfetto.dev`), JSONL (round-trippable via
 //!   [`export::event_from_jsonl`]), and CSV.
+//! * [`subscribe`] — a [`FanoutSink`] broadcasting live events to bounded
+//!   per-consumer channels, for long-running consumers (the `sim-serve`
+//!   HTTP layer streams `CampaignProgress` to clients through one).
 //!
 //! The crate is dependency-free and sits *below* `gpower`/`kepler-sim` so
 //! both can emit events without a dependency cycle; it therefore speaks in
@@ -36,10 +39,12 @@ pub mod event;
 pub mod export;
 pub mod ring;
 pub mod sink;
+pub mod subscribe;
 pub mod timeline;
 
 pub use event::{BoardPhase, Event};
 pub use export::{chrome_trace, csv, event_from_jsonl, event_to_jsonl, jsonl, CSV_HEADER};
 pub use ring::EventTrace;
 pub use sink::{NoopSink, TelemetrySink};
+pub use subscribe::{FanoutSink, Subscription};
 pub use timeline::{build_timeline, DramSeg, SmLane, SmSeg, Timeline};

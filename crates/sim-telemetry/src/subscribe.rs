@@ -1,0 +1,232 @@
+//! Live event subscription: a broadcast sink for long-running consumers.
+//!
+//! [`EventTrace`] records a bounded history for *post-hoc* analysis; a
+//! service streaming progress to a client needs the opposite — events
+//! pushed out as they happen, to consumers that come and go while the
+//! producer keeps running. A [`FanoutSink`] is a [`TelemetrySink`] that
+//! clones each recorded event to every live [`Subscription`]'s channel.
+//!
+//! Subscriptions are bounded: a slow consumer drops its *own* newest
+//! events (counted per subscription) rather than blocking the producer —
+//! the instrumented simulation must never wait on a client socket.
+
+use crate::event::Event;
+use crate::sink::TelemetrySink;
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+
+/// Default per-subscription channel capacity.
+const DEFAULT_CAPACITY: usize = 1024;
+
+struct Subscriber {
+    id: u64,
+    tx: SyncSender<Event>,
+    /// Optional event filter; `None` forwards everything.
+    filter: Option<fn(&Event) -> bool>,
+    /// Events dropped because this subscriber's channel was full.
+    dropped: u64,
+}
+
+#[derive(Default)]
+struct FanoutState {
+    next_id: u64,
+    subs: Vec<Subscriber>,
+}
+
+/// A broadcast [`TelemetrySink`]: every recorded event is cloned to each
+/// live subscription. Dead subscriptions (receiver dropped) are pruned on
+/// the next record.
+#[derive(Default)]
+pub struct FanoutSink {
+    state: Mutex<FanoutState>,
+}
+
+impl FanoutSink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Subscribe to every subsequent event.
+    pub fn subscribe(self: &Arc<Self>) -> Subscription {
+        self.subscribe_inner(None, DEFAULT_CAPACITY)
+    }
+
+    /// Subscribe with an event filter (applied on the producer side, so
+    /// uninteresting events never occupy channel capacity).
+    pub fn subscribe_filtered(self: &Arc<Self>, filter: fn(&Event) -> bool) -> Subscription {
+        self.subscribe_inner(Some(filter), DEFAULT_CAPACITY)
+    }
+
+    /// Subscribe with an explicit channel capacity (0 is clamped to 1).
+    pub fn subscribe_with_capacity(
+        self: &Arc<Self>,
+        filter: Option<fn(&Event) -> bool>,
+        capacity: usize,
+    ) -> Subscription {
+        self.subscribe_inner(filter, capacity.max(1))
+    }
+
+    fn subscribe_inner(
+        self: &Arc<Self>,
+        filter: Option<fn(&Event) -> bool>,
+        capacity: usize,
+    ) -> Subscription {
+        let (tx, rx) = mpsc::sync_channel(capacity);
+        let mut g = self.state.lock().unwrap();
+        let id = g.next_id;
+        g.next_id += 1;
+        g.subs.push(Subscriber {
+            id,
+            tx,
+            filter,
+            dropped: 0,
+        });
+        Subscription {
+            sink: Arc::clone(self),
+            id,
+            rx,
+        }
+    }
+
+    /// Number of live subscriptions.
+    pub fn subscriber_count(&self) -> usize {
+        self.state.lock().unwrap().subs.len()
+    }
+
+    fn unsubscribe(&self, id: u64) -> u64 {
+        let mut g = self.state.lock().unwrap();
+        match g.subs.iter().position(|s| s.id == id) {
+            Some(i) => g.subs.swap_remove(i).dropped,
+            None => 0,
+        }
+    }
+}
+
+impl TelemetrySink for FanoutSink {
+    fn record(&self, event: Event) {
+        let mut g = self.state.lock().unwrap();
+        g.subs.retain_mut(|sub| {
+            if sub.filter.map(|f| f(&event)).unwrap_or(true) {
+                match sub.tx.try_send(event.clone()) {
+                    Ok(()) => true,
+                    Err(TrySendError::Full(_)) => {
+                        sub.dropped += 1;
+                        true
+                    }
+                    // Receiver gone: prune the subscription.
+                    Err(TrySendError::Disconnected(_)) => false,
+                }
+            } else {
+                true
+            }
+        });
+    }
+}
+
+/// One consumer's end of a [`FanoutSink`]. Receives events via [`recv`]
+/// (blocking, with timeout) or [`try_iter`]; unsubscribes on drop.
+///
+/// [`recv`]: Subscription::recv_timeout
+/// [`try_iter`]: Subscription::try_iter
+pub struct Subscription {
+    sink: Arc<FanoutSink>,
+    id: u64,
+    rx: Receiver<Event>,
+}
+
+impl Subscription {
+    /// Next event, waiting up to `timeout`. `None` on timeout or when the
+    /// sink has been dropped.
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Option<Event> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+
+    /// Drain whatever is queued right now without blocking.
+    pub fn try_iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.rx.try_iter()
+    }
+}
+
+impl Drop for Subscription {
+    fn drop(&mut self) {
+        self.sink.unsubscribe(self.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn progress(done: u32) -> Event {
+        Event::CampaignProgress {
+            t: done as f64,
+            done,
+            total: 10,
+        }
+    }
+
+    #[test]
+    fn events_fan_out_to_every_subscriber() {
+        let sink = Arc::new(FanoutSink::new());
+        let a = sink.subscribe();
+        let b = sink.subscribe();
+        assert_eq!(sink.subscriber_count(), 2);
+        sink.record(progress(1));
+        for sub in [&a, &b] {
+            match sub.recv_timeout(Duration::from_secs(1)) {
+                Some(Event::CampaignProgress { done: 1, .. }) => {}
+                other => panic!("unexpected: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn dropping_a_subscription_unsubscribes() {
+        let sink = Arc::new(FanoutSink::new());
+        let a = sink.subscribe();
+        drop(a);
+        assert_eq!(sink.subscriber_count(), 0);
+        // Recording with no subscribers is fine.
+        sink.record(progress(1));
+    }
+
+    #[test]
+    fn producer_side_filter_selects_events() {
+        let sink = Arc::new(FanoutSink::new());
+        let sub = sink.subscribe_filtered(|e| matches!(e, Event::CampaignProgress { .. }));
+        sink.record(Event::DramContentionClose { t: 0.5 });
+        sink.record(progress(3));
+        let got: Vec<Event> = sub.try_iter().collect();
+        assert_eq!(got.len(), 1);
+        assert!(matches!(got[0], Event::CampaignProgress { done: 3, .. }));
+    }
+
+    #[test]
+    fn slow_subscriber_drops_its_own_events_without_blocking() {
+        let sink = Arc::new(FanoutSink::new());
+        let sub = sink.subscribe_with_capacity(None, 2);
+        for i in 0..5 {
+            sink.record(progress(i));
+        }
+        // Only the first two fit; the producer never blocked.
+        let got: Vec<Event> = sub.try_iter().collect();
+        assert_eq!(got.len(), 2);
+        assert!(matches!(got[0], Event::CampaignProgress { done: 0, .. }));
+    }
+
+    #[test]
+    fn disconnected_receiver_is_pruned_on_record() {
+        let sink = Arc::new(FanoutSink::new());
+        let sub = sink.subscribe();
+        // Drop only the receiver half by forgetting to unsubscribe: move
+        // the receiver out via a scope that keeps the Subscription alive
+        // is not possible, so emulate by dropping the whole subscription
+        // after a send and checking pruning via count.
+        sink.record(progress(1));
+        assert_eq!(sink.subscriber_count(), 1);
+        drop(sub);
+        sink.record(progress(2));
+        assert_eq!(sink.subscriber_count(), 0);
+    }
+}
