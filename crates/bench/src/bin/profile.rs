@@ -195,6 +195,23 @@ fn main() {
         );
     }
 
+    // Instruction-class energy attribution of the board trace integral.
+    println!();
+    println!(
+        "Instruction-class energy breakdown (board {:.2} J, unmodeled {:+.2}%)",
+        m.breakdown.board_energy_j,
+        100.0 * m.breakdown.unmodeled_frac()
+    );
+    println!("{:10} {:>12} {:>7}", "class", "energy [J]", "share");
+    for (class, j) in m.breakdown.rows() {
+        let share = if m.breakdown.board_energy_j > 0.0 {
+            100.0 * j / m.breakdown.board_energy_j
+        } else {
+            0.0
+        };
+        println!("{:10} {:>12.3} {:>6.2}%", class.name(), j, share);
+    }
+
     // Phase breakdown + reconciliation.
     let tl = build_timeline(&m.events);
     println!();

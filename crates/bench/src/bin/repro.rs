@@ -4,6 +4,7 @@
 //! repro [--quick] [--no-cache] [--cache-dir DIR] [--jobs N] [ARTIFACT...]
 //!
 //! ARTIFACT: table1 table2 table3 table4 fig1 fig2 fig3 fig4 fig5 fig6
+//!           energy-breakdown energy-sampling-error
 //!           trdata all        (default: all)
 //! ```
 //!
@@ -24,6 +25,7 @@
 //! `disk_hits=` counters.
 
 use characterize::campaign::{plan_artifacts, Artifact, Campaign, CampaignConfig};
+use characterize::energy::{energy_breakdown, sampling_error};
 use characterize::figures::{input_power_figure, power_profile, power_range_figure, ratio_figure};
 use characterize::report::*;
 use characterize::tables::{table1, table2, table3, table4, tr_detail};
@@ -31,16 +33,22 @@ use characterize::GpuConfigKind;
 use std::path::PathBuf;
 
 /// `all` in output order. `trdata` (the companion technical report's full
-/// per-program sweep) stays opt-in: it is the most expensive matrix.
+/// per-program sweep) stays opt-in: it is the most expensive matrix. The
+/// two energy-lab artifacts are also opt-in so the `all` output (and its
+/// goldens) stay byte-identical across releases.
 const ALL: [&str; 10] = [
     "table1", "fig1", "fig2", "fig3", "fig4", "table2", "table3", "table4", "fig5", "fig6",
 ];
 
+/// Opt-in artifacts accepted alongside the `all` set.
+const EXTRA: [&str; 3] = ["trdata", "energy-breakdown", "energy-sampling-error"];
+
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--quick] [--no-cache] [--cache-dir DIR] [--jobs N] [ARTIFACT...]\n\
-         artifacts: {} trdata all",
-        ALL.join(" ")
+         artifacts: {} {} all",
+        ALL.join(" "),
+        EXTRA.join(" ")
     );
     std::process::exit(2);
 }
@@ -85,8 +93,8 @@ fn main() {
     for s in &selectors {
         let expanded: Vec<&str> = if s == "all" {
             ALL.to_vec()
-        } else if s == "trdata" {
-            vec!["trdata"]
+        } else if let Some(a) = EXTRA.iter().find(|a| **a == s.as_str()) {
+            vec![*a]
         } else if let Some(a) = ALL.iter().find(|a| **a == s.as_str()) {
             vec![*a]
         } else {
@@ -150,6 +158,18 @@ fn main() {
             "fig5" => println!("{}", render_fig5(&input_power_figure(&campaign, reps))),
             "fig6" => println!("{}", render_fig6(&power_range_figure(&campaign, reps))),
             "trdata" => println!("{}", render_tr_detail(&tr_detail(&campaign, reps))),
+            "energy-breakdown" => {
+                println!(
+                    "{}",
+                    render_energy_breakdown(&energy_breakdown(&campaign, reps))
+                )
+            }
+            "energy-sampling-error" => {
+                println!(
+                    "{}",
+                    render_sampling_error(&sampling_error(&campaign, reps))
+                )
+            }
             _ => unreachable!(),
         }
     }

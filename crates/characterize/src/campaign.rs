@@ -44,8 +44,8 @@ use workloads::registry;
 
 /// Version prefix of the canonical cache key and the on-disk record
 /// layout. Bump when the record format changes shape.
-const FORMAT_VERSION: &str = "v1";
-const RECORD_MAGIC: &str = "gpgpu-campaign v1";
+const FORMAT_VERSION: &str = "v2";
+const RECORD_MAGIC: &str = "gpgpu-campaign v2";
 const RECORD_END: &str = "end gpgpu-campaign";
 
 /// 64-bit FNV-1a (the *correct* prime — see the `run_seed` fix).
@@ -96,6 +96,11 @@ pub enum Artifact {
     Fig5,
     Fig6,
     TrDetail,
+    /// Instruction-class energy-attribution table over the energy-study
+    /// workload set.
+    EnergyBreakdown,
+    /// Sampled-energy error vs. sensor-sampling policy.
+    SamplingError,
 }
 
 impl Artifact {
@@ -113,6 +118,8 @@ impl Artifact {
             "fig5" => Artifact::Fig5,
             "fig6" => Artifact::Fig6,
             "trdata" => Artifact::TrDetail,
+            "energy-breakdown" => Artifact::EnergyBreakdown,
+            "energy-sampling-error" => Artifact::SamplingError,
             _ => return None,
         })
     }
@@ -136,6 +143,8 @@ impl Artifact {
             Artifact::Fig5 => crate::figures::input_power_figure_runs(reps),
             Artifact::Fig6 => crate::figures::power_range_figure_runs(reps),
             Artifact::TrDetail => crate::tables::tr_detail_runs(reps),
+            // Both energy artifacts draw the same run slice.
+            Artifact::EnergyBreakdown | Artifact::SamplingError => crate::energy::energy_runs(reps),
         }
     }
 }
@@ -686,6 +695,10 @@ impl Campaign {
                     counters: m.counters,
                     time_variability_pct: 0.0,
                     energy_variability_pct: 0.0,
+                    board_energy_j: m.board_energy_j,
+                    trace_end_s: m.trace_end_s,
+                    kernel_time_s: m.kernel_time_s,
+                    sampled_energy_j: m.sampled_energy_j,
                 })
         }
     }
@@ -807,6 +820,18 @@ fn format_record(fingerprint: u64, ckey: &str, res: &Result<Measurement, PowerEr
                 fbits(c.active_lanes),
                 0 // reserved
             ));
+            s.push_str(&format!(
+                "board {} {} {}\n",
+                fbits(m.board_energy_j),
+                fbits(m.trace_end_s),
+                fbits(m.kernel_time_s)
+            ));
+            s.push_str(&format!("sampled {}", m.sampled_energy_j.len()));
+            for &e in &m.sampled_energy_j {
+                s.push(' ');
+                s.push_str(&fbits(e));
+            }
+            s.push('\n');
         }
         Err(PowerError::InsufficientSamples(n)) => {
             s.push_str("status err\n");
@@ -890,11 +915,29 @@ fn parse_record(body: &str) -> Option<(u64, String, Result<Measurement, PowerErr
             counters.barriers = parse_fbits(ctoks[18])?;
             counters.slots = parse_fbits(ctoks[19])?;
             counters.active_lanes = parse_fbits(ctoks[20])?;
+            let btoks: Vec<&str> = lines
+                .next()?
+                .strip_prefix("board ")?
+                .split_whitespace()
+                .collect();
+            if btoks.len() != 3 {
+                return None;
+            }
+            let mut stoks = lines.next()?.strip_prefix("sampled ")?.split_whitespace();
+            let n: usize = stoks.next()?.parse().ok()?;
+            let sampled_energy_j: Vec<f64> = stoks.map(parse_fbits).collect::<Option<_>>()?;
+            if sampled_energy_j.len() != n {
+                return None;
+            }
             Ok(Measurement {
                 reading,
                 checksum,
                 items,
                 counters,
+                board_energy_j: parse_fbits(btoks[0])?,
+                trace_end_s: parse_fbits(btoks[1])?,
+                kernel_time_s: parse_fbits(btoks[2])?,
+                sampled_energy_j,
             })
         }
         "status err" => {
@@ -1132,14 +1175,22 @@ mod tests {
                 edges: 11,
             }),
             counters: Default::default(),
+            board_energy_j: 812.5,
+            trace_end_s: 14.25,
+            kernel_time_s: 5.125,
+            sampled_energy_j: vec![810.0, 813.5, 812.0],
         };
-        let body = format_record(0xABCD, "v1|k|i|cfg=default|rep=0|seed=0", &Ok(m.clone()));
+        let body = format_record(0xABCD, "v2|k|i|cfg=default|rep=0|seed=0", &Ok(m.clone()));
         let (fp, key, res) = parse_record(&body).unwrap();
         assert_eq!(fp, 0xABCD);
-        assert_eq!(key, "v1|k|i|cfg=default|rep=0|seed=0");
+        assert_eq!(key, "v2|k|i|cfg=default|rep=0|seed=0");
         let back = res.unwrap();
         assert!(readings_bit_identical(&back.reading, &m.reading));
         assert_eq!(back.items, m.items);
+        assert_eq!(back.board_energy_j.to_bits(), m.board_energy_j.to_bits());
+        assert_eq!(back.trace_end_s.to_bits(), m.trace_end_s.to_bits());
+        assert_eq!(back.kernel_time_s.to_bits(), m.kernel_time_s.to_bits());
+        assert_eq!(back.sampled_energy_j, m.sampled_energy_j);
         // Truncation at any line boundary is rejected.
         let lines: Vec<&str> = body.lines().collect();
         for cut in 1..lines.len() {

@@ -3,7 +3,10 @@
 //! of three repetitions.
 
 use crate::configs::GpuConfigKind;
-use gpower::{variability_pct, K20Power, PowerError, PowerSensor, PowerTrace, Reading};
+use gpower::{
+    sampled_energy, study_policies, variability_pct, K20Power, PowerError, PowerSensor, PowerTrace,
+    Reading,
+};
 use kepler_sim::{Device, DeviceConfig, KernelCounters, LaunchStats};
 use sim_telemetry::{Event, EventTrace};
 use std::sync::Arc;
@@ -16,6 +19,33 @@ pub struct Measurement {
     pub checksum: f64,
     pub items: Option<ItemCounts>,
     pub counters: KernelCounters,
+    /// Exact integral of the ground-truth power trace over the whole run
+    /// (lead-in to lead-out), the reference the instruction-class energy
+    /// attribution reconciles against. Unlike `reading.energy_j` this is
+    /// not windowed by the K20Power threshold analysis.
+    pub board_energy_j: f64,
+    /// End time of the ground-truth trace, simulated seconds.
+    pub trace_end_s: f64,
+    /// Busy time of the kernel windows (device kernel time).
+    pub kernel_time_s: f64,
+    /// Energy estimates of the emulated polling sensor under each
+    /// [`gpower::study_policies`] policy, in policy order. Compared against
+    /// `board_energy_j` by the sampling-error study.
+    pub sampled_energy_j: Vec<f64>,
+}
+
+impl Measurement {
+    /// Instruction-class attribution of this run's board energy under
+    /// `cfg` (the configuration it was measured with).
+    pub fn energy_breakdown(&self, cfg: &DeviceConfig) -> gpower::EnergyBreakdown {
+        kepler_sim::attribute_energy(
+            cfg,
+            &self.counters,
+            self.trace_end_s,
+            self.kernel_time_s,
+            self.board_energy_j,
+        )
+    }
 }
 
 /// Median of three repetitions plus run-to-run variability (Table 2).
@@ -28,6 +58,12 @@ pub struct MedianMeasurement {
     pub time_variability_pct: f64,
     /// Same for energy.
     pub energy_variability_pct: f64,
+    /// Ancillary energy-observability fields of the median-time repetition
+    /// (like `counters`, these come from one representative run).
+    pub board_energy_j: f64,
+    pub trace_end_s: f64,
+    pub kernel_time_s: f64,
+    pub sampled_energy_j: Vec<f64>,
 }
 
 /// Jitter seed of one repetition: FNV-1a over the program key and input
@@ -79,15 +115,24 @@ pub fn measure_with_device_config(
     let mut dev = Device::new(cfg);
     let out = bench.run(&mut dev, input);
     let counters = dev.total_counters();
+    let kernel_time_s = dev.kernel_time();
     let (trace, _stats) = dev.finish();
     let sensor = PowerSensor::default();
     let samples = sensor.sample(&trace, seed ^ 0x5A5A);
     let reading = K20Power::default().analyze(&samples)?;
+    let sampled_energy_j = study_policies()
+        .iter()
+        .map(|p| sampled_energy(&trace, p, seed).energy_j)
+        .collect();
     Ok(Measurement {
         reading,
         checksum: out.checksum,
         items: out.items,
         counters,
+        board_energy_j: trace.total_energy(),
+        trace_end_s: trace.end_time(),
+        kernel_time_s,
+        sampled_energy_j,
     })
 }
 
@@ -108,9 +153,17 @@ pub struct TracedMeasurement {
     pub stats: Vec<LaunchStats>,
     /// Ground-truth power trace the sensor sampled.
     pub trace: PowerTrace,
+    /// Busy time of the kernel windows (device kernel time).
+    pub kernel_time_s: f64,
+    /// Instruction-class attribution of the trace-integral energy under
+    /// the run's configuration (nominal coefficients; the residual lands
+    /// in the `unmodeled` class). Also emitted as `ClassEnergy` telemetry
+    /// events at the end of the stream.
+    pub breakdown: gpower::EnergyBreakdown,
     /// Every telemetry event recorded during the run, in record order:
     /// simulator events (launch/retire, block dispatch, SM/board/DRAM
-    /// intervals) followed by sensor samples and threshold crossings.
+    /// intervals) followed by sensor samples, threshold crossings, and the
+    /// per-class energy attribution.
     pub events: Vec<Event>,
     /// Events evicted from the ring buffer to honour `event_capacity`.
     pub dropped_events: u64,
@@ -138,10 +191,28 @@ pub fn measure_traced(
     dev.set_telemetry(sink.clone());
     let out = bench.run(&mut dev, input);
     let counters = dev.total_counters();
+    let kernel_time_s = dev.kernel_time();
     let (trace, stats) = dev.finish();
     let sensor = PowerSensor::default();
     let samples = sensor.sample_traced(&trace, seed ^ 0x5A5A, Some(&*sink));
     let reading = K20Power::default().analyze_traced(&samples, Some(&*sink));
+    // Attribute the board integral across instruction classes and put the
+    // result on the event stream (one ClassEnergy per class, at trace end).
+    let breakdown = kepler_sim::attribute_energy(
+        &kind.device_config(),
+        &counters,
+        trace.end_time(),
+        kernel_time_s,
+        trace.total_energy(),
+    );
+    use sim_telemetry::TelemetrySink;
+    for (class, energy_j) in breakdown.rows() {
+        sink.record(Event::ClassEnergy {
+            t: trace.end_time(),
+            class: class.name().to_string(),
+            energy_j,
+        });
+    }
     let dropped_events = sink.dropped();
     TracedMeasurement {
         reading,
@@ -150,6 +221,8 @@ pub fn measure_traced(
         counters,
         stats,
         trace,
+        kernel_time_s,
+        breakdown,
         events: sink.take(),
         dropped_events,
     }
@@ -204,6 +277,10 @@ pub fn combine_median3(runs: &[Measurement]) -> MedianMeasurement {
         counters: med_run.counters,
         time_variability_pct: variability_pct(&times),
         energy_variability_pct: variability_pct(&energies),
+        board_energy_j: med_run.board_energy_j,
+        trace_end_s: med_run.trace_end_s,
+        kernel_time_s: med_run.kernel_time_s,
+        sampled_energy_j: med_run.sampled_energy_j.clone(),
     }
 }
 
@@ -338,6 +415,10 @@ mod tests {
             checksum: 0.0,
             items: None,
             counters: Default::default(),
+            board_energy_j: 0.0,
+            trace_end_s: 0.0,
+            kernel_time_s: 0.0,
+            sampled_energy_j: Vec::new(),
         };
         // Median time from run 0, median energy from run 1; a per-metric
         // median of powers would pick 110.0 (run 2) — internally

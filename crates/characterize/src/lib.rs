@@ -9,6 +9,7 @@
 
 pub mod campaign;
 pub mod configs;
+pub mod energy;
 pub mod experiment;
 pub mod figures;
 pub mod report;
@@ -20,6 +21,9 @@ pub use campaign::{
     CampaignStats, RunRequest, SweepPoint, SWEEP_CORE_MHZ, SWEEP_MEM_MHZ,
 };
 pub use configs::GpuConfigKind;
+pub use energy::{
+    energy_breakdown, energy_runs, sampling_error, EnergyBreakdownRow, SamplingErrorRow, ENERGY_SET,
+};
 pub use experiment::{
     combine_median3, measure, measure_median3, measure_traced, measure_with_device_config,
     Measurement, MedianMeasurement, TracedMeasurement,

@@ -361,6 +361,72 @@ pub fn render_phase_breakdown(tl: &sim_telemetry::Timeline) -> String {
     s
 }
 
+/// Render the per-workload instruction-class energy-breakdown table.
+///
+/// Each workload block lists every [`gpower::EnergyClass`] with its
+/// attributed joules and share of the board trace-integral energy; the
+/// rows sum to the board energy exactly (the `unmodeled` residual is
+/// defined by subtraction and carries its own signed share).
+pub fn render_energy_breakdown(rows: &[crate::energy::EnergyBreakdownRow]) -> String {
+    let mut s = String::new();
+    writeln!(
+        s,
+        "Instruction-class energy attribution (default config, board trace integral)"
+    )
+    .unwrap();
+    for r in rows {
+        writeln!(
+            s,
+            "{} [{}]  board {:.2} J  unmodeled {:+.2}%",
+            r.key, r.input, r.board_energy_j, r.unmodeled_pct
+        )
+        .unwrap();
+        for (class, j) in &r.classes {
+            let share = if r.board_energy_j > 0.0 {
+                100.0 * j / r.board_energy_j
+            } else {
+                0.0
+            };
+            writeln!(s, "  {:10} {:>12.3} J {:>7.2}%", class, j, share).unwrap();
+        }
+    }
+    s
+}
+
+/// Render the sampled-energy error study: one row per sampling policy,
+/// followed by the per-workload signed errors as figure data.
+pub fn render_sampling_error(rows: &[crate::energy::SamplingErrorRow]) -> String {
+    let mut s = String::new();
+    writeln!(
+        s,
+        "Sampled-energy error vs. sensor-sampling policy (default config)"
+    )
+    .unwrap();
+    writeln!(
+        s,
+        "{:22} {:>8} {:>8} {:>8} {:>8} {:>10} {:>10}",
+        "policy", "rate", "phase", "jitter", "window", "mean |err|", "max |err|"
+    )
+    .unwrap();
+    for r in rows {
+        writeln!(
+            s,
+            "{:22} {:>6.0}Hz {:>7.2}s {:>7.2}s {:>7.2}s {:>9.3}% {:>9.3}%",
+            r.policy, r.rate_hz, r.phase_s, r.jitter_s, r.window_s, r.mean_abs_pct, r.max_abs_pct
+        )
+        .unwrap();
+    }
+    writeln!(s, "per-workload signed error [%]:").unwrap();
+    for r in rows {
+        write!(s, "  {:22}", r.policy).unwrap();
+        for (key, pct) in &r.per_workload_pct {
+            write!(s, " {key}={pct:+.3}").unwrap();
+        }
+        writeln!(s).unwrap();
+    }
+    s
+}
+
 /// Render any figure/table data as CSV for downstream plotting.
 pub fn ratio_figure_csv(fig: &RatioFigure) -> String {
     let mut s = String::from("key,suite,input,time_ratio,energy_ratio,power_ratio\n");

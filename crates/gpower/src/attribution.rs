@@ -1,0 +1,410 @@
+//! Instruction-class energy attribution.
+//!
+//! The board-level [`crate::trace::PowerTrace`] integral says how much
+//! energy a run used; this module says *where it went*. An [`EnergyModel`]
+//! (the simulator's nominal per-op energy coefficients plus the static
+//! power levels) attributes energy to instruction classes from the
+//! activity counters a run already collects, and reconciles the result
+//! against the board integral: whatever the per-class model cannot explain
+//! — thermal drift of the dynamic coefficients, per-block release jitter —
+//! lands in a named `unmodeled` bucket, never silently dropped. By
+//! construction the per-class energies (including `unmodeled`) sum to the
+//! board integral exactly.
+//!
+//! This follows Arafa et al. ("Verified Instruction-Level Energy
+//! Consumption Measurement for NVIDIA GPUs"): classes are the familiar
+//! FP32 / FP64 / INT / SFU / shared / LDST / atomic split, plus the
+//! static+leakage floor and the divergence-idle lane overhead the paper's
+//! irregular programs pay.
+
+use serde::{Deserialize, Serialize};
+
+/// An energy class: one row of an attribution breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EnergyClass {
+    /// FP32 adds, multiplies and FMAs.
+    Fp32,
+    /// FP64 ops.
+    Fp64,
+    /// Integer / logic / address arithmetic.
+    Int,
+    /// Special-function ops (sqrt, sin, exp, ...).
+    Sfu,
+    /// Shared-memory lane traffic.
+    Shared,
+    /// Global loads/stores: DRAM bytes moved plus transaction overhead.
+    LdSt,
+    /// Global atomics (resolved at the L2/DRAM on Kepler).
+    Atomic,
+    /// Barrier synchronization. The simulator's power model charges
+    /// barriers issue *cycles* but no dynamic energy, so this class is
+    /// structurally zero; it is kept as an explicit row so the table says
+    /// so instead of omitting it.
+    Sync,
+    /// Lane slots idled by branch divergence in issued warp instructions
+    /// (fetch/decode/schedule power with no useful work).
+    IdleLane,
+    /// Static + leakage floor: board idle power over the whole trace, the
+    /// kernel-window active overhead, and the warm gap/tail overhead.
+    Static,
+    /// Reconciliation residual against the board integral (run-to-run
+    /// thermal drift and release jitter the nominal coefficients cannot
+    /// see). May be negative.
+    Unmodeled,
+}
+
+impl EnergyClass {
+    /// All classes, in presentation order. `Unmodeled` is last.
+    pub const ALL: [EnergyClass; 11] = [
+        EnergyClass::Fp32,
+        EnergyClass::Fp64,
+        EnergyClass::Int,
+        EnergyClass::Sfu,
+        EnergyClass::Shared,
+        EnergyClass::LdSt,
+        EnergyClass::Atomic,
+        EnergyClass::Sync,
+        EnergyClass::IdleLane,
+        EnergyClass::Static,
+        EnergyClass::Unmodeled,
+    ];
+
+    /// Stable lowercase name used by artifacts, telemetry and the API.
+    pub fn name(self) -> &'static str {
+        match self {
+            EnergyClass::Fp32 => "fp32",
+            EnergyClass::Fp64 => "fp64",
+            EnergyClass::Int => "int",
+            EnergyClass::Sfu => "sfu",
+            EnergyClass::Shared => "shared",
+            EnergyClass::LdSt => "ldst",
+            EnergyClass::Atomic => "atomic",
+            EnergyClass::Sync => "sync",
+            EnergyClass::IdleLane => "idle_lane",
+            EnergyClass::Static => "static",
+            EnergyClass::Unmodeled => "unmodeled",
+        }
+    }
+
+    pub fn from_name(s: &str) -> Option<Self> {
+        EnergyClass::ALL.iter().copied().find(|c| c.name() == s)
+    }
+
+    /// Index into fixed-size per-class arrays (the order of [`Self::ALL`]).
+    pub fn idx(self) -> usize {
+        EnergyClass::ALL.iter().position(|&c| c == self).unwrap()
+    }
+}
+
+/// Per-class activity of a run, at paper scale: plain op/byte counts with
+/// no voltage or thermal scaling applied. Mirrors the simulator's kernel
+/// counters without depending on its types (this crate sits below the
+/// simulator in the dependency graph).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ClassActivity {
+    pub fp32_add_ops: f64,
+    pub fp32_mul_ops: f64,
+    pub fp32_fma_ops: f64,
+    pub fp64_ops: f64,
+    pub int_ops: f64,
+    pub sfu_ops: f64,
+    /// Shared-memory lane ops issued as compute slots plus raw shared lane
+    /// accesses (the simulator charges both at the shared-access energy).
+    pub shared_ops: f64,
+    /// Global atomic lane operations.
+    pub atomics: f64,
+    /// Bytes moved over DRAM (before ECC traffic overhead).
+    pub dram_bytes: f64,
+    /// DRAM transactions issued.
+    pub transactions: f64,
+    /// Barriers executed (time cost only; see [`EnergyClass::Sync`]).
+    pub barriers: f64,
+    /// Lane slots idled by divergence: `slots * 32 - active_lanes`.
+    pub idle_lanes: f64,
+}
+
+/// Phase durations of one run's power trace, seconds. Everything the
+/// static-power split needs beyond the counters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseDurations {
+    /// Full trace length (lead-in to lead-out).
+    pub total_s: f64,
+    /// Sum of kernel-window durations.
+    pub kernel_s: f64,
+    /// Idle lead-in before the first launch.
+    pub lead_in_s: f64,
+    /// Idle lead-out after the tail decay.
+    pub lead_out_s: f64,
+    /// Driver tail window at full gap power.
+    pub tail_s: f64,
+    /// Decay step between the tail and idle (held at 40% gap overhead).
+    pub decay_s: f64,
+}
+
+impl PhaseDurations {
+    /// Host/driver gap time between kernels (launch overheads and
+    /// host-side work at warm gap power): whatever the other phases do not
+    /// account for. Clamped at zero against float round-off.
+    pub fn gap_s(&self) -> f64 {
+        (self.total_s
+            - self.lead_in_s
+            - self.lead_out_s
+            - self.kernel_s
+            - self.tail_s
+            - self.decay_s)
+            .max(0.0)
+    }
+}
+
+/// The nominal per-class energy model of one device configuration:
+/// per-op energies at default voltage, static power levels, and the
+/// configuration's voltage/ECC scaling. Attribution applies exactly the
+/// scaling the simulator's power layer applies, so on an unperturbed
+/// device the modeled classes reproduce the board integral; on a real
+/// (jittered, thermally drifted) run the difference is the `unmodeled`
+/// residual.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    pub e_fp32_add: f64,
+    pub e_fp32_mul: f64,
+    pub e_fp32_fma: f64,
+    pub e_fp64: f64,
+    pub e_int: f64,
+    pub e_sfu: f64,
+    pub e_shared: f64,
+    pub e_idle_lane: f64,
+    pub e_dram_byte: f64,
+    pub e_txn: f64,
+    pub e_atomic: f64,
+    /// Board idle power, watts.
+    pub idle_w: f64,
+    /// Static overhead while a kernel is resident, watts at default core
+    /// voltage.
+    pub active_overhead_w: f64,
+    /// Warm gap/tail overhead above idle, watts at default core voltage.
+    pub gap_overhead_w: f64,
+    /// Squared relative core voltage (scales core-side dynamic + static
+    /// overhead energy).
+    pub core_v2: f64,
+    /// Squared relative memory voltage (scales memory-side dynamic energy).
+    pub mem_v2: f64,
+    /// Memory-side energy multiplier for ECC (1.0 when ECC is off).
+    pub ecc_energy_factor: f64,
+}
+
+/// A per-class energy breakdown reconciled to a board integral: the
+/// energies of [`EnergyClass::ALL`], in that order, summing (including
+/// `unmodeled`) to `board_energy_j` exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    pub board_energy_j: f64,
+    class_j: [f64; EnergyClass::ALL.len()],
+}
+
+impl EnergyBreakdown {
+    /// Energy attributed to one class, joules.
+    pub fn class_j(&self, class: EnergyClass) -> f64 {
+        self.class_j[class.idx()]
+    }
+
+    /// `(class, joules)` rows in presentation order.
+    pub fn rows(&self) -> impl Iterator<Item = (EnergyClass, f64)> + '_ {
+        EnergyClass::ALL.iter().map(move |&c| (c, self.class_j(c)))
+    }
+
+    /// Sum of the explicitly modeled classes (everything but `unmodeled`).
+    pub fn modeled_j(&self) -> f64 {
+        self.class_j[..EnergyClass::ALL.len() - 1].iter().sum()
+    }
+
+    /// Signed share of the board energy the model could not attribute.
+    pub fn unmodeled_frac(&self) -> f64 {
+        if self.board_energy_j == 0.0 {
+            0.0
+        } else {
+            self.class_j(EnergyClass::Unmodeled) / self.board_energy_j
+        }
+    }
+}
+
+impl EnergyModel {
+    /// Attribute `board_energy_j` across the classes given the run's
+    /// activity and phase durations. The residual goes to
+    /// [`EnergyClass::Unmodeled`], so the rows always sum back to
+    /// `board_energy_j` to float precision (the residual is computed by
+    /// subtraction).
+    pub fn attribute(
+        &self,
+        activity: &ClassActivity,
+        phases: &PhaseDurations,
+        board_energy_j: f64,
+    ) -> EnergyBreakdown {
+        let a = activity;
+        let vc2 = self.core_v2;
+        let vm2e = self.mem_v2 * self.ecc_energy_factor;
+        let mut class_j = [0.0; EnergyClass::ALL.len()];
+        class_j[EnergyClass::Fp32.idx()] = (a.fp32_add_ops * self.e_fp32_add
+            + a.fp32_mul_ops * self.e_fp32_mul
+            + a.fp32_fma_ops * self.e_fp32_fma)
+            * vc2;
+        class_j[EnergyClass::Fp64.idx()] = a.fp64_ops * self.e_fp64 * vc2;
+        class_j[EnergyClass::Int.idx()] = a.int_ops * self.e_int * vc2;
+        class_j[EnergyClass::Sfu.idx()] = a.sfu_ops * self.e_sfu * vc2;
+        class_j[EnergyClass::Shared.idx()] = a.shared_ops * self.e_shared * vc2;
+        class_j[EnergyClass::LdSt.idx()] =
+            (a.dram_bytes * self.e_dram_byte + a.transactions * self.e_txn) * vm2e;
+        class_j[EnergyClass::Atomic.idx()] = a.atomics * self.e_atomic * vm2e;
+        // Barriers cost issue cycles but no dynamic energy in the power
+        // model; the row is kept at zero deliberately.
+        class_j[EnergyClass::Sync.idx()] = 0.0;
+        class_j[EnergyClass::IdleLane.idx()] = a.idle_lanes * self.e_idle_lane * vc2;
+        // Static split: the idle floor runs for the whole trace; the active
+        // overhead only during kernel windows; the gap overhead during
+        // host gaps and the driver tail, and at 40% during the decay step.
+        class_j[EnergyClass::Static.idx()] = self.idle_w * phases.total_s
+            + self.active_overhead_w * vc2 * phases.kernel_s
+            + self.gap_overhead_w * vc2 * (phases.gap_s() + phases.tail_s + 0.4 * phases.decay_s);
+        let modeled: f64 = class_j[..EnergyClass::ALL.len() - 1].iter().sum();
+        class_j[EnergyClass::Unmodeled.idx()] = board_energy_j - modeled;
+        EnergyBreakdown {
+            board_energy_j,
+            class_j,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> EnergyModel {
+        EnergyModel {
+            e_fp32_add: 70e-12,
+            e_fp32_mul: 78e-12,
+            e_fp32_fma: 92e-12,
+            e_fp64: 300e-12,
+            e_int: 62e-12,
+            e_sfu: 270e-12,
+            e_shared: 20e-12,
+            e_idle_lane: 55e-12,
+            e_dram_byte: 0.06e-9,
+            e_txn: 3.2e-9,
+            e_atomic: 3.5e-9,
+            idle_w: 25.0,
+            active_overhead_w: 15.0,
+            gap_overhead_w: 13.0,
+            core_v2: 1.0,
+            mem_v2: 1.0,
+            ecc_energy_factor: 1.0,
+        }
+    }
+
+    fn phases() -> PhaseDurations {
+        PhaseDurations {
+            total_s: 12.0,
+            kernel_s: 2.0,
+            lead_in_s: 3.0,
+            lead_out_s: 3.0,
+            tail_s: 2.5,
+            decay_s: 0.5,
+        }
+    }
+
+    #[test]
+    fn class_names_roundtrip_and_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for c in EnergyClass::ALL {
+            assert!(seen.insert(c.name()), "duplicate name {}", c.name());
+            assert_eq!(EnergyClass::from_name(c.name()), Some(c));
+            assert_eq!(EnergyClass::ALL[c.idx()], c);
+        }
+        assert_eq!(EnergyClass::from_name("nope"), None);
+        assert_eq!(
+            EnergyClass::ALL[EnergyClass::ALL.len() - 1],
+            EnergyClass::Unmodeled
+        );
+    }
+
+    #[test]
+    fn rows_sum_to_board_energy_exactly() {
+        let act = ClassActivity {
+            fp32_fma_ops: 1e9,
+            int_ops: 4e8,
+            dram_bytes: 3e9,
+            transactions: 2e7,
+            atomics: 1e5,
+            idle_lanes: 2e8,
+            ..ClassActivity::default()
+        };
+        let b = model().attribute(&act, &phases(), 512.3456789);
+        let sum: f64 = b.rows().map(|(_, j)| j).sum();
+        assert_eq!(
+            sum.to_bits(),
+            b.board_energy_j.to_bits(),
+            "residual is computed by subtraction, so the sum must be bit-exact after one add"
+        );
+        assert!(b.class_j(EnergyClass::Fp32) > 0.0);
+        assert_eq!(b.class_j(EnergyClass::Sync), 0.0);
+    }
+
+    #[test]
+    fn static_split_covers_idle_floor_and_overheads() {
+        let b = model().attribute(&ClassActivity::default(), &phases(), 400.0);
+        // idle 25 W * 12 s + active 15 W * 2 s + gap 13 W * (1 + 2.5 + 0.2) s
+        let expect = 25.0 * 12.0 + 15.0 * 2.0 + 13.0 * (1.0 + 2.5 + 0.2);
+        assert!((b.class_j(EnergyClass::Static) - expect).abs() < 1e-9);
+        // Everything else is zero activity, so unmodeled picks up the rest.
+        assert!((b.class_j(EnergyClass::Unmodeled) - (400.0 - expect)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn voltage_and_ecc_scaling_apply_to_the_right_sides() {
+        let act = ClassActivity {
+            fp32_fma_ops: 1e9,
+            dram_bytes: 1e9,
+            ..ClassActivity::default()
+        };
+        let base = model().attribute(&act, &phases(), 0.0);
+        let mut lowv = model();
+        lowv.core_v2 = 0.81;
+        let lv = lowv.attribute(&act, &phases(), 0.0);
+        assert!(
+            (lv.class_j(EnergyClass::Fp32) / base.class_j(EnergyClass::Fp32) - 0.81).abs() < 1e-12
+        );
+        assert_eq!(
+            lv.class_j(EnergyClass::LdSt).to_bits(),
+            base.class_j(EnergyClass::LdSt).to_bits()
+        );
+        let mut ecc = model();
+        ecc.ecc_energy_factor = 1.25;
+        let ev = ecc.attribute(&act, &phases(), 0.0);
+        assert!(
+            (ev.class_j(EnergyClass::LdSt) / base.class_j(EnergyClass::LdSt) - 1.25).abs() < 1e-12
+        );
+        assert_eq!(
+            ev.class_j(EnergyClass::Fp32).to_bits(),
+            base.class_j(EnergyClass::Fp32).to_bits()
+        );
+    }
+
+    #[test]
+    fn gap_time_is_the_unaccounted_remainder() {
+        let p = phases();
+        assert!((p.gap_s() - 1.0).abs() < 1e-12);
+        let degenerate = PhaseDurations {
+            total_s: 5.0,
+            kernel_s: 10.0,
+            ..phases()
+        };
+        assert_eq!(degenerate.gap_s(), 0.0);
+    }
+
+    #[test]
+    fn unmodeled_fraction_is_signed_and_guarded() {
+        let b = model().attribute(&ClassActivity::default(), &phases(), 0.0);
+        assert_eq!(b.unmodeled_frac(), 0.0);
+        let c = model().attribute(&ClassActivity::default(), &phases(), 1000.0);
+        assert!(c.unmodeled_frac() > 0.0);
+        assert!(c.modeled_j() > 0.0);
+    }
+}

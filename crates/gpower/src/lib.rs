@@ -20,8 +20,21 @@
 //! 4. [`stats`] — median-of-three methodology, run-to-run variability, and
 //!    the box statistics (median / quartiles / whiskers) used by the paper's
 //!    Figures 2, 3, 4 and 6.
+//!
+//! Two observability layers sit on top of the measurement pipeline:
+//!
+//! 5. [`attribution`] — instruction-class energy attribution: split a run's
+//!    board-integral energy into FP32/FP64/INT/SFU/shared/LDST/atomic/
+//!    sync/idle-lane/static classes from activity counters, with the
+//!    residual in a named `unmodeled` bucket so the rows always sum back
+//!    to the board integral.
+//! 6. [`sampler`] — an emulated external polling meter (nvidia-smi style):
+//!    configurable rate, phase, jitter and averaging window, for studying
+//!    how much a sampling observer's energy estimate misses.
 
+pub mod attribution;
 pub mod k20power;
+pub mod sampler;
 pub mod sensor;
 pub mod stats;
 pub mod trace;
@@ -31,7 +44,9 @@ pub mod trace;
 /// so persisted measurement caches keyed on it are invalidated.
 pub const MEASUREMENT_VERSION: &str = "gpower/2";
 
+pub use attribution::{ClassActivity, EnergyBreakdown, EnergyClass, EnergyModel, PhaseDurations};
 pub use k20power::{K20Power, K20PowerConfig, PowerError, Reading};
+pub use sampler::{sampled_energy, study_policies, AveragingWindow, SampledEnergy, SamplingPolicy};
 pub use sensor::{PowerSensor, Sample, SensorConfig};
 pub use stats::{box_stats, median, variability_pct, BoxStats};
 pub use trace::PowerTrace;

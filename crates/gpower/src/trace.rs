@@ -84,6 +84,28 @@ impl PowerTrace {
         self.segs[idx].watts
     }
 
+    /// Energy in joules over `[t0, t1]`, clipped to the trace. Times before
+    /// 0 or past the end contribute nothing (the trace is the whole run;
+    /// outside it the board is not being integrated).
+    pub fn energy_between(&self, t0: f64, t1: f64) -> f64 {
+        if t1 <= t0 {
+            return 0.0;
+        }
+        let start = self.segs.partition_point(|s| s.t1 <= t0);
+        let mut e = 0.0;
+        for s in &self.segs[start..] {
+            if s.t0 >= t1 {
+                break;
+            }
+            let lo = s.t0.max(t0);
+            let hi = s.t1.min(t1);
+            if hi > lo {
+                e += (hi - lo) * s.watts;
+            }
+        }
+        e
+    }
+
     /// Maximum instantaneous power in the trace.
     pub fn peak_watts(&self) -> f64 {
         self.segs.iter().map(|s| s.watts).fold(0.0, f64::max)
@@ -183,6 +205,23 @@ mod tests {
         t.push(1.0, 45.0);
         assert_eq!(t.peak_watts(), 120.0);
         assert_eq!(t.min_watts(), 25.0);
+    }
+
+    #[test]
+    fn energy_between_clips_to_the_window() {
+        let mut t = PowerTrace::new();
+        t.push(2.0, 25.0);
+        t.push(2.0, 100.0);
+        // Whole trace.
+        assert!((t.energy_between(0.0, 4.0) - 250.0).abs() < 1e-9);
+        // Straddling the boundary.
+        assert!((t.energy_between(1.0, 3.0) - 125.0).abs() < 1e-9);
+        // Clipped past the ends: outside the trace contributes nothing.
+        assert!((t.energy_between(-5.0, 10.0) - 250.0).abs() < 1e-9);
+        assert_eq!(t.energy_between(4.0, 10.0), 0.0);
+        // Degenerate/inverted windows.
+        assert_eq!(t.energy_between(1.0, 1.0), 0.0);
+        assert_eq!(t.energy_between(3.0, 1.0), 0.0);
     }
 
     #[test]

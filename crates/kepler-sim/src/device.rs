@@ -142,9 +142,12 @@ pub struct Device {
 
 /// Idle time recorded before the first kernel, seconds. Gives the
 /// measurement tool an unambiguous idle level, like a real run.
-const LEAD_IN_S: f64 = 3.0;
+pub const LEAD_IN_S: f64 = 3.0;
 /// Idle time recorded after the tail, seconds.
-const LEAD_OUT_S: f64 = 3.0;
+pub const LEAD_OUT_S: f64 = 3.0;
+/// Duration of the decay step between the driver tail and idle, seconds
+/// (held at 40% of the gap overhead; see [`Device::finish`]).
+pub const TAIL_DECAY_S: f64 = 0.5;
 
 impl Device {
     pub fn new(mut cfg: DeviceConfig) -> Self {
@@ -678,19 +681,19 @@ impl Device {
             });
             sink.record(Event::BoardInterval {
                 t0: t0 + p.tail_s,
-                t1: t0 + p.tail_s + 0.5,
+                t1: t0 + p.tail_s + TAIL_DECAY_S,
                 watts: decay_w,
                 phase: BoardPhase::Tail,
             });
             sink.record(Event::BoardInterval {
-                t0: t0 + p.tail_s + 0.5,
-                t1: t0 + p.tail_s + 0.5 + LEAD_OUT_S,
+                t0: t0 + p.tail_s + TAIL_DECAY_S,
+                t1: t0 + p.tail_s + TAIL_DECAY_S + LEAD_OUT_S,
                 watts: p.idle_w,
                 phase: BoardPhase::Idle,
             });
         }
         self.trace.push(p.tail_s, gap_w);
-        self.trace.push(0.5, decay_w);
+        self.trace.push(TAIL_DECAY_S, decay_w);
         self.trace.push(LEAD_OUT_S, p.idle_w);
         (self.trace, self.launches)
     }

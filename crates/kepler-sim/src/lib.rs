@@ -43,6 +43,7 @@
 //! super-linearly to small frequency changes.
 
 pub mod access;
+pub mod attribution;
 pub mod block;
 pub mod buffer;
 pub mod coalesce;
@@ -63,6 +64,7 @@ pub mod warp;
 pub const SIM_VERSION: &str = "kepler-sim/2";
 
 pub use access::{Access, AccessEvent, AccessKind, AccessObserver, MemSpace};
+pub use attribution::{attribute_energy, class_activity, energy_model, phase_durations};
 pub use block::{BlockCtx, SharedBuf, ThreadCtx};
 pub use buffer::{DevBuffer, GlobalMem};
 pub use config::{ClockConfig, DeviceConfig, PowerParams};

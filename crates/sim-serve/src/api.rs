@@ -7,6 +7,7 @@ use characterize::campaign::{
     pareto_front, plan_artifacts, sweep_grid, Artifact, Campaign, SweepPoint, SWEEP_CORE_MHZ,
     SWEEP_MEM_MHZ,
 };
+use characterize::energy::{energy_breakdown, sampling_error};
 use characterize::figures::{input_power_figure, power_profile, power_range_figure, ratio_figure};
 use characterize::report::*;
 use characterize::tables::{table1, table2, table3, table4, tr_detail};
@@ -251,8 +252,34 @@ fn median_json(params: &RunParams, m: &MedianMeasurement) -> Json {
             ]),
         ));
     }
+    fields.push(("energy_breakdown", breakdown_json(params, m)));
     fields.push(("caveats", caveats()));
     Json::obj(fields)
+}
+
+/// Instruction-class attribution of the run's board trace-integral energy:
+/// `{"board_energy_j": ..., "classes": {"fp32": ..., ..., "unmodeled": ...}}`.
+/// The class values (residual included) sum to `board_energy_j` exactly.
+fn breakdown_json(params: &RunParams, m: &MedianMeasurement) -> Json {
+    let bd = kepler_sim::attribute_energy(
+        &params.config.device_config(),
+        &m.counters,
+        m.trace_end_s,
+        m.kernel_time_s,
+        m.board_energy_j,
+    );
+    Json::obj([
+        ("board_energy_j", Json::num(bd.board_energy_j)),
+        (
+            "classes",
+            Json::Obj(
+                bd.rows()
+                    .map(|(c, j)| (c.name().to_string(), Json::num(j)))
+                    .collect(),
+            ),
+        ),
+        ("unmodeled_pct", Json::num(100.0 * bd.unmodeled_frac())),
+    ])
 }
 
 /// Execute a `/v1/runs` request against the shared campaign.
@@ -429,10 +456,21 @@ pub fn sweep_response(campaign: &Campaign, params: &SweepParams) -> Json {
 }
 
 /// Every artifact name `repro` accepts, in `repro all` output order plus
-/// the opt-in `trdata`.
-pub const ARTIFACT_NAMES: [&str; 11] = [
-    "table1", "fig1", "fig2", "fig3", "fig4", "table2", "table3", "table4", "fig5", "fig6",
+/// the opt-in `trdata` and the energy-lab artifacts.
+pub const ARTIFACT_NAMES: [&str; 13] = [
+    "table1",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "table2",
+    "table3",
+    "table4",
+    "fig5",
+    "fig6",
     "trdata",
+    "energy-breakdown",
+    "energy-sampling-error",
 ];
 
 /// Generate one artifact's text, byte-identical to `repro <name>` stdout
@@ -473,6 +511,8 @@ pub fn artifact_text(campaign: &Campaign, name: &str, reps: u64) -> Result<Strin
         "fig5" => render_fig5(&input_power_figure(campaign, reps)),
         "fig6" => render_fig6(&power_range_figure(campaign, reps)),
         "trdata" => render_tr_detail(&tr_detail(campaign, reps)),
+        "energy-breakdown" => render_energy_breakdown(&energy_breakdown(campaign, reps)),
+        "energy-sampling-error" => render_sampling_error(&sampling_error(campaign, reps)),
         _ => unreachable!("gated by ARTIFACT_NAMES"),
     };
     // `repro` prints with `println!`, so the byte-identical body carries

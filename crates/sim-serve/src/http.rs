@@ -268,14 +268,23 @@ pub struct ChunkedResponse<W: Write> {
 
 impl<W: Write> ChunkedResponse<W> {
     /// Write the status line + headers and switch to chunked encoding.
-    pub fn start(mut w: W, status: u16, content_type: &str) -> io::Result<Self> {
+    pub fn start(
+        mut w: W,
+        status: u16,
+        content_type: &str,
+        extra_headers: &[(&str, String)],
+    ) -> io::Result<Self> {
         write!(
             w,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n",
             status,
             status_text(status),
             content_type
         )?;
+        for (name, value) in extra_headers {
+            write!(w, "{name}: {value}\r\n")?;
+        }
+        w.write_all(b"\r\n")?;
         w.flush()?;
         Ok(Self { w })
     }
@@ -376,7 +385,13 @@ mod tests {
     fn chunked_stream_frames_and_terminates() {
         let mut out = Vec::new();
         {
-            let mut c = ChunkedResponse::start(&mut out, 200, "application/x-ndjson").unwrap();
+            let mut c = ChunkedResponse::start(
+                &mut out,
+                200,
+                "application/x-ndjson",
+                &[("X-Request-Id", "req-000001".to_string())],
+            )
+            .unwrap();
             c.chunk(b"{\"a\":1}\n").unwrap();
             c.chunk(b"").unwrap(); // skipped, must not terminate
             c.chunk(b"{\"b\":2}\n").unwrap();
@@ -384,6 +399,7 @@ mod tests {
         }
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("Transfer-Encoding: chunked"));
+        assert!(text.contains("X-Request-Id: req-000001\r\n"));
         assert!(text.contains("8\r\n{\"a\":1}\n\r\n"));
         assert!(text.ends_with("0\r\n\r\n"));
     }

@@ -17,11 +17,13 @@
 //! | `GET /v1/artifacts/{name}` | A paper table/figure, byte-identical to `repro` |
 //! | `GET /v1/workloads` | The discoverable request space |
 //! | `GET /healthz` | Liveness (`ok` / `draining`) |
-//! | `GET /metrics` | Queue, campaign-cache, and latency metrics |
+//! | `GET /metrics` | Queue, campaign-cache, and latency metrics — JSON by default, Prometheus text exposition via `?format=prometheus` or `Accept: text/plain` |
 //!
 //! Long-running requests can append `?stream=1` to receive chunked NDJSON:
 //! `progress` lines fed by the campaign's [`sim_telemetry`] events, then
-//! one terminal `result` line.
+//! one terminal `result` line. Every request gets a monotone id, returned
+//! as `X-Request-Id`, stamped on each NDJSON line, and printed in the
+//! stderr access log.
 //!
 //! ## Admission control
 //!

@@ -17,13 +17,15 @@ pub const BUCKET_BOUNDS_MS: [f64; 20] = [
     4_000.0, 8_000.0, 16_000.0, 32_000.0, 64_000.0, 128_000.0,
 ];
 
-/// One latency histogram (fixed buckets + count + sum).
+/// One latency histogram (fixed buckets + count + sum + observed max).
 #[derive(Default)]
 pub struct Histogram {
     counts: [AtomicU64; BUCKET_BOUNDS_MS.len() + 1],
     count: AtomicU64,
     /// Sum in microseconds (integer, to stay atomic).
     sum_us: AtomicU64,
+    /// Largest single observation, microseconds.
+    max_us: AtomicU64,
 }
 
 impl Histogram {
@@ -37,15 +39,24 @@ impl Histogram {
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum_us
             .fetch_add(d.as_micros() as u64, Ordering::Relaxed);
+        self.max_us
+            .fetch_max(d.as_micros() as u64, Ordering::Relaxed);
     }
 
     pub fn count(&self) -> u64 {
         self.count.load(Ordering::Relaxed)
     }
 
+    /// Largest single observation, milliseconds (0 with no observations).
+    pub fn max_ms(&self) -> f64 {
+        self.max_us.load(Ordering::Relaxed) as f64 / 1e3
+    }
+
     /// Quantile estimate (0.0..=1.0) by linear interpolation inside the
     /// owning bucket; `None` with no observations. The unbounded tail
-    /// reports its lower bound.
+    /// never interpolates: it reports the observed maximum (clamped to
+    /// the bucket's lower bound), so a p99 that lands there is a real
+    /// latency, not an extrapolation past the last bound.
     pub fn quantile_ms(&self, q: f64) -> Option<f64> {
         let total = self.count();
         if total == 0 {
@@ -58,7 +69,7 @@ impl Histogram {
             if seen + c >= target {
                 let lo = if i == 0 { 0.0 } else { BUCKET_BOUNDS_MS[i - 1] };
                 if i >= BUCKET_BOUNDS_MS.len() {
-                    return Some(lo);
+                    return Some(self.max_ms().max(lo));
                 }
                 let hi = BUCKET_BOUNDS_MS[i];
                 let into = (target - seen) as f64 / c.max(1) as f64;
@@ -75,6 +86,7 @@ impl Histogram {
         let mut fields = vec![
             ("count", Json::num(count as f64)),
             ("sum_ms", Json::num(round3(sum_ms))),
+            ("max_ms", Json::num(round3(self.max_ms()))),
         ];
         for (label, q) in [("p50_ms", 0.5), ("p95_ms", 0.95), ("p99_ms", 0.99)] {
             fields.push((
@@ -104,6 +116,30 @@ impl Histogram {
             ),
         ));
         Json::obj(fields)
+    }
+
+    /// Append this histogram in Prometheus text exposition: cumulative
+    /// `{name}_bucket{{endpoint=...,le=...}}` series (terminated by
+    /// `le="+Inf"`) plus `_sum` and `_count`.
+    fn to_prometheus(&self, out: &mut String, name: &str, endpoint: &str) {
+        let mut cumulative = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            cumulative += c.load(Ordering::Relaxed);
+            match BUCKET_BOUNDS_MS.get(i) {
+                Some(b) => out.push_str(&format!(
+                    "{name}_bucket{{endpoint=\"{endpoint}\",le=\"{b}\"}} {cumulative}\n"
+                )),
+                None => out.push_str(&format!(
+                    "{name}_bucket{{endpoint=\"{endpoint}\",le=\"+Inf\"}} {cumulative}\n"
+                )),
+            }
+        }
+        let sum_ms = self.sum_us.load(Ordering::Relaxed) as f64 / 1e3;
+        out.push_str(&format!("{name}_sum{{endpoint=\"{endpoint}\"}} {sum_ms}\n"));
+        out.push_str(&format!(
+            "{name}_count{{endpoint=\"{endpoint}\"}} {}\n",
+            self.count()
+        ));
     }
 }
 
@@ -208,6 +244,41 @@ impl Metrics {
             ("endpoints", Json::Obj(endpoints)),
         ])
     }
+
+    /// The HTTP section of the Prometheus text exposition: the same
+    /// counters and histograms [`Metrics::to_json`] reports, one
+    /// `# HELP`/`# TYPE`-annotated family per metric.
+    pub fn to_prometheus(&self, out: &mut String) {
+        out.push_str(concat!(
+            "# HELP simserve_http_requests_total Requests handled, including shed and malformed ones.\n",
+            "# TYPE simserve_http_requests_total counter\n",
+        ));
+        out.push_str(&format!(
+            "simserve_http_requests_total {}\n",
+            self.requests_total()
+        ));
+        out.push_str(concat!(
+            "# HELP simserve_http_responses_total Responses by HTTP status code.\n",
+            "# TYPE simserve_http_responses_total counter\n",
+        ));
+        for (i, s) in TRACKED_STATUSES.iter().enumerate() {
+            out.push_str(&format!(
+                "simserve_http_responses_total{{status=\"{s}\"}} {}\n",
+                self.by_status[i].load(Ordering::Relaxed)
+            ));
+        }
+        out.push_str(&format!(
+            "simserve_http_responses_total{{status=\"other\"}} {}\n",
+            self.by_status[TRACKED_STATUSES.len()].load(Ordering::Relaxed)
+        ));
+        out.push_str(concat!(
+            "# HELP simserve_http_request_duration_ms Request latency by endpoint, milliseconds.\n",
+            "# TYPE simserve_http_request_duration_ms histogram\n",
+        ));
+        for (i, e) in Endpoint::ALL.iter().enumerate() {
+            self.latency[i].to_prometheus(out, "simserve_http_request_duration_ms", e.label());
+        }
+    }
 }
 
 #[cfg(test)]
@@ -231,11 +302,32 @@ mod tests {
         assert_eq!(Histogram::default().quantile_ms(0.5), None);
     }
 
+    /// Regression: a quantile landing in the open-ended top bucket must
+    /// report a real latency — the observed maximum (or at least the
+    /// bucket's lower bound) — never a value interpolated past the last
+    /// finite bound.
     #[test]
-    fn overflow_bucket_reports_its_lower_bound() {
+    fn overflow_bucket_reports_observed_max_not_interpolation() {
         let h = Histogram::default();
         h.observe(Duration::from_secs(600));
-        assert_eq!(h.quantile_ms(0.5), Some(128_000.0));
+        // One 600 s observation: every quantile is that observation.
+        assert_eq!(h.quantile_ms(0.5), Some(600_000.0));
+        assert_eq!(h.quantile_ms(0.99), Some(600_000.0));
+        assert_eq!(h.max_ms(), 600_000.0);
+
+        // Mixed: p99 lands in the overflow bucket and reports the observed
+        // max, which is at least the bucket's lower bound and exactly the
+        // worst latency seen.
+        let h = Histogram::default();
+        for _ in 0..200 {
+            h.observe(Duration::from_millis(1));
+        }
+        for _ in 0..3 {
+            h.observe(Duration::from_secs(200));
+        }
+        let p99 = h.quantile_ms(0.99).unwrap();
+        assert!(p99 >= 128_000.0, "p99 {p99} below the tail's lower bound");
+        assert_eq!(p99, 200_000.0, "p99 must be the observed max");
     }
 
     #[test]

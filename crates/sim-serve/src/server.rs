@@ -21,7 +21,7 @@ use sim_telemetry::{Event, FanoutSink, TelemetrySink};
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
@@ -105,12 +105,24 @@ pub struct ServeState {
     started: Instant,
     draining: AtomicBool,
     connections: AtomicUsize,
+    request_seq: AtomicU64,
 }
 
 impl ServeState {
     /// Queue gauges for `/metrics` and tests.
     pub fn queue_depth(&self) -> usize {
         self.queue.depth()
+    }
+
+    /// The next request id: a monotone per-server sequence number. It is
+    /// returned as `X-Request-Id`, stamped on every NDJSON stream line,
+    /// and printed in the access log, so one request can be followed
+    /// across all three.
+    fn next_request_id(&self) -> String {
+        format!(
+            "req-{:06}",
+            self.request_seq.fetch_add(1, Ordering::Relaxed) + 1
+        )
     }
 }
 
@@ -138,19 +150,30 @@ impl JobReply {
         }
     }
 
-    /// The `result` NDJSON line: `{"event":"result","status":...,"body":...}`.
-    fn into_stream_line(self) -> String {
+    /// The `result` NDJSON line:
+    /// `{"event":"result","id":...,"status":...,"body":...}`.
+    fn into_stream_line(self, rid: &str) -> String {
         let (status, body) = match self {
             JobReply::Json(s, b) => (s, b),
             JobReply::Text(s, t) => (s, Json::Str(t)),
         };
         Json::obj([
             ("event", Json::str("result")),
+            ("id", Json::str(rid)),
             ("status", Json::num(status as f64)),
             ("body", body),
         ])
         .dump()
     }
+}
+
+/// One access-log line per request on stderr, carrying the same id the
+/// client saw in `X-Request-Id` / the NDJSON stream.
+fn log_access(rid: &str, method: &str, path: &str, status: u16, t0: Instant) {
+    eprintln!(
+        "[sim-serve] {rid} {method} {path} -> {status} in {:.3} ms",
+        t0.elapsed().as_secs_f64() * 1e3
+    );
 }
 
 fn api_error_reply(e: &ApiError) -> JobReply {
@@ -192,6 +215,7 @@ impl Server {
             started: Instant::now(),
             draining: AtomicBool::new(false),
             connections: AtomicUsize::new(0),
+            request_seq: AtomicU64::new(0),
         });
         Ok(Server {
             state,
@@ -275,20 +299,28 @@ fn handle_connection(state: &Arc<ServeState>, stream: TcpStream) {
     let mut reader = BufReader::new(reader_stream);
     let mut writer = BufWriter::new(stream);
     let t0 = Instant::now();
+    let rid = state.next_request_id();
     match read_request(&mut reader, &state.limits) {
         Err(ReadError::Closed) => {}
         Err(ReadError::Io(_)) => {
             let _ = write_response(
                 &mut writer,
-                &error_response(408, "request_timeout", "timed out reading the request"),
+                &error_response(408, "request_timeout", "timed out reading the request")
+                    .with_header("X-Request-Id", rid.clone()),
             );
             state.metrics.observe(Endpoint::Other, 408, t0.elapsed());
+            log_access(&rid, "-", "-", 408, t0);
         }
         Err(ReadError::Bad { status, message }) => {
-            let _ = write_response(&mut writer, &error_response(status, "bad_request", message));
+            let _ = write_response(
+                &mut writer,
+                &error_response(status, "bad_request", message)
+                    .with_header("X-Request-Id", rid.clone()),
+            );
             state.metrics.observe(Endpoint::Other, status, t0.elapsed());
+            log_access(&rid, "-", "-", status, t0);
         }
-        Ok(req) => dispatch(state, &req, &mut writer, t0),
+        Ok(req) => dispatch(state, &req, &mut writer, t0, &rid),
     }
 }
 
@@ -307,12 +339,27 @@ fn wants_stream(req: &Request) -> bool {
     matches!(req.query_param("stream"), Some("1") | Some("true"))
 }
 
-fn dispatch(state: &Arc<ServeState>, req: &Request, writer: &mut impl std::io::Write, t0: Instant) {
+fn dispatch(
+    state: &Arc<ServeState>,
+    req: &Request,
+    writer: &mut impl std::io::Write,
+    t0: Instant,
+    rid: &str,
+) {
     let endpoint = endpoint_of(req);
     // The cheap, never-queued endpoints answer inline even mid-drain.
     let inline: Option<Response> = match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => Some(healthz(state)),
-        ("GET", "/metrics") => Some(Response::json(200, metrics_body(state).dump())),
+        ("GET", "/metrics") => Some(if wants_prometheus(req) {
+            Response {
+                status: 200,
+                content_type: "text/plain; version=0.0.4; charset=utf-8",
+                body: prometheus_body(state).into_bytes(),
+                extra_headers: Vec::new(),
+            }
+        } else {
+            Response::json(200, metrics_body(state).dump())
+        }),
         ("GET", "/v1/workloads") => Some(Response::json(200, api::workloads_response().dump())),
         ("GET", "/v1/artifacts") => Some(Response::json(
             200,
@@ -339,9 +386,11 @@ fn dispatch(state: &Arc<ServeState>, req: &Request, writer: &mut impl std::io::W
         )),
     };
     if let Some(resp) = inline {
+        let resp = resp.with_header("X-Request-Id", rid.to_string());
         let status = resp.status;
         let _ = write_response(writer, &resp);
         state.metrics.observe(endpoint, status, t0.elapsed());
+        log_access(rid, &req.method, &req.path, status, t0);
         return;
     }
 
@@ -350,24 +399,44 @@ fn dispatch(state: &Arc<ServeState>, req: &Request, writer: &mut impl std::io::W
     let job: MeasurementJob = match build_job(state, req) {
         Ok(job) => job,
         Err(e) => {
-            let _ = write_response(writer, &Response::json(e.status, e.body().dump()));
+            let _ = write_response(
+                writer,
+                &Response::json(e.status, e.body().dump())
+                    .with_header("X-Request-Id", rid.to_string()),
+            );
             state.metrics.observe(endpoint, e.status, t0.elapsed());
+            log_access(rid, &req.method, &req.path, e.status, t0);
             return;
         }
     };
 
     if wants_stream(req) {
-        let status = run_streaming(state, job, writer);
+        let status = run_streaming(state, job, writer, rid);
         state.metrics.observe(endpoint, status, t0.elapsed());
+        log_access(rid, &req.method, &req.path, status, t0);
     } else {
-        let mut resp = run_queued(state, job).into_response();
+        let mut resp = run_queued(state, job)
+            .into_response()
+            .with_header("X-Request-Id", rid.to_string());
         if resp.status == 503 {
             resp = resp.with_header("Retry-After", "1".to_string());
         }
         let status = resp.status;
         let _ = write_response(writer, &resp);
         state.metrics.observe(endpoint, status, t0.elapsed());
+        log_access(rid, &req.method, &req.path, status, t0);
     }
+}
+
+/// `/metrics` content negotiation: Prometheus text exposition on
+/// `?format=prometheus` or a text-preferring `Accept` header; JSON stays
+/// the default.
+fn wants_prometheus(req: &Request) -> bool {
+    if let Some(f) = req.query_param("format") {
+        return f == "prometheus";
+    }
+    req.header("accept")
+        .is_some_and(|a| a.contains("text/plain") || a.contains("openmetrics"))
 }
 
 /// Parse + validate one queued request into its worker-side job.
@@ -485,6 +554,7 @@ fn run_streaming(
     state: &Arc<ServeState>,
     job: MeasurementJob,
     writer: &mut impl std::io::Write,
+    rid: &str,
 ) -> u16 {
     // Subscribe before submitting so no progress is missed.
     let sub = state
@@ -505,7 +575,8 @@ fn run_streaming(
                 writer,
                 &reply
                     .into_response()
-                    .with_header("Retry-After", "1".to_string()),
+                    .with_header("Retry-After", "1".to_string())
+                    .with_header("X-Request-Id", rid.to_string()),
             );
             return status;
         }
@@ -519,14 +590,20 @@ fn run_streaming(
                 writer,
                 &reply
                     .into_response()
-                    .with_header("Retry-After", "5".to_string()),
+                    .with_header("Retry-After", "5".to_string())
+                    .with_header("X-Request-Id", rid.to_string()),
             );
             return status;
         }
         Ok(()) => {}
     }
 
-    let mut chunked = match ChunkedResponse::start(writer, 200, "application/x-ndjson") {
+    let mut chunked = match ChunkedResponse::start(
+        writer,
+        200,
+        "application/x-ndjson",
+        &[("X-Request-Id", rid.to_string())],
+    ) {
         Ok(c) => c,
         Err(_) => return 200, // client went away; job still completes + caches
     };
@@ -537,6 +614,7 @@ fn run_streaming(
             if let Event::CampaignProgress { done, total, .. } = ev {
                 let line = Json::obj([
                     ("event", Json::str("progress")),
+                    ("id", Json::str(rid)),
                     ("done", Json::num(done as f64)),
                     ("total", Json::num(total as f64)),
                 ])
@@ -548,7 +626,7 @@ fn run_streaming(
             }
         }
         match rx.recv_timeout(Duration::from_millis(50)) {
-            Ok(reply) => break reply.into_stream_line(),
+            Ok(reply) => break reply.into_stream_line(rid),
             Err(mpsc::RecvTimeoutError::Timeout) => {
                 if Instant::now() >= deadline {
                     break JobReply::Json(
@@ -561,7 +639,7 @@ fn run_streaming(
                         )
                         .body(),
                     )
-                    .into_stream_line();
+                    .into_stream_line(rid);
                 }
             }
             Err(mpsc::RecvTimeoutError::Disconnected) => {
@@ -569,7 +647,7 @@ fn run_streaming(
                     500,
                     ApiError::new(500, "internal", "the job failed unexpectedly").body(),
                 )
-                .into_stream_line();
+                .into_stream_line(rid);
             }
         }
     };
@@ -630,6 +708,81 @@ pub fn metrics_body(state: &Arc<ServeState>) -> Json {
     ])
 }
 
+fn push_gauge(out: &mut String, name: &str, help: &str, v: f64) {
+    out.push_str(&format!(
+        "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {v}\n"
+    ));
+}
+
+/// The Prometheus text-exposition rendering of the `/metrics` document:
+/// the same gauges, counters, and histograms as [`metrics_body`], one
+/// `# HELP`/`# TYPE`-annotated family per metric. Served on
+/// `GET /metrics?format=prometheus` (or a text-preferring `Accept`).
+pub fn prometheus_body(state: &Arc<ServeState>) -> String {
+    let stats = state.campaign.stats();
+    let mut out = String::new();
+    push_gauge(
+        &mut out,
+        "simserve_uptime_seconds",
+        "Seconds since the server started.",
+        (state.started.elapsed().as_secs_f64() * 1e3).round() / 1e3,
+    );
+    push_gauge(
+        &mut out,
+        "simserve_queue_depth",
+        "Jobs admitted but not yet executing.",
+        state.queue.depth() as f64,
+    );
+    push_gauge(
+        &mut out,
+        "simserve_queue_active",
+        "Jobs currently executing on workers.",
+        state.queue.active() as f64,
+    );
+    push_gauge(
+        &mut out,
+        "simserve_queue_capacity",
+        "Queue slots before load is shed.",
+        state.queue.capacity() as f64,
+    );
+    push_gauge(
+        &mut out,
+        "simserve_queue_workers",
+        "Measurement worker threads.",
+        state.queue.workers() as f64,
+    );
+    out.push_str(concat!(
+        "# HELP simserve_campaign_runs_total Campaign run units by outcome.\n",
+        "# TYPE simserve_campaign_runs_total counter\n",
+    ));
+    for (outcome, v) in [
+        ("simulated", stats.simulated),
+        ("memo_hits", stats.memo_hits),
+        ("disk_hits", stats.disk_hits),
+        ("disk_stale", stats.disk_stale),
+        ("disk_corrupt", stats.disk_corrupt),
+        ("cached_errors", stats.cached_errors),
+    ] {
+        out.push_str(&format!(
+            "simserve_campaign_runs_total{{outcome=\"{outcome}\"}} {v}\n"
+        ));
+    }
+    push_gauge(
+        &mut out,
+        "simserve_campaign_in_flight",
+        "Run units currently simulating.",
+        stats.in_flight as f64,
+    );
+    push_gauge(
+        &mut out,
+        "simserve_stream_subscribers",
+        "Live NDJSON progress subscribers.",
+        state.fanout.subscriber_count() as f64,
+    );
+    state.metrics.to_prometheus(&mut out);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -642,8 +795,106 @@ mod tests {
         let r = JobReply::Text(200, "Table 4\n".to_string()).into_response();
         assert_eq!(r.content_type, "text/plain; charset=utf-8");
         assert_eq!(r.body, b"Table 4\n");
-        let line = JobReply::Text(200, "x\n".to_string()).into_stream_line();
-        assert_eq!(line, r#"{"event":"result","status":200,"body":"x\n"}"#);
+        let line = JobReply::Text(200, "x\n".to_string()).into_stream_line("req-000007");
+        assert_eq!(
+            line,
+            r#"{"event":"result","id":"req-000007","status":200,"body":"x\n"}"#
+        );
+    }
+
+    /// Every Prometheus series must agree with the JSON `/metrics`
+    /// document it mirrors: parse the text exposition back into
+    /// `(series, value)` pairs and cross-check counters, statuses, and
+    /// histogram sums/counts, plus the format invariants (HELP/TYPE per
+    /// family, cumulative buckets ending at the count).
+    #[test]
+    fn prometheus_exposition_round_trips_against_json() {
+        let server = Server::bind(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            ..ServerConfig::default()
+        })
+        .expect("bind ephemeral");
+        let state = server.state();
+        state
+            .metrics
+            .observe(Endpoint::Runs, 200, Duration::from_millis(3));
+        state
+            .metrics
+            .observe(Endpoint::Runs, 422, Duration::from_millis(700));
+        state
+            .metrics
+            .observe(Endpoint::Healthz, 200, Duration::from_micros(80));
+
+        let text = prometheus_body(&state);
+        let mut series: Vec<(&str, f64)> = Vec::new();
+        let mut helped = Vec::new();
+        let mut typed = Vec::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                helped.push(rest.split(' ').next().unwrap());
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                typed.push(rest.split(' ').next().unwrap());
+                continue;
+            }
+            let (name, value) = line.rsplit_once(' ').expect("sample line");
+            series.push((name, value.parse().expect("numeric sample value")));
+        }
+        // Format invariants: every family is HELP'd and TYPE'd exactly
+        // once, and every sample belongs to a declared family.
+        assert_eq!(helped, typed);
+        for (name, _) in &series {
+            let family = name.split('{').next().unwrap();
+            let family = family
+                .strip_suffix("_bucket")
+                .or_else(|| family.strip_suffix("_sum"))
+                .or_else(|| family.strip_suffix("_count"))
+                .unwrap_or(family);
+            assert!(typed.contains(&family), "undeclared family for {name}");
+        }
+
+        let get = |k: &str| {
+            series
+                .iter()
+                .find(|(n, _)| *n == k)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("missing series {k}"))
+        };
+        let doc = metrics_body(&state);
+        let http = doc.get("http").unwrap();
+        assert_eq!(
+            get("simserve_http_requests_total"),
+            http.get("requests_total").unwrap().as_f64().unwrap()
+        );
+        assert_eq!(get(r#"simserve_http_responses_total{status="200"}"#), 2.0);
+        assert_eq!(get(r#"simserve_http_responses_total{status="422"}"#), 1.0);
+        let runs = http.get("endpoints").unwrap().get("POST /v1/runs").unwrap();
+        assert_eq!(
+            get(r#"simserve_http_request_duration_ms_count{endpoint="POST /v1/runs"}"#),
+            runs.get("count").unwrap().as_f64().unwrap()
+        );
+        let sum = get(r#"simserve_http_request_duration_ms_sum{endpoint="POST /v1/runs"}"#);
+        assert!((sum - runs.get("sum_ms").unwrap().as_f64().unwrap()).abs() < 1e-3);
+        // Cumulative buckets: monotone, terminated by +Inf == count.
+        let buckets: Vec<f64> = text
+            .lines()
+            .filter(|l| {
+                l.starts_with(
+                    r#"simserve_http_request_duration_ms_bucket{endpoint="POST /v1/runs""#,
+                )
+            })
+            .map(|l| l.rsplit_once(' ').unwrap().1.parse().unwrap())
+            .collect();
+        assert_eq!(buckets.len(), crate::metrics::BUCKET_BOUNDS_MS.len() + 1);
+        assert!(buckets.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*buckets.last().unwrap(), 2.0);
+        // Campaign + queue gauges exist with sane values.
+        assert_eq!(
+            get(r#"simserve_campaign_runs_total{outcome="simulated"}"#),
+            0.0
+        );
+        assert_eq!(get("simserve_queue_workers"), 2.0);
     }
 
     #[test]

@@ -7,8 +7,12 @@
 //! `serial()`: the simulation-count witnesses would otherwise observe each
 //! other's devices.
 
+use characterize::campaign::Campaign;
+use characterize::energy::{energy_breakdown, sampling_error};
 use characterize::figures::power_profile;
-use characterize::report::{render_fig1, render_table1};
+use characterize::report::{
+    render_energy_breakdown, render_fig1, render_sampling_error, render_table1,
+};
 use characterize::tables::table1;
 use sim_serve::json::{self, Json};
 use sim_serve::{Server, ServerConfig};
@@ -287,6 +291,123 @@ fn artifact_bodies_match_repro_rendering_bytes() {
     srv.stop();
 }
 
+/// The two energy-lab artifacts are served byte-identical to what `repro`
+/// prints (renderer output + the `println!` newline), and `POST /v1/runs`
+/// responses carry the per-class energy breakdown.
+#[test]
+fn energy_artifacts_match_repro_rendering_bytes() {
+    let _guard = serial();
+    let mut srv = TestServer::boot(quick_config());
+
+    let local = Campaign::in_memory();
+    let eb = request(srv.addr, "GET", "/v1/artifacts/energy-breakdown", None);
+    assert_eq!(eb.status, 200);
+    assert_eq!(
+        eb.body,
+        format!(
+            "{}\n",
+            render_energy_breakdown(&energy_breakdown(&local, 1))
+        )
+        .into_bytes()
+    );
+    let se = request(srv.addr, "GET", "/v1/artifacts/energy-sampling-error", None);
+    assert_eq!(se.status, 200);
+    assert_eq!(
+        se.body,
+        format!("{}\n", render_sampling_error(&sampling_error(&local, 1))).into_bytes()
+    );
+
+    // Both names are discoverable.
+    let listing = request(srv.addr, "GET", "/v1/artifacts", None).json();
+    let names: Vec<&str> = listing
+        .get("artifacts")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .filter_map(|n| n.as_str())
+        .collect();
+    assert!(names.contains(&"energy-breakdown"));
+    assert!(names.contains(&"energy-sampling-error"));
+
+    // A run response reconciles: per-class energies (residual included)
+    // sum to the board energy it reports.
+    let run = request(
+        srv.addr,
+        "POST",
+        "/v1/runs",
+        Some(r#"{"workload": "sten"}"#),
+    );
+    assert_eq!(run.status, 200);
+    let bd = run.json().get("energy_breakdown").unwrap().clone();
+    let board = bd.get("board_energy_j").unwrap().as_f64().unwrap();
+    let classes = bd.get("classes").unwrap();
+    let sum: f64 = gpower::EnergyClass::ALL
+        .iter()
+        .map(|c| classes.get(c.name()).unwrap().as_f64().unwrap())
+        .sum();
+    assert!(board > 0.0);
+    assert!(
+        ((sum - board) / board).abs() < 1e-9,
+        "classes {sum} vs board {board}"
+    );
+    srv.stop();
+}
+
+/// `/metrics` speaks both dialects (JSON default, Prometheus on
+/// `?format=prometheus` or a text-preferring `Accept`), and every
+/// response carries a distinct `X-Request-Id`.
+#[test]
+fn metrics_content_negotiation_and_request_ids() {
+    let _guard = serial();
+    let mut srv = TestServer::boot(quick_config());
+    let addr = srv.addr;
+
+    let j = request(addr, "GET", "/metrics", None);
+    assert_eq!(j.status, 200);
+    assert_eq!(j.header("content-type"), Some("application/json"));
+    let rid_json = j
+        .header("x-request-id")
+        .expect("id on JSON reply")
+        .to_string();
+    assert!(rid_json.starts_with("req-"));
+
+    let p = request(addr, "GET", "/metrics?format=prometheus", None);
+    assert_eq!(p.status, 200);
+    assert!(p
+        .header("content-type")
+        .unwrap()
+        .starts_with("text/plain; version=0.0.4"));
+    assert_ne!(p.header("x-request-id"), Some(rid_json.as_str()));
+    let text = String::from_utf8(p.body).unwrap();
+    assert!(text.contains("# HELP simserve_http_requests_total"));
+    assert!(text.contains("# TYPE simserve_http_request_duration_ms histogram"));
+    assert!(text.contains(r#"le="+Inf""#));
+    assert!(text.contains(r#"endpoint="GET /metrics""#));
+
+    // Accept-header negotiation without the query parameter.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write!(
+        stream,
+        "GET /metrics HTTP/1.1\r\nHost: x\r\nAccept: text/plain\r\n\r\n"
+    )
+    .unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap();
+    let via_accept = parse_response(&raw);
+    assert!(via_accept
+        .header("content-type")
+        .unwrap()
+        .starts_with("text/plain; version=0.0.4"));
+    assert!(String::from_utf8(via_accept.body)
+        .unwrap()
+        .contains("simserve_queue_workers"));
+    srv.stop();
+}
+
 /// With one worker and a one-slot queue, a third concurrent measurement is
 /// shed with `503` + `Retry-After` while the first two are still admitted.
 #[test]
@@ -373,12 +494,20 @@ fn streaming_sweep_emits_progress_then_result() {
     assert_eq!(reply.status, 200);
     assert_eq!(reply.header("transfer-encoding"), Some("chunked"));
     assert_eq!(reply.header("content-type"), Some("application/x-ndjson"));
+    let rid = reply
+        .header("x-request-id")
+        .expect("id on stream")
+        .to_string();
     let text = String::from_utf8(reply.body).unwrap();
     let lines: Vec<Json> = text
         .lines()
         .map(|l| json::parse(l).expect("each NDJSON line parses"))
         .collect();
     assert!(!lines.is_empty());
+    // Every stream line carries the request id the response header named.
+    for l in &lines {
+        assert_eq!(l.get("id").unwrap().as_str(), Some(rid.as_str()));
+    }
     let (progress, terminal): (Vec<&Json>, Vec<&Json>) = lines
         .iter()
         .partition(|l| l.get("event").unwrap().as_str() == Some("progress"));

@@ -157,6 +157,16 @@ pub enum Event {
     /// Campaign execution progress: `done` of `total` planned runs have
     /// been resolved. `t` is wall-clock seconds since the campaign started.
     CampaignProgress { t: f64, done: u32, total: u32 },
+    /// Instruction-class energy attribution of a finished run: the energy
+    /// charged to one class (`"fp32"`, `"ldst"`, `"static"`,
+    /// `"unmodeled"`, ...). Emitted once per class at the end of the
+    /// trace; summing `energy_j` over all classes of a run reproduces the
+    /// board-integral energy, residual included.
+    ClassEnergy {
+        t: f64,
+        class: String,
+        energy_j: f64,
+    },
 }
 
 impl Event {
@@ -179,6 +189,7 @@ impl Event {
             Event::Finding { .. } => "finding",
             Event::CacheLookup { .. } => "cache_lookup",
             Event::CampaignProgress { .. } => "campaign_progress",
+            Event::ClassEnergy { .. } => "class_energy",
         }
     }
 
@@ -196,7 +207,9 @@ impl Event {
             | Event::SensorRateSwitch { t, .. }
             | Event::ThresholdCross { t, .. } => t,
             Event::Finding { t, .. } => t,
-            Event::CacheLookup { t, .. } | Event::CampaignProgress { t, .. } => t,
+            Event::CacheLookup { t, .. }
+            | Event::CampaignProgress { t, .. }
+            | Event::ClassEnergy { t, .. } => t,
             Event::SmInterval { t0, .. }
             | Event::BoardInterval { t0, .. }
             | Event::DramInterval { t0, .. } => t0,
@@ -300,6 +313,11 @@ mod tests {
                 t: 0.0,
                 done: 3,
                 total: 136,
+            },
+            Event::ClassEnergy {
+                t: 11.2,
+                class: "fp32".into(),
+                energy_j: 42.0,
             },
         ];
         let tags: std::collections::HashSet<&str> = evs.iter().map(|e| e.tag()).collect();

@@ -257,6 +257,14 @@ pub fn chrome_trace(events: &[Event]) -> String {
                     total
                 ));
             }
+            Event::ClassEnergy { t, class, energy_j } => {
+                rows.push(format!(
+                    r#"{{"ph":"i","s":"g","pid":0,"tid":0,"ts":{},"name":"class energy: {}","args":{{"energy_j":{}}}}}"#,
+                    num(t * US),
+                    esc(class),
+                    num(*energy_j)
+                ));
+            }
         }
     }
 
@@ -432,6 +440,12 @@ pub fn event_to_jsonl(ev: &Event) -> String {
             done,
             total
         ),
+        Event::ClassEnergy { t, class, energy_j } => format!(
+            r#"{{"tag":"{tag}","t":{},"class":"{}","energy_j":{}}}"#,
+            num(*t),
+            esc(class),
+            num(*energy_j)
+        ),
     }
 }
 
@@ -449,7 +463,7 @@ pub fn jsonl(events: &[Event]) -> String {
 pub const CSV_HEADER: &str =
     "tag,t,t1,launch,name,grid,block_threads,block,sm,slot,watts,issue_frac,resident,\
 bytes_per_s,demanders,duration_s,energy_j,rate_hz,threshold_w,rising,phase,core_mhz,mem_mhz,ecc,\
-checker,severity,message,key,hit,disk,done,total";
+checker,severity,message,key,hit,disk,done,total,class";
 
 fn csv_field(s: &str) -> String {
     if s.contains(',') || s.contains('"') || s.contains('\n') {
@@ -466,7 +480,7 @@ pub fn csv(events: &[Event]) -> String {
     out.push('\n');
     for ev in events {
         // Column order must match CSV_HEADER.
-        let mut cols: [String; 32] = Default::default();
+        let mut cols: [String; 33] = std::array::from_fn(|_| String::new());
         cols[0] = ev.tag().to_string();
         cols[1] = num(ev.time());
         match ev {
@@ -593,6 +607,12 @@ pub fn csv(events: &[Event]) -> String {
             Event::CampaignProgress { done, total, .. } => {
                 cols[30] = done.to_string();
                 cols[31] = total.to_string();
+            }
+            Event::ClassEnergy {
+                class, energy_j, ..
+            } => {
+                cols[16] = num(*energy_j);
+                cols[32] = csv_field(class);
             }
         }
         out.push_str(&cols.join(","));
@@ -813,6 +833,11 @@ pub fn event_from_jsonl(line: &str) -> Option<Event> {
             done: u32of("done")?,
             total: u32of("total")?,
         },
+        "class_energy" => Event::ClassEnergy {
+            t: f("t")?,
+            class: s("class")?,
+            energy_j: f("energy_j")?,
+        },
         _ => return None,
     })
 }
@@ -912,6 +937,11 @@ mod tests {
                 t: 4.1,
                 done: 17,
                 total: 136,
+            },
+            Event::ClassEnergy {
+                t: 9.0,
+                class: "ldst".into(),
+                energy_j: 123.456,
             },
         ]
     }
