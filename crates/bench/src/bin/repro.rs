@@ -4,7 +4,7 @@
 //! repro [--quick] [--no-cache] [--cache-dir DIR] [--jobs N] [ARTIFACT...]
 //!
 //! ARTIFACT: table1 table2 table3 table4 fig1 fig2 fig3 fig4 fig5 fig6
-//!           energy-breakdown energy-sampling-error
+//!           energy-breakdown energy-sampling-error static-analysis
 //!           trdata all        (default: all)
 //! ```
 //!
@@ -24,6 +24,7 @@
 //! closing summary on stderr reports `simulated=`/`memo_hits=`/
 //! `disk_hits=` counters.
 
+use characterize::analysis::{render_static_analysis, static_analysis};
 use characterize::campaign::{plan_artifacts, Artifact, Campaign, CampaignConfig};
 use characterize::energy::{energy_breakdown, sampling_error};
 use characterize::figures::{input_power_figure, power_profile, power_range_figure, ratio_figure};
@@ -41,7 +42,12 @@ const ALL: [&str; 10] = [
 ];
 
 /// Opt-in artifacts accepted alongside the `all` set.
-const EXTRA: [&str; 3] = ["trdata", "energy-breakdown", "energy-sampling-error"];
+const EXTRA: [&str; 4] = [
+    "trdata",
+    "energy-breakdown",
+    "energy-sampling-error",
+    "static-analysis",
+];
 
 fn usage() -> ! {
     eprintln!(
@@ -168,6 +174,12 @@ fn main() {
                 println!(
                     "{}",
                     render_sampling_error(&sampling_error(&campaign, reps))
+                )
+            }
+            "static-analysis" => {
+                println!(
+                    "{}",
+                    render_static_analysis(&static_analysis(&campaign, reps))
                 )
             }
             _ => unreachable!(),

@@ -1,0 +1,169 @@
+//! The `static-analysis` artifact: cross-validation of the static
+//! boundedness classifier against measured clock sensitivity.
+//!
+//! [`sim_analyze`] classifies each regular program memory- or
+//! compute-bound from its *declared* footprints alone (arithmetic
+//! intensity vs. the K20c ridge). The measured side uses the same run
+//! slice as Figure 2 — every program at the Default and C614
+//! configurations — and computes the **core-clock sensitivity**
+//!
+//! ```text
+//! s = (t_614 / t_default - 1) / (705/614 - 1)
+//! ```
+//!
+//! i.e. the fraction of the 14.8% core slowdown that shows up in runtime:
+//! `s ~ 1` for compute-bound programs (runtime scales with the core
+//! clock), `s ~ 0` for memory-bound ones (runtime pinned by DRAM). A
+//! program is *measured* compute-bound iff `s >= 0.5`, and the artifact
+//! reports where the static verdict agrees.
+
+use crate::campaign::{Campaign, RunRequest};
+use crate::configs::GpuConfigKind;
+use crate::figures::ratio_figure_runs;
+use rayon::prelude::*;
+use serde::Serialize;
+use sim_analyze::{analyze_workload, StaticClass};
+use std::fmt::Write as _;
+use workloads::registry;
+
+/// Measured-sensitivity threshold separating the two classes.
+pub const SENSITIVITY_THRESHOLD: f64 = 0.5;
+
+/// One program's static-vs-measured boundedness comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct StaticAnalysisRow {
+    pub key: &'static str,
+    pub input: String,
+    /// Static arithmetic intensity, declared ops per declared byte.
+    pub intensity: f64,
+    /// `memory-bound` / `compute-bound` / `unknown` (no declared work).
+    pub static_class: &'static str,
+    /// Measured core-clock sensitivity (see module docs).
+    pub sensitivity: f64,
+    pub measured_class: &'static str,
+    /// Agreement; `None` when the static class is unknown.
+    pub agree: Option<bool>,
+    /// Launch units captured / units the prover verified parallel-safe.
+    pub units: usize,
+    pub provable_units: usize,
+}
+
+/// The full artifact: rows plus programs excluded by measurement failure.
+#[derive(Debug, Clone, Serialize)]
+pub struct StaticAnalysis {
+    pub rows: Vec<StaticAnalysisRow>,
+    pub excluded: Vec<String>,
+}
+
+impl StaticAnalysis {
+    /// `(agreeing rows, classifiable rows)`.
+    pub fn agreement(&self) -> (usize, usize) {
+        let total = self.rows.iter().filter(|r| r.agree.is_some()).count();
+        let agree = self.rows.iter().filter(|r| r.agree == Some(true)).count();
+        (agree, total)
+    }
+}
+
+/// The measured runs the artifact needs — exactly Figure 2's slice
+/// (Default vs C614 over every program), so a warm campaign serves this
+/// artifact without extra simulations.
+pub fn static_analysis_runs(reps: u64) -> Vec<RunRequest> {
+    ratio_figure_runs(GpuConfigKind::Default, GpuConfigKind::C614, reps)
+}
+
+/// Compute the artifact over every *regular* program (irregular codes
+/// declare no footprints; their static class would be vacuously unknown).
+pub fn static_analysis(c: &Campaign, reps: u64) -> StaticAnalysis {
+    let keys: Vec<&'static str> = registry::all()
+        .iter()
+        .filter(|b| b.spec().regular)
+        .map(|b| b.spec().key)
+        .collect();
+    let clock_gain = 705.0 / 614.0 - 1.0;
+    let results: Vec<Result<StaticAnalysisRow, String>> = keys
+        .par_iter()
+        .map(|key| {
+            let b = registry::by_key(key).unwrap();
+            let input = &b.inputs()[0];
+            let base = c
+                .reading(b.as_ref(), input, GpuConfigKind::Default, reps)
+                .map_err(|e| format!("{key}: {e}"))?;
+            let alt = c
+                .reading(b.as_ref(), input, GpuConfigKind::C614, reps)
+                .map_err(|e| format!("{key}: {e}"))?;
+            let sensitivity = (alt.active_runtime_s / base.active_runtime_s - 1.0) / clock_gain;
+            let wa = analyze_workload(b.as_ref(), input);
+            let measured = if sensitivity >= SENSITIVITY_THRESHOLD {
+                StaticClass::ComputeBound
+            } else {
+                StaticClass::MemoryBound
+            };
+            let (provable, _, _) = wa.verdict_counts();
+            Ok(StaticAnalysisRow {
+                key,
+                input: input.name.to_string(),
+                intensity: wa.classification.intensity,
+                static_class: wa.classification.class.name(),
+                sensitivity,
+                measured_class: measured.name(),
+                agree: match wa.classification.class {
+                    StaticClass::Unknown => None,
+                    cls => Some(cls == measured),
+                },
+                units: wa.units.len(),
+                provable_units: provable,
+            })
+        })
+        .collect();
+    let mut rows = Vec::new();
+    let mut excluded = Vec::new();
+    for r in results {
+        match r {
+            Ok(row) => rows.push(row),
+            Err(e) => excluded.push(e),
+        }
+    }
+    StaticAnalysis { rows, excluded }
+}
+
+/// Render the cross-validation table.
+pub fn render_static_analysis(a: &StaticAnalysis) -> String {
+    let mut s = String::new();
+    writeln!(
+        s,
+        "Static analysis: declared-footprint boundedness vs measured clock sensitivity"
+    )
+    .unwrap();
+    writeln!(
+        s,
+        "{:8} {:26} {:>9} {:>14} {:>6} {:>14} {:>6} {:>6}",
+        "Program", "Input", "ops/B", "static", "sens", "measured", "agree", "units"
+    )
+    .unwrap();
+    for r in &a.rows {
+        writeln!(
+            s,
+            "{:8} {:26} {:>9.3} {:>14} {:>6.2} {:>14} {:>6} {:>3}/{}",
+            r.key,
+            r.input,
+            r.intensity,
+            r.static_class,
+            r.sensitivity,
+            r.measured_class,
+            match r.agree {
+                Some(true) => "yes",
+                Some(false) => "NO",
+                None => "-",
+            },
+            r.provable_units,
+            r.units,
+        )
+        .unwrap();
+    }
+    let (agree, total) = a.agreement();
+    writeln!(s, "agreement: {agree}/{total} classifiable programs").unwrap();
+    for e in &a.excluded {
+        writeln!(s, "excluded: {e}").unwrap();
+    }
+    s
+}

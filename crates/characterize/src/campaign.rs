@@ -101,6 +101,9 @@ pub enum Artifact {
     EnergyBreakdown,
     /// Sampled-energy error vs. sensor-sampling policy.
     SamplingError,
+    /// Static boundedness class vs. measured clock sensitivity
+    /// (cross-validation of the `sim-analyze` classifier).
+    StaticAnalysis,
 }
 
 impl Artifact {
@@ -120,6 +123,7 @@ impl Artifact {
             "trdata" => Artifact::TrDetail,
             "energy-breakdown" => Artifact::EnergyBreakdown,
             "energy-sampling-error" => Artifact::SamplingError,
+            "static-analysis" => Artifact::StaticAnalysis,
             _ => return None,
         })
     }
@@ -145,6 +149,8 @@ impl Artifact {
             Artifact::TrDetail => crate::tables::tr_detail_runs(reps),
             // Both energy artifacts draw the same run slice.
             Artifact::EnergyBreakdown | Artifact::SamplingError => crate::energy::energy_runs(reps),
+            // Same slice as Figure 2: a warm campaign adds no runs.
+            Artifact::StaticAnalysis => crate::analysis::static_analysis_runs(reps),
         }
     }
 }

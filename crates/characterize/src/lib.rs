@@ -7,6 +7,7 @@
 //! three-repetition median methodology, and generates the data behind
 //! every table and figure of the evaluation section.
 
+pub mod analysis;
 pub mod campaign;
 pub mod configs;
 pub mod energy;
@@ -16,6 +17,10 @@ pub mod report;
 pub mod sanity;
 pub mod tables;
 
+pub use analysis::{
+    render_static_analysis, static_analysis, static_analysis_runs, StaticAnalysis,
+    StaticAnalysisRow,
+};
 pub use campaign::{
     pareto_front, plan_artifacts, sim_fingerprint, sweep_grid, Artifact, Campaign, CampaignConfig,
     CampaignStats, RunRequest, SweepPoint, SWEEP_CORE_MHZ, SWEEP_MEM_MHZ,

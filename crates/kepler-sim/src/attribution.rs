@@ -138,7 +138,14 @@ mod tests {
         let mut dev = Device::new(cfg);
         let x = dev.alloc_from(&vec![1.0f32; 4096]);
         let k = MixedKernel { x };
-        dev.launch_with(&k, 32, 128, LaunchOpts { work_multiplier: 1e4 });
+        dev.launch_with(
+            &k,
+            32,
+            128,
+            LaunchOpts {
+                work_multiplier: 1e4,
+            },
+        );
         let counters = dev.total_counters();
         let kernel_s = dev.kernel_time();
         let (trace, _) = dev.finish();

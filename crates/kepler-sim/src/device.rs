@@ -7,6 +7,7 @@ use crate::buffer::{DevBuffer, DevCopy, GlobalMem, SlotData};
 use crate::config::DeviceConfig;
 use crate::cost::BlockCost;
 use crate::counters::{KernelCounters, LaunchStats};
+use crate::footprint::{LaunchInspector, LaunchSummary};
 use crate::kernel::Kernel;
 use crate::memo::{self, LaunchEffects, LaunchKey};
 use crate::scheduler::{run_launch_pooled, SchedScratch};
@@ -129,6 +130,7 @@ pub struct Device {
     launches: Vec<LaunchStats>,
     telemetry: Option<Arc<dyn TelemetrySink>>,
     access: Option<Arc<dyn AccessObserver>>,
+    inspector: Option<Arc<dyn LaunchInspector>>,
     /// Pooled execution scratch reused by every serially executed block of
     /// every launch on this device.
     scratch: ExecScratch,
@@ -196,6 +198,7 @@ impl Device {
             launches: Vec::new(),
             telemetry: None,
             access: None,
+            inspector: None,
             scratch: ExecScratch::default(),
             sched: SchedScratch::default(),
             exec: None,
@@ -260,6 +263,17 @@ impl Device {
     /// The attached access observer, if any.
     pub fn access_observer(&self) -> Option<&Arc<dyn AccessObserver>> {
         self.access.as_ref()
+    }
+
+    /// Attach a launch inspector (the static analyzer's capture hook): it
+    /// receives one [`LaunchSummary`] per launch — geometry, resources,
+    /// the `parallel_safe` opt-in and the declared footprint — right
+    /// before the launch executes. Unlike an access observer, an
+    /// inspector does *not* disable launch pre-execution: it watches the
+    /// static declarations, not the access stream, so attaching one never
+    /// changes execution or results.
+    pub fn set_launch_inspector(&mut self, ins: Arc<dyn LaunchInspector>) {
+        self.inspector = Some(ins);
     }
 
     fn observe_alloc<T: DevCopy>(&self, buf: &DevBuffer<T>, initialized: bool) {
@@ -408,6 +422,18 @@ impl Device {
         }
         let resources = kernel.resources();
         let name = kernel.display_name();
+        if let Some(ins) = &self.inspector {
+            ins.inspect(LaunchSummary {
+                launch: launch_id,
+                kernel: &name,
+                grid,
+                block_threads,
+                resources,
+                parallel_safe: kernel.parallel_safe(),
+                has_params: !kernel.params().is_empty(),
+                footprint: kernel.footprint(grid, block_threads),
+            });
+        }
         // Kernels declaring dispatch-order independence are pre-executed
         // (usually replayed straight from the process-wide cache) and the
         // scheduler consumes their recorded costs; irregular kernels — and

@@ -3,6 +3,7 @@
 
 use crate::block::BlockCtx;
 use crate::buffer::DevBuffer;
+use crate::footprint::KernelFootprint;
 
 /// Static resource usage of a kernel, used for the occupancy calculation
 /// (how many blocks fit on one SM simultaneously).
@@ -97,6 +98,21 @@ pub trait Kernel: Sync {
     fn params(&self) -> Vec<u64> {
         Vec::new()
     }
+
+    /// Optionally declare the launch's global-memory access footprint (per
+    /// block, as strided element spans — see [`crate::footprint`]).
+    ///
+    /// A declaration lets the static analyzer *prove* clauses 1–2 of the
+    /// [`Kernel::parallel_safe`] contract instead of trusting the opt-in,
+    /// and feeds the static boundedness classifier; the sanitizer's
+    /// footprint observer checks every observed access against it, so a
+    /// wrong declaration cannot survive the test suite. Purely
+    /// descriptive: the simulator's execution and timing are unaffected.
+    /// Default: `None` (undeclared).
+    fn footprint(&self, grid: u32, block_threads: u32) -> Option<KernelFootprint> {
+        let _ = (grid, block_threads);
+        None
+    }
 }
 
 /// Builder for [`Kernel::params`]: folds buffer bindings and scalar
@@ -133,6 +149,14 @@ impl ParamKey {
         self
     }
 
+    /// Fold an `f64` scalar, bitwise. Use this for double-precision
+    /// parameters — folding them through [`ParamKey::f`] via `as f32`
+    /// would collide distinct values that round to the same single.
+    pub fn f64(mut self, v: f64) -> Self {
+        self.0.push(v.to_bits());
+        self
+    }
+
     pub fn done(self) -> Vec<u64> {
         self.0
     }
@@ -158,6 +182,23 @@ mod tests {
         // explicit, per-kernel statement.
         assert!(!k.parallel_safe());
         assert!(k.params().is_empty());
+        // Footprints are opt-in too.
+        assert!(k.footprint(4, 128).is_none());
+    }
+
+    #[test]
+    fn param_key_f64_is_bitwise() {
+        // Two doubles that collide when rounded to f32 must produce
+        // distinct keys through the f64 fold.
+        let a = 1.000_000_000_1_f64;
+        let b = 1.000_000_000_2_f64;
+        assert_eq!(a as f32, b as f32, "test premise: f32 rounding collides");
+        let ka = ParamKey::new().f64(a).done();
+        let kb = ParamKey::new().f64(b).done();
+        assert_ne!(ka, kb);
+        assert_eq!(ka, vec![a.to_bits()]);
+        // And the f32 fold keeps its historical encoding.
+        assert_eq!(ParamKey::new().f(1.5).done(), vec![1.5f32.to_bits() as u64]);
     }
 
     #[test]

@@ -51,6 +51,7 @@ pub mod config;
 pub mod cost;
 pub mod counters;
 pub mod device;
+pub mod footprint;
 pub mod kernel;
 mod memo;
 pub mod occupancy;
@@ -72,7 +73,12 @@ pub use counters::{KernelCounters, LaunchStats};
 pub use device::devices_created;
 pub use device::{exec_cache_stats, exec_jobs, reset_exec_cache, set_exec_jobs};
 pub use device::{Device, ExecStrategy, LaunchOpts};
+pub use footprint::{
+    BlockFootprint, BufAccess, BufRef, FpBuilder, FpKind, KernelFootprint, LaunchInspector,
+    LaunchSummary, Span,
+};
 pub use kernel::{Kernel, KernelResources, ParamKey};
+pub use occupancy::{occupancy_report, resident_blocks, Limiter, OccupancyReport};
 pub use ops::CompClass;
 
 /// Structured-event observability layer (re-exported for convenience):

@@ -28,6 +28,99 @@ pub fn resident_blocks(cfg: &DeviceConfig, block_threads: u32, res: &KernelResou
         .max(1)
 }
 
+/// Which hardware resource capped [`resident_blocks`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Limiter {
+    /// The SM's block-slot count (`max_blocks_per_sm`).
+    Blocks,
+    /// Thread or warp slots (`max_threads_per_sm` / `max_warps_per_sm` —
+    /// the two express the same pressure and bind together for
+    /// warp-multiple block sizes).
+    Warps,
+    /// Shared-memory capacity.
+    Shared,
+    /// Register-file capacity.
+    Registers,
+}
+
+impl Limiter {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Limiter::Blocks => "blocks",
+            Limiter::Warps => "warps",
+            Limiter::Shared => "shared",
+            Limiter::Registers => "regs",
+        }
+    }
+}
+
+/// Full occupancy attribution for one launch configuration: the resident
+/// block count, each resource's individual cap, and which resource binds.
+/// This is what the static launch-config lints report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OccupancyReport {
+    /// `resident_blocks` for this configuration.
+    pub resident: usize,
+    pub by_blocks: usize,
+    /// Combined thread/warp-slot cap (the tighter of the two).
+    pub by_warps: usize,
+    /// `usize::MAX` when the kernel uses no shared memory.
+    pub by_shared: usize,
+    pub by_regs: usize,
+    /// The binding resource (ties broken in the order blocks, warps,
+    /// shared, regs — the conventional CUDA occupancy-calculator order).
+    pub limiter: Limiter,
+    /// Resident warps / `max_warps_per_sm`: the theoretical occupancy the
+    /// paper's Table 1 reports per kernel.
+    pub occupancy: f64,
+}
+
+/// Compute the occupancy attribution for a launch of `block_threads`-thread
+/// blocks with resources `res`. The `resident` field always agrees with
+/// [`resident_blocks`].
+pub fn occupancy_report(
+    cfg: &DeviceConfig,
+    block_threads: u32,
+    res: &KernelResources,
+) -> OccupancyReport {
+    let by_blocks = cfg.max_blocks_per_sm;
+    let by_threads = (cfg.max_threads_per_sm as u32 / block_threads.max(1)) as usize;
+    let warps_per_block = block_threads.div_ceil(32).max(1) as usize;
+    let by_warp_slots = cfg.max_warps_per_sm / warps_per_block;
+    let by_warps = by_threads.min(by_warp_slots);
+    let by_shared = if res.shared_bytes > 0 {
+        cfg.shared_bytes_per_sm / res.shared_bytes as usize
+    } else {
+        usize::MAX
+    };
+    let regs_per_block = (res.regs_per_thread as usize) * block_threads as usize;
+    let by_regs = cfg
+        .registers_per_sm
+        .checked_div(regs_per_block)
+        .unwrap_or(usize::MAX);
+    let resident = resident_blocks(cfg, block_threads, res);
+    let uncapped = by_blocks.min(by_warps).min(by_shared).min(by_regs);
+    let limiter = if by_blocks == uncapped {
+        Limiter::Blocks
+    } else if by_warps == uncapped {
+        Limiter::Warps
+    } else if by_shared == uncapped {
+        Limiter::Shared
+    } else {
+        Limiter::Registers
+    };
+    let occupancy = (resident * warps_per_block) as f64 / cfg.max_warps_per_sm as f64;
+    OccupancyReport {
+        resident,
+        by_blocks,
+        by_warps,
+        by_shared,
+        by_regs,
+        limiter,
+        occupancy,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -79,5 +172,95 @@ mod tests {
             shared_bytes: 48 * 1024,
         };
         assert_eq!(resident_blocks(&cfg(), 2048, &r), 1);
+    }
+
+    // ---- limiter attribution (consumed by sim-analyze's launch lints) ----
+
+    #[test]
+    fn report_always_agrees_with_resident_blocks() {
+        for block_threads in [1u32, 31, 32, 33, 128, 256, 512, 1024] {
+            for regs in [8u32, 32, 64, 128, 255] {
+                for shared in [0u32, 1024, 16 * 1024, 48 * 1024] {
+                    let r = KernelResources {
+                        regs_per_thread: regs,
+                        shared_bytes: shared,
+                    };
+                    let rep = occupancy_report(&cfg(), block_threads, &r);
+                    assert_eq!(rep.resident, resident_blocks(&cfg(), block_threads, &r));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_shared_memory_never_attributes_to_shared() {
+        let r = KernelResources {
+            regs_per_thread: 32,
+            shared_bytes: 0,
+        };
+        let rep = occupancy_report(&cfg(), 256, &r);
+        assert_eq!(rep.by_shared, usize::MAX);
+        assert_ne!(rep.limiter, Limiter::Shared);
+    }
+
+    #[test]
+    fn register_limited_kernel_attributes_to_registers() {
+        let r = KernelResources {
+            regs_per_thread: 128,
+            shared_bytes: 0,
+        };
+        let rep = occupancy_report(&cfg(), 256, &r);
+        assert_eq!(rep.resident, 2); // 65536 / (128 * 256)
+        assert_eq!(rep.limiter, Limiter::Registers);
+        assert_eq!(rep.by_regs, 2);
+        // 2 blocks * 8 warps of 64 warp slots.
+        assert!((rep.occupancy - 16.0 / 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tiny_blocks_attribute_to_block_slots() {
+        let r = KernelResources {
+            regs_per_thread: 16,
+            shared_bytes: 0,
+        };
+        let rep = occupancy_report(&cfg(), 32, &r);
+        assert_eq!(rep.limiter, Limiter::Blocks);
+        assert_eq!(rep.resident, rep.by_blocks);
+        // 16 resident single-warp blocks on 64 warp slots: low occupancy.
+        assert!((rep.occupancy - 16.0 / 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_block_size_attributes_to_warps() {
+        let r = KernelResources {
+            regs_per_thread: 16,
+            shared_bytes: 0,
+        };
+        let rep = occupancy_report(&cfg(), 1024, &r);
+        assert_eq!(rep.limiter, Limiter::Warps);
+        assert_eq!(rep.resident, 2); // 2048 threads / 1024
+        assert!((rep.occupancy - 1.0).abs() < 1e-12); // 2 * 32 warps = all 64
+    }
+
+    #[test]
+    fn shared_limited_kernel_attributes_to_shared() {
+        let r = KernelResources {
+            regs_per_thread: 16,
+            shared_bytes: 24 * 1024,
+        };
+        let rep = occupancy_report(&cfg(), 128, &r);
+        assert_eq!(rep.limiter, Limiter::Shared);
+        assert_eq!(rep.resident, 2);
+        assert_eq!(rep.by_shared, 2);
+    }
+
+    #[test]
+    fn ragged_block_size_rounds_warps_up() {
+        let r = KernelResources::default();
+        // 33 threads occupy 2 warp slots each.
+        let rep = occupancy_report(&cfg(), 33, &r);
+        let per_block_warps = 2;
+        assert!(rep.resident * per_block_warps <= 64);
+        assert!((rep.occupancy - (rep.resident * per_block_warps) as f64 / 64.0).abs() < 1e-12);
     }
 }

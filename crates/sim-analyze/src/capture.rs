@@ -1,0 +1,171 @@
+//! Launch capture: run a workload once with a [`LaunchInspector`] attached
+//! and collect one [`LaunchRecord`] per launch — geometry, resources, the
+//! `parallel_safe` opt-in and the declared footprint.
+//!
+//! Attaching an inspector never changes how launches execute (pre-executed
+//! regular launches replay straight from the process-wide cache), so
+//! capture costs roughly one plain run of the workload.
+
+use kepler_sim::{
+    ClockConfig, Device, DeviceConfig, KernelFootprint, KernelResources, LaunchInspector,
+    LaunchSummary,
+};
+use std::sync::{Arc, Mutex};
+use workloads::bench::{Benchmark, InputSpec};
+
+/// The static facts of one launch, as captured from [`LaunchSummary`].
+#[derive(Debug, Clone)]
+pub struct LaunchRecord {
+    pub launch: u32,
+    pub kernel: String,
+    pub grid: u32,
+    pub block_threads: u32,
+    pub resources: KernelResources,
+    pub parallel_safe: bool,
+    pub has_params: bool,
+    pub footprint: Option<KernelFootprint>,
+}
+
+/// A [`LaunchInspector`] that records every launch summary.
+#[derive(Default)]
+pub struct Capture {
+    records: Mutex<Vec<LaunchRecord>>,
+}
+
+impl Capture {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drain the records captured so far.
+    pub fn take(&self) -> Vec<LaunchRecord> {
+        std::mem::take(&mut self.records.lock().unwrap())
+    }
+}
+
+impl LaunchInspector for Capture {
+    fn inspect(&self, s: LaunchSummary<'_>) {
+        self.records.lock().unwrap().push(LaunchRecord {
+            launch: s.launch,
+            kernel: s.kernel.to_string(),
+            grid: s.grid,
+            block_threads: s.block_threads,
+            resources: s.resources,
+            parallel_safe: s.parallel_safe,
+            has_params: s.has_params,
+            footprint: s.footprint,
+        });
+    }
+}
+
+/// The device configuration the analyzer captures under (the paper's
+/// default K20c setting; the static facts do not depend on clocks).
+pub fn analysis_config() -> DeviceConfig {
+    DeviceConfig::k20c(ClockConfig::k20_default(), false)
+}
+
+/// Run `bench` on `input` with a capture inspector attached and return the
+/// launch records, in launch order.
+pub fn capture_workload(bench: &dyn Benchmark, input: &InputSpec) -> Vec<LaunchRecord> {
+    let cap = Arc::new(Capture::new());
+    let mut dev = Device::new(analysis_config());
+    dev.set_launch_inspector(cap.clone());
+    bench.run(&mut dev, input);
+    cap.take()
+}
+
+/// Deduplicate records into per-kernel verdict units: launches of the same
+/// kernel with the same geometry and the same declaration *shape* (span
+/// structure modulo buffer identity) collapse into one representative,
+/// with a launch count. Ping-pong launches (same spans, alternating
+/// buffers) collapse too, which keeps re-proving cost proportional to the
+/// number of distinct kernels rather than launches.
+pub fn dedupe_units(records: &[LaunchRecord]) -> Vec<(LaunchRecord, u32)> {
+    let mut out: Vec<(LaunchRecord, u32)> = Vec::new();
+    for r in records {
+        if let Some((_, n)) = out.iter_mut().find(|(u, _)| same_unit(u, r)) {
+            *n += 1;
+        } else {
+            out.push((r.clone(), 1));
+        }
+    }
+    out
+}
+
+fn same_unit(a: &LaunchRecord, b: &LaunchRecord) -> bool {
+    a.kernel == b.kernel
+        && a.grid == b.grid
+        && a.block_threads == b.block_threads
+        && a.parallel_safe == b.parallel_safe
+        && a.has_params == b.has_params
+        && footprint_shape(&a.footprint) == footprint_shape(&b.footprint)
+}
+
+/// One structural access: `(kind, start, count, stride, buffer slot)`.
+type ShapeEntry = (u8, u64, u64, u64, u32);
+
+/// A cheap structural fingerprint of a footprint: per block, the sequence
+/// of (kind, span, buffer length) with buffer ids replaced by first-seen
+/// order. Two launches with the same shape prove identically.
+fn footprint_shape(fp: &Option<KernelFootprint>) -> Option<Vec<ShapeEntry>> {
+    let fp = fp.as_ref()?;
+    let mut ids: Vec<u32> = Vec::new();
+    let mut shape = Vec::new();
+    for blk in &fp.blocks {
+        for a in &blk.accesses {
+            let slot = match ids.iter().position(|&i| i == a.buf.id) {
+                Some(p) => p,
+                None => {
+                    ids.push(a.buf.id);
+                    ids.len() - 1
+                }
+            };
+            shape.push((
+                a.kind as u8,
+                a.span.start,
+                a.span.count,
+                a.span.stride,
+                slot as u32,
+            ));
+        }
+    }
+    Some(shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::registry;
+
+    #[test]
+    fn capture_sees_every_launch_of_a_multi_kernel_program() {
+        let b = registry::by_key("sc").unwrap();
+        let input = InputSpec::new("t", 4096, 0, 0, 1.0);
+        let records = capture_workload(b.as_ref(), &input);
+        assert_eq!(records.len(), 3);
+        let names: Vec<&str> = records.iter().map(|r| r.kernel.as_str()).collect();
+        assert_eq!(names, ["scan_block", "scan_sums", "scan_uniform_add"]);
+        assert!(records.iter().all(|r| r.footprint.is_some()));
+        assert!(records.iter().all(|r| r.parallel_safe && r.has_params));
+    }
+
+    #[test]
+    fn dedupe_collapses_repeated_launches() {
+        let b = registry::by_key("st").unwrap();
+        let input = InputSpec::new("t", 4096, 0, 0, 1.0);
+        let records = capture_workload(b.as_ref(), &input);
+        // 8 radix passes x 3 kernels.
+        assert_eq!(records.len(), 24);
+        let units = dedupe_units(&records);
+        assert_eq!(
+            units.len(),
+            3,
+            "{:?}",
+            units
+                .iter()
+                .map(|(u, n)| (u.kernel.clone(), *n))
+                .collect::<Vec<_>>()
+        );
+        assert!(units.iter().all(|(_, n)| *n == 8));
+    }
+}

@@ -1,0 +1,130 @@
+//! Static boundedness classification: memory- vs compute-bound from the
+//! declared footprint alone.
+//!
+//! Each [`KernelFootprint`] carries an arithmetic-work estimate
+//! (`ops_per_block`) next to its declared bytes, giving a static
+//! *arithmetic intensity* in ops per byte. Comparing it against the K20c's
+//! ridge point — the intensity at which peak arithmetic and peak DRAM
+//! bandwidth balance, roughly 3.52 Tflop/s over 208 GB/s ≈ 17 ops/byte —
+//! yields the classic roofline verdict without running anything. The
+//! `static-analysis` artifact cross-validates this class against the
+//! measured core-clock sensitivity of the same programs.
+
+use crate::capture::LaunchRecord;
+
+/// The K20c roofline ridge point, in declared ops per declared byte.
+pub const RIDGE_OPS_PER_BYTE: f64 = 17.0;
+
+/// The static verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StaticClass {
+    MemoryBound,
+    ComputeBound,
+    /// No launch declared both a footprint and a work estimate.
+    Unknown,
+}
+
+impl StaticClass {
+    pub fn name(&self) -> &'static str {
+        match self {
+            StaticClass::MemoryBound => "memory-bound",
+            StaticClass::ComputeBound => "compute-bound",
+            StaticClass::Unknown => "unknown",
+        }
+    }
+}
+
+/// A workload's aggregate static intensity and class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Classification {
+    /// Total declared ops / total declared bytes over every classifiable
+    /// launch; 0 when unknown.
+    pub intensity: f64,
+    pub class: StaticClass,
+}
+
+/// Classify one launch, if it declares both spans and a work estimate.
+pub fn classify_launch(rec: &LaunchRecord) -> Option<(f64, f64)> {
+    let fp = rec.footprint.as_ref()?;
+    if fp.ops_per_block <= 0.0 {
+        return None;
+    }
+    let bytes = fp.total_bytes();
+    if bytes <= 0.0 {
+        return None;
+    }
+    let ops = fp.ops_per_block * fp.blocks.len() as f64;
+    Some((ops, bytes))
+}
+
+/// Aggregate a workload's launches into one classification: total declared
+/// ops over total declared bytes. Launch repetition weights naturally —
+/// a kernel launched eight times contributes eight times its ops and
+/// bytes.
+pub fn classify_workload(records: &[LaunchRecord]) -> Classification {
+    let (mut ops, mut bytes) = (0.0f64, 0.0f64);
+    for rec in records {
+        if let Some((o, b)) = classify_launch(rec) {
+            ops += o;
+            bytes += b;
+        }
+    }
+    if bytes <= 0.0 {
+        return Classification {
+            intensity: 0.0,
+            class: StaticClass::Unknown,
+        };
+    }
+    let intensity = ops / bytes;
+    Classification {
+        intensity,
+        class: if intensity >= RIDGE_OPS_PER_BYTE {
+            StaticClass::ComputeBound
+        } else {
+            StaticClass::MemoryBound
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capture::capture_workload;
+    use workloads::bench::InputSpec;
+    use workloads::registry;
+
+    #[test]
+    fn nbody_is_statically_compute_bound() {
+        let b = registry::by_key("nb").unwrap();
+        let rec = capture_workload(b.as_ref(), &InputSpec::new("t", 512, 0, 1, 1.0));
+        let c = classify_workload(&rec);
+        assert_eq!(
+            c.class,
+            StaticClass::ComputeBound,
+            "intensity {}",
+            c.intensity
+        );
+        assert!(c.intensity > RIDGE_OPS_PER_BYTE);
+    }
+
+    #[test]
+    fn scan_is_statically_memory_bound() {
+        let b = registry::by_key("sc").unwrap();
+        let rec = capture_workload(b.as_ref(), &InputSpec::new("t", 4096, 0, 0, 1.0));
+        let c = classify_workload(&rec);
+        assert_eq!(
+            c.class,
+            StaticClass::MemoryBound,
+            "intensity {}",
+            c.intensity
+        );
+        assert!(c.intensity < 1.0);
+    }
+
+    #[test]
+    fn undeclared_workloads_classify_unknown() {
+        let c = classify_workload(&[]);
+        assert_eq!(c.class, StaticClass::Unknown);
+        assert_eq!(c.intensity, 0.0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Launch-configuration lints: static checks over a launch's geometry and
+//! [`KernelResources`], built on the simulator's occupancy model
+//! ([`kepler_sim::occupancy::occupancy_report`]) so the attribution
+//! (which hardware resource binds) matches the timing model exactly.
+
+use crate::capture::LaunchRecord;
+use kepler_sim::occupancy::{occupancy_report, OccupancyReport};
+use kepler_sim::DeviceConfig;
+
+/// Theoretical occupancy below which the low-occupancy lint fires —
+/// matches the sanitizer's dynamic low-occupancy checker.
+pub const LOW_OCCUPANCY_THRESHOLD: f64 = 0.25;
+
+/// One advisory launch-configuration finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lint {
+    /// Stable lint code used in reports and baselines.
+    pub code: &'static str,
+    pub message: String,
+}
+
+fn cap(v: usize) -> String {
+    if v == usize::MAX {
+        "-".into()
+    } else {
+        v.to_string()
+    }
+}
+
+/// Render the occupancy attribution (`limiter=<r> caps: ...`) appended to
+/// occupancy-related lints.
+fn attribution(rep: &OccupancyReport) -> String {
+    format!(
+        "limiter={} (caps: blocks={} warps={} shared={} regs={})",
+        rep.limiter.name(),
+        cap(rep.by_blocks),
+        cap(rep.by_warps),
+        cap(rep.by_shared),
+        cap(rep.by_regs),
+    )
+}
+
+/// Run every launch-configuration lint over one captured launch.
+pub fn launch_lints(cfg: &DeviceConfig, rec: &LaunchRecord) -> Vec<Lint> {
+    let mut out = Vec::new();
+    let rep = occupancy_report(cfg, rec.block_threads, &rec.resources);
+
+    if !rec.block_threads.is_multiple_of(32) {
+        out.push(Lint {
+            code: "block-not-warp-multiple",
+            message: format!(
+                "block size {} is not a multiple of the 32-thread warp: the last warp \
+runs {} inactive lanes",
+                rec.block_threads,
+                32 - rec.block_threads % 32
+            ),
+        });
+    }
+
+    if (rec.grid as usize) < cfg.num_sms {
+        out.push(Lint {
+            code: "grid-underfills-gpu",
+            message: format!(
+                "grid of {} blocks cannot fill {} SMs even at one block per SM",
+                rec.grid, cfg.num_sms
+            ),
+        });
+    }
+
+    if rec.resources.shared_bytes as usize > cfg.shared_bytes_per_sm {
+        out.push(Lint {
+            code: "shared-overflow",
+            message: format!(
+                "kernel requests {} B of shared memory; the SM has {} B — the launch \
+would fail on hardware",
+                rec.resources.shared_bytes, cfg.shared_bytes_per_sm
+            ),
+        });
+    } else if rep.occupancy < LOW_OCCUPANCY_THRESHOLD {
+        out.push(Lint {
+            code: "low-occupancy",
+            message: format!(
+                "theoretical occupancy {:.0}%: {} resident blocks x {} warps on {} warp \
+slots; {}",
+                rep.occupancy * 100.0,
+                rep.resident,
+                rec.block_threads.div_ceil(32),
+                cfg.max_warps_per_sm,
+                attribution(&rep),
+            ),
+        });
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capture::analysis_config;
+    use kepler_sim::KernelResources;
+
+    fn rec(grid: u32, block_threads: u32, regs: u32, shared: u32) -> LaunchRecord {
+        LaunchRecord {
+            launch: 0,
+            kernel: "k".into(),
+            grid,
+            block_threads,
+            resources: KernelResources {
+                regs_per_thread: regs,
+                shared_bytes: shared,
+            },
+            parallel_safe: false,
+            has_params: false,
+            footprint: None,
+        }
+    }
+
+    fn codes(r: &LaunchRecord) -> Vec<&'static str> {
+        launch_lints(&analysis_config(), r)
+            .iter()
+            .map(|l| l.code)
+            .collect()
+    }
+
+    #[test]
+    fn healthy_launch_is_lint_free() {
+        assert!(codes(&rec(64, 256, 24, 4096)).is_empty());
+    }
+
+    #[test]
+    fn ragged_block_size_flagged() {
+        assert_eq!(codes(&rec(64, 100, 24, 0)), ["block-not-warp-multiple"]);
+    }
+
+    #[test]
+    fn small_grid_flagged_against_13_sms() {
+        assert_eq!(codes(&rec(12, 256, 24, 0)), ["grid-underfills-gpu"]);
+        assert!(codes(&rec(13, 256, 24, 0)).is_empty());
+    }
+
+    #[test]
+    fn shared_overflow_flagged_and_suppresses_occupancy() {
+        let cds = codes(&rec(64, 256, 24, 49 * 1024));
+        assert_eq!(cds, ["shared-overflow"]);
+    }
+
+    #[test]
+    fn low_occupancy_names_the_limiter() {
+        // 200 regs x 256 threads: one resident block (12.5% occupancy),
+        // register-limited.
+        let lints = launch_lints(&analysis_config(), &rec(64, 256, 200, 0));
+        assert_eq!(lints.len(), 1);
+        assert_eq!(lints[0].code, "low-occupancy");
+        assert!(
+            lints[0].message.contains("limiter=regs"),
+            "{}",
+            lints[0].message
+        );
+    }
+}

@@ -1,0 +1,353 @@
+//! The disjointness prover: a sound, decidable check of clauses 1–2 of the
+//! [`kepler_sim::Kernel::parallel_safe`] contract from a declared
+//! [`KernelFootprint`].
+//!
+//! * **Clause 2** (no global atomics) is syntactic: any declared
+//!   [`FpKind::Atomic`] span refutes it.
+//! * **Clause 1** (no cross-block read-after-write) is proven by showing
+//!   the stronger property that every element *written* by some block is
+//!   touched by **no other block at all** — neither written (order would
+//!   matter) nor read (a cross-block RAW/WAR). Reads of buffers the launch
+//!   never writes are ignored: they cannot participate in a hazard, which
+//!   is what makes sound over-approximations like
+//!   [`kepler_sim::FpBuilder::read_all`] free.
+//!
+//! Two exact engines back the check, picked by declared size:
+//!
+//! * an **element map** for small footprints — every declared element of a
+//!   written buffer is enumerated into a hash map keyed by index, the
+//!   direct transcription of the definition;
+//! * an **interval/stride sweep** for everything else — per written
+//!   buffer, spans sort by start index and each span is tested against the
+//!   still-active spans of other blocks with the exact
+//!   arithmetic-progression intersection ([`Span::intersects`], extended
+//!   Euclid + CRT). The sweep is also exact; a pair-test budget turns
+//!   pathological inputs into a *refusal* (`Unprovable`), never a wrong
+//!   `Provable` — refusal is always sound.
+
+use kepler_sim::{FpKind, KernelFootprint, Span};
+use std::collections::HashMap;
+
+/// Default element budget below which the element-map engine runs.
+pub const EXACT_ELEMENT_BUDGET: u64 = 1 << 20;
+/// Default cap on span-pair intersection tests in the sweep engine.
+pub const PAIR_TEST_BUDGET: u64 = 4_000_000;
+
+/// The prover's answer for one launch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Clauses 1–2 hold: no declared atomics, and every written element is
+    /// private to its writer block.
+    Provable,
+    /// A refutation or a refusal; the string says which and where.
+    Unprovable(String),
+}
+
+impl Verdict {
+    pub fn provable(&self) -> bool {
+        matches!(self, Verdict::Provable)
+    }
+
+    /// The refutation/refusal text, if any.
+    pub fn reason(&self) -> Option<&str> {
+        match self {
+            Verdict::Provable => None,
+            Verdict::Unprovable(r) => Some(r),
+        }
+    }
+}
+
+/// One declared access flattened out of the per-block footprint.
+#[derive(Debug, Clone, Copy)]
+struct Item {
+    block: u32,
+    write: bool,
+    span: Span,
+}
+
+/// Prove clauses 1–2 with the default budgets.
+pub fn prove_footprint(fp: &KernelFootprint) -> Verdict {
+    prove_footprint_with(fp, EXACT_ELEMENT_BUDGET, PAIR_TEST_BUDGET)
+}
+
+/// Prove with explicit engine budgets. `exact_budget` of 0 forces the
+/// sweep engine (the property tests cross-check both engines against
+/// brute-force enumeration this way).
+pub fn prove_footprint_with(fp: &KernelFootprint, exact_budget: u64, pair_budget: u64) -> Verdict {
+    // Clause 2: no global atomics.
+    for (b, blk) in fp.blocks.iter().enumerate() {
+        for a in &blk.accesses {
+            if a.kind == FpKind::Atomic {
+                return Verdict::Unprovable(format!(
+                    "clause 2: block {b} declares an atomic on buf{}",
+                    a.buf.id
+                ));
+            }
+        }
+    }
+
+    // Clause 1: group spans by buffer, keep only buffers with a write.
+    let mut by_buf: HashMap<u32, Vec<Item>> = HashMap::new();
+    let mut written: HashMap<u32, bool> = HashMap::new();
+    for (b, blk) in fp.blocks.iter().enumerate() {
+        for a in &blk.accesses {
+            let write = a.kind == FpKind::Write;
+            *written.entry(a.buf.id).or_default() |= write;
+            by_buf.entry(a.buf.id).or_default().push(Item {
+                block: b as u32,
+                write,
+                span: a.span,
+            });
+        }
+    }
+
+    let mut pair_tests = 0u64;
+    let mut buf_ids: Vec<u32> = by_buf.keys().copied().collect();
+    buf_ids.sort_unstable();
+    for id in buf_ids {
+        if !written[&id] {
+            continue; // read-only this launch: no hazard possible
+        }
+        let items = &mut by_buf.get_mut(&id).unwrap()[..];
+        let elements: u64 = items.iter().map(|i| i.span.count).sum();
+        let verdict = if elements <= exact_budget {
+            prove_buffer_exact(id, items)
+        } else {
+            prove_buffer_sweep(id, items, pair_budget, &mut pair_tests)
+        };
+        if let Verdict::Unprovable(_) = verdict {
+            return verdict;
+        }
+    }
+    Verdict::Provable
+}
+
+/// Element-map engine: enumerate every declared element of one written
+/// buffer and look for a cross-block conflict involving a write.
+fn prove_buffer_exact(id: u32, items: &[Item]) -> Verdict {
+    // index -> (owner block, owner ever wrote it)
+    let mut owner: HashMap<u64, (u32, bool)> = HashMap::new();
+    // Writes first so reads are checked against the full write set.
+    for pass_writes in [true, false] {
+        for it in items.iter().filter(|i| i.write == pass_writes) {
+            for idx in it.span.iter() {
+                match owner.get_mut(&idx) {
+                    None => {
+                        owner.insert(idx, (it.block, it.write));
+                    }
+                    Some((b, wrote)) => {
+                        if *b != it.block && (*wrote || it.write) {
+                            return conflict(id, idx, *b, it.block);
+                        }
+                        *wrote |= it.write;
+                    }
+                }
+            }
+        }
+    }
+    Verdict::Provable
+}
+
+/// Interval/stride sweep engine: sort one buffer's spans by start index,
+/// keep the spans whose window is still open, and intersection-test each
+/// new span against open spans of other blocks when either side writes.
+fn prove_buffer_sweep(id: u32, items: &mut [Item], budget: u64, tests: &mut u64) -> Verdict {
+    items.sort_by_key(|i| (i.span.start, i.block));
+    // Open spans: (window end, item). Pruned as the sweep line passes.
+    let mut open: Vec<(u64, Item)> = Vec::new();
+    for it in items.iter() {
+        open.retain(|(end, _)| *end >= it.span.start);
+        for (_, o) in &open {
+            if o.block == it.block || !(o.write || it.write) {
+                continue;
+            }
+            *tests += 1;
+            if *tests > budget {
+                return Verdict::Unprovable(format!(
+                    "refused: span-pair budget ({budget} tests) exhausted on buf{id}"
+                ));
+            }
+            if o.span.intersects(&it.span) {
+                // An intersection with sorted input means o.start <= it.start,
+                // so report the common element nearest the sweep line.
+                let idx = it
+                    .span
+                    .iter()
+                    .find(|&x| o.span.contains(x))
+                    .unwrap_or(it.span.start);
+                return conflict(id, idx, o.block, it.block);
+            }
+        }
+        open.push((it.span.max_index(), *it));
+    }
+    Verdict::Provable
+}
+
+fn conflict(id: u32, idx: u64, a: u32, b: u32) -> Verdict {
+    Verdict::Unprovable(format!(
+        "clause 1: blocks {a} and {b} overlap on buf{id} element {idx} with a write involved"
+    ))
+}
+
+/// Brute-force oracle: materialize every block's read/write element sets
+/// and apply the definition directly. Test-support; exported so the
+/// property tests and the documentation example can call it.
+pub fn brute_force_disjoint(fp: &KernelFootprint) -> Verdict {
+    if fp.has_atomics() {
+        return Verdict::Unprovable("clause 2: atomics declared".into());
+    }
+    // (buffer, index) -> set of (block, wrote)
+    let mut touch: HashMap<(u32, u64), Vec<(u32, bool)>> = HashMap::new();
+    for (b, blk) in fp.blocks.iter().enumerate() {
+        for a in &blk.accesses {
+            for idx in a.span.iter() {
+                touch
+                    .entry((a.buf.id, idx))
+                    .or_default()
+                    .push((b as u32, a.kind == FpKind::Write));
+            }
+        }
+    }
+    for ((id, idx), who) in touch {
+        // Any element with a writer and a touch from another block refutes.
+        let Some(&(w, _)) = who.iter().find(|(_, wrote)| *wrote) else {
+            continue;
+        };
+        if let Some(&(other, _)) = who.iter().find(|&&(b, _)| b != w) {
+            return conflict(id, idx, w, other);
+        }
+    }
+    Verdict::Provable
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kepler_sim::buffer::GlobalMem;
+    use kepler_sim::KernelFootprint;
+
+    fn mem() -> GlobalMem {
+        GlobalMem::new()
+    }
+
+    #[test]
+    fn partitioned_writes_are_provable() {
+        let mut m = mem();
+        let buf = m.alloc::<f32>(1024);
+        let fp = KernelFootprint::per_block(4, 1.0, |b, f| {
+            f.write(&buf, Span::range(b as u64 * 256, 256));
+            f.read(&buf, Span::range(b as u64 * 256, 256)); // own elements
+        });
+        assert_eq!(prove_footprint(&fp), Verdict::Provable);
+        assert_eq!(
+            prove_footprint_with(&fp, 0, PAIR_TEST_BUDGET),
+            Verdict::Provable
+        );
+    }
+
+    #[test]
+    fn cross_block_read_of_written_element_refutes() {
+        let mut m = mem();
+        let buf = m.alloc::<f32>(1024);
+        let fp = KernelFootprint::per_block(4, 1.0, |b, f| {
+            f.write(&buf, Span::range(b as u64 * 256, 256));
+            // Halo read bleeding one element into the neighbour's range.
+            f.read(&buf, Span::range(b as u64 * 256, 257));
+        });
+        assert!(!prove_footprint(&fp).provable());
+        assert!(!prove_footprint_with(&fp, 0, PAIR_TEST_BUDGET).provable());
+        assert!(prove_footprint(&fp)
+            .reason()
+            .unwrap()
+            .starts_with("clause 1"));
+    }
+
+    #[test]
+    fn atomics_refute_clause_two() {
+        let mut m = mem();
+        let buf = m.alloc::<u32>(16);
+        let fp = KernelFootprint::per_block(2, 1.0, |_b, f| {
+            f.atomic(&buf, Span::point(0));
+        });
+        let v = prove_footprint(&fp);
+        assert!(v.reason().unwrap().starts_with("clause 2"));
+    }
+
+    #[test]
+    fn reads_of_read_only_buffers_never_conflict() {
+        let mut m = mem();
+        let table = m.alloc::<f32>(64);
+        let out = m.alloc::<f32>(64);
+        let fp = KernelFootprint::per_block(4, 1.0, |b, f| {
+            f.read_all(&table); // every block reads everything
+            f.write(&out, Span::range(b as u64 * 16, 16));
+        });
+        assert_eq!(prove_footprint(&fp), Verdict::Provable);
+    }
+
+    #[test]
+    fn interleaved_strided_writes_are_provable() {
+        let mut m = mem();
+        let buf = m.alloc::<f32>(1024);
+        // Block b writes indices congruent to b mod 4: disjoint lattices.
+        let fp = KernelFootprint::per_block(4, 1.0, |b, f| {
+            f.write(&buf, Span::strided(b as u64, 256, 4));
+        });
+        assert_eq!(prove_footprint(&fp), Verdict::Provable);
+        assert_eq!(
+            prove_footprint_with(&fp, 0, PAIR_TEST_BUDGET),
+            Verdict::Provable
+        );
+    }
+
+    #[test]
+    fn colliding_strides_refute() {
+        let mut m = mem();
+        let buf = m.alloc::<f32>(4096);
+        // stride 6 from 2 and stride 10 from 4 share 14.
+        let fp = KernelFootprint::per_block(2, 1.0, |b, f| {
+            if b == 0 {
+                f.write(&buf, Span::strided(2, 50, 6));
+            } else {
+                f.write(&buf, Span::strided(4, 50, 10));
+            }
+        });
+        assert!(!prove_footprint(&fp).provable());
+        assert!(!prove_footprint_with(&fp, 0, PAIR_TEST_BUDGET).provable());
+    }
+
+    #[test]
+    fn budget_refusal_is_unprovable_not_wrong() {
+        let mut m = mem();
+        let buf = m.alloc::<f32>(1 << 16);
+        let fp = KernelFootprint::per_block(64, 1.0, |b, f| {
+            f.write(&buf, Span::strided(b as u64, 1 << 10, 64));
+        });
+        // Force the sweep with an absurdly small pair budget.
+        let v = prove_footprint_with(&fp, 0, 3);
+        assert!(v.reason().unwrap().contains("budget"));
+        // With real budgets the same footprint proves.
+        assert_eq!(prove_footprint(&fp), Verdict::Provable);
+    }
+
+    #[test]
+    fn single_block_footprints_are_trivially_provable() {
+        let mut m = mem();
+        let buf = m.alloc::<f32>(256);
+        let fp = KernelFootprint::per_block(1, 1.0, |_b, f| {
+            f.read_all(&buf);
+            f.write_all(&buf);
+        });
+        assert_eq!(prove_footprint(&fp), Verdict::Provable);
+    }
+
+    #[test]
+    fn write_all_from_many_blocks_refutes() {
+        let mut m = mem();
+        let buf = m.alloc::<f32>(256);
+        let fp = KernelFootprint::per_block(2, 1.0, |_b, f| {
+            f.write_all(&buf);
+        });
+        assert!(!prove_footprint(&fp).provable());
+    }
+}

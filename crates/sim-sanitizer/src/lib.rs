@@ -39,7 +39,9 @@
 pub mod allowlist;
 pub mod collector;
 pub mod finding;
+pub mod footprint_check;
 
 pub use allowlist::{glob_match, Allowlist, Entry};
 pub use collector::{CheckerSet, Sanitizer};
 pub use finding::{Checker, Finding, Report, Severity};
+pub use footprint_check::{FootprintMismatch, FootprintObserver};

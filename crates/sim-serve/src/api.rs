@@ -3,6 +3,7 @@
 //! `characterize` crate.
 
 use crate::json::{self, Json};
+use characterize::analysis::render_static_analysis;
 use characterize::campaign::{
     pareto_front, plan_artifacts, sweep_grid, Artifact, Campaign, SweepPoint, SWEEP_CORE_MHZ,
     SWEEP_MEM_MHZ,
@@ -457,7 +458,7 @@ pub fn sweep_response(campaign: &Campaign, params: &SweepParams) -> Json {
 
 /// Every artifact name `repro` accepts, in `repro all` output order plus
 /// the opt-in `trdata` and the energy-lab artifacts.
-pub const ARTIFACT_NAMES: [&str; 13] = [
+pub const ARTIFACT_NAMES: [&str; 14] = [
     "table1",
     "fig1",
     "fig2",
@@ -471,6 +472,7 @@ pub const ARTIFACT_NAMES: [&str; 13] = [
     "trdata",
     "energy-breakdown",
     "energy-sampling-error",
+    "static-analysis",
 ];
 
 /// Generate one artifact's text, byte-identical to `repro <name>` stdout
@@ -513,6 +515,9 @@ pub fn artifact_text(campaign: &Campaign, name: &str, reps: u64) -> Result<Strin
         "trdata" => render_tr_detail(&tr_detail(campaign, reps)),
         "energy-breakdown" => render_energy_breakdown(&energy_breakdown(campaign, reps)),
         "energy-sampling-error" => render_sampling_error(&sampling_error(campaign, reps)),
+        "static-analysis" => {
+            render_static_analysis(&characterize::analysis::static_analysis(campaign, reps))
+        }
         _ => unreachable!("gated by ARTIFACT_NAMES"),
     };
     // `repro` prints with `println!`, so the byte-identical body carries

@@ -7,6 +7,7 @@
 //! `serial()`: the simulation-count witnesses would otherwise observe each
 //! other's devices.
 
+use characterize::analysis::{render_static_analysis, static_analysis};
 use characterize::campaign::Campaign;
 use characterize::energy::{energy_breakdown, sampling_error};
 use characterize::figures::power_profile;
@@ -351,6 +352,35 @@ fn energy_artifacts_match_repro_rendering_bytes() {
         ((sum - board) / board).abs() < 1e-9,
         "classes {sum} vs board {board}"
     );
+    srv.stop();
+}
+
+/// The `static-analysis` artifact is served byte-identical to what
+/// `repro static-analysis` prints at the same repetition count, and its
+/// name is discoverable in the artifact listing.
+#[test]
+fn static_analysis_artifact_matches_repro_rendering_bytes() {
+    let _guard = serial();
+    let mut srv = TestServer::boot(quick_config());
+
+    let local = Campaign::in_memory();
+    let sa = request(srv.addr, "GET", "/v1/artifacts/static-analysis", None);
+    assert_eq!(sa.status, 200);
+    assert_eq!(
+        sa.body,
+        format!("{}\n", render_static_analysis(&static_analysis(&local, 1))).into_bytes()
+    );
+
+    let listing = request(srv.addr, "GET", "/v1/artifacts", None).json();
+    let names: Vec<&str> = listing
+        .get("artifacts")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .filter_map(|n| n.as_str())
+        .collect();
+    assert!(names.contains(&"static-analysis"));
     srv.stop();
 }
 

@@ -6,7 +6,9 @@
 use crate::bench::{BenchSpec, Benchmark, InputSpec, RunOutput, Suite};
 use crate::inputs::points::lattice_atoms;
 use crate::inputs::util::f32_vec;
-use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, LaunchOpts, ParamKey};
+use kepler_sim::{
+    BlockCtx, DevBuffer, Device, Kernel, KernelFootprint, LaunchOpts, ParamKey, Span,
+};
 
 const BLOCK: u32 = 128;
 
@@ -42,6 +44,29 @@ impl Kernel for CutcpKernel {
 
     fn name(&self) -> &'static str {
         "cutcp_lattice"
+    }
+    fn footprint(&self, grid: u32, block_threads: u32) -> Option<KernelFootprint> {
+        let k = self;
+        // Each thread scans the 3x3x3 bin neighborhood: roughly
+        // 27 / bins^3 of all atoms, ~6 ops per candidate.
+        let bins = (k.bins_per_side * k.bins_per_side * k.bins_per_side) as f64;
+        let per_thread = 27.0 / bins * k.bin_atoms.len() as f64 * 6.0;
+        Some(KernelFootprint::per_block(
+            grid,
+            per_thread * block_threads as f64,
+            |b, fp| {
+                // Bin membership is data-dependent; the atom-side buffers are
+                // read-only, so whole-buffer reads are sound.
+                fp.read_all(&k.bin_start);
+                fp.read_all(&k.bin_atoms);
+                fp.read_all(&k.atom_xyz);
+                fp.read_all(&k.atom_q);
+                fp.write(
+                    &k.grid_pot,
+                    Span::range(b as u64 * block_threads as u64, block_threads as u64),
+                );
+            },
+        ))
     }
     fn run_block(&self, blk: &mut BlockCtx) {
         let k = self;

@@ -5,7 +5,7 @@
 
 use crate::bench::{BenchSpec, Benchmark, InputSpec, RunOutput, Suite};
 use crate::inputs::util::rng;
-use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, LaunchOpts};
+use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, KernelFootprint, LaunchOpts, Span};
 use rand::Rng;
 
 const BLOCK: u32 = 256;
@@ -20,6 +20,21 @@ struct HistoKernel {
 impl Kernel for HistoKernel {
     fn name(&self) -> &'static str {
         "histo_main"
+    }
+    fn footprint(&self, grid: u32, block_threads: u32) -> Option<KernelFootprint> {
+        let k = self;
+        let dim = block_threads as u64;
+        Some(KernelFootprint::per_block(
+            grid,
+            4.0 * dim as f64,
+            |b, fp| {
+                fp.read(&k.data, Span::range(b as u64 * dim, dim));
+                // The saturation CAS loop plainly reads any bin before updating
+                // it atomically — data-dependent, so the whole histogram.
+                fp.read_all(&k.bins);
+                fp.atomic_all(&k.bins);
+            },
+        ))
     }
     fn run_block(&self, blk: &mut BlockCtx) {
         let k = self;

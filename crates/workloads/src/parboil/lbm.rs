@@ -8,7 +8,9 @@
 //! 2x energy).
 
 use crate::bench::{BenchSpec, Benchmark, InputSpec, RunOutput, Suite};
-use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, LaunchOpts, ParamKey};
+use kepler_sim::{
+    BlockCtx, DevBuffer, Device, Kernel, KernelFootprint, LaunchOpts, ParamKey, Span,
+};
 
 const BLOCK: u32 = 128;
 const Q: usize = 9;
@@ -67,6 +69,32 @@ impl Kernel for LbmStep {
 
     fn name(&self) -> &'static str {
         "lbm_stream_collide"
+    }
+    fn footprint(&self, grid: u32, block_threads: u32) -> Option<KernelFootprint> {
+        let k = self;
+        let cells = (k.nx * k.ny) as u64;
+        let halo = k.nx as u64 + 1; // widest upwind offset (diagonal row)
+        let dim = block_threads as u64;
+        // Per cell: 9 gathers (4 int each) + 40 fma + 1 sfu.
+        Some(KernelFootprint::per_block(
+            grid,
+            77.0 * dim as f64,
+            |b, fp| {
+                let base = b as u64 * dim;
+                if base >= cells {
+                    return;
+                }
+                let cnt = dim.min(cells - base);
+                for q in 0..Q as u64 {
+                    // f_in is read-only this step (ping-pong): pad the block's
+                    // cell range by the stencil halo within each q-plane.
+                    let lo = base.saturating_sub(halo);
+                    let hi = (base + cnt + halo).min(cells);
+                    fp.read(&k.f_in, Span::range(q * cells + lo, hi - lo));
+                    fp.write(&k.f_out, Span::range(q * cells + base, cnt));
+                }
+            },
+        ))
     }
     fn run_block(&self, blk: &mut BlockCtx) {
         let (nx, ny) = (self.nx, self.ny);

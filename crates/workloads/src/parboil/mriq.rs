@@ -5,7 +5,9 @@
 
 use crate::bench::{BenchSpec, Benchmark, InputSpec, RunOutput, Suite};
 use crate::inputs::util::f32_vec;
-use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, LaunchOpts, ParamKey};
+use kepler_sim::{
+    BlockCtx, DevBuffer, Device, Kernel, KernelFootprint, LaunchOpts, ParamKey, Span,
+};
 
 const BLOCK: u32 = 256;
 const TWO_PI: f32 = 2.0 * std::f32::consts::PI;
@@ -46,6 +48,24 @@ impl Kernel for QKernel {
 
     fn name(&self) -> &'static str {
         "mriq_computeQ"
+    }
+    fn footprint(&self, grid: u32, block_threads: u32) -> Option<KernelFootprint> {
+        let k = self;
+        // 6 fma + 2 sfu per k-space sample per voxel thread.
+        let ops = block_threads as f64 * 8.0 * k.num_k as f64;
+        Some(KernelFootprint::per_block(grid, ops, |b, fp| {
+            let own = Span::range(b as u64 * block_threads as u64, block_threads as u64);
+            fp.read(&k.x, own);
+            fp.read(&k.y, own);
+            fp.read(&k.z, own);
+            // Every block walks the whole k-space trajectory.
+            fp.read_all(&k.kx);
+            fp.read_all(&k.ky);
+            fp.read_all(&k.kz);
+            fp.read_all(&k.phi_mag);
+            fp.write(&k.qr, own);
+            fp.write(&k.qi, own);
+        }))
     }
     fn run_block(&self, blk: &mut BlockCtx) {
         let k = self;

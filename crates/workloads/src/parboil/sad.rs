@@ -5,7 +5,9 @@
 
 use crate::bench::{BenchSpec, Benchmark, InputSpec, RunOutput, Suite};
 use crate::inputs::util::u32_vec;
-use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, LaunchOpts, ParamKey};
+use kepler_sim::{
+    BlockCtx, DevBuffer, Device, Kernel, KernelFootprint, LaunchOpts, ParamKey, Span,
+};
 
 const MB: usize = 16;
 
@@ -35,6 +37,40 @@ impl Kernel for SadKernel {
 
     fn name(&self) -> &'static str {
         "sad_macroblock"
+    }
+    fn footprint(&self, grid: u32, _block_threads: u32) -> Option<KernelFootprint> {
+        let k = self;
+        let mbs_x = k.width / MB;
+        let win = 2 * k.search + 1;
+        let ops = (win * win * MB * MB * 4) as f64;
+        Some(KernelFootprint::per_block(grid, ops, |b, fp| {
+            let mb = b as usize;
+            let (mbx, mby) = (mb % mbs_x, mb / mbs_x);
+            // Current frame: the macroblock itself, row by row.
+            for py in 0..MB {
+                let cy = mby * MB + py;
+                fp.read(
+                    &k.cur,
+                    Span::range((cy * k.width + mbx * MB) as u64, MB as u64),
+                );
+            }
+            // Reference frame: the clamped search window around it.
+            let ry0 = (mby * MB).saturating_sub(k.search);
+            let ry1 = (mby * MB + MB - 1 + k.search).min(k.height - 1);
+            let rx0 = (mbx * MB).saturating_sub(k.search);
+            let rx1 = (mbx * MB + MB - 1 + k.search).min(k.width - 1);
+            for ry in ry0..=ry1 {
+                fp.read(
+                    &k.refr,
+                    Span::range((ry * k.width + rx0) as u64, (rx1 - rx0 + 1) as u64),
+                );
+            }
+            // One SAD per candidate offset.
+            fp.write(
+                &k.out,
+                Span::range((mb * win * win) as u64, (win * win) as u64),
+            );
+        }))
     }
     fn run_block(&self, blk: &mut BlockCtx) {
         let k = self;

@@ -3,7 +3,10 @@
 
 use crate::bench::{BenchSpec, Benchmark, InputSpec, RunOutput, Suite};
 use crate::inputs::util::f32_vec;
-use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, KernelResources, LaunchOpts, ParamKey};
+use kepler_sim::{
+    BlockCtx, DevBuffer, Device, Kernel, KernelFootprint, KernelResources, LaunchOpts, ParamKey,
+    Span,
+};
 
 const TILE: usize = 16;
 
@@ -35,6 +38,30 @@ impl Kernel for SgemmKernel {
             regs_per_thread: 32,
             shared_bytes: (2 * TILE * TILE * 4) as u32,
         }
+    }
+    fn footprint(&self, grid: u32, block_threads: u32) -> Option<KernelFootprint> {
+        let k = self;
+        let n = k.n as u64;
+        let t = TILE as u64;
+        let tiles_per_row = k.n / TILE;
+        // TILE fmas per thread per k-tile.
+        let ops = block_threads as f64 * k.n as f64;
+        Some(KernelFootprint::per_block(grid, ops, |blkid, fp| {
+            let (brow, bcol) = (
+                (blkid as usize / tiles_per_row) as u64,
+                (blkid as usize % tiles_per_row) as u64,
+            );
+            for tr in 0..t {
+                // A column-major: the block's TILE rows across every column.
+                fp.read(&k.a, Span::strided(brow * t + tr, n, n));
+                // B row-major transposed: the block's TILE rows, full width.
+                fp.read(&k.b, Span::range((bcol * t + tr) * n, n));
+            }
+            for tc in 0..t {
+                // C column-major: the block's own output tile.
+                fp.write(&k.c, Span::range((bcol * t + tc) * n + brow * t, t));
+            }
+        }))
     }
     fn run_block(&self, blk: &mut BlockCtx) {
         let n = self.n;

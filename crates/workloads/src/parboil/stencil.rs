@@ -4,7 +4,9 @@
 
 use crate::bench::{BenchSpec, Benchmark, InputSpec, RunOutput, Suite};
 use crate::inputs::util::f32_vec;
-use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, LaunchOpts, ParamKey};
+use kepler_sim::{
+    BlockCtx, DevBuffer, Device, Kernel, KernelFootprint, LaunchOpts, ParamKey, Span,
+};
 
 const BLOCK: u32 = 128;
 
@@ -36,6 +38,26 @@ impl Kernel for StencilKernel {
 
     fn name(&self) -> &'static str {
         "stencil3d"
+    }
+    fn footprint(&self, grid: u32, block_threads: u32) -> Option<KernelFootprint> {
+        let k = self;
+        let halo = (k.nx * k.ny) as u64; // widest neighbor offset (z +/- 1)
+        let dim = block_threads as u64;
+        // 4 int + 5 add + 2 fma per interior thread.
+        Some(KernelFootprint::per_block(
+            grid,
+            11.0 * dim as f64,
+            |b, fp| {
+                let base = b as u64 * dim;
+                // src is read-only this sweep (ping-pong partner is dst), so the
+                // halo over-approximation is harmless.
+                let lo = base.saturating_sub(halo);
+                fp.read(&k.src, Span::range(lo, base + dim + halo - lo));
+                // Boundary threads skip their store; declaring the full range
+                // over-approximates but stays block-disjoint.
+                fp.write(&k.dst, Span::range(base, dim));
+            },
+        ))
     }
     fn run_block(&self, blk: &mut BlockCtx) {
         let (nx, ny, nz) = (self.nx, self.ny, self.nz);

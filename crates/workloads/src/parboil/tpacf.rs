@@ -5,7 +5,7 @@
 
 use crate::bench::{BenchSpec, Benchmark, InputSpec, RunOutput, Suite};
 use crate::inputs::points::sky_points;
-use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, LaunchOpts};
+use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, KernelFootprint, LaunchOpts};
 
 const BLOCK: u32 = 128;
 const NUM_BINS: usize = 32;
@@ -26,6 +26,17 @@ fn bin_of(dot: f32) -> usize {
 impl Kernel for TpacfKernel {
     fn name(&self) -> &'static str {
         "tpacf_histogram"
+    }
+    fn footprint(&self, grid: u32, _block_threads: u32) -> Option<KernelFootprint> {
+        let k = self;
+        // ~10 ops per pair, n(n-1)/2 pairs split across the grid.
+        let pairs = k.n as f64 * (k.n as f64 - 1.0) / 2.0;
+        let ops = 10.0 * pairs / grid.max(1) as f64;
+        Some(KernelFootprint::per_block(grid, ops, |_b, fp| {
+            // Thread i pairs with every j > i: effectively the whole sky.
+            fp.read_all(&k.xyz);
+            fp.atomic_all(&k.bins);
+        }))
     }
     fn run_block(&self, blk: &mut BlockCtx) {
         let k = self;

@@ -6,7 +6,9 @@
 
 use crate::bench::{BenchSpec, Benchmark, InputSpec, RunOutput, Suite};
 use crate::inputs::util::f32_vec;
-use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, LaunchOpts, ParamKey};
+use kepler_sim::{
+    BlockCtx, DevBuffer, Device, Kernel, KernelFootprint, LaunchOpts, ParamKey, Span,
+};
 
 const HID: usize = 16;
 const BLOCK: u32 = 256;
@@ -33,6 +35,20 @@ impl Kernel for LayerForward {
 
     fn name(&self) -> &'static str {
         "bpnn_layerforward"
+    }
+    fn footprint(&self, grid: u32, block_threads: u32) -> Option<KernelFootprint> {
+        let k = self;
+        let dim = block_threads as u64;
+        let h = HID as u64;
+        // Per output unit: one fma per element plus the tree reduction.
+        let ops = (h * 2 * dim) as f64;
+        Some(KernelFootprint::per_block(grid, ops, |b, fp| {
+            let base = b as u64 * dim;
+            fp.read(&k.input, Span::range(base, dim));
+            // i*HID + h over the block's i-range and all h: contiguous.
+            fp.read(&k.weights, Span::range(base * h, dim * h));
+            fp.write(&k.partial, Span::range(b as u64 * h, h));
+        }))
     }
     fn run_block(&self, blk: &mut BlockCtx) {
         let k = self;
@@ -101,6 +117,20 @@ impl Kernel for AdjustWeights {
 
     fn name(&self) -> &'static str {
         "bpnn_adjust_weights"
+    }
+    fn footprint(&self, grid: u32, block_threads: u32) -> Option<KernelFootprint> {
+        let k = self;
+        let dim = block_threads as u64;
+        let h = HID as u64;
+        let ops = (dim * h * 3) as f64;
+        Some(KernelFootprint::per_block(grid, ops, |b, fp| {
+            let base = b as u64 * dim;
+            fp.read(&k.input, Span::range(base, dim));
+            fp.read_all(&k.delta);
+            // Each block reads and rewrites only its own weight rows.
+            fp.read(&k.weights, Span::range(base * h, dim * h));
+            fp.write(&k.weights, Span::range(base * h, dim * h));
+        }))
     }
     fn run_block(&self, blk: &mut BlockCtx) {
         let k = self;

@@ -4,7 +4,9 @@
 
 use crate::bench::{BenchSpec, Benchmark, InputSpec, RunOutput, Suite};
 use crate::inputs::util::rng;
-use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, LaunchOpts, ParamKey};
+use kepler_sim::{
+    BlockCtx, DevBuffer, Device, Kernel, KernelFootprint, LaunchOpts, ParamKey, Span,
+};
 use rand::Rng;
 
 const BLOCK: u32 = 256;
@@ -31,6 +33,25 @@ impl Kernel for Fan1 {
 
     fn name(&self) -> &'static str {
         "gaussian_fan1"
+    }
+    fn footprint(&self, grid: u32, block_threads: u32) -> Option<KernelFootprint> {
+        let k = self;
+        let (n, p) = (k.n as u64, k.p as u64);
+        Some(KernelFootprint::per_block(
+            grid,
+            block_threads as f64,
+            |b, fp| {
+                // Thread g handles row r = g + p + 1 (when r < n).
+                let r0 = b as u64 * block_threads as u64 + p + 1;
+                if r0 >= n {
+                    return;
+                }
+                let rows = (n - r0).min(block_threads as u64);
+                fp.read(&k.a, Span::point(p * n + p));
+                fp.read(&k.a, Span::strided(r0 * n + p, rows, n));
+                fp.write(&k.mult, Span::range(r0, rows));
+            },
+        ))
     }
     fn run_block(&self, blk: &mut BlockCtx) {
         let k = self;
@@ -72,6 +93,44 @@ impl Kernel for Fan2 {
 
     fn name(&self) -> &'static str {
         "gaussian_fan2"
+    }
+    fn footprint(&self, grid: u32, block_threads: u32) -> Option<KernelFootprint> {
+        let k = self;
+        let (n, p) = (k.n as u64, k.p as u64);
+        let cols = n - p;
+        let rows = n - p - 1;
+        Some(KernelFootprint::per_block(
+            grid,
+            2.0 * block_threads as f64,
+            |b, fp| {
+                // Thread idx maps to (r, c) = (p + 1 + idx / cols, p + idx % cols)
+                // over the trailing submatrix, row-major.
+                let i0 = b as u64 * block_threads as u64;
+                let i1 = (i0 + block_threads as u64).min(rows * cols);
+                if i0 >= i1 {
+                    return;
+                }
+                let (r0, r1) = (p + 1 + i0 / cols, p + 1 + (i1 - 1) / cols);
+                fp.read(&k.mult, Span::range(r0, r1 - r0 + 1));
+                fp.read(&k.a, Span::range(p * n + p, cols)); // pivot row
+                                                             // The block's (r, c) cells, split into per-row runs of a.
+                for r in r0..=r1 {
+                    let lo = i0.max((r - p - 1) * cols);
+                    let hi = i1.min((r - p) * cols);
+                    let span = Span::range(r * n + p + (lo - (r - p - 1) * cols), hi - lo);
+                    fp.read(&k.a, span);
+                    fp.write(&k.a, span);
+                }
+                // One thread per row (idx a multiple of cols) updates the RHS.
+                let m0 = i0.div_ceil(cols) * cols;
+                if m0 < i1 {
+                    let own = Span::range(p + 1 + m0 / cols, (i1 - m0).div_ceil(cols));
+                    fp.read(&k.b, Span::point(p));
+                    fp.read(&k.b, own);
+                    fp.write(&k.b, own);
+                }
+            },
+        ))
     }
     fn run_block(&self, blk: &mut BlockCtx) {
         let k = self;

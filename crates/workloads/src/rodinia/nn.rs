@@ -5,7 +5,9 @@
 
 use crate::bench::{BenchSpec, Benchmark, InputSpec, RunOutput, Suite};
 use crate::inputs::util::f32_vec;
-use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, LaunchOpts, ParamKey};
+use kepler_sim::{
+    BlockCtx, DevBuffer, Device, Kernel, KernelFootprint, LaunchOpts, ParamKey, Span,
+};
 
 const BLOCK: u32 = 256;
 
@@ -35,6 +37,20 @@ impl Kernel for DistKernel {
 
     fn name(&self) -> &'static str {
         "nn_euclid"
+    }
+    fn footprint(&self, grid: u32, block_threads: u32) -> Option<KernelFootprint> {
+        let k = self;
+        // Each thread handles element gtid: 2 fma + 1 sfu.
+        Some(KernelFootprint::per_block(
+            grid,
+            3.0 * block_threads as f64,
+            |b, fp| {
+                let own = Span::range(b as u64 * block_threads as u64, block_threads as u64);
+                fp.read(&k.lat, own);
+                fp.read(&k.lng, own);
+                fp.write(&k.dist, own);
+            },
+        ))
     }
     fn run_block(&self, blk: &mut BlockCtx) {
         let k = self;

@@ -5,7 +5,10 @@
 
 use crate::bench::{BenchSpec, Benchmark, InputSpec, RunOutput, Suite};
 use crate::inputs::sequences::reference;
-use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, KernelResources, LaunchOpts, ParamKey};
+use kepler_sim::{
+    BlockCtx, DevBuffer, Device, Kernel, KernelFootprint, KernelResources, LaunchOpts, ParamKey,
+    Span,
+};
 
 const TILE: usize = 16;
 const GAP: i32 = -1;
@@ -48,6 +51,36 @@ impl Kernel for NwTileWave {
             regs_per_thread: 24,
             shared_bytes: ((TILE + 1) * (TILE + 1) * 4) as u32,
         }
+    }
+    fn footprint(&self, grid: u32, _block_threads: u32) -> Option<KernelFootprint> {
+        let k = self;
+        let tiles = k.n / TILE;
+        let t = TILE as u64;
+        let pitch = k.n as u64 + 1;
+        let ops = (TILE * TILE * 6) as f64;
+        Some(KernelFootprint::per_block(grid, ops, |b, fp| {
+            // Mirror run_block's wave -> (ti, tj) tile mapping.
+            let ti = if k.wave < tiles {
+                b as usize
+            } else {
+                k.wave - tiles + 1 + b as usize
+            };
+            let tj = k.wave - ti;
+            if ti >= tiles || tj >= tiles {
+                return;
+            }
+            let (row0, col0) = (ti as u64 * t, tj as u64 * t);
+            // Halo: the tile's top row and left column (written by the
+            // previous waves' launches, never by tiles of this wave).
+            fp.read(&k.score, Span::range(row0 * pitch + col0, t + 1));
+            fp.read(&k.score, Span::strided(row0 * pitch + col0, t + 1, pitch));
+            fp.read(&k.seq_a, Span::range(row0, t));
+            fp.read(&k.seq_b, Span::range(col0, t));
+            // Interior write-back, one run per tile row.
+            for i in 0..t {
+                fp.write(&k.score, Span::range((row0 + i + 1) * pitch + col0 + 1, t));
+            }
+        }))
     }
     fn run_block(&self, blk: &mut BlockCtx) {
         let k = self;

@@ -5,7 +5,9 @@
 
 use crate::bench::{BenchSpec, Benchmark, InputSpec, RunOutput, Suite};
 use crate::inputs::util::u32_vec;
-use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, LaunchOpts, ParamKey};
+use kepler_sim::{
+    BlockCtx, DevBuffer, Device, Kernel, KernelFootprint, LaunchOpts, ParamKey, Span,
+};
 
 const BLOCK: u32 = 256;
 
@@ -33,6 +35,27 @@ impl Kernel for PfRow {
 
     fn name(&self) -> &'static str {
         "pathfinder_dynproc"
+    }
+    fn footprint(&self, grid: u32, block_threads: u32) -> Option<KernelFootprint> {
+        let k = self;
+        let dim = block_threads as u64;
+        // Per thread: 4 int ops in the DP step.
+        Some(KernelFootprint::per_block(
+            grid,
+            4.0 * dim as f64,
+            |b, fp| {
+                let base = b as u64 * dim;
+                // Tile plus one halo cell on each side (src is read-only this
+                // launch — the ping-pong partner is the write target).
+                let lo = base.saturating_sub(1);
+                fp.read(&k.src, Span::range(lo, base + dim + 1 - lo));
+                fp.read(
+                    &k.wall,
+                    Span::range(k.row as u64 * k.cols as u64 + base, dim),
+                );
+                fp.write(&k.dst, Span::range(base, dim));
+            },
+        ))
     }
     fn run_block(&self, blk: &mut BlockCtx) {
         let k = self;

@@ -9,7 +9,7 @@
 //! memory-intensity on identical work.
 
 use crate::bench::{BenchSpec, Benchmark, InputSpec, RunOutput, Suite};
-use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, LaunchOpts};
+use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, KernelFootprint, LaunchOpts, Span};
 
 const BLOCK: u32 = 256;
 
@@ -40,6 +40,14 @@ struct InlineSample {
 impl Kernel for InlineSample {
     fn name(&self) -> &'static str {
         "eip_sample"
+    }
+    fn footprint(&self, grid: u32, block_threads: u32) -> Option<KernelFootprint> {
+        let k = self;
+        // ~11 ops per sample; the only global traffic is one atomic/block.
+        let ops = 11.0 * k.samples_per_thread as f64 * block_threads as f64;
+        Some(KernelFootprint::per_block(grid, ops, |_b, fp| {
+            fp.atomic(&k.hits, Span::point(0));
+        }))
     }
     fn run_block(&self, blk: &mut BlockCtx) {
         let dim = blk.block_dim() as usize;
@@ -98,6 +106,13 @@ impl Kernel for Finalize {
     fn name(&self) -> &'static str {
         "pi_finalize"
     }
+    fn footprint(&self, grid: u32, _block_threads: u32) -> Option<KernelFootprint> {
+        let k = self;
+        Some(KernelFootprint::per_block(grid, 2.0, |_b, fp| {
+            fp.read(&k.hits, Span::point(0));
+            fp.write(&k.out, Span::point(0));
+        }))
+    }
     fn run_block(&self, blk: &mut BlockCtx) {
         let (hits, out, total) = (self.hits, self.out, self.total_samples);
         blk.for_each_thread(|t| {
@@ -120,6 +135,21 @@ struct GenerateBatch {
 impl Kernel for GenerateBatch {
     fn name(&self) -> &'static str {
         "ep_generate"
+    }
+    fn footprint(&self, grid: u32, block_threads: u32) -> Option<KernelFootprint> {
+        let k = self;
+        let dim = block_threads as u64;
+        let stride = grid as u64 * dim; // grid-stride = total threads
+        let ops = 4.0 * k.per_thread as f64 * block_threads as f64;
+        Some(KernelFootprint::per_block(grid, ops, |b, fp| {
+            // Grid-strided coalesced stores: one contiguous run per round.
+            for round in 0..k.per_thread as u64 {
+                fp.write(
+                    &k.randoms,
+                    Span::range(round * stride + b as u64 * dim, dim),
+                );
+            }
+        }))
     }
     fn run_block(&self, blk: &mut BlockCtx) {
         let (buf, m, seed) = (self.randoms, self.per_thread, self.seed);
@@ -148,6 +178,23 @@ struct CountBatch {
 impl Kernel for CountBatch {
     fn name(&self) -> &'static str {
         "ep_count"
+    }
+    fn footprint(&self, grid: u32, block_threads: u32) -> Option<KernelFootprint> {
+        let k = self;
+        let dim = block_threads as u64;
+        let stride = grid as u64 * dim;
+        let m = k.pairs_per_thread as u64;
+        let ops = 4.0 * m as f64 * block_threads as f64;
+        Some(KernelFootprint::per_block(grid, ops, |b, fp| {
+            // x rounds 0..m, y rounds m..2m — one contiguous run each.
+            for round in 0..2 * m {
+                fp.read(
+                    &k.randoms,
+                    Span::range(round * stride + b as u64 * dim, dim),
+                );
+            }
+            fp.atomic(&k.hits, Span::point(0));
+        }))
     }
     fn run_block(&self, blk: &mut BlockCtx) {
         let dim = blk.block_dim() as usize;

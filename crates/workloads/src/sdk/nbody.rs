@@ -9,7 +9,10 @@
 
 use crate::bench::{BenchSpec, Benchmark, InputSpec, RunOutput, Suite};
 use crate::inputs::points::plummer;
-use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, KernelResources, LaunchOpts, ParamKey};
+use kepler_sim::{
+    BlockCtx, DevBuffer, Device, Kernel, KernelFootprint, KernelResources, LaunchOpts, ParamKey,
+    Span,
+};
 
 const BLOCK: u32 = 256;
 const SOFTENING: f32 = 1e-2;
@@ -55,6 +58,26 @@ impl Kernel for ForceKernel<'_> {
             regs_per_thread: 40,
             shared_bytes: BLOCK * 16,
         }
+    }
+
+    fn footprint(&self, grid: u32, block_threads: u32) -> Option<KernelFootprint> {
+        let b = self.b;
+        // 10 flops per interaction, n interactions per thread.
+        let ops = 10.0 * b.n as f64 * block_threads as f64;
+        Some(KernelFootprint::per_block(grid, ops, |blkid, fp| {
+            let own = Span::range(blkid as u64 * block_threads as u64, block_threads as u64);
+            fp.read(&b.x, own);
+            fp.read(&b.y, own);
+            fp.read(&b.z, own);
+            // Every block stages every tile of bodies.
+            fp.read_all(&b.x);
+            fp.read_all(&b.y);
+            fp.read_all(&b.z);
+            fp.read_all(&b.m);
+            fp.write(&b.ax, own);
+            fp.write(&b.ay, own);
+            fp.write(&b.az, own);
+        }))
     }
 
     fn run_block(&self, blk: &mut BlockCtx) {

@@ -7,7 +7,10 @@
 
 use crate::bench::{BenchSpec, Benchmark, InputSpec, RunOutput, Suite};
 use crate::inputs::util::u32_vec;
-use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, KernelResources, LaunchOpts, ParamKey};
+use kepler_sim::{
+    BlockCtx, DevBuffer, Device, Kernel, KernelFootprint, KernelResources, LaunchOpts, ParamKey,
+    Span,
+};
 
 const BLOCK: u32 = 256;
 /// Elements scanned per block (two per thread, as in the SDK code).
@@ -43,6 +46,21 @@ impl Kernel for BlockScan {
             regs_per_thread: 24,
             shared_bytes: (TILE * 4) as u32,
         }
+    }
+    fn footprint(&self, grid: u32, _block_threads: u32) -> Option<KernelFootprint> {
+        let k = self;
+        let tile = TILE as u64;
+        // Up- plus downsweep: ~2 int ops per element.
+        Some(KernelFootprint::per_block(
+            grid,
+            2.0 * tile as f64,
+            |b, fp| {
+                let own = Span::range(b as u64 * tile, tile);
+                fp.read(&k.input, own);
+                fp.write(&k.output, own);
+                fp.write(&k.block_sums, Span::point(b as u64));
+            },
+        ))
     }
     fn run_block(&self, blk: &mut BlockCtx) {
         let temp = blk.shared_alloc::<u32>(TILE);
@@ -133,6 +151,19 @@ impl Kernel for ScanSums {
     fn name(&self) -> &'static str {
         "scan_sums"
     }
+    fn footprint(&self, grid: u32, _block_threads: u32) -> Option<KernelFootprint> {
+        let k = self;
+        // Single-block sequential scan: reads and rewrites the sums array.
+        Some(KernelFootprint::per_block(
+            grid,
+            k.count as f64,
+            |_b, fp| {
+                let all = Span::range(0, k.count as u64);
+                fp.read(&k.sums, all);
+                fp.write(&k.sums, all);
+            },
+        ))
+    }
     fn run_block(&self, blk: &mut BlockCtx) {
         let (sums, count) = (self.sums, self.count);
         blk.for_each_thread(|t| {
@@ -170,6 +201,16 @@ impl Kernel for UniformAdd {
 
     fn name(&self) -> &'static str {
         "scan_uniform_add"
+    }
+    fn footprint(&self, grid: u32, _block_threads: u32) -> Option<KernelFootprint> {
+        let k = self;
+        let tile = TILE as u64;
+        Some(KernelFootprint::per_block(grid, tile as f64, |b, fp| {
+            let own = Span::range(b as u64 * tile, tile);
+            fp.read(&k.block_sums, Span::point(b as u64));
+            fp.read(&k.output, own);
+            fp.write(&k.output, own);
+        }))
     }
     fn run_block(&self, blk: &mut BlockCtx) {
         let base = blk.block_idx() as usize * TILE;

@@ -4,9 +4,37 @@
 
 use crate::bench::{BenchSpec, Benchmark, InputSpec, RunOutput, Suite};
 use crate::inputs::util::f32_vec;
-use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, LaunchOpts, ParamKey};
+use kepler_sim::{
+    BlockCtx, DevBuffer, Device, Kernel, KernelFootprint, LaunchOpts, ParamKey, Span,
+};
 
 const BLOCK: u32 = 256;
+
+/// Emit the image of `{2 * (i / m) * m + i % m : i in [i0, i1)}` (the
+/// `out0` butterfly destinations, relative to the batch base) as spans:
+/// per-group ranges when the range covers few groups, per-offset strided
+/// spans when it covers many — at most `min(m, groups) + 2` spans.
+fn butterfly_out_spans(base: u64, m: u64, i0: u64, i1: u64, mut emit: impl FnMut(Span)) {
+    let (q0, q1) = (i0 / m, (i1 - 1) / m + 1);
+    if q1 - q0 <= m {
+        for q in q0..q1 {
+            let r0 = i0.max(q * m) - q * m;
+            let r1 = i1.min((q + 1) * m) - q * m;
+            emit(Span::range(base + 2 * q * m + r0, r1 - r0));
+        }
+    } else {
+        let (qa, qb) = (i0.div_ceil(m), i1 / m);
+        if q0 < qa {
+            emit(Span::range(base + 2 * q0 * m + (i0 - q0 * m), qa * m - i0));
+        }
+        for r in 0..m {
+            emit(Span::strided(base + 2 * qa * m + r, qb - qa, 2 * m));
+        }
+        if qb < q1 {
+            emit(Span::range(base + 2 * qb * m, i1 - qb * m));
+        }
+    }
+}
 
 /// One Stockham (decimation-in-frequency) stage. At stage `s`,
 /// `m = 2^s` and `l = n / (2m)`; thread `i` handles butterfly
@@ -41,6 +69,49 @@ impl Kernel for FftStage {
 
     fn name(&self) -> &'static str {
         "fft_radix2_stage"
+    }
+    fn footprint(&self, grid: u32, block_threads: u32) -> Option<KernelFootprint> {
+        let k = self;
+        let half = (k.n / 2) as u64;
+        let n = k.n as u64;
+        let m = 1u64 << k.stage;
+        let dim = block_threads as u64;
+        let total = half * k.batch as u64;
+        // 8 fma + 2 sfu + 6 int per butterfly.
+        Some(KernelFootprint::per_block(
+            grid,
+            16.0 * dim as f64,
+            |b, fp| {
+                let g0 = b as u64 * dim;
+                let g1 = (g0 + dim).min(total);
+                if g0 >= g1 {
+                    return;
+                }
+                // Split the block's gid range at batch boundaries.
+                let mut g = g0;
+                while g < g1 {
+                    let bat = g / half;
+                    let base = bat * n;
+                    let i0 = g % half;
+                    let i1 = (i0 + (g1 - g)).min(half);
+                    // Inputs: a = x[i], b = x[i + n/2] within the batch
+                    // (read-only this stage; ping-pong partner is written).
+                    fp.read(&k.re_in, Span::range(base + i0, i1 - i0));
+                    fp.read(&k.im_in, Span::range(base + i0, i1 - i0));
+                    fp.read(&k.re_in, Span::range(base + half + i0, i1 - i0));
+                    fp.read(&k.im_in, Span::range(base + half + i0, i1 - i0));
+                    // Outputs: out0 = 2*(i/m)*m + i%m, out1 = out0 + m.
+                    butterfly_out_spans(base, m, i0, i1, |s| {
+                        fp.write(&k.re_out, s);
+                        fp.write(&k.im_out, s);
+                        let s1 = Span::strided(s.start + m, s.count, s.stride);
+                        fp.write(&k.re_out, s1);
+                        fp.write(&k.im_out, s1);
+                    });
+                    g += i1 - i0;
+                }
+            },
+        ))
     }
     fn run_block(&self, blk: &mut BlockCtx) {
         let k = self;

@@ -4,7 +4,9 @@
 //! the paper's champion energy saver at the 614-MHz configuration.
 
 use crate::bench::{BenchSpec, Benchmark, InputSpec, RunOutput, Suite};
-use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, LaunchOpts, ParamKey};
+use kepler_sim::{
+    BlockCtx, DevBuffer, Device, Kernel, KernelFootprint, LaunchOpts, ParamKey, Span,
+};
 
 const BLOCK: u32 = 256;
 
@@ -47,6 +49,22 @@ impl Kernel for FlopsKernel {
             Mix::AddDp => "maxflops_add1_dp",
             Mix::MAddDp => "maxflops_madd1_dp",
         }
+    }
+    fn footprint(&self, grid: u32, block_threads: u32) -> Option<KernelFootprint> {
+        let k = self;
+        let flops_per_iter = match k.mix {
+            Mix::Add | Mix::Mul | Mix::AddDp => 2.0,
+            Mix::MAdd | Mix::MAddDp => 1.0,
+            Mix::MulMAdd => 3.0,
+        };
+        let ops = flops_per_iter * k.iters as f64 * block_threads as f64;
+        Some(KernelFootprint::per_block(grid, ops, |b, fp| {
+            // The only memory traffic: one result store per thread.
+            fp.write(
+                &k.out,
+                Span::range(b as u64 * block_threads as u64, block_threads as u64),
+            );
+        }))
     }
     fn run_block(&self, blk: &mut BlockCtx) {
         let k = self;

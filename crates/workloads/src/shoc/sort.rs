@@ -5,7 +5,7 @@
 
 use crate::bench::{BenchSpec, Benchmark, InputSpec, RunOutput, Suite};
 use crate::inputs::util::u32_vec;
-use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, LaunchOpts};
+use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, KernelFootprint, LaunchOpts, Span};
 
 const BLOCK: u32 = 256;
 const RADIX_BITS: u32 = 4;
@@ -20,6 +20,19 @@ struct HistKernel {
 impl Kernel for HistKernel {
     fn name(&self) -> &'static str {
         "sort_histogram"
+    }
+    fn footprint(&self, grid: u32, block_threads: u32) -> Option<KernelFootprint> {
+        let k = self;
+        let dim = block_threads as u64;
+        Some(KernelFootprint::per_block(
+            grid,
+            4.0 * dim as f64,
+            |b, fp| {
+                fp.read(&k.keys, Span::range(b as u64 * dim, dim));
+                // Block-local counts flush into the global histogram atomically.
+                fp.atomic_all(&k.hist);
+            },
+        ))
     }
     fn run_block(&self, blk: &mut BlockCtx) {
         let k = self;
@@ -60,6 +73,21 @@ struct ChunkHistKernel {
 impl Kernel for ChunkHistKernel {
     fn name(&self) -> &'static str {
         "sort_chunk_hist"
+    }
+    fn footprint(&self, grid: u32, _block_threads: u32) -> Option<KernelFootprint> {
+        let k = self;
+        let chunk = k.chunk as u64;
+        Some(KernelFootprint::per_block(
+            grid,
+            2.0 * chunk as f64,
+            |b, fp| {
+                fp.read(&k.keys, Span::range(b as u64 * chunk, chunk));
+                fp.write(
+                    &k.chunk_hist,
+                    Span::range(b as u64 * BUCKETS as u64, BUCKETS as u64),
+                );
+            },
+        ))
     }
     fn run_block(&self, blk: &mut BlockCtx) {
         let k = self;
@@ -107,6 +135,25 @@ struct ScatterKernel {
 impl Kernel for ScatterKernel {
     fn name(&self) -> &'static str {
         "sort_scatter"
+    }
+    fn footprint(&self, grid: u32, _block_threads: u32) -> Option<KernelFootprint> {
+        let k = self;
+        let chunk = k.chunk as u64;
+        let buckets = BUCKETS as u64;
+        Some(KernelFootprint::per_block(
+            grid,
+            3.0 * chunk as f64,
+            |b, fp| {
+                fp.read(&k.chunk_base, Span::range(b as u64 * buckets, buckets));
+                fp.read(&k.keys_in, Span::range(b as u64 * chunk, chunk));
+                fp.read(&k.vals_in, Span::range(b as u64 * chunk, chunk));
+                // Destinations are data-dependent (the point of the scatter):
+                // declared as whole-buffer writes, which is why this kernel can
+                // never be proven parallel-safe.
+                fp.write_all(&k.keys_out);
+                fp.write_all(&k.vals_out);
+            },
+        ))
     }
     fn run_block(&self, blk: &mut BlockCtx) {
         let k = self;

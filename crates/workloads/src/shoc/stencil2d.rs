@@ -3,7 +3,9 @@
 
 use crate::bench::{BenchSpec, Benchmark, InputSpec, RunOutput, Suite};
 use crate::inputs::util::f32_vec;
-use kepler_sim::{BlockCtx, DevBuffer, Device, Kernel, LaunchOpts, ParamKey};
+use kepler_sim::{
+    BlockCtx, DevBuffer, Device, Kernel, KernelFootprint, LaunchOpts, ParamKey, Span,
+};
 
 const BLOCK: u32 = 128;
 const W_CENTER: f32 = 0.25;
@@ -30,6 +32,24 @@ impl Kernel for S2dKernel {
 
     fn name(&self) -> &'static str {
         "stencil2d_9pt"
+    }
+    fn footprint(&self, grid: u32, block_threads: u32) -> Option<KernelFootprint> {
+        let k = self;
+        let halo = k.n as u64 + 1; // widest neighbor offset (diagonal row)
+        let dim = block_threads as u64;
+        // 2 int + 6 add + 3 fma per interior thread.
+        Some(KernelFootprint::per_block(
+            grid,
+            11.0 * dim as f64,
+            |b, fp| {
+                let base = b as u64 * dim;
+                // src is read-only this sweep (ping-pong partner is dst).
+                let lo = base.saturating_sub(halo);
+                fp.read(&k.src, Span::range(lo, base + dim + halo - lo));
+                // Boundary threads skip the store; full range stays disjoint.
+                fp.write(&k.dst, Span::range(base, dim));
+            },
+        ))
     }
     fn run_block(&self, blk: &mut BlockCtx) {
         let k = self;
