@@ -196,14 +196,13 @@ impl Phase {
         }
     }
 
-    /// Nearest-rank percentile over the sorted latency set.
+    /// Nearest-rank percentile over the sorted latency set — the service's
+    /// one exact-percentile definition ([`sim_serve::metrics`]'s
+    /// `nearest_rank_ms`), shared so `loadgen` reports and the server's
+    /// histogram estimates can never drift apart in definition (they may
+    /// differ by at most one histogram bucket width; docs/SERVE.md).
     fn percentile_ms(&self, q: f64) -> f64 {
-        if self.latencies_ms.is_empty() {
-            return 0.0;
-        }
-        let rank = ((q * self.latencies_ms.len() as f64).ceil() as usize)
-            .clamp(1, self.latencies_ms.len());
-        self.latencies_ms[rank - 1]
+        sim_serve::metrics::nearest_rank_ms(&self.latencies_ms, q).unwrap_or(0.0)
     }
 }
 

@@ -1,7 +1,8 @@
 //! Regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--quick] [--no-cache] [--cache-dir DIR] [--jobs N] [ARTIFACT...]
+//! repro [--quick] [--no-cache] [--cache-dir DIR] [--trace-dir DIR]
+//!       [--jobs N] [ARTIFACT...]
 //!
 //! ARTIFACT: table1 table2 table3 table4 fig1 fig2 fig3 fig4 fig5 fig6
 //!           energy-breakdown energy-sampling-error static-analysis
@@ -23,6 +24,12 @@
 //! `--no-cache`) so a re-run that changes nothing simulates nothing. The
 //! closing summary on stderr reports `simulated=`/`memo_hits=`/
 //! `disk_hits=` counters.
+//!
+//! `--trace-dir DIR` additionally records each program's launch trace to
+//! DIR on cold functional runs and *replays* from it on later runs whose
+//! campaign records are absent (e.g. a fresh `--cache-dir`): replayed
+//! units re-simulate timing/power from the trace without functional
+//! execution, bit-identically. See `docs/TRACE.md`.
 
 use characterize::analysis::{render_static_analysis, static_analysis};
 use characterize::campaign::{plan_artifacts, Artifact, Campaign, CampaignConfig};
@@ -51,7 +58,7 @@ const EXTRA: [&str; 4] = [
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--quick] [--no-cache] [--cache-dir DIR] [--jobs N] [ARTIFACT...]\n\
+        "usage: repro [--quick] [--no-cache] [--cache-dir DIR] [--trace-dir DIR] [--jobs N] [ARTIFACT...]\n\
          artifacts: {} {} all",
         ALL.join(" "),
         EXTRA.join(" ")
@@ -63,6 +70,7 @@ fn main() {
     let mut quick = false;
     let mut no_cache = false;
     let mut cache_dir: Option<PathBuf> = None;
+    let mut trace_dir: Option<PathBuf> = None;
     let mut selectors: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -73,6 +81,13 @@ fn main() {
                 Some(d) => cache_dir = Some(PathBuf::from(d)),
                 None => {
                     eprintln!("[repro] --cache-dir needs a directory argument");
+                    usage();
+                }
+            },
+            "--trace-dir" => match args.next() {
+                Some(d) => trace_dir = Some(PathBuf::from(d)),
+                None => {
+                    eprintln!("[repro] --trace-dir needs a directory argument");
                     usage();
                 }
             },
@@ -122,6 +137,7 @@ fn main() {
             Some(cache_dir.unwrap_or_else(|| PathBuf::from("target/campaign-cache")))
         },
         telemetry: None,
+        trace_dir,
     });
 
     // Prefetch: execute the deduplicated union of every requested

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! serve [--addr A] [--workers N] [--queue N] [--cache-dir DIR | --no-cache]
-//!       [--reps 1|3] [--timeout-s S]
+//!       [--trace-dir DIR] [--reps 1|3] [--timeout-s S]
 //!
 //! --addr A        bind address (default 127.0.0.1:8077; port 0 = ephemeral)
 //! --workers N     measurement worker threads (default 2)
@@ -11,6 +11,10 @@
 //!                 shared with `repro` so a warm `repro` run pre-warms the
 //!                 service)
 //! --no-cache      in-process memoization only
+//! --trace-dir DIR launch-trace database: record traces on cold runs and
+//!                 re-simulate later units (any configuration — this is
+//!                 what makes fine /v1/sweep grids cheap) from them
+//!                 without functional execution; see docs/TRACE.md
 //! --reps R        default repetitions for /v1/artifacts (default 3, the
 //!                 paper's methodology and the goldens' setting)
 //! --timeout-s S   per-request job deadline (default 300)
@@ -26,7 +30,7 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage: serve [--addr A] [--workers N] [--queue N] [--cache-dir DIR | --no-cache] \
-         [--reps 1|3] [--timeout-s S]"
+         [--trace-dir DIR] [--reps 1|3] [--timeout-s S]"
     );
     std::process::exit(2);
 }
@@ -56,6 +60,10 @@ fn main() {
                 None => usage(),
             },
             "--no-cache" => cfg.cache_dir = None,
+            "--trace-dir" => match args.next() {
+                Some(d) => cfg.trace_dir = Some(PathBuf::from(d)),
+                None => usage(),
+            },
             "--reps" => match args.next().as_deref() {
                 Some("1") => cfg.default_artifact_reps = 1,
                 Some("3") => cfg.default_artifact_reps = 3,
@@ -78,11 +86,15 @@ fn main() {
         }
     };
     eprintln!(
-        "[serve] listening on {} | workers={} queue={} cache={} artifact_reps={}",
+        "[serve] listening on {} | workers={} queue={} cache={} traces={} artifact_reps={}",
         server.local_addr(),
         cfg.workers,
         cfg.queue_capacity,
         cfg.cache_dir
+            .as_deref()
+            .map(|p| p.display().to_string())
+            .unwrap_or_else(|| "none".to_string()),
+        cfg.trace_dir
             .as_deref()
             .map(|p| p.display().to_string())
             .unwrap_or_else(|| "none".to_string()),

@@ -20,12 +20,19 @@
 //! --baseline-s S record S as `repro_all_quick_baseline_s` (the same
 //!                measurement taken on the pre-optimization tree, for
 //!                before/after reports)
+//! --trace-sweep N
+//!                points in the trace-replay sweep phase (default 120;
+//!                0 disables): a fine core-clock sweep of one workload
+//!                run twice — functionally, then replayed from a recorded
+//!                launch trace (docs/TRACE.md) — reported as `trace_sweep`
+//!                with the observed speedup
 //! ```
 //!
 //! Simulated results (energy, runtime) are *not* reported here — those are
 //! `repro`'s job and must never depend on wall-clock. This harness answers
 //! one question: how long does the simulator take to produce them.
 
+use characterize::campaign::{sweep_grid, Campaign, CampaignConfig};
 use characterize::experiment::measure;
 use characterize::GpuConfigKind;
 use std::io::Write as _;
@@ -38,7 +45,10 @@ use workloads::registry;
 const DEFAULT_KEYS: [&str; 3] = ["sgemm", "lbm", "bh"];
 
 fn usage() -> ! {
-    eprintln!("usage: simbench [--all] [--reps N] [--out FILE] [--repro-binary PATH] [KEY...]");
+    eprintln!(
+        "usage: simbench [--all] [--reps N] [--out FILE] [--repro-binary PATH] \
+         [--trace-sweep N] [KEY...]"
+    );
     std::process::exit(2);
 }
 
@@ -50,12 +60,71 @@ struct Row {
     sim_energy_j: f64,
 }
 
+struct TraceSweep {
+    key: &'static str,
+    points: usize,
+    functional_s: f64,
+    replay_s: f64,
+}
+
+/// The trace-replay phase: one fine core-clock sweep (memory clock at
+/// stock), run twice on in-memory-only campaigns — once functionally, once
+/// replayed from a single recorded launch trace. The ratio is the headline
+/// number for trace-driven re-simulation (docs/TRACE.md): every point after
+/// the first functional run is pure timing/power re-simulation.
+fn trace_sweep_phase(points: usize) -> TraceSweep {
+    let b = registry::by_key("lbm").expect("lbm registered");
+    let input = &b.inputs()[0];
+    let core: Vec<f64> = (0..points).map(|i| 324.0 + 5.0 * i as f64).collect();
+    let grid = sweep_grid(&core, &[2600.0]);
+
+    let functional = Campaign::new(CampaignConfig::default());
+    let t0 = Instant::now();
+    functional.sweep(b.as_ref(), input, &grid, 1);
+    let functional_s = t0.elapsed().as_secs_f64();
+
+    let dir = std::env::temp_dir().join(format!("simbench-traces-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let replayer = Campaign::new(CampaignConfig {
+        trace_dir: Some(dir.clone()),
+        ..CampaignConfig::default()
+    });
+    // Record once, outside the grid, so every sweep point replays.
+    replayer
+        .run(b.as_ref(), input, GpuConfigKind::Default, 0)
+        .expect("recording run");
+    let t0 = Instant::now();
+    replayer.sweep(b.as_ref(), input, &grid, 1);
+    let replay_s = t0.elapsed().as_secs_f64();
+    let stats = replayer.stats();
+    assert_eq!(
+        stats.trace_replays as usize,
+        grid.len(),
+        "every sweep point must replay ({stats})"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+
+    eprintln!(
+        "[simbench] trace sweep: {} points, functional {functional_s:.3}s, \
+         replay {replay_s:.3}s ({:.1}x)",
+        grid.len(),
+        functional_s / replay_s
+    );
+    TraceSweep {
+        key: "lbm",
+        points: grid.len(),
+        functional_s,
+        replay_s,
+    }
+}
+
 fn main() {
     let mut all = false;
     let mut reps = 3usize;
     let mut out: Option<PathBuf> = None;
     let mut repro_binary: Option<PathBuf> = None;
     let mut baseline_s: Option<f64> = None;
+    let mut trace_sweep_points = 120usize;
     let mut keys: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -75,6 +144,10 @@ fn main() {
             },
             "--baseline-s" => match args.next().and_then(|s| s.parse().ok()) {
                 Some(s) => baseline_s = Some(s),
+                None => usage(),
+            },
+            "--trace-sweep" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) => trace_sweep_points = n,
                 None => usage(),
             },
             s if s.starts_with("--") => {
@@ -137,6 +210,8 @@ fn main() {
         });
     }
 
+    let trace_sweep = (trace_sweep_points > 0).then(|| trace_sweep_phase(trace_sweep_points));
+
     let repro_all_quick_s = repro_binary.map(|bin| {
         let t0 = Instant::now();
         let status = std::process::Command::new(&bin)
@@ -185,6 +260,17 @@ fn main() {
         ));
     }
     json.push_str("  ],\n");
+    if let Some(ts) = &trace_sweep {
+        json.push_str(&format!(
+            "  \"trace_sweep\": {{\"workload\": \"{}\", \"points\": {}, \
+             \"functional_s\": {:.4}, \"replay_s\": {:.4}, \"speedup_x\": {:.1}}},\n",
+            esc(ts.key),
+            ts.points,
+            ts.functional_s,
+            ts.replay_s,
+            ts.functional_s / ts.replay_s,
+        ));
+    }
     let total: f64 = rows.iter().map(|r| r.wall_s).sum();
     json.push_str(&format!("  \"total_wall_s\": {total:.4}\n}}\n"));
 

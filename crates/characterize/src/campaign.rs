@@ -28,8 +28,10 @@
 
 use crate::configs::GpuConfigKind;
 use crate::experiment::{
-    combine_median3, measure, measure_with_device_config, run_seed, Measurement, MedianMeasurement,
+    combine_median3, measure_from_trace, measure_with_device_config,
+    measure_with_device_config_recording, run_seed, Measurement, MedianMeasurement,
 };
+use crate::tracedb::{trace_key, TraceDb};
 use gpower::{PowerError, Reading};
 use kepler_sim::{ClockConfig, DeviceConfig, KernelCounters};
 use rayon::prelude::*;
@@ -49,7 +51,7 @@ const RECORD_MAGIC: &str = "gpgpu-campaign v2";
 const RECORD_END: &str = "end gpgpu-campaign";
 
 /// 64-bit FNV-1a (the *correct* prime — see the `run_seed` fix).
-fn fnv1a64(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     const FNV_PRIME: u64 = 0x100_0000_01b3;
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
@@ -353,6 +355,15 @@ pub struct CampaignStats {
     /// paper's too-fast-to-measure exclusions, served as first-class
     /// values).
     pub cached_errors: u64,
+    /// Units re-simulated from a recorded launch trace instead of
+    /// functional execution (never counted in `simulated`).
+    pub trace_replays: u64,
+    /// Trace manifests rejected for a model-fingerprint mismatch (each
+    /// fell back to a functional run that re-recorded).
+    pub trace_stale: u64,
+    /// Trace manifests or launch records rejected as corrupt/truncated
+    /// (each fell back to a functional run that re-recorded).
+    pub trace_corrupt: u64,
 }
 
 impl CampaignStats {
@@ -371,14 +382,18 @@ impl std::fmt::Display for CampaignStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "simulated={} memo_hits={} disk_hits={} stale={} corrupt={} in_flight={} cached_errors={}",
+            "simulated={} memo_hits={} disk_hits={} stale={} corrupt={} in_flight={} \
+             cached_errors={} trace_replays={} trace_stale={} trace_corrupt={}",
             self.simulated,
             self.memo_hits,
             self.disk_hits,
             self.disk_stale,
             self.disk_corrupt,
             self.in_flight,
-            self.cached_errors
+            self.cached_errors,
+            self.trace_replays,
+            self.trace_stale,
+            self.trace_corrupt
         )
     }
 }
@@ -391,6 +406,11 @@ pub struct CampaignConfig {
     pub cache_dir: Option<PathBuf>,
     /// Optional sink for `CacheLookup` / `CampaignProgress` events.
     pub telemetry: Option<Arc<dyn TelemetrySink>>,
+    /// Directory of the launch-trace database ([`crate::tracedb`]). `None`
+    /// disables trace recording and replay. When set, units whose program
+    /// has a recorded trace are re-simulated from it (no functional
+    /// execution), and cold functional runs record one.
+    pub trace_dir: Option<PathBuf>,
 }
 
 #[derive(Default)]
@@ -421,11 +441,13 @@ pub struct Campaign {
     started: Instant,
     state: Mutex<CampaignState>,
     done: Condvar,
+    trace_db: Option<TraceDb>,
     simulated: AtomicU64,
     memo_hits: AtomicU64,
     disk_hits: AtomicU64,
     disk_stale: AtomicU64,
     disk_corrupt: AtomicU64,
+    trace_replays: AtomicU64,
 }
 
 impl Campaign {
@@ -437,11 +459,13 @@ impl Campaign {
             started: Instant::now(),
             state: Mutex::new(CampaignState::default()),
             done: Condvar::new(),
+            trace_db: cfg.trace_dir.map(|d| TraceDb::new(d, sim_fingerprint())),
             simulated: AtomicU64::new(0),
             memo_hits: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
             disk_stale: AtomicU64::new(0),
             disk_corrupt: AtomicU64::new(0),
+            trace_replays: AtomicU64::new(0),
         }
     }
 
@@ -472,6 +496,9 @@ impl Campaign {
             disk_corrupt: self.disk_corrupt.load(Ordering::Relaxed),
             in_flight,
             cached_errors,
+            trace_replays: self.trace_replays.load(Ordering::Relaxed),
+            trace_stale: self.trace_db.as_ref().map_or(0, |db| db.stale()),
+            trace_corrupt: self.trace_db.as_ref().map_or(0, |db| db.corrupt()),
         }
     }
 
@@ -520,7 +547,7 @@ impl Campaign {
         rep: u64,
     ) -> Result<Measurement, PowerError> {
         let ckey = canonical_key_parts(bench.spec().key, input, config.name(), rep);
-        self.resolve(ckey, || measure(bench, input, config, rep))
+        self.resolve_unit(ckey, bench, input, config.device_config(), rep)
     }
 
     /// One unit of a clock sweep, memoized under the point's cache tag.
@@ -536,9 +563,48 @@ impl Campaign {
         rep: u64,
     ) -> Result<Measurement, PowerError> {
         let ckey = canonical_key_parts(bench.spec().key, input, &point.cache_tag(), rep);
-        self.resolve(ckey, || {
-            measure_with_device_config(bench, input, point.device_config(), rep)
-        })
+        self.resolve_unit(ckey, bench, input, point.device_config(), rep)
+    }
+
+    /// The trace identity of a campaign unit: no configuration, repetition
+    /// or seed — one recorded trace serves the whole config x rep matrix
+    /// (see [`crate::tracedb`]).
+    fn unit_trace_key(bench: &dyn Benchmark, input: &InputSpec) -> String {
+        trace_key(&bench.spec().cache_key(), &input.cache_key())
+    }
+
+    /// Resolve one unit under an explicit device configuration, with the
+    /// trace DB (when configured) consulted between the record caches and
+    /// functional execution: memo -> disk -> **trace replay** -> simulate
+    /// (recording a trace for next time).
+    fn resolve_unit(
+        &self,
+        ckey: String,
+        bench: &dyn Benchmark,
+        input: &InputSpec,
+        cfg: DeviceConfig,
+        rep: u64,
+    ) -> Result<Measurement, PowerError> {
+        let key = bench.spec().key;
+        self.resolve(
+            ckey,
+            || match &self.trace_db {
+                Some(db) => {
+                    let (res, stored) =
+                        measure_with_device_config_recording(bench, input, cfg.clone(), rep);
+                    if let Some(st) = stored {
+                        db.store(&Self::unit_trace_key(bench, input), &st);
+                    }
+                    res
+                }
+                None => measure_with_device_config(bench, input, cfg.clone(), rep),
+            },
+            || {
+                let db = self.trace_db.as_ref()?;
+                let st = db.load(&Self::unit_trace_key(bench, input))?;
+                Some(measure_from_trace(key, input, cfg.clone(), rep, &st))
+            },
+        )
     }
 
     /// A sweep-point reading at the requested repetition count, mirroring
@@ -590,12 +656,17 @@ impl Campaign {
             .collect()
     }
 
-    /// The shared memo/disk/simulate resolution path behind [`run`] and
-    /// [`run_sweep_point`].
+    /// The shared memo/disk/replay/simulate resolution path behind [`run`]
+    /// and [`run_sweep_point`]. `replay` is tried after both record caches
+    /// miss and before `simulate`; when it yields a result the unit counts
+    /// as a trace replay, not a simulation, but is persisted and memoized
+    /// identically (so a replayed unit warms the v2 record cache with a
+    /// record bit-identical to a live run's).
     fn resolve(
         &self,
         ckey: String,
         simulate: impl FnOnce() -> Result<Measurement, PowerError>,
+        replay: impl FnOnce() -> Option<Result<Measurement, PowerError>>,
     ) -> Result<Measurement, PowerError> {
         {
             let mut g = self.state.lock().unwrap();
@@ -631,9 +702,20 @@ impl Campaign {
             }
             g.inflight.insert(ckey.clone());
         }
-        // Simulate outside the lock so the pool keeps stealing work.
-        let res = simulate();
-        self.simulated.fetch_add(1, Ordering::Relaxed);
+        // Replay or simulate outside the lock so the pool keeps stealing
+        // work. A trace replay re-simulates timing/power from the recorded
+        // launch stream — no functional execution — and is counted apart.
+        let res = match replay() {
+            Some(res) => {
+                self.trace_replays.fetch_add(1, Ordering::Relaxed);
+                res
+            }
+            None => {
+                let res = simulate();
+                self.simulated.fetch_add(1, Ordering::Relaxed);
+                res
+            }
+        };
         self.store_record(&ckey, &res);
         let mut g = self.state.lock().unwrap();
         g.memoize(ckey.clone(), res.clone());
@@ -766,11 +848,11 @@ impl Campaign {
 // Record format (hand-rolled: the workspace builds offline, serde is a shim)
 // ---------------------------------------------------------------------------
 
-fn fbits(x: f64) -> String {
+pub(crate) fn fbits(x: f64) -> String {
     format!("{:016x}", x.to_bits())
 }
 
-fn parse_fbits(tok: &str) -> Option<f64> {
+pub(crate) fn parse_fbits(tok: &str) -> Option<f64> {
     u64::from_str_radix(tok, 16).ok().map(f64::from_bits)
 }
 
@@ -1002,7 +1084,7 @@ mod tests {
     fn disk_campaign(dir: &Path) -> Campaign {
         Campaign::new(CampaignConfig {
             cache_dir: Some(dir.to_path_buf()),
-            telemetry: None,
+            ..CampaignConfig::default()
         })
     }
 

@@ -3,11 +3,14 @@
 //! of three repetitions.
 
 use crate::configs::GpuConfigKind;
+use crate::tracedb::StoredTrace;
 use gpower::{
     sampled_energy, study_policies, variability_pct, K20Power, PowerError, PowerSensor, PowerTrace,
     Reading,
 };
-use kepler_sim::{Device, DeviceConfig, KernelCounters, LaunchStats};
+use kepler_sim::{
+    Device, DeviceConfig, KernelCounters, LaunchStats, TraceRecorder, TraceReplayDevice,
+};
 use sim_telemetry::{Event, EventTrace};
 use std::sync::Arc;
 use workloads::bench::{Benchmark, InputSpec, ItemCounts};
@@ -128,6 +131,99 @@ pub fn measure_with_device_config(
         reading,
         checksum: out.checksum,
         items: out.items,
+        counters,
+        board_energy_j: trace.total_energy(),
+        trace_end_s: trace.end_time(),
+        kernel_time_s,
+        sampled_energy_j,
+    })
+}
+
+/// [`measure_with_device_config`] with a launch-trace recorder attached.
+///
+/// The recorder observes the launches the device executes — it never
+/// perturbs them — so the returned measurement is bit-identical to the
+/// plain one. The second element is the recorded trace, or `None` when the
+/// run is ineligible (some launch bypassed pre-execution, so its functional
+/// outcome may be configuration-dependent and must not be replayed).
+///
+/// The measurement result is built *before* the trace is extracted, so a
+/// run whose reading fails K20Power analysis (too few samples) still yields
+/// a trace: replaying it under the same configuration reproduces the same
+/// error, which the campaign caches like any other outcome.
+pub fn measure_with_device_config_recording(
+    bench: &dyn Benchmark,
+    input: &InputSpec,
+    mut cfg: DeviceConfig,
+    rep: u64,
+) -> (Result<Measurement, PowerError>, Option<StoredTrace>) {
+    let seed = run_seed(bench.spec().key, input.name, rep);
+    cfg.jitter_seed = seed;
+    let mut dev = Device::new(cfg);
+    let rec = Arc::new(TraceRecorder::default());
+    dev.set_trace_recorder(rec.clone());
+    let out = bench.run(&mut dev, input);
+    let counters = dev.total_counters();
+    let kernel_time_s = dev.kernel_time();
+    let (trace, _stats) = dev.finish();
+    let sensor = PowerSensor::default();
+    let samples = sensor.sample(&trace, seed ^ 0x5A5A);
+    let reading = K20Power::default().analyze(&samples);
+    let sampled_energy_j: Vec<f64> = study_policies()
+        .iter()
+        .map(|p| sampled_energy(&trace, p, seed).energy_j)
+        .collect();
+    let res = reading.map(|reading| Measurement {
+        reading,
+        checksum: out.checksum,
+        items: out.items,
+        counters,
+        board_energy_j: trace.total_energy(),
+        trace_end_s: trace.end_time(),
+        kernel_time_s,
+        sampled_energy_j,
+    });
+    let stored = rec.finish().map(|run| StoredTrace {
+        run,
+        checksum: out.checksum,
+        items: out.items,
+    });
+    (res, stored)
+}
+
+/// Re-measure a recorded run under an arbitrary configuration **without
+/// functional execution**: the stored launch stream drives the same fluid
+/// scheduler, power model, sensor and K20Power analysis the live pipeline
+/// uses, with the same per-(program, input, rep) seed derivation — so for
+/// any `(cfg, rep)` the result is bit-identical to what
+/// [`measure_with_device_config`] would have produced. The functional
+/// outputs replay cannot recompute (checksum, item counts) come from the
+/// stored trace.
+pub fn measure_from_trace(
+    bench_key: &str,
+    input: &InputSpec,
+    mut cfg: DeviceConfig,
+    rep: u64,
+    st: &StoredTrace,
+) -> Result<Measurement, PowerError> {
+    let seed = run_seed(bench_key, input.name, rep);
+    cfg.jitter_seed = seed;
+    let mut dev = TraceReplayDevice::new(cfg);
+    dev.replay(&st.run);
+    let counters = dev.total_counters();
+    let kernel_time_s = dev.kernel_time();
+    let (trace, _stats) = dev.finish();
+    let sensor = PowerSensor::default();
+    let samples = sensor.sample(&trace, seed ^ 0x5A5A);
+    let reading = K20Power::default().analyze(&samples)?;
+    let sampled_energy_j = study_policies()
+        .iter()
+        .map(|p| sampled_energy(&trace, p, seed).energy_j)
+        .collect();
+    Ok(Measurement {
+        reading,
+        checksum: st.checksum,
+        items: st.items,
         counters,
         board_energy_j: trace.total_energy(),
         trace_end_s: trace.end_time(),

@@ -16,6 +16,7 @@ pub mod figures;
 pub mod report;
 pub mod sanity;
 pub mod tables;
+pub mod tracedb;
 
 pub use analysis::{
     render_static_analysis, static_analysis, static_analysis_runs, StaticAnalysis,
@@ -36,3 +37,4 @@ pub use experiment::{
 pub use sanity::{
     measure_traced_checked, sanitize_run, sanitize_run_raw, workload_allowlist, SanitizedRun,
 };
+pub use tracedb::{trace_key, StoredTrace, TraceDb, TRACE_FORMAT};

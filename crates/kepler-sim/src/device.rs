@@ -30,6 +30,18 @@ pub fn devices_created() -> u64 {
     DEVICES_CREATED.load(Ordering::Relaxed)
 }
 
+/// Process-wide count of trace replays (one per
+/// [`crate::trace::TraceReplayDevice`] constructed). Deliberately separate
+/// from [`devices_created`]: a replay re-simulates timing/power without
+/// functional execution, so cache-hit witnesses must not see it as a
+/// simulation.
+static DEVICES_REPLAYED: AtomicU64 = AtomicU64::new(0);
+
+/// Total number of trace-replay devices constructed by this process so far.
+pub fn devices_replayed() -> u64 {
+    DEVICES_REPLAYED.load(Ordering::Relaxed)
+}
+
 /// Worker threads used to shard pre-executed launches; 0 means "one per
 /// available core". Set once at startup from `repro --jobs`.
 static EXEC_JOBS: AtomicUsize = AtomicUsize::new(0);
@@ -140,6 +152,8 @@ pub struct Device {
     /// Per-device execution strategy override; `None` follows the process
     /// default (`PreExec` with [`exec_jobs`] workers).
     exec: Option<ExecStrategy>,
+    /// Attached trace recorder (see [`crate::trace`]); purely passive.
+    recorder: Option<Arc<crate::trace::TraceRecorder>>,
 }
 
 /// Idle time recorded before the first kernel, seconds. Gives the
@@ -152,8 +166,21 @@ pub const LEAD_OUT_S: f64 = 3.0;
 pub const TAIL_DECAY_S: f64 = 0.5;
 
 impl Device {
-    pub fn new(mut cfg: DeviceConfig) -> Self {
+    pub fn new(cfg: DeviceConfig) -> Self {
         DEVICES_CREATED.fetch_add(1, Ordering::Relaxed);
+        Self::build(cfg)
+    }
+
+    /// Construct a device for trace replay: identical perturbation model and
+    /// RNG seeding to [`Device::new`] (so a replay under the same config and
+    /// jitter seed is bit-identical to a live run), but counted under
+    /// [`devices_replayed`] instead of [`devices_created`].
+    pub(crate) fn new_replay(cfg: DeviceConfig) -> Self {
+        DEVICES_REPLAYED.fetch_add(1, Ordering::Relaxed);
+        Self::build(cfg)
+    }
+
+    fn build(mut cfg: DeviceConfig) -> Self {
         // Run-to-run perturbations a real board shows between repetitions:
         // a small thermal drift of the dynamic power and a tiny effective
         // clock wobble. Seeded by jitter_seed so repetitions differ the way
@@ -202,7 +229,16 @@ impl Device {
             scratch: ExecScratch::default(),
             sched: SchedScratch::default(),
             exec: None,
+            recorder: None,
         }
+    }
+
+    /// Attach a trace recorder (see [`crate::trace::TraceRecorder`]). The
+    /// recorder observes launches and host gaps without perturbing
+    /// execution, RNG draws or results; launches that cannot take the
+    /// pre-execution path mark the recording ineligible.
+    pub fn set_trace_recorder(&mut self, rec: Arc<crate::trace::TraceRecorder>) {
+        self.recorder = Some(rec);
     }
 
     /// Override how `parallel_safe` launches execute on this device (the
@@ -450,6 +486,14 @@ impl Device {
             }
             _ => None,
         };
+        if let Some(rec) = &self.recorder {
+            match &effects {
+                Some((key, fx)) => {
+                    rec.record_launch(key, resources, &fx.costs, opts.work_multiplier)
+                }
+                None => rec.mark_ineligible(&name),
+            }
+        }
         let access = self.access.as_deref();
         if let Some(obs) = access {
             obs.observe(AccessEvent::LaunchBegin {
@@ -463,7 +507,7 @@ impl Device {
         }
         let mut counters = KernelCounters::default();
         let outcome = match &effects {
-            Some(fx) => run_launch_pooled(
+            Some((_, fx)) => run_launch_pooled(
                 &self.cfg,
                 &mut self.rng,
                 &mut self.trace,
@@ -548,7 +592,9 @@ impl Device {
     /// `None` means the launch cannot be pre-executed (some buffer's type
     /// has no dedicated slot variant, so the memory image can be neither
     /// fingerprinted nor cloned); the caller falls back to
-    /// exec-at-dispatch, which is always correct.
+    /// exec-at-dispatch, which is always correct. On success the launch's
+    /// identity key is returned alongside the effects so an attached trace
+    /// recorder can content-address the launch.
     fn pre_execute(
         &mut self,
         kernel: &dyn Kernel,
@@ -556,7 +602,7 @@ impl Device {
         grid: u32,
         block_threads: u32,
         jobs: usize,
-    ) -> Option<Arc<LaunchEffects>> {
+    ) -> Option<(LaunchKey, Arc<LaunchEffects>)> {
         let mem_fp = self.mem.fingerprint()?;
         let key = LaunchKey {
             kernel: name.to_string(),
@@ -567,7 +613,7 @@ impl Device {
         };
         if let Some(fx) = memo::lookup(&key) {
             self.mem.apply_slots(&fx.writes);
-            return Some(fx);
+            return Some((key, fx));
         }
         let jobs = jobs.clamp(1, grid as usize);
         let fx = if jobs == 1 {
@@ -645,8 +691,86 @@ impl Device {
             Arc::new(LaunchEffects { costs, writes })
         };
         self.mem.apply_slots(&fx.writes);
-        memo::insert(key, fx.clone());
-        Some(fx)
+        memo::insert(key.clone(), fx.clone());
+        Some((key, fx))
+    }
+
+    /// Re-simulate one recorded launch: the exact pipeline of
+    /// [`Device::launch_with`]'s pre-executed path — launch-overhead RNG
+    /// draw, gap segment, telemetry, fluid scheduling over the recorded
+    /// per-block costs — with no functional execution. Bit-identical to a
+    /// live launch with the same key under the same device state.
+    pub(crate) fn replay_launch(&mut self, lt: &crate::trace::LaunchTrace, work_multiplier: f64) {
+        let (grid, block_threads) = (lt.grid, lt.block_threads);
+        assert!(grid >= 1, "empty grid");
+        assert!(
+            (1..=1024).contains(&block_threads),
+            "block size must be 1..=1024"
+        );
+        assert_eq!(
+            lt.costs.len(),
+            grid as usize,
+            "trace cost stream covers the grid"
+        );
+        let gap_w = self.cfg.power.idle_w
+            + self.cfg.power.gap_overhead_w * self.cfg.clocks.core_vrel * self.cfg.clocks.core_vrel;
+        let overhead_start = self.trace.end_time();
+        let overhead = self.cfg.launch_overhead_s * (1.0 + self.rng.gen::<f64>() * 0.2);
+        self.trace.push(overhead, gap_w);
+
+        let start = self.trace.end_time();
+        let launch_id = self.launches.len() as u32;
+        if let Some(sink) = &self.telemetry {
+            sink.record(Event::BoardInterval {
+                t0: overhead_start,
+                t1: start,
+                watts: gap_w,
+                phase: BoardPhase::Gap,
+            });
+            sink.record(Event::KernelLaunch {
+                t: start,
+                launch: launch_id,
+                name: lt.kernel.clone(),
+                grid,
+                block_threads,
+            });
+        }
+        let resources = lt.resources;
+        let mut counters = KernelCounters::default();
+        let outcome = run_launch_pooled(
+            &self.cfg,
+            &mut self.rng,
+            &mut self.trace,
+            grid,
+            block_threads,
+            &resources,
+            work_multiplier,
+            launch_id,
+            self.telemetry.as_deref(),
+            |block_idx| {
+                let cost = lt.costs[block_idx as usize];
+                counters.add_block(&cost, work_multiplier);
+                cost
+            },
+            &mut self.sched,
+        );
+        if let Some(sink) = &self.telemetry {
+            sink.record(Event::KernelRetire {
+                t: self.trace.end_time(),
+                launch: launch_id,
+                duration_s: outcome.duration_s,
+                energy_j: outcome.energy_j,
+            });
+        }
+        self.launches.push(LaunchStats {
+            kernel: std::borrow::Cow::Owned(lt.kernel.clone()),
+            start_s: start,
+            duration_s: outcome.duration_s,
+            energy_j: outcome.energy_j,
+            grid,
+            block_threads,
+            counters,
+        });
     }
 
     /// Record host-side time between kernels (the driver keeps the GPU
@@ -654,6 +778,9 @@ impl Device {
     pub fn host_gap(&mut self, seconds: f64) {
         if seconds <= 0.0 {
             return;
+        }
+        if let Some(rec) = &self.recorder {
+            rec.record_gap(seconds);
         }
         let gap_w = self.cfg.power.idle_w
             + self.cfg.power.gap_overhead_w * self.cfg.clocks.core_vrel * self.cfg.clocks.core_vrel;

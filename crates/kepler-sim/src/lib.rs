@@ -57,6 +57,7 @@ mod memo;
 pub mod occupancy;
 pub mod ops;
 pub mod scheduler;
+pub mod trace;
 pub mod warp;
 
 /// Version tag of the simulator's timing/power model. Bump whenever a
@@ -71,6 +72,7 @@ pub use buffer::{DevBuffer, GlobalMem};
 pub use config::{ClockConfig, DeviceConfig, PowerParams};
 pub use counters::{KernelCounters, LaunchStats};
 pub use device::devices_created;
+pub use device::devices_replayed;
 pub use device::{exec_cache_stats, exec_jobs, reset_exec_cache, set_exec_jobs};
 pub use device::{Device, ExecStrategy, LaunchOpts};
 pub use footprint::{
@@ -80,6 +82,9 @@ pub use footprint::{
 pub use kernel::{Kernel, KernelResources, ParamKey};
 pub use occupancy::{occupancy_report, resident_blocks, Limiter, OccupancyReport};
 pub use ops::CompClass;
+pub use trace::{
+    decode_launch, encode_launch, LaunchTrace, RunTrace, TraceOp, TraceRecorder, TraceReplayDevice,
+};
 
 /// Structured-event observability layer (re-exported for convenience):
 /// attach a [`telemetry::TelemetrySink`] with [`Device::set_telemetry`] to

@@ -48,7 +48,7 @@ pub mod server;
 pub use api::{ApiError, ARTIFACT_NAMES, MAX_SWEEP_POINTS};
 pub use http::{Limits, Request, Response};
 pub use json::Json;
-pub use metrics::{Endpoint, Metrics};
+pub use metrics::{nearest_rank_ms, Endpoint, Metrics};
 pub use queue::{JobQueue, SubmitError};
 pub use server::{
     install_signal_handlers, signal_shutdown_requested, ServeState, Server, ServerConfig,

@@ -147,6 +147,27 @@ fn round3(v: f64) -> f64 {
     (v * 1e3).round() / 1e3
 }
 
+/// Exact nearest-rank percentile over a **sorted** latency sample,
+/// milliseconds: the value at rank `ceil(q * n)` (1-based, clamped to the
+/// sample). `None` on an empty sample.
+///
+/// This is the service's one exact-percentile definition; `loadgen`
+/// reports it over its recorded per-request latencies. The `/metrics`
+/// histogram cannot afford to retain raw samples, so
+/// [`Histogram::quantile_ms`] *approximates the same rank* by linear
+/// interpolation inside the fixed bucket that contains it — the two agree
+/// on which bucket owns the percentile and differ by at most that bucket's
+/// width (see `docs/SERVE.md`, "Percentile definitions", and the
+/// cross-check test below).
+pub fn nearest_rank_ms(sorted_ms: &[f64], q: f64) -> Option<f64> {
+    if sorted_ms.is_empty() {
+        return None;
+    }
+    let n = sorted_ms.len();
+    let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as usize).clamp(1, n);
+    Some(sorted_ms[rank - 1])
+}
+
 /// The endpoints the service distinguishes in metrics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Endpoint {
@@ -328,6 +349,54 @@ mod tests {
         let p99 = h.quantile_ms(0.99).unwrap();
         assert!(p99 >= 128_000.0, "p99 {p99} below the tail's lower bound");
         assert_eq!(p99, 200_000.0, "p99 must be the observed max");
+    }
+
+    /// The two percentile surfaces must agree up to bucket resolution:
+    /// for any sample and quantile, the histogram's interpolated estimate
+    /// lands in the *same bucket* as the exact nearest-rank value (they
+    /// share the rank definition `ceil(q*n)`), so they can never differ by
+    /// more than one bucket width — and the tail bucket reports the exact
+    /// observed max, where they agree exactly.
+    #[test]
+    fn histogram_quantile_brackets_nearest_rank() {
+        let bucket_of = |ms: f64| {
+            BUCKET_BOUNDS_MS
+                .iter()
+                .position(|&b| ms <= b)
+                .unwrap_or(BUCKET_BOUNDS_MS.len())
+        };
+        // A deliberately lumpy sample: dense floor, mid plateau, far tail.
+        let mut sample: Vec<f64> = Vec::new();
+        sample.extend((0..120).map(|i| 0.3 + 0.01 * i as f64));
+        sample.extend((0..40).map(|i| 30.0 + i as f64));
+        sample.extend([400.0, 900.0, 70_000.0, 200_000.0]);
+        let h = Histogram::default();
+        for &ms in &sample {
+            h.observe(Duration::from_secs_f64(ms / 1e3));
+        }
+        // Compare against the values the histogram actually observed:
+        // `Duration` quantizes to nanoseconds, which can nudge a sample
+        // sitting exactly on a bucket bound across it.
+        let mut sorted: Vec<f64> = sample
+            .iter()
+            .map(|&ms| Duration::from_secs_f64(ms / 1e3).as_secs_f64() * 1e3)
+            .collect();
+        sorted.sort_by(f64::total_cmp);
+        for q in [0.05, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let exact = nearest_rank_ms(&sorted, q).unwrap();
+            let approx = h.quantile_ms(q).unwrap();
+            assert_eq!(
+                bucket_of(exact),
+                bucket_of(approx),
+                "q={q}: exact {exact} and histogram {approx} in different buckets"
+            );
+        }
+        // In the unbounded tail both definitions are exact.
+        assert_eq!(h.quantile_ms(1.0), Some(200_000.0));
+        assert_eq!(nearest_rank_ms(&sorted, 1.0), Some(200_000.0));
+        // Empty samples agree on "no answer".
+        assert_eq!(nearest_rank_ms(&[], 0.5), None);
+        assert_eq!(Histogram::default().quantile_ms(0.5), None);
     }
 
     #[test]

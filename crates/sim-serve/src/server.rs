@@ -21,8 +21,8 @@ use sim_telemetry::{Event, FanoutSink, TelemetrySink};
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Service configuration.
@@ -36,6 +36,12 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// Campaign cache directory (`None`: in-process memo only).
     pub cache_dir: Option<PathBuf>,
+    /// Launch-trace database directory (`None`: no trace recording or
+    /// replay). When set, cold functional runs record launch traces and
+    /// later units — any clock/ECC configuration, any repetition — are
+    /// re-simulated from them without functional execution, which is what
+    /// lets `POST /v1/sweep` serve fine grids cheaply. See `docs/TRACE.md`.
+    pub trace_dir: Option<PathBuf>,
     /// Repetitions for `/v1/artifacts` when the request does not say —
     /// 3 keeps artifact bodies byte-identical to `repro` and the goldens.
     pub default_artifact_reps: u64,
@@ -53,6 +59,7 @@ impl Default for ServerConfig {
             workers: 2,
             queue_capacity: 64,
             cache_dir: None,
+            trace_dir: None,
             default_artifact_reps: 3,
             request_timeout: Duration::from_secs(300),
             limits: Limits::default(),
@@ -104,7 +111,12 @@ pub struct ServeState {
     default_artifact_reps: u64,
     started: Instant,
     draining: AtomicBool,
-    connections: AtomicUsize,
+    /// Live connection-handler count, guarded by a mutex (not an atomic)
+    /// so the drain in [`Server::run`] can *wait on* it: every decrement
+    /// signals `conn_done`, and the drain sleeps on the condvar instead of
+    /// polling the count on a timer.
+    connections: Mutex<usize>,
+    conn_done: Condvar,
     request_seq: AtomicU64,
 }
 
@@ -112,6 +124,18 @@ impl ServeState {
     /// Queue gauges for `/metrics` and tests.
     pub fn queue_depth(&self) -> usize {
         self.queue.depth()
+    }
+
+    fn connection_opened(&self) {
+        *self.connections.lock().unwrap() += 1;
+    }
+
+    fn connection_closed(&self) {
+        let mut live = self.connections.lock().unwrap();
+        *live -= 1;
+        if *live == 0 {
+            self.conn_done.notify_all();
+        }
     }
 
     /// The next request id: a monotone per-server sequence number. It is
@@ -203,6 +227,7 @@ impl Server {
         let campaign = Campaign::new(CampaignConfig {
             cache_dir: cfg.cache_dir.clone(),
             telemetry: Some(Arc::clone(&fanout) as Arc<dyn TelemetrySink>),
+            trace_dir: cfg.trace_dir.clone(),
         });
         let state = Arc::new(ServeState {
             campaign,
@@ -214,7 +239,8 @@ impl Server {
             default_artifact_reps: cfg.default_artifact_reps,
             started: Instant::now(),
             draining: AtomicBool::new(false),
-            connections: AtomicUsize::new(0),
+            connections: Mutex::new(0),
+            conn_done: Condvar::new(),
             request_seq: AtomicU64::new(0),
         });
         Ok(Server {
@@ -256,12 +282,12 @@ impl Server {
                 Ok((stream, _peer)) => {
                     idle_sleep_ms = 1;
                     let state = Arc::clone(&self.state);
-                    state.connections.fetch_add(1, Ordering::SeqCst);
+                    state.connection_opened();
                     std::thread::Builder::new()
                         .name("sim-serve-conn".to_string())
                         .spawn(move || {
                             handle_connection(&state, stream);
-                            state.connections.fetch_sub(1, Ordering::SeqCst);
+                            state.connection_closed();
                         })
                         .expect("spawn connection handler");
                 }
@@ -276,11 +302,24 @@ impl Server {
         // submissions see `Closed` and answer 503.
         self.state.draining.store(true, Ordering::SeqCst);
         self.state.queue.drain();
-        // Give in-flight connection threads (now at most waiting on the
-        // drained queue or writing responses) a bounded window to finish.
+        // Wait (bounded) for in-flight connection threads — now at most
+        // waiting on the drained queue or writing responses. Event-driven:
+        // each closing connection signals the condvar, so the drain returns
+        // the moment the last one finishes instead of discovering it on the
+        // next poll tick.
         let deadline = Instant::now() + Duration::from_secs(10);
-        while self.state.connections.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
-            std::thread::sleep(Duration::from_millis(10));
+        let mut live = self.state.connections.lock().unwrap();
+        while *live > 0 {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (g, _) = self
+                .state
+                .conn_done
+                .wait_timeout(live, deadline - now)
+                .unwrap();
+            live = g;
         }
     }
 }
@@ -698,6 +737,9 @@ pub fn metrics_body(state: &Arc<ServeState>) -> Json {
                 ("disk_corrupt", Json::num(stats.disk_corrupt as f64)),
                 ("in_flight", Json::num(stats.in_flight as f64)),
                 ("cached_errors", Json::num(stats.cached_errors as f64)),
+                ("trace_replays", Json::num(stats.trace_replays as f64)),
+                ("trace_stale", Json::num(stats.trace_stale as f64)),
+                ("trace_corrupt", Json::num(stats.trace_corrupt as f64)),
             ]),
         ),
         (
@@ -762,6 +804,9 @@ pub fn prometheus_body(state: &Arc<ServeState>) -> String {
         ("disk_stale", stats.disk_stale),
         ("disk_corrupt", stats.disk_corrupt),
         ("cached_errors", stats.cached_errors),
+        ("trace_replays", stats.trace_replays),
+        ("trace_stale", stats.trace_stale),
+        ("trace_corrupt", stats.trace_corrupt),
     ] {
         out.push_str(&format!(
             "simserve_campaign_runs_total{{outcome=\"{outcome}\"}} {v}\n"

@@ -623,3 +623,42 @@ fn shutdown_drains_and_stops_listening() {
             .unwrap_or(true);
     assert!(refused, "drained server must not answer new requests");
 }
+
+/// The drain is event-driven: with one connection still in flight when
+/// shutdown is requested, `Server::run` must return promptly after that
+/// connection finishes — it sleeps on a condvar the closing handler
+/// signals, never running out its 10 s fallback deadline.
+#[test]
+fn drain_latency_is_bounded_by_the_last_connection() {
+    let _guard = serial();
+    let mut srv = TestServer::boot(quick_config());
+    let addr = srv.addr;
+    assert_eq!(request(addr, "GET", "/healthz", None).status, 200);
+
+    // Park one connection mid-request: announce a body and never send it,
+    // so the handler sits in the body read until we hang up.
+    let mut parked = TcpStream::connect(addr).expect("connect");
+    write!(
+        parked,
+        "POST /v1/runs HTTP/1.1\r\nHost: x\r\nContent-Length: 64\r\n\r\n"
+    )
+    .expect("write partial request");
+    std::thread::sleep(Duration::from_millis(100)); // let it get accepted
+
+    // Request shutdown; the accept loop exits and the drain starts
+    // waiting on the parked connection.
+    srv.shutdown.store(true, Ordering::SeqCst);
+    std::thread::sleep(Duration::from_millis(200));
+
+    // Release the connection; the server must exit almost immediately.
+    drop(parked);
+    let t0 = Instant::now();
+    if let Some(h) = srv.handle.take() {
+        h.join().expect("server thread exits cleanly");
+    }
+    let drain = t0.elapsed();
+    assert!(
+        drain < Duration::from_secs(2),
+        "drain took {drain:?} after the last connection closed"
+    );
+}

@@ -17,7 +17,7 @@ fn scratch_dir(tag: &str) -> PathBuf {
 fn disk_campaign(dir: &Path) -> Campaign {
     Campaign::new(CampaignConfig {
         cache_dir: Some(dir.to_path_buf()),
-        telemetry: None,
+        ..CampaignConfig::default()
     })
 }
 
