@@ -2,10 +2,15 @@
 //!
 //! ```text
 //! serve [--addr A] [--workers N] [--queue N] [--cache-dir DIR | --no-cache]
-//!       [--trace-dir DIR] [--reps 1|3] [--timeout-s S]
+//!       [--trace-dir DIR] [--reps 1|3] [--timeout-s S] [--worker ADDR]...
 //!
 //! --addr A        bind address (default 127.0.0.1:8077; port 0 = ephemeral)
 //! --workers N     measurement worker threads (default 2)
+//! --worker ADDR   (repeatable) fan measurement units out to the `serve`
+//!                 process at ADDR; with one or more `--worker` flags this
+//!                 instance becomes a coordinator (see docs/DISTRIBUTED.md).
+//!                 Workers must share this instance's --cache-dir — results
+//!                 travel through the on-disk campaign cache, not the wire
 //! --queue N       pending-job capacity before load is shed (default 64)
 //! --cache-dir DIR campaign cache directory (default target/campaign-cache,
 //!                 shared with `repro` so a warm `repro` run pre-warms the
@@ -24,13 +29,14 @@
 //! admitted job to completion, join the workers, exit 0.
 
 use sim_serve::{install_signal_handlers, Server, ServerConfig};
+use std::net::ToSocketAddrs;
 use std::path::PathBuf;
 use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
         "usage: serve [--addr A] [--workers N] [--queue N] [--cache-dir DIR | --no-cache] \
-         [--trace-dir DIR] [--reps 1|3] [--timeout-s S]"
+         [--trace-dir DIR] [--reps 1|3] [--timeout-s S] [--worker ADDR]..."
     );
     std::process::exit(2);
 }
@@ -73,6 +79,14 @@ fn main() {
                 Some(s) if s > 0 => cfg.request_timeout = Duration::from_secs(s),
                 _ => usage(),
             },
+            "--worker" => match args
+                .next()
+                .and_then(|v| v.to_socket_addrs().ok())
+                .and_then(|mut it| it.next())
+            {
+                Some(addr) => cfg.dispatch.workers.push(addr),
+                None => usage(),
+            },
             _ => usage(),
         }
     }
@@ -86,7 +100,7 @@ fn main() {
         }
     };
     eprintln!(
-        "[serve] listening on {} | workers={} queue={} cache={} traces={} artifact_reps={}",
+        "[serve] listening on {} | workers={} queue={} cache={} traces={} artifact_reps={} dispatch_workers={}",
         server.local_addr(),
         cfg.workers,
         cfg.queue_capacity,
@@ -99,6 +113,7 @@ fn main() {
             .map(|p| p.display().to_string())
             .unwrap_or_else(|| "none".to_string()),
         cfg.default_artifact_reps,
+        cfg.dispatch.workers.len(),
     );
     server.run();
     eprintln!("[serve] drained, exiting");

@@ -84,6 +84,16 @@ pub struct RunRequest {
     pub rep: u64,
 }
 
+impl RunRequest {
+    /// The unit's canonical cache key — the same identity every cache
+    /// layer uses, and the partition key a dispatch coordinator shards
+    /// by (units with equal keys must land on the same worker so the
+    /// in-flight dedup can collapse them).
+    pub fn cache_key(&self) -> String {
+        canonical_key_parts(self.key, &self.input, self.config.name(), self.rep)
+    }
+}
+
 /// The artifacts whose data comes from the measurement matrix. Table 1 and
 /// Figure 1 are excluded on purpose: the inventory needs no measurements
 /// and the sample power profile uses its own fixed-seed run.
@@ -179,7 +189,7 @@ pub fn plan_artifacts(artifacts: &[Artifact], reps: u64) -> Vec<RunRequest> {
 
 /// Rep indices a `reps` request expands to: the paper's three repetitions,
 /// or the single rep-0 run in `--quick` mode.
-pub(crate) fn rep_indices(reps: u64) -> std::ops::Range<u64> {
+pub fn rep_indices(reps: u64) -> std::ops::Range<u64> {
     if reps >= 3 {
         0..3
     } else {
@@ -192,6 +202,14 @@ pub(crate) fn rep_indices(reps: u64) -> std::ops::Range<u64> {
 /// outdated entry is observed as stale rather than silently orphaned).
 /// `cfg_tag` is [`GpuConfigKind::name`] for the paper's named settings or
 /// [`SweepPoint::cache_tag`] for a sweep grid point.
+/// Public face of [`canonical_key_parts`]: the cache identity of one unit
+/// under an arbitrary configuration tag ([`GpuConfigKind::name`] or
+/// [`SweepPoint::cache_tag`]). Lets a coordinator compute partition keys
+/// for sweep units without executing anything.
+pub fn unit_cache_key(key: &str, input: &InputSpec, cfg_tag: &str, rep: u64) -> String {
+    canonical_key_parts(key, input, cfg_tag, rep)
+}
+
 fn canonical_key_parts(key: &str, input: &InputSpec, cfg_tag: &str, rep: u64) -> String {
     // The seed is derived from (key, input, rep), but it is part of the
     // paper's methodology, so it is folded into the identity explicitly:

@@ -5,8 +5,8 @@
 use crate::json::{self, Json};
 use characterize::analysis::render_static_analysis;
 use characterize::campaign::{
-    pareto_front, plan_artifacts, sweep_grid, Artifact, Campaign, SweepPoint, SWEEP_CORE_MHZ,
-    SWEEP_MEM_MHZ,
+    pareto_front, plan_artifacts, rep_indices, sweep_grid, unit_cache_key, Artifact, Campaign,
+    SweepPoint, SWEEP_CORE_MHZ, SWEEP_MEM_MHZ,
 };
 use characterize::energy::{energy_breakdown, sampling_error};
 use characterize::figures::{input_power_figure, power_profile, power_range_figure, ratio_figure};
@@ -557,6 +557,269 @@ pub fn workloads_response() -> Json {
     ])
 }
 
+// ---------------------------------------------------------------------------
+// Campaign units (`POST /v1/units`) — the coordinator/worker wire format
+// ---------------------------------------------------------------------------
+
+/// Maximum units one `/v1/units` request may carry — far above any chunk
+/// the dispatcher sends, small enough to bound one queue job.
+pub const MAX_UNITS_PER_REQUEST: usize = 512;
+
+/// The configuration of one campaign unit on the wire: a paper-named
+/// setting, or an exact sweep point.
+#[derive(Clone, Debug, PartialEq)]
+pub enum UnitConfig {
+    Named(GpuConfigKind),
+    Sweep(SweepPoint),
+}
+
+impl UnitConfig {
+    /// The cache-identity tag ([`GpuConfigKind::name`] /
+    /// [`SweepPoint::cache_tag`]).
+    fn cache_tag(&self) -> String {
+        match self {
+            UnitConfig::Named(c) => c.name().to_string(),
+            UnitConfig::Sweep(p) => p.cache_tag(),
+        }
+    }
+}
+
+/// One unit of campaign work, serializable for `/v1/units`: a single
+/// repetition of one workload input under one configuration. The worker
+/// executes it for its *side effect* — the result record landing in the
+/// shared on-disk campaign cache — so the coordinator can afterwards
+/// render any response locally, byte-identical to single-process serving.
+#[derive(Clone)]
+pub struct Unit {
+    pub bench: std::sync::Arc<dyn Benchmark>,
+    pub input: InputSpec,
+    pub config: UnitConfig,
+    pub rep: u64,
+}
+
+impl std::fmt::Debug for Unit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Unit")
+            .field("bench", &self.bench.spec().key)
+            .field("input", &self.input.name)
+            .field("config", &self.config)
+            .field("rep", &self.rep)
+            .finish()
+    }
+}
+
+impl Unit {
+    /// The unit's canonical cache key — what every cache layer uses and
+    /// what the dispatcher partitions by.
+    pub fn cache_key(&self) -> String {
+        unit_cache_key(
+            self.bench.spec().key,
+            &self.input,
+            &self.config.cache_tag(),
+            self.rep,
+        )
+    }
+
+    /// The wire form. Sweep clocks travel as hexadecimal f64 bit patterns
+    /// (`core_bits`/`mem_bits`), never as decimal text, so a unit's cache
+    /// identity survives the round-trip bit-exactly.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("workload", Json::str(self.bench.spec().key)),
+            ("input", Json::str(self.input.name)),
+            ("rep", Json::num(self.rep as f64)),
+        ];
+        match &self.config {
+            UnitConfig::Named(c) => fields.push(("config", Json::str(c.name()))),
+            UnitConfig::Sweep(p) => {
+                fields.push((
+                    "core_bits",
+                    Json::Str(format!("{:016x}", p.core_mhz.to_bits())),
+                ));
+                fields.push((
+                    "mem_bits",
+                    Json::Str(format!("{:016x}", p.mem_mhz.to_bits())),
+                ));
+            }
+        }
+        Json::obj(fields)
+    }
+
+    /// Execute the unit against a campaign. Measurement errors are a
+    /// *successful* execution (the structured error is now cached, which
+    /// is all the coordinator needs).
+    pub fn execute(&self, campaign: &Campaign) -> Result<(), PowerError> {
+        match &self.config {
+            UnitConfig::Named(c) => campaign
+                .run(self.bench.as_ref(), &self.input, *c, self.rep)
+                .map(|_| ()),
+            UnitConfig::Sweep(p) => campaign
+                .run_sweep_point(self.bench.as_ref(), &self.input, *p, self.rep)
+                .map(|_| ()),
+        }
+    }
+}
+
+/// The units behind one `/v1/runs` request.
+pub fn run_units(params: &RunParams) -> Vec<Unit> {
+    rep_indices(params.reps)
+        .map(|rep| Unit {
+            bench: std::sync::Arc::clone(&params.bench),
+            input: params.input.clone(),
+            config: UnitConfig::Named(params.config),
+            rep,
+        })
+        .collect()
+}
+
+/// The units behind one `/v1/sweep` request (grid × repetitions).
+pub fn sweep_units(params: &SweepParams) -> Vec<Unit> {
+    params
+        .grid
+        .iter()
+        .flat_map(|&p| rep_indices(params.reps).map(move |rep| (p, rep)))
+        .map(|(p, rep)| Unit {
+            bench: std::sync::Arc::clone(&params.bench),
+            input: params.input.clone(),
+            config: UnitConfig::Sweep(p),
+            rep,
+        })
+        .collect()
+}
+
+/// The deduplicated unit matrix behind one artifact, in plan order
+/// (empty for the measurement-free artifacts).
+pub fn artifact_units(name: &str, reps: u64) -> Vec<Unit> {
+    let Some(a) = Artifact::from_name(name) else {
+        return Vec::new();
+    };
+    plan_artifacts(&[a], reps)
+        .into_iter()
+        .filter_map(|r| {
+            registry::by_key(r.key).map(|b| Unit {
+                bench: std::sync::Arc::from(b),
+                input: r.input,
+                config: UnitConfig::Named(r.config),
+                rep: r.rep,
+            })
+        })
+        .collect()
+}
+
+/// Parse a `/v1/units` body: `{"units": [{...}, ...]}` with each unit in
+/// [`Unit::to_json`]'s wire form.
+pub fn parse_units_request(body: &[u8]) -> Result<Vec<Unit>, ApiError> {
+    let doc = parse_body(body)?;
+    let arr = doc
+        .get("units")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ApiError::new(400, "missing_field", "\"units\" (array) is required"))?;
+    if arr.len() > MAX_UNITS_PER_REQUEST {
+        return Err(ApiError::new(
+            400,
+            "too_many_units",
+            format!(
+                "{} units in one request; the limit is {MAX_UNITS_PER_REQUEST}",
+                arr.len()
+            ),
+        ));
+    }
+    arr.iter()
+        .map(|u| {
+            let bench = lookup_workload(u)?;
+            let input = lookup_input(bench.as_ref(), u)?;
+            let rep = u.get("rep").and_then(Json::as_u64).ok_or_else(|| {
+                ApiError::new(
+                    400,
+                    "missing_field",
+                    "\"rep\" (integer) is required per unit",
+                )
+            })?;
+            let config = match (u.get("config"), u.get("core_bits"), u.get("mem_bits")) {
+                (Some(c), None, None) => {
+                    let name = c.as_str().ok_or_else(|| {
+                        ApiError::new(400, "invalid_config", "\"config\" must be a string")
+                    })?;
+                    UnitConfig::Named(
+                        GpuConfigKind::ALL
+                            .into_iter()
+                            .find(|k| k.name().eq_ignore_ascii_case(name))
+                            .ok_or_else(|| {
+                                ApiError::new(
+                                    400,
+                                    "unknown_config",
+                                    format!("no configuration {name:?}"),
+                                )
+                            })?,
+                    )
+                }
+                (None, Some(c), Some(m)) => {
+                    let bits = |v: &Json, field: &str| {
+                        v.as_str()
+                            .and_then(|s| u64::from_str_radix(s, 16).ok())
+                            .map(f64::from_bits)
+                            .ok_or_else(|| {
+                                ApiError::new(
+                                    400,
+                                    "invalid_clock",
+                                    format!("\"{field}\" must be a 16-digit hex f64 bit pattern"),
+                                )
+                            })
+                    };
+                    let point = SweepPoint {
+                        core_mhz: bits(c, "core_bits")?,
+                        mem_mhz: bits(m, "mem_bits")?,
+                    };
+                    if !point.is_valid() {
+                        return Err(ApiError::new(
+                            400,
+                            "invalid_clock",
+                            format!(
+                                "sweep point ({}, {}) outside the driver range",
+                                point.core_mhz, point.mem_mhz
+                            ),
+                        ));
+                    }
+                    UnitConfig::Sweep(point)
+                }
+                _ => {
+                    return Err(ApiError::new(
+                        400,
+                        "invalid_unit",
+                        "each unit needs either \"config\" or both \"core_bits\" and \"mem_bits\"",
+                    ))
+                }
+            };
+            Ok(Unit {
+                bench,
+                input,
+                config,
+                rep,
+            })
+        })
+        .collect()
+}
+
+/// Execute a `/v1/units` chunk. Every unit is resolved through the shared
+/// campaign (memo → disk → trace replay → simulate, in-flight dedup
+/// included); measurement errors count as executed — their structured
+/// form is cached, which is the worker's whole contract.
+pub fn units_response(campaign: &Campaign, units: &[Unit]) -> Json {
+    let mut ok = 0usize;
+    let mut unmeasurable = 0usize;
+    for u in units {
+        match u.execute(campaign) {
+            Ok(()) => ok += 1,
+            Err(_) => unmeasurable += 1,
+        }
+    }
+    Json::obj([
+        ("executed", Json::num(units.len() as f64)),
+        ("ok", Json::num(ok as f64)),
+        ("unmeasurable", Json::num(unmeasurable as f64)),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -665,6 +928,50 @@ mod tests {
         let items = doc.get("workloads").unwrap().as_arr().unwrap();
         assert_eq!(items.len(), registry::all().len());
         assert_eq!(doc.get("configs").unwrap().as_arr().unwrap().len(), 4);
+    }
+
+    /// The wire form preserves cache identity bit-exactly: planner units
+    /// serialized, re-parsed, and re-keyed must match — including a sweep
+    /// clock that has no finite decimal representation.
+    #[test]
+    fn unit_wire_round_trip_preserves_cache_keys() {
+        let sweep = parse_sweep_request(
+            br#"{"workload": "sgemm", "core_mhz": [614, 705.1], "mem_mhz": [2600], "reps": 3}"#,
+        )
+        .unwrap();
+        let mut units = sweep_units(&sweep);
+        let run =
+            parse_run_request(br#"{"workload": "sten", "config": "ecc", "reps": 1}"#).unwrap();
+        units.extend(run_units(&run));
+        assert_eq!(units.len(), 2 * 3 + 1);
+        let body = Json::obj([(
+            "units",
+            Json::Arr(units.iter().map(Unit::to_json).collect()),
+        )])
+        .dump();
+        let parsed = parse_units_request(body.as_bytes()).unwrap();
+        assert_eq!(parsed.len(), units.len());
+        for (a, b) in units.iter().zip(&parsed) {
+            assert_eq!(a.cache_key(), b.cache_key());
+        }
+    }
+
+    #[test]
+    fn units_request_validation() {
+        let e = parse_units_request(br#"{}"#).unwrap_err();
+        assert_eq!(e.code, "missing_field");
+        let e =
+            parse_units_request(br#"{"units": [{"workload": "sgemm", "rep": 0}]}"#).unwrap_err();
+        assert_eq!(e.code, "invalid_unit");
+        let e = parse_units_request(
+            br#"{"units": [{"workload": "sgemm", "rep": 0, "core_bits": "xyz", "mem_bits": "0"}]}"#,
+        )
+        .unwrap_err();
+        assert_eq!(e.code, "invalid_clock");
+        // Artifact planning exposes a non-empty keyed matrix.
+        let plan = artifact_units("table4", 1);
+        assert!(!plan.is_empty());
+        assert!(plan[0].cache_key().contains("|cfg="));
     }
 
     /// End-to-end through the campaign: a real run response with the

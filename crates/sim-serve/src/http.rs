@@ -2,10 +2,12 @@
 //! fixed-length responses, and chunked transfer encoding for NDJSON
 //! streams.
 //!
-//! The server speaks a deliberately small subset: one request per
-//! connection (`Connection: close` on every response), no compression, no
-//! multipart. Limits are enforced *while reading*, so an oversized or
-//! trickling client is rejected without buffering its payload.
+//! The server speaks a deliberately small subset: HTTP/1.1 persistent
+//! connections with `Content-Length`-framed responses (clients may
+//! pipeline requests; each is answered in order), `Connection: close`
+//! honored on request, no compression, no multipart. Limits are enforced
+//! *while reading*, so an oversized or trickling client is rejected
+//! without buffering its payload.
 
 use std::io::{self, BufRead, Write};
 
@@ -57,6 +59,13 @@ impl Request {
             .iter()
             .find(|(k, _)| k == name)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked for the connection to close after this
+    /// request (`Connection: close`). HTTP/1.1 defaults to persistent.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.split(',').any(|t| t.trim().eq_ignore_ascii_case("close")))
     }
 }
 
@@ -238,16 +247,22 @@ impl Response {
     }
 }
 
-/// Write a fixed-length response. Always closes the connection afterwards
-/// (`Connection: close`).
-pub fn write_response(w: &mut impl Write, resp: &Response) -> io::Result<()> {
+/// Write a fixed-length response. `keep_alive` selects the connection
+/// disposition header: persistent (`keep-alive`) or `close` — the caller
+/// owns the decision (client preference, drain state, error paths).
+pub fn write_response_conn(
+    w: &mut impl Write,
+    resp: &Response,
+    keep_alive: bool,
+) -> io::Result<()> {
     write!(
         w,
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         resp.status,
         status_text(resp.status),
         resp.content_type,
-        resp.body.len()
+        resp.body.len(),
+        if keep_alive { "keep-alive" } else { "close" }
     )?;
     for (name, value) in &resp.extra_headers {
         write!(w, "{name}: {value}\r\n")?;
@@ -255,6 +270,13 @@ pub fn write_response(w: &mut impl Write, resp: &Response) -> io::Result<()> {
     w.write_all(b"\r\n")?;
     w.write_all(&resp.body)?;
     w.flush()
+}
+
+/// Write a fixed-length response and close the connection afterwards
+/// (`Connection: close`) — the one-shot convenience over
+/// [`write_response_conn`].
+pub fn write_response(w: &mut impl Write, resp: &Response) -> io::Result<()> {
+    write_response_conn(w, resp, false)
 }
 
 /// A chunked (streaming) response in progress. Each [`chunk`] flushes one
@@ -379,6 +401,42 @@ mod tests {
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.contains("Retry-After: 1\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn keep_alive_response_and_close_negotiation() {
+        let mut out = Vec::new();
+        write_response_conn(&mut out, &Response::json(200, "{}".into()), true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+
+        let close = parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(close.wants_close());
+        let keep = parse("GET / HTTP/1.1\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(!keep.wants_close());
+        let default = parse("GET / HTTP/1.1\r\n\r\n").unwrap();
+        assert!(!default.wants_close());
+        let listed = parse("GET / HTTP/1.1\r\nConnection: TE, Close\r\n\r\n").unwrap();
+        assert!(listed.wants_close());
+    }
+
+    /// Two pipelined requests parse back-to-back from one stream: the body
+    /// read of the first leaves the reader exactly at the second.
+    #[test]
+    fn pipelined_requests_parse_in_sequence() {
+        let raw = "POST /v1/runs HTTP/1.1\r\nContent-Length: 2\r\n\r\nab\
+                   GET /healthz HTTP/1.1\r\n\r\n";
+        let mut r = BufReader::new(raw.as_bytes());
+        let first = read_request(&mut r, &Limits::default()).unwrap();
+        assert_eq!(first.path, "/v1/runs");
+        assert_eq!(first.body, b"ab");
+        let second = read_request(&mut r, &Limits::default()).unwrap();
+        assert_eq!(second.path, "/healthz");
+        assert!(matches!(
+            read_request(&mut r, &Limits::default()),
+            Err(ReadError::Closed)
+        ));
     }
 
     #[test]

@@ -39,6 +39,8 @@
 //! [`Campaign`]: characterize::campaign::Campaign
 
 pub mod api;
+pub mod client;
+pub mod dispatch;
 pub mod http;
 pub mod json;
 pub mod metrics;
@@ -46,6 +48,8 @@ pub mod queue;
 pub mod server;
 
 pub use api::{ApiError, ARTIFACT_NAMES, MAX_SWEEP_POINTS};
+pub use client::{ClientResponse, ClientStats, HttpClient};
+pub use dispatch::{hrw_owner, DispatchConfig, Dispatcher};
 pub use http::{Limits, Request, Response};
 pub use json::Json;
 pub use metrics::{nearest_rank_ms, Endpoint, Metrics};

@@ -173,6 +173,7 @@ pub fn nearest_rank_ms(sorted_ms: &[f64], q: f64) -> Option<f64> {
 pub enum Endpoint {
     Runs,
     Sweep,
+    Units,
     Artifacts,
     Healthz,
     Metrics,
@@ -180,9 +181,10 @@ pub enum Endpoint {
 }
 
 impl Endpoint {
-    pub const ALL: [Endpoint; 6] = [
+    pub const ALL: [Endpoint; 7] = [
         Endpoint::Runs,
         Endpoint::Sweep,
+        Endpoint::Units,
         Endpoint::Artifacts,
         Endpoint::Healthz,
         Endpoint::Metrics,
@@ -193,6 +195,7 @@ impl Endpoint {
         match self {
             Endpoint::Runs => "POST /v1/runs",
             Endpoint::Sweep => "POST /v1/sweep",
+            Endpoint::Units => "POST /v1/units",
             Endpoint::Artifacts => "GET /v1/artifacts",
             Endpoint::Healthz => "GET /healthz",
             Endpoint::Metrics => "GET /metrics",

@@ -2,16 +2,20 @@
 //! progress streaming, and graceful drain.
 //!
 //! Threading model: one acceptor (the caller of [`Server::run`]), one
-//! short-lived thread per connection, and the fixed [`JobQueue`] worker
-//! pool. Connection threads only parse/validate and wait; every call that
-//! can touch the simulator runs on a queue worker, so the queue capacity
-//! is the service's single admission-control knob. Identical concurrent
-//! requests all enter the queue but the [`Campaign`] underneath collapses
-//! them onto one simulation via its in-flight dedup.
+//! thread per connection serving as many requests as the client pipelines
+//! over it (HTTP/1.1 keep-alive; `Connection: close`, streamed responses,
+//! parse errors, and drain all end the connection), and the fixed
+//! [`JobQueue`] worker pool. Connection threads only parse/validate and
+//! wait; every call that can touch the simulator runs on a queue worker,
+//! so the queue capacity is the service's single admission-control knob.
+//! Identical concurrent requests all enter the queue but the [`Campaign`]
+//! underneath collapses them onto one simulation via its in-flight dedup.
 
 use crate::api::{self, ApiError};
+use crate::dispatch::{DispatchConfig, Dispatcher};
 use crate::http::{
-    read_request, write_response, ChunkedResponse, Limits, ReadError, Request, Response,
+    read_request, write_response, write_response_conn, ChunkedResponse, Limits, ReadError, Request,
+    Response,
 };
 use crate::json::Json;
 use crate::metrics::{Endpoint, Metrics};
@@ -48,8 +52,15 @@ pub struct ServerConfig {
     /// Wall-clock budget for one queued job (`504` after; the job keeps
     /// running and its result lands in the cache).
     pub request_timeout: Duration,
+    /// How long a keep-alive connection may sit idle between requests
+    /// before the server closes it.
+    pub keepalive_idle: Duration,
     /// Read limits for one request.
     pub limits: Limits,
+    /// Worker addresses for coordinator mode (empty: serve everything in
+    /// this process). Workers must share this server's `cache_dir` — the
+    /// disk cache is the distributed result store (docs/DISTRIBUTED.md).
+    pub dispatch: DispatchConfig,
 }
 
 impl Default for ServerConfig {
@@ -62,7 +73,9 @@ impl Default for ServerConfig {
             trace_dir: None,
             default_artifact_reps: 3,
             request_timeout: Duration::from_secs(300),
+            keepalive_idle: Duration::from_secs(10),
             limits: Limits::default(),
+            dispatch: DispatchConfig::default(),
         }
     }
 }
@@ -105,9 +118,12 @@ pub struct ServeState {
     pub campaign: Campaign,
     pub fanout: Arc<FanoutSink>,
     pub metrics: Metrics,
+    /// Coordinator-mode dispatcher (`None` when serving single-process).
+    pub dispatch: Option<Dispatcher>,
     queue: JobQueue,
     limits: Limits,
     request_timeout: Duration,
+    keepalive_idle: Duration,
     default_artifact_reps: u64,
     started: Instant,
     draining: AtomicBool,
@@ -233,9 +249,15 @@ impl Server {
             campaign,
             fanout,
             metrics: Metrics::new(),
+            dispatch: if cfg.dispatch.workers.is_empty() {
+                None
+            } else {
+                Some(Dispatcher::new(cfg.dispatch.clone()))
+            },
             queue: JobQueue::new(cfg.queue_capacity, cfg.workers),
             limits: cfg.limits,
             request_timeout: cfg.request_timeout,
+            keepalive_idle: cfg.keepalive_idle,
             default_artifact_reps: cfg.default_artifact_reps,
             started: Instant::now(),
             draining: AtomicBool::new(false),
@@ -326,10 +348,54 @@ impl Server {
 
 // -- connection handling ----------------------------------------------------
 
+/// Why the between-requests idle wait ended.
+enum IdleOutcome {
+    /// Bytes are buffered (or just arrived): parse the next request.
+    Data,
+    /// EOF, idle timeout, drain, or a socket error: close silently.
+    Close,
+}
+
+/// Wait for the next pipelined request on a keep-alive connection.
+///
+/// Polls `fill_buf` in short read-timeout slices so an idle connection
+/// notices a drain within one slice instead of holding the drain hostage
+/// for the full idle budget. Already-buffered bytes (a pipelined request)
+/// return immediately without touching the socket.
+fn await_next_request(
+    state: &Arc<ServeState>,
+    reader: &mut BufReader<TcpStream>,
+    idle_budget: Duration,
+) -> IdleOutcome {
+    use std::io::BufRead;
+    const POLL_SLICE: Duration = Duration::from_millis(250);
+    let deadline = Instant::now() + idle_budget;
+    loop {
+        if state.draining.load(Ordering::SeqCst) {
+            return IdleOutcome::Close;
+        }
+        let _ = reader.get_ref().set_read_timeout(Some(POLL_SLICE));
+        match reader.fill_buf() {
+            Ok([]) => return IdleOutcome::Close, // clean EOF
+            Ok(_) => return IdleOutcome::Data,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if Instant::now() >= deadline {
+                    return IdleOutcome::Close;
+                }
+            }
+            Err(_) => return IdleOutcome::Close,
+        }
+    }
+}
+
 fn handle_connection(state: &Arc<ServeState>, stream: TcpStream) {
     // Accepted sockets must be blocking regardless of the listener's mode.
     let _ = stream.set_nonblocking(false);
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
     let reader_stream = match stream.try_clone() {
         Ok(s) => s,
@@ -337,29 +403,52 @@ fn handle_connection(state: &Arc<ServeState>, stream: TcpStream) {
     };
     let mut reader = BufReader::new(reader_stream);
     let mut writer = BufWriter::new(stream);
-    let t0 = Instant::now();
-    let rid = state.next_request_id();
-    match read_request(&mut reader, &state.limits) {
-        Err(ReadError::Closed) => {}
-        Err(ReadError::Io(_)) => {
-            let _ = write_response(
-                &mut writer,
-                &error_response(408, "request_timeout", "timed out reading the request")
-                    .with_header("X-Request-Id", rid.clone()),
-            );
-            state.metrics.observe(Endpoint::Other, 408, t0.elapsed());
-            log_access(&rid, "-", "-", 408, t0);
+    // Keep-alive loop: serve requests until the client closes, asks for
+    // `Connection: close`, idles out, errors, or the server drains.
+    loop {
+        match await_next_request(state, &mut reader, state.keepalive_idle) {
+            IdleOutcome::Data => {}
+            IdleOutcome::Close => return,
         }
-        Err(ReadError::Bad { status, message }) => {
-            let _ = write_response(
-                &mut writer,
-                &error_response(status, "bad_request", message)
-                    .with_header("X-Request-Id", rid.clone()),
-            );
-            state.metrics.observe(Endpoint::Other, status, t0.elapsed());
-            log_access(&rid, "-", "-", status, t0);
+        // A request has started arriving: give the rest of it a firm
+        // deadline so a stalled sender cannot park the thread.
+        let _ = reader
+            .get_ref()
+            .set_read_timeout(Some(Duration::from_secs(10)));
+        let t0 = Instant::now();
+        let rid = state.next_request_id();
+        match read_request(&mut reader, &state.limits) {
+            Err(ReadError::Closed) => return,
+            Err(ReadError::Io(_)) => {
+                let _ = write_response(
+                    &mut writer,
+                    &error_response(408, "request_timeout", "timed out reading the request")
+                        .with_header("X-Request-Id", rid.clone()),
+                );
+                state.metrics.observe(Endpoint::Other, 408, t0.elapsed());
+                log_access(&rid, "-", "-", 408, t0);
+                return;
+            }
+            Err(ReadError::Bad { status, message }) => {
+                let _ = write_response(
+                    &mut writer,
+                    &error_response(status, "bad_request", message)
+                        .with_header("X-Request-Id", rid.clone()),
+                );
+                state.metrics.observe(Endpoint::Other, status, t0.elapsed());
+                log_access(&rid, "-", "-", status, t0);
+                return;
+            }
+            Ok(req) => {
+                // Framing errors close above, so persistence is purely the
+                // client's call — unless we are draining, in which case the
+                // response carries `Connection: close` and we hang up.
+                let keep = !req.wants_close() && !state.draining.load(Ordering::SeqCst);
+                if !dispatch(state, &req, &mut writer, t0, &rid, keep) {
+                    return;
+                }
+            }
         }
-        Ok(req) => dispatch(state, &req, &mut writer, t0, &rid),
     }
 }
 
@@ -367,6 +456,7 @@ fn endpoint_of(req: &Request) -> Endpoint {
     match (req.method.as_str(), req.path.as_str()) {
         (_, "/v1/runs") => Endpoint::Runs,
         (_, "/v1/sweep") => Endpoint::Sweep,
+        (_, "/v1/units") => Endpoint::Units,
         (_, p) if p == "/v1/artifacts" || p.starts_with("/v1/artifacts/") => Endpoint::Artifacts,
         (_, "/healthz") => Endpoint::Healthz,
         (_, "/metrics") => Endpoint::Metrics,
@@ -378,13 +468,17 @@ fn wants_stream(req: &Request) -> bool {
     matches!(req.query_param("stream"), Some("1") | Some("true"))
 }
 
+/// Route one parsed request and write its response. Returns whether the
+/// connection stays open for another request (`keep` was honored): fixed
+/// responses honor it; streamed (chunked) responses always close.
 fn dispatch(
     state: &Arc<ServeState>,
     req: &Request,
     writer: &mut impl std::io::Write,
     t0: Instant,
     rid: &str,
-) {
+    keep: bool,
+) -> bool {
     let endpoint = endpoint_of(req);
     // The cheap, never-queued endpoints answer inline even mid-drain.
     let inline: Option<Response> = match (req.method.as_str(), req.path.as_str()) {
@@ -408,7 +502,7 @@ fn dispatch(
             )])
             .dump(),
         )),
-        ("GET", "/v1/runs") | ("GET", "/v1/sweep") => Some(
+        ("GET", "/v1/runs") | ("GET", "/v1/sweep") | ("GET", "/v1/units") => Some(
             error_response(405, "method_not_allowed", "use POST")
                 .with_header("Allow", "POST".to_string()),
         ),
@@ -416,7 +510,7 @@ fn dispatch(
             error_response(405, "method_not_allowed", "use GET")
                 .with_header("Allow", "GET".to_string()),
         ),
-        ("POST", "/v1/runs") | ("POST", "/v1/sweep") => None,
+        ("POST", "/v1/runs") | ("POST", "/v1/sweep") | ("POST", "/v1/units") => None,
         ("GET", p) if p.starts_with("/v1/artifacts/") => None,
         _ => Some(error_response(
             404,
@@ -427,10 +521,10 @@ fn dispatch(
     if let Some(resp) = inline {
         let resp = resp.with_header("X-Request-Id", rid.to_string());
         let status = resp.status;
-        let _ = write_response(writer, &resp);
+        let ok = write_response_conn(writer, &resp, keep).is_ok();
         state.metrics.observe(endpoint, status, t0.elapsed());
         log_access(rid, &req.method, &req.path, status, t0);
-        return;
+        return keep && ok;
     }
 
     // Queued endpoints: validate inline (cheap, shed bad input before it
@@ -438,14 +532,16 @@ fn dispatch(
     let job: MeasurementJob = match build_job(state, req) {
         Ok(job) => job,
         Err(e) => {
-            let _ = write_response(
+            let ok = write_response_conn(
                 writer,
                 &Response::json(e.status, e.body().dump())
                     .with_header("X-Request-Id", rid.to_string()),
-            );
+                keep,
+            )
+            .is_ok();
             state.metrics.observe(endpoint, e.status, t0.elapsed());
             log_access(rid, &req.method, &req.path, e.status, t0);
-            return;
+            return keep && ok;
         }
     };
 
@@ -453,6 +549,8 @@ fn dispatch(
         let status = run_streaming(state, job, writer, rid);
         state.metrics.observe(endpoint, status, t0.elapsed());
         log_access(rid, &req.method, &req.path, status, t0);
+        // Streamed responses are `Connection: close` by construction.
+        false
     } else {
         let mut resp = run_queued(state, job)
             .into_response()
@@ -461,9 +559,10 @@ fn dispatch(
             resp = resp.with_header("Retry-After", "1".to_string());
         }
         let status = resp.status;
-        let _ = write_response(writer, &resp);
+        let ok = write_response_conn(writer, &resp, keep).is_ok();
         state.metrics.observe(endpoint, status, t0.elapsed());
         log_access(rid, &req.method, &req.path, status, t0);
+        keep && ok
     }
 }
 
@@ -481,9 +580,16 @@ fn wants_prometheus(req: &Request) -> bool {
 /// Parse + validate one queued request into its worker-side job.
 fn build_job(state: &Arc<ServeState>, req: &Request) -> Result<MeasurementJob, ApiError> {
     match (req.method.as_str(), req.path.as_str()) {
+        // In coordinator mode each job first fans its unit matrix out to
+        // the workers (shared-cache side effects), then renders locally
+        // from the warm cache — the render path is the single-process one,
+        // so responses are byte-identical either way.
         ("POST", "/v1/runs") => {
             let params = api::parse_run_request(&req.body)?;
             Ok(Box::new(move |st: &ServeState| {
+                if let Some(d) = &st.dispatch {
+                    d.execute(&api::run_units(&params), &st.campaign);
+                }
                 match api::run_response(&st.campaign, &params) {
                     Ok(body) => JobReply::Json(200, body),
                     Err(e) => api_error_reply(&e),
@@ -493,7 +599,16 @@ fn build_job(state: &Arc<ServeState>, req: &Request) -> Result<MeasurementJob, A
         ("POST", "/v1/sweep") => {
             let params = api::parse_sweep_request(&req.body)?;
             Ok(Box::new(move |st: &ServeState| {
+                if let Some(d) = &st.dispatch {
+                    d.execute(&api::sweep_units(&params), &st.campaign);
+                }
                 JobReply::Json(200, api::sweep_response(&st.campaign, &params))
+            }))
+        }
+        ("POST", "/v1/units") => {
+            let units = api::parse_units_request(&req.body)?;
+            Ok(Box::new(move |st: &ServeState| {
+                JobReply::Json(200, api::units_response(&st.campaign, &units))
             }))
         }
         ("GET", path) => {
@@ -522,6 +637,9 @@ fn build_job(state: &Arc<ServeState>, req: &Request) -> Result<MeasurementJob, A
                 ));
             }
             Ok(Box::new(move |st: &ServeState| {
+                if let Some(d) = &st.dispatch {
+                    d.execute(&api::artifact_units(&name, reps), &st.campaign);
+                }
                 match api::artifact_text(&st.campaign, &name, reps) {
                     Ok(text) => JobReply::Text(200, text),
                     Err(e) => api_error_reply(&e),
@@ -665,7 +783,26 @@ fn run_streaming(
             }
         }
         match rx.recv_timeout(Duration::from_millis(50)) {
-            Ok(reply) => break reply.into_stream_line(rid),
+            Ok(reply) => {
+                // Drain progress that raced the result (a fast job can
+                // finish inside the first recv window) so the stream still
+                // shows its progress lines before the terminal `result`.
+                for ev in sub.try_iter() {
+                    if let Event::CampaignProgress { done, total, .. } = ev {
+                        let line = Json::obj([
+                            ("event", Json::str("progress")),
+                            ("id", Json::str(rid)),
+                            ("done", Json::num(done as f64)),
+                            ("total", Json::num(total as f64)),
+                        ])
+                        .dump();
+                        if chunked.chunk(format!("{line}\n").as_bytes()).is_err() {
+                            return 200;
+                        }
+                    }
+                }
+                break reply.into_stream_line(rid);
+            }
             Err(mpsc::RecvTimeoutError::Timeout) => {
                 if Instant::now() >= deadline {
                     break JobReply::Json(
@@ -709,11 +846,12 @@ fn healthz(state: &Arc<ServeState>) -> Response {
     )
 }
 
-/// The `/metrics` document: queue gauges, campaign cache counters, stream
-/// subscriber count, and per-endpoint HTTP latency histograms.
+/// The `/metrics` document: queue gauges, campaign cache counters, process
+/// simulation witnesses, dispatch fan-out counters (coordinator mode),
+/// stream subscriber count, and per-endpoint HTTP latency histograms.
 pub fn metrics_body(state: &Arc<ServeState>) -> Json {
     let stats = state.campaign.stats();
-    Json::obj([
+    let mut doc = Json::obj([
         (
             "uptime_s",
             Json::num((state.started.elapsed().as_secs_f64() * 1e3).round() / 1e3),
@@ -743,11 +881,30 @@ pub fn metrics_body(state: &Arc<ServeState>) -> Json {
             ]),
         ),
         (
+            "process",
+            Json::obj([
+                (
+                    "devices_created",
+                    Json::num(kepler_sim::devices_created() as f64),
+                ),
+                (
+                    "devices_replayed",
+                    Json::num(kepler_sim::devices_replayed() as f64),
+                ),
+            ]),
+        ),
+        (
             "stream_subscribers",
             Json::num(state.fanout.subscriber_count() as f64),
         ),
         ("http", state.metrics.to_json()),
-    ])
+    ]);
+    if let Some(d) = &state.dispatch {
+        if let Json::Obj(fields) = &mut doc {
+            fields.push(("dispatch".to_string(), d.counters.to_json()));
+        }
+    }
+    doc
 }
 
 fn push_gauge(out: &mut String, name: &str, help: &str, v: f64) {
@@ -818,12 +975,38 @@ pub fn prometheus_body(state: &Arc<ServeState>) -> String {
         "Run units currently simulating.",
         stats.in_flight as f64,
     );
+    out.push_str(concat!(
+        "# HELP simserve_devices_total Simulator devices constructed in this process, ",
+        "by kind — the per-process simulation-count witness the cross-node dedup ",
+        "tests sum over workers.\n",
+        "# TYPE simserve_devices_total counter\n",
+    ));
+    for (kind, v) in [
+        ("created", kepler_sim::devices_created()),
+        ("replayed", kepler_sim::devices_replayed()),
+    ] {
+        out.push_str(&format!("simserve_devices_total{{kind=\"{kind}\"}} {v}\n"));
+    }
     push_gauge(
         &mut out,
         "simserve_stream_subscribers",
         "Live NDJSON progress subscribers.",
         state.fanout.subscriber_count() as f64,
     );
+    if let Some(d) = &state.dispatch {
+        out.push_str(concat!(
+            "# HELP simserve_dispatch_total Coordinator fan-out events by kind.\n",
+            "# TYPE simserve_dispatch_total counter\n",
+        ));
+        if let Json::Obj(fields) = d.counters.to_json() {
+            for (kind, v) in fields {
+                out.push_str(&format!(
+                    "simserve_dispatch_total{{kind=\"{kind}\"}} {}\n",
+                    v.as_f64().unwrap_or(0.0)
+                ));
+            }
+        }
+    }
     state.metrics.to_prometheus(&mut out);
     out
 }

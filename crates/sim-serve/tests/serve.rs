@@ -83,8 +83,9 @@ impl Reply {
     }
 }
 
-/// One full request/response over a fresh connection (the server speaks
-/// `Connection: close`, so EOF delimits the response).
+/// One full request/response over a fresh connection. Asks for
+/// `Connection: close` so EOF delimits the response (the server now keeps
+/// connections alive by default).
 fn request(addr: SocketAddr, method: &str, target: &str, body: Option<&str>) -> Reply {
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream
@@ -93,7 +94,8 @@ fn request(addr: SocketAddr, method: &str, target: &str, body: Option<&str>) -> 
     let body = body.unwrap_or("");
     write!(
         stream,
-        "{method} {target} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n{body}",
+        "{method} {target} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\
+         Content-Length: {}\r\n\r\n{body}",
         body.len()
     )
     .expect("write request");
@@ -422,7 +424,7 @@ fn metrics_content_negotiation_and_request_ids() {
         .unwrap();
     write!(
         stream,
-        "GET /metrics HTTP/1.1\r\nHost: x\r\nAccept: text/plain\r\n\r\n"
+        "GET /metrics HTTP/1.1\r\nHost: x\r\nAccept: text/plain\r\nConnection: close\r\n\r\n"
     )
     .unwrap();
     let mut raw = Vec::new();
@@ -487,6 +489,89 @@ fn full_queue_sheds_load_with_retry_after() {
         Some("queue_full")
     );
     // The admitted pair still completes normally.
+    assert_eq!(first.join().unwrap().status, 200);
+    assert_eq!(second.join().unwrap().status, 200);
+    srv.stop();
+}
+
+/// One TCP connection serves many requests: a keep-alive client issues a
+/// mix of inline (healthz, metrics) and queued (runs) requests over a
+/// single dial, and the server answers each with `Connection: keep-alive`
+/// until the client stops.
+#[test]
+fn keep_alive_serves_many_requests_on_one_connection() {
+    let _guard = serial();
+    let mut srv = TestServer::boot(quick_config());
+    let mut client = sim_serve::HttpClient::new(srv.addr);
+    for _ in 0..3 {
+        let h = client.request("GET", "/healthz", b"").expect("healthz");
+        assert_eq!(h.status, 200);
+        assert_eq!(h.header("connection"), Some("keep-alive"));
+    }
+    let run = client
+        .request("POST", "/v1/runs", br#"{"workload": "sten"}"#)
+        .expect("run");
+    assert_eq!(run.status, 200);
+    let m = client.request("GET", "/metrics", b"").expect("metrics");
+    assert_eq!(m.status, 200);
+    let stats = client.stats();
+    assert_eq!(stats.connects, 1, "five requests over a single dial");
+    assert_eq!(stats.requests, 5);
+    assert_eq!(stats.stale_retries, 0);
+    srv.stop();
+}
+
+/// `/healthz` and `/metrics` never enter the job queue: with the single
+/// worker occupied and the one queue slot full (every measurement would
+/// be shed), both still answer `200` immediately.
+#[test]
+fn healthz_and_metrics_bypass_a_saturated_queue() {
+    let _guard = serial();
+    let mut srv = TestServer::boot(ServerConfig {
+        workers: 1,
+        queue_capacity: 1,
+        ..quick_config()
+    });
+    let addr = srv.addr;
+    // Occupy the single worker...
+    let first = std::thread::spawn(move || {
+        request(
+            addr,
+            "POST",
+            "/v1/runs",
+            Some(r#"{"workload": "mst", "reps": 3}"#),
+        )
+    });
+    wait_until(&srv, |s| {
+        s.get("queue").unwrap().get("active").unwrap().as_u64() == Some(1)
+    });
+    // ...and fill the single queue slot.
+    let second = std::thread::spawn(move || {
+        request(
+            addr,
+            "POST",
+            "/v1/runs",
+            Some(r#"{"workload": "nw", "reps": 3}"#),
+        )
+    });
+    wait_until(&srv, |s| {
+        s.get("queue").unwrap().get("depth").unwrap().as_u64() == Some(1)
+    });
+    // Both inline endpoints answer promptly while measurements would shed.
+    let t0 = Instant::now();
+    let h = request(addr, "GET", "/healthz", None);
+    let m = request(addr, "GET", "/metrics", None);
+    assert_eq!(h.status, 200);
+    assert_eq!(h.json().get("status").unwrap().as_str(), Some("ok"));
+    assert_eq!(m.status, 200);
+    let queue = m.json().get("queue").unwrap().clone();
+    let busy = queue.get("active").unwrap().as_u64().unwrap()
+        + queue.get("depth").unwrap().as_u64().unwrap();
+    assert!(busy >= 1, "queue must still be saturated: {}", queue.dump());
+    assert!(
+        t0.elapsed() < Duration::from_secs(10),
+        "inline endpoints must not wait behind the queue"
+    );
     assert_eq!(first.join().unwrap().status, 200);
     assert_eq!(second.join().unwrap().status, 200);
     srv.stop();

@@ -11,11 +11,20 @@
 
 use std::num::NonZeroUsize;
 
-/// Number of worker threads used for a stage of `n` items.
+/// Number of worker threads used for a stage of `n` items. The
+/// `SIM_PAR_THREADS` environment variable caps the pool (multi-process
+/// benchmarks pin it to 1 so co-located worker processes measure
+/// topology, not core contention).
 fn workers(n: usize) -> usize {
-    let cores = std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1);
+    let cores = std::env::var("SIM_PAR_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        });
     cores.min(n).max(1)
 }
 
