@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! profile --workload <key> [--input <index|name>]
-//!         [--config default|614|324|ECC]
+//!         [--config default|614|324|ECC|cache|cache614]
 //!         [--out trace.json] [--format chrome|jsonl|csv]
 //!         [--events N] [--rep R]
 //! profile --list
@@ -39,7 +39,7 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: profile --workload <key> [--input <index|name>] \
-         [--config default|614|324|ECC] [--out trace.json] \
+         [--config default|614|324|ECC|cache|cache614] [--out trace.json] \
          [--format chrome|jsonl|csv] [--events N] [--rep R] [--check]\n\
          \x20      profile --list"
     );
@@ -71,8 +71,10 @@ fn parse_args() -> Args {
                     "614" => GpuConfigKind::C614,
                     "324" => GpuConfigKind::C324,
                     "ECC" | "ecc" => GpuConfigKind::Ecc,
+                    "cache" => GpuConfigKind::Cache,
+                    "cache614" => GpuConfigKind::Cache614,
                     _ => {
-                        eprintln!("unknown config '{v}' (want default|614|324|ECC)");
+                        eprintln!("unknown config '{v}' (want default|614|324|ECC|cache|cache614)");
                         std::process::exit(2);
                     }
                 };
@@ -192,6 +194,24 @@ fn main() {
             100.0 * s.counters.divergence(),
             100.0 * s.counters.coalescing_efficiency(),
             100.0 * s.counters.bank_conflict_share()
+        );
+    }
+
+    // Cache-tier summary: only meaningful under the cache memory model.
+    if args.config.device_config().mem_model.cache().is_some() {
+        let mut total = kepler_sim::KernelCounters::default();
+        for s in &m.stats {
+            total.merge(&s.counters);
+        }
+        println!();
+        println!(
+            "Cache tiers: L1 {:.1}% | L2 {:.1}% | sectors l1={:.3e} l2={:.3e} mshr={:.3e} dram={:.3e}",
+            100.0 * total.l1_hit_rate(),
+            100.0 * total.l2_hit_rate(),
+            total.l1_hits,
+            total.l2_hits,
+            total.mshr_merges,
+            total.dram_transactions,
         );
     }
 

@@ -6,7 +6,7 @@
 //!
 //! ARTIFACT: table1 table2 table3 table4 fig1 fig2 fig3 fig4 fig5 fig6
 //!           energy-breakdown energy-sampling-error static-analysis
-//!           trdata all        (default: all)
+//!           cache-sensitivity trdata all        (default: all)
 //! ```
 //!
 //! `--quick` runs one repetition per configuration instead of the paper's
@@ -32,6 +32,7 @@
 //! execution, bit-identically. See `docs/TRACE.md`.
 
 use characterize::analysis::{render_static_analysis, static_analysis};
+use characterize::cache::{cache_sensitivity, render_cache_sensitivity};
 use characterize::campaign::{plan_artifacts, Artifact, Campaign, CampaignConfig};
 use characterize::energy::{energy_breakdown, sampling_error};
 use characterize::figures::{input_power_figure, power_profile, power_range_figure, ratio_figure};
@@ -49,11 +50,12 @@ const ALL: [&str; 10] = [
 ];
 
 /// Opt-in artifacts accepted alongside the `all` set.
-const EXTRA: [&str; 4] = [
+const EXTRA: [&str; 5] = [
     "trdata",
     "energy-breakdown",
     "energy-sampling-error",
     "static-analysis",
+    "cache-sensitivity",
 ];
 
 fn usage() -> ! {
@@ -196,6 +198,12 @@ fn main() {
                 println!(
                     "{}",
                     render_static_analysis(&static_analysis(&campaign, reps))
+                )
+            }
+            "cache-sensitivity" => {
+                println!(
+                    "{}",
+                    render_cache_sensitivity(&cache_sensitivity(&campaign, reps))
                 )
             }
             _ => unreachable!(),

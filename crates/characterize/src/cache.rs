@@ -1,0 +1,268 @@
+//! The `cache-sensitivity` artifact: what the sectored L1/L2 hierarchy
+//! changes, per workload.
+//!
+//! The paper's tables and figures run under the flat-DRAM model; this
+//! artifact runs every Table-1 program (primary input) twice more under
+//! the cache model ([`GpuConfigKind::Cache`] / [`GpuConfigKind::Cache614`])
+//! and reports, per program:
+//!
+//! * the measured **L1 and L2 hit rates** of the coalesced access stream;
+//! * the **core-clock sensitivity** under both memory models — the L2 and
+//!   its crossbar live in the core clock domain, so cache-resident codes
+//!   *gain* core-clock sensitivity relative to the flat model, sharpening
+//!   the paper's central finding that the core clock dominates
+//!   energy/performance;
+//! * the runtime ratio cached/flat at default clocks;
+//! * the static cache class from `sim-analyze` (per-block declared
+//!   footprint vs. L2 capacity), cross-checked against the measured L2 hit
+//!   rate with an agreement count.
+
+use crate::campaign::{Campaign, RunRequest};
+use crate::configs::GpuConfigKind;
+use crate::figures::ratio_figure_runs;
+use kepler_sim::CacheConfig;
+use rayon::prelude::*;
+use serde::Serialize;
+use sim_analyze::{cache_class_workload, capture_workload, CacheClass};
+use std::fmt::Write as _;
+use workloads::registry;
+
+/// Cache-served share of sector traffic at or above which a workload
+/// counts as measured cache-resident. The share counts L1 hits, L2 hits
+/// *and* MSHR merges — a merge is serviced by an in-flight fetch, not a
+/// fresh DRAM transaction, so raw hit rates alone under-count residency
+/// for tight-reuse streams whose reuse distance sits inside the
+/// outstanding-miss window.
+pub const CACHE_SERVED_THRESHOLD: f64 = 0.5;
+
+/// One program's flat-vs-cached comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct CacheSensitivityRow {
+    pub key: &'static str,
+    pub input: String,
+    /// L1 hit fraction of all coalesced sectors (cache model, default
+    /// clocks).
+    pub l1_hit_rate: f64,
+    /// L2 hit fraction of the L1-miss stream.
+    pub l2_hit_rate: f64,
+    /// Core-clock sensitivity under the flat model (Default vs C614; see
+    /// [`crate::analysis`] for the formula).
+    pub flat_sensitivity: f64,
+    /// Core-clock sensitivity under the cache model (Cache vs Cache614).
+    pub cached_sensitivity: f64,
+    /// Active-window runtime ratio cached/flat at default clocks.
+    pub runtime_ratio: f64,
+    /// Fraction of sector traffic served without a fresh DRAM fetch
+    /// (L1 + L2 + MSHR merges over all classified sectors).
+    pub cache_served: f64,
+    /// Static per-block-footprint class: `cache-resident` /
+    /// `cache-thrash` / `unknown`.
+    pub static_class: &'static str,
+    /// Measured class from [`CacheSensitivityRow::cache_served`] vs
+    /// [`CACHE_SERVED_THRESHOLD`].
+    pub measured_class: &'static str,
+    /// Agreement; `None` when the static class is unknown.
+    pub agree: Option<bool>,
+}
+
+/// The full artifact: rows plus programs excluded by measurement failure.
+#[derive(Debug, Clone, Serialize)]
+pub struct CacheSensitivity {
+    pub rows: Vec<CacheSensitivityRow>,
+    pub excluded: Vec<String>,
+}
+
+impl CacheSensitivity {
+    /// `(agreeing rows, classifiable rows)`.
+    pub fn agreement(&self) -> (usize, usize) {
+        let total = self.rows.iter().filter(|r| r.agree.is_some()).count();
+        let agree = self.rows.iter().filter(|r| r.agree == Some(true)).count();
+        (agree, total)
+    }
+}
+
+/// The measured runs the artifact needs: Figure 2's Default/C614 slice
+/// (shared with the flat artifacts — a warm campaign re-simulates nothing
+/// there) plus the same slice under the two cache configurations.
+pub fn cache_sensitivity_runs(reps: u64) -> Vec<RunRequest> {
+    let mut runs = ratio_figure_runs(GpuConfigKind::Default, GpuConfigKind::C614, reps);
+    runs.extend(ratio_figure_runs(
+        GpuConfigKind::Cache,
+        GpuConfigKind::Cache614,
+        reps,
+    ));
+    runs
+}
+
+/// Compute the artifact over every Table-1 program's primary input.
+pub fn cache_sensitivity(c: &Campaign, reps: u64) -> CacheSensitivity {
+    let keys: Vec<&'static str> = registry::all().iter().map(|b| b.spec().key).collect();
+    let clock_gain = 705.0 / 614.0 - 1.0;
+    let cc = CacheConfig::k20();
+    let results: Vec<Result<CacheSensitivityRow, String>> = keys
+        .par_iter()
+        .map(|key| {
+            let b = registry::by_key(key).unwrap();
+            let input = &b.inputs()[0];
+            let flat_base = c
+                .reading(b.as_ref(), input, GpuConfigKind::Default, reps)
+                .map_err(|e| format!("{key}: {e}"))?;
+            let flat_alt = c
+                .reading(b.as_ref(), input, GpuConfigKind::C614, reps)
+                .map_err(|e| format!("{key}: {e}"))?;
+            let cache_base = c
+                .reading(b.as_ref(), input, GpuConfigKind::Cache, reps)
+                .map_err(|e| format!("{key}: {e}"))?;
+            let cache_alt = c
+                .reading(b.as_ref(), input, GpuConfigKind::Cache614, reps)
+                .map_err(|e| format!("{key}: {e}"))?;
+            // Tier counters are deterministic per (program, input, model):
+            // rep 0 serves.
+            let m = c
+                .run(b.as_ref(), input, GpuConfigKind::Cache, 0)
+                .map_err(|e| format!("{key}: {e}"))?;
+            let l1 = m.counters.l1_hit_rate();
+            let l2 = m.counters.l2_hit_rate();
+            let sectors = m.counters.l1_hits
+                + m.counters.l2_hits
+                + m.counters.mshr_merges
+                + m.counters.dram_transactions;
+            let cache_served = if sectors > 0.0 {
+                (sectors - m.counters.dram_transactions) / sectors
+            } else {
+                0.0
+            };
+            let flat_sensitivity =
+                (flat_alt.active_runtime_s / flat_base.active_runtime_s - 1.0) / clock_gain;
+            let cached_sensitivity =
+                (cache_alt.active_runtime_s / cache_base.active_runtime_s - 1.0) / clock_gain;
+            let static_cls = cache_class_workload(&capture_workload(b.as_ref(), input), &cc);
+            let measured = if cache_served >= CACHE_SERVED_THRESHOLD {
+                CacheClass::CacheResident
+            } else {
+                CacheClass::CacheThrash
+            };
+            Ok(CacheSensitivityRow {
+                key,
+                input: input.name.to_string(),
+                l1_hit_rate: l1,
+                l2_hit_rate: l2,
+                flat_sensitivity,
+                cached_sensitivity,
+                runtime_ratio: cache_base.active_runtime_s / flat_base.active_runtime_s,
+                cache_served,
+                static_class: static_cls.name(),
+                measured_class: measured.name(),
+                agree: match static_cls {
+                    CacheClass::Unknown => None,
+                    cls => Some(cls == measured),
+                },
+            })
+        })
+        .collect();
+    let mut rows = Vec::new();
+    let mut excluded = Vec::new();
+    for r in results {
+        match r {
+            Ok(row) => rows.push(row),
+            Err(e) => excluded.push(e),
+        }
+    }
+    CacheSensitivity { rows, excluded }
+}
+
+/// Render the comparison table.
+pub fn render_cache_sensitivity(a: &CacheSensitivity) -> String {
+    let mut s = String::new();
+    writeln!(
+        s,
+        "Cache sensitivity: sectored L1/L2 hierarchy vs the flat-DRAM model"
+    )
+    .unwrap();
+    writeln!(
+        s,
+        "{:8} {:26} {:>6} {:>6} {:>7} {:>7} {:>8} {:>7} {:>15} {:>15} {:>6}",
+        "Program",
+        "Input",
+        "L1%",
+        "L2%",
+        "cached%",
+        "s.flat",
+        "s.cache",
+        "t.ratio",
+        "static",
+        "measured",
+        "agree"
+    )
+    .unwrap();
+    for r in &a.rows {
+        writeln!(
+            s,
+            "{:8} {:26} {:>6.1} {:>6.1} {:>7.1} {:>7.2} {:>8.2} {:>7.3} {:>15} {:>15} {:>6}",
+            r.key,
+            r.input,
+            r.l1_hit_rate * 100.0,
+            r.l2_hit_rate * 100.0,
+            r.cache_served * 100.0,
+            r.flat_sensitivity,
+            r.cached_sensitivity,
+            r.runtime_ratio,
+            r.static_class,
+            r.measured_class,
+            match r.agree {
+                Some(true) => "yes",
+                Some(false) => "NO",
+                None => "-",
+            },
+        )
+        .unwrap();
+    }
+    let (agree, total) = a.agreement();
+    writeln!(s, "agreement: {agree}/{total} classifiable programs").unwrap();
+    for e in &a.excluded {
+        writeln!(s, "excluded: {e}").unwrap();
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_plan_covers_both_memory_models() {
+        let runs = cache_sensitivity_runs(1);
+        assert!(runs.iter().any(|r| r.config == GpuConfigKind::Default));
+        assert!(runs.iter().any(|r| r.config == GpuConfigKind::Cache));
+        assert!(runs.iter().any(|r| r.config == GpuConfigKind::Cache614));
+        // Every program appears under every one of the four configs.
+        let n = registry::all().len();
+        assert_eq!(runs.len(), 4 * n);
+    }
+
+    #[test]
+    fn render_is_stable_and_ends_with_agreement() {
+        let a = CacheSensitivity {
+            rows: vec![CacheSensitivityRow {
+                key: "nb",
+                input: "t".into(),
+                l1_hit_rate: 0.25,
+                l2_hit_rate: 0.75,
+                flat_sensitivity: 0.9,
+                cached_sensitivity: 1.0,
+                runtime_ratio: 0.812,
+                cache_served: 0.9,
+                static_class: "cache-resident",
+                measured_class: "cache-resident",
+                agree: Some(true),
+            }],
+            excluded: vec!["xx: boom".into()],
+        };
+        let out = render_cache_sensitivity(&a);
+        assert!(out.contains("nb"));
+        assert!(out.contains("25.0"));
+        assert!(out.contains("75.0"));
+        assert!(out.contains("agreement: 1/1 classifiable programs"));
+        assert!(out.trim_end().ends_with("excluded: xx: boom"));
+    }
+}

@@ -46,8 +46,8 @@ use workloads::registry;
 
 /// Version prefix of the canonical cache key and the on-disk record
 /// layout. Bump when the record format changes shape.
-const FORMAT_VERSION: &str = "v2";
-const RECORD_MAGIC: &str = "gpgpu-campaign v2";
+const FORMAT_VERSION: &str = "v3";
+const RECORD_MAGIC: &str = "gpgpu-campaign v3";
 const RECORD_END: &str = "end gpgpu-campaign";
 
 /// 64-bit FNV-1a (the *correct* prime — see the `run_seed` fix).
@@ -66,8 +66,9 @@ pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
 /// version tags, which invalidates every persisted record at load time.
 pub fn sim_fingerprint() -> u64 {
     let ident = format!(
-        "{}|{}|characterize/{}",
+        "{}|{}|{}|characterize/{}",
         kepler_sim::SIM_VERSION,
+        kepler_sim::mem::MODEL_VERSION,
         gpower::MEASUREMENT_VERSION,
         env!("CARGO_PKG_VERSION"),
     );
@@ -116,6 +117,9 @@ pub enum Artifact {
     /// Static boundedness class vs. measured clock sensitivity
     /// (cross-validation of the `sim-analyze` classifier).
     StaticAnalysis,
+    /// Flat-DRAM vs sectored-cache comparison: hit rates, core-clock
+    /// sensitivity under both memory models, static cache class.
+    CacheSensitivity,
 }
 
 impl Artifact {
@@ -136,6 +140,7 @@ impl Artifact {
             "energy-breakdown" => Artifact::EnergyBreakdown,
             "energy-sampling-error" => Artifact::SamplingError,
             "static-analysis" => Artifact::StaticAnalysis,
+            "cache-sensitivity" => Artifact::CacheSensitivity,
             _ => return None,
         })
     }
@@ -163,6 +168,7 @@ impl Artifact {
             Artifact::EnergyBreakdown | Artifact::SamplingError => crate::energy::energy_runs(reps),
             // Same slice as Figure 2: a warm campaign adds no runs.
             Artifact::StaticAnalysis => crate::analysis::static_analysis_runs(reps),
+            Artifact::CacheSensitivity => crate::cache::cache_sensitivity_runs(reps),
         }
     }
 }
@@ -218,8 +224,15 @@ fn canonical_key_parts(key: &str, input: &InputSpec, cfg_tag: &str, rep: u64) ->
     let spec_key = registry::by_key(key)
         .map(|b| b.spec().cache_key())
         .unwrap_or_else(|| key.to_string());
+    // The memory model is an explicit part of a unit's identity: a run
+    // under the cache hierarchy must never collide with a flat-DRAM run
+    // of the same workload, whatever the config tags happen to be named.
+    // Tags that are not named configs (sweep grid points) run flat.
+    let mem = GpuConfigKind::from_name(cfg_tag)
+        .map(|k| k.mem_tag())
+        .unwrap_or_else(|| kepler_sim::MemoryModel::FlatDram.tag());
     format!(
-        "{FORMAT_VERSION}|{spec_key}|{}|cfg={cfg_tag}|rep={rep}|seed={seed:016x}",
+        "{FORMAT_VERSION}|{spec_key}|{}|cfg={cfg_tag}|mem={mem}|rep={rep}|seed={seed:016x}",
         input.cache_key(),
     )
 }
@@ -584,11 +597,16 @@ impl Campaign {
         self.resolve_unit(ckey, bench, input, point.device_config(), rep)
     }
 
-    /// The trace identity of a campaign unit: no configuration, repetition
-    /// or seed — one recorded trace serves the whole config x rep matrix
-    /// (see [`crate::tracedb`]).
-    fn unit_trace_key(bench: &dyn Benchmark, input: &InputSpec) -> String {
-        trace_key(&bench.spec().cache_key(), &input.cache_key())
+    /// The trace identity of a campaign unit: no clock/ECC configuration,
+    /// repetition or seed — one recorded trace serves the whole config x rep
+    /// matrix — but bound to the memory model, whose cache-tier counters
+    /// are baked into the recorded block costs (see [`crate::tracedb`]).
+    fn unit_trace_key(bench: &dyn Benchmark, input: &InputSpec, cfg: &DeviceConfig) -> String {
+        trace_key(
+            &bench.spec().cache_key(),
+            &input.cache_key(),
+            &cfg.mem_model.tag(),
+        )
     }
 
     /// Resolve one unit under an explicit device configuration, with the
@@ -611,7 +629,7 @@ impl Campaign {
                     let (res, stored) =
                         measure_with_device_config_recording(bench, input, cfg.clone(), rep);
                     if let Some(st) = stored {
-                        db.store(&Self::unit_trace_key(bench, input), &st);
+                        db.store(&Self::unit_trace_key(bench, input, &cfg), &st);
                     }
                     res
                 }
@@ -619,7 +637,7 @@ impl Campaign {
             },
             || {
                 let db = self.trace_db.as_ref()?;
-                let st = db.load(&Self::unit_trace_key(bench, input))?;
+                let st = db.load(&Self::unit_trace_key(bench, input, &cfg))?;
                 Some(measure_from_trace(key, input, cfg.clone(), rep, &st))
             },
         )
@@ -902,7 +920,7 @@ fn format_record(fingerprint: u64, ckey: &str, res: &Result<Measurement, PowerEr
             }
             let c = &m.counters;
             s.push_str(&format!(
-                "counters {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}\n",
+                "counters {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}\n",
                 c.blocks,
                 c.threads,
                 c.warps,
@@ -924,6 +942,10 @@ fn format_record(fingerprint: u64, ckey: &str, res: &Result<Measurement, PowerEr
                 fbits(c.barriers),
                 fbits(c.slots),
                 fbits(c.active_lanes),
+                fbits(c.l1_hits),
+                fbits(c.l2_hits),
+                fbits(c.dram_transactions),
+                fbits(c.mshr_merges),
                 0 // reserved
             ));
             s.push_str(&format!(
@@ -998,7 +1020,7 @@ fn parse_record(body: &str) -> Option<(u64, String, Result<Measurement, PowerErr
                 .strip_prefix("counters ")?
                 .split_whitespace()
                 .collect();
-            if ctoks.len() != 22 {
+            if ctoks.len() != 26 {
                 return None;
             }
             let mut counters = KernelCounters {
@@ -1021,6 +1043,10 @@ fn parse_record(body: &str) -> Option<(u64, String, Result<Measurement, PowerErr
             counters.barriers = parse_fbits(ctoks[18])?;
             counters.slots = parse_fbits(ctoks[19])?;
             counters.active_lanes = parse_fbits(ctoks[20])?;
+            counters.l1_hits = parse_fbits(ctoks[21])?;
+            counters.l2_hits = parse_fbits(ctoks[22])?;
+            counters.dram_transactions = parse_fbits(ctoks[23])?;
+            counters.mshr_merges = parse_fbits(ctoks[24])?;
             let btoks: Vec<&str> = lines
                 .next()?
                 .strip_prefix("board ")?
@@ -1262,6 +1288,48 @@ mod tests {
         let unique = c.execute(&[req.clone(), req.clone(), req]);
         assert_eq!(unique, 1);
         assert_eq!(c.stats().simulated, 1);
+    }
+
+    #[test]
+    fn flat_and_cached_units_never_collide_in_any_cache_layer() {
+        let dir = scratch_dir("memmodel");
+        let b = registry::by_key("sten").unwrap();
+        let input = &b.inputs()[0];
+        // The memory model is spelled out in the canonical identity.
+        let kf = canonical_key_parts("sten", input, GpuConfigKind::Default.name(), 0);
+        let kc = canonical_key_parts("sten", input, GpuConfigKind::Cache.name(), 0);
+        assert!(kf.contains("|mem=flat|"), "{kf}");
+        assert!(kc.contains("|mem=cache-"), "{kc}");
+        assert_ne!(kf, kc);
+        // Cold: both models simulate — no memo/disk collision.
+        let c1 = disk_campaign(&dir);
+        let mf = c1
+            .run(b.as_ref(), input, GpuConfigKind::Default, 0)
+            .unwrap();
+        let mc = c1.run(b.as_ref(), input, GpuConfigKind::Cache, 0).unwrap();
+        assert_eq!(c1.stats().simulated, 2, "{}", c1.stats());
+        assert_eq!(
+            mf.counters.dram_transactions + mf.counters.mshr_merges,
+            0.0,
+            "flat model has no cache tiers"
+        );
+        assert!(
+            mc.counters.dram_transactions > 0.0 && mc.counters.mshr_merges > 0.0,
+            "cache model classifies the access stream: {:?}",
+            mc.counters
+        );
+        // Warm: both served from disk, bit-identical, still distinct.
+        let c2 = disk_campaign(&dir);
+        let wf = c2
+            .run(b.as_ref(), input, GpuConfigKind::Default, 0)
+            .unwrap();
+        let wc = c2.run(b.as_ref(), input, GpuConfigKind::Cache, 0).unwrap();
+        let s = c2.stats();
+        assert_eq!((s.simulated, s.disk_hits), (0, 2), "{s}");
+        assert!(readings_bit_identical(&wf.reading, &mf.reading));
+        assert!(readings_bit_identical(&wc.reading, &mc.reading));
+        assert_eq!(wc.counters, mc.counters);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! every table and figure of the evaluation section.
 
 pub mod analysis;
+pub mod cache;
 pub mod campaign;
 pub mod configs;
 pub mod energy;
@@ -21,6 +22,10 @@ pub mod tracedb;
 pub use analysis::{
     render_static_analysis, static_analysis, static_analysis_runs, StaticAnalysis,
     StaticAnalysisRow,
+};
+pub use cache::{
+    cache_sensitivity, cache_sensitivity_runs, render_cache_sensitivity, CacheSensitivity,
+    CacheSensitivityRow, CACHE_SERVED_THRESHOLD,
 };
 pub use campaign::{
     pareto_front, plan_artifacts, sim_fingerprint, sweep_grid, Artifact, Campaign, CampaignConfig,

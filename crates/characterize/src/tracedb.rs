@@ -36,8 +36,11 @@ use workloads::bench::ItemCounts;
 
 /// Version tag of the trace key and on-disk layout. Bump on any change to
 /// the manifest shape or the launch-record codec's meaning.
-pub const TRACE_FORMAT: &str = "v3";
-const MANIFEST_MAGIC: &str = "gpgpu-trace v3";
+/// v4: the memory model joined the trace identity — recorded block costs
+/// carry cache-tier counters, so a trace captured under one model must
+/// never replay under another.
+pub const TRACE_FORMAT: &str = "v4";
+const MANIFEST_MAGIC: &str = "gpgpu-trace v4";
 const MANIFEST_END: &str = "end gpgpu-trace";
 
 /// A recorded run plus the functional outputs replay cannot recompute:
@@ -108,7 +111,7 @@ impl TraceDb {
     /// [`TraceDb::corrupt`]; the caller re-runs functionally.
     pub fn load(&self, tkey: &str) -> Option<StoredTrace> {
         let body = std::fs::read_to_string(self.manifest_path(tkey)).ok()?;
-        let (fp, key, checksum, items, hashes, ops) = match parse_manifest(&body) {
+        let (fp, key, memmodel, checksum, items, hashes, ops) = match parse_manifest(&body) {
             Some(m) => m,
             None => {
                 self.corrupt.fetch_add(1, Ordering::Relaxed);
@@ -120,6 +123,15 @@ impl TraceDb {
             return None;
         }
         if fp != self.fingerprint {
+            self.stale.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        if memmodel != mem_tag_of(tkey) {
+            // A trace recorded under one memory model must never replay
+            // under another: the per-block costs embed cache-tier
+            // counters. Belt-and-braces with the key check above (the
+            // model tag is part of the key), so this only fires on a
+            // hand-edited or inconsistently migrated manifest.
             self.stale.fetch_add(1, Ordering::Relaxed);
             return None;
         }
@@ -198,14 +210,29 @@ impl TraceDb {
     }
 }
 
-/// The trace identity of one *(program, input)*: versioned, with the same
-/// spec/input cache keys the campaign identity uses — but no config, rep or
-/// seed, because one trace serves them all.
-pub fn trace_key(spec_cache_key: &str, input_cache_key: &str) -> String {
-    format!("{TRACE_FORMAT}|{spec_cache_key}|{input_cache_key}")
+/// The trace identity of one *(program, input, memory model)*: versioned,
+/// with the same spec/input cache keys the campaign identity uses — but no
+/// clock/ECC config, rep or seed, because one trace serves all of those.
+/// The memory model *is* part of the identity ([`kepler_sim::MemoryModel::tag`]):
+/// the recorded per-block costs carry model-dependent cache-tier counters.
+pub fn trace_key(spec_cache_key: &str, input_cache_key: &str, mem_tag: &str) -> String {
+    format!("{TRACE_FORMAT}|{spec_cache_key}|{input_cache_key}|mem={mem_tag}")
 }
 
-type Manifest = (u64, String, f64, Option<ItemCounts>, Vec<u64>, Vec<TraceOp>);
+/// The memory-model component of a [`trace_key`].
+fn mem_tag_of(tkey: &str) -> &str {
+    tkey.rsplit_once("|mem=").map_or("", |(_, m)| m)
+}
+
+type Manifest = (
+    u64,
+    String,
+    String,
+    f64,
+    Option<ItemCounts>,
+    Vec<u64>,
+    Vec<TraceOp>,
+);
 
 fn format_manifest(fingerprint: u64, tkey: &str, st: &StoredTrace, hashes: &[u64]) -> String {
     let mut s = String::new();
@@ -213,6 +240,7 @@ fn format_manifest(fingerprint: u64, tkey: &str, st: &StoredTrace, hashes: &[u64
     s.push('\n');
     s.push_str(&format!("fingerprint {fingerprint:016x}\n"));
     s.push_str(&format!("key {tkey}\n"));
+    s.push_str(&format!("memmodel {}\n", mem_tag_of(tkey)));
     s.push_str(&format!("checksum {}\n", fbits(st.checksum)));
     match &st.items {
         Some(it) => s.push_str(&format!("items {} {}\n", it.vertices, it.edges)),
@@ -246,6 +274,7 @@ fn parse_manifest(body: &str) -> Option<Manifest> {
     }
     let fp = u64::from_str_radix(lines.next()?.strip_prefix("fingerprint ")?, 16).ok()?;
     let key = lines.next()?.strip_prefix("key ")?.to_string();
+    let memmodel = lines.next()?.strip_prefix("memmodel ")?.to_string();
     let checksum = parse_fbits(lines.next()?.strip_prefix("checksum ")?)?;
     let items_line = lines.next()?.strip_prefix("items ")?;
     let items = if items_line == "none" {
@@ -283,7 +312,7 @@ fn parse_manifest(body: &str) -> Option<Manifest> {
     if lines.next()? != MANIFEST_END {
         return None;
     }
-    Some((fp, key, checksum, items, hashes, ops))
+    Some((fp, key, memmodel, checksum, items, hashes, ops))
 }
 
 #[cfg(test)]
@@ -357,7 +386,7 @@ mod tests {
     fn store_load_round_trips_bitwise() {
         let dir = scratch_dir("roundtrip");
         let db = TraceDb::new(dir.clone(), 0xABCD);
-        let tkey = trace_key("spec@k2", "in#n8");
+        let tkey = trace_key("spec@k2", "in#n8", "flat");
         assert!(db.load(&tkey).is_none(), "miss before store");
         let st = sample_stored();
         db.store(&tkey, &st);
@@ -373,8 +402,8 @@ mod tests {
         let dir = scratch_dir("dedup");
         let db = TraceDb::new(dir.clone(), 1);
         let st = sample_stored();
-        db.store(&trace_key("a", "x"), &st);
-        db.store(&trace_key("b", "y"), &st);
+        db.store(&trace_key("a", "x", "flat"), &st);
+        db.store(&trace_key("b", "y", "flat"), &st);
         let tlrs = std::fs::read_dir(&dir)
             .unwrap()
             .filter(|e| e.as_ref().unwrap().path().extension().map(|x| x == "tlr") == Some(true))
@@ -387,7 +416,7 @@ mod tests {
     fn stale_fingerprint_is_rejected_and_counted() {
         let dir = scratch_dir("stale");
         let old = TraceDb::new(dir.clone(), 0xAAAA);
-        let tkey = trace_key("s", "i");
+        let tkey = trace_key("s", "i", "flat");
         old.store(&tkey, &sample_stored());
         let new = TraceDb::new(dir.clone(), 0xBBBB);
         assert!(new.load(&tkey).is_none());
@@ -402,7 +431,7 @@ mod tests {
     fn truncated_manifest_is_corrupt_not_fatal() {
         let dir = scratch_dir("trunc");
         let db = TraceDb::new(dir.clone(), 7);
-        let tkey = trace_key("s", "i");
+        let tkey = trace_key("s", "i", "flat");
         db.store(&tkey, &sample_stored());
         let path = db.manifest_path(&tkey);
         let body = std::fs::read_to_string(&path).unwrap();
@@ -420,7 +449,7 @@ mod tests {
     fn corrupt_launch_record_is_rejected() {
         let dir = scratch_dir("tlr");
         let db = TraceDb::new(dir.clone(), 7);
-        let tkey = trace_key("s", "i");
+        let tkey = trace_key("s", "i", "flat");
         db.store(&tkey, &sample_stored());
         let tlr = std::fs::read_dir(&dir)
             .unwrap()
@@ -445,7 +474,7 @@ mod tests {
     fn out_of_range_op_index_is_corrupt() {
         let dir = scratch_dir("opidx");
         let db = TraceDb::new(dir.clone(), 7);
-        let tkey = trace_key("s", "i");
+        let tkey = trace_key("s", "i", "flat");
         let mut st = sample_stored();
         st.run.ops.push(TraceOp::Launch {
             launch: 5, // only one launch record exists
@@ -458,9 +487,50 @@ mod tests {
     }
 
     #[test]
-    fn trace_key_is_config_free() {
-        let k = trace_key("sgemm@k3", "small#n256");
-        assert_eq!(k, "v3|sgemm@k3|small#n256");
-        assert!(!k.contains("cfg="), "one trace serves every config");
+    fn trace_key_is_clock_free_but_model_bound() {
+        let k = trace_key("sgemm@k3", "small#n256", "flat");
+        assert_eq!(k, "v4|sgemm@k3|small#n256|mem=flat");
+        assert!(
+            !k.contains("cfg="),
+            "one trace serves every clock/ECC config"
+        );
+        // The memory model splits the trace identity: recorded block costs
+        // embed cache-tier counters, so flat and cached traces must never
+        // be interchangeable.
+        let c = trace_key("sgemm@k3", "small#n256", "cache-00000000deadbeef");
+        assert_ne!(k, c);
+        assert_eq!(mem_tag_of(&c), "cache-00000000deadbeef");
+    }
+
+    #[test]
+    fn flat_and_cached_traces_are_separate_entries() {
+        let dir = scratch_dir("memsplit");
+        let db = TraceDb::new(dir.clone(), 7);
+        let flat = trace_key("s", "i", "flat");
+        let cached = trace_key("s", "i", "cache-0123456789abcdef");
+        db.store(&flat, &sample_stored());
+        // A trace recorded under FlatDram is a plain miss under the cache
+        // model — never replayed, not even counted as stale.
+        assert!(db.load(&cached).is_none());
+        assert_eq!((db.stale(), db.corrupt()), (0, 0));
+        assert!(db.load(&flat).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_memmodel_mismatch_is_stale() {
+        let dir = scratch_dir("memstale");
+        let db = TraceDb::new(dir.clone(), 7);
+        let tkey = trace_key("s", "i", "flat");
+        db.store(&tkey, &sample_stored());
+        let path = db.manifest_path(&tkey);
+        let body = std::fs::read_to_string(&path).unwrap();
+        // Forge the recorded model line while keeping the key intact —
+        // simulates an inconsistent hand migration.
+        let forged = body.replace("memmodel flat", "memmodel cache-ffffffffffffffff");
+        std::fs::write(&path, forged).unwrap();
+        assert!(db.load(&tkey).is_none());
+        assert_eq!((db.stale(), db.corrupt()), (1, 0));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -223,6 +223,60 @@ fn campaign_replays_from_traces_and_warms_identical_records() {
     }
 }
 
+/// The memory model is part of the trace identity: a trace recorded under
+/// the flat model must never replay under the cache model — the recorded
+/// block costs would lack cache-tier counters — and each model records and
+/// replays its *own* trace in the same directory.
+#[test]
+fn traces_never_cross_memory_models() {
+    let traces = scratch_dir("memmodel-traces");
+    let b = registry::by_key("sgemm").unwrap();
+    let input = &b.inputs()[0];
+    let fresh = || {
+        Campaign::new(CampaignConfig {
+            trace_dir: Some(traces.clone()),
+            ..CampaignConfig::default()
+        })
+    };
+
+    // Record under the flat model.
+    let c0 = fresh();
+    let mf = c0
+        .run(b.as_ref(), input, GpuConfigKind::Default, 0)
+        .unwrap();
+    assert_eq!(c0.stats().simulated, 1);
+
+    // The cache model finds no trace to serve it: a plain miss (not even
+    // stale — the keys differ), answered by a functional run that records
+    // its own trace.
+    let c1 = fresh();
+    let mc = c1.run(b.as_ref(), input, GpuConfigKind::Cache, 0).unwrap();
+    let s = c1.stats();
+    assert_eq!(
+        (s.simulated, s.trace_replays, s.trace_stale, s.trace_corrupt),
+        (1, 0, 0, 0),
+        "{s}"
+    );
+    assert!(
+        mc.counters.dram_transactions > 0.0,
+        "cached run must carry tier counters"
+    );
+    assert_eq!(mf.counters.dram_transactions, 0.0);
+
+    // Now both models replay from their own traces, bit-identically.
+    let c2 = fresh();
+    let mf2 = c2
+        .run(b.as_ref(), input, GpuConfigKind::Default, 0)
+        .unwrap();
+    let mc2 = c2.run(b.as_ref(), input, GpuConfigKind::Cache, 0).unwrap();
+    let s = c2.stats();
+    assert_eq!((s.simulated, s.trace_replays), (0, 2), "{s}");
+    assert_bitwise_eq(&mf, &mf2, "flat replay");
+    assert_bitwise_eq(&mc, &mc2, "cached replay");
+
+    let _ = std::fs::remove_dir_all(&traces);
+}
+
 /// Durability: damaged trace storage (truncated manifest, corrupted launch
 /// record) is detected, counted, and answered with a clean functional
 /// re-run whose result is bit-identical — and the re-run re-records, so

@@ -113,10 +113,18 @@ pub struct ClassActivity {
     pub shared_ops: f64,
     /// Global atomic lane operations.
     pub atomics: f64,
-    /// Bytes moved over DRAM (before ECC traffic overhead).
+    /// Bytes moved over DRAM (before ECC traffic overhead). Under a cache
+    /// model this is the *missing* sector traffic, not the full coalesced
+    /// stream.
     pub dram_bytes: f64,
-    /// DRAM transactions issued.
+    /// DRAM transactions issued (32-byte sector fetches under a cache
+    /// model, 128-byte coalesced transactions under flat DRAM).
     pub transactions: f64,
+    /// 32-byte sectors served by the per-SM L1 caches (zero under the
+    /// flat-DRAM memory model).
+    pub l1_sectors: f64,
+    /// 32-byte sectors served by the shared L2 cache.
+    pub l2_sectors: f64,
     /// Barriers executed (time cost only; see [`EnergyClass::Sync`]).
     pub barriers: f64,
     /// Lane slots idled by divergence: `slots * 32 - active_lanes`.
@@ -176,6 +184,10 @@ pub struct EnergyModel {
     pub e_dram_byte: f64,
     pub e_txn: f64,
     pub e_atomic: f64,
+    /// Energy per byte served by the L1 (core-side; 0 under flat DRAM).
+    pub e_l1_byte: f64,
+    /// Energy per byte served by the L2 (core-side; 0 under flat DRAM).
+    pub e_l2_byte: f64,
     /// Board idle power, watts.
     pub idle_w: f64,
     /// Static overhead while a kernel is resident, watts at default core
@@ -251,8 +263,13 @@ impl EnergyModel {
         class_j[EnergyClass::Int.idx()] = a.int_ops * self.e_int * vc2;
         class_j[EnergyClass::Sfu.idx()] = a.sfu_ops * self.e_sfu * vc2;
         class_j[EnergyClass::Shared.idx()] = a.shared_ops * self.e_shared * vc2;
+        // LdSt spans the memory hierarchy: the DRAM-side share rides the
+        // memory voltage/ECC scaling, while cache hits are served by
+        // core-side SRAM and scale with the core voltage. The sector
+        // counts are 32-byte units.
         class_j[EnergyClass::LdSt.idx()] =
-            (a.dram_bytes * self.e_dram_byte + a.transactions * self.e_txn) * vm2e;
+            (a.dram_bytes * self.e_dram_byte + a.transactions * self.e_txn) * vm2e
+                + (a.l1_sectors * self.e_l1_byte + a.l2_sectors * self.e_l2_byte) * 32.0 * vc2;
         class_j[EnergyClass::Atomic.idx()] = a.atomics * self.e_atomic * vm2e;
         // Barriers cost issue cycles but no dynamic energy in the power
         // model; the row is kept at zero deliberately.
@@ -290,6 +307,8 @@ mod tests {
             e_dram_byte: 0.06e-9,
             e_txn: 3.2e-9,
             e_atomic: 3.5e-9,
+            e_l1_byte: 2e-12,
+            e_l2_byte: 10e-12,
             idle_w: 25.0,
             active_overhead_w: 15.0,
             gap_overhead_w: 13.0,
@@ -384,6 +403,32 @@ mod tests {
         assert_eq!(
             ev.class_j(EnergyClass::Fp32).to_bits(),
             base.class_j(EnergyClass::Fp32).to_bits()
+        );
+    }
+
+    #[test]
+    fn cache_hit_energy_is_core_side() {
+        let act = ClassActivity {
+            l1_sectors: 1e9,
+            l2_sectors: 1e9,
+            ..ClassActivity::default()
+        };
+        let base = model().attribute(&act, &phases(), 0.0);
+        let expect = (1e9 * 2e-12 + 1e9 * 10e-12) * 32.0;
+        assert!((base.class_j(EnergyClass::LdSt) - expect).abs() < 1e-12);
+        // Core voltage scales the hit energy; memory voltage does not.
+        let mut lowc = model();
+        lowc.core_v2 = 0.81;
+        let lc = lowc.attribute(&act, &phases(), 0.0);
+        assert!(
+            (lc.class_j(EnergyClass::LdSt) / base.class_j(EnergyClass::LdSt) - 0.81).abs() < 1e-12
+        );
+        let mut lowm = model();
+        lowm.mem_v2 = 0.81;
+        let lm = lowm.attribute(&act, &phases(), 0.0);
+        assert_eq!(
+            lm.class_j(EnergyClass::LdSt).to_bits(),
+            base.class_j(EnergyClass::LdSt).to_bits()
         );
     }
 

@@ -31,6 +31,12 @@ pub const ECC_ENERGY_FACTOR: f64 = 1.25;
 /// (unperturbed) coefficients.
 pub fn energy_model(cfg: &DeviceConfig) -> EnergyModel {
     let p = &cfg.power;
+    // Cache-hit energies come from the memory model, not PowerParams:
+    // under flat DRAM there are no caches and the terms are zero.
+    let (e_l1, e_l2) = match cfg.mem_model.cache() {
+        Some(cc) => (cc.e_l1_byte, cc.e_l2_byte),
+        None => (0.0, 0.0),
+    };
     EnergyModel {
         e_fp32_add: p.e_fp32_add,
         e_fp32_mul: p.e_fp32_mul,
@@ -43,6 +49,8 @@ pub fn energy_model(cfg: &DeviceConfig) -> EnergyModel {
         e_dram_byte: p.e_dram_byte,
         e_txn: p.e_txn,
         e_atomic: p.e_atomic,
+        e_l1_byte: e_l1,
+        e_l2_byte: e_l2,
         idle_w: p.idle_w,
         active_overhead_w: p.active_overhead_w,
         gap_overhead_w: p.gap_overhead_w,
@@ -52,7 +60,8 @@ pub fn energy_model(cfg: &DeviceConfig) -> EnergyModel {
     }
 }
 
-/// Map a run's aggregated counters to per-class activity.
+/// Map a run's aggregated counters to per-class activity under the
+/// flat-DRAM model (every coalesced byte is DRAM traffic, no cache rows).
 pub fn class_activity(c: &KernelCounters) -> ClassActivity {
     ClassActivity {
         fp32_add_ops: c.lane_ops[CompClass::Fp32Add.idx()],
@@ -65,9 +74,27 @@ pub fn class_activity(c: &KernelCounters) -> ClassActivity {
         atomics: c.atomics,
         dram_bytes: c.dram_bytes,
         transactions: c.transactions,
+        l1_sectors: 0.0,
+        l2_sectors: 0.0,
         barriers: c.barriers,
         idle_lanes: (c.slots * 32.0 - c.active_lanes).max(0.0),
     }
+}
+
+/// Map counters to per-class activity under `cfg`'s memory model. Under a
+/// cache model the DRAM-side activity shrinks to the missing 32-byte
+/// sectors (demand fetches + dirty writebacks) and the hit sectors appear
+/// as L1/L2 activity; under [`crate::mem::MemoryModel::FlatDram`] this is
+/// exactly [`class_activity`].
+pub fn class_activity_for(cfg: &DeviceConfig, c: &KernelCounters) -> ClassActivity {
+    let mut a = class_activity(c);
+    if cfg.mem_model.cache().is_some() {
+        a.dram_bytes = c.dram_transactions * crate::mem::SECTOR_BYTES as f64;
+        a.transactions = c.dram_transactions;
+        a.l1_sectors = c.l1_hits;
+        a.l2_sectors = c.l2_hits;
+    }
+    a
 }
 
 /// Phase durations of a finished run's trace: the fixed lead-in/out and
@@ -94,7 +121,7 @@ pub fn attribute_energy(
     board_energy_j: f64,
 ) -> EnergyBreakdown {
     energy_model(cfg).attribute(
-        &class_activity(counters),
+        &class_activity_for(cfg, counters),
         &phase_durations(cfg, trace_end_s, kernel_s),
         board_energy_j,
     )
@@ -231,6 +258,33 @@ mod tests {
         assert_eq!(a.dram_bytes, 11.0);
         assert_eq!(a.transactions, 12.0);
         assert_eq!(a.barriers, 13.0);
+    }
+
+    #[test]
+    fn cached_model_remaps_dram_activity_to_sectors() {
+        let c = KernelCounters {
+            dram_bytes: 4096.0,
+            transactions: 32.0,
+            l1_hits: 50.0,
+            l2_hits: 20.0,
+            dram_transactions: 10.0,
+            ..Default::default()
+        };
+        let flat_cfg = DeviceConfig::k20c(ClockConfig::k20_default(), false);
+        let flat = class_activity_for(&flat_cfg, &c);
+        assert_eq!(flat, class_activity(&c));
+        assert_eq!(flat.l1_sectors, 0.0);
+        let mut cfg = flat_cfg.clone();
+        cfg.mem_model = crate::mem::MemoryModel::Cached(crate::mem::CacheConfig::k20());
+        let cached = class_activity_for(&cfg, &c);
+        assert_eq!(cached.dram_bytes, 320.0);
+        assert_eq!(cached.transactions, 10.0);
+        assert_eq!(cached.l1_sectors, 50.0);
+        assert_eq!(cached.l2_sectors, 20.0);
+        // And the model picks up the cache-hit coefficients.
+        let m = energy_model(&cfg);
+        assert!(m.e_l1_byte > 0.0 && m.e_l2_byte > 0.0);
+        assert_eq!(energy_model(&flat_cfg).e_l1_byte, 0.0);
     }
 
     #[test]

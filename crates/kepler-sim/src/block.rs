@@ -10,8 +10,9 @@
 use crate::access::{Access, AccessEvent, AccessKind, AccessObserver, MemSpace};
 use crate::buffer::{DevBuffer, DevCopy, GlobalMem};
 use crate::cost::BlockCost;
+use crate::mem::{CacheConfig, CacheSim};
 use crate::ops::{CompClass, Op};
-use crate::warp::{reduce_warp_with, WarpScratch};
+use crate::warp::{reduce_warp_cached, WarpScratch};
 use std::any::Any;
 use std::marker::PhantomData;
 
@@ -25,6 +26,9 @@ pub struct ExecScratch {
     streams: Vec<Vec<Op>>,
     syncs: Vec<u32>,
     warp: WarpScratch,
+    /// Pooled per-block cache simulator (kept across blocks so its arrays
+    /// are reused; only consulted when [`BlockCtx::enable_cache`] ran).
+    cache: Option<CacheSim>,
 }
 
 /// A typed handle to a block's shared-memory array.
@@ -66,6 +70,9 @@ pub struct BlockCtx<'a> {
     launch_id: u32,
     /// Explicit syncs already folded into the cost (max across threads).
     syncs_costed: u32,
+    /// Whether this block classifies its accesses through the scratch's
+    /// pooled [`CacheSim`] (set by [`BlockCtx::enable_cache`]).
+    cache_on: bool,
 }
 
 impl<'a> BlockCtx<'a> {
@@ -112,6 +119,7 @@ impl<'a> BlockCtx<'a> {
             observer: None,
             launch_id: 0,
             syncs_costed: 0,
+            cache_on: false,
         }
     }
 
@@ -119,6 +127,19 @@ impl<'a> BlockCtx<'a> {
     pub(crate) fn attach_observer(&mut self, obs: &'a dyn AccessObserver, launch_id: u32) {
         self.observer = Some(obs);
         self.launch_id = launch_id;
+    }
+
+    /// Route this block's global-memory stream through the cache
+    /// hierarchy. The pooled simulator is reset (O(1) epoch bump) or built
+    /// for `cfg`; its counters land in the block cost at
+    /// [`BlockCtx::finish`]. A fresh simulator per block keeps the cost a
+    /// pure function of the block's own access stream.
+    pub(crate) fn enable_cache(&mut self, cfg: &CacheConfig) {
+        match self.scratch.cache.as_mut() {
+            Some(sim) => sim.reset(cfg),
+            None => self.scratch.cache = Some(CacheSim::new(cfg)),
+        }
+        self.cache_on = true;
     }
 
     /// This block's index within the grid.
@@ -172,13 +193,19 @@ impl<'a> BlockCtx<'a> {
 
     fn end_phase(&mut self) {
         let block_dim = self.block_dim as usize;
+        let mut cache = if self.cache_on {
+            self.scratch.cache.as_mut()
+        } else {
+            None
+        };
         for w in 0..block_dim.div_ceil(32) {
             let lo = w * 32;
             let hi = (lo + 32).min(block_dim);
-            reduce_warp_with(
+            reduce_warp_cached(
                 &self.scratch.streams[lo..hi],
                 &mut self.cost,
                 &mut self.scratch.warp,
+                cache.as_deref_mut(),
             );
         }
         for s in &mut self.scratch.streams {
@@ -210,7 +237,19 @@ impl<'a> BlockCtx<'a> {
 
     /// Finish the block, returning its cost and the scratch for reuse by
     /// the next block.
-    pub(crate) fn finish(self) -> (BlockCost, ExecScratch) {
+    pub(crate) fn finish(mut self) -> (BlockCost, ExecScratch) {
+        if self.cache_on {
+            if let Some(sim) = self.scratch.cache.as_mut() {
+                // Retire outstanding misses and write back dirty sectors,
+                // then land the tier counters in the block cost.
+                sim.finish();
+                let c = sim.counters;
+                self.cost.l1_hits = c.l1_hits;
+                self.cost.l2_hits = c.l2_hits;
+                self.cost.dram_transactions = c.dram_transactions;
+                self.cost.mshr_merges = c.mshr_merges;
+            }
+        }
         if let Some(obs) = self.observer {
             obs.observe(AccessEvent::BlockEnd {
                 launch: self.launch_id,
@@ -647,6 +686,39 @@ mod tests {
         assert_eq!(cost.transactions, 2);
         assert_eq!(cost.barriers, 1); // second phase adds a barrier
         assert_eq!(mem.slice(&buf)[7], 14);
+    }
+
+    #[test]
+    fn cache_enabled_block_reports_tier_counters() {
+        let mut mem = GlobalMem::new();
+        let buf = mem.alloc::<u32>(32);
+        let mut blk = BlockCtx::new(&mut mem, 0, 1, 32);
+        blk.enable_cache(&CacheConfig::k20());
+        blk.for_each_thread(|t| {
+            let i = t.tid() as usize;
+            t.st(&buf, i, t.tid());
+        });
+        blk.for_each_thread(|t| {
+            let i = t.tid() as usize;
+            let _ = t.ld(&buf, i);
+        });
+        let cost = blk.into_cost();
+        // The store allocates the warp's 4 sectors in L2 (write-allocate,
+        // no fetch), the reload hits them there, and finish() writes the
+        // dirty sectors back.
+        assert_eq!(cost.l2_hits, 4);
+        assert_eq!(cost.dram_transactions, 4);
+        // The flat-model fields are untouched by the cache.
+        assert_eq!(cost.transactions, 2);
+
+        // Without enable_cache the counters stay zero.
+        let mut plain = BlockCtx::new(&mut mem, 0, 1, 32);
+        plain.for_each_thread(|t| {
+            let i = t.tid() as usize;
+            let _ = t.ld(&buf, i);
+        });
+        let pc = plain.into_cost();
+        assert_eq!(pc.l1_hits + pc.l2_hits + pc.dram_transactions, 0);
     }
 
     #[test]

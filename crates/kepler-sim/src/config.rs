@@ -2,6 +2,7 @@
 //! clock/voltage settings for the paper's four configurations, ECC, and the
 //! calibrated power-model parameters.
 
+use crate::mem::MemoryModel;
 use serde::{Deserialize, Serialize};
 
 /// A core/memory clock pair with the voltages that DVFS assigns to each
@@ -208,6 +209,11 @@ pub struct DeviceConfig {
     /// timing-dependent-irregularity mechanism). Disable to make dispatch
     /// strictly index-ordered.
     pub interleave_shuffle: bool,
+    /// Memory system the timing layer prices the access stream against.
+    /// The default [`MemoryModel::FlatDram`] is bit-identical to the
+    /// pre-cache simulator; [`MemoryModel::Cached`] enables the sectored
+    /// L1/L2 hierarchy (see [`crate::mem`]).
+    pub mem_model: MemoryModel,
 }
 
 impl Default for DeviceConfig {
@@ -277,6 +283,7 @@ impl DeviceConfig {
             jitter: 0.004,
             jitter_seed: 0,
             interleave_shuffle: true,
+            mem_model: MemoryModel::FlatDram,
         }
     }
 
@@ -308,6 +315,13 @@ mod tests {
         assert_eq!(c.clocks.mem_mhz, 2600.0);
         assert!(!c.ecc);
         assert_eq!(c.num_sms, 13);
+    }
+
+    #[test]
+    fn every_preset_defaults_to_flat_dram() {
+        assert_eq!(DeviceConfig::default().mem_model, MemoryModel::FlatDram);
+        assert_eq!(DeviceConfig::k20x(false).mem_model, MemoryModel::FlatDram);
+        assert_eq!(DeviceConfig::k40(true).mem_model, MemoryModel::FlatDram);
     }
 
     #[test]

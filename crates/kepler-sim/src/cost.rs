@@ -40,6 +40,17 @@ pub struct BlockCost {
     pub warps: u32,
     /// Threads in the block.
     pub threads: u32,
+    /// 32-byte sectors served by the L1 (zero under
+    /// [`crate::mem::MemoryModel::FlatDram`]).
+    pub l1_hits: u64,
+    /// 32-byte sectors served by the L2.
+    pub l2_hits: u64,
+    /// 32-byte sectors moved over DRAM (demand fetches + dirty
+    /// writebacks) — the cache model's replacement for `transactions` on
+    /// the DRAM bus.
+    pub dram_transactions: u64,
+    /// Misses merged into an already-outstanding MSHR entry.
+    pub mshr_merges: u64,
 }
 
 impl BlockCost {
@@ -118,6 +129,41 @@ impl BlockCost {
         self.active_lanes += o.active_lanes;
         self.warps += o.warps;
         self.threads += o.threads;
+        self.l1_hits += o.l1_hits;
+        self.l2_hits += o.l2_hits;
+        self.dram_transactions += o.dram_transactions;
+        self.mshr_merges += o.mshr_merges;
+    }
+
+    /// DRAM bytes under the cache model: 32-byte sector traffic, with the
+    /// coalesced ECC check-bit overhead when ECC is on (sector traffic is
+    /// exact, so the uncoalesced surcharge does not apply).
+    pub fn cached_dram_bytes(&self, cfg: &DeviceConfig) -> f64 {
+        let bytes = self.dram_transactions as f64 * crate::mem::SECTOR_BYTES as f64;
+        if cfg.ecc {
+            bytes * (1.0 + cfg.ecc_coalesced_overhead)
+        } else {
+            bytes
+        }
+    }
+
+    /// Memory-side (DRAM-domain) energy under the cache model: only the
+    /// traffic that actually reached DRAM, plus atomics (resolved at the
+    /// L2/DRAM boundary).
+    pub fn cached_dram_energy(&self, p: &PowerParams) -> f64 {
+        self.dram_transactions as f64 * crate::mem::SECTOR_BYTES as f64 * p.e_dram_byte
+            + self.dram_transactions as f64 * p.e_txn
+            + self.atomics as f64 * p.e_atomic
+    }
+
+    /// Core-domain energy of sectors served by the L1.
+    pub fn l1_energy(&self, cc: &crate::mem::CacheConfig) -> f64 {
+        self.l1_hits as f64 * crate::mem::SECTOR_BYTES as f64 * cc.e_l1_byte
+    }
+
+    /// Core-domain energy of sectors served by the L2.
+    pub fn l2_energy(&self, cc: &crate::mem::CacheConfig) -> f64 {
+        self.l2_hits as f64 * crate::mem::SECTOR_BYTES as f64 * cc.e_l2_byte
     }
 }
 
@@ -200,6 +246,28 @@ mod tests {
         assert_eq!(a.transactions, 5);
         assert_eq!(a.ideal_transactions, 3);
         assert_eq!(a.issue_cycles, 5.0);
+    }
+
+    #[test]
+    fn cached_dram_bytes_and_energy_track_sector_traffic() {
+        let p = PowerParams::default();
+        let cc = crate::mem::CacheConfig::k20();
+        let mut c = BlockCost::default();
+        assert_eq!(c.cached_dram_energy(&p), 0.0);
+        c.l1_hits = 10;
+        c.l2_hits = 4;
+        c.dram_transactions = 3;
+        let mut d = BlockCost::default();
+        d.merge(&c);
+        assert_eq!(d.l1_hits, 10);
+        assert_eq!(d.l2_hits, 4);
+        assert_eq!(d.dram_transactions, 3);
+        let cfg = DeviceConfig::k20c(ClockConfig::k20_default(), false);
+        assert_eq!(c.cached_dram_bytes(&cfg), 96.0);
+        let ecc = DeviceConfig::k20c(ClockConfig::k20_default(), true);
+        assert!(c.cached_dram_bytes(&ecc) > 96.0);
+        assert!(c.cached_dram_energy(&p) > 0.0);
+        assert!(c.l1_energy(&cc) < c.l2_energy(&cc) * 10.0 / 4.0);
     }
 
     #[test]

@@ -24,6 +24,15 @@ pub struct KernelCounters {
     pub barriers: f64,
     pub slots: f64,
     pub active_lanes: f64,
+    /// 32-byte sectors served by the L1 (zero under the flat-DRAM model).
+    pub l1_hits: f64,
+    /// 32-byte sectors served by the L2.
+    pub l2_hits: f64,
+    /// 32-byte sectors moved over DRAM under the cache model (demand
+    /// fetches + dirty writebacks).
+    pub dram_transactions: f64,
+    /// Misses merged into already-outstanding MSHR entries.
+    pub mshr_merges: f64,
 }
 
 impl KernelCounters {
@@ -46,6 +55,10 @@ impl KernelCounters {
         self.barriers += c.barriers as f64 * mult;
         self.slots += c.slots as f64 * mult;
         self.active_lanes += c.active_lanes as f64 * mult;
+        self.l1_hits += c.l1_hits as f64 * mult;
+        self.l2_hits += c.l2_hits as f64 * mult;
+        self.dram_transactions += c.dram_transactions as f64 * mult;
+        self.mshr_merges += c.mshr_merges as f64 * mult;
     }
 
     /// Merge another launch's counters (for program-level totals).
@@ -67,6 +80,10 @@ impl KernelCounters {
         self.barriers += o.barriers;
         self.slots += o.slots;
         self.active_lanes += o.active_lanes;
+        self.l1_hits += o.l1_hits;
+        self.l2_hits += o.l2_hits;
+        self.dram_transactions += o.dram_transactions;
+        self.mshr_merges += o.mshr_merges;
     }
 
     /// Total lane-level compute ops across all classes.
@@ -125,6 +142,29 @@ impl KernelCounters {
             }
         } else {
             (self.ideal_transactions / self.transactions).clamp(0.0, 1.0)
+        }
+    }
+
+    /// L1 hit rate over all sector requests reaching the cache hierarchy
+    /// (MSHR merges count as requests the L1 absorbed without a new fill).
+    /// 0.0 when the launch ran under the flat-DRAM model or did no memory.
+    pub fn l1_hit_rate(&self) -> f64 {
+        let total = self.l1_hits + self.l2_hits + self.dram_transactions + self.mshr_merges;
+        if total <= 0.0 {
+            0.0
+        } else {
+            (self.l1_hits / total).clamp(0.0, 1.0)
+        }
+    }
+
+    /// L2 hit rate over the sector requests that missed the L1.
+    /// 0.0 when nothing reached the L2.
+    pub fn l2_hit_rate(&self) -> f64 {
+        let total = self.l2_hits + self.dram_transactions;
+        if total <= 0.0 {
+            0.0
+        } else {
+            (self.l2_hits / total).clamp(0.0, 1.0)
         }
     }
 
@@ -260,6 +300,23 @@ mod tests {
         let empty = KernelCounters::default();
         assert_eq!(empty.coalescing_efficiency(), 0.0);
         assert_eq!(empty.bank_conflict_share(), 0.0);
+    }
+
+    #[test]
+    fn hit_rates_follow_tier_counters_and_handle_zero() {
+        let k = KernelCounters {
+            l1_hits: 60.0,
+            l2_hits: 30.0,
+            dram_transactions: 10.0,
+            mshr_merges: 20.0,
+            ..KernelCounters::default()
+        };
+        assert!((k.l1_hit_rate() - 60.0 / 120.0).abs() < 1e-12);
+        assert!((k.l2_hit_rate() - 30.0 / 40.0).abs() < 1e-12);
+        // Flat-DRAM launches report 0.0 rather than NaN.
+        let flat = KernelCounters::default();
+        assert_eq!(flat.l1_hit_rate(), 0.0);
+        assert_eq!(flat.l2_hit_rate(), 0.0);
     }
 
     #[test]

@@ -104,8 +104,12 @@ fn exec_one_block(
     grid: u32,
     block_threads: u32,
     scratch: ExecScratch,
+    cache: Option<&crate::mem::CacheConfig>,
 ) -> (BlockCost, ExecScratch) {
     let mut blk = BlockCtx::with_scratch(mem, block_idx, grid, block_threads, scratch);
+    if let Some(cc) = cache {
+        blk.enable_cache(cc);
+    }
     kernel.run_block(&mut blk);
     blk.finish()
 }
@@ -527,6 +531,7 @@ impl Device {
             None => {
                 let mem = &mut self.mem;
                 let scratch = &mut self.scratch;
+                let cache_cfg = self.cfg.mem_model.cache().copied();
                 run_launch_pooled(
                     &self.cfg,
                     &mut self.rng,
@@ -545,6 +550,9 @@ impl Device {
                             block_threads,
                             std::mem::take(scratch),
                         );
+                        if let Some(cc) = cache_cfg.as_ref() {
+                            blk.enable_cache(cc);
+                        }
                         if let Some(obs) = access {
                             blk.attach_observer(obs, launch_id);
                         }
@@ -610,11 +618,13 @@ impl Device {
             grid,
             block_threads,
             mem_fp,
+            model_fp: self.cfg.mem_model.fingerprint(),
         };
         if let Some(fx) = memo::lookup(&key) {
             self.mem.apply_slots(&fx.writes);
             return Some((key, fx));
         }
+        let cache_cfg = self.cfg.mem_model.cache().copied();
         let jobs = jobs.clamp(1, grid as usize);
         let fx = if jobs == 1 {
             // Execute the grid in block order against one clone of the
@@ -624,7 +634,15 @@ impl Device {
             let mut scratch = std::mem::take(&mut self.scratch);
             let mut costs = Vec::with_capacity(grid as usize);
             for b in 0..grid {
-                let (cost, s) = exec_one_block(kernel, &mut post, b, grid, block_threads, scratch);
+                let (cost, s) = exec_one_block(
+                    kernel,
+                    &mut post,
+                    b,
+                    grid,
+                    block_threads,
+                    scratch,
+                    cache_cfg.as_ref(),
+                );
                 scratch = s;
                 costs.push(cost);
             }
@@ -649,8 +667,15 @@ impl Device {
                             let mut scratch = ExecScratch::default();
                             let mut costs = Vec::with_capacity((hi - lo) as usize);
                             for b in lo..hi {
-                                let (cost, sc) =
-                                    exec_one_block(kernel, &mut m, b, grid, block_threads, scratch);
+                                let (cost, sc) = exec_one_block(
+                                    kernel,
+                                    &mut m,
+                                    b,
+                                    grid,
+                                    block_threads,
+                                    scratch,
+                                    cache_cfg.as_ref(),
+                                );
                                 scratch = sc;
                                 costs.push(cost);
                             }

@@ -53,6 +53,7 @@ pub mod counters;
 pub mod device;
 pub mod footprint;
 pub mod kernel;
+pub mod mem;
 mod memo;
 pub mod occupancy;
 pub mod ops;
@@ -80,6 +81,7 @@ pub use footprint::{
     LaunchSummary, Span,
 };
 pub use kernel::{Kernel, KernelResources, ParamKey};
+pub use mem::{CacheConfig, CacheCounters, CacheSim, MemoryModel};
 pub use occupancy::{occupancy_report, resident_blocks, Limiter, OccupancyReport};
 pub use ops::CompClass;
 pub use trace::{

@@ -1,0 +1,168 @@
+//! Per-SM sectored L1 data cache: write-evict (stores invalidate their
+//! line and pass through to L2), LRU replacement, validity tracked per
+//! 32-byte sector within 128-byte lines.
+
+use super::SECTORS_PER_LINE;
+
+#[derive(Clone, Copy, Default)]
+struct Way {
+    /// Line number (address / LINE_BYTES) — the full number serves as tag.
+    line: u64,
+    /// Valid-sector mask (one bit per 32-byte sector of the line).
+    valid: u8,
+    /// Generation this way was last written in; stale generations count as
+    /// invalid, making reset O(1).
+    epoch: u64,
+    /// LRU stamp: larger = more recently used.
+    lru: u64,
+}
+
+pub struct L1Cache {
+    sets: usize,
+    assoc: usize,
+    /// `sets * assoc` ways, set-major.
+    ways: Vec<Way>,
+    epoch: u64,
+    stamp: u64,
+}
+
+impl L1Cache {
+    pub fn new(bytes: usize, assoc: usize) -> Self {
+        let assoc = assoc.max(1);
+        let sets = (bytes / super::LINE_BYTES as usize / assoc).max(1);
+        Self {
+            sets,
+            assoc,
+            ways: vec![Way::default(); sets * assoc],
+            epoch: 1,
+            stamp: 0,
+        }
+    }
+
+    /// Invalidate everything (next block) without touching the arrays.
+    pub fn reset(&mut self) {
+        self.epoch += 1;
+        self.stamp = 0;
+    }
+
+    fn set_range(&self, line: u64) -> std::ops::Range<usize> {
+        let set = (line % self.sets as u64) as usize;
+        set * self.assoc..(set + 1) * self.assoc
+    }
+
+    /// Probe one sector (given as a single-bit mask). Updates LRU on hit.
+    pub fn probe(&mut self, line: u64, sector_bit: u8) -> bool {
+        let epoch = self.epoch;
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let range = self.set_range(line);
+        for w in &mut self.ways[range] {
+            if w.epoch == epoch && w.line == line && w.valid & sector_bit != 0 {
+                w.lru = stamp;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Fill fetched sectors of a line (from a retiring MSHR entry),
+    /// evicting the LRU way of the set if the line is not resident.
+    /// Write-evict means eviction never writes back.
+    pub fn fill(&mut self, line: u64, mask: u8) {
+        debug_assert!(mask != 0 && mask < (1 << SECTORS_PER_LINE), "fill ⊆ line");
+        let epoch = self.epoch;
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let range = self.set_range(line);
+        let ways = &mut self.ways[range];
+        // Merge into the resident line if present.
+        if let Some(w) = ways.iter_mut().find(|w| w.epoch == epoch && w.line == line) {
+            w.valid |= mask;
+            w.lru = stamp;
+            return;
+        }
+        // Otherwise take an invalid way, or evict the LRU one.
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|w| if w.epoch == epoch { (1, w.lru) } else { (0, 0) })
+            .expect("assoc >= 1");
+        *victim = Way {
+            line,
+            valid: mask,
+            epoch,
+            lru: stamp,
+        };
+    }
+
+    /// Drop a line (write-evict on store, or atomic coherence).
+    pub fn invalidate(&mut self, line: u64) {
+        let epoch = self.epoch;
+        let range = self.set_range(line);
+        for w in &mut self.ways[range] {
+            if w.epoch == epoch && w.line == line {
+                w.valid = 0;
+            }
+        }
+    }
+
+    /// Test hook: sector masks fit the line, no duplicate tags in a set,
+    /// and occupancy cannot exceed associativity (structural).
+    pub fn assert_invariants(&self) {
+        for set in 0..self.sets {
+            let ways = &self.ways[set * self.assoc..(set + 1) * self.assoc];
+            let live: Vec<u64> = ways
+                .iter()
+                .filter(|w| w.epoch == self.epoch && w.valid != 0)
+                .map(|w| w.line)
+                .collect();
+            assert!(live.len() <= self.assoc, "set occupancy <= associativity");
+            for w in ways {
+                assert!(w.valid < (1 << SECTORS_PER_LINE), "sector mask fits line");
+            }
+            let mut dedup = live.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), live.len(), "no duplicate lines in a set");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_miss_then_fill_then_hit() {
+        let mut l1 = L1Cache::new(16 * 1024, 4);
+        assert!(!l1.probe(7, 0b0001));
+        l1.fill(7, 0b0011);
+        assert!(l1.probe(7, 0b0001));
+        assert!(l1.probe(7, 0b0010));
+        assert!(!l1.probe(7, 0b0100)); // sector not fetched
+        l1.invalidate(7);
+        assert!(!l1.probe(7, 0b0001));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        // 1 set x 2 ways: lines 0, 2, 4 all map to set 0.
+        let mut l1 = L1Cache::new(256, 2);
+        l1.fill(0, 0b1111);
+        l1.fill(2, 0b1111);
+        assert!(l1.probe(0, 1)); // touch line 0: line 2 becomes LRU
+        l1.fill(4, 0b1111);
+        assert!(l1.probe(0, 1));
+        assert!(!l1.probe(2, 1));
+        assert!(l1.probe(4, 1));
+        l1.assert_invariants();
+    }
+
+    #[test]
+    fn reset_invalidates_everything() {
+        let mut l1 = L1Cache::new(16 * 1024, 4);
+        l1.fill(3, 0b1111);
+        assert!(l1.probe(3, 1));
+        l1.reset();
+        assert!(!l1.probe(3, 1));
+    }
+}

@@ -1,0 +1,262 @@
+//! Shared L2 cache: write-back, write-allocate without fetch-on-write-miss,
+//! sectored 128-byte lines with per-sector valid and dirty bits, LRU
+//! replacement. Dirty sectors evicted (or flushed at end of block) count
+//! as DRAM transactions.
+
+use super::SECTORS_PER_LINE;
+
+#[derive(Clone, Copy, Default)]
+struct Way {
+    line: u64,
+    valid: u8,
+    dirty: u8,
+    epoch: u64,
+    lru: u64,
+}
+
+/// Result of a read probe-and-fill.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ReadOutcome {
+    Hit,
+    /// The sector was fetched from DRAM; evicting the victim line wrote
+    /// back `writeback_sectors` dirty sectors.
+    Miss {
+        writeback_sectors: u64,
+    },
+}
+
+/// Result of a write.
+#[derive(Debug, PartialEq, Eq)]
+pub enum WriteOutcome {
+    /// The sector was already valid (write hit).
+    Hit,
+    /// Write-allocated without fetching; evicting the victim line wrote
+    /// back `writeback_sectors` dirty sectors.
+    Alloc { writeback_sectors: u64 },
+}
+
+pub struct L2Cache {
+    sets: usize,
+    assoc: usize,
+    ways: Vec<Way>,
+    epoch: u64,
+    stamp: u64,
+}
+
+impl L2Cache {
+    pub fn new(bytes: usize, assoc: usize) -> Self {
+        let assoc = assoc.max(1);
+        let sets = (bytes / super::LINE_BYTES as usize / assoc).max(1);
+        Self {
+            sets,
+            assoc,
+            ways: vec![Way::default(); sets * assoc],
+            epoch: 1,
+            stamp: 0,
+        }
+    }
+
+    pub fn reset(&mut self) {
+        self.epoch += 1;
+        self.stamp = 0;
+    }
+
+    fn set_range(&self, line: u64) -> std::ops::Range<usize> {
+        // Bank/set interleaving: consecutive lines go to consecutive sets
+        // (which is also how the banked L2 stripes addresses).
+        let set = (line % self.sets as u64) as usize;
+        set * self.assoc..(set + 1) * self.assoc
+    }
+
+    /// Find-or-allocate the way for `line`; returns (way index into the
+    /// full array, dirty sectors written back by the eviction if any).
+    fn way_for(&mut self, line: u64) -> (usize, u64) {
+        let epoch = self.epoch;
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let range = self.set_range(line);
+        let base = range.start;
+        let ways = &mut self.ways[range];
+        if let Some(i) = ways.iter().position(|w| w.epoch == epoch && w.line == line) {
+            ways[i].lru = stamp;
+            return (base + i, 0);
+        }
+        let (i, _) = ways
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, w)| if w.epoch == epoch { (1, w.lru) } else { (0, 0) })
+            .expect("assoc >= 1");
+        let evicted_dirty = if ways[i].epoch == epoch {
+            ways[i].dirty.count_ones() as u64
+        } else {
+            0
+        };
+        ways[i] = Way {
+            line,
+            valid: 0,
+            dirty: 0,
+            epoch,
+            lru: stamp,
+        };
+        (base + i, evicted_dirty)
+    }
+
+    /// Read one sector: fetch it from DRAM if not valid.
+    pub fn read(&mut self, line: u64, sector_bit: u8) -> ReadOutcome {
+        debug_assert!(sector_bit.count_ones() == 1 && sector_bit < (1 << SECTORS_PER_LINE));
+        let (i, writeback_sectors) = self.way_for(line);
+        let w = &mut self.ways[i];
+        if w.valid & sector_bit != 0 {
+            debug_assert_eq!(writeback_sectors, 0);
+            ReadOutcome::Hit
+        } else {
+            w.valid |= sector_bit;
+            ReadOutcome::Miss { writeback_sectors }
+        }
+    }
+
+    /// Write one sector: write-allocate, no fetch on miss.
+    pub fn write(&mut self, line: u64, sector_bit: u8) -> WriteOutcome {
+        debug_assert!(sector_bit.count_ones() == 1 && sector_bit < (1 << SECTORS_PER_LINE));
+        let (i, writeback_sectors) = self.way_for(line);
+        let w = &mut self.ways[i];
+        let hit = w.valid & sector_bit != 0;
+        w.valid |= sector_bit;
+        w.dirty |= sector_bit;
+        if hit {
+            debug_assert_eq!(writeback_sectors, 0);
+            WriteOutcome::Hit
+        } else {
+            WriteOutcome::Alloc { writeback_sectors }
+        }
+    }
+
+    /// Mark a resident sector dirty (atomic read-modify-write).
+    pub fn mark_dirty(&mut self, line: u64, sector_bit: u8) {
+        let epoch = self.epoch;
+        let range = self.set_range(line);
+        for w in &mut self.ways[range] {
+            if w.epoch == epoch && w.line == line {
+                w.dirty |= sector_bit;
+            }
+        }
+    }
+
+    /// Write every surviving dirty sector back to DRAM; returns the sector
+    /// count and clears the dirty bits.
+    pub fn flush_dirty(&mut self) -> u64 {
+        let mut sectors = 0u64;
+        for w in &mut self.ways {
+            if w.epoch == self.epoch {
+                sectors += w.dirty.count_ones() as u64;
+                w.dirty = 0;
+            }
+        }
+        sectors
+    }
+
+    /// Test hook: mirror of [`super::L1Cache::assert_invariants`], plus
+    /// dirty ⊆ valid ⊆ line.
+    pub fn assert_invariants(&self) {
+        for set in 0..self.sets {
+            let ways = &self.ways[set * self.assoc..(set + 1) * self.assoc];
+            let live: Vec<u64> = ways
+                .iter()
+                .filter(|w| w.epoch == self.epoch && w.valid != 0)
+                .map(|w| w.line)
+                .collect();
+            assert!(live.len() <= self.assoc, "set occupancy <= associativity");
+            for w in ways {
+                assert!(w.valid < (1 << SECTORS_PER_LINE), "sector mask fits line");
+                if w.epoch == self.epoch {
+                    assert_eq!(w.dirty & !w.valid, 0, "dirty sectors are valid");
+                }
+            }
+            let mut dedup = live.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), live.len(), "no duplicate lines in a set");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_fetches_each_sector_once() {
+        let mut l2 = L2Cache::new(1280 * 1024, 16);
+        assert_eq!(
+            l2.read(5, 0b0001),
+            ReadOutcome::Miss {
+                writeback_sectors: 0
+            }
+        );
+        assert_eq!(l2.read(5, 0b0001), ReadOutcome::Hit);
+        assert_eq!(
+            l2.read(5, 0b1000),
+            ReadOutcome::Miss {
+                writeback_sectors: 0
+            }
+        );
+        l2.assert_invariants();
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_sectors() {
+        // 1 set x 1 way: every line collides.
+        let mut l2 = L2Cache::new(128, 1);
+        assert_eq!(
+            l2.write(1, 0b0001),
+            WriteOutcome::Alloc {
+                writeback_sectors: 0
+            }
+        );
+        assert_eq!(
+            l2.write(1, 0b0010),
+            WriteOutcome::Alloc {
+                writeback_sectors: 0
+            }
+        );
+        assert_eq!(l2.write(1, 0b0010), WriteOutcome::Hit);
+        // Line 2 evicts line 1, which holds two dirty sectors.
+        assert_eq!(
+            l2.read(2, 0b0001),
+            ReadOutcome::Miss {
+                writeback_sectors: 2
+            }
+        );
+        // Nothing dirty remains for line 2.
+        assert_eq!(l2.flush_dirty(), 0);
+        l2.assert_invariants();
+    }
+
+    #[test]
+    fn flush_reports_and_clears_dirty() {
+        let mut l2 = L2Cache::new(1280 * 1024, 16);
+        l2.write(1, 0b0001);
+        l2.write(2, 0b0100);
+        l2.write(2, 0b0001);
+        assert_eq!(l2.flush_dirty(), 3);
+        assert_eq!(l2.flush_dirty(), 0);
+        // Sectors stay valid after a flush (clean).
+        assert_eq!(l2.read(1, 0b0001), ReadOutcome::Hit);
+    }
+
+    #[test]
+    fn reset_drops_state_without_writebacks() {
+        let mut l2 = L2Cache::new(1280 * 1024, 16);
+        for bit in [0b0001, 0b0010, 0b0100, 0b1000] {
+            l2.write(9, bit);
+        }
+        l2.reset();
+        assert_eq!(l2.flush_dirty(), 0);
+        assert_eq!(
+            l2.read(9, 0b0001),
+            ReadOutcome::Miss {
+                writeback_sectors: 0
+            }
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! Miss-status holding registers: one entry tracks the in-flight sectors
+//! of one 128-byte line. A second miss to a pending sector merges into the
+//! existing entry instead of issuing a new fetch; when the file is full
+//! the oldest entry retires (its sectors fill into the L1) to make room.
+
+use std::collections::VecDeque;
+
+pub struct Mshr {
+    entries: VecDeque<(u64, u8)>,
+    cap: usize,
+    max_live: usize,
+}
+
+impl Mshr {
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        Self {
+            entries: VecDeque::with_capacity(cap),
+            cap,
+            max_live: 0,
+        }
+    }
+
+    pub fn reset(&mut self) {
+        self.entries.clear();
+        self.max_live = 0;
+    }
+
+    /// Is a fetch of this sector already in flight?
+    pub fn pending(&self, line: u64, sector_bit: u8) -> bool {
+        self.entries
+            .iter()
+            .any(|&(l, m)| l == line && m & sector_bit != 0)
+    }
+
+    /// Track a new outstanding sector fetch. Merges into the line's entry
+    /// if one exists; otherwise takes a fresh entry, retiring (and
+    /// returning) the oldest one when the file is at capacity — the
+    /// outstanding-miss budget is never exceeded.
+    pub fn allocate(&mut self, line: u64, sector_bit: u8) -> Option<(u64, u8)> {
+        if let Some(e) = self.entries.iter_mut().find(|(l, _)| *l == line) {
+            e.1 |= sector_bit;
+            return None;
+        }
+        let retired = if self.entries.len() == self.cap {
+            self.entries.pop_front()
+        } else {
+            None
+        };
+        self.entries.push_back((line, sector_bit));
+        self.max_live = self.max_live.max(self.entries.len());
+        debug_assert!(self.entries.len() <= self.cap);
+        retired
+    }
+
+    /// Retire the oldest outstanding entry (end-of-block drain).
+    pub fn pop(&mut self) -> Option<(u64, u8)> {
+        self.entries.pop_front()
+    }
+
+    /// Outstanding entries right now.
+    pub fn live(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// High-water mark of outstanding entries.
+    pub fn max_live(&self) -> usize {
+        self.max_live
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merges_same_line_sectors() {
+        let mut m = Mshr::new(4);
+        assert!(m.allocate(10, 0b0001).is_none());
+        assert!(m.allocate(10, 0b0100).is_none());
+        assert_eq!(m.live(), 1);
+        assert!(m.pending(10, 0b0001));
+        assert!(m.pending(10, 0b0100));
+        assert!(!m.pending(10, 0b0010));
+        assert!(!m.pending(11, 0b0001));
+    }
+
+    #[test]
+    fn full_file_retires_fifo() {
+        let mut m = Mshr::new(2);
+        assert!(m.allocate(1, 0b0001).is_none());
+        assert!(m.allocate(2, 0b0010).is_none());
+        // Third line: the file is full, the oldest entry retires.
+        assert_eq!(m.allocate(3, 0b0100), Some((1, 0b0001)));
+        assert_eq!(m.live(), 2);
+        assert_eq!(m.max_live(), 2);
+        assert!(!m.pending(1, 0b0001));
+        assert_eq!(m.pop(), Some((2, 0b0010)));
+        assert_eq!(m.pop(), Some((3, 0b0100)));
+        assert_eq!(m.pop(), None);
+    }
+}

@@ -1,0 +1,148 @@
+//! SM↔L2 crossbar arbiter: water-fills the aggregate L2 bandwidth over
+//! the blocks demanding it, with each SM's crossbar port capping the sum
+//! its own blocks can draw. Pure slice-level function so the fluid
+//! scheduler can call it allocation-free with pooled scratch.
+
+/// Reusable working memory for [`arbitrate_l2`].
+#[derive(Default)]
+pub struct XbarScratch {
+    sm_counts: Vec<u32>,
+    uncapped: Vec<usize>,
+    next_uncapped: Vec<usize>,
+}
+
+impl XbarScratch {
+    /// Pre-size for `num_sms` and up to `demanders` blocks so the hot
+    /// path never reallocates. Call with the vectors empty (launch setup).
+    pub fn reserve(&mut self, num_sms: usize, demanders: usize) {
+        self.sm_counts.clear();
+        self.sm_counts.reserve(num_sms);
+        self.uncapped.clear();
+        self.uncapped.reserve(demanders);
+        self.next_uncapped.clear();
+        self.next_uncapped.reserve(demanders);
+    }
+
+    /// Capacities (for the scheduler's no-allocation debug assertion).
+    pub fn caps(&self) -> (usize, usize, usize) {
+        (
+            self.sm_counts.capacity(),
+            self.uncapped.capacity(),
+            self.next_uncapped.capacity(),
+        )
+    }
+}
+
+const EPS: f64 = 1e-9;
+
+/// Distribute `total_bps` of L2 bandwidth over the demanders.
+///
+/// `sm[i]` is demander `i`'s SM; `rates[i]` receives its granted
+/// bytes/second. Each demander is capped by its SM's port share
+/// (`port_bps` divided evenly among that SM's demanders — the port is a
+/// serial link, so co-resident blocks time-slice it), and the grand total
+/// never exceeds `total_bps`. Three redistribution rounds, like the DRAM
+/// water-fill in the scheduler.
+pub fn arbitrate_l2(
+    sm: &[usize],
+    rates: &mut [f64],
+    num_sms: usize,
+    total_bps: f64,
+    port_bps: f64,
+    scr: &mut XbarScratch,
+) {
+    debug_assert_eq!(sm.len(), rates.len());
+    rates.iter_mut().for_each(|r| *r = 0.0);
+    if sm.is_empty() || total_bps <= EPS {
+        return;
+    }
+    scr.sm_counts.clear();
+    scr.sm_counts.resize(num_sms, 0);
+    for &s in sm {
+        scr.sm_counts[s] += 1;
+    }
+    let mut remaining = total_bps;
+    scr.uncapped.clear();
+    scr.uncapped.extend(0..sm.len());
+    for _ in 0..3 {
+        if scr.uncapped.is_empty() || remaining <= EPS {
+            break;
+        }
+        let fair = remaining / scr.uncapped.len() as f64;
+        scr.next_uncapped.clear();
+        for &i in scr.uncapped.iter() {
+            let cap = port_bps / scr.sm_counts[sm[i]] as f64;
+            let take = fair.min(cap - rates[i]);
+            if take > EPS {
+                rates[i] += take;
+                remaining -= take;
+                if rates[i] < cap - EPS {
+                    scr.next_uncapped.push(i);
+                }
+            }
+        }
+        std::mem::swap(&mut scr.uncapped, &mut scr.next_uncapped);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(sm: &[usize], num_sms: usize, total: f64, port: f64) -> Vec<f64> {
+        let mut rates = vec![0.0; sm.len()];
+        let mut scr = XbarScratch::default();
+        arbitrate_l2(sm, &mut rates, num_sms, total, port, &mut scr);
+        rates
+    }
+
+    #[test]
+    fn single_block_is_port_limited() {
+        let r = run(&[0], 13, 700e9, 90e9);
+        assert!((r[0] - 90e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn same_sm_blocks_share_the_port() {
+        let r = run(&[0, 0, 0], 13, 700e9, 90e9);
+        for &x in &r {
+            assert!((x - 30e9).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn many_sms_saturate_the_total() {
+        // 13 SMs x 90 GB/s of ports = 1170 GB/s of port capacity against
+        // 700 GB/s of L2: the total is the binding constraint.
+        let sm: Vec<usize> = (0..13).collect();
+        let r = run(&sm, 13, 700e9, 90e9);
+        let sum: f64 = r.iter().sum();
+        assert!((sum - 700e9).abs() < 1e3, "sum {sum:.3e}");
+        // No block exceeds its port.
+        assert!(r.iter().all(|&x| x <= 90e9 + 1.0));
+    }
+
+    #[test]
+    fn unused_port_bandwidth_redistributes() {
+        // Two SMs: one with 4 blocks (port-bound), one with 1. The lone
+        // block takes a full port; the crowded SM's blocks split theirs.
+        let r = run(&[0, 0, 0, 0, 1], 2, 120e9, 60e9);
+        let crowded: f64 = r[..4].iter().sum();
+        assert!((crowded - 60e9).abs() < 1e3, "crowded {crowded:.3e}");
+        assert!((r[4] - 60e9).abs() < 1e3, "lone {:.3e}", r[4]);
+    }
+
+    #[test]
+    fn grand_total_never_exceeds_l2_bandwidth() {
+        let sm: Vec<usize> = (0..64).map(|i| i % 4).collect();
+        let r = run(&sm, 4, 500e9, 200e9);
+        let sum: f64 = r.iter().sum();
+        assert!(sum <= 500e9 + 1.0);
+    }
+
+    #[test]
+    fn empty_demand_is_a_no_op() {
+        let r = run(&[], 13, 700e9, 90e9);
+        assert!(r.is_empty());
+    }
+}

@@ -34,6 +34,10 @@ pub(crate) struct LaunchKey {
     pub block_threads: u32,
     /// Fingerprint of the full pre-launch memory image.
     pub mem_fp: [u64; 2],
+    /// Fingerprint of the device's [`crate::mem::MemoryModel`]: cached
+    /// per-block costs carry cache-tier counters, so effects computed under
+    /// one memory model must never replay under another.
+    pub model_fp: u64,
 }
 
 /// The cached outcome of functionally executing one launch.
@@ -139,7 +143,23 @@ mod tests {
             grid: 4,
             block_threads: 64,
             mem_fp: [tag, !tag],
+            model_fp: crate::mem::MemoryModel::FlatDram.fingerprint(),
         }
+    }
+
+    #[test]
+    fn memory_model_is_part_of_the_key() {
+        let _g = test_guard();
+        reset();
+        insert(key(3), effects(2));
+        let cached = LaunchKey {
+            model_fp: crate::mem::MemoryModel::Cached(crate::mem::CacheConfig::k20()).fingerprint(),
+            ..key(3)
+        };
+        assert!(
+            lookup(&cached).is_none(),
+            "flat-model effects must not replay under the cache model"
+        );
     }
 
     fn effects(blocks: usize) -> Arc<LaunchEffects> {

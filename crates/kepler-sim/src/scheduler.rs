@@ -15,6 +15,7 @@
 use crate::config::DeviceConfig;
 use crate::cost::BlockCost;
 use crate::kernel::KernelResources;
+use crate::mem::{arbitrate_l2, XbarScratch};
 use crate::occupancy::resident_blocks;
 use gpower::PowerTrace;
 use rand::rngs::SmallRng;
@@ -36,18 +37,27 @@ struct Active {
     block: u32,
     comp_rem: f64,
     mem_rem: f64,
+    /// L2-hit sector traffic still to drain (bytes). Zero under
+    /// [`crate::mem::MemoryModel::FlatDram`], where every coalesced byte
+    /// rides the DRAM stream instead.
+    l2_rem: f64,
     comp_total: f64,
     mem_total: f64,
+    l2_total: f64,
     /// Voltage-scaled joules released in proportion to compute progress.
     comp_energy: f64,
     /// Voltage-scaled joules released in proportion to memory progress.
     mem_energy: f64,
+    /// Voltage-scaled joules released in proportion to L2-stream progress
+    /// (L1 + L2 hit energy; core-side, so scaled by the core voltage).
+    l2_energy: f64,
     /// Earliest completion time (latency floor).
     min_end: f64,
     warps: f64,
     /// Scratch: rates for the current interval.
     rate_c: f64,
     rate_m: f64,
+    rate_l2: f64,
 }
 
 const EPS: f64 = 1e-9;
@@ -81,6 +91,13 @@ pub struct SchedScratch {
     /// Water-filling worklists (indices into `active`).
     uncapped: Vec<usize>,
     next_uncapped: Vec<usize>,
+    /// L2 water-fill demander lists: indices into `active`, their SMs and
+    /// the granted rates. Empty every interval under `FlatDram`.
+    l2_idx: Vec<usize>,
+    l2_sm: Vec<usize>,
+    l2_rates: Vec<f64>,
+    /// SM↔L2 crossbar arbiter working memory.
+    xbar: XbarScratch,
     /// Telemetry per-SM accumulators for the current interval.
     sm_watts: Vec<f64>,
     sm_issue: Vec<f64>,
@@ -164,6 +181,13 @@ pub fn run_launch_pooled(
     let dram_bps = cfg.dram_bytes_per_s();
     let dram_lat = cfg.dram_latency();
     let ecc_energy_factor = if cfg.ecc { 1.25 } else { 1.0 };
+    // The caches and the SM↔L2 crossbar live in the *core* clock domain,
+    // so the L2 stream's bandwidth scales with the graphics clock:
+    // cache-resident codes keep slowing down when the core clock drops,
+    // even though they barely touch DRAM.
+    let cache_cfg = cfg.mem_model.cache();
+    let l2_bps = cache_cfg.map_or(0.0, |cc| cc.l2_bytes_per_core_cycle * core_hz);
+    let l2_port_bps = cache_cfg.map_or(0.0, |cc| cc.xbar_port_bytes_per_core_cycle * core_hz);
 
     let t_start = trace.end_time();
     let mut now = t_start;
@@ -180,6 +204,10 @@ pub fn run_launch_pooled(
         level_mask,
         uncapped,
         next_uncapped,
+        l2_idx,
+        l2_sm,
+        l2_rates,
+        xbar,
         sm_watts,
         sm_issue,
         order,
@@ -206,6 +234,13 @@ pub fn run_launch_pooled(
     uncapped.reserve(slots);
     next_uncapped.clear();
     next_uncapped.reserve(slots);
+    l2_idx.clear();
+    l2_idx.reserve(slots);
+    l2_sm.clear();
+    l2_sm.reserve(slots);
+    l2_rates.clear();
+    l2_rates.reserve(slots);
+    xbar.reserve(cfg.num_sms, slots);
     sm_watts.clear();
     sm_watts.resize(cfg.num_sms, 0.0);
     sm_issue.clear();
@@ -238,16 +273,24 @@ pub fn run_launch_pooled(
     macro_rules! scratch_caps {
         () => {
             (
-                active.capacity(),
-                sm_resident.capacity(),
-                sm_warps.capacity(),
-                sm_demand.capacity(),
-                level_mask.capacity(),
-                uncapped.capacity(),
-                next_uncapped.capacity(),
-                sm_watts.capacity(),
-                sm_issue.capacity(),
-                order.capacity(),
+                (
+                    active.capacity(),
+                    sm_resident.capacity(),
+                    sm_warps.capacity(),
+                    sm_demand.capacity(),
+                    level_mask.capacity(),
+                    uncapped.capacity(),
+                    next_uncapped.capacity(),
+                    sm_watts.capacity(),
+                    sm_issue.capacity(),
+                    order.capacity(),
+                ),
+                (
+                    l2_idx.capacity(),
+                    l2_sm.capacity(),
+                    l2_rates.capacity(),
+                    xbar.caps(),
+                ),
             )
         };
     }
@@ -268,22 +311,50 @@ pub fn run_launch_pooled(
             let jitter = 1.0 + cfg.jitter * (rng.gen::<f64>() - 0.5) * 2.0;
             let mult = work_multiplier * jitter;
             let comp = (cost.issue_cycles * mult).max(100.0);
-            let mem = cost.dram_bytes_with_ecc(cfg) * mult;
-            let floor = if cost.transactions > 0 { dram_lat } else { 0.0 } + 0.5e-6;
+            // Tier split: under FlatDram every coalesced byte rides the
+            // DRAM stream (the pre-cache model, verbatim); under a cache
+            // model the DRAM stream shrinks to the missing sectors and the
+            // L2 hits form a second, core-clocked stream.
+            let (mem, l2, floor, mem_energy, l2_energy) = match cache_cfg {
+                None => (
+                    cost.dram_bytes_with_ecc(cfg) * mult,
+                    0.0,
+                    if cost.transactions > 0 { dram_lat } else { 0.0 } + 0.5e-6,
+                    cost.mem_energy(p) * mult * vm2 * ecc_energy_factor,
+                    0.0,
+                ),
+                Some(cc) => (
+                    cost.cached_dram_bytes(cfg) * mult,
+                    cost.l2_hits as f64 * crate::mem::SECTOR_BYTES as f64 * mult,
+                    if cost.dram_transactions > 0 {
+                        dram_lat
+                    } else if cost.l2_hits > 0 {
+                        cc.l2_latency_s
+                    } else {
+                        0.0
+                    } + 0.5e-6,
+                    cost.cached_dram_energy(p) * mult * vm2 * ecc_energy_factor,
+                    (cost.l1_energy(cc) + cost.l2_energy(cc)) * mult * vc2,
+                ),
+            };
             let warps = cost.warps.max(1) as f64;
             active.push(Active {
                 sm,
                 block,
                 comp_rem: comp,
                 mem_rem: mem,
+                l2_rem: l2,
                 comp_total: comp,
                 mem_total: mem.max(EPS),
+                l2_total: l2.max(EPS),
                 comp_energy: cost.comp_energy(p) * mult * vc2,
-                mem_energy: cost.mem_energy(p) * mult * vm2 * ecc_energy_factor,
+                mem_energy,
+                l2_energy,
                 min_end: now + floor,
                 warps,
                 rate_c: 0.0,
                 rate_m: 0.0,
+                rate_l2: 0.0,
             });
             // The occupancy slot the block lands in is the SM's residency
             // *before* this dispatch.
@@ -329,6 +400,7 @@ pub fn run_launch_pooled(
                 0.0
             };
             b.rate_m = 0.0;
+            b.rate_l2 = 0.0;
         }
         // Memory: global DRAM bandwidth water-filled over demanding blocks,
         // each capped by its memory-level parallelism.
@@ -354,6 +426,25 @@ pub fn run_launch_pooled(
             }
             std::mem::swap(uncapped, next_uncapped);
         }
+        // L2: aggregate cache bandwidth water-filled over demanding
+        // blocks, each capped by its SM's crossbar port share. Under
+        // FlatDram no block ever has an L2 stream, so this is skipped.
+        if cache_cfg.is_some() {
+            l2_idx.clear();
+            l2_sm.clear();
+            for (i, b) in active.iter().enumerate() {
+                if b.l2_rem > EPS {
+                    l2_idx.push(i);
+                    l2_sm.push(b.sm);
+                }
+            }
+            l2_rates.clear();
+            l2_rates.resize(l2_idx.len(), 0.0);
+            arbitrate_l2(l2_sm, l2_rates, cfg.num_sms, l2_bps, l2_port_bps, xbar);
+            for (k, &i) in l2_idx.iter().enumerate() {
+                active[i].rate_l2 = l2_rates[k];
+            }
+        }
 
         // Time to the next event.
         let mut dt = f64::INFINITY;
@@ -364,7 +455,10 @@ pub fn run_launch_pooled(
             if b.rate_m > EPS && b.mem_rem > EPS {
                 dt = dt.min(b.mem_rem / b.rate_m);
             }
-            if b.comp_rem <= EPS && b.mem_rem <= EPS && b.min_end > now {
+            if b.rate_l2 > EPS && b.l2_rem > EPS {
+                dt = dt.min(b.l2_rem / b.rate_l2);
+            }
+            if b.comp_rem <= EPS && b.mem_rem <= EPS && b.l2_rem <= EPS && b.min_end > now {
                 dt = dt.min(b.min_end - now);
             }
         }
@@ -377,9 +471,11 @@ pub fn run_launch_pooled(
             // that still has stream work but zero rate would spin forever;
             // fail loudly instead.
             assert!(
-                !active.iter().any(|b| b.comp_rem > EPS || b.mem_rem > EPS),
+                !active
+                    .iter()
+                    .any(|b| b.comp_rem > EPS || b.mem_rem > EPS || b.l2_rem > EPS),
                 "scheduler stall: active block has stream work but zero rate \
-                 (is mlp_per_warp or the issue rate zero?)"
+                 (is mlp_per_warp, the L2 bandwidth or the issue rate zero?)"
             );
             let horizon = active.iter().map(|b| b.min_end).fold(now, f64::max);
             dt = horizon - now;
@@ -391,6 +487,7 @@ pub fn run_launch_pooled(
         for b in active.iter() {
             watts += b.comp_energy * (b.rate_c / b.comp_total.max(EPS));
             watts += b.mem_energy * (b.rate_m / b.mem_total);
+            watts += b.l2_energy * (b.rate_l2 / b.l2_total);
         }
 
         if let Some(sink) = telemetry {
@@ -408,7 +505,8 @@ pub fn run_launch_pooled(
             sm_issue.fill(0.0);
             for b in active.iter() {
                 sm_watts[b.sm] += b.comp_energy * (b.rate_c / b.comp_total.max(EPS))
-                    + b.mem_energy * (b.rate_m / b.mem_total);
+                    + b.mem_energy * (b.rate_m / b.mem_total)
+                    + b.l2_energy * (b.rate_l2 / b.l2_total);
                 sm_issue[b.sm] += b.rate_c / core_hz;
             }
             for s in 0..cfg.num_sms {
@@ -454,6 +552,7 @@ pub fn run_launch_pooled(
                 let was_mem = b.mem_rem > EPS;
                 b.comp_rem -= b.rate_c * dt;
                 b.mem_rem -= b.rate_m * dt;
+                b.l2_rem -= b.rate_l2 * dt;
                 // Clamp float residue: a stream within a relative epsilon
                 // of empty is empty (otherwise the loop would crawl through
                 // rounding leftovers in 1 ns steps).
@@ -462,6 +561,9 @@ pub fn run_launch_pooled(
                 }
                 if b.mem_rem <= 1e-9 * b.mem_total + EPS {
                     b.mem_rem = 0.0;
+                }
+                if b.l2_rem <= 1e-9 * b.l2_total + EPS {
+                    b.l2_rem = 0.0;
                 }
                 if was_comp && b.comp_rem <= EPS {
                     sm_demand[b.sm] -= 1;
@@ -472,7 +574,7 @@ pub fn run_launch_pooled(
             }
             let done = {
                 let b = &active[i];
-                b.comp_rem <= EPS && b.mem_rem <= EPS && now + 1e-12 >= b.min_end
+                b.comp_rem <= EPS && b.mem_rem <= EPS && b.l2_rem <= EPS && now + 1e-12 >= b.min_end
             };
             if done {
                 let sm = active[i].sm;
@@ -583,6 +685,55 @@ mod tests {
         let t_lo = sched(&lo, 260, block).duration_s;
         let ratio = t_lo / t_hi;
         assert!((ratio - 705.0 / 614.0).abs() < 0.03, "ratio {ratio}");
+    }
+
+    /// A block whose traffic is (almost) all L2 hits: the DRAM stream is
+    /// empty, the L2 stream dominates both compute and the latency floor.
+    fn cache_resident_block(l2_hits: u64) -> BlockCost {
+        BlockCost {
+            threads: 256,
+            warps: 8,
+            transactions: l2_hits / 4,
+            ideal_transactions: l2_hits / 4,
+            l2_hits,
+            issue_cycles: l2_hits as f64 * 0.1,
+            ..BlockCost::default()
+        }
+    }
+
+    fn cached(clocks: ClockConfig) -> DeviceConfig {
+        let mut cfg = DeviceConfig::k20c(clocks, false);
+        cfg.mem_model = crate::mem::MemoryModel::Cached(crate::mem::CacheConfig::k20());
+        cfg
+    }
+
+    #[test]
+    fn cache_resident_workload_scales_with_core_clock() {
+        // The tentpole timing claim: the L2 stream lives in the core clock
+        // domain, so a cache-resident workload keeps scaling with the
+        // graphics clock even though it barely touches DRAM — unlike the
+        // flat-DRAM memory-bound case below, which ignores the core clock.
+        let hi = cached(ClockConfig::k20_default());
+        let lo = cached(ClockConfig::k20_614());
+        let block = cache_resident_block(2_000_000);
+        let t_hi = sched(&hi, 260, block).duration_s;
+        let t_lo = sched(&lo, 260, block).duration_s;
+        let ratio = t_lo / t_hi;
+        assert!((ratio - 705.0 / 614.0).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn cached_dram_stream_still_ignores_core_clock() {
+        // Under the cache model a workload whose sectors all miss to DRAM
+        // behaves like the flat memory-bound case: core clock irrelevant.
+        let hi = cached(ClockConfig::k20_default());
+        let lo = cached(ClockConfig::k20_614());
+        let mut block = memory_block(40_000_000.0);
+        block.dram_transactions = (40_000_000.0 / 32.0) as u64;
+        let t_hi = sched(&hi, 260, block).duration_s;
+        let t_lo = sched(&lo, 260, block).duration_s;
+        let ratio = t_lo / t_hi;
+        assert!(ratio < 1.05, "ratio {ratio}");
     }
 
     #[test]

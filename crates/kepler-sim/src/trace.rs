@@ -225,11 +225,11 @@ impl TraceReplayDevice {
 // ---- binary codec ---------------------------------------------------------
 
 /// Codec version byte; bump on any layout change so stale records decode to
-/// `None` instead of garbage.
-const CODEC_VERSION: u8 = 1;
+/// `None` instead of garbage. v2 added the four cache-tier columns.
+const CODEC_VERSION: u8 = 2;
 
-/// Number of per-block cost columns (4 f64 + 14 u64 + 2 u32 fields).
-const COST_COLUMNS: usize = 20;
+/// Number of per-block cost columns (4 f64 + 18 u64 + 2 u32 fields).
+const COST_COLUMNS: usize = 24;
 
 fn cost_to_words(c: &BlockCost) -> [u64; COST_COLUMNS] {
     let mut w = [0u64; COST_COLUMNS];
@@ -247,6 +247,10 @@ fn cost_to_words(c: &BlockCost) -> [u64; COST_COLUMNS] {
     w[17] = c.active_lanes;
     w[18] = c.warps as u64;
     w[19] = c.threads as u64;
+    w[20] = c.l1_hits;
+    w[21] = c.l2_hits;
+    w[22] = c.dram_transactions;
+    w[23] = c.mshr_merges;
     w
 }
 
@@ -268,6 +272,10 @@ fn cost_from_words(w: &[u64; COST_COLUMNS]) -> Option<BlockCost> {
         active_lanes: w[17],
         warps: u32::try_from(w[18]).ok()?,
         threads: u32::try_from(w[19]).ok()?,
+        l1_hits: w[20],
+        l2_hits: w[21],
+        dram_transactions: w[22],
+        mshr_merges: w[23],
     })
 }
 
@@ -428,6 +436,10 @@ mod tests {
             active_lanes: 3200,
             warps: 4,
             threads: 128,
+            l1_hits: 3 * i,
+            l2_hits: i / 2,
+            dram_transactions: 16 + i,
+            mshr_merges: i % 3,
         }
     }
 

@@ -10,6 +10,7 @@
 
 use crate::coalesce::{coalesce, SEGMENT_BYTES};
 use crate::cost::BlockCost;
+use crate::mem::CacheSim;
 use crate::ops::{Op, OpKind};
 
 /// Issue cost of a warp-wide global memory instruction, SM cycles.
@@ -59,10 +60,20 @@ fn op_bit(op: Op) -> u32 {
 /// Reduce the op streams of one warp (up to 32 threads) into `cost`.
 /// Streams are consumed logically but not mutated; the caller clears them.
 pub fn reduce_warp(streams: &[Vec<Op>], cost: &mut BlockCost) {
-    reduce_warp_with(streams, cost, &mut WarpScratch::default());
+    reduce_warp_cached(streams, cost, &mut WarpScratch::default(), None);
 }
 
 /// [`reduce_warp`] with caller-pooled scratch (the hot path).
+pub fn reduce_warp_with(streams: &[Vec<Op>], cost: &mut BlockCost, scr: &mut WarpScratch) {
+    reduce_warp_cached(streams, cost, scr, None);
+}
+
+/// [`reduce_warp_with`] with an optional per-block cache simulator: under a
+/// [`crate::mem::MemoryModel::Cached`] device config, each global-memory
+/// warp instruction's gathered lane accesses are also classified into
+/// L1/L2/DRAM tiers *after* being costed. The flat-DRAM cost fields are
+/// untouched by the cache — passing `None` is exactly the pre-cache
+/// reduction.
 ///
 /// Live lanes are tracked in a bitmask: a lane whose stream has ended is
 /// visited exactly once more (to clear its bit), so gather work is
@@ -71,7 +82,12 @@ pub fn reduce_warp(streams: &[Vec<Op>], cost: &mut BlockCost) {
 /// ended peers. A slot where every live lane records the same op kind (the
 /// overwhelmingly common case) folds in a single pass; mixed-kind slots
 /// take the generic per-kind split.
-pub fn reduce_warp_with(streams: &[Vec<Op>], cost: &mut BlockCost, scr: &mut WarpScratch) {
+pub fn reduce_warp_cached(
+    streams: &[Vec<Op>],
+    cost: &mut BlockCost,
+    scr: &mut WarpScratch,
+    mut cache: Option<&mut CacheSim>,
+) {
     debug_assert!(streams.len() <= 32);
     let mut max_len = 0usize;
     let mut active: u32 = 0;
@@ -311,12 +327,20 @@ pub fn reduce_warp_with(streams: &[Vec<Op>], cost: &mut BlockCost, scr: &mut War
                     } else {
                         cost_global(cost, &scr.gld_a[..gld_n], &scr.gld_b[..gld_n]);
                     }
+                    // The lane buffers are filled on both paths, so the
+                    // cache sees the exact addresses either way.
+                    if let Some(c) = cache.as_deref_mut() {
+                        c.load(&scr.gld_a[..gld_n], &scr.gld_b[..gld_n]);
+                    }
                 }
                 Op::Gst { .. } => {
                     if monotonic {
                         accumulate_global(cost, txns.min(64) as u32, useful, gst_n as u32);
                     } else {
                         cost_global(cost, &scr.gst_a[..gst_n], &scr.gst_b[..gst_n]);
+                    }
+                    if let Some(c) = cache.as_deref_mut() {
+                        c.store(&scr.gst_a[..gst_n], &scr.gst_b[..gst_n]);
                     }
                 }
                 Op::GAtom { .. } => {
@@ -325,11 +349,14 @@ pub fn reduce_warp_with(streams: &[Vec<Op>], cost: &mut BlockCost, scr: &mut War
                     } else {
                         cost_atomic(cost, &scr.atm_a[..atm_n], &mut scr.sorted);
                     }
+                    if let Some(c) = cache.as_deref_mut() {
+                        c.atomic(&scr.atm_a[..atm_n]);
+                    }
                 }
                 Op::Shm { .. } => cost_shared(cost, &mut scr.shm_w[..shm_n]),
             }
         } else {
-            finalize_mixed(cost, scr, gld_n, gst_n, atm_n, shm_n);
+            finalize_mixed(cost, scr, gld_n, gst_n, atm_n, shm_n, cache.as_deref_mut());
         }
     }
 }
@@ -345,6 +372,7 @@ fn finalize_mixed(
     gst_n: usize,
     atm_n: usize,
     shm_n: usize,
+    mut cache: Option<&mut CacheSim>,
 ) {
     let kinds = std::mem::take(&mut scr.kinds);
     for &kind in &kinds {
@@ -356,9 +384,24 @@ fn finalize_mixed(
                 cost.slots += n_max as u64;
                 cost.active_lanes += lane_ops;
             }
-            OpKind::Gld => cost_global(cost, &scr.gld_a[..gld_n], &scr.gld_b[..gld_n]),
-            OpKind::Gst => cost_global(cost, &scr.gst_a[..gst_n], &scr.gst_b[..gst_n]),
-            OpKind::GAtom => cost_atomic(cost, &scr.atm_a[..atm_n], &mut scr.sorted),
+            OpKind::Gld => {
+                cost_global(cost, &scr.gld_a[..gld_n], &scr.gld_b[..gld_n]);
+                if let Some(c) = cache.as_deref_mut() {
+                    c.load(&scr.gld_a[..gld_n], &scr.gld_b[..gld_n]);
+                }
+            }
+            OpKind::Gst => {
+                cost_global(cost, &scr.gst_a[..gst_n], &scr.gst_b[..gst_n]);
+                if let Some(c) = cache.as_deref_mut() {
+                    c.store(&scr.gst_a[..gst_n], &scr.gst_b[..gst_n]);
+                }
+            }
+            OpKind::GAtom => {
+                cost_atomic(cost, &scr.atm_a[..atm_n], &mut scr.sorted);
+                if let Some(c) = cache.as_deref_mut() {
+                    c.atomic(&scr.atm_a[..atm_n]);
+                }
+            }
             OpKind::Shm => cost_shared(cost, &mut scr.shm_w[..shm_n]),
         }
     }
@@ -666,6 +709,51 @@ mod tests {
             reduce_warp_with(streams, &mut pooled_cost, &mut pooled);
             assert_eq!(fresh_cost, pooled_cost);
         }
+    }
+
+    #[test]
+    fn cache_hook_leaves_flat_cost_untouched() {
+        use crate::mem::CacheConfig;
+        let streams: Vec<Vec<Op>> = (0..32)
+            .map(|i| {
+                vec![
+                    Op::Gld {
+                        addr: 4096 + 4 * i,
+                        bytes: 4,
+                    },
+                    Op::Gld {
+                        addr: 4096 + 4 * i,
+                        bytes: 4,
+                    },
+                    Op::Gst {
+                        addr: 8192 + 4 * i,
+                        bytes: 4,
+                    },
+                ]
+            })
+            .collect();
+        let mut plain = BlockCost::default();
+        reduce_warp(&streams, &mut plain);
+        let cfg = CacheConfig::k20();
+        let mut sim = CacheSim::new(&cfg);
+        let mut cached = BlockCost::default();
+        reduce_warp_cached(
+            &streams,
+            &mut cached,
+            &mut WarpScratch::default(),
+            Some(&mut sim),
+        );
+        // The cache classifies the stream but never touches the flat
+        // cost fields.
+        assert_eq!(plain, cached);
+        sim.finish();
+        let c = sim.counters;
+        // First load fetches the warp's 4 sectors; the repeat merges into
+        // the outstanding MSHR entry; the store's dirty sectors write back
+        // at finish().
+        assert_eq!(c.mshr_merges, 4);
+        assert_eq!(c.dram_transactions, 8);
+        assert_eq!(c.l1_hits + c.l2_hits, 0);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! measured core-clock sensitivity of the same programs.
 
 use crate::capture::LaunchRecord;
+use kepler_sim::CacheConfig;
 
 /// The K20c roofline ridge point, in declared ops per declared byte.
 pub const RIDGE_OPS_PER_BYTE: f64 = 17.0;
@@ -86,6 +87,64 @@ pub fn classify_workload(records: &[LaunchRecord]) -> Classification {
     }
 }
 
+/// Static cache-residency verdict of a workload under the sectored L1/L2
+/// hierarchy (`kepler_sim::mem`). Per-block simulation gives every block a
+/// fresh cache, so the working set that matters is a *single block's*
+/// declared footprint, not the grid's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheClass {
+    /// Per-block footprint fits the L2: intra-block reuse can be served
+    /// from cache, so a high L2 hit rate is attainable.
+    CacheResident,
+    /// Per-block footprint exceeds the L2: the reuse distance outruns
+    /// capacity and the access stream degrades to DRAM traffic.
+    CacheThrash,
+    /// No launch declared a footprint.
+    Unknown,
+}
+
+impl CacheClass {
+    pub fn name(&self) -> &'static str {
+        match self {
+            CacheClass::CacheResident => "cache-resident",
+            CacheClass::CacheThrash => "cache-thrash",
+            CacheClass::Unknown => "unknown",
+        }
+    }
+}
+
+/// Classify one launch against the cache capacities: `(declared bytes,
+/// fits-in-L2)`, or `None` when the launch declares no footprint.
+pub fn cache_class_launch(rec: &LaunchRecord, cc: &CacheConfig) -> Option<(f64, bool)> {
+    let fp = rec.footprint.as_ref()?;
+    let per_block = fp.bytes_per_block();
+    if per_block <= 0.0 {
+        return None;
+    }
+    Some((fp.total_bytes(), per_block <= cc.l2_bytes as f64))
+}
+
+/// Aggregate a workload's launches into one cache class by byte-weighted
+/// majority: a workload dominated by thrashing traffic is thrash even if a
+/// small setup kernel is resident, and vice versa.
+pub fn cache_class_workload(records: &[LaunchRecord], cc: &CacheConfig) -> CacheClass {
+    let (mut resident, mut thrash) = (0.0f64, 0.0f64);
+    for rec in records {
+        match cache_class_launch(rec, cc) {
+            Some((bytes, true)) => resident += bytes,
+            Some((bytes, false)) => thrash += bytes,
+            None => {}
+        }
+    }
+    if resident == 0.0 && thrash == 0.0 {
+        CacheClass::Unknown
+    } else if thrash > resident {
+        CacheClass::CacheThrash
+    } else {
+        CacheClass::CacheResident
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,5 +185,76 @@ mod tests {
         let c = classify_workload(&[]);
         assert_eq!(c.class, StaticClass::Unknown);
         assert_eq!(c.intensity, 0.0);
+    }
+
+    /// A synthetic launch whose every block reads `per_block_bytes` of a
+    /// float buffer.
+    fn fp_rec(per_block_bytes: u64, grid: u32) -> LaunchRecord {
+        use kepler_sim::footprint::{
+            BlockFootprint, BufAccess, BufRef, FpKind, KernelFootprint, Span,
+        };
+        use kepler_sim::KernelResources;
+        let elems = per_block_bytes / 4;
+        let block = BlockFootprint {
+            accesses: vec![BufAccess {
+                buf: BufRef {
+                    id: 0,
+                    base: 0,
+                    len: elems * grid as u64,
+                    elem_bytes: 4,
+                },
+                kind: FpKind::Read,
+                span: Span::range(0, elems),
+            }],
+        };
+        LaunchRecord {
+            launch: 0,
+            kernel: "k".into(),
+            grid,
+            block_threads: 256,
+            resources: KernelResources {
+                regs_per_thread: 24,
+                shared_bytes: 0,
+            },
+            parallel_safe: true,
+            has_params: false,
+            footprint: Some(KernelFootprint {
+                blocks: vec![block; grid as usize],
+                ops_per_block: 1.0,
+            }),
+        }
+    }
+
+    #[test]
+    fn per_block_footprint_decides_the_cache_class() {
+        let cc = CacheConfig::k20();
+        // 64 KB per block fits the 1.25 MB L2 even though the grid's total
+        // (64 blocks x 64 KB = 4 MB) does not: fresh-cache-per-block.
+        let small = fp_rec(64 * 1024, 64);
+        assert_eq!(
+            cache_class_workload(std::slice::from_ref(&small), &cc),
+            CacheClass::CacheResident
+        );
+        // 4 MB per block exceeds the L2 regardless of grid size.
+        let big = fp_rec(4 * 1024 * 1024, 2);
+        assert_eq!(
+            cache_class_workload(std::slice::from_ref(&big), &cc),
+            CacheClass::CacheThrash
+        );
+        // Byte-weighted majority: 8 MB of thrashing traffic outweighs
+        // 4 MB of resident traffic.
+        assert_eq!(
+            cache_class_workload(&[small, big], &cc),
+            CacheClass::CacheThrash
+        );
+        assert_eq!(cache_class_workload(&[], &cc), CacheClass::Unknown);
+    }
+
+    #[test]
+    fn captured_workloads_have_a_cache_class() {
+        let cc = CacheConfig::k20();
+        let b = registry::by_key("nb").unwrap();
+        let rec = capture_workload(b.as_ref(), &InputSpec::new("t", 512, 0, 1, 1.0));
+        assert_ne!(cache_class_workload(&rec, &cc), CacheClass::Unknown);
     }
 }

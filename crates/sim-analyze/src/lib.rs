@@ -32,7 +32,10 @@ pub mod prover;
 pub mod report;
 
 pub use capture::{analysis_config, capture_workload, dedupe_units, Capture, LaunchRecord};
-pub use classify::{classify_workload, Classification, StaticClass, RIDGE_OPS_PER_BYTE};
+pub use classify::{
+    cache_class_launch, cache_class_workload, classify_workload, CacheClass, Classification,
+    StaticClass, RIDGE_OPS_PER_BYTE,
+};
 pub use lints::{launch_lints, Lint, LOW_OCCUPANCY_THRESHOLD};
 pub use prover::{brute_force_disjoint, prove_footprint, prove_footprint_with, Verdict};
 pub use report::{

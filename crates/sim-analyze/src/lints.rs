@@ -91,6 +91,25 @@ slots; {}",
         });
     }
 
+    // Cache-residency lint: only meaningful (and only emitted) when the
+    // config actually runs the sectored cache model.
+    if let Some(cc) = cfg.mem_model.cache() {
+        if let Some((_, fits)) = crate::classify::cache_class_launch(rec, cc) {
+            if !fits {
+                let fp = rec.footprint.as_ref().unwrap();
+                out.push(Lint {
+                    code: "cache-thrash",
+                    message: format!(
+                        "per-block footprint {:.0} B exceeds the {} B L2: each block's \
+reuse distance outruns cache capacity and the access stream degrades to DRAM traffic",
+                        fp.bytes_per_block(),
+                        cc.l2_bytes,
+                    ),
+                });
+            }
+        }
+    }
+
     out
 }
 

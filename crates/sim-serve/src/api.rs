@@ -196,14 +196,16 @@ pub fn parse_run_request(body: &[u8]) -> Result<RunParams, ApiError> {
             let name = v.as_str().ok_or_else(|| {
                 ApiError::new(400, "invalid_config", "\"config\" must be a string")
             })?;
-            GpuConfigKind::ALL
+            GpuConfigKind::VARIANTS
                 .into_iter()
                 .find(|c| c.name().eq_ignore_ascii_case(name))
                 .ok_or_else(|| {
                     ApiError::new(
                         400,
                         "unknown_config",
-                        format!("no configuration {name:?}; one of default/614/324/ECC"),
+                        format!(
+                            "no configuration {name:?}; one of default/614/324/ECC/cache/cache614"
+                        ),
                     )
                 })?
         }
@@ -253,6 +255,17 @@ fn median_json(params: &RunParams, m: &MedianMeasurement) -> Json {
             ]),
         ));
     }
+    fields.push((
+        "cache",
+        Json::obj([
+            ("l1_hits", Json::num(m.counters.l1_hits)),
+            ("l2_hits", Json::num(m.counters.l2_hits)),
+            ("dram_transactions", Json::num(m.counters.dram_transactions)),
+            ("mshr_merges", Json::num(m.counters.mshr_merges)),
+            ("l1_hit_rate", Json::num(m.counters.l1_hit_rate())),
+            ("l2_hit_rate", Json::num(m.counters.l2_hit_rate())),
+        ]),
+    ));
     fields.push(("energy_breakdown", breakdown_json(params, m)));
     fields.push(("caveats", caveats()));
     Json::obj(fields)
@@ -458,7 +471,7 @@ pub fn sweep_response(campaign: &Campaign, params: &SweepParams) -> Json {
 
 /// Every artifact name `repro` accepts, in `repro all` output order plus
 /// the opt-in `trdata` and the energy-lab artifacts.
-pub const ARTIFACT_NAMES: [&str; 14] = [
+pub const ARTIFACT_NAMES: [&str; 15] = [
     "table1",
     "fig1",
     "fig2",
@@ -473,6 +486,7 @@ pub const ARTIFACT_NAMES: [&str; 14] = [
     "energy-breakdown",
     "energy-sampling-error",
     "static-analysis",
+    "cache-sensitivity",
 ];
 
 /// Generate one artifact's text, byte-identical to `repro <name>` stdout
@@ -518,6 +532,9 @@ pub fn artifact_text(campaign: &Campaign, name: &str, reps: u64) -> Result<Strin
         "static-analysis" => {
             render_static_analysis(&characterize::analysis::static_analysis(campaign, reps))
         }
+        "cache-sensitivity" => characterize::cache::render_cache_sensitivity(
+            &characterize::cache::cache_sensitivity(campaign, reps),
+        ),
         _ => unreachable!("gated by ARTIFACT_NAMES"),
     };
     // `repro` prints with `println!`, so the byte-identical body carries

@@ -4,7 +4,9 @@
 //! pre-executed sharded across worker threads, or are replayed from the
 //! process-wide pre-execution cache — and that must hold under more than
 //! one clock configuration (the cache is shared across configurations by
-//! design; see `docs/PERF.md`).
+//! design; see `docs/PERF.md`) AND under both memory models (the per-block
+//! cache simulation keeps every block cost a pure function of its own
+//! access stream; see `docs/MEMORY.md`).
 //!
 //! Benchmarks whose kernels use atomics never opt into `parallel_safe`,
 //! so for them every strategy degenerates to exec-at-dispatch; including
@@ -15,7 +17,7 @@
 //! is process-global, and the cold-path assertions need `reset_exec_cache`
 //! calls that must not race a concurrently running test.
 
-use kepler_sim::{ClockConfig, Device, DeviceConfig, ExecStrategy};
+use kepler_sim::{CacheConfig, ClockConfig, Device, DeviceConfig, ExecStrategy, MemoryModel};
 use workloads::bench::{Benchmark, InputSpec};
 use workloads::registry;
 
@@ -62,9 +64,12 @@ fn outcome(
     bench: &dyn Benchmark,
     input: &InputSpec,
     clocks: ClockConfig,
+    mem_model: MemoryModel,
     strategy: ExecStrategy,
 ) -> Vec<u64> {
-    let mut dev = Device::new(DeviceConfig::k20c(clocks, false));
+    let mut cfg = DeviceConfig::k20c(clocks, false);
+    cfg.mem_model = mem_model;
+    let mut dev = Device::new(cfg);
     dev.set_exec_strategy(strategy);
     let out = bench.run(&mut dev, input);
     let c = dev.total_counters();
@@ -87,6 +92,12 @@ fn outcome(
         c.active_lanes.to_bits(),
     ];
     digest.extend(c.lane_ops.iter().map(|v| v.to_bits()));
+    digest.extend([
+        c.l1_hits.to_bits(),
+        c.l2_hits.to_bits(),
+        c.dram_transactions.to_bits(),
+        c.mshr_merges.to_bits(),
+    ]);
     digest
 }
 
@@ -94,7 +105,18 @@ fn outcome(
 fn every_regular_workload_is_strategy_invariant() {
     let benches = registry::all();
     let mut covered = 0usize;
-    for clocks in [ClockConfig::k20_default(), ClockConfig::k20_614()] {
+    // Two clock configs under the flat model, plus the cache model at
+    // default clocks: the equivalence contract must survive the per-block
+    // cache simulation too.
+    let passes = [
+        (ClockConfig::k20_default(), MemoryModel::FlatDram),
+        (ClockConfig::k20_614(), MemoryModel::FlatDram),
+        (
+            ClockConfig::k20_default(),
+            MemoryModel::Cached(CacheConfig::k20()),
+        ),
+    ];
+    for (clocks, mem_model) in passes {
         for bench in &benches {
             let spec = bench.spec();
             if !spec.regular {
@@ -105,19 +127,25 @@ fn every_regular_workload_is_strategy_invariant() {
 
             // Reference semantics, then each pre-execution variant cold
             // (cache cleared), then a warm run that must replay from cache.
-            let reference = outcome(bench.as_ref(), &input, clocks, ExecStrategy::AtDispatch);
+            let reference = outcome(
+                bench.as_ref(),
+                &input,
+                clocks,
+                mem_model,
+                ExecStrategy::AtDispatch,
+            );
             for (label, strategy) in [
                 ("pre-exec serial", ExecStrategy::PreExec { jobs: 1 }),
                 ("pre-exec sharded", ExecStrategy::PreExec { jobs: 3 }),
             ] {
                 kepler_sim::reset_exec_cache();
-                let cold = outcome(bench.as_ref(), &input, clocks, strategy);
+                let cold = outcome(bench.as_ref(), &input, clocks, mem_model, strategy);
                 assert_eq!(
                     reference, cold,
                     "{} ({label}, cold) diverged from exec-at-dispatch",
                     spec.key
                 );
-                let warm = outcome(bench.as_ref(), &input, clocks, strategy);
+                let warm = outcome(bench.as_ref(), &input, clocks, mem_model, strategy);
                 assert_eq!(
                     reference, warm,
                     "{} ({label}, cache replay) diverged from exec-at-dispatch",
@@ -127,6 +155,7 @@ fn every_regular_workload_is_strategy_invariant() {
             covered += 1;
         }
     }
-    // 21 regular programs in Table 1, each checked under two clock configs.
-    assert_eq!(covered, 42, "regular-workload coverage changed");
+    // 21 regular programs in Table 1, each checked under two clock
+    // configs (flat) plus the cache model.
+    assert_eq!(covered, 63, "regular-workload coverage changed");
 }
